@@ -1,0 +1,58 @@
+// Shared setup for the paper-reproduction bench binaries. Dataset scales
+// and per-query budgets are environment-tunable (WS_SCALE,
+// WS_BENCH_QUERIES, WS_BENCH_TIME_LIMIT_MS) so the same binaries run from
+// CI-quick to paper-scale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/harness.h"
+
+namespace wikisearch::bench {
+
+/// wikisynth-S: plays the role of the paper's wiki2017 dump.
+inline eval::DatasetBundle SmallDataset() {
+  return eval::PrepareDataset(eval::ScaledConfig(gen::SmallConfig()),
+                              "wikisynth-S");
+}
+
+/// wikisynth-L: plays the role of the paper's wiki2018 dump.
+inline eval::DatasetBundle LargeDataset() {
+  return eval::PrepareDataset(eval::ScaledConfig(gen::LargeConfig()),
+                              "wikisynth-L");
+}
+
+/// Prints one per-phase profiling row (the breakdown of the paper's
+/// Fig. 6/7/9/10).
+inline void PrintPhaseRow(const std::string& label,
+                          const eval::ProfiledRun& run) {
+  eval::PrintRow({label, eval::FmtMs(run.avg.init_ms),
+                  eval::FmtMs(run.avg.enqueue_ms),
+                  eval::FmtMs(run.avg.identify_ms),
+                  eval::FmtMs(run.avg.expansion_ms),
+                  eval::FmtMs(run.avg.topdown_ms),
+                  eval::FmtMs(run.avg.total_ms)});
+}
+
+inline std::vector<std::string> PhaseColumns(const std::string& first) {
+  return {first,        "Init",    "Enqueue", "Identify",
+          "Expansion",  "Topdown", "Total"};
+}
+
+/// Engine variants profiled side by side in the efficiency experiments.
+struct EngineRow {
+  const char* label;
+  EngineKind kind;
+};
+
+inline const std::vector<EngineRow>& EfficiencyEngines() {
+  static const std::vector<EngineRow>* rows = new std::vector<EngineRow>{
+      {"GPU-Par(sim)", EngineKind::kGpuSim},
+      {"CPU-Par", EngineKind::kCpuParallel},
+      {"CPU-Par-d", EngineKind::kCpuDynamic},
+  };
+  return *rows;
+}
+
+}  // namespace wikisearch::bench

@@ -1,0 +1,7 @@
+// Regenerates Fig. 10: vary Tnum on the large dataset (wiki2018 role).
+#include "bench_vary_threads.inc.h"
+
+int main() {
+  return wikisearch::bench::RunVaryThreads(&wikisearch::bench::LargeDataset,
+                                           "Fig. 10");
+}

@@ -1,0 +1,7 @@
+// Regenerates Fig. 11: effectiveness (top-k precision) on the small dataset.
+#include "bench_effectiveness.inc.h"
+
+int main() {
+  return wikisearch::bench::RunEffectiveness(
+      &wikisearch::bench::SmallDataset, "Fig. 11");
+}

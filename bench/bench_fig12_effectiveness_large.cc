@@ -1,0 +1,7 @@
+// Regenerates Fig. 12: effectiveness (top-k precision) on the large dataset.
+#include "bench_effectiveness.inc.h"
+
+int main() {
+  return wikisearch::bench::RunEffectiveness(
+      &wikisearch::bench::LargeDataset, "Fig. 12");
+}

@@ -1,0 +1,8 @@
+// Regenerates Fig. 6: vary Knum on the small dataset (wiki2017 role),
+// per-phase profiling for all engine variants plus BANKS-II total.
+#include "bench_vary_knum.inc.h"
+
+int main() {
+  return wikisearch::bench::RunVaryKnum(&wikisearch::bench::SmallDataset,
+                                        "Fig. 6");
+}

@@ -1,0 +1,8 @@
+// Regenerates Fig. 7: vary Knum on the large dataset (wiki2018 role),
+// per-phase profiling for all engine variants plus BANKS-II total.
+#include "bench_vary_knum.inc.h"
+
+int main() {
+  return wikisearch::bench::RunVaryKnum(&wikisearch::bench::LargeDataset,
+                                        "Fig. 7");
+}

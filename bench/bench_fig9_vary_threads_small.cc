@@ -1,0 +1,7 @@
+// Regenerates Fig. 9: vary Tnum on the small dataset (wiki2017 role).
+#include "bench_vary_threads.inc.h"
+
+int main() {
+  return wikisearch::bench::RunVaryThreads(&wikisearch::bench::SmallDataset,
+                                           "Fig. 9");
+}

@@ -1,0 +1,121 @@
+// google-benchmark micro-kernels for the graph substrate and the search
+// engine's hot loops: CSR neighbor scans, BFS levels, node-weight (Eq. 2)
+// computation, frontier enqueue, and one full expansion level.
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "graph/graph_algos.h"
+
+namespace wikisearch {
+namespace {
+
+const gen::GeneratedKb& Kb() {
+  static const gen::GeneratedKb* kb = [] {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 10000;
+    cfg.num_communities = 16;
+    cfg.num_topic_nodes = 32;
+    cfg.vocab_size = 8000;
+    cfg.seed = 5;
+    auto* out = new gen::GeneratedKb(gen::Generate(cfg));
+    AttachNodeWeights(&out->graph);
+    out->graph.SetAverageDistance(3.5, 0.9);
+    return out;
+  }();
+  return *kb;
+}
+
+void BM_CsrNeighborScan(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const AdjEntry& e : g.Neighbors(v)) sum += e.target;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_adjacency_entries()));
+}
+BENCHMARK(BM_CsrNeighborScan);
+
+void BM_BfsFullGraph(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  for (auto _ : state) {
+    auto dist = BfsDistances(g, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+}
+BENCHMARK(BM_BfsFullGraph);
+
+void BM_NodeWeights(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  for (auto _ : state) {
+    auto w = ComputeNodeWeights(g);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_NodeWeights);
+
+void BM_InDegree(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) sum += g.InDegree(v);
+  }
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_InDegree);
+
+// One full bottom-up search (the paper's stage 1) at Knum=4.
+void BM_BottomUpSearch(benchmark::State& state) {
+  const gen::GeneratedKb& kb = Kb();
+  const KnowledgeGraph& g = kb.graph;
+  // Keyword node sets: members of four communities.
+  std::vector<std::vector<NodeId>> groups(4);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    int32_t c = kb.meta.community_of_node[v];
+    if (c >= 0 && c < 4 && groups[static_cast<size_t>(c)].size() < 200) {
+      groups[static_cast<size_t>(c)].push_back(v);
+    }
+  }
+  QueryContext ctx(&g, {}, groups, ActivationMap(3.5, 0.1), 10);
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  SearchOptions opts;
+  opts.top_k = 20;
+  for (auto _ : state) {
+    SearchState search_state(g.num_nodes(), 4);
+    PhaseTimings timings;
+    auto result =
+        BottomUpSearch(ctx, opts, &pool, &search_state, &timings, false);
+    benchmark::DoNotOptimize(result.levels);
+  }
+}
+BENCHMARK(BM_BottomUpSearch)->Arg(1)->Arg(4);
+
+void BM_FrontierEnqueueScan(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  SearchState s(g.num_nodes(), 4);
+  s.Init({{1}, {2}, {3}, {4}});
+  // Flag 5% of nodes.
+  for (NodeId v = 0; v < g.num_nodes(); v += 20) s.FlagFrontier(v);
+  std::vector<NodeId> frontier;
+  for (auto _ : state) {
+    frontier.clear();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (s.IsFrontierFlagged(v)) frontier.push_back(v);
+    }
+    benchmark::DoNotOptimize(frontier.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_FrontierEnqueueScan);
+
+}  // namespace
+}  // namespace wikisearch
+
+BENCHMARK_MAIN();

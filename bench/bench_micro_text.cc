@@ -1,0 +1,84 @@
+// google-benchmark micro-kernels for the text pipeline: tokenization,
+// Porter stemming, full analysis, inverted index build and lookups.
+#include <benchmark/benchmark.h>
+
+#include "gen/wikigen.h"
+#include "text/inverted_index.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace wikisearch {
+namespace {
+
+const gen::GeneratedKb& Kb() {
+  static const gen::GeneratedKb* kb = [] {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 10000;
+    cfg.seed = 5;
+    return new gen::GeneratedKb(gen::Generate(cfg));
+  }();
+  return *kb;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  std::string text =
+      "An Efficient Parallel Keyword Search Engine on Knowledge Graphs, "
+      "bidirectional expansion for keyword search on graph databases";
+  for (auto _ : state) {
+    auto tokens = Tokenize(text);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const char* words[] = {"relational",  "organization", "effectiveness",
+                         "indexing",    "probabilistic", "summarization",
+                         "activations", "bidirectional"};
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string s = PorterStem(words[i++ % std::size(words)]);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_AnalyzeText(benchmark::State& state) {
+  std::string text =
+      "The Efficient Parallel Keyword Search Engines on the Knowledge "
+      "Graphs of relational databases";
+  for (auto _ : state) {
+    auto terms = AnalyzeText(text);
+    benchmark::DoNotOptimize(terms.data());
+  }
+}
+BENCHMARK(BM_AnalyzeText);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const KnowledgeGraph& g = Kb().graph;
+  for (auto _ : state) {
+    InvertedIndex index = InvertedIndex::Build(g);
+    benchmark::DoNotOptimize(index.num_terms());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_nodes()));
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_IndexLookup(benchmark::State& state) {
+  const gen::GeneratedKb& kb = Kb();
+  static const InvertedIndex* index =
+      new InvertedIndex(InvertedIndex::Build(kb.graph));
+  const auto& terms = kb.meta.community_terms[0];
+  size_t i = 0;
+  for (auto _ : state) {
+    auto postings = index->Lookup(terms[i++ % terms.size()]);
+    benchmark::DoNotOptimize(postings.data());
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+}  // namespace
+}  // namespace wikisearch
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Service-level throughput: queries per second of the end-to-end engine
+// (index lookup -> two-stage search -> answer materialization) and the
+// effect of the HTTP layer's LRU cache on repeated interactive queries —
+// the paper's "interactive re-querying" motivation (Sec. I).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/batch.h"
+#include "server/search_service.h"
+
+using namespace wikisearch;
+
+int main() {
+  eval::DatasetBundle data = bench::SmallDataset();
+  auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, 4, 32, 77);
+
+  eval::PrintHeader("Query throughput (wikisynth-S, Knum=4, k=20)",
+                    {"configuration", "queries", "total", "QPS"});
+
+  auto report = [&](const std::string& label, size_t n, double ms) {
+    char count[32], qps[32];
+    std::snprintf(count, sizeof(count), "%zu", n);
+    std::snprintf(qps, sizeof(qps), "%.0f", n / (ms / 1000.0));
+    eval::PrintRow({label, count, eval::FmtMs(ms), qps});
+  };
+
+  // Raw engine, distinct queries.
+  for (EngineKind kind : {EngineKind::kSequential, EngineKind::kCpuParallel,
+                          EngineKind::kGpuSim}) {
+    SearchOptions opts;
+    opts.top_k = 20;
+    opts.threads = 4;
+    opts.engine = kind;
+    SearchEngine engine(&data.kb.graph, &data.index, opts);
+    WallTimer timer;
+    for (const auto& q : queries) {
+      auto res = engine.SearchKeywords(q.keywords, opts);
+      (void)res;
+    }
+    report(EngineKindName(kind), queries.size(),
+           timer.ElapsedMs());
+  }
+
+  // Inter-query parallelism: one query per worker, sequential inside.
+  {
+    std::vector<std::vector<std::string>> batch;
+    for (const auto& q : queries) batch.push_back(q.keywords);
+    for (int conc : {2, 4}) {
+      BatchOptions bopts;
+      bopts.concurrency = conc;
+      bopts.search.top_k = 20;
+      bopts.search.threads = 1;
+      WallTimer timer;
+      auto results = BatchSearch(&data.kb.graph, &data.index, batch, bopts);
+      (void)results;
+      report("batch x" + std::to_string(conc), batch.size(),
+             timer.ElapsedMs());
+    }
+  }
+
+  // Service with cache: first pass cold, second pass fully cached.
+  SearchOptions opts;
+  opts.top_k = 20;
+  opts.threads = 4;
+  server::SearchService service(&data.kb.graph, &data.index, opts, 1024);
+  auto run_pass = [&](const char* label) {
+    WallTimer timer;
+    for (const auto& q : queries) {
+      server::HttpRequest req;
+      std::string text;
+      for (const auto& kw : q.keywords) text += kw + " ";
+      req.params["q"] = text;
+      auto resp = service.HandleSearch(req);
+      (void)resp;
+    }
+    report(label, queries.size(), timer.ElapsedMs());
+  };
+  run_pass("svc cold");
+  run_pass("svc warm");
+
+  std::printf("\ncache hits: %llu, misses: %llu\n",
+              static_cast<unsigned long long>(service.cache().hits()),
+              static_cast<unsigned long long>(service.cache().misses()));
+  return 0;
+}

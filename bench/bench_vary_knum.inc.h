@@ -1,0 +1,53 @@
+// Shared body of Fig. 6 (small dataset) and Fig. 7 (large dataset): vary the
+// number of query keywords and profile every phase of every engine variant,
+// plus BANKS-II total time. The paper's shape: GPU-Par fastest, CPU-Par
+// close, CPU-Par-d one to two orders slower (locking), BANKS-II two to
+// three orders slower than the parallel engines and growing with graph
+// size.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace wikisearch::bench {
+
+inline int RunVaryKnum(eval::DatasetBundle (*make_dataset)(),
+                       const char* figure) {
+  eval::DatasetBundle data = make_dataset();
+  const size_t num_queries = eval::BenchQueryCount();
+  for (size_t knum : {2u, 4u, 6u, 8u}) {
+    auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, knum,
+                                               num_queries, 100 + knum);
+    char title[128];
+    std::snprintf(title, sizeof(title), "%s on %s: Knum=%zu (%zu queries)",
+                  figure, data.name.c_str(), knum, num_queries);
+    eval::PrintHeader(title, PhaseColumns("engine"));
+    for (const EngineRow& row : EfficiencyEngines()) {
+      SearchOptions opts;
+      opts.top_k = 20;
+      opts.alpha = 0.1;
+      opts.threads = 4;
+      opts.engine = row.kind;
+      eval::ProfiledRun run = eval::ProfileEngine(data, queries, opts);
+      PrintPhaseRow(row.label, run);
+    }
+    banks::BanksOptions bopts;
+    bopts.top_k = 20;
+    bopts.time_limit_ms = eval::BanksTimeLimitMs();
+    eval::BanksRun banks = eval::ProfileBanks(data, queries, bopts);
+    eval::PrintRow({"BANKS-II", "-", "-", "-", "-", "-",
+                    eval::FmtMs(banks.avg_total_ms) +
+                        (banks.timeouts > 0
+                             ? " (" + std::to_string(banks.timeouts) +
+                                   " capped)"
+                             : "")});
+  }
+  std::printf(
+      "\npaper shape: parallel Central Graph engines stay flat in Knum and\n"
+      "beat BANKS-II by 2-3 orders of magnitude; CPU-Par-d pays lock costs\n"
+      "in Init/Expansion but skips extraction in Top-down.\n");
+  return 0;
+}
+
+}  // namespace wikisearch::bench

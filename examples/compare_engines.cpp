@@ -1,0 +1,72 @@
+// compare_engines: side-by-side comparison of the Central Graph engine
+// variants and the BANKS baselines on the same generated knowledge base —
+// a runnable miniature of the paper's evaluation narrative.
+//
+//   $ ./build/examples/compare_engines
+#include <cstdio>
+
+#include "banks/banks.h"
+#include "eval/harness.h"
+#include "eval/relevance.h"
+
+using namespace wikisearch;
+
+int main() {
+  eval::DatasetBundle data =
+      eval::PrepareDataset(eval::ScaledConfig(gen::SmallConfig()), "demo");
+  eval::RelevanceJudge judge(&data.kb);
+  auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, 4, 3, 2024);
+
+  banks::BanksEngine banks_engine(&data.kb.graph, &data.index);
+
+  for (const gen::Query& q : queries) {
+    std::string line;
+    for (const auto& kw : q.keywords) line += kw + " ";
+    std::printf("\n=========== query: %s===========\n", line.c_str());
+
+    // Central Graph engine variants.
+    for (EngineKind kind :
+         {EngineKind::kCpuParallel, EngineKind::kGpuSim,
+          EngineKind::kCpuDynamic}) {
+      SearchOptions opts;
+      opts.top_k = 5;
+      opts.engine = kind;
+      opts.threads = 4;
+      SearchEngine engine(&data.kb.graph, &data.index, opts);
+      auto res = engine.SearchKeywords(q.keywords, opts);
+      if (!res.ok()) continue;
+      std::printf("%-14s %6.2f ms  %zu answers  precision@5 %.0f%%\n",
+                  EngineKindName(kind), res->timings.total_ms,
+                  res->answers.size(),
+                  judge.TopKPrecision(q, res->answers, 5) * 100);
+    }
+
+    // BANKS baselines.
+    for (auto [variant, name] :
+         {std::pair{banks::BanksVariant::kBanks1, "BANKS-I"},
+          std::pair{banks::BanksVariant::kBanks2, "BANKS-II"}}) {
+      banks::BanksOptions opts;
+      opts.top_k = 5;
+      opts.variant = variant;
+      opts.time_limit_ms = 5000;
+      auto res = banks_engine.SearchKeywords(q.keywords, opts);
+      if (!res.ok()) continue;
+      std::printf("%-14s %6.2f ms  %zu answers  precision@5 %.0f%%%s\n", name,
+                  res->elapsed_ms, res->answers.size(),
+                  judge.TopKPrecision(q, res->answers, 5) * 100,
+                  res->timed_out ? "  (timed out)" : "");
+    }
+
+    // Show the best Central Graph answer in full.
+    SearchOptions opts;
+    opts.top_k = 1;
+    SearchEngine engine(&data.kb.graph, &data.index, opts);
+    auto res = engine.SearchKeywords(q.keywords, opts);
+    if (res.ok() && !res->answers.empty()) {
+      std::printf("best Central Graph answer:\n%s",
+                  FormatAnswer(data.kb.graph, res->answers[0], res->keywords)
+                      .c_str());
+    }
+  }
+  return 0;
+}

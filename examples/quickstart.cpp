@@ -1,0 +1,66 @@
+// Quickstart: build a tiny knowledge base in code (modeled on the paper's
+// Fig. 1 query-language example), run a Central Graph keyword search for
+// "xml rdf sql", and print the top answers.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+
+using namespace wikisearch;
+
+int main() {
+  // ---- 1. Build the data graph (directed labeled triples) ----------------
+  GraphBuilder builder;
+  builder.AddTriple("Facebook Query Language", "subclass of", "Query language");
+  builder.AddTriple("SQL", "subclass of", "Query language");
+  builder.AddTriple("XPath", "subclass of", "Query language");
+  builder.AddTriple("XPath 2", "version of", "XPath");
+  builder.AddTriple("XPath 3", "version of", "XPath");
+  builder.AddTriple("XQuery", "related to", "XPath");
+  builder.AddTriple("XQuery", "subclass of", "Query language");
+  builder.AddTriple("SPARQL query language for RDF", "subclass of",
+                    "Query language");
+  builder.AddTriple("SPARQL 1.1", "version of",
+                    "SPARQL query language for RDF");
+  builder.AddTriple("RDF query language", "has example",
+                    "SPARQL query language for RDF");
+  builder.AddTriple("RDF query language", "subclass of", "Query language");
+  builder.AddTriple("XQuery", "queries format", "XML");
+  builder.AddTriple("XPath", "queries format", "XML");
+  builder.AddTriple("SPARQL query language for RDF", "queries format", "RDF");
+  builder.AddTriple("RDF query language", "queries format", "RDF");
+  KnowledgeGraph graph = std::move(builder).Build();
+
+  // ---- 2. Attach node weights (Eq. 2) and the sampled average distance ----
+  AttachNodeWeights(&graph);
+  AttachAverageDistance(&graph);
+
+  // ---- 3. Build the keyword index and the engine --------------------------
+  InvertedIndex index = InvertedIndex::Build(graph);
+  SearchOptions options;
+  options.top_k = 3;
+  options.alpha = 0.3;
+  options.engine = EngineKind::kCpuParallel;
+  options.threads = 2;
+  SearchEngine engine(&graph, &index, options);
+
+  // ---- 4. Search -----------------------------------------------------------
+  Result<SearchResult> result = engine.Search("xml rdf sql");
+  if (!result.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: xml rdf sql  ->  %zu answers in %.2f ms (%d levels)\n\n",
+              result->answers.size(), result->timings.total_ms,
+              result->stats.levels);
+  for (const AnswerGraph& answer : result->answers) {
+    std::printf("%s\n", FormatAnswer(graph, answer, result->keywords).c_str());
+  }
+  return 0;
+}

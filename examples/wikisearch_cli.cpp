@@ -1,0 +1,148 @@
+// wikisearch_cli: the repository's stand-in for the paper's online
+// WikiSearch service. Generates (or loads) a knowledge base, builds the
+// keyword index, then answers queries — one-shot from the command line or
+// interactively from stdin.
+//
+//   $ ./build/examples/wikisearch_cli --query "veltar minoka"
+//   $ ./build/examples/wikisearch_cli --load data.wskg       # interactive
+//   $ ./build/examples/wikisearch_cli --load-nt dump.nt      # RDF N-Triples
+//   $ echo "xml rdf" | ./build/examples/wikisearch_cli --alpha 0.4
+//
+// Flags: --load <path.wskg>, --load-nt <path.nt>, --query <text>,
+//        --alpha <a>, --topk <k>, --threads <t>,
+//        --engine seq|cpu|dyn|gpu, --suggest
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "eval/harness.h"
+#include "gen/workload.h"
+#include "graph/distance_sampler.h"
+#include "graph/graph_io.h"
+#include "graph/ntriples.h"
+
+using namespace wikisearch;
+
+namespace {
+
+void RunQuery(SearchEngine& engine, const KnowledgeGraph& graph,
+              const std::string& query, const SearchOptions& opts) {
+  Result<SearchResult> res = engine.Search(query, opts);
+  if (!res.ok()) {
+    std::printf("error: %s\n", res.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu answers in %.2f ms (levels=%d, centrals=%zu, engine=%s)\n",
+              res->answers.size(), res->timings.total_ms, res->stats.levels,
+              res->stats.num_centrals, EngineKindName(opts.engine));
+  for (const auto& dropped : res->stats.dropped_keywords) {
+    std::printf("  (no matches for \"%s\")\n", dropped.c_str());
+  }
+  int rank = 1;
+  for (const AnswerGraph& a : res->answers) {
+    std::printf("--- #%d ---\n%s", rank++,
+                FormatAnswer(graph, a, res->keywords).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string load_path;
+  std::string load_nt_path;
+  std::string one_shot_query;
+  SearchOptions opts;
+  bool suggest = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : "";
+    };
+    if (arg == "--load") {
+      load_path = next();
+    } else if (arg == "--load-nt") {
+      load_nt_path = next();
+    } else if (arg == "--query") {
+      one_shot_query = next();
+    } else if (arg == "--alpha") {
+      opts.alpha = std::atof(next());
+    } else if (arg == "--topk") {
+      opts.top_k = std::atoi(next());
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(next());
+    } else if (arg == "--suggest") {
+      suggest = true;
+    } else if (arg == "--engine") {
+      std::string e = next();
+      opts.engine = e == "seq"   ? EngineKind::kSequential
+                    : e == "dyn" ? EngineKind::kCpuDynamic
+                    : e == "gpu" ? EngineKind::kGpuSim
+                                 : EngineKind::kCpuParallel;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // ---- Load or generate the knowledge base --------------------------------
+  KnowledgeGraph graph;
+  gen::GeneratedKb generated;
+  bool have_meta = false;
+  if (!load_path.empty()) {
+    Result<KnowledgeGraph> loaded = LoadGraph(load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", load_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+  } else if (!load_nt_path.empty()) {
+    Result<KnowledgeGraph> loaded = LoadNTriples(load_nt_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", load_nt_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    graph = std::move(*loaded);
+  } else {
+    std::fprintf(stderr, "no --load given; generating wikisynth-S...\n");
+    generated = gen::Generate(eval::ScaledConfig(gen::SmallConfig()));
+    graph = std::move(generated.graph);
+    have_meta = true;
+  }
+  if (!graph.has_weights()) AttachNodeWeights(&graph);
+  if (graph.average_distance() <= 0.0) AttachAverageDistance(&graph);
+  InvertedIndex index = InvertedIndex::Build(graph);
+  std::fprintf(stderr,
+               "ready: %zu nodes, %zu triples, A=%.2f, %zu indexed terms\n",
+               graph.num_nodes(), graph.num_triples(),
+               graph.average_distance(), index.num_terms());
+
+  if (suggest && have_meta) {
+    generated.graph = std::move(graph);  // workload needs the bundled form
+    auto queries = gen::MakeEfficiencyWorkload(generated, index, 4, 5, 1);
+    std::fprintf(stderr, "try these queries:\n");
+    for (const auto& q : queries) {
+      std::string line;
+      for (const auto& kw : q.keywords) line += kw + " ";
+      std::fprintf(stderr, "  %s\n", line.c_str());
+    }
+    graph = std::move(generated.graph);
+  }
+
+  SearchEngine engine(&graph, &index, opts);
+  if (!one_shot_query.empty()) {
+    RunQuery(engine, graph, one_shot_query, opts);
+    return 0;
+  }
+  std::fprintf(stderr, "enter keyword queries, one per line (EOF to quit):\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    RunQuery(engine, graph, line, opts);
+  }
+  return 0;
+}

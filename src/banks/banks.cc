@@ -1,0 +1,371 @@
+#include "banks/banks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace wikisearch::banks {
+
+namespace {
+
+constexpr float kInfDist = std::numeric_limits<float>::infinity();
+
+/// Per-query distance/parent grid shared by both variants: one shortest-path
+/// instance per keyword group over the bi-directed graph.
+struct Grid {
+  Grid(size_t n, size_t q)
+      : n(n),
+        q(q),
+        dist(n * q, kInfDist),
+        parent(n * q, kInvalidNode),
+        cover(n, 0) {}
+
+  size_t n, q;
+  std::vector<float> dist;
+  std::vector<NodeId> parent;
+  /// Number of instances that have assigned a finite distance to the node.
+  std::vector<uint8_t> cover;
+
+  float& D(size_t i, NodeId v) { return dist[i * n + v]; }
+  NodeId& P(size_t i, NodeId v) { return parent[i * n + v]; }
+};
+
+/// Builds the rooted answer tree for `root` by following parent chains to
+/// each keyword group's nearest leaf (classic BANKS answer semantics:
+/// exactly one leaf per keyword).
+AnswerGraph BuildTree(const KnowledgeGraph& g, Grid& grid, NodeId root) {
+  AnswerGraph answer;
+  answer.central = root;
+  answer.keyword_nodes.assign(grid.q, {});
+  std::vector<NodeId> nodes{root};
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  double score = 0.0;
+  int depth = 0;
+  for (size_t i = 0; i < grid.q; ++i) {
+    score += grid.D(i, root);
+    NodeId v = root;
+    int hops = 0;
+    while (grid.P(i, v) != kInvalidNode) {
+      NodeId p = grid.P(i, v);
+      pairs.emplace_back(p, v);
+      nodes.push_back(p);
+      v = p;
+      ++hops;
+    }
+    answer.keyword_nodes[i].push_back(v);  // the leaf covering keyword i
+    depth = std::max(depth, hops);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  answer.nodes = std::move(nodes);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  for (const auto& [u, v] : pairs) AppendEdgesBetween(g, u, v, &answer.edges);
+  std::sort(answer.edges.begin(), answer.edges.end());
+  answer.edges.erase(std::unique(answer.edges.begin(), answer.edges.end()),
+                     answer.edges.end());
+  for (auto& kn : answer.keyword_nodes) {
+    std::sort(kn.begin(), kn.end());
+  }
+  answer.depth = depth;
+  // BANKS scoring as described in the paper's Exp-1 discussion: the sum of
+  // root-to-leaf path costs; lower is better.
+  answer.score = score;
+  return answer;
+}
+
+struct Candidate {
+  NodeId root;
+  double score;
+};
+
+std::vector<AnswerGraph> FinishAnswers(const KnowledgeGraph& g, Grid& grid,
+                                       std::vector<Candidate> candidates,
+                                       int top_k) {
+  // Re-score from the final distance grid (BANKS-II distances may have
+  // improved after emission), then keep the best k roots.
+  for (Candidate& c : candidates) {
+    double s = 0.0;
+    for (size_t i = 0; i < grid.q; ++i) s += grid.D(i, c.root);
+    c.score = s;
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.root < b.root;
+            });
+  if (candidates.size() > static_cast<size_t>(top_k)) {
+    candidates.resize(static_cast<size_t>(top_k));
+  }
+  std::vector<AnswerGraph> answers;
+  answers.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    answers.push_back(BuildTree(g, grid, c.root));
+  }
+  return answers;
+}
+
+// --------------------------- BANKS-I ---------------------------------------
+
+BanksResult RunBanks1(const KnowledgeGraph& g,
+                      const std::vector<std::vector<NodeId>>& groups,
+                      const std::vector<float>& cost,
+                      const BanksOptions& opts) {
+  const size_t n = g.num_nodes();
+  const size_t q = groups.size();
+  Grid grid(n, q);
+  BanksResult result;
+  WallTimer timer;
+
+  using Entry = std::pair<float, NodeId>;  // (dist, node), min-heap
+  std::vector<std::priority_queue<Entry, std::vector<Entry>,
+                                  std::greater<Entry>>>
+      pq(q);
+  std::vector<std::vector<uint8_t>> settled(q,
+                                            std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < q; ++i) {
+    for (NodeId v : groups[i]) {
+      grid.D(i, v) = 0.0f;
+      pq[i].emplace(0.0f, v);
+    }
+  }
+
+  std::vector<Candidate> candidates;
+  std::vector<uint8_t> emitted(n, 0);
+  double kth_best = std::numeric_limits<double>::infinity();
+
+  auto update_kth = [&] {
+    if (candidates.size() < static_cast<size_t>(opts.top_k)) return;
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + (opts.top_k - 1), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.score < b.score;
+                     });
+    kth_best = candidates[static_cast<size_t>(opts.top_k - 1)].score;
+  };
+
+  while (true) {
+    // Pick the iterator with the globally smallest tentative distance
+    // (single-iterator-pool backward search).
+    size_t best_i = q;
+    float best_d = kInfDist;
+    double frontier_min = std::numeric_limits<double>::infinity();
+    bool any = false;
+    for (size_t i = 0; i < q; ++i) {
+      // Drop stale entries.
+      while (!pq[i].empty()) {
+        auto [d, v] = pq[i].top();
+        if (settled[i][v] || d > grid.D(i, v)) {
+          pq[i].pop();
+          continue;
+        }
+        break;
+      }
+      if (pq[i].empty()) continue;
+      any = true;
+      float d = pq[i].top().first;
+      frontier_min = std::min<double>(frontier_min, d);
+      if (d < best_d) {
+        best_d = d;
+        best_i = i;
+      }
+    }
+    if (!any) break;
+    // Top-k termination: a yet-unemitted root still needs a settlement in
+    // at least one iterator, at distance >= that iterator's frontier, so
+    // its score is >= the smallest frontier distance. (The sum of all
+    // frontiers is NOT a valid bound: a root may already hold small settled
+    // distances in other iterators.) This weak-but-sound bound is exactly
+    // why BANKS's top-k termination "needs to search many nodes" — the
+    // inefficiency the paper calls out in Exp-1.
+    if (candidates.size() >= static_cast<size_t>(opts.top_k) &&
+        frontier_min >= kth_best) {
+      break;
+    }
+    if (best_i == q) break;
+
+    auto [d, v] = pq[best_i].top();
+    pq[best_i].pop();
+    settled[best_i][v] = 1;
+    ++result.pops;
+    if ((result.pops & 1023) == 0 && timer.ElapsedMs() > opts.time_limit_ms) {
+      result.timed_out = true;
+      break;
+    }
+    if (result.pops > opts.max_pops) {
+      result.timed_out = true;
+      break;
+    }
+
+    if (++grid.cover[v] == q && !emitted[v]) {
+      emitted[v] = 1;
+      double score = 0.0;
+      for (size_t i = 0; i < q; ++i) score += grid.D(i, v);
+      candidates.push_back(Candidate{v, score});
+      update_kth();
+    }
+
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      NodeId w = e.target;
+      if (settled[best_i][w]) continue;
+      float nd = d + cost[w];
+      if (nd < grid.D(best_i, w)) {
+        grid.D(best_i, w) = nd;
+        grid.P(best_i, w) = v;
+        pq[best_i].emplace(nd, w);
+      }
+    }
+  }
+
+  result.elapsed_ms = timer.ElapsedMs();
+  result.answers = FinishAnswers(g, grid, std::move(candidates), opts.top_k);
+  return result;
+}
+
+// --------------------------- BANKS-II --------------------------------------
+
+BanksResult RunBanks2(const KnowledgeGraph& g,
+                      const std::vector<std::vector<NodeId>>& groups,
+                      const std::vector<float>& cost,
+                      const BanksOptions& opts) {
+  const size_t n = g.num_nodes();
+  const size_t q = groups.size();
+  Grid grid(n, q);
+  BanksResult result;
+  WallTimer timer;
+
+  // Activation per (instance, node); expansion order is by activation, not
+  // distance. High-degree nodes decay activation sharply, deferring hubs
+  // (BANKS-II's bidirectional/hub-avoidance heuristic).
+  std::vector<float> act(n * q, 0.0f);
+  struct Entry {
+    float activation;
+    uint32_t instance;
+    NodeId node;
+    bool operator<(const Entry& o) const {
+      return activation < o.activation;  // max-heap on activation
+    }
+  };
+  std::priority_queue<Entry> pq;
+  constexpr float kActFloor = 1e-6f;
+
+  std::vector<Candidate> candidates;
+  std::vector<uint8_t> emitted(n, 0);
+
+  for (size_t i = 0; i < q; ++i) {
+    for (NodeId v : groups[i]) {
+      if (grid.D(i, v) != 0.0f) {
+        grid.D(i, v) = 0.0f;
+        // A node covered by every keyword group at distance 0 is itself an
+        // answer root.
+        if (++grid.cover[v] == q && !emitted[v]) {
+          emitted[v] = 1;
+          candidates.push_back(Candidate{v, 0.0});
+        }
+      }
+      act[i * n + v] = 1.0f;
+      pq.push(Entry{1.0f, static_cast<uint32_t>(i), v});
+    }
+  }
+
+  while (!pq.empty()) {
+    Entry top = pq.top();
+    pq.pop();
+    const size_t i = top.instance;
+    NodeId v = top.node;
+    if (top.activation < act[i * n + v]) continue;  // stale
+    ++result.pops;
+    if ((result.pops & 1023) == 0 && timer.ElapsedMs() > opts.time_limit_ms) {
+      result.timed_out = true;
+      break;
+    }
+    if (result.pops > opts.max_pops) {
+      result.timed_out = true;
+      break;
+    }
+    // Conservative exploration: with activation-ordered expansion there is
+    // no distance bound to prune with, so BANKS-II keeps going until
+    // activation dies out — the expensive top-k guarantee the paper
+    // describes (Sec. VI, Exp-1, reason two).
+    if (candidates.size() >= static_cast<size_t>(opts.top_k) * 4 &&
+        top.activation < kActFloor * 10) {
+      break;
+    }
+
+    const float dv = grid.D(i, v);
+    const float spread =
+        top.activation * static_cast<float>(opts.activation_decay) /
+        std::log2(2.0f + static_cast<float>(g.Degree(v)));
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      NodeId w = e.target;
+      const size_t iw = i * n + w;
+      bool push = false;
+      // Distance relaxation: priority order is not distance order, so an
+      // improvement must be re-broadcast through w (recursive update).
+      float nd = dv + cost[w];
+      if (nd < grid.D(i, w)) {
+        bool first_reach = grid.D(i, w) == kInfDist;
+        grid.D(i, w) = nd;
+        grid.P(i, w) = v;
+        push = true;
+        if (first_reach && ++grid.cover[w] == q && !emitted[w]) {
+          emitted[w] = 1;
+          candidates.push_back(Candidate{w, 0.0});
+        }
+      }
+      if (spread > act[iw] && spread > kActFloor) {
+        act[iw] = spread;
+        push = true;
+      }
+      if (push && act[iw] > kActFloor) {
+        pq.push(Entry{act[iw], static_cast<uint32_t>(i), w});
+      }
+    }
+  }
+
+  result.elapsed_ms = timer.ElapsedMs();
+  result.answers = FinishAnswers(g, grid, std::move(candidates), opts.top_k);
+  return result;
+}
+
+}  // namespace
+
+double BanksEdgeCost(const KnowledgeGraph& g, NodeId into) {
+  return 1.0 + std::log2(1.0 + static_cast<double>(g.InDegree(into)));
+}
+
+BanksEngine::BanksEngine(const KnowledgeGraph* graph,
+                         const InvertedIndex* index)
+    : graph_(graph), index_(index) {}
+
+Result<BanksResult> BanksEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, const BanksOptions& opts) const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("empty keyword query");
+  }
+  std::vector<std::vector<NodeId>> groups;
+  for (const std::string& kw : keywords) {
+    std::span<const NodeId> postings = index_->Lookup(kw);
+    if (postings.empty()) continue;
+    groups.emplace_back(postings.begin(), postings.end());
+  }
+  if (groups.empty()) {
+    return Status::NotFound("no query keyword matches any node");
+  }
+  // Precompute per-node entry costs once; BanksEdgeCost scans the
+  // adjacency list and must not run per relaxation.
+  std::vector<float> cost(graph_->num_nodes());
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    cost[v] = static_cast<float>(BanksEdgeCost(*graph_, v));
+  }
+  if (opts.variant == BanksVariant::kBanks1) {
+    return RunBanks1(*graph_, groups, cost, opts);
+  }
+  return RunBanks2(*graph_, groups, cost, opts);
+}
+
+}  // namespace wikisearch::banks

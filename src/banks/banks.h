@@ -1,0 +1,73 @@
+// BANKS-style keyword search baselines, implemented from the published
+// algorithm descriptions:
+//
+//  * BANKS-I  (Aditya et al., VLDB'02): backward search — one shortest-path
+//    iterator per keyword group expanding backwards from the keyword nodes;
+//    a node settled by every group becomes an answer root, scored by the sum
+//    of its root-to-leaf path costs.
+//  * BANKS-II (Kacholia et al., VLDB'05): bidirectional expansion — node
+//    expansion is prioritized by *spreading activation* (decayed by degree,
+//    so high-degree hubs are deferred) rather than by distance, plus forward
+//    testing. Because priority order is not distance order, improved
+//    distances must be re-broadcast through already-expanded nodes — the
+//    recursive-update cost the paper identifies as one of BANKS-II's three
+//    bottlenecks (Sec. VI, Exp-1).
+//
+// Both return rooted trees converted into AnswerGraph so that the
+// effectiveness harness scores all systems uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch::banks {
+
+enum class BanksVariant {
+  kBanks1,  // backward search
+  kBanks2,  // bidirectional expansion with spreading activation
+};
+
+struct BanksOptions {
+  int top_k = 20;
+  BanksVariant variant = BanksVariant::kBanks2;
+  /// Wall-clock budget per query; the paper caps runs at 500 s and records
+  /// the cap as the time. Scaled down for bench runs.
+  double time_limit_ms = 2000.0;
+  /// Safety cap on priority-queue pops.
+  size_t max_pops = 200'000'000;
+  /// BANKS-II activation decay mu in (0, 1).
+  double activation_decay = 0.5;
+};
+
+struct BanksResult {
+  std::vector<AnswerGraph> answers;  // best first; central = answer root
+  double elapsed_ms = 0.0;
+  bool timed_out = false;
+  size_t pops = 0;  // total settle operations (work measure)
+};
+
+class BanksEngine {
+ public:
+  /// Both pointers must outlive the engine.
+  BanksEngine(const KnowledgeGraph* graph, const InvertedIndex* index);
+
+  /// Searches with pre-split raw keywords (analyzed via the index).
+  Result<BanksResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                     const BanksOptions& opts) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* index_;
+};
+
+/// Edge traversal cost used by both variants: entering node y costs
+/// 1 + log2(1 + indeg(y)), penalizing high-in-degree hubs (the BANKS edge
+/// weight model).
+double BanksEdgeCost(const KnowledgeGraph& g, NodeId into);
+
+}  // namespace wikisearch::banks

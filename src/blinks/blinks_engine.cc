@@ -1,0 +1,129 @@
+#include "blinks/blinks_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "graph/graph_algos.h"
+
+namespace wikisearch::blinks {
+
+namespace {
+
+/// Reconstructs one shortest hop-path from `root` to the nearest node
+/// containing `term` (distance known to be `target_dist`), appending its
+/// nodes/edges to the answer. Bounded BFS of depth target_dist.
+void MaterializePath(const KnowledgeGraph& g, const BlinksIndex& index,
+                     const std::string& term, NodeId root, int target_dist,
+                     AnswerGraph* answer, std::vector<NodeId>* kw_nodes) {
+  if (target_dist == 0) {
+    kw_nodes->push_back(root);
+    return;
+  }
+  // Walk greedily: from the current node, move to any neighbor whose
+  // distance to the term is one less (the node-keyword map gives it O(1)).
+  NodeId cur = root;
+  int d = target_dist;
+  while (d > 0) {
+    for (const AdjEntry& e : g.Neighbors(cur)) {
+      if (index.Distance(term, e.target) == d - 1) {
+        AppendEdgesBetween(g, cur, e.target, &answer->edges);
+        answer->nodes.push_back(e.target);
+        cur = e.target;
+        --d;
+        break;
+      }
+    }
+  }
+  kw_nodes->push_back(cur);
+}
+
+}  // namespace
+
+BlinksEngine::BlinksEngine(const KnowledgeGraph* graph,
+                           const InvertedIndex* text_index,
+                           const BlinksIndex* blinks_index)
+    : graph_(graph), text_index_(text_index), index_(blinks_index) {}
+
+Result<BlinksResult> BlinksEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, const BlinksOptions& opts) const {
+  if (keywords.empty()) return Status::InvalidArgument("empty keyword query");
+  WallTimer timer;
+  // Analyze raw keywords to index terms.
+  std::vector<std::string> terms;
+  for (const std::string& kw : keywords) {
+    std::vector<std::string> analyzed = AnalyzeText(kw, text_index_->options());
+    if (analyzed.empty()) continue;
+    if (!index_->List(analyzed.front()).empty()) {
+      terms.push_back(analyzed.front());
+    }
+  }
+  if (terms.empty()) {
+    return Status::NotFound("no query keyword is in the BLINKS index");
+  }
+
+  // Join: start from the shortest list, probe the node-keyword maps.
+  size_t smallest = 0;
+  for (size_t i = 1; i < terms.size(); ++i) {
+    if (index_->List(terms[i]).size() < index_->List(terms[smallest]).size()) {
+      smallest = i;
+    }
+  }
+  struct Root {
+    NodeId node;
+    int score;
+    std::vector<int> dists;
+  };
+  std::vector<Root> roots;
+  for (const DistEntry& entry : index_->List(terms[smallest])) {
+    Root root{entry.node, 0, {}};
+    root.dists.resize(terms.size());
+    bool ok = true;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      int d = (i == smallest) ? entry.dist
+                              : index_->Distance(terms[i], entry.node);
+      if (d < 0) {
+        ok = false;
+        break;
+      }
+      root.dists[i] = d;
+      root.score += d;
+    }
+    if (ok) roots.push_back(std::move(root));
+  }
+  std::sort(roots.begin(), roots.end(), [](const Root& a, const Root& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node < b.node;
+  });
+
+  BlinksResult result;
+  result.candidate_roots = roots.size();
+  size_t limit = std::min<size_t>(roots.size(),
+                                  static_cast<size_t>(opts.top_k));
+  for (size_t r = 0; r < limit; ++r) {
+    const Root& root = roots[r];
+    AnswerGraph a;
+    a.central = root.node;
+    a.score = root.score;
+    a.depth = *std::max_element(root.dists.begin(), root.dists.end());
+    a.nodes.push_back(root.node);
+    a.keyword_nodes.resize(terms.size());
+    for (size_t i = 0; i < terms.size(); ++i) {
+      MaterializePath(*graph_, *index_, terms[i], root.node, root.dists[i],
+                      &a, &a.keyword_nodes[i]);
+    }
+    std::sort(a.nodes.begin(), a.nodes.end());
+    a.nodes.erase(std::unique(a.nodes.begin(), a.nodes.end()), a.nodes.end());
+    std::sort(a.edges.begin(), a.edges.end());
+    a.edges.erase(std::unique(a.edges.begin(), a.edges.end()), a.edges.end());
+    for (auto& kn : a.keyword_nodes) {
+      std::sort(kn.begin(), kn.end());
+      kn.erase(std::unique(kn.begin(), kn.end()), kn.end());
+    }
+    result.answers.push_back(std::move(a));
+  }
+  result.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace wikisearch::blinks

@@ -1,0 +1,41 @@
+// Query engine over the BLINKS-style precomputed index: answer roots are
+// found by joining the per-keyword distance lists (no graph traversal at
+// query time), scored by the sum of root-to-keyword distances; answer trees
+// are materialized with short bounded BFS walks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blinks/blinks_index.h"
+#include "common/status.h"
+#include "core/answer.h"
+
+namespace wikisearch::blinks {
+
+struct BlinksOptions {
+  int top_k = 20;
+};
+
+struct BlinksResult {
+  std::vector<AnswerGraph> answers;  // best first; central = root
+  double elapsed_ms = 0.0;
+  size_t candidate_roots = 0;
+};
+
+class BlinksEngine {
+ public:
+  /// All referenced objects must outlive the engine.
+  BlinksEngine(const KnowledgeGraph* graph, const InvertedIndex* text_index,
+               const BlinksIndex* blinks_index);
+
+  Result<BlinksResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                      const BlinksOptions& opts) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* text_index_;
+  const BlinksIndex* index_;
+};
+
+}  // namespace wikisearch::blinks

@@ -1,0 +1,102 @@
+#include "blinks/blinks_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace wikisearch::blinks {
+
+BlinksIndex BlinksIndex::Build(const KnowledgeGraph& graph,
+                               const InvertedIndex& text_index, int radius,
+                               size_t min_df) {
+  WallTimer timer;
+  BlinksIndex out;
+  out.radius_ = radius;
+
+  // Enumerate indexed terms by walking node names through the analyzer —
+  // the InvertedIndex does not expose iteration, and re-analyzing keeps the
+  // two structures consistent by construction.
+  std::vector<std::string> terms;
+  {
+    std::unordered_map<std::string, size_t> seen;
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      for (std::string& t : AnalyzeText(graph.NodeName(v),
+                                        text_index.options())) {
+        ++seen[std::move(t)];
+      }
+    }
+    for (auto& [term, count] : seen) {
+      if (text_index.LookupTerm(term).size() >= min_df) terms.push_back(term);
+    }
+    std::sort(terms.begin(), terms.end());
+  }
+
+  std::vector<uint16_t> dist(graph.num_nodes());
+  std::vector<NodeId> frontier, next;
+  for (const std::string& term : terms) {
+    std::span<const NodeId> sources = text_index.LookupTerm(term);
+    if (sources.empty()) continue;
+    // Bounded multi-source BFS.
+    constexpr uint16_t kUnset = 0xFFFF;
+    std::fill(dist.begin(), dist.end(), kUnset);
+    frontier.clear();
+    std::vector<DistEntry>& list = out.lists_[term];
+    auto& map = out.node_map_[term];
+    for (NodeId s : sources) {
+      if (dist[s] == kUnset) {
+        dist[s] = 0;
+        frontier.push_back(s);
+        list.push_back({s, 0});
+        map.emplace(s, 0);
+      }
+    }
+    for (uint16_t level = 1; level <= radius && !frontier.empty(); ++level) {
+      next.clear();
+      for (NodeId v : frontier) {
+        for (const AdjEntry& e : graph.Neighbors(v)) {
+          if (dist[e.target] != kUnset) continue;
+          dist[e.target] = level;
+          next.push_back(e.target);
+          list.push_back({e.target, level});
+          map.emplace(e.target, level);
+        }
+      }
+      frontier.swap(next);
+    }
+    // Lists come out sorted by (dist, insertion); normalize to (dist, node).
+    std::sort(list.begin(), list.end(), [](const DistEntry& a,
+                                           const DistEntry& b) {
+      if (a.dist != b.dist) return a.dist < b.dist;
+      return a.node < b.node;
+    });
+    out.stats_.entries += list.size();
+  }
+
+  out.stats_.terms = out.lists_.size();
+  for (const auto& [term, list] : out.lists_) {
+    out.stats_.bytes += term.size() * 2 + list.capacity() * sizeof(DistEntry);
+  }
+  for (const auto& [term, map] : out.node_map_) {
+    // unordered_map node->dist: bucket + entry overhead estimate.
+    out.stats_.bytes += map.size() * (sizeof(NodeId) + sizeof(uint16_t) + 16);
+  }
+  out.stats_.build_ms = timer.ElapsedMs();
+  return out;
+}
+
+std::span<const DistEntry> BlinksIndex::List(const std::string& term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+int BlinksIndex::Distance(const std::string& term, NodeId v) const {
+  auto it = node_map_.find(term);
+  if (it == node_map_.end()) return -1;
+  auto jt = it->second.find(v);
+  if (jt == it->second.end()) return -1;
+  return jt->second;
+}
+
+}  // namespace wikisearch::blinks

@@ -1,0 +1,62 @@
+// Minimal JSON writer used by the query service and the CLI's --json mode.
+// Streaming builder: values are appended in document order; the writer
+// tracks nesting and inserts commas. No DOM, no allocation beyond the
+// output string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikisearch {
+
+/// Escapes a string per RFC 8259 (quotes, backslash, control characters).
+std::string JsonEscape(std::string_view s);
+
+/// Streaming JSON writer.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("answers");
+///   w.BeginArray();
+///   w.String("x");
+///   w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Take();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Returns the finished document. All containers must be closed.
+  std::string Take() &&;
+
+  /// Current document size in bytes.
+  size_t size() const { return out_.size(); }
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // One entry per open container: true once the container has a first
+  // element (so the next element needs a comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,35 @@
+// Minimal logging and invariant-checking macros. WS_CHECK aborts with a
+// message on violated invariants (enabled in all build types — graph search
+// corruption must never propagate silently).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wikisearch {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "[wikisearch] CHECK failed at %s:%d: %s\n", file, line,
+               expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace wikisearch
+
+#define WS_CHECK(expr)                                            \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::wikisearch::internal::CheckFailed(__FILE__, __LINE__,     \
+                                          #expr);                 \
+    }                                                             \
+  } while (0)
+
+#define WS_LOG(...)                          \
+  do {                                       \
+    std::fprintf(stderr, "[wikisearch] ");   \
+    std::fprintf(stderr, __VA_ARGS__);       \
+    std::fprintf(stderr, "\n");              \
+  } while (0)

@@ -1,0 +1,120 @@
+// Lightweight Status / Result error handling in the RocksDB/Arrow style.
+// Functions that can fail return Status (or Result<T>); success is the
+// zero-cost common case and errors carry a code plus human-readable message.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wikisearch {
+
+/// Error taxonomy for the library. Kept intentionally small; callers mostly
+/// branch on ok() and surface the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kTimedOut,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Status describes the outcome of an operation: either OK, or an error code
+/// with a message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status. Use status().ok() /
+/// has_value() to branch; value() asserts validity in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {} // NOLINT(runtime/explicit)
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  bool ok() const { return has_value(); }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  Status status() const {
+    if (has_value()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates an error Status from an expression, Arrow-style.
+#define WS_RETURN_NOT_OK(expr)                       \
+  do {                                               \
+    ::wikisearch::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+}  // namespace wikisearch

@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace wikisearch {
+
+size_t DefaultGrain(size_t n, int threads) {
+  if (threads <= 1) return std::max<size_t>(n, 1);
+  size_t target_chunks = static_cast<size_t>(threads) * 8;
+  size_t grain = (n + target_chunks - 1) / target_chunks;
+  return std::max<size_t>(grain, 1);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(threads, 1)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::DrainCurrentJob() {
+  const size_t n = job_n_;
+  const size_t grain = job_grain_;
+  while (true) {
+    size_t lo = job_next_.fetch_add(grain, std::memory_order_relaxed);
+    if (lo >= n) break;
+    size_t hi = std::min(lo + grain, n);
+    job_chunk_fn_(lo, hi);
+  }
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    int my_job_index = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] {
+        return shutdown_ || (job_active_ && job_epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      seen_epoch = job_epoch_;
+      job_running_workers_.fetch_add(1, std::memory_order_relaxed);
+      my_job_index = index;
+    }
+    if (job_is_per_worker_) {
+      job_worker_fn_(my_job_index);
+    } else {
+      DrainCurrentJob();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_running_workers_.fetch_sub(1, std::memory_order_relaxed);
+      ++job_completed_workers_;
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  grain = std::max<size_t>(grain, 1);
+  if (threads_ <= 1 || n <= grain) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_is_per_worker_ = false;
+    job_n_ = n;
+    job_grain_ = grain;
+    job_chunk_fn_ = fn;
+    job_next_.store(0, std::memory_order_relaxed);
+    job_completed_workers_ = 0;
+    job_active_ = true;
+    ++job_epoch_;
+  }
+  wake_cv_.notify_all();
+  DrainCurrentJob();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job_running_workers_.load(std::memory_order_relaxed) == 0;
+    });
+    job_active_ = false;
+  }
+}
+
+void ThreadPool::ParallelForDynamic(size_t n, size_t grain,
+                                    const std::function<void(size_t)>& fn) {
+  ParallelForChunked(n, grain, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  if (threads_ <= 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_is_per_worker_ = true;
+    job_worker_fn_ = fn;
+    job_completed_workers_ = 0;
+    job_active_ = true;
+    ++job_epoch_;
+  }
+  wake_cv_.notify_all();
+  fn(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Per-worker jobs require every spawned worker to run fn exactly once,
+    // so wait for completions rather than just "no one running".
+    done_cv_.wait(lock,
+                  [&] { return job_completed_workers_ == threads_ - 1; });
+    job_active_ = false;
+  }
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,82 @@
+// A small persistent thread pool with a dynamically-scheduled parallel-for.
+//
+// The paper parallelizes with OpenMP and relies on `schedule(dynamic)` for
+// load balancing (frontiers have wildly varying degree). This pool provides
+// the equivalent: workers repeatedly claim fixed-size chunks of the iteration
+// space from an atomic counter until it is exhausted. The calling thread
+// participates in the work, so `threads == 1` runs fully inline and is the
+// library's sequential mode.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wikisearch {
+
+/// Fork-join worker pool. One instance is typically created per SearchEngine
+/// and reused across queries and BFS levels; creating threads per level would
+/// dominate runtime for small frontiers.
+///
+/// Not re-entrant: ParallelForDynamic must not be called from inside a task.
+class ThreadPool {
+ public:
+  /// Creates a pool that executes parallel-for jobs with `threads` total
+  /// workers (including the caller). `threads <= 1` spawns no OS threads.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(i) for all i in [0, n) with dynamic chunk scheduling.
+  /// `grain` is the chunk size workers claim at a time.
+  void ParallelForDynamic(size_t n, size_t grain,
+                          const std::function<void(size_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) with dynamic scheduling.
+  /// Useful when per-chunk setup (e.g. thread-local buffers) matters.
+  void ParallelForChunked(size_t n, size_t grain,
+                          const std::function<void(size_t, size_t)>& fn);
+
+  /// Runs fn(worker_index) once on every worker (including the caller, as
+  /// index 0). Used for per-thread state initialization.
+  void RunOnAll(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+  // Claims chunks until the current job is exhausted.
+  void DrainCurrentJob();
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+
+  // Job state (valid while job_active_):
+  uint64_t job_epoch_ = 0;
+  bool job_active_ = false;
+  bool job_is_per_worker_ = false;
+  size_t job_n_ = 0;
+  size_t job_grain_ = 1;
+  std::function<void(size_t, size_t)> job_chunk_fn_;
+  std::function<void(int)> job_worker_fn_;
+  std::atomic<size_t> job_next_{0};
+  std::atomic<int> job_running_workers_{0};
+  int job_completed_workers_ = 0;  // guarded by mu_
+};
+
+/// Computes a reasonable grain size: aims for ~8 chunks per worker so dynamic
+/// scheduling can balance, without degenerating to per-element dispatch.
+size_t DefaultGrain(size_t n, int threads);
+
+}  // namespace wikisearch

@@ -1,0 +1,33 @@
+// Wall-clock timing helpers. The search engine reports per-phase timings in
+// milliseconds, mirroring the profiling breakdown in the paper's Fig. 6-10.
+#pragma once
+
+#include <chrono>
+
+namespace wikisearch {
+
+/// Monotonic stopwatch measuring elapsed wall time.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,29 @@
+#include "core/activation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+ActivationMap::ActivationMap(double average_distance, double alpha,
+                             bool enabled)
+    : a_(average_distance), alpha_(alpha), enabled_(enabled) {
+  WS_CHECK(alpha > 0.0 && alpha < 1.0);
+  WS_CHECK(average_distance >= 0.0);
+}
+
+std::vector<size_t> ActivationDistribution(const KnowledgeGraph& g,
+                                           double alpha, size_t buckets) {
+  WS_CHECK(g.has_weights());
+  ActivationMap map(g.average_distance(), alpha);
+  std::vector<size_t> hist(buckets, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    size_t level = static_cast<size_t>(map.Level(g.NodeWeight(v)));
+    if (level >= buckets) level = buckets - 1;
+    ++hist[level];
+  }
+  return hist;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,63 @@
+// Minimum activation levels (Sec. IV, Eq. 3-5).
+//
+// The Penalty-and-Reward mapping turns a node's normalized degree-of-summary
+// weight w into the earliest BFS level at which the node may participate:
+//
+//   Penalty(v) = A * (w - alpha) / (1 - alpha)   if w > alpha
+//   Reward(v)  = A * (alpha - w) / alpha          if w < alpha
+//   a_v = round(A - Reward)  | round(A) | round(A + Penalty)
+//
+// where A is the sampled average shortest distance. Informative nodes
+// (w < alpha) activate early; summary nodes activate late and rarely make it
+// into compact answers. alpha is tunable per query at run time.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+/// Activation mapping for one (graph, alpha) pair. Cheap to construct; the
+/// engines evaluate it on the fly per visited node, exactly as Algorithm 2
+/// does ("calculate a_f from w_f and alpha").
+class ActivationMap {
+ public:
+  /// `average_distance` is the paper's A; `alpha` must lie in (0, 1).
+  /// If `enabled` is false every node activates at level 0 (ablation mode:
+  /// search degenerates to plain concurrent BFS).
+  ActivationMap(double average_distance, double alpha, bool enabled = true);
+
+  /// Minimum activation level for a node of normalized weight w (Eq. 5).
+  int Level(double w) const {
+    if (!enabled_) return 0;
+    double v;
+    if (w > alpha_) {
+      v = a_ + a_ * (w - alpha_) / (1.0 - alpha_);
+    } else if (w < alpha_) {
+      v = a_ - a_ * (alpha_ - w) / alpha_;
+    } else {
+      v = a_;
+    }
+    long r = std::lround(v);
+    return r < 0 ? 0 : static_cast<int>(r);
+  }
+
+  double average_distance() const { return a_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double a_;
+  double alpha_;
+  bool enabled_;
+};
+
+/// Histogram of activation levels over all nodes: result[l] = #nodes with
+/// a_v == l, with the final bucket aggregating >= result.size()-1 (used to
+/// regenerate Fig. 3's distribution).
+std::vector<size_t> ActivationDistribution(const KnowledgeGraph& g,
+                                           double alpha, size_t buckets = 5);
+
+}  // namespace wikisearch

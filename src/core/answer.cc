@@ -1,0 +1,76 @@
+#include "core/answer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wikisearch {
+
+bool AnswerGraph::ContainsNode(NodeId v) const {
+  return std::binary_search(nodes.begin(), nodes.end(), v);
+}
+
+bool AnswerGraph::ContainsAllNodesOf(const AnswerGraph& other) const {
+  if (other.nodes.size() > nodes.size()) return false;
+  return std::includes(nodes.begin(), nodes.end(), other.nodes.begin(),
+                       other.nodes.end());
+}
+
+double ScoreAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+                   double lambda) {
+  double weight_sum = 0.0;
+  for (NodeId v : answer.nodes) weight_sum += g.NodeWeight(v);
+  return std::pow(static_cast<double>(answer.depth), lambda) * weight_sum;
+}
+
+bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.depth != b.depth) return a.depth < b.depth;
+  if (a.nodes.size() != b.nodes.size()) return a.nodes.size() < b.nodes.size();
+  return a.central < b.central;
+}
+
+void AppendEdgesBetween(const KnowledgeGraph& g, NodeId u, NodeId v,
+                        std::vector<AnswerEdge>* edges) {
+  std::span<const AdjEntry> adj = g.Neighbors(u);
+  // Adjacency lists are sorted by target; binary-search the range.
+  auto lo = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const AdjEntry& e, NodeId target) { return e.target < target; });
+  for (auto it = lo; it != adj.end() && it->target == v; ++it) {
+    if (it->reverse) {
+      edges->push_back(AnswerEdge{v, u, it->label});
+    } else {
+      edges->push_back(AnswerEdge{u, v, it->label});
+    }
+  }
+}
+
+std::string FormatAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+                         const std::vector<std::string>& keywords) {
+  std::ostringstream out;
+  out << "CentralGraph(center=\"" << g.NodeName(answer.central)
+      << "\", depth=" << answer.depth << ", score=" << answer.score << ")\n";
+  out << "  nodes:\n";
+  for (NodeId v : answer.nodes) {
+    out << "    [" << v << "] " << g.NodeName(v);
+    std::string tags;
+    for (size_t i = 0; i < answer.keyword_nodes.size(); ++i) {
+      const auto& kn = answer.keyword_nodes[i];
+      if (std::binary_search(kn.begin(), kn.end(), v)) {
+        tags += tags.empty() ? "" : ",";
+        tags += i < keywords.size() ? keywords[i] : std::to_string(i);
+      }
+    }
+    if (!tags.empty()) out << "  {" << tags << "}";
+    out << "\n";
+  }
+  out << "  edges:\n";
+  for (const AnswerEdge& e : answer.edges) {
+    out << "    " << g.NodeName(e.src) << " --" << g.LabelName(e.label)
+        << "--> " << g.NodeName(e.dst) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,67 @@
+// Answer graphs: materialized, pruned and scored Central Graphs (Def. 3 and
+// Sec. V-C). Unlike GST answers these are general subgraphs — cycles and
+// multiple nodes per keyword are allowed (Fig. 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// One KB edge retained in an answer, in its original triple orientation.
+struct AnswerEdge {
+  NodeId src;
+  NodeId dst;
+  LabelId label;
+
+  bool operator==(const AnswerEdge& o) const {
+    return src == o.src && dst == o.dst && label == o.label;
+  }
+  bool operator<(const AnswerEdge& o) const {
+    if (src != o.src) return src < o.src;
+    if (dst != o.dst) return dst < o.dst;
+    return label < o.label;
+  }
+};
+
+/// A (possibly pruned) Central Graph.
+struct AnswerGraph {
+  NodeId central = kInvalidNode;
+  /// d(C): the max hitting level of the central node (Eq. 1).
+  int depth = 0;
+  /// S(C) from Eq. 6; lower is better.
+  double score = 0.0;
+  /// All retained nodes, sorted ascending (central included).
+  std::vector<NodeId> nodes;
+  /// All retained edges, sorted, deduplicated.
+  std::vector<AnswerEdge> edges;
+  /// For each query keyword i, the retained nodes containing it.
+  std::vector<std::vector<NodeId>> keyword_nodes;
+
+  bool ContainsNode(NodeId v) const;
+  /// True if this answer's node set is a (non-strict) superset of `other`'s.
+  bool ContainsAllNodesOf(const AnswerGraph& other) const;
+};
+
+/// Eq. 6: S(C) = d(C)^lambda * sum of node weights. Lower is better.
+double ScoreAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+                   double lambda);
+
+/// Deterministic strict ordering used for final ranking: by score, then
+/// depth, then size, then central id.
+bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b);
+
+/// Human-readable rendering (node names + labeled edges) for examples/CLI.
+std::string FormatAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+                         const std::vector<std::string>& keywords);
+
+/// Appends every KB edge between u and v (either orientation) to `edges`,
+/// rendered in original triple direction. Shared by answer materialization
+/// in the Central Graph engines and the BANKS baselines.
+void AppendEdgesBetween(const KnowledgeGraph& g, NodeId u, NodeId v,
+                        std::vector<AnswerEdge>* edges);
+
+}  // namespace wikisearch

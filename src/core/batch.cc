@@ -1,0 +1,41 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+namespace wikisearch {
+
+std::vector<Result<SearchResult>> BatchSearch(
+    const KnowledgeGraph* graph, const InvertedIndex* index,
+    const std::vector<std::vector<std::string>>& queries,
+    const BatchOptions& opts) {
+  std::vector<Result<SearchResult>> results(
+      queries.size(), Result<SearchResult>(Status::Internal("not run")));
+  if (queries.empty()) return results;
+
+  const int workers =
+      std::max(1, std::min<int>(opts.concurrency,
+                                static_cast<int>(queries.size())));
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    // One engine (and worker pool) per thread; queries share only the
+    // immutable graph and index.
+    SearchEngine engine(graph, index, opts.search);
+    while (true) {
+      size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) break;
+      results[i] = engine.SearchKeywords(queries[i], opts.search);
+    }
+  };
+  if (workers == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  return results;
+}
+
+}  // namespace wikisearch

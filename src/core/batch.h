@@ -1,0 +1,31 @@
+// Inter-query parallelism: evaluate many keyword queries concurrently, each
+// on its own search state. This is the service-throughput complement of the
+// paper's intra-query parallelism (its Related Work cites the "Ten thousand
+// SQLs" parallel keyword-query line of work [12]); with short interactive
+// queries, one-query-per-core beats parallelizing a single query's BFS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace wikisearch {
+
+struct BatchOptions {
+  /// Per-query options; `threads` applies *inside* each query and is
+  /// usually left at 1 when concurrency > 1.
+  SearchOptions search;
+  /// Number of queries evaluated concurrently.
+  int concurrency = 4;
+};
+
+/// Runs all queries (each a raw-keyword list) and returns results in input
+/// order. Each worker thread owns a private SearchEngine; the graph and
+/// index are shared read-only.
+std::vector<Result<SearchResult>> BatchSearch(
+    const KnowledgeGraph* graph, const InvertedIndex* index,
+    const std::vector<std::vector<std::string>>& queries,
+    const BatchOptions& opts);
+
+}  // namespace wikisearch

@@ -1,0 +1,52 @@
+#include "core/bfs_state.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+SearchState::SearchState(size_t num_nodes, size_t num_keywords)
+    : n_(num_nodes), q_(num_keywords) {
+  WS_CHECK(q_ >= 1 && q_ <= 64);
+  m_ = std::make_unique<std::atomic<Level>[]>(n_ * q_);
+  frontier_flag_ = std::make_unique<std::atomic<uint8_t>[]>(n_);
+  central_flag_ = std::make_unique<std::atomic<uint8_t>[]>(n_);
+  keyword_node_.assign(n_, 0);
+  keyword_mask_.assign(n_, 0);
+}
+
+void SearchState::Init(const std::vector<std::vector<NodeId>>& keyword_nodes) {
+  WS_CHECK(keyword_nodes.size() == q_);
+  // atomic<Level> is layout-compatible with its byte; bulk-fill to "infinity"
+  // exactly as the paper initializes M on device.
+  std::memset(reinterpret_cast<void*>(m_.get()), 0xFF,
+              n_ * q_ * sizeof(std::atomic<Level>));
+  std::memset(reinterpret_cast<void*>(frontier_flag_.get()), 0,
+              n_ * sizeof(std::atomic<uint8_t>));
+  std::memset(reinterpret_cast<void*>(central_flag_.get()), 0,
+              n_ * sizeof(std::atomic<uint8_t>));
+  for (size_t i = 0; i < q_; ++i) {
+    for (NodeId v : keyword_nodes[i]) {
+      WS_CHECK(v < n_);
+      SetHit(v, i, 0);
+      FlagFrontier(v);
+      keyword_node_[v] = 1;
+      keyword_mask_[v] |= (1ULL << i);
+    }
+  }
+  frontier_.clear();
+  centrals_.clear();
+}
+
+size_t SearchState::RunningStorageBytes() const {
+  return n_ * q_ * sizeof(Level)       // node-keyword matrix M
+         + n_ * sizeof(uint8_t)        // FIdentifier
+         + n_ * sizeof(uint8_t)        // CIdentifier
+         + n_ * sizeof(uint8_t)        // keyword-node bitmap
+         + n_ * sizeof(uint64_t)       // keyword masks
+         + frontier_.capacity() * sizeof(NodeId) +
+         centrals_.capacity() * sizeof(CentralCandidate);
+}
+
+}  // namespace wikisearch

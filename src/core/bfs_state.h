@@ -1,0 +1,99 @@
+// Flat search state of the lock-free bottom-up stage (Sec. V-B):
+//
+//  * M            — the node-keyword matrix of hitting levels, one byte per
+//                   (node, keyword) as in the paper;
+//  * FIdentifier  — 1 if the node becomes a frontier at the next level;
+//  * CIdentifier  — 1 if the node has been identified as a Central Node;
+//  * the joint frontier array shared by all BFS instances.
+//
+// All mutable cells are relaxed atomics: the algorithm's correctness argument
+// (Thm. V.2) is that every concurrent write to the same cell writes the same
+// value, so no ordering is required; atomics keep that reasoning free of
+// C++ data-race UB at zero cost on x86.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// A Central Node discovered in stage 1, with its Central Graph depth
+/// (Lemma V.1: the BFS level at which it was identified).
+struct CentralCandidate {
+  NodeId node;
+  int depth;
+};
+
+class SearchState {
+ public:
+  /// Allocates state for `num_nodes` nodes and `num_keywords` BFS instances.
+  SearchState(size_t num_nodes, size_t num_keywords);
+
+  size_t num_nodes() const { return n_; }
+  size_t num_keywords() const { return q_; }
+
+  /// Hitting level of v w.r.t. BFS instance i (kLevelInf if not hit).
+  Level Hit(NodeId v, size_t i) const {
+    return m_[v * q_ + i].load(std::memory_order_relaxed);
+  }
+  void SetHit(NodeId v, size_t i, Level l) {
+    m_[v * q_ + i].store(l, std::memory_order_relaxed);
+  }
+
+  bool IsFrontierFlagged(NodeId v) const {
+    return frontier_flag_[v].load(std::memory_order_relaxed) != 0;
+  }
+  void FlagFrontier(NodeId v) {
+    frontier_flag_[v].store(1, std::memory_order_relaxed);
+  }
+  void ClearFrontierFlag(NodeId v) {
+    frontier_flag_[v].store(0, std::memory_order_relaxed);
+  }
+
+  bool IsCentral(NodeId v) const {
+    return central_flag_[v].load(std::memory_order_relaxed) != 0;
+  }
+  void MarkCentral(NodeId v) {
+    central_flag_[v].store(1, std::memory_order_relaxed);
+  }
+
+  /// True if v contains at least one query keyword (a "keyword node"); such
+  /// nodes may be *hit* regardless of activation level (Sec. IV-B).
+  bool IsKeywordNode(NodeId v) const { return keyword_node_[v] != 0; }
+
+  /// Bitmask of keywords contained in v (bit i set iff Hit(v,i)==0 was
+  /// seeded at initialization). Valid after Init.
+  uint64_t KeywordMask(NodeId v) const { return keyword_mask_[v]; }
+
+  /// Seeds M with the keyword node sets T_i and flags them as the level-0
+  /// frontier.
+  void Init(const std::vector<std::vector<NodeId>>& keyword_nodes);
+
+  std::vector<NodeId>& frontier() { return frontier_; }
+  const std::vector<NodeId>& frontier() const { return frontier_; }
+
+  std::vector<CentralCandidate>& centrals() { return centrals_; }
+  const std::vector<CentralCandidate>& centrals() const { return centrals_; }
+
+  /// Bytes of the dynamic search state (M + identifiers + frontier), the
+  /// "running storage" on top of pre-storage in the paper's Table IV.
+  size_t RunningStorageBytes() const;
+
+ private:
+  size_t n_;
+  size_t q_;
+  std::unique_ptr<std::atomic<Level>[]> m_;
+  std::unique_ptr<std::atomic<uint8_t>[]> frontier_flag_;
+  std::unique_ptr<std::atomic<uint8_t>[]> central_flag_;
+  std::vector<uint8_t> keyword_node_;
+  std::vector<uint64_t> keyword_mask_;
+  std::vector<NodeId> frontier_;
+  std::vector<CentralCandidate> centrals_;
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,202 @@
+#include "core/bottom_up.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace wikisearch {
+
+namespace {
+
+/// Algorithm 2 body for one frontier node and one BFS instance at level l.
+/// Writes are single-valued per cell at a given level (Thm. V.2), so no
+/// synchronization is needed beyond relaxed atomics.
+inline void ExpandFrontierInstance(const KnowledgeGraph& g,
+                                   const ActivationMap& act,
+                                   SearchState* state, NodeId vf, size_t i,
+                                   int l) {
+  Level hif = state->Hit(vf, i);
+  if (hif == kLevelInf || static_cast<int>(hif) > l) return;
+  for (const AdjEntry& e : g.Neighbors(vf)) {
+    NodeId vn = e.target;
+    if (state->Hit(vn, i) != kLevelInf) continue;  // hit once per instance
+    if (!state->IsKeywordNode(vn)) {
+      // Non-keyword nodes may only be hit once their activation level is
+      // reached; retry this frontier at the next level otherwise.
+      int an = act.Level(g.NodeWeight(vn));
+      if (an > l + 1) {
+        state->FlagFrontier(vf);
+        continue;
+      }
+    }
+    state->SetHit(vn, i, static_cast<Level>(l + 1));
+    state->FlagFrontier(vn);
+  }
+}
+
+/// Frontier-level gate of Algorithm 2 (lines 2-7). Returns true if vf may
+/// expand at level l.
+inline bool FrontierMayExpand(const KnowledgeGraph& g,
+                              const ActivationMap& act, SearchState* state,
+                              NodeId vf, int l) {
+  if (state->IsCentral(vf)) return false;  // unavailable once identified
+  int af = act.Level(g.NodeWeight(vf));
+  if (af > l) {
+    // Keyword-node compromise (Sec. IV-B): hit freely, expand only once the
+    // global level reaches the activation level. Applies to all nodes.
+    state->FlagFrontier(vf);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+BottomUpResult BottomUpSearch(const QueryContext& ctx,
+                              const SearchOptions& opts, ThreadPool* pool,
+                              SearchState* state, PhaseTimings* timings,
+                              bool gpu_style,
+                              const ProgressCallback& progress) {
+  const KnowledgeGraph& g = *ctx.graph;
+  const ActivationMap& act = ctx.activation;
+  const size_t n = g.num_nodes();
+  const size_t q = ctx.num_keywords();
+  BottomUpResult result;
+  WallTimer timer;
+
+  // ---- Initialization (fork/join in Alg. 1 line 2) ------------------------
+  timer.Restart();
+  state->Init(ctx.keyword_nodes);
+  timings->init_ms += timer.ElapsedMs();
+
+  std::vector<NodeId>& frontier = state->frontier();
+  std::vector<CentralCandidate> level_candidates;
+  const size_t wanted = static_cast<size_t>(std::max(opts.top_k, 1));
+
+  int l = 0;
+  const int lmax = std::min(ctx.lmax, 250);  // Level is one byte
+  while (true) {
+    // ---- Enqueuing frontiers ----------------------------------------------
+    timer.Restart();
+    if (!gpu_style) {
+      // Paper: on CPU, a sequential scan beats locked parallel writes.
+      frontier.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (state->IsFrontierFlagged(v)) {
+          frontier.push_back(v);
+          state->ClearFrontierFlag(v);
+        }
+      }
+    } else {
+      // GPU shape: parallel compaction with an atomic write cursor (the
+      // "locked" enqueue that pays off only with GPU memory bandwidth).
+      frontier.resize(n);
+      std::atomic<size_t> cursor{0};
+      pool->ParallelForChunked(n, DefaultGrain(n, pool->threads()),
+                               [&](size_t lo, size_t hi) {
+                                 for (size_t v = lo; v < hi; ++v) {
+                                   NodeId node = static_cast<NodeId>(v);
+                                   if (!state->IsFrontierFlagged(node)) {
+                                     continue;
+                                   }
+                                   state->ClearFrontierFlag(node);
+                                   size_t at = cursor.fetch_add(
+                                       1, std::memory_order_relaxed);
+                                   frontier[at] = node;
+                                 }
+                               });
+      frontier.resize(cursor.load(std::memory_order_relaxed));
+    }
+    timings->enqueue_ms += timer.ElapsedMs();
+
+    if (frontier.empty()) {
+      result.frontier_exhausted = true;
+      break;
+    }
+    result.peak_frontier = std::max(result.peak_frontier, frontier.size());
+    result.total_frontier_work += frontier.size();
+
+    // ---- Identifying Central Nodes (Lemma V.1) -----------------------------
+    timer.Restart();
+    level_candidates.assign(frontier.size(), CentralCandidate{kInvalidNode, 0});
+    std::atomic<size_t> ncand{0};
+    pool->ParallelForDynamic(
+        frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
+        [&](size_t idx) {
+          NodeId v = frontier[idx];
+          if (state->IsCentral(v)) return;
+          for (size_t i = 0; i < q; ++i) {
+            if (state->Hit(v, i) == kLevelInf) return;
+          }
+          state->MarkCentral(v);
+          size_t at = ncand.fetch_add(1, std::memory_order_relaxed);
+          level_candidates[at] = CentralCandidate{v, l};
+        });
+    level_candidates.resize(ncand.load(std::memory_order_relaxed));
+    // Deterministic order regardless of scheduling.
+    std::sort(level_candidates.begin(), level_candidates.end(),
+              [](const CentralCandidate& a, const CentralCandidate& b) {
+                return a.node < b.node;
+              });
+    for (const CentralCandidate& c : level_candidates) {
+      if (state->centrals().size() < opts.max_central_candidates) {
+        state->centrals().push_back(c);
+      }
+    }
+    timings->identify_ms += timer.ElapsedMs();
+
+    if (progress) {
+      LevelProgress snapshot{l, frontier.size(), state->centrals().size()};
+      if (!progress(snapshot)) {
+        result.cancelled = true;
+        result.levels = l;
+        break;
+      }
+    }
+
+    // Stop at the smallest depth d with >= k Central Graphs (Def. 4).
+    if (state->centrals().size() >= wanted) {
+      result.levels = l;
+      break;
+    }
+    if (l >= lmax) {
+      result.levels = l;
+      break;
+    }
+
+    // ---- Expansion (Algorithm 2) -------------------------------------------
+    timer.Restart();
+    if (!gpu_style) {
+      // CPU-Par: coarse grain — one dynamic task per frontier node.
+      pool->ParallelForDynamic(
+          frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
+          [&](size_t idx) {
+            NodeId vf = frontier[idx];
+            if (!FrontierMayExpand(g, act, state, vf, l)) return;
+            for (size_t i = 0; i < q; ++i) {
+              ExpandFrontierInstance(g, act, state, vf, i, l);
+            }
+          });
+    } else {
+      // GPU shape: one warp per (frontier, BFS-instance) pair; the pair's
+      // neighbor loop plays the role of the warp's threads.
+      const size_t pairs = frontier.size() * q;
+      pool->ParallelForDynamic(
+          pairs, DefaultGrain(pairs, pool->threads()), [&](size_t idx) {
+            NodeId vf = frontier[idx / q];
+            size_t i = idx % q;
+            if (!FrontierMayExpand(g, act, state, vf, l)) return;
+            ExpandFrontierInstance(g, act, state, vf, i, l);
+          });
+    }
+    timings->expansion_ms += timer.ElapsedMs();
+
+    ++l;
+    result.levels = l;
+  }
+  timings->levels = result.levels;
+  return result;
+}
+
+}  // namespace wikisearch

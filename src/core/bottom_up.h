@@ -1,0 +1,53 @@
+// Stage 1: lock-free bottom-up search (Sec. V-B) solving the top-(k,d)
+// Central Graph problem (Def. 4). One BFS instance per keyword advances in
+// lock-step over a joint frontier array; hitting levels accumulate in the
+// node-keyword matrix; Central Nodes are identified per level (Lemma V.1)
+// and the search stops at the smallest depth d yielding >= k of them.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "core/bfs_state.h"
+#include "core/phase_timings.h"
+#include "core/query_context.h"
+#include "core/search_options.h"
+
+namespace wikisearch {
+
+/// Per-level progress snapshot delivered to progressive searches after the
+/// identification step of each level.
+struct LevelProgress {
+  int level = 0;
+  size_t frontier_size = 0;
+  size_t centrals_so_far = 0;
+};
+
+/// Return false to cancel the search; already-identified Central Nodes are
+/// still processed by stage 2, so a cancelled query yields the best answers
+/// found so far (progressive answering).
+using ProgressCallback = std::function<bool(const LevelProgress&)>;
+
+struct BottomUpResult {
+  /// Number of expansion levels executed.
+  int levels = 0;
+  /// True if the search ended because no frontiers remained.
+  bool frontier_exhausted = false;
+  /// Largest single-level frontier observed.
+  size_t peak_frontier = 0;
+  /// Sum of frontier sizes over all levels (re-queued nodes counted again).
+  size_t total_frontier_work = 0;
+  /// True if a progress callback cancelled the search.
+  bool cancelled = false;
+};
+
+/// Runs stage 1. `gpu_style` selects the kGpuSim execution shape: parallel
+/// frontier compaction via atomic cursor and warp-style
+/// (frontier x BFS-instance) work decomposition; otherwise the CPU-Par shape
+/// (sequential enqueue, one frontier per dynamic task) is used. Results are
+/// identical; only scheduling differs (Thm. V.2).
+BottomUpResult BottomUpSearch(const QueryContext& ctx,
+                              const SearchOptions& opts, ThreadPool* pool,
+                              SearchState* state, PhaseTimings* timings,
+                              bool gpu_style,
+                              const ProgressCallback& progress = nullptr);
+
+}  // namespace wikisearch

@@ -1,0 +1,155 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+#include "core/activation.h"
+#include "core/bottom_up.h"
+#include "core/engine_dynamic.h"
+#include "core/query_context.h"
+#include "core/top_down.h"
+
+namespace wikisearch {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSequential:
+      return "Sequential";
+    case EngineKind::kCpuParallel:
+      return "CPU-Par";
+    case EngineKind::kCpuDynamic:
+      return "CPU-Par-d";
+    case EngineKind::kGpuSim:
+      return "GPU-Par(sim)";
+  }
+  return "Unknown";
+}
+
+SearchEngine::SearchEngine(const KnowledgeGraph* graph,
+                           const InvertedIndex* index, SearchOptions defaults)
+    : graph_(graph), index_(index), defaults_(defaults) {}
+
+SearchEngine::~SearchEngine() = default;
+
+ThreadPool* SearchEngine::PoolFor(int threads) {
+  threads = std::max(threads, 1);
+  if (!pool_ || pool_->threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+Result<SearchResult> SearchEngine::Search(const std::string& query) {
+  return Search(query, defaults_);
+}
+
+Result<SearchResult> SearchEngine::Search(const std::string& query,
+                                          const SearchOptions& opts) {
+  return SearchKeywords(index_->AnalyzeQuery(query), opts);
+}
+
+Result<SearchResult> SearchEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, const SearchOptions& opts) {
+  return SearchKeywordsProgressive(keywords, opts, nullptr);
+}
+
+Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
+    const std::vector<std::string>& keywords, const SearchOptions& opts,
+    const ProgressCallback& progress) {
+  if (!graph_->has_weights()) {
+    return Status::FailedPrecondition(
+        "graph has no node weights; call AttachNodeWeights first");
+  }
+  if (graph_->average_distance() <= 0.0) {
+    return Status::FailedPrecondition(
+        "graph has no sampled average distance; call AttachAverageDistance");
+  }
+  if (opts.alpha <= 0.0 || opts.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+  if (keywords.empty()) {
+    return Status::InvalidArgument("empty keyword query");
+  }
+
+  SearchResult result;
+  WallTimer total_timer;
+
+  // Resolve keyword node sets T_i; drop keywords without matches.
+  std::vector<std::vector<NodeId>> t_i;
+  for (const std::string& kw : keywords) {
+    std::span<const NodeId> postings = index_->Lookup(kw);
+    if (postings.empty()) {
+      result.stats.dropped_keywords.push_back(kw);
+      continue;
+    }
+    t_i.emplace_back(postings.begin(), postings.end());
+    result.keywords.push_back(kw);
+  }
+  if (t_i.empty()) {
+    return Status::NotFound("no query keyword matches any node");
+  }
+  if (t_i.size() > 64) {
+    return Status::InvalidArgument("at most 64 keywords are supported");
+  }
+  result.stats.num_keywords_used = t_i.size();
+
+  const bool sequential = opts.engine == EngineKind::kSequential;
+  ThreadPool* pool = PoolFor(sequential ? 1 : opts.threads);
+
+  int lmax = opts.max_level;
+  if (lmax <= 0) {
+    lmax = 2 * static_cast<int>(std::ceil(graph_->average_distance())) + 2;
+  }
+  ActivationMap activation(graph_->average_distance(), opts.alpha,
+                           opts.enable_activation);
+  QueryContext ctx(graph_, result.keywords, std::move(t_i), activation, lmax);
+
+  result.stats.pre_storage_bytes = graph_->PreStorageBytes();
+
+  if (opts.engine == EngineKind::kCpuDynamic && progress) {
+    return Status::InvalidArgument(
+        "progressive search is not supported by the dynamic engine");
+  }
+  if (opts.engine == EngineKind::kCpuDynamic) {
+    internal::DynamicRunInfo info;
+    result.answers = internal::RunDynamicEngine(ctx, opts, pool,
+                                                &result.timings, &info);
+    result.stats.num_centrals = info.num_centrals;
+    result.stats.levels = info.levels;
+    result.stats.frontier_exhausted = info.frontier_exhausted;
+    result.stats.peak_frontier = info.peak_frontier;
+    result.stats.total_frontier_work = info.total_frontier_work;
+    result.stats.running_storage_bytes = info.running_storage_bytes;
+  } else {
+    const bool gpu_style = opts.engine == EngineKind::kGpuSim;
+    SearchState state(graph_->num_nodes(), ctx.num_keywords());
+    BottomUpResult bottom = BottomUpSearch(ctx, opts, pool, &state,
+                                           &result.timings, gpu_style,
+                                           progress);
+    result.stats.cancelled = bottom.cancelled;
+    if (gpu_style) {
+      // Model the device->host transfer of M at the paper's quoted
+      // ~12 GB/s PCIe bandwidth (Sec. V-B): bytes / 12e6 gives ms.
+      double bytes = static_cast<double>(graph_->num_nodes()) *
+                     static_cast<double>(ctx.num_keywords());
+      result.timings.transfer_ms += bytes / 12e6;
+    }
+    StateHitLevels hits(state);
+    auto mask = [&state](NodeId v) { return state.KeywordMask(v); };
+    result.answers = TopDownProcess(ctx, opts, pool, hits, state.centrals(),
+                                    mask, &result.timings);
+    result.stats.num_centrals = state.centrals().size();
+    result.stats.levels = bottom.levels;
+    result.stats.frontier_exhausted = bottom.frontier_exhausted;
+    result.stats.peak_frontier = bottom.peak_frontier;
+    result.stats.total_frontier_work = bottom.total_frontier_work;
+    result.stats.running_storage_bytes = state.RunningStorageBytes();
+  }
+
+  result.timings.total_ms = total_timer.ElapsedMs() +
+                            result.timings.transfer_ms;
+  return result;
+}
+
+}  // namespace wikisearch

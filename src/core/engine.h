@@ -1,0 +1,99 @@
+// Public facade of the Central Graph keyword search engine.
+//
+// Usage:
+//   KnowledgeGraph graph = ...;            // load or generate
+//   AttachNodeWeights(&graph);             // Eq. 2
+//   AttachAverageDistance(&graph);         // sampled A
+//   InvertedIndex index = InvertedIndex::Build(graph);
+//   SearchEngine engine(&graph, &index);
+//   auto result = engine.Search("xml rdf sql");
+//   for (const AnswerGraph& a : result->answers) ...
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/answer.h"
+#include "core/bottom_up.h"
+#include "core/phase_timings.h"
+#include "core/search_options.h"
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch {
+
+/// Non-timing measurements of one query.
+struct SearchStats {
+  /// Keywords that survived analysis and had non-empty posting lists.
+  size_t num_keywords_used = 0;
+  /// Query terms dropped for lack of matches.
+  std::vector<std::string> dropped_keywords;
+  /// Central Nodes identified in stage 1 (the top-(k,d) candidate set).
+  size_t num_centrals = 0;
+  /// True if a progressive search was cancelled by its callback.
+  bool cancelled = false;
+  int levels = 0;
+  bool frontier_exhausted = false;
+  size_t peak_frontier = 0;
+  size_t total_frontier_work = 0;
+  /// Dynamic search-state bytes (Table IV "running storage" minus
+  /// pre-storage).
+  size_t running_storage_bytes = 0;
+  /// Graph pre-storage bytes (CSR + weights + dictionaries).
+  size_t pre_storage_bytes = 0;
+};
+
+struct SearchResult {
+  /// Final answers, best first.
+  std::vector<AnswerGraph> answers;
+  /// The analyzed keywords actually searched, one per BFS instance.
+  std::vector<std::string> keywords;
+  PhaseTimings timings;
+  SearchStats stats;
+};
+
+/// Thread-compatible facade: one instance may serve many sequential queries;
+/// concurrent queries should use separate instances (they would share the
+/// worker pool).
+class SearchEngine {
+ public:
+  /// `graph` must have node weights and a sampled average distance attached;
+  /// both pointers must outlive the engine.
+  SearchEngine(const KnowledgeGraph* graph, const InvertedIndex* index,
+               SearchOptions defaults = {});
+  ~SearchEngine();
+
+  /// Free-text query: analyzed with the index's analyzer, unknown terms
+  /// dropped (reported in stats). Fails if no term matches any node.
+  Result<SearchResult> Search(const std::string& query);
+  Result<SearchResult> Search(const std::string& query,
+                              const SearchOptions& opts);
+
+  /// Pre-split keywords (each analyzed individually).
+  Result<SearchResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                      const SearchOptions& opts);
+
+  /// Progressive search: `progress` is invoked after every BFS level with
+  /// (level, frontier size, centrals found). Returning false cancels the
+  /// bottom-up stage; the Central Nodes found so far still go through
+  /// stage 2, so a cancelled query returns its best partial answers.
+  /// Not supported for EngineKind::kCpuDynamic.
+  Result<SearchResult> SearchKeywordsProgressive(
+      const std::vector<std::string>& keywords, const SearchOptions& opts,
+      const ProgressCallback& progress);
+
+  const SearchOptions& default_options() const { return defaults_; }
+
+ private:
+  ThreadPool* PoolFor(int threads);
+
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* index_;
+  SearchOptions defaults_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,294 @@
+#include "core/engine_dynamic.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/extraction.h"
+#include "core/level_cover.h"
+#include "core/top_down.h"
+
+namespace wikisearch::internal {
+
+namespace {
+
+/// Per-node dynamically allocated search data — what the paper's CPU-Par-d
+/// maintains instead of the flat node-keyword matrix. Hitting-path parents
+/// are recorded during the search, so stage 2 needs no extraction.
+struct DynNode {
+  std::unordered_map<uint32_t, Level> hit;
+  std::unordered_map<uint32_t, std::vector<NodeId>> parents;
+  uint64_t keyword_mask = 0;
+  bool central = false;
+  int central_depth = -1;
+};
+
+class DynamicState {
+ public:
+  DynamicState(size_t n, size_t q) : q_(q), nodes_(n) {}
+
+  static constexpr size_t kStripes = 1024;
+
+  std::mutex& StripeFor(NodeId v) { return stripes_[v % kStripes]; }
+
+  /// Must be called with StripeFor(v) held.
+  DynNode& NodeLocked(NodeId v) {
+    if (!nodes_[v]) nodes_[v] = std::make_unique<DynNode>();
+    return *nodes_[v];
+  }
+
+  const DynNode* NodeOrNull(NodeId v) const { return nodes_[v].get(); }
+
+  void FlagFrontier(NodeId v) {
+    std::lock_guard<std::mutex> lock(frontier_mu_);
+    next_frontier_.insert(v);
+  }
+
+  /// Drains the flagged set into a sorted frontier vector.
+  std::vector<NodeId> TakeFrontier() {
+    std::lock_guard<std::mutex> lock(frontier_mu_);
+    std::vector<NodeId> frontier(next_frontier_.begin(), next_frontier_.end());
+    next_frontier_.clear();
+    std::sort(frontier.begin(), frontier.end());
+    return frontier;
+  }
+
+  size_t EstimateStorageBytes() const {
+    size_t bytes = nodes_.size() * sizeof(void*);
+    for (const auto& ptr : nodes_) {
+      if (!ptr) continue;
+      bytes += sizeof(DynNode);
+      bytes += ptr->hit.size() * 32;  // entry + bucket overhead estimate
+      for (const auto& [kw, par] : ptr->parents) {
+        bytes += 32 + par.capacity() * sizeof(NodeId);
+      }
+    }
+    return bytes;
+  }
+
+  size_t q() const { return q_; }
+
+ private:
+  size_t q_;
+  std::vector<std::unique_ptr<DynNode>> nodes_;
+  std::mutex stripes_[kStripes];
+  std::mutex frontier_mu_;
+  std::unordered_set<NodeId> next_frontier_;
+};
+
+/// HitLevels adapter so the shared BuildAnswer/selection code can read the
+/// dynamic structures (used only after the search, when they are frozen).
+class DynamicHitLevels final : public HitLevels {
+ public:
+  explicit DynamicHitLevels(const DynamicState& state) : state_(state) {}
+  Level Hit(NodeId v, size_t i) const override {
+    const DynNode* n = state_.NodeOrNull(v);
+    if (n == nullptr) return kLevelInf;
+    auto it = n->hit.find(static_cast<uint32_t>(i));
+    return it == n->hit.end() ? kLevelInf : it->second;
+  }
+  bool IsKeywordNode(NodeId v) const override {
+    const DynNode* n = state_.NodeOrNull(v);
+    return n != nullptr && n->keyword_mask != 0;
+  }
+  bool IsCentral(NodeId v) const override {
+    const DynNode* n = state_.NodeOrNull(v);
+    return n != nullptr && n->central;
+  }
+
+ private:
+  const DynamicState& state_;
+};
+
+/// Rebuilds the hitting-path DAGs for one central from recorded parents.
+ExtractedGraph BuildFromParents(const DynamicState& state,
+                                CentralCandidate central, size_t q) {
+  ExtractedGraph eg;
+  eg.central = central.node;
+  eg.depth = central.depth;
+  eg.dag.resize(q);
+  std::vector<NodeId> queue;
+  std::unordered_set<NodeId> visited;
+  for (size_t i = 0; i < q; ++i) {
+    queue.assign(1, central.node);
+    visited.clear();
+    visited.insert(central.node);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId child = queue[head];
+      const DynNode* n = state.NodeOrNull(child);
+      if (n == nullptr) continue;
+      auto it = n->parents.find(static_cast<uint32_t>(i));
+      if (it == n->parents.end()) continue;
+      for (NodeId parent : it->second) {
+        eg.dag[i].emplace_back(parent, child);
+        if (visited.insert(parent).second) queue.push_back(parent);
+      }
+    }
+    std::sort(eg.dag[i].begin(), eg.dag[i].end());
+    eg.dag[i].erase(std::unique(eg.dag[i].begin(), eg.dag[i].end()),
+                    eg.dag[i].end());
+  }
+  return eg;
+}
+
+}  // namespace
+
+std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
+                                          const SearchOptions& opts,
+                                          ThreadPool* pool,
+                                          PhaseTimings* timings,
+                                          DynamicRunInfo* info) {
+  const KnowledgeGraph& g = *ctx.graph;
+  const ActivationMap& act = ctx.activation;
+  const size_t n = g.num_nodes();
+  const size_t q = ctx.num_keywords();
+  WallTimer timer;
+
+  // ---- Initialization (locked, dynamic allocation per keyword node) -------
+  timer.Restart();
+  DynamicState state(n, q);
+  std::vector<uint8_t> is_keyword(n, 0);
+  for (size_t i = 0; i < q; ++i) {
+    for (NodeId v : ctx.keyword_nodes[i]) is_keyword[v] = 1;
+  }
+  pool->ParallelForDynamic(q, 1, [&](size_t i) {
+    for (NodeId v : ctx.keyword_nodes[i]) {
+      std::lock_guard<std::mutex> lock(state.StripeFor(v));
+      DynNode& node = state.NodeLocked(v);
+      node.hit[static_cast<uint32_t>(i)] = 0;
+      node.keyword_mask |= (1ULL << i);
+      state.FlagFrontier(v);
+    }
+  });
+  timings->init_ms += timer.ElapsedMs();
+
+  std::vector<CentralCandidate> centrals;
+  std::mutex centrals_mu;
+  const size_t wanted = static_cast<size_t>(std::max(opts.top_k, 1));
+  const int lmax = std::min(ctx.lmax, 250);
+
+  int l = 0;
+  while (true) {
+    timer.Restart();
+    std::vector<NodeId> frontier = state.TakeFrontier();
+    timings->enqueue_ms += timer.ElapsedMs();
+    if (frontier.empty()) {
+      info->frontier_exhausted = true;
+      break;
+    }
+    info->peak_frontier = std::max(info->peak_frontier, frontier.size());
+    info->total_frontier_work += frontier.size();
+
+    // ---- Identify Central Nodes -------------------------------------------
+    timer.Restart();
+    std::vector<CentralCandidate> found;
+    pool->ParallelForDynamic(
+        frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
+        [&](size_t idx) {
+          NodeId v = frontier[idx];
+          std::lock_guard<std::mutex> lock(state.StripeFor(v));
+          DynNode& node = state.NodeLocked(v);
+          if (node.central || node.hit.size() != q) return;
+          node.central = true;
+          node.central_depth = l;
+          std::lock_guard<std::mutex> clock(centrals_mu);
+          found.push_back(CentralCandidate{v, l});
+        });
+    std::sort(found.begin(), found.end(),
+              [](const CentralCandidate& a, const CentralCandidate& b) {
+                return a.node < b.node;
+              });
+    for (const CentralCandidate& c : found) {
+      if (centrals.size() < opts.max_central_candidates) centrals.push_back(c);
+    }
+    timings->identify_ms += timer.ElapsedMs();
+
+    if (centrals.size() >= wanted || l >= lmax) {
+      info->levels = l;
+      break;
+    }
+
+    // ---- Expansion (locked reads and writes) --------------------------------
+    timer.Restart();
+    pool->ParallelForDynamic(
+        frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
+        [&](size_t idx) {
+          NodeId vf = frontier[idx];
+          // Snapshot vf's state under its lock.
+          std::unordered_map<uint32_t, Level> hits_copy;
+          bool central;
+          {
+            std::lock_guard<std::mutex> lock(state.StripeFor(vf));
+            DynNode& node = state.NodeLocked(vf);
+            central = node.central;
+            hits_copy = node.hit;
+          }
+          if (central) return;
+          int af = act.Level(g.NodeWeight(vf));
+          if (af > l) {
+            state.FlagFrontier(vf);
+            return;
+          }
+          for (const auto& [kw, h] : hits_copy) {
+            if (static_cast<int>(h) > l) continue;
+            for (const AdjEntry& e : g.Neighbors(vf)) {
+              NodeId vn = e.target;
+              if (!is_keyword[vn]) {
+                int an = act.Level(g.NodeWeight(vn));
+                if (an > l + 1) {
+                  state.FlagFrontier(vf);
+                  continue;
+                }
+              }
+              bool newly_hit = false;
+              {
+                std::lock_guard<std::mutex> lock(state.StripeFor(vn));
+                DynNode& node = state.NodeLocked(vn);
+                auto it = node.hit.find(kw);
+                if (it != node.hit.end()) {
+                  // Hit at the same level by several frontiers: all of them
+                  // are hitting-path parents.
+                  if (static_cast<int>(it->second) == l + 1) {
+                    node.parents[kw].push_back(vf);
+                  }
+                } else {
+                  node.hit[kw] = static_cast<Level>(l + 1);
+                  node.parents[kw].push_back(vf);
+                  newly_hit = true;
+                }
+              }
+              if (newly_hit) state.FlagFrontier(vn);
+            }
+          }
+        });
+    timings->expansion_ms += timer.ElapsedMs();
+
+    ++l;
+    info->levels = l;
+  }
+  timings->levels = info->levels;
+  info->num_centrals = centrals.size();
+  info->running_storage_bytes = state.EstimateStorageBytes();
+
+  // ---- Top-down: no extraction needed; prune + rank recorded graphs -------
+  timer.Restart();
+  std::vector<AnswerGraph> candidates(centrals.size());
+  pool->ParallelForDynamic(centrals.size(), 1, [&](size_t idx) {
+    ExtractedGraph eg = BuildFromParents(state, centrals[idx], q);
+    auto mask = [&state](NodeId v) {
+      const DynNode* node = state.NodeOrNull(v);
+      return node == nullptr ? 0ULL : node->keyword_mask;
+    };
+    candidates[idx] = BuildAnswer(g, eg, q, mask, opts.enable_level_cover,
+                                  opts.lambda);
+  });
+  std::vector<AnswerGraph> answers = SelectTopK(std::move(candidates), opts);
+  timings->topdown_ms += timer.ElapsedMs();
+  return answers;
+}
+
+}  // namespace wikisearch::internal

@@ -1,0 +1,35 @@
+// Internal: the paper's CPU-Par-d comparison variant (Sec. VI,
+// implementation 3). Uses dynamically allocated per-node keyword maps
+// guarded by striped locks instead of the flat node-keyword matrix, and
+// records hitting-path parents during the search so no extraction phase is
+// needed. Exists to validate the lock-free design: it must return identical
+// answers, slower.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/answer.h"
+#include "core/phase_timings.h"
+#include "core/query_context.h"
+#include "core/search_options.h"
+
+namespace wikisearch::internal {
+
+struct DynamicRunInfo {
+  size_t num_centrals = 0;
+  int levels = 0;
+  bool frontier_exhausted = false;
+  size_t peak_frontier = 0;
+  size_t total_frontier_work = 0;
+  size_t running_storage_bytes = 0;
+};
+
+/// Runs the full two-stage query with the dynamic-memory locked engine.
+std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
+                                          const SearchOptions& opts,
+                                          ThreadPool* pool,
+                                          PhaseTimings* timings,
+                                          DynamicRunInfo* info);
+
+}  // namespace wikisearch::internal

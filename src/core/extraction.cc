@@ -1,0 +1,88 @@
+#include "core/extraction.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+namespace {
+
+/// Depth (identification level) of a central node: its max hitting level
+/// (Lemma V.1). Only valid when all keywords hit v.
+int CentralDepth(const HitLevels& hits, NodeId v, size_t q) {
+  int d = 0;
+  for (size_t i = 0; i < q; ++i) {
+    d = std::max(d, static_cast<int>(hits.Hit(v, i)));
+  }
+  return d;
+}
+
+}  // namespace
+
+ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
+                                   const HitLevels& hits,
+                                   CentralCandidate central) {
+  const KnowledgeGraph& g = *ctx.graph;
+  const ActivationMap& act = ctx.activation;
+  const size_t q = ctx.num_keywords();
+
+  ExtractedGraph out;
+  out.central = central.node;
+  out.depth = central.depth;
+  out.dag.resize(q);
+
+  std::vector<NodeId> queue;
+  std::unordered_set<NodeId> visited;
+  for (size_t i = 0; i < q; ++i) {
+    queue.clear();
+    visited.clear();
+    queue.push_back(central.node);
+    visited.insert(central.node);
+    // Standard BFS from the Central Node, extracting predecessors by the
+    // Thm. V.4 recurrence.
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId vf = queue[head];
+      const int hf = static_cast<int>(hits.Hit(vf, i));
+      if (hf == 0) continue;  // a B_i source: nothing precedes it
+      WS_CHECK(hf != static_cast<int>(kLevelInf));
+      const bool vf_is_keyword = hits.IsKeywordNode(vf);
+      const int af = act.Level(g.NodeWeight(vf));
+      const int expand_level = hf - 1;  // level at which predecessors fired
+      for (const AdjEntry& e : g.Neighbors(vf)) {
+        NodeId vn = e.target;
+        Level hn_raw = hits.Hit(vn, i);
+        if (hn_raw == kLevelInf) continue;
+        const int hn = static_cast<int>(hn_raw);
+        const int an = act.Level(g.NodeWeight(vn));
+        const int expected = vf_is_keyword
+                                 ? 1 + std::max(an, hn)
+                                 : 1 + std::max({an, hn, af - 1});
+        if (hf != expected) continue;
+        // A node identified as a Central Node stops expanding (Sec. III-B);
+        // exclude predecessors that were already central when this edge
+        // would have fired.
+        if (vn != central.node && hits.IsCentral(vn) &&
+            CentralDepth(hits, vn, q) <= expand_level) {
+          continue;
+        }
+        // Parallel edges between the same pair yield one DAG edge.
+        if (!out.dag[i].empty() && out.dag[i].back().first == vn &&
+            out.dag[i].back().second == vf) {
+          continue;
+        }
+        out.dag[i].emplace_back(vn, vf);
+        if (visited.insert(vn).second) queue.push_back(vn);
+      }
+    }
+    // Deduplicate DAG edges (a pair can repeat when vf is reached via
+    // different adjacency entries).
+    std::sort(out.dag[i].begin(), out.dag[i].end());
+    out.dag[i].erase(std::unique(out.dag[i].begin(), out.dag[i].end()),
+                     out.dag[i].end());
+  }
+  return out;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,60 @@
+// Central Graph extraction (Alg. 3, Thm. V.4): given only the Central Node
+// and the node-keyword matrix left by stage 1, recover every hitting path of
+// every BFS instance by walking backwards and testing the hitting-level
+// recurrence
+//
+//   h_f = 1 + max(a_n, h_n)             if v_f is a keyword node,
+//   h_f = 1 + max(a_n, h_n, a_f - 1)    otherwise,
+//
+// which holds exactly when neighbor v_n expanded to v_f during the search.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/bfs_state.h"
+#include "core/query_context.h"
+
+namespace wikisearch {
+
+/// The recovered hitting-path DAGs of one Central Graph, one edge list per
+/// keyword; an edge (pred, succ) means pred expanded to succ in that BFS
+/// instance. The union over keywords is the Central Graph (Def. 3).
+struct ExtractedGraph {
+  NodeId central = kInvalidNode;
+  int depth = 0;
+  std::vector<std::vector<std::pair<NodeId, NodeId>>> dag;
+};
+
+/// Hitting-level oracle so extraction can run against either the lock-free
+/// flat state or the dynamic engine's per-node maps.
+class HitLevels {
+ public:
+  virtual ~HitLevels() = default;
+  virtual Level Hit(NodeId v, size_t i) const = 0;
+  virtual bool IsKeywordNode(NodeId v) const = 0;
+  /// True if v was identified as a Central Node (centrals never expand, so
+  /// paths cannot pass through them past their identification level).
+  virtual bool IsCentral(NodeId v) const = 0;
+};
+
+/// Adapter over the lock-free SearchState.
+class StateHitLevels final : public HitLevels {
+ public:
+  explicit StateHitLevels(const SearchState& state) : state_(state) {}
+  Level Hit(NodeId v, size_t i) const override { return state_.Hit(v, i); }
+  bool IsKeywordNode(NodeId v) const override {
+    return state_.IsKeywordNode(v);
+  }
+  bool IsCentral(NodeId v) const override { return state_.IsCentral(v); }
+
+ private:
+  const SearchState& state_;
+};
+
+/// Recovers the full Central Graph for `central` (identified at `depth`).
+ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
+                                   const HitLevels& hits,
+                                   CentralCandidate central);
+
+}  // namespace wikisearch

@@ -1,0 +1,131 @@
+#include "core/level_cover.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+AnswerGraph BuildAnswer(const KnowledgeGraph& g, const ExtractedGraph& eg,
+                        size_t num_keywords,
+                        const std::function<uint64_t(NodeId)>& keyword_mask,
+                        bool enable_level_cover, double lambda) {
+  const size_t q = num_keywords;
+  WS_CHECK(q >= 1 && q <= 64);
+  const uint64_t full_mask = (q == 64) ? ~0ULL : ((1ULL << q) - 1);
+
+  AnswerGraph answer;
+  answer.central = eg.central;
+  answer.depth = eg.depth;
+
+  // Per-keyword DAG node sets and forward adjacency (pred -> succs).
+  std::vector<std::unordered_set<NodeId>> dag_nodes(q);
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> dag_fwd(q);
+  for (size_t i = 0; i < q; ++i) {
+    dag_nodes[i].insert(eg.central);
+    for (const auto& [pred, succ] : eg.dag[i]) {
+      dag_nodes[i].insert(pred);
+      dag_nodes[i].insert(succ);
+      dag_fwd[i][pred].push_back(succ);
+    }
+  }
+
+  // ---- Level-cover selection of keyword nodes ------------------------------
+  // kept = keyword nodes surviving the pruning (always includes the central
+  // node's own contribution).
+  std::unordered_set<NodeId> kept;
+  if (enable_level_cover) {
+    uint64_t covered = keyword_mask(eg.central) & full_mask;
+    kept.insert(eg.central);
+    // Bucket keyword nodes (other than the central) by contribution count.
+    std::map<int, std::vector<NodeId>, std::greater<int>> buckets;
+    std::unordered_set<NodeId> seen;
+    for (size_t i = 0; i < q; ++i) {
+      for (NodeId v : dag_nodes[i]) {
+        if (v == eg.central || !seen.insert(v).second) continue;
+        uint64_t mask = keyword_mask(v) & full_mask;
+        if (mask == 0) continue;  // not a keyword node
+        buckets[std::popcount(mask)].push_back(v);
+      }
+    }
+    for (auto& [count, nodes] : buckets) {
+      if (covered == full_mask) break;  // prune all remaining buckets
+      // Nodes never cause pruning within their own level: add the whole
+      // bucket before re-checking coverage.
+      for (NodeId v : nodes) {
+        kept.insert(v);
+        covered |= keyword_mask(v) & full_mask;
+      }
+    }
+  }
+
+  // ---- Rebuild retained hitting paths --------------------------------------
+  std::unordered_set<NodeId> retained_nodes;
+  std::set<std::pair<NodeId, NodeId>> retained_pairs;
+  retained_nodes.insert(eg.central);
+
+  std::vector<NodeId> stack;
+  std::unordered_set<NodeId> visited;
+  for (size_t i = 0; i < q; ++i) {
+    // Anchors: surviving keyword nodes that lie in B_i's DAG and contain
+    // keyword i. If the pruning removed all of them (keyword i covered by a
+    // node outside DAG_i), fall back to B_i's own sources so the answer
+    // still physically connects keyword i to the Central Node.
+    std::vector<NodeId> anchors;
+    for (NodeId v : dag_nodes[i]) {
+      if ((keyword_mask(v) >> i) & 1) {
+        if (!enable_level_cover || kept.count(v)) anchors.push_back(v);
+      }
+    }
+    if (anchors.empty()) {
+      for (NodeId v : dag_nodes[i]) {
+        if ((keyword_mask(v) >> i) & 1) anchors.push_back(v);
+      }
+    }
+    // Forward reachability from the anchors through DAG_i.
+    stack.assign(anchors.begin(), anchors.end());
+    visited.clear();
+    visited.insert(stack.begin(), stack.end());
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      retained_nodes.insert(v);
+      auto it = dag_fwd[i].find(v);
+      if (it == dag_fwd[i].end()) continue;
+      for (NodeId succ : it->second) {
+        retained_pairs.emplace(v, succ);
+        if (visited.insert(succ).second) stack.push_back(succ);
+      }
+    }
+  }
+  for (const auto& [u, v] : retained_pairs) retained_nodes.insert(v);
+
+  // ---- Materialize --------------------------------------------------------
+  answer.nodes.assign(retained_nodes.begin(), retained_nodes.end());
+  std::sort(answer.nodes.begin(), answer.nodes.end());
+  for (const auto& [u, v] : retained_pairs) {
+    AppendEdgesBetween(g, u, v, &answer.edges);
+  }
+  std::sort(answer.edges.begin(), answer.edges.end());
+  answer.edges.erase(std::unique(answer.edges.begin(), answer.edges.end()),
+                     answer.edges.end());
+
+  answer.keyword_nodes.assign(q, {});
+  for (NodeId v : answer.nodes) {
+    uint64_t mask = keyword_mask(v) & full_mask;
+    while (mask != 0) {
+      int i = std::countr_zero(mask);
+      answer.keyword_nodes[static_cast<size_t>(i)].push_back(v);
+      mask &= mask - 1;
+    }
+  }
+  answer.score = ScoreAnswer(g, answer, lambda);
+  return answer;
+}
+
+}  // namespace wikisearch

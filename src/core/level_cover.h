@@ -1,0 +1,28 @@
+// Level-cover pruning and answer materialization (Sec. V-C).
+//
+// Keyword nodes of a Central Graph are bucketed by how many distinct query
+// keywords they contain; the Central Node sits at the top. Buckets are
+// consumed from most- to fewest-contributing; the moment the accumulated
+// nodes cover every keyword, all remaining buckets are pruned together with
+// the hitting paths that exist only to serve them (Fig. 5). The survivors'
+// hitting paths are re-walked forward through the per-keyword DAGs so the
+// final answer stays connected to the Central Node.
+#pragma once
+
+#include <functional>
+
+#include "core/answer.h"
+#include "core/extraction.h"
+
+namespace wikisearch {
+
+/// Materializes the final AnswerGraph from an extraction result.
+/// `keyword_mask(v)` returns the bitmask of query keywords contained in v.
+/// With `enable_level_cover == false` the full Central Graph is kept
+/// (ablation mode). The score is filled per Eq. 6 with `lambda`.
+AnswerGraph BuildAnswer(const KnowledgeGraph& g, const ExtractedGraph& eg,
+                        size_t num_keywords,
+                        const std::function<uint64_t(NodeId)>& keyword_mask,
+                        bool enable_level_cover, double lambda);
+
+}  // namespace wikisearch

@@ -1,0 +1,47 @@
+#include "core/node_weight.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace wikisearch {
+
+double RawDegreeOfSummary(const KnowledgeGraph& g, NodeId v) {
+  // Count in-edges per label. Adjacency lists are label-sorted per target
+  // but not globally, so accumulate in a small map (in-label cardinality is
+  // tiny for most nodes).
+  std::unordered_map<LabelId, uint64_t> counts;
+  for (const AdjEntry& e : g.Neighbors(v)) {
+    if (e.reverse) ++counts[e.label];
+  }
+  if (counts.empty()) return 0.0;
+  double num = 0.0, den = 0.0;
+  for (const auto& [label, c] : counts) {
+    double cd = static_cast<double>(c);
+    num += cd * std::log2(1.0 + cd);
+    den += cd;
+  }
+  return num / den;
+}
+
+std::vector<double> ComputeNodeWeights(const KnowledgeGraph& g) {
+  const size_t n = g.num_nodes();
+  std::vector<double> w(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) w[v] = RawDegreeOfSummary(g, v);
+  auto [mn_it, mx_it] = std::minmax_element(w.begin(), w.end());
+  double mn = *mn_it, mx = *mx_it;
+  double range = mx - mn;
+  if (range <= 0.0) {
+    std::fill(w.begin(), w.end(), 0.0);
+    return w;
+  }
+  for (double& x : w) x = (x - mn) / range;
+  return w;
+}
+
+void AttachNodeWeights(KnowledgeGraph* g) {
+  Status st = g->SetNodeWeights(ComputeNodeWeights(*g));
+  (void)st;  // size always matches by construction
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,30 @@
+// Degree-of-summary node weights (Sec. IV-A, Eq. 2).
+//
+// A node pointed to by many same-labeled in-edges and few distinct in-edge
+// labels is a "summary node" (`human`, a conference, a broad topic): it
+// summarizes trivial commonality and makes meaningless shortcuts during
+// search. Eq. 2 scores this tendency:
+//
+//     w_i = sum_r c_r * log2(1 + c_r) / sum_r c_r
+//
+// over the in-edge labels r of v_i with counts c_r — a c_r-weighted average
+// of log2(1 + c_r), then min-max normalized to [0, 1] over all nodes.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+/// Raw (unnormalized) Eq. 2 weight of one node.
+double RawDegreeOfSummary(const KnowledgeGraph& g, NodeId v);
+
+/// Computes normalized weights for all nodes. Nodes without in-edges get the
+/// minimum weight (they summarize nothing).
+std::vector<double> ComputeNodeWeights(const KnowledgeGraph& g);
+
+/// Computes and attaches weights to the graph.
+void AttachNodeWeights(KnowledgeGraph* g);
+
+}  // namespace wikisearch

@@ -1,0 +1,44 @@
+// Per-phase wall-clock breakdown of a query, matching the profiling
+// categories of the paper's Fig. 6/7/9/10: Initialization, Enqueuing
+// Frontier, Identifying Central Nodes, Expansion, Top-down Processing,
+// Total. kGpuSim additionally reports the modeled device->host transfer.
+#pragma once
+
+namespace wikisearch {
+
+struct PhaseTimings {
+  double init_ms = 0.0;
+  double enqueue_ms = 0.0;
+  double identify_ms = 0.0;
+  double expansion_ms = 0.0;
+  double topdown_ms = 0.0;
+  /// Modeled GPU->CPU transfer of the node-keyword matrix (kGpuSim only).
+  double transfer_ms = 0.0;
+  double total_ms = 0.0;
+  int levels = 0;
+
+  PhaseTimings& operator+=(const PhaseTimings& o) {
+    init_ms += o.init_ms;
+    enqueue_ms += o.enqueue_ms;
+    identify_ms += o.identify_ms;
+    expansion_ms += o.expansion_ms;
+    topdown_ms += o.topdown_ms;
+    transfer_ms += o.transfer_ms;
+    total_ms += o.total_ms;
+    levels += o.levels;
+    return *this;
+  }
+
+  PhaseTimings& operator/=(double d) {
+    init_ms /= d;
+    enqueue_ms /= d;
+    identify_ms /= d;
+    expansion_ms /= d;
+    topdown_ms /= d;
+    transfer_ms /= d;
+    total_ms /= d;
+    return *this;
+  }
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,35 @@
+// Per-query immutable context shared by both stages and all engine variants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/activation.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+struct QueryContext {
+  QueryContext(const KnowledgeGraph* g, std::vector<std::string> raw_keywords,
+               std::vector<std::vector<NodeId>> t_i, ActivationMap act,
+               int max_level)
+      : graph(g),
+        keywords(std::move(raw_keywords)),
+        keyword_nodes(std::move(t_i)),
+        activation(act),
+        lmax(max_level) {}
+
+  const KnowledgeGraph* graph;
+  /// Raw keywords, one per BFS instance (already analyzed/deduplicated).
+  std::vector<std::string> keywords;
+  /// T_i: the keyword node set seeding BFS instance B_i.
+  std::vector<std::vector<NodeId>> keyword_nodes;
+  ActivationMap activation;
+  /// Maximum BFS expansion level (the paper's lmax).
+  int lmax;
+
+  size_t num_keywords() const { return keyword_nodes.size(); }
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,59 @@
+// Tunable parameters of the Central Graph search engine (the paper's
+// Table III plus engineering knobs and ablation switches).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wikisearch {
+
+/// Which implementation of the two-stage algorithm executes the query.
+enum class EngineKind {
+  /// Single-threaded reference implementation (Tnum = 1 in the paper).
+  kSequential,
+  /// The paper's CPU-Par: lock-free, coarse-grained frontier parallelism,
+  /// sequential frontier enqueue (fastest on CPU per Sec. V-B).
+  kCpuParallel,
+  /// The paper's CPU-Par-d: dynamic memory + per-node locks, paths recorded
+  /// during search so no extraction phase is needed. Validation baseline.
+  kCpuDynamic,
+  /// The paper's GPU-Par, simulated on CPU (DESIGN.md substitution 2):
+  /// parallel frontier compaction with atomic cursors, warp-style
+  /// (frontier x BFS-instance) work items, device->host transfer of the
+  /// node-keyword matrix modeled explicitly.
+  kGpuSim,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+struct SearchOptions {
+  /// Number of answers to return (paper default 20).
+  int top_k = 20;
+  /// Degree-of-summary preference in (0,1); larger admits more summary
+  /// nodes (paper default 0.1, Sec. IV).
+  double alpha = 0.1;
+  /// Depth-penalty exponent of the scoring function Eq. 6 (default 0.2).
+  double lambda = 0.2;
+  /// Worker threads (paper's Tnum, default 30 on a 52-core box; scaled
+  /// down here).
+  int threads = 4;
+  /// Maximum BFS expansion level lmax; <= 0 derives 2*ceil(A) + 2 from the
+  /// graph's sampled average distance.
+  int max_level = 0;
+  EngineKind engine = EngineKind::kCpuParallel;
+
+  // --- ablation switches (all true/defaulted reproduces the paper) ---
+  /// Apply the level-cover pruning strategy (Sec. V-C).
+  bool enable_level_cover = true;
+  /// Drop Central Graphs that fully contain an already-selected answer.
+  bool dedup_answers = true;
+  /// Enforce minimum activation levels; disabling reduces the search to
+  /// plain concurrent BFSes (the paper argues the results are meaningless;
+  /// bench_ablation_design quantifies it).
+  bool enable_activation = true;
+
+  /// Safety valve: cap on Central Nodes carried into the top-down stage.
+  size_t max_central_candidates = 1 << 20;
+};
+
+}  // namespace wikisearch

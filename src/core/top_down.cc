@@ -1,0 +1,56 @@
+#include "core/top_down.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "core/level_cover.h"
+
+namespace wikisearch {
+
+std::vector<AnswerGraph> SelectTopK(std::vector<AnswerGraph> candidates,
+                                    const SearchOptions& opts) {
+  std::sort(candidates.begin(), candidates.end(), AnswerOrder);
+  std::vector<AnswerGraph> selected;
+  const size_t k = static_cast<size_t>(std::max(opts.top_k, 0));
+  for (AnswerGraph& cand : candidates) {
+    if (selected.size() >= k) break;
+    if (opts.dedup_answers) {
+      // Nested Central Graphs repeat information (Sec. VI-B): whenever a
+      // candidate's node set contains — or is contained in — an already
+      // selected answer, keep only the better-scored representative.
+      bool nested = false;
+      for (const AnswerGraph& s : selected) {
+        if (cand.ContainsAllNodesOf(s) || s.ContainsAllNodesOf(cand)) {
+          nested = true;
+          break;
+        }
+      }
+      if (nested) continue;
+    }
+    selected.push_back(std::move(cand));
+  }
+  return selected;
+}
+
+std::vector<AnswerGraph> TopDownProcess(
+    const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
+    const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
+    const std::function<uint64_t(NodeId)>& keyword_mask,
+    PhaseTimings* timings) {
+  WallTimer timer;
+  std::vector<AnswerGraph> candidates(centrals.size());
+  // One thread recovers one or more Central Graphs (dynamic scheduling, as
+  // the paper does with OpenMP).
+  pool->ParallelForDynamic(
+      centrals.size(), /*grain=*/1, [&](size_t idx) {
+        ExtractedGraph eg = ExtractCentralGraph(ctx, hits, centrals[idx]);
+        candidates[idx] =
+            BuildAnswer(*ctx.graph, eg, ctx.num_keywords(), keyword_mask,
+                        opts.enable_level_cover, opts.lambda);
+      });
+  std::vector<AnswerGraph> result = SelectTopK(std::move(candidates), opts);
+  timings->topdown_ms += timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,33 @@
+// Stage 2: top-down processing (Sec. V-C) — extract each Central Graph from
+// its Central Node, apply level-cover pruning, score with Eq. 6 and select
+// the final top-k (dropping answers nested inside already-selected ones).
+// Runs on CPU threads in all engine variants, as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/answer.h"
+#include "core/bfs_state.h"
+#include "core/extraction.h"
+#include "core/phase_timings.h"
+#include "core/query_context.h"
+#include "core/search_options.h"
+
+namespace wikisearch {
+
+/// Extracts, prunes, scores and ranks all Central Graph candidates,
+/// returning the final top-k answers sorted best-first.
+std::vector<AnswerGraph> TopDownProcess(
+    const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
+    const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
+    const std::function<uint64_t(NodeId)>& keyword_mask,
+    PhaseTimings* timings);
+
+/// Final selection shared with the dynamic engine: sorts candidate answers,
+/// removes nested duplicates (when opts.dedup_answers) and truncates to
+/// top_k.
+std::vector<AnswerGraph> SelectTopK(std::vector<AnswerGraph> candidates,
+                                    const SearchOptions& opts);
+
+}  // namespace wikisearch

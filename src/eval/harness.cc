@@ -1,0 +1,193 @@
+#include "eval/harness.h"
+
+#include <cinttypes>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+
+namespace wikisearch::eval {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atof(v);
+}
+
+}  // namespace
+
+DatasetBundle PrepareDataset(const gen::WikiGenConfig& config,
+                             const std::string& name) {
+  DatasetBundle bundle;
+  bundle.name = name;
+  WS_LOG("generating dataset %s (%zu entities)...", name.c_str(),
+         config.num_entities);
+  bundle.kb = gen::Generate(config);
+  AttachNodeWeights(&bundle.kb.graph);
+  AttachAverageDistance(&bundle.kb.graph);
+  bundle.index = InvertedIndex::Build(bundle.kb.graph);
+  WS_LOG("dataset %s ready: %zu nodes, %zu triples, A=%.2f, %zu terms",
+         name.c_str(), bundle.kb.graph.num_nodes(),
+         bundle.kb.graph.num_triples(), bundle.kb.graph.average_distance(),
+         bundle.index.num_terms());
+  return bundle;
+}
+
+gen::WikiGenConfig ScaledConfig(gen::WikiGenConfig config) {
+  double scale = EnvDouble("WS_SCALE", 1.0);
+  if (scale == 1.0) return config;
+  auto scaled = [scale](size_t v) {
+    return static_cast<size_t>(std::max(1.0, std::round(v * scale)));
+  };
+  config.num_entities = scaled(config.num_entities);
+  config.num_topic_nodes =
+      std::max(config.num_communities, scaled(config.num_topic_nodes));
+  config.vocab_size = std::max<size_t>(
+      config.vocab_size,
+      config.num_summary_nodes + config.num_communities * config.community_vocab + 256);
+  return config;
+}
+
+double BanksTimeLimitMs() { return EnvDouble("WS_BENCH_TIME_LIMIT_MS", 2000.0); }
+
+size_t BenchQueryCount() {
+  return static_cast<size_t>(EnvDouble("WS_BENCH_QUERIES", 8.0));
+}
+
+ProfiledRun ProfileEngine(const DatasetBundle& data,
+                          const std::vector<gen::Query>& queries,
+                          const SearchOptions& opts) {
+  ProfiledRun run;
+  SearchEngine engine(&data.kb.graph, &data.index, opts);
+  size_t count = 0;
+  for (const gen::Query& q : queries) {
+    Result<SearchResult> res = engine.SearchKeywords(q.keywords, opts);
+    WS_CHECK(res.ok());
+    run.avg += res->timings;
+    run.avg_answers += static_cast<double>(res->answers.size());
+    run.avg_centrals += static_cast<double>(res->stats.num_centrals);
+    run.peak_storage_bytes =
+        std::max(run.peak_storage_bytes,
+                 res->stats.running_storage_bytes +
+                     res->stats.pre_storage_bytes);
+    ++count;
+  }
+  if (count > 0) {
+    run.avg /= static_cast<double>(count);
+    run.avg_answers /= static_cast<double>(count);
+    run.avg_centrals /= static_cast<double>(count);
+  }
+  return run;
+}
+
+BanksRun ProfileBanks(const DatasetBundle& data,
+                      const std::vector<gen::Query>& queries,
+                      const banks::BanksOptions& opts) {
+  BanksRun run;
+  banks::BanksEngine engine(&data.kb.graph, &data.index);
+  size_t count = 0;
+  for (const gen::Query& q : queries) {
+    Result<banks::BanksResult> res = engine.SearchKeywords(q.keywords, opts);
+    WS_CHECK(res.ok());
+    // The paper records timed-out queries at the cap when averaging.
+    run.avg_total_ms +=
+        res->timed_out ? opts.time_limit_ms : res->elapsed_ms;
+    if (res->timed_out) ++run.timeouts;
+    ++count;
+  }
+  if (count > 0) run.avg_total_ms /= static_cast<double>(count);
+  return run;
+}
+
+namespace {
+
+// CSV sink: PrintHeader opens <WS_CSV_DIR>/<slug>.csv and PrintRow appends.
+std::FILE* g_csv = nullptr;
+
+void CsvWriteCells(const std::vector<std::string>& cells) {
+  if (g_csv == nullptr) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string escaped = cells[i];
+    bool quote = escaped.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      std::string q = "\"";
+      for (char c : escaped) {
+        if (c == '\"') q += '\"';
+        q += c;
+      }
+      q += '\"';
+      escaped = std::move(q);
+    }
+    std::fprintf(g_csv, "%s%s", i == 0 ? "" : ",", escaped.c_str());
+  }
+  std::fprintf(g_csv, "\n");
+  std::fflush(g_csv);
+}
+
+}  // namespace
+
+std::string CsvSlug(const std::string& title) {
+  std::string slug;
+  for (char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug;
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("----------------");
+  std::printf("\n");
+  const char* dir = std::getenv("WS_CSV_DIR");
+  if (g_csv != nullptr) {
+    std::fclose(g_csv);
+    g_csv = nullptr;
+  }
+  if (dir != nullptr && *dir != '\0') {
+    std::string path = std::string(dir) + "/" + CsvSlug(title) + ".csv";
+    g_csv = std::fopen(path.c_str(), "w");
+    if (g_csv == nullptr) {
+      WS_LOG("cannot open CSV sink %s", path.c_str());
+    } else {
+      CsvWriteCells(columns);
+    }
+  }
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-16s", c.c_str());
+  std::printf("\n");
+  CsvWriteCells(cells);
+}
+
+std::string FmtMs(double ms) {
+  char buf[64];
+  if (ms < 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  }
+  return buf;
+}
+
+std::string FmtPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace wikisearch::eval

@@ -1,0 +1,77 @@
+// Shared infrastructure for the bench/ binaries that regenerate the paper's
+// tables and figures: dataset preparation (generate + weight + sample A +
+// index), engine profiling over a workload, environment-variable scaling,
+// and fixed-width table printing in the paper's row format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "banks/banks.h"
+#include "core/engine.h"
+#include "gen/wikigen.h"
+#include "gen/workload.h"
+
+namespace wikisearch::eval {
+
+/// A fully prepared dataset: generated KB with node weights and sampled
+/// average distance attached, plus its inverted index.
+struct DatasetBundle {
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+  std::string name;
+};
+
+/// Generates and prepares a dataset. Prints a one-line progress note to
+/// stderr (generation takes a few seconds at bench scales).
+DatasetBundle PrepareDataset(const gen::WikiGenConfig& config,
+                             const std::string& name);
+
+/// Scales a generator config by WS_SCALE (float, default 1.0) so the same
+/// bench binaries can run from CI-quick to paper-scale.
+gen::WikiGenConfig ScaledConfig(gen::WikiGenConfig config);
+
+/// Per-query time budget for the BANKS baselines: WS_BENCH_TIME_LIMIT_MS,
+/// default 2000 (the paper's 500 s cap, scaled; timed-out queries are
+/// recorded at the cap exactly as the paper does).
+double BanksTimeLimitMs();
+
+/// Number of workload queries per configuration: WS_BENCH_QUERIES,
+/// default 8 (the paper averages 50).
+size_t BenchQueryCount();
+
+/// Average per-phase timings of the Central Graph engine over a workload.
+struct ProfiledRun {
+  PhaseTimings avg;            // per-query averages
+  double avg_answers = 0.0;
+  double avg_centrals = 0.0;
+  size_t peak_storage_bytes = 0;
+};
+ProfiledRun ProfileEngine(const DatasetBundle& data,
+                          const std::vector<gen::Query>& queries,
+                          const SearchOptions& opts);
+
+/// Average total time of a BANKS baseline over a workload (timed-out
+/// queries counted at the budget).
+struct BanksRun {
+  double avg_total_ms = 0.0;
+  size_t timeouts = 0;
+};
+BanksRun ProfileBanks(const DatasetBundle& data,
+                      const std::vector<gen::Query>& queries,
+                      const banks::BanksOptions& opts);
+
+/// Fixed-width table printing helpers. When the WS_CSV_DIR environment
+/// variable names a directory, every table is additionally written there as
+/// a CSV file named after a slug of its title, so plots can be regenerated
+/// from bench runs.
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& columns);
+void PrintRow(const std::vector<std::string>& cells);
+
+/// Slug used for the CSV file name of a table title (exposed for tests).
+std::string CsvSlug(const std::string& title);
+std::string FmtMs(double ms);
+std::string FmtPct(double fraction);
+
+}  // namespace wikisearch::eval

@@ -1,0 +1,79 @@
+#include "eval/relevance.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace wikisearch::eval {
+
+RelevanceJudge::RelevanceJudge(const gen::GeneratedKb* kb) : kb_(kb) {}
+
+int32_t RelevanceJudge::KeywordHome(const std::string& keyword) const {
+  const auto& terms = kb_->meta.community_terms;
+  for (size_t c = 0; c < terms.size(); ++c) {
+    if (std::find(terms[c].begin(), terms[c].end(), keyword) !=
+        terms[c].end()) {
+      return static_cast<int32_t>(c);
+    }
+  }
+  return -1;
+}
+
+bool RelevanceJudge::IsRelevant(const gen::Query& query,
+                                const AnswerGraph& answer) const {
+  const size_t q = query.keywords.size();
+  if (answer.keyword_nodes.size() != q) return false;
+
+  // Every keyword must be covered at all.
+  for (size_t i = 0; i < q; ++i) {
+    if (answer.keyword_nodes[i].empty()) return false;
+  }
+  if (query.target_community < 0) return true;  // Q10/Q11 mode
+
+  // Topical coherence: keywords with a planted home community must be
+  // covered by at least one node of that community.
+  const auto& community_of = kb_->meta.community_of_node;
+  for (size_t i = 0; i < q; ++i) {
+    int32_t home = KeywordHome(query.keywords[i]);
+    if (home < 0) continue;
+    bool ok = false;
+    for (NodeId v : answer.keyword_nodes[i]) {
+      if (community_of[v] == home) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+
+  // Phrase integrity: some retained node covers >= 2 query keywords.
+  if (q >= 2) {
+    std::unordered_map<NodeId, int> counts;
+    for (size_t i = 0; i < q; ++i) {
+      for (NodeId v : answer.keyword_nodes[i]) ++counts[v];
+    }
+    bool cooccurs = false;
+    for (const auto& [v, c] : counts) {
+      if (c >= 2) {
+        cooccurs = true;
+        break;
+      }
+    }
+    if (!cooccurs) return false;
+  }
+  return true;
+}
+
+double RelevanceJudge::TopKPrecision(const gen::Query& query,
+                                     const std::vector<AnswerGraph>& answers,
+                                     int k) const {
+  size_t limit = std::min<size_t>(answers.size(), static_cast<size_t>(k));
+  if (limit == 0) return 0.0;
+  size_t relevant = 0;
+  for (size_t i = 0; i < limit; ++i) {
+    if (IsRelevant(query, answers[i])) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(limit);
+}
+
+}  // namespace wikisearch::eval

@@ -1,0 +1,40 @@
+#include "gen/vocab.h"
+
+#include <unordered_set>
+
+namespace wikisearch::gen {
+
+namespace {
+
+const char* const kOnsets[] = {"b",  "d",  "f",  "g",  "k",  "l",  "m",
+                               "n",  "p",  "r",  "s",  "t",  "v",  "z",
+                               "br", "dr", "gr", "kr", "pl", "st", "tr"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u", "ai", "ei", "ou"};
+const char* const kCodas[] = {"",  "l", "n", "r", "s", "t",
+                              "x", "m", "k", "nd", "rt"};
+
+std::string MakeWord(Rng& rng, size_t syllables) {
+  std::string w;
+  for (size_t s = 0; s < syllables; ++s) {
+    w += kOnsets[rng.Uniform(std::size(kOnsets))];
+    w += kVowels[rng.Uniform(std::size(kVowels))];
+  }
+  w += kCodas[rng.Uniform(std::size(kCodas))];
+  return w;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  terms_.reserve(size);
+  while (terms_.size() < size) {
+    size_t syllables = 2 + rng.Uniform(2);  // 2-3 syllables
+    std::string w = MakeWord(rng, syllables);
+    if (w.size() < 3) continue;
+    if (seen.insert(w).second) terms_.push_back(std::move(w));
+  }
+}
+
+}  // namespace wikisearch::gen

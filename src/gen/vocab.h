@@ -1,0 +1,29 @@
+// Deterministic pseudo-word vocabulary for the synthetic knowledge base.
+// Words are pronounceable syllable strings ("veltar", "minoka") so generated
+// node names read like entity names and survive the text pipeline (they are
+// lowercase alphabetic and never stop words).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace wikisearch::gen {
+
+class Vocabulary {
+ public:
+  /// Generates `size` distinct pseudo-words, deterministic in `seed`.
+  Vocabulary(size_t size, uint64_t seed);
+
+  const std::string& term(size_t i) const { return terms_[i]; }
+  size_t size() const { return terms_.size(); }
+
+  const std::vector<std::string>& terms() const { return terms_; }
+
+ private:
+  std::vector<std::string> terms_;
+};
+
+}  // namespace wikisearch::gen

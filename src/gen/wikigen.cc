@@ -1,0 +1,260 @@
+#include "gen/wikigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace wikisearch::gen {
+
+namespace {
+
+/// Union-find used to keep the generated KB connected without a rebuild.
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+size_t SampleOutDegree(Rng& rng, double mean) {
+  // Exponential with the given mean, shifted so every entity authors at
+  // least one triple; gives a mildly heavy-tailed out-degree.
+  double u = rng.UniformDouble();
+  double x = -std::log(1.0 - u) * std::max(mean - 1.0, 0.5);
+  return 1 + static_cast<size_t>(x);
+}
+
+}  // namespace
+
+WikiGenConfig SmallConfig() {
+  WikiGenConfig cfg;
+  cfg.num_entities = 20000;
+  cfg.num_summary_nodes = 12;
+  cfg.num_topic_nodes = 60;
+  cfg.num_communities = 24;
+  cfg.vocab_size = 12000;
+  cfg.seed = 2017;  // wikisynth-S plays the wiki2017 role
+  return cfg;
+}
+
+WikiGenConfig LargeConfig() {
+  WikiGenConfig cfg;
+  cfg.num_entities = 40000;
+  cfg.num_summary_nodes = 16;
+  cfg.num_topic_nodes = 96;
+  cfg.num_communities = 32;
+  cfg.num_labels = 280;
+  cfg.vocab_size = 18000;
+  cfg.avg_out_degree = 8.0;
+  cfg.seed = 2018;  // wikisynth-L plays the wiki2018 role
+  return cfg;
+}
+
+GeneratedKb Generate(const WikiGenConfig& cfg) {
+  WS_CHECK(cfg.num_entities > 0);
+  WS_CHECK(cfg.num_communities > 0);
+  WS_CHECK(cfg.num_topic_nodes >= cfg.num_communities ||
+           cfg.num_topic_nodes == 0);
+  WS_CHECK(cfg.vocab_size >
+           cfg.num_summary_nodes + cfg.num_communities * cfg.community_vocab);
+
+  Rng rng(cfg.seed);
+  Vocabulary vocab(cfg.vocab_size, cfg.seed ^ 0x9e3779b9ULL);
+  GraphBuilder builder;
+  GeneratedKb out;
+  GenMetadata& meta = out.meta;
+  meta.num_communities = cfg.num_communities;
+
+  // ---- Labels -------------------------------------------------------------
+  // One dedicated predicate per summary hub (like Wikidata's `instance of`
+  // funneling into `human`), one `main topic` predicate, then a generic
+  // Zipf-weighted predicate vocabulary.
+  std::vector<LabelId> summary_labels(cfg.num_summary_nodes);
+  for (size_t s = 0; s < cfg.num_summary_nodes; ++s) {
+    summary_labels[s] = builder.AddLabel("class_rel_" + std::to_string(s));
+  }
+  LabelId topic_label = builder.AddLabel("main_topic");
+  LabelId bridge_label = builder.AddLabel("related_to");
+  std::vector<LabelId> generic_labels;
+  for (size_t l = 0; l < cfg.num_labels; ++l) {
+    generic_labels.push_back(builder.AddLabel("rel_" + std::to_string(l)));
+  }
+  ZipfSampler label_zipf(generic_labels.size(), 1.2);
+
+  // ---- Community vocabularies ---------------------------------------------
+  // Each community reserves a disjoint slice of mid-frequency vocabulary.
+  // Terms below the slice region stay global ("xml", "search", ...).
+  const size_t reserved_base = std::max<size_t>(cfg.num_summary_nodes, 64);
+  std::vector<size_t> slice_pool(cfg.vocab_size - reserved_base);
+  std::iota(slice_pool.begin(), slice_pool.end(), reserved_base);
+  // Deterministic shuffle.
+  for (size_t i = slice_pool.size(); i > 1; --i) {
+    std::swap(slice_pool[i - 1], slice_pool[rng.Uniform(i)]);
+  }
+  meta.community_terms.resize(cfg.num_communities);
+  size_t pool_cursor = 0;
+  for (size_t c = 0; c < cfg.num_communities; ++c) {
+    for (size_t t = 0; t < cfg.community_vocab; ++t) {
+      meta.community_terms[c].push_back(vocab.term(slice_pool[pool_cursor++]));
+    }
+  }
+
+  // ---- Nodes ---------------------------------------------------------------
+  std::unordered_set<std::string> used_names;
+  auto unique_name = [&](std::string name) {
+    if (used_names.insert(name).second) return name;
+    size_t suffix = 2;
+    std::string candidate;
+    do {
+      candidate = name + " q" + std::to_string(suffix++);
+    } while (!used_names.insert(candidate).second);
+    return candidate;
+  };
+
+  // Summary hubs get single ultra-common terms as names ("human").
+  for (size_t s = 0; s < cfg.num_summary_nodes; ++s) {
+    NodeId id = builder.AddNode(unique_name(vocab.term(s)));
+    meta.summary_nodes.push_back(id);
+  }
+
+  // Topic hubs: named by their community's leading terms ("data mining").
+  std::vector<std::vector<NodeId>> topics_of_community(cfg.num_communities);
+  for (size_t t = 0; t < cfg.num_topic_nodes; ++t) {
+    size_t c = t % cfg.num_communities;
+    const auto& terms = meta.community_terms[c];
+    std::string name = terms[0] + " " + terms[1 + (t / cfg.num_communities) %
+                                                    (terms.size() - 1)];
+    NodeId id = builder.AddNode(unique_name(name));
+    topics_of_community[c].push_back(id);
+    meta.topic_nodes.push_back(id);
+  }
+
+  // Entities.
+  ZipfSampler global_zipf(cfg.vocab_size, cfg.zipf_exponent);
+  std::vector<NodeId> entities;
+  std::vector<int32_t> community_of_entity;
+  std::vector<std::vector<NodeId>> members(cfg.num_communities);
+  entities.reserve(cfg.num_entities);
+  for (size_t e = 0; e < cfg.num_entities; ++e) {
+    int32_t community = -1;
+    if (rng.UniformDouble() < cfg.community_member_fraction) {
+      community = static_cast<int32_t>(rng.Uniform(cfg.num_communities));
+    }
+    size_t k = cfg.name_terms_min +
+               rng.Uniform(cfg.name_terms_max - cfg.name_terms_min + 1);
+    std::string name;
+    size_t topical =
+        community >= 0
+            ? static_cast<size_t>(std::lround(k * cfg.topical_name_fraction))
+            : 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (!name.empty()) name += ' ';
+      if (i < topical) {
+        const auto& terms = meta.community_terms[community];
+        name += terms[rng.Uniform(terms.size())];
+      } else {
+        name += vocab.term(global_zipf.Sample(rng));
+      }
+    }
+    NodeId id = builder.AddNode(unique_name(name));
+    entities.push_back(id);
+    community_of_entity.push_back(community);
+    if (community >= 0) members[community].push_back(id);
+  }
+
+  const size_t total_nodes = builder.num_nodes();
+  meta.community_of_node.assign(total_nodes, -1);
+  for (size_t c = 0; c < cfg.num_communities; ++c) {
+    for (NodeId t : topics_of_community[c]) {
+      meta.community_of_node[t] = static_cast<int32_t>(c);
+    }
+  }
+  for (size_t e = 0; e < entities.size(); ++e) {
+    meta.community_of_node[entities[e]] = community_of_entity[e];
+  }
+
+  // ---- Edges ---------------------------------------------------------------
+  Dsu dsu(total_nodes);
+  // Preferential-attachment pool: entities and topics, re-inserted on every
+  // received edge; summary hubs are excluded (their in-degree comes solely
+  // from their dedicated predicate, mirroring `instance of`).
+  std::vector<NodeId> pa_pool;
+  pa_pool.reserve(total_nodes * 4);
+  for (NodeId t : meta.topic_nodes) pa_pool.push_back(t);
+  for (NodeId e : entities) pa_pool.push_back(e);
+
+  ZipfSampler summary_zipf(cfg.num_summary_nodes, 1.3);
+
+  auto add_edge = [&](NodeId src, NodeId dst, LabelId label) {
+    WS_CHECK(builder.AddEdge(src, dst, label).ok());
+    dsu.Union(src, dst);
+  };
+
+  for (size_t e = 0; e < entities.size(); ++e) {
+    NodeId src = entities[e];
+    int32_t community = community_of_entity[e];
+    size_t out_deg = SampleOutDegree(rng, cfg.avg_out_degree);
+    for (size_t d = 0; d < out_deg; ++d) {
+      NodeId dst = kInvalidNode;
+      bool intra = community >= 0 &&
+                   rng.UniformDouble() < cfg.intra_community_prob &&
+                   members[community].size() > 1;
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        NodeId candidate =
+            intra ? members[community][rng.Uniform(members[community].size())]
+                  : pa_pool[rng.Uniform(pa_pool.size())];
+        if (candidate != src) {
+          dst = candidate;
+          break;
+        }
+      }
+      if (dst == kInvalidNode) continue;
+      LabelId label = generic_labels[label_zipf.Sample(rng)];
+      add_edge(src, dst, label);
+      pa_pool.push_back(dst);
+    }
+    if (rng.UniformDouble() < cfg.summary_attach_prob &&
+        cfg.num_summary_nodes > 0) {
+      size_t s = summary_zipf.Sample(rng);
+      add_edge(src, meta.summary_nodes[s], summary_labels[s]);
+    }
+    if (community >= 0 && !topics_of_community[community].empty() &&
+        rng.UniformDouble() < cfg.topic_attach_prob) {
+      const auto& topics = topics_of_community[community];
+      add_edge(src, topics[rng.Uniform(topics.size())], topic_label);
+    }
+  }
+
+  // ---- Connectivity --------------------------------------------------------
+  // Bridge every residual component into the component of entity 0 so that
+  // queries never fail for trivial reachability reasons.
+  if (!entities.empty()) {
+    size_t main_root = dsu.Find(entities[0]);
+    for (NodeId v = 0; v < total_nodes; ++v) {
+      if (dsu.Find(v) != main_root) {
+        NodeId anchor = entities[rng.Uniform(entities.size())];
+        add_edge(v, anchor, bridge_label);
+        main_root = dsu.Find(entities[0]);
+      }
+    }
+  }
+
+  out.graph = std::move(builder).Build();
+  return out;
+}
+
+}  // namespace wikisearch::gen

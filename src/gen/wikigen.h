@@ -1,0 +1,84 @@
+// "wikigen": deterministic synthetic knowledge-base generator.
+//
+// Stands in for the Wikidata dumps of the paper's Table II (see DESIGN.md,
+// substitution 1). It reproduces the structural features the Central Graph
+// algorithm and its weighting scheme are sensitive to:
+//
+//  * a heavy-tailed in-degree distribution (global preferential attachment),
+//  * a handful of *summary nodes* with enormous single-label in-degree (the
+//    paper's `human` node: >2M `instance of` in-edges) — these must receive
+//    large degree-of-summary weights under Eq. 2,
+//  * *topic nodes* with many in-edges but few distinct in-labels (the
+//    paper's `data mining` example: >1000 in-edges, 11 labels),
+//  * planted topical communities whose entities share vocabulary — these
+//    provide keyword co-occurrence structure for queries and an automatic
+//    relevance judgment for the effectiveness experiments (Fig. 11/12),
+//  * Zipfian keyword frequency and a small average shortest distance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "gen/vocab.h"
+
+namespace wikisearch::gen {
+
+struct WikiGenConfig {
+  size_t num_entities = 20000;
+  size_t num_summary_nodes = 12;   // 'human'/'country'-like class hubs
+  size_t num_topic_nodes = 60;     // 'data mining'-like topical hubs
+  size_t num_labels = 200;         // predicate vocabulary size
+  size_t num_communities = 24;     // planted topical communities
+
+  /// Fraction of entities assigned to some community (rest is background).
+  double community_member_fraction = 0.65;
+  /// Mean out-degree of entity nodes (triples authored per entity).
+  double avg_out_degree = 7.0;
+  /// Probability an entity edge stays inside its own community.
+  double intra_community_prob = 0.55;
+  /// Probability an entity gets an `instance of`-style edge to a summary hub.
+  double summary_attach_prob = 0.35;
+  /// Probability a community entity gets a `main topic` edge to its topic.
+  double topic_attach_prob = 0.20;
+
+  size_t vocab_size = 12000;
+  size_t community_vocab = 24;     // topical terms reserved per community
+  size_t name_terms_min = 2;
+  size_t name_terms_max = 4;
+  /// Fraction of a community member's name terms drawn from its community
+  /// vocabulary (the rest are global Zipf draws).
+  double topical_name_fraction = 0.6;
+  double zipf_exponent = 1.05;
+
+  uint64_t seed = 1234;
+};
+
+/// Two ready-made scales mirroring the paper's wiki2017 / wiki2018 dumps
+/// (scaled to commodity single-machine benchmarking; override via the
+/// WS_SCALE environment variable in bench binaries).
+WikiGenConfig SmallConfig();   // "wikisynth-S" (~wiki2017 role)
+WikiGenConfig LargeConfig();   // "wikisynth-L" (~wiki2018 role)
+
+/// Generator byproducts needed by workload construction and the automatic
+/// relevance judgment.
+struct GenMetadata {
+  /// Community id per node, or -1 for background / summary nodes.
+  std::vector<int32_t> community_of_node;
+  /// Topical term lists per community (raw, unanalyzed).
+  std::vector<std::vector<std::string>> community_terms;
+  std::vector<NodeId> summary_nodes;
+  std::vector<NodeId> topic_nodes;
+  size_t num_communities = 0;
+};
+
+struct GeneratedKb {
+  KnowledgeGraph graph;
+  GenMetadata meta;
+};
+
+/// Generates a knowledge base. Deterministic in config.seed.
+GeneratedKb Generate(const WikiGenConfig& config);
+
+}  // namespace wikisearch::gen

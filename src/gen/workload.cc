@@ -1,0 +1,162 @@
+#include "gen/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace wikisearch::gen {
+
+namespace {
+
+/// Draws `count` distinct terms with non-empty postings from a community's
+/// vocabulary; falls back to any indexed community term if sampling misses.
+std::vector<std::string> SampleCommunityTerms(const GeneratedKb& kb,
+                                              const InvertedIndex& index,
+                                              int32_t community, size_t count,
+                                              Rng& rng) {
+  const auto& terms = kb.meta.community_terms[static_cast<size_t>(community)];
+  std::vector<std::string> indexed;
+  for (const auto& t : terms) {
+    if (!index.Lookup(t).empty()) indexed.push_back(t);
+  }
+  std::vector<std::string> out;
+  size_t guard = 0;
+  while (out.size() < count && !indexed.empty() &&
+         out.size() < indexed.size() && guard++ < 1000) {
+    const std::string& cand = indexed[rng.Uniform(indexed.size())];
+    if (std::find(out.begin(), out.end(), cand) == out.end()) {
+      out.push_back(cand);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double AverageKeywordFrequency(const Query& q, const InvertedIndex& index) {
+  if (q.keywords.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& kw : q.keywords) {
+    sum += static_cast<double>(index.KeywordFrequency(kw));
+  }
+  return sum / static_cast<double>(q.keywords.size());
+}
+
+std::vector<Query> MakeEfficiencyWorkload(const GeneratedKb& kb,
+                                          const InvertedIndex& index,
+                                          size_t knum, size_t num_queries,
+                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  const size_t num_comm = kb.meta.num_communities;
+  size_t guard = 0;
+  while (queries.size() < num_queries && guard++ < num_queries * 50) {
+    int32_t c = static_cast<int32_t>(rng.Uniform(num_comm));
+    std::vector<std::string> kws =
+        SampleCommunityTerms(kb, index, c, knum, rng);
+    if (kws.size() < knum) continue;
+    Query q;
+    q.id = "W" + std::to_string(queries.size() + 1);
+    q.keywords = std::move(kws);
+    q.target_community = c;
+    queries.push_back(std::move(q));
+  }
+  WS_CHECK(queries.size() == num_queries);
+  return queries;
+}
+
+std::vector<Query> MakeEffectivenessWorkload(const GeneratedKb& kb,
+                                             const InvertedIndex& index,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  const size_t num_comm = kb.meta.num_communities;
+  WS_CHECK(num_comm >= 8);
+  std::vector<Query> queries;
+
+  auto coherent = [&](const std::string& id, int32_t c, size_t knum) {
+    Query q;
+    q.id = id;
+    q.target_community = c;
+    q.keywords = SampleCommunityTerms(kb, index, c, knum, rng);
+    WS_CHECK(q.keywords.size() == knum);
+    return q;
+  };
+
+  // Q1-Q3: coherent 4-keyword topical queries.
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back(coherent("Q" + std::to_string(i + 1),
+                               static_cast<int32_t>(i), 4));
+  }
+
+  // Q4-Q7: phrase-split — majority of keywords from the target community,
+  // a minority pair from a distractor community. Answers that latch onto
+  // the distractor terms in isolation are judged irrelevant (the paper's
+  // "statistical relational learning" failure mode for BANKS-II).
+  for (int i = 0; i < 4; ++i) {
+    int32_t target = static_cast<int32_t>(3 + i);
+    int32_t distractor =
+        static_cast<int32_t>((3 + i + num_comm / 2) % num_comm);
+    Query q;
+    q.id = "Q" + std::to_string(4 + i);
+    q.target_community = target;
+    q.distractor_community = distractor;
+    q.keywords = SampleCommunityTerms(kb, index, target, 3, rng);
+    auto extra = SampleCommunityTerms(kb, index, distractor, 2, rng);
+    q.keywords.insert(q.keywords.end(), extra.begin(), extra.end());
+    WS_CHECK(q.keywords.size() == 5);
+    queries.push_back(std::move(q));
+  }
+
+  // Q8-Q9: coherent with more keywords (6).
+  for (int i = 0; i < 2; ++i) {
+    int32_t c = static_cast<int32_t>((7 + static_cast<size_t>(i)) % num_comm);
+    queries.push_back(coherent("Q" + std::to_string(8 + i), c, 6));
+  }
+
+  // Q10: very high frequency terms (global head vocabulary — these are the
+  // summary-hub names and top Zipf terms). Everything connected tends to be
+  // relevant; target_community = -1 disables the topical judgment.
+  {
+    Query q;
+    q.id = "Q10";
+    q.target_community = -1;
+    // Summary hubs are named by the head of the vocabulary; their names are
+    // single terms with huge posting lists.
+    size_t added = 0;
+    for (NodeId s : kb.meta.summary_nodes) {
+      std::vector<std::string> toks = Tokenize(kb.graph.NodeName(s));
+      if (!toks.empty() && !index.Lookup(toks[0]).empty()) {
+        q.keywords.push_back(toks[0]);
+        if (++added == 3) break;
+      }
+    }
+    WS_CHECK(!q.keywords.empty());
+    queries.push_back(std::move(q));
+  }
+
+  // Q11: rare, unambiguous terms — smallest non-empty posting lists among
+  // community vocabulary.
+  {
+    Query q;
+    q.id = "Q11";
+    q.target_community = -1;
+    std::vector<std::pair<size_t, std::string>> rare;
+    for (const auto& terms : kb.meta.community_terms) {
+      for (const auto& t : terms) {
+        size_t f = index.KeywordFrequency(t);
+        if (f > 0) rare.emplace_back(f, t);
+      }
+    }
+    std::sort(rare.begin(), rare.end());
+    for (size_t i = 0; i < rare.size() && q.keywords.size() < 4; ++i) {
+      q.keywords.push_back(rare[i].second);
+    }
+    WS_CHECK(q.keywords.size() == 4);
+    queries.push_back(std::move(q));
+  }
+
+  return queries;
+}
+
+}  // namespace wikisearch::gen

@@ -1,0 +1,114 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+size_t KnowledgeGraph::InDegree(NodeId v) const {
+  size_t in = 0;
+  for (const AdjEntry& e : Neighbors(v)) {
+    // A reverse entry in v's list means the triple points *into* v.
+    if (e.reverse) ++in;
+  }
+  return in;
+}
+
+NodeId KnowledgeGraph::FindNode(std::string_view name) const {
+  auto it = name_to_id_.find(std::string(name));
+  if (it == name_to_id_.end()) return kInvalidNode;
+  return it->second;
+}
+
+Status KnowledgeGraph::SetNodeWeights(std::vector<double> weights) {
+  if (weights.size() != num_nodes()) {
+    return Status::InvalidArgument("weight vector size mismatch");
+  }
+  weights_ = std::move(weights);
+  return Status::OK();
+}
+
+size_t KnowledgeGraph::PreStorageBytes() const {
+  size_t bytes = offsets_.size() * sizeof(uint64_t) +
+                 adj_.size() * sizeof(AdjEntry) +
+                 weights_.size() * sizeof(double);
+  for (const auto& s : names_) bytes += s.size() + sizeof(std::string);
+  for (const auto& s : label_names_) bytes += s.size() + sizeof(std::string);
+  return bytes;
+}
+
+NodeId GraphBuilder::AddNode(std::string name) {
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(names_.size());
+  name_to_id_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+LabelId GraphBuilder::AddLabel(std::string name) {
+  auto it = label_to_id_.find(name);
+  if (it != label_to_id_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(label_names_.size());
+  label_to_id_.emplace(name, id);
+  label_names_.push_back(std::move(name));
+  return id;
+}
+
+Status GraphBuilder::AddEdge(NodeId src, NodeId dst, LabelId label) {
+  if (src >= names_.size() || dst >= names_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (label >= label_names_.size()) {
+    return Status::InvalidArgument("unknown edge label");
+  }
+  triples_.push_back({src, dst, label});
+  return Status::OK();
+}
+
+void GraphBuilder::AddTriple(const std::string& src, const std::string& label,
+                             const std::string& dst) {
+  NodeId s = AddNode(src);
+  NodeId d = AddNode(dst);
+  LabelId l = AddLabel(label);
+  triples_.push_back({s, d, l});
+}
+
+KnowledgeGraph GraphBuilder::Build() && {
+  KnowledgeGraph g;
+  const size_t n = names_.size();
+  g.names_ = std::move(names_);
+  g.label_names_ = std::move(label_names_);
+  g.name_to_id_ = std::move(name_to_id_);
+
+  // Counting sort into CSR: each triple lands in both endpoints' lists.
+  g.offsets_.assign(n + 1, 0);
+  for (const Triple& t : triples_) {
+    ++g.offsets_[t.src + 1];
+    ++g.offsets_[t.dst + 1];
+  }
+  for (size_t i = 0; i < n; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adj_.resize(triples_.size() * 2);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Triple& t : triples_) {
+    g.adj_[cursor[t.src]++] = AdjEntry{t.dst, t.label, 0};
+    g.adj_[cursor[t.dst]++] = AdjEntry{t.src, t.label, 1};
+  }
+
+  // Sort each adjacency list by (target, label, reverse) for deterministic
+  // traversal order and cache-friendly scans.
+  for (size_t v = 0; v < n; ++v) {
+    auto* begin = g.adj_.data() + g.offsets_[v];
+    auto* end = g.adj_.data() + g.offsets_[v + 1];
+    std::sort(begin, end, [](const AdjEntry& a, const AdjEntry& b) {
+      if (a.target != b.target) return a.target < b.target;
+      if (a.label != b.label) return a.label < b.label;
+      return a.reverse < b.reverse;
+    });
+  }
+  return g;
+}
+
+}  // namespace wikisearch

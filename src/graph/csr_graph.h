@@ -1,0 +1,142 @@
+// Immutable bi-directed, node-weighted, edge-labeled graph in Compressed
+// Sparse Row format — the storage layout the paper mandates (Sec. V-A).
+//
+// A knowledge base is a set of directed labeled triples (subject, predicate,
+// object). To "enhance the connection between nodes" the paper traverses the
+// graph bi-directionally, so every triple contributes one adjacency entry in
+// each endpoint's list; the entry remembers the original orientation because
+// the degree-of-summary node weight (Eq. 2) is computed over *in*-edges only.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// One adjacency entry of the bi-directed CSR.
+struct AdjEntry {
+  NodeId target;
+  LabelId label : 31;
+  /// 1 if this entry traverses the triple backwards (i.e. the triple's
+  /// direction is target -> source and `target` points *into* the owner).
+  uint32_t reverse : 1;
+};
+static_assert(sizeof(AdjEntry) == 8, "AdjEntry must stay 8 bytes");
+
+class GraphBuilder;
+
+/// The data graph G(V, E). Immutable after construction; all search state
+/// lives outside so many queries can share one graph.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  size_t num_nodes() const { return names_.size(); }
+  /// Number of underlying directed triples (each stored twice in the CSR).
+  size_t num_triples() const { return adj_.size() / 2; }
+  /// Number of CSR adjacency entries (= 2 * num_triples()).
+  size_t num_adjacency_entries() const { return adj_.size(); }
+  size_t num_labels() const { return label_names_.size(); }
+
+  /// Neighbors of v (both directions), CSR slice.
+  std::span<const AdjEntry> Neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v],
+            adj_.data() + offsets_[v + 1]};
+  }
+
+  /// Total (bi-directed) degree of v.
+  size_t Degree(NodeId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// In-degree of v w.r.t. original triple orientation.
+  size_t InDegree(NodeId v) const;
+
+  const std::string& NodeName(NodeId v) const { return names_[v]; }
+  const std::string& LabelName(LabelId l) const { return label_names_[l]; }
+
+  /// Looks up a node by exact name. Returns kInvalidNode if absent.
+  NodeId FindNode(std::string_view name) const;
+
+  /// Normalized degree-of-summary weight of v in [0, 1] (Eq. 2). Weights are
+  /// attached once via SetNodeWeights (see core/node_weight.h).
+  double NodeWeight(NodeId v) const { return weights_[v]; }
+  bool has_weights() const { return !weights_.empty(); }
+  const std::vector<double>& node_weights() const { return weights_; }
+
+  /// Attaches per-node weights; must have exactly num_nodes() entries.
+  Status SetNodeWeights(std::vector<double> weights);
+
+  /// Estimated average shortest distance A (hops) and the deviation of the
+  /// sample, attached by graph/distance_sampler.h. Zero until attached.
+  double average_distance() const { return average_distance_; }
+  double average_distance_deviation() const { return avg_dist_deviation_; }
+  void SetAverageDistance(double mean, double deviation) {
+    average_distance_ = mean;
+    avg_dist_deviation_ = deviation;
+  }
+
+  /// Approximate resident bytes of the CSR arrays, weights and dictionaries
+  /// (the paper's "pre-storage", Table IV).
+  size_t PreStorageBytes() const;
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<AdjEntry>& adjacency() const { return adj_; }
+
+ private:
+  friend class GraphBuilder;
+  friend Status SaveGraph(const KnowledgeGraph& g, const std::string& path);
+  friend Result<KnowledgeGraph> LoadGraph(const std::string& path);
+
+  std::vector<uint64_t> offsets_;        // size num_nodes()+1
+  std::vector<AdjEntry> adj_;            // size 2 * num_triples()
+  std::vector<std::string> names_;       // node id -> display name
+  std::vector<std::string> label_names_; // label id -> predicate name
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::vector<double> weights_;
+  double average_distance_ = 0.0;
+  double avg_dist_deviation_ = 0.0;
+};
+
+/// Accumulates nodes and directed labeled triples, then emits the bi-directed
+/// CSR. Duplicate triples are kept (multi-edges are legal in RDF).
+class GraphBuilder {
+ public:
+  /// Adds (or finds) a node with the given display name; names are unique.
+  NodeId AddNode(std::string name);
+
+  /// Adds (or finds) an edge label.
+  LabelId AddLabel(std::string name);
+
+  /// Adds the directed triple (src --label--> dst). Ids must exist.
+  Status AddEdge(NodeId src, NodeId dst, LabelId label);
+
+  /// Convenience: resolves/creates names and labels, then adds the triple.
+  void AddTriple(const std::string& src, const std::string& label,
+                 const std::string& dst);
+
+  size_t num_nodes() const { return names_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+
+  /// Finalizes into an immutable graph. The builder is consumed.
+  KnowledgeGraph Build() &&;
+
+ private:
+  struct Triple {
+    NodeId src;
+    NodeId dst;
+    LabelId label;
+  };
+  std::vector<std::string> names_;
+  std::vector<std::string> label_names_;
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::unordered_map<std::string, LabelId> label_to_id_;
+  std::vector<Triple> triples_;
+};
+
+}  // namespace wikisearch

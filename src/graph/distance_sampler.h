@@ -1,0 +1,30 @@
+// Estimates the average shortest distance A between node pairs by sampling
+// (Sec. IV-A / Table II). A calibrates the Penalty-and-Reward mapping that
+// turns node weights into minimum activation levels.
+#pragma once
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+struct DistanceSample {
+  double mean = 0.0;       // the paper's A
+  double deviation = 0.0;  // sample standard deviation
+  size_t pairs = 0;        // reachable pairs actually measured
+};
+
+/// Samples approximately `target_pairs` reachable node pairs (the paper uses
+/// ten thousand) by running full BFS from a set of random sources and drawing
+/// random reachable targets from each. Deterministic given `seed`.
+DistanceSample SampleAverageDistance(const KnowledgeGraph& g,
+                                     size_t target_pairs = 10000,
+                                     uint64_t seed = 42);
+
+/// Convenience: samples and attaches the result to the graph.
+void AttachAverageDistance(KnowledgeGraph* g, size_t target_pairs = 10000,
+                           uint64_t seed = 42);
+
+}  // namespace wikisearch

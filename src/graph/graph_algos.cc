@@ -1,0 +1,70 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace wikisearch {
+
+std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g, NodeId source) {
+  return BfsDistances(g, std::vector<NodeId>{source});
+}
+
+std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g,
+                                   const std::vector<NodeId>& sources) {
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier;
+  for (NodeId s : sources) {
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  uint32_t level = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId v : frontier) {
+      for (const AdjEntry& e : g.Neighbors(v)) {
+        if (dist[e.target] == kUnreachable) {
+          dist[e.target] = level;
+          next.push_back(e.target);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+ComponentInfo ConnectedComponents(const KnowledgeGraph& g) {
+  ComponentInfo info;
+  info.component.assign(g.num_nodes(), ~0u);
+  std::vector<size_t> sizes;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (info.component[start] != ~0u) continue;
+    uint32_t cid = static_cast<uint32_t>(sizes.size());
+    size_t size = 0;
+    stack.push_back(start);
+    info.component[start] = cid;
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      ++size;
+      for (const AdjEntry& e : g.Neighbors(v)) {
+        if (info.component[e.target] == ~0u) {
+          info.component[e.target] = cid;
+          stack.push_back(e.target);
+        }
+      }
+    }
+    sizes.push_back(size);
+  }
+  info.num_components = sizes.size();
+  info.largest_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return info;
+}
+
+}  // namespace wikisearch

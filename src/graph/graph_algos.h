@@ -1,0 +1,32 @@
+// Reference graph traversals used by the distance sampler, the generator's
+// validity checks, and the test suite (as ground truth for the parallel
+// search engine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// Unweighted single-source shortest distances over the bi-directed graph.
+/// Unreachable nodes get kUnreachable.
+inline constexpr uint32_t kUnreachable = ~0u;
+std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g, NodeId source);
+
+/// Multi-source variant: distance to the nearest of `sources`.
+std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g,
+                                   const std::vector<NodeId>& sources);
+
+/// Connected components over the bi-directed view. Returns component id per
+/// node plus the number of components.
+struct ComponentInfo {
+  std::vector<uint32_t> component;
+  size_t num_components = 0;
+  size_t largest_size = 0;
+};
+ComponentInfo ConnectedComponents(const KnowledgeGraph& g);
+
+}  // namespace wikisearch

@@ -1,0 +1,174 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <fstream>
+
+namespace wikisearch {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'S', 'K', 'G'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) {
+    return Status::IoError("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IoError("short read / truncated file");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* f, const T& v) {
+  return WriteBytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* f, T* v) {
+  return ReadBytes(f, v, sizeof(T));
+}
+
+template <typename T>
+Status WriteVec(std::FILE* f, const std::vector<T>& v) {
+  WS_RETURN_NOT_OK(WritePod<uint64_t>(f, v.size()));
+  return WriteBytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+Status ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  WS_RETURN_NOT_OK(ReadPod(f, &n));
+  // Sanity bound to fail fast on corrupt headers (1 G entries).
+  if (n > (1ULL << 30)) return Status::Corruption("implausible vector size");
+  v->resize(n);
+  return ReadBytes(f, v->data(), n * sizeof(T));
+}
+
+Status WriteStrings(std::FILE* f, const std::vector<std::string>& strs) {
+  WS_RETURN_NOT_OK(WritePod<uint64_t>(f, strs.size()));
+  for (const auto& s : strs) {
+    WS_RETURN_NOT_OK(WritePod<uint32_t>(f, static_cast<uint32_t>(s.size())));
+    WS_RETURN_NOT_OK(WriteBytes(f, s.data(), s.size()));
+  }
+  return Status::OK();
+}
+
+Status ReadStrings(std::FILE* f, std::vector<std::string>* strs) {
+  uint64_t n = 0;
+  WS_RETURN_NOT_OK(ReadPod(f, &n));
+  if (n > (1ULL << 30)) return Status::Corruption("implausible string count");
+  strs->resize(n);
+  for (auto& s : *strs) {
+    uint32_t len = 0;
+    WS_RETURN_NOT_OK(ReadPod(f, &len));
+    if (len > (1u << 24)) return Status::Corruption("implausible string size");
+    s.resize(len);
+    WS_RETURN_NOT_OK(ReadBytes(f, s.data(), len));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveGraph(const KnowledgeGraph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  WS_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
+  WS_RETURN_NOT_OK(WritePod(f.get(), kVersion));
+  WS_RETURN_NOT_OK(WriteVec(f.get(), g.offsets_));
+  WS_RETURN_NOT_OK(WriteVec(f.get(), g.adj_));
+  WS_RETURN_NOT_OK(WriteStrings(f.get(), g.names_));
+  WS_RETURN_NOT_OK(WriteStrings(f.get(), g.label_names_));
+  WS_RETURN_NOT_OK(WriteVec(f.get(), g.weights_));
+  WS_RETURN_NOT_OK(WritePod(f.get(), g.average_distance_));
+  WS_RETURN_NOT_OK(WritePod(f.get(), g.avg_dist_deviation_));
+  return Status::OK();
+}
+
+Result<KnowledgeGraph> LoadGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  WS_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic; not a WSKG file: " + path);
+  }
+  uint32_t version = 0;
+  WS_RETURN_NOT_OK(ReadPod(f.get(), &version));
+  if (version != kVersion) {
+    return Status::Corruption("unsupported WSKG version");
+  }
+  KnowledgeGraph g;
+  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.offsets_));
+  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.adj_));
+  WS_RETURN_NOT_OK(ReadStrings(f.get(), &g.names_));
+  WS_RETURN_NOT_OK(ReadStrings(f.get(), &g.label_names_));
+  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.weights_));
+  WS_RETURN_NOT_OK(ReadPod(f.get(), &g.average_distance_));
+  WS_RETURN_NOT_OK(ReadPod(f.get(), &g.avg_dist_deviation_));
+  if (g.offsets_.size() != g.names_.size() + 1) {
+    return Status::Corruption("offset/name size mismatch");
+  }
+  if (!g.offsets_.empty() && g.offsets_.back() != g.adj_.size()) {
+    return Status::Corruption("adjacency size mismatch");
+  }
+  g.name_to_id_.reserve(g.names_.size());
+  for (NodeId i = 0; i < g.names_.size(); ++i) {
+    g.name_to_id_.emplace(g.names_[i], i);
+  }
+  return g;
+}
+
+Result<KnowledgeGraph> LoadTriplesTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  GraphBuilder builder;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    size_t t1 = line.find('\t');
+    size_t t2 = (t1 == std::string::npos) ? std::string::npos
+                                          : line.find('\t', t1 + 1);
+    if (t1 == std::string::npos || t2 == std::string::npos) {
+      return Status::Corruption("malformed TSV triple at line " +
+                                std::to_string(lineno));
+    }
+    builder.AddTriple(line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1),
+                      line.substr(t2 + 1));
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveTriplesTsv(const KnowledgeGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      if (e.reverse) continue;  // write each triple once, original direction
+      out << g.NodeName(v) << '\t' << g.LabelName(e.label) << '\t'
+          << g.NodeName(e.target) << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,27 @@
+// Graph persistence: a compact binary snapshot format (for pre-built
+// datasets) and a TSV triple reader/writer (interchange with RDF-ish dumps).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+/// Saves the full graph (CSR arrays, dictionaries, weights, sampled average
+/// distance) to a binary file. Format: "WSKG" magic + version 1.
+Status SaveGraph(const KnowledgeGraph& g, const std::string& path);
+
+/// Loads a graph previously written by SaveGraph.
+Result<KnowledgeGraph> LoadGraph(const std::string& path);
+
+/// Reads a TSV file of triples: `subject<TAB>predicate<TAB>object`, one per
+/// line; '#'-prefixed lines are comments. Node/label names are created on
+/// first use.
+Result<KnowledgeGraph> LoadTriplesTsv(const std::string& path);
+
+/// Writes the graph's triples (original orientation only) as TSV.
+Status SaveTriplesTsv(const KnowledgeGraph& g, const std::string& path);
+
+}  // namespace wikisearch

@@ -1,0 +1,110 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+DegreeStats ComputeDegreeStats(const KnowledgeGraph& g, bool in_only) {
+  DegreeStats stats;
+  const size_t n = g.num_nodes();
+  if (n == 0) return stats;
+  stats.min = SIZE_MAX;
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    size_t d = in_only ? g.InDegree(v) : g.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    total += static_cast<double>(d);
+    size_t bucket =
+        d == 0 ? 0 : static_cast<size_t>(std::floor(std::log2(d))) + 1;
+    if (stats.log2_histogram.size() <= bucket) {
+      stats.log2_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.log2_histogram[bucket];
+  }
+  stats.mean = total / static_cast<double>(n);
+  return stats;
+}
+
+std::vector<LabelCount> LabelHistogram(const KnowledgeGraph& g, size_t top_n) {
+  std::vector<size_t> counts(g.num_labels(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      if (!e.reverse) ++counts[e.label];  // count each triple once
+    }
+  }
+  std::vector<LabelCount> out;
+  out.reserve(counts.size());
+  for (LabelId l = 0; l < counts.size(); ++l) {
+    out.push_back(LabelCount{l, counts[l]});
+  }
+  std::sort(out.begin(), out.end(), [](const LabelCount& a,
+                                       const LabelCount& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.label < b.label;
+  });
+  if (top_n > 0 && out.size() > top_n) out.resize(top_n);
+  return out;
+}
+
+WeightStats ComputeWeightStats(const KnowledgeGraph& g) {
+  WS_CHECK(g.has_weights());
+  WeightStats stats;
+  std::vector<double> w = g.node_weights();
+  if (w.empty()) return stats;
+  double total = 0.0;
+  for (double x : w) {
+    total += x;
+    if (x > 0.5) ++stats.heavy_nodes;
+  }
+  stats.mean = total / static_cast<double>(w.size());
+  std::sort(w.begin(), w.end());
+  auto quantile = [&](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(w.size() - 1));
+    return w[idx];
+  };
+  stats.p50 = quantile(0.50);
+  stats.p90 = quantile(0.90);
+  stats.p99 = quantile(0.99);
+  stats.max = w.back();
+  return stats;
+}
+
+std::string DescribeGraph(const KnowledgeGraph& g) {
+  std::ostringstream out;
+  out << "nodes: " << g.num_nodes() << ", triples: " << g.num_triples()
+      << ", labels: " << g.num_labels() << "\n";
+  DegreeStats deg = ComputeDegreeStats(g);
+  out << "degree: mean " << deg.mean << ", max " << deg.max
+      << ", log2 histogram:";
+  for (size_t b = 0; b < deg.log2_histogram.size(); ++b) {
+    out << " [" << (b == 0 ? 0 : (1u << (b - 1))) << "+]"
+        << deg.log2_histogram[b];
+  }
+  out << "\n";
+  DegreeStats in = ComputeDegreeStats(g, /*in_only=*/true);
+  out << "in-degree: mean " << in.mean << ", max " << in.max << "\n";
+  auto labels = LabelHistogram(g, 5);
+  out << "top predicates:";
+  for (const LabelCount& lc : labels) {
+    out << " " << g.LabelName(lc.label) << "(" << lc.count << ")";
+  }
+  out << "\n";
+  if (g.has_weights()) {
+    WeightStats w = ComputeWeightStats(g);
+    out << "weights: mean " << w.mean << ", p50 " << w.p50 << ", p90 "
+        << w.p90 << ", p99 " << w.p99 << ", heavy(>0.5) " << w.heavy_nodes
+        << "\n";
+  }
+  if (g.average_distance() > 0) {
+    out << "avg shortest distance A: " << g.average_distance() << " (dev "
+        << g.average_distance_deviation() << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,50 @@
+// Dataset profiling: degree/label/weight distributions. Used by the
+// kb_stats example and by tests asserting the synthetic generator actually
+// produces the structural features the algorithm depends on (power-law
+// in-degree, label skew, heavy summary nodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+struct DegreeStats {
+  size_t min = 0;
+  size_t max = 0;
+  double mean = 0.0;
+  /// log2-bucketed histogram: bucket b counts nodes with degree in
+  /// [2^b, 2^(b+1)).
+  std::vector<size_t> log2_histogram;
+};
+
+/// Degree statistics over the bi-directed degree, or over in-degree only.
+DegreeStats ComputeDegreeStats(const KnowledgeGraph& g, bool in_only = false);
+
+struct LabelCount {
+  LabelId label;
+  size_t count;  // triples carrying this predicate
+};
+
+/// Predicate usage, most frequent first, truncated to `top_n` (0 = all).
+std::vector<LabelCount> LabelHistogram(const KnowledgeGraph& g,
+                                       size_t top_n = 0);
+
+struct WeightStats {
+  double mean = 0.0;
+  /// Quantiles of the attached node weights at 50/90/99/100%.
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  /// Nodes with weight above 0.5 (strong summary nodes).
+  size_t heavy_nodes = 0;
+};
+
+/// Requires attached node weights.
+WeightStats ComputeWeightStats(const KnowledgeGraph& g);
+
+/// Multi-line human-readable profile of a graph.
+std::string DescribeGraph(const KnowledgeGraph& g);
+
+}  // namespace wikisearch

@@ -1,0 +1,309 @@
+#include "graph/ntriples.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace wikisearch {
+
+namespace {
+
+/// Cursor over one line of N-Triples input.
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= s_.size();
+  }
+
+  char Peek() { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  /// Parses <IRI>.
+  Result<std::string> ParseIri() {
+    if (Peek() != '<') return Status::Corruption("expected '<'");
+    size_t end = s_.find('>', pos_ + 1);
+    if (end == std::string_view::npos) {
+      return Status::Corruption("unterminated IRI");
+    }
+    std::string iri(s_.substr(pos_ + 1, end - pos_ - 1));
+    pos_ = end + 1;
+    return iri;
+  }
+
+  /// Parses _:name.
+  Result<std::string> ParseBlank() {
+    if (pos_ + 1 >= s_.size() || s_[pos_] != '_' || s_[pos_ + 1] != ':') {
+      return Status::Corruption("expected blank node");
+    }
+    size_t start = pos_ + 2;
+    size_t end = start;
+    while (end < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '_' || s_[end] == '-')) {
+      ++end;
+    }
+    if (end == start) return Status::Corruption("empty blank node label");
+    std::string name = "_:" + std::string(s_.substr(start, end - start));
+    pos_ = end;
+    return name;
+  }
+
+  /// Parses "literal"(@lang | ^^<datatype>)? and returns the unescaped
+  /// lexical value.
+  Result<std::string> ParseLiteral() {
+    if (Peek() != '"') return Status::Corruption("expected '\"'");
+    size_t i = pos_ + 1;
+    std::string raw;
+    bool closed = false;
+    while (i < s_.size()) {
+      char c = s_[i];
+      if (c == '\\') {
+        if (i + 1 >= s_.size()) return Status::Corruption("dangling escape");
+        raw += c;
+        raw += s_[i + 1];
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      raw += c;
+      ++i;
+    }
+    if (!closed) return Status::Corruption("unterminated literal");
+    pos_ = i;
+    // Optional language tag or datatype.
+    if (Peek() == '@') {
+      while (pos_ < s_.size() && s_[pos_] != ' ' && s_[pos_] != '\t') ++pos_;
+    } else if (pos_ + 1 < s_.size() && s_[pos_] == '^' &&
+               s_[pos_ + 1] == '^') {
+      pos_ += 2;
+      WS_RETURN_NOT_OK(ParseIri().status());
+    }
+    return UnescapeNTriplesLiteral(raw);
+  }
+
+  /// Expects the final '.'.
+  Status ParseDot() {
+    SkipWs();
+    if (Peek() != '.') return Status::Corruption("expected terminating '.'");
+    ++pos_;
+    SkipWs();
+    if (pos_ < s_.size()) return Status::Corruption("trailing content");
+    return Status::OK();
+  }
+
+ private:
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+std::string LocalizeIri(const std::string& iri, bool localize) {
+  if (!localize) return iri;
+  size_t cut = iri.find_last_of("#/");
+  std::string local =
+      (cut == std::string::npos || cut + 1 >= iri.size())
+          ? iri
+          : iri.substr(cut + 1);
+  for (char& c : local) {
+    if (c == '_') c = ' ';
+  }
+  return local.empty() ? iri : local;
+}
+
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> UnescapeNTriplesLiteral(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) return Status::Corruption("dangling escape");
+    char c = s[++i];
+    switch (c) {
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'u':
+      case 'U': {
+        size_t digits = (c == 'u') ? 4 : 8;
+        if (i + digits >= s.size()) {
+          return Status::Corruption("truncated \\u escape");
+        }
+        uint32_t code = 0;
+        for (size_t d = 0; d < digits; ++d) {
+          char h = s[i + 1 + d];
+          int v = (h >= '0' && h <= '9')   ? h - '0'
+                  : (h >= 'a' && h <= 'f') ? h - 'a' + 10
+                  : (h >= 'A' && h <= 'F') ? h - 'A' + 10
+                                           : -1;
+          if (v < 0) return Status::Corruption("bad \\u escape digit");
+          code = code * 16 + static_cast<uint32_t>(v);
+        }
+        i += digits;
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return Status::Corruption("unknown escape");
+    }
+  }
+  return out;
+}
+
+Result<KnowledgeGraph> ParseNTriples(std::string_view content,
+                                     const NTriplesOptions& opts) {
+  GraphBuilder builder;
+  size_t lineno = 0;
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    if (eol == std::string_view::npos) eol = content.size();
+    std::string_view line = content.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+    auto parse_line = [&]() -> Status {
+      LineParser p(line);
+      if (p.AtEnd() || p.Peek() == '#') return Status::OK();
+      // Subject: IRI or blank.
+      Result<std::string> subject =
+          p.Peek() == '<' ? p.ParseIri() : p.ParseBlank();
+      WS_RETURN_NOT_OK(subject.status());
+      p.SkipWs();
+      // Predicate: IRI.
+      Result<std::string> predicate = p.ParseIri();
+      WS_RETURN_NOT_OK(predicate.status());
+      p.SkipWs();
+      // Object: IRI, blank, or literal (literals keep their lexical value
+      // verbatim as the node name).
+      const char object_kind = p.Peek();
+      Result<std::string> object = object_kind == '<'   ? p.ParseIri()
+                                   : object_kind == '"' ? p.ParseLiteral()
+                                                        : p.ParseBlank();
+      WS_RETURN_NOT_OK(object.status());
+      const bool object_is_literal = object_kind == '"';
+      WS_RETURN_NOT_OK(p.ParseDot());
+
+      std::string subj_name = subject->rfind("_:", 0) == 0
+                                  ? *subject
+                                  : LocalizeIri(*subject, opts.localize_iris);
+      std::string pred_name = LocalizeIri(*predicate, opts.localize_iris);
+      std::string obj_name = *object;
+      if (obj_name.rfind("_:", 0) != 0 && !object_is_literal) {
+        obj_name = LocalizeIri(obj_name, opts.localize_iris);
+      }
+      builder.AddTriple(subj_name, pred_name, obj_name);
+      return Status::OK();
+    };
+    Status st = parse_line();
+    if (!st.ok() && !opts.skip_malformed) {
+      return Status::Corruption("line " + std::to_string(lineno) + ": " +
+                                st.message());
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<KnowledgeGraph> LoadNTriples(const std::string& path,
+                                    const NTriplesOptions& opts) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseNTriples(buf.str(), opts);
+}
+
+Status SaveNTriples(const KnowledgeGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  auto iri = [](const std::string& name) {
+    std::string enc;
+    for (char c : name) {
+      if (c == ' ') {
+        enc += "%20";
+      } else if (c == '<' || c == '>') {
+        enc += (c == '<') ? "%3C" : "%3E";
+      } else {
+        enc += c;
+      }
+    }
+    return "<urn:ws:" + enc + ">";
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      if (e.reverse) continue;
+      out << iri(g.NodeName(v)) << ' ' << iri(g.LabelName(e.label)) << ' '
+          << '"' << EscapeLiteral(g.NodeName(e.target)) << "\" .\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,45 @@
+// RDF N-Triples reader/writer (W3C RDF 1.1 N-Triples). The paper's
+// knowledge bases (Wikidata, Freebase, Yago) "can all be represented in an
+// RDF graph"; this module ingests standard dumps:
+//
+//   <http://ex.org/Q42> <http://ex.org/P31> <http://ex.org/Q5> .
+//   <http://ex.org/Q42> <http://ex.org/label> "Douglas Adams"@en .
+//   _:b0 <http://ex.org/p> "42"^^<http://www.w3.org/2001/XMLSchema#int> .
+//
+// Subjects/objects may be IRIs, blank nodes or (objects only) literals;
+// literals become nodes named by their lexical value, which is exactly what
+// the keyword index needs.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/csr_graph.h"
+
+namespace wikisearch {
+
+struct NTriplesOptions {
+  /// Use only the IRI's local name (text after the last '#' or '/') as the
+  /// node/label display name, with '_' turned into spaces — Wikidata-style
+  /// dumps become searchable names. When false the full IRI is kept.
+  bool localize_iris = true;
+  /// Ignore lines that fail to parse instead of failing the whole load.
+  bool skip_malformed = false;
+};
+
+/// Parses one N-Triples document from a string. Exposed for testing.
+Result<KnowledgeGraph> ParseNTriples(std::string_view content,
+                                     const NTriplesOptions& opts = {});
+
+/// Loads an .nt file.
+Result<KnowledgeGraph> LoadNTriples(const std::string& path,
+                                    const NTriplesOptions& opts = {});
+
+/// Writes the graph as N-Triples (names are serialized as literals-safe
+/// IRIs under the urn:ws: namespace; round-trips through LoadNTriples).
+Status SaveNTriples(const KnowledgeGraph& g, const std::string& path);
+
+/// Unescapes an N-Triples string literal body (\" \\ \n \r \t \uXXXX).
+Result<std::string> UnescapeNTriplesLiteral(std::string_view s);
+
+}  // namespace wikisearch

@@ -1,0 +1,29 @@
+// Fundamental identifier types shared across the graph, text, and core
+// libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wikisearch {
+
+/// Node identifier: dense index in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Edge label identifier: index into the graph's label dictionary.
+using LabelId = uint32_t;
+
+/// Keyword identifier: index into a query's keyword list (small, < 256).
+using KeywordId = uint8_t;
+
+/// BFS level / hitting level. The paper stores one byte per (node, keyword)
+/// hitting level; we match that (levels are bounded by 2A+2 << 255).
+using Level = uint8_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+
+/// "Infinity" hitting level: node not yet hit by a BFS instance.
+inline constexpr Level kLevelInf = std::numeric_limits<Level>::max();
+
+}  // namespace wikisearch

@@ -1,0 +1,191 @@
+#include "gst/dpbf.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/timer.h"
+
+namespace wikisearch::gst {
+
+namespace {
+
+/// How a DP state was derived, for tree reconstruction.
+enum class Kind : uint8_t { kSource, kGrow, kMerge };
+
+struct StateInfo {
+  float cost = std::numeric_limits<float>::infinity();
+  Kind kind = Kind::kSource;
+  NodeId grow_from = kInvalidNode;  // kGrow: child state's node
+  uint8_t merge_s1 = 0;             // kMerge: one half's subset
+  uint8_t keyword = 0;              // kSource: covered keyword
+};
+
+uint64_t Key(NodeId v, uint8_t s) {
+  return (static_cast<uint64_t>(v) << 8) | s;
+}
+
+struct QueueEntry {
+  float cost;
+  NodeId v;
+  uint8_t s;
+  bool operator>(const QueueEntry& o) const { return cost > o.cost; }
+};
+
+/// Reconstructs the tree of state (v, s) into the answer.
+void Reconstruct(const std::unordered_map<uint64_t, StateInfo>& states,
+                 const KnowledgeGraph& g, NodeId v, uint8_t s,
+                 AnswerGraph* answer) {
+  const StateInfo& info = states.at(Key(v, s));
+  answer->nodes.push_back(v);
+  switch (info.kind) {
+    case Kind::kSource:
+      answer->keyword_nodes[info.keyword].push_back(v);
+      break;
+    case Kind::kGrow:
+      AppendEdgesBetween(g, v, info.grow_from, &answer->edges);
+      Reconstruct(states, g, info.grow_from, s, answer);
+      break;
+    case Kind::kMerge:
+      Reconstruct(states, g, v, info.merge_s1, answer);
+      Reconstruct(states, g, v, static_cast<uint8_t>(s ^ info.merge_s1),
+                  answer);
+      break;
+  }
+}
+
+}  // namespace
+
+DpbfEngine::DpbfEngine(const KnowledgeGraph* graph,
+                       const InvertedIndex* index)
+    : graph_(graph), index_(index) {}
+
+Result<DpbfResult> DpbfEngine::SearchKeywords(
+    const std::vector<std::string>& keywords, const DpbfOptions& opts) const {
+  if (keywords.empty()) return Status::InvalidArgument("empty keyword query");
+  std::vector<std::vector<NodeId>> groups;
+  for (const std::string& kw : keywords) {
+    std::span<const NodeId> postings = index_->Lookup(kw);
+    if (!postings.empty()) {
+      groups.emplace_back(postings.begin(), postings.end());
+    }
+  }
+  if (groups.empty()) return Status::NotFound("no keyword matches any node");
+  if (groups.size() > opts.max_keywords) {
+    return Status::InvalidArgument(
+        "DPBF state space is exponential in keywords; got " +
+        std::to_string(groups.size()));
+  }
+
+  WallTimer timer;
+  const KnowledgeGraph& g = *graph_;
+  const size_t l = groups.size();
+  const uint8_t full = static_cast<uint8_t>((1u << l) - 1);
+
+  std::unordered_map<uint64_t, StateInfo> states;
+  std::unordered_set<uint64_t> popped;
+  // Popped subsets per node, for merge transitions.
+  std::unordered_map<NodeId, std::vector<uint8_t>> popped_subsets;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+
+  auto improve = [&](NodeId v, uint8_t s, float cost, StateInfo info) {
+    StateInfo& slot = states[Key(v, s)];
+    if (cost < slot.cost) {
+      info.cost = cost;
+      slot = info;
+      pq.push(QueueEntry{cost, v, s});
+    }
+  };
+
+  for (size_t i = 0; i < l; ++i) {
+    for (NodeId v : groups[i]) {
+      StateInfo info;
+      info.kind = Kind::kSource;
+      info.keyword = static_cast<uint8_t>(i);
+      improve(v, static_cast<uint8_t>(1u << i), 0.0f, info);
+    }
+  }
+
+  DpbfResult result;
+  struct Root {
+    NodeId v;
+    float cost;
+  };
+  std::vector<Root> roots;
+  std::unordered_set<NodeId> root_seen;
+
+  while (!pq.empty()) {
+    QueueEntry top = pq.top();
+    pq.pop();
+    uint64_t key = Key(top.v, top.s);
+    if (popped.count(key) || top.cost > states[key].cost) continue;
+    popped.insert(key);
+    ++result.pops;
+    if ((result.pops & 1023) == 0 && timer.ElapsedMs() > opts.time_limit_ms) {
+      result.timed_out = true;
+      break;
+    }
+    if (result.pops > opts.max_pops) {
+      result.timed_out = true;
+      break;
+    }
+
+    if (top.s == full) {
+      // Best-first order: the first full state per root is that root's
+      // optimal tree; the first overall is the global GST optimum.
+      if (root_seen.insert(top.v).second) {
+        roots.push_back(Root{top.v, top.cost});
+        if (roots.size() >= static_cast<size_t>(opts.top_k)) break;
+      }
+      continue;
+    }
+
+    // Edge growth.
+    for (const AdjEntry& e : g.Neighbors(top.v)) {
+      StateInfo info;
+      info.kind = Kind::kGrow;
+      info.grow_from = top.v;
+      improve(e.target, top.s, top.cost + 1.0f, info);
+    }
+    // Merge with previously popped disjoint subsets at the same node.
+    auto it = popped_subsets.find(top.v);
+    if (it != popped_subsets.end()) {
+      for (uint8_t other : it->second) {
+        if ((other & top.s) != 0) continue;
+        StateInfo info;
+        info.kind = Kind::kMerge;
+        info.merge_s1 = top.s;
+        float other_cost = states[Key(top.v, other)].cost;
+        improve(top.v, static_cast<uint8_t>(top.s | other),
+                top.cost + other_cost, info);
+      }
+    }
+    popped_subsets[top.v].push_back(top.s);
+  }
+
+  result.states = states.size();
+  for (const Root& root : roots) {
+    AnswerGraph a;
+    a.central = root.v;
+    a.score = root.cost;
+    a.depth = static_cast<int>(root.cost);  // unit edges: cost == tree edges
+    a.keyword_nodes.assign(l, {});
+    Reconstruct(states, g, root.v, full, &a);
+    std::sort(a.nodes.begin(), a.nodes.end());
+    a.nodes.erase(std::unique(a.nodes.begin(), a.nodes.end()), a.nodes.end());
+    std::sort(a.edges.begin(), a.edges.end());
+    a.edges.erase(std::unique(a.edges.begin(), a.edges.end()), a.edges.end());
+    for (auto& kn : a.keyword_nodes) {
+      std::sort(kn.begin(), kn.end());
+      kn.erase(std::unique(kn.begin(), kn.end()), kn.end());
+    }
+    result.answers.push_back(std::move(a));
+  }
+  result.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace wikisearch::gst

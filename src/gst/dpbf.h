@@ -1,0 +1,57 @@
+// DPBF — best-first dynamic programming for the Group Steiner Tree problem
+// (Ding et al., "Finding top-k min-cost connected trees in databases",
+// ICDE'07). The paper's Related Work discusses it as the exact GST
+// baseline: effective for few keywords but exponential in their number
+// (O(3^l n + 2^l ((l + log n) n + m))), hence "not very scalable in terms
+// of the number of keywords" — which bench_baselines quantifies.
+//
+// State: T(v, S) = cheapest tree rooted at v covering keyword subset S.
+// Transitions: edge growth  T(u,S) <- T(v,S) + w(u,v)
+//              tree merge   T(v,S1|S2) <- T(v,S1) + T(v,S2)
+// explored best-first, so the first full-coverage state popped per root is
+// optimal for that root; the k best-scoring roots give the top-k trees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch::gst {
+
+struct DpbfOptions {
+  int top_k = 10;
+  /// Hard cap on keywords (state space is 2^l); queries beyond it fail.
+  size_t max_keywords = 8;
+  /// Safety cap on popped states.
+  size_t max_pops = 50'000'000;
+  /// Wall-clock budget; exceeded runs return what they have, flagged.
+  double time_limit_ms = 10000.0;
+};
+
+struct DpbfResult {
+  std::vector<AnswerGraph> answers;  // best first; central = tree root
+  double elapsed_ms = 0.0;
+  bool timed_out = false;
+  size_t pops = 0;
+  size_t states = 0;  // distinct (v, S) states materialized
+};
+
+class DpbfEngine {
+ public:
+  /// Uses hop count (uniform edge weight 1) as the tree cost, the classic
+  /// GST objective on unweighted-edge graphs.
+  DpbfEngine(const KnowledgeGraph* graph, const InvertedIndex* index);
+
+  Result<DpbfResult> SearchKeywords(const std::vector<std::string>& keywords,
+                                    const DpbfOptions& opts) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace wikisearch::gst

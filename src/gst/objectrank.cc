@@ -1,0 +1,93 @@
+#include "gst/objectrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.h"
+
+namespace wikisearch::gst {
+
+ObjectRankEngine::ObjectRankEngine(const KnowledgeGraph* graph,
+                                   const InvertedIndex* index)
+    : graph_(graph), index_(index) {}
+
+std::vector<double> ObjectRankEngine::AuthorityFlow(
+    const std::vector<NodeId>& base, const ObjectRankOptions& opts,
+    size_t* iterations) const {
+  const KnowledgeGraph& g = *graph_;
+  const size_t n = g.num_nodes();
+  std::vector<double> rank(n, 0.0), next(n, 0.0);
+  std::vector<double> restart(n, 0.0);
+  for (NodeId v : base) restart[v] = 1.0 / static_cast<double>(base.size());
+  rank = restart;
+
+  for (size_t it = 0; it < opts.max_iterations; ++it) {
+    if (iterations != nullptr) ++*iterations;
+    std::fill(next.begin(), next.end(), 0.0);
+    // Push flow along every (bi-directed) adjacency entry, split evenly —
+    // the ObjectRank authority-transfer model with uniform edge weights.
+    for (NodeId v = 0; v < n; ++v) {
+      double r = rank[v];
+      if (r == 0.0) continue;
+      size_t deg = g.Degree(v);
+      if (deg == 0) continue;
+      double share = opts.damping * r / static_cast<double>(deg);
+      for (const AdjEntry& e : g.Neighbors(v)) next[e.target] += share;
+    }
+    double delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] += (1.0 - opts.damping) * restart[v];
+      delta += std::fabs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < opts.epsilon) break;
+  }
+  return rank;
+}
+
+Result<ObjectRankResult> ObjectRankEngine::SearchKeywords(
+    const std::vector<std::string>& keywords,
+    const ObjectRankOptions& opts) const {
+  if (keywords.empty()) return Status::InvalidArgument("empty keyword query");
+  WallTimer timer;
+  std::vector<std::vector<NodeId>> groups;
+  for (const std::string& kw : keywords) {
+    std::span<const NodeId> postings = index_->Lookup(kw);
+    if (!postings.empty()) {
+      groups.emplace_back(postings.begin(), postings.end());
+    }
+  }
+  if (groups.empty()) return Status::NotFound("no keyword matches any node");
+
+  ObjectRankResult result;
+  const size_t n = graph_->num_nodes();
+  std::vector<double> combined(n, opts.and_semantics ? 1.0 : 0.0);
+  for (const auto& base : groups) {
+    std::vector<double> rank = AuthorityFlow(base, opts, &result.iterations);
+    for (NodeId v = 0; v < n; ++v) {
+      if (opts.and_semantics) {
+        combined[v] *= rank[v];
+      } else {
+        combined[v] += rank[v];
+      }
+    }
+  }
+  std::vector<RankedNode> ranked;
+  ranked.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (combined[v] > 0.0) ranked.push_back(RankedNode{v, combined[v]});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedNode& a, const RankedNode& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.node < b.node;
+            });
+  if (ranked.size() > static_cast<size_t>(opts.top_k)) {
+    ranked.resize(static_cast<size_t>(opts.top_k));
+  }
+  result.nodes = std::move(ranked);
+  result.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace wikisearch::gst

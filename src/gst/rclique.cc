@@ -1,0 +1,190 @@
+#include "gst/rclique.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/timer.h"
+
+namespace wikisearch::gst {
+
+namespace {
+
+/// Hop distances from `source` out to `radius`, as a sparse map.
+std::unordered_map<NodeId, int> BoundedBfs(const KnowledgeGraph& g,
+                                           NodeId source, int radius) {
+  std::unordered_map<NodeId, int> dist;
+  dist.emplace(source, 0);
+  std::vector<NodeId> frontier{source}, next;
+  for (int level = 1; level <= radius && !frontier.empty(); ++level) {
+    next.clear();
+    for (NodeId v : frontier) {
+      for (const AdjEntry& e : g.Neighbors(v)) {
+        if (dist.emplace(e.target, level).second) next.push_back(e.target);
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+/// Appends the reverse of one shortest path from `from` towards `to`
+/// (walking the `to`-rooted distance map downhill) into the answer.
+void MaterializePath(const KnowledgeGraph& g,
+                     const std::unordered_map<NodeId, int>& dist_from_to,
+                     NodeId from, AnswerGraph* answer) {
+  NodeId cur = from;
+  auto it = dist_from_to.find(cur);
+  if (it == dist_from_to.end()) return;
+  int d = it->second;
+  while (d > 0) {
+    for (const AdjEntry& e : g.Neighbors(cur)) {
+      auto jt = dist_from_to.find(e.target);
+      if (jt != dist_from_to.end() && jt->second == d - 1) {
+        AppendEdgesBetween(g, cur, e.target, &answer->edges);
+        answer->nodes.push_back(e.target);
+        cur = e.target;
+        d = jt->second;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RcliqueEngine::RcliqueEngine(const KnowledgeGraph* graph,
+                             const InvertedIndex* index)
+    : graph_(graph), index_(index) {}
+
+Result<RcliqueResult> RcliqueEngine::SearchKeywords(
+    const std::vector<std::string>& keywords,
+    const RcliqueOptions& opts) const {
+  if (keywords.empty()) return Status::InvalidArgument("empty keyword query");
+  const KnowledgeGraph& g = *graph_;
+  std::vector<std::vector<NodeId>> groups;
+  for (const std::string& kw : keywords) {
+    std::span<const NodeId> postings = index_->Lookup(kw);
+    if (!postings.empty()) {
+      groups.emplace_back(postings.begin(), postings.end());
+    }
+  }
+  if (groups.empty()) return Status::NotFound("no keyword matches any node");
+
+  WallTimer timer;
+  const size_t l = groups.size();
+  // Seed from the rarest group (fewest candidates).
+  size_t seed_group = 0;
+  for (size_t i = 1; i < l; ++i) {
+    if (groups[i].size() < groups[seed_group].size()) seed_group = i;
+  }
+  // Membership sets for fast "is candidate of keyword i" checks.
+  std::vector<std::unordered_map<NodeId, char>> member(l);
+  for (size_t i = 0; i < l; ++i) {
+    for (NodeId v : groups[i]) member[i].emplace(v, 1);
+  }
+
+  RcliqueResult result;
+  struct Clique {
+    std::vector<NodeId> nodes;  // one per keyword (seed group order kept)
+    int weight;                 // sum of pairwise distances
+  };
+  std::vector<Clique> cliques;
+
+  size_t seeds = std::min(groups[seed_group].size(), opts.max_seeds);
+  for (size_t s = 0; s < seeds; ++s) {
+    NodeId seed = groups[seed_group][s];
+    ++result.seeds_tried;
+    auto seed_dist = BoundedBfs(g, seed, opts.r);
+
+    // Greedy: per remaining keyword pick the candidate nearest to the seed
+    // (the VLDB'11 2-approximation), then verify all pairwise distances.
+    Clique clique;
+    clique.nodes.assign(l, kInvalidNode);
+    clique.nodes[seed_group] = seed;
+    bool feasible = true;
+    for (size_t i = 0; i < l && feasible; ++i) {
+      if (i == seed_group) continue;
+      NodeId best = kInvalidNode;
+      int best_d = opts.r + 1;
+      for (const auto& [v, d] : seed_dist) {
+        if (d < best_d && member[i].count(v)) {
+          best = v;
+          best_d = d;
+        }
+      }
+      if (best == kInvalidNode) {
+        feasible = false;
+      } else {
+        clique.nodes[i] = best;
+      }
+    }
+    if (!feasible) continue;
+
+    // Exact pairwise verification + weight.
+    std::vector<std::unordered_map<NodeId, int>> dists(l);
+    for (size_t i = 0; i < l; ++i) {
+      dists[i] = BoundedBfs(g, clique.nodes[i], opts.r);
+    }
+    int weight = 0;
+    for (size_t i = 0; i < l && feasible; ++i) {
+      for (size_t j = i + 1; j < l; ++j) {
+        auto it = dists[i].find(clique.nodes[j]);
+        if (it == dists[i].end()) {
+          feasible = false;
+          break;
+        }
+        weight += it->second;
+      }
+    }
+    if (!feasible) continue;
+    clique.weight = weight;
+    cliques.push_back(std::move(clique));
+  }
+
+  std::sort(cliques.begin(), cliques.end(),
+            [](const Clique& a, const Clique& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              return a.nodes < b.nodes;
+            });
+  // Distinct node sets only.
+  cliques.erase(std::unique(cliques.begin(), cliques.end(),
+                            [](const Clique& a, const Clique& b) {
+                              return a.nodes == b.nodes;
+                            }),
+                cliques.end());
+  if (cliques.size() > static_cast<size_t>(opts.top_k)) {
+    cliques.resize(static_cast<size_t>(opts.top_k));
+  }
+
+  // Materialize: tree of shortest paths from the seed-group member to every
+  // other member (the authors' Steiner-tree presentation of an r-clique).
+  for (const Clique& c : cliques) {
+    AnswerGraph a;
+    a.central = c.nodes[seed_group];
+    a.score = c.weight;
+    a.keyword_nodes.assign(l, {});
+    int depth = 0;
+    auto root_dist = BoundedBfs(g, a.central, opts.r);
+    for (size_t i = 0; i < l; ++i) {
+      a.keyword_nodes[i].push_back(c.nodes[i]);
+      a.nodes.push_back(c.nodes[i]);
+      auto it = root_dist.find(c.nodes[i]);
+      if (it != root_dist.end()) depth = std::max(depth, it->second);
+      MaterializePath(g, root_dist, c.nodes[i], &a);
+    }
+    a.depth = depth;
+    std::sort(a.nodes.begin(), a.nodes.end());
+    a.nodes.erase(std::unique(a.nodes.begin(), a.nodes.end()), a.nodes.end());
+    std::sort(a.edges.begin(), a.edges.end());
+    a.edges.erase(std::unique(a.edges.begin(), a.edges.end()), a.edges.end());
+    for (auto& kn : a.keyword_nodes) {
+      std::sort(kn.begin(), kn.end());
+      kn.erase(std::unique(kn.begin(), kn.end()), kn.end());
+    }
+    result.answers.push_back(std::move(a));
+  }
+  result.elapsed_ms = timer.ElapsedMs();
+  return result;
+}
+
+}  // namespace wikisearch::gst

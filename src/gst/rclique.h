@@ -1,0 +1,49 @@
+// r-clique keyword search (Kargar & An, "Keyword search in graphs: finding
+// r-cliques", VLDB'11) — the graph-shaped alternative the paper's Related
+// Work analyzes: an answer is one node per keyword with all pairwise
+// shortest distances <= r, ranked by the sum of pairwise distances. We
+// implement the paper-cited greedy (2-approximation) seeded from the
+// rarest keyword group, then materialize each clique as a tree of shortest
+// paths (the authors' own presentation step). The critique reproduced by
+// bench_baselines: r must be fixed by a domain expert, and cost explodes
+// when keywords match many nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/answer.h"
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch::gst {
+
+struct RcliqueOptions {
+  int top_k = 10;
+  /// Maximum pairwise hop distance within an answer.
+  int r = 3;
+  /// Seeds drawn from the rarest keyword group (greedy is linear in this).
+  size_t max_seeds = 256;
+};
+
+struct RcliqueResult {
+  std::vector<AnswerGraph> answers;  // best first
+  double elapsed_ms = 0.0;
+  size_t seeds_tried = 0;
+};
+
+class RcliqueEngine {
+ public:
+  RcliqueEngine(const KnowledgeGraph* graph, const InvertedIndex* index);
+
+  Result<RcliqueResult> SearchKeywords(
+      const std::vector<std::string>& keywords,
+      const RcliqueOptions& opts) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace wikisearch::gst

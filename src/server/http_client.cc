@@ -1,0 +1,54 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace wikisearch::server {
+
+Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("connect() failed");
+  }
+  std::string req = "GET " + target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close"
+                    "\r\n\r\n";
+  size_t written = 0;
+  while (written < req.size()) {
+    ssize_t n = ::write(fd, req.data() + written, req.size() - written);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::Internal("write() failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t sp = raw.find(' ');
+  size_t header_end = raw.find("\r\n\r\n");
+  if (sp == std::string::npos || header_end == std::string::npos) {
+    return Status::Corruption("malformed HTTP response");
+  }
+  HttpClientResponse resp;
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace wikisearch::server

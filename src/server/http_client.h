@@ -1,0 +1,21 @@
+// Minimal blocking HTTP client for tests, the throughput bench, and simple
+// scripting against a running wikisearch_server.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace wikisearch::server {
+
+struct HttpClientResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Performs a GET of `target` (path + optional query string, e.g.
+/// "/search?q=xml") against 127.0.0.1:`port`.
+Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target);
+
+}  // namespace wikisearch::server

@@ -1,0 +1,255 @@
+#include "server/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wikisearch::server {
+
+namespace {
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+bool ReadFully(int fd, std::string* buffer) {
+  // Reads until headers complete, then until Content-Length is satisfied.
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  size_t want_body = 0;
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = buffer->find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse content-length if present (case-insensitive scan).
+        std::string lower;
+        lower.reserve(header_end);
+        for (size_t i = 0; i < header_end; ++i) {
+          lower += static_cast<char>(std::tolower(
+              static_cast<unsigned char>((*buffer)[i])));
+        }
+        size_t pos = lower.find("content-length:");
+        if (pos != std::string::npos) {
+          want_body = static_cast<size_t>(
+              std::atoll(buffer->c_str() + pos + 15));
+        }
+      }
+    }
+    if (header_end != std::string::npos) {
+      size_t have_body = buffer->size() - (header_end + 4);
+      if (have_body >= want_body) return true;
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return header_end != std::string::npos;
+    buffer->append(chunk, static_cast<size_t>(n));
+    if (buffer->size() > (1u << 22)) return false;  // 4 MB request cap
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size() && HexVal(s[i + 1]) >= 0 &&
+               HexVal(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexVal(s[i + 1]) * 16 + HexVal(s[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseQueryString(std::string_view qs) {
+  std::map<std::string, std::string> params;
+  size_t start = 0;
+  while (start <= qs.size()) {
+    size_t end = qs.find('&', start);
+    if (end == std::string_view::npos) end = qs.size();
+    std::string_view pair = qs.substr(start, end - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params[UrlDecode(pair)] = "";
+      } else {
+        params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+Result<HttpRequest> ParseHttpRequest(const std::string& raw) {
+  size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("incomplete HTTP request");
+  }
+  size_t line_end = raw.find("\r\n");
+  std::string request_line = raw.substr(0, line_end);
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  HttpRequest req;
+  req.method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = UrlDecode(target);
+  } else {
+    req.path = UrlDecode(target.substr(0, qmark));
+    req.params = ParseQueryString(target.substr(qmark + 1));
+  }
+  // Headers.
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    std::string line = raw.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      for (char& c : key) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      req.headers[key] = line.substr(vstart);
+    }
+    pos = eol + 2;
+  }
+  req.body = raw.substr(header_end + 4);
+  return req;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Route(const std::string& path, HttpHandler handler) {
+  WS_CHECK(!running_.load());
+  routes_[path] = std::move(handler);
+}
+
+Status HttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed (port in use?)");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) w.join();
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  std::string raw;
+  HttpResponse resp;
+  if (!ReadFully(fd, &raw)) {
+    resp = HttpResponse::BadRequest("oversized or truncated request\n");
+  } else {
+    Result<HttpRequest> req = ParseHttpRequest(raw);
+    if (!req.ok()) {
+      resp = HttpResponse::BadRequest(req.status().message() + "\n");
+    } else {
+      auto it = routes_.find(req->path);
+      if (it == routes_.end()) {
+        resp = HttpResponse::NotFound();
+      } else {
+        resp = it->second(*req);
+      }
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + resp.body;
+  size_t written = 0;
+  while (written < out.size()) {
+    ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace wikisearch::server

@@ -1,0 +1,105 @@
+// Minimal HTTP/1.1 server on POSIX sockets — the substrate for the
+// repository's stand-in of the paper's online WikiSearch service. Scope is
+// deliberately small: GET/POST routing, query-string parsing,
+// percent-decoding, fixed-size bodies, one worker thread per accepted
+// connection (queries are CPU-bound and short).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wikisearch::server {
+
+struct HttpRequest {
+  std::string method;                           // "GET", "POST"
+  std::string path;                             // decoded, without query
+  std::map<std::string, std::string> params;    // decoded query parameters
+  std::map<std::string, std::string> headers;   // lower-cased keys
+  std::string body;
+
+  /// Parameter lookup with default.
+  std::string Param(const std::string& key, std::string fallback = "") const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  static HttpResponse Json(std::string body) {
+    return HttpResponse{200, "application/json", std::move(body)};
+  }
+  static HttpResponse Text(int status, std::string body) {
+    return HttpResponse{status, "text/plain", std::move(body)};
+  }
+  static HttpResponse NotFound() { return Text(404, "not found\n"); }
+  static HttpResponse BadRequest(std::string why) {
+    return Text(400, std::move(why));
+  }
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
+std::string UrlDecode(std::string_view s);
+
+/// Parses "a=1&b=x%20y" into a decoded key/value map.
+std::map<std::string, std::string> ParseQueryString(std::string_view qs);
+
+/// Parses a raw HTTP request (request line + headers + optional body, which
+/// must already be fully present in `raw`). Exposed for testing.
+Result<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+/// Blocking multi-threaded HTTP server.
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path (any method). Must be called
+  /// before Start.
+  void Route(const std::string& path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port) and starts the accept
+  /// loop on a background thread.
+  Status Start(uint16_t port);
+
+  /// Port actually bound (useful with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener and joins all threads.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// Requests served so far.
+  uint64_t requests_served() const { return requests_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, HttpHandler> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mu_;
+};
+
+}  // namespace wikisearch::server

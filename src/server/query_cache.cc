@@ -1,0 +1,45 @@
+#include "server/query_cache.h"
+
+namespace wikisearch::server {
+
+std::optional<std::string> QueryCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void QueryCache::Put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace wikisearch::server

@@ -1,0 +1,46 @@
+// Thread-safe LRU cache for rendered query results. The paper motivates
+// interactive re-querying ("just as in Google web search"); repeated
+// queries with identical parameters are served from memory.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace wikisearch::server {
+
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached value and refreshes its recency, or nullopt.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Inserts/overwrites; evicts the least recently used entry past
+  /// capacity. A capacity of 0 disables caching.
+  void Put(const std::string& key, std::string value);
+
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace wikisearch::server

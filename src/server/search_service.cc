@@ -1,0 +1,208 @@
+#include "server/search_service.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/json.h"
+
+namespace wikisearch::server {
+
+namespace {
+
+EngineKind ParseEngine(const std::string& s) {
+  if (s == "seq") return EngineKind::kSequential;
+  if (s == "dyn") return EngineKind::kCpuDynamic;
+  if (s == "gpu") return EngineKind::kGpuSim;
+  return EngineKind::kCpuParallel;
+}
+
+}  // namespace
+
+std::string SearchResultToJson(const KnowledgeGraph& graph,
+                               const SearchResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("keywords");
+  w.BeginArray();
+  for (const auto& kw : result.keywords) w.String(kw);
+  w.EndArray();
+  w.Key("dropped_keywords");
+  w.BeginArray();
+  for (const auto& kw : result.stats.dropped_keywords) w.String(kw);
+  w.EndArray();
+  w.Key("stats");
+  w.BeginObject();
+  w.Key("levels");
+  w.Int(result.stats.levels);
+  w.Key("central_candidates");
+  w.UInt(result.stats.num_centrals);
+  w.Key("total_ms");
+  w.Double(result.timings.total_ms);
+  w.Key("expansion_ms");
+  w.Double(result.timings.expansion_ms);
+  w.Key("topdown_ms");
+  w.Double(result.timings.topdown_ms);
+  w.EndObject();
+  w.Key("answers");
+  w.BeginArray();
+  for (const AnswerGraph& a : result.answers) {
+    w.BeginObject();
+    w.Key("central");
+    w.String(graph.NodeName(a.central));
+    w.Key("depth");
+    w.Int(a.depth);
+    w.Key("score");
+    w.Double(a.score);
+    w.Key("nodes");
+    w.BeginArray();
+    for (NodeId v : a.nodes) {
+      w.BeginObject();
+      w.Key("id");
+      w.UInt(v);
+      w.Key("name");
+      w.String(graph.NodeName(v));
+      std::string matched;
+      for (size_t i = 0; i < a.keyword_nodes.size(); ++i) {
+        if (std::binary_search(a.keyword_nodes[i].begin(),
+                               a.keyword_nodes[i].end(), v)) {
+          if (!matched.empty()) matched += ' ';
+          matched += i < result.keywords.size() ? result.keywords[i]
+                                                : std::to_string(i);
+        }
+      }
+      if (!matched.empty()) {
+        w.Key("matches");
+        w.String(matched);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("edges");
+    w.BeginArray();
+    for (const AnswerEdge& e : a.edges) {
+      w.BeginObject();
+      w.Key("src");
+      w.String(graph.NodeName(e.src));
+      w.Key("label");
+      w.String(graph.LabelName(e.label));
+      w.Key("dst");
+      w.String(graph.NodeName(e.dst));
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+SearchService::SearchService(const KnowledgeGraph* graph,
+                             const InvertedIndex* index,
+                             SearchOptions defaults, size_t cache_capacity)
+    : graph_(graph),
+      index_(index),
+      defaults_(defaults),
+      cache_(cache_capacity),
+      engine_(graph, index, defaults) {}
+
+void SearchService::RegisterRoutes(HttpServer* server) {
+  server->Route("/search",
+                [this](const HttpRequest& r) { return HandleSearch(r); });
+  server->Route("/stats",
+                [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Route("/healthz",
+                [this](const HttpRequest& r) { return HandleHealth(r); });
+}
+
+HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
+  std::string q = req.Param("q");
+  if (q.empty()) {
+    errors_.fetch_add(1);
+    return HttpResponse::BadRequest("missing required parameter q\n");
+  }
+  SearchOptions opts = defaults_;
+  if (!req.Param("k").empty()) opts.top_k = std::atoi(req.Param("k").c_str());
+  if (!req.Param("alpha").empty()) {
+    opts.alpha = std::atof(req.Param("alpha").c_str());
+  }
+  if (!req.Param("lambda").empty()) {
+    opts.lambda = std::atof(req.Param("lambda").c_str());
+  }
+  opts.engine = ParseEngine(req.Param("engine", "cpu"));
+
+  std::string cache_key = q + "|" + std::to_string(opts.top_k) + "|" +
+                          std::to_string(opts.alpha) + "|" +
+                          std::to_string(opts.lambda) + "|" +
+                          EngineKindName(opts.engine);
+  if (auto cached = cache_.Get(cache_key)) {
+    queries_.fetch_add(1);
+    return HttpResponse::Json(std::move(*cached));
+  }
+
+  Result<SearchResult> result = [&] {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    return engine_.Search(q, opts);
+  }();
+  queries_.fetch_add(1);
+  if (!result.ok()) {
+    errors_.fetch_add(1);
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error");
+    w.String(result.status().ToString());
+    w.EndObject();
+    int status =
+        result.status().code() == StatusCode::kNotFound ? 404 : 400;
+    return HttpResponse{status, "application/json", std::move(w).Take()};
+  }
+  std::string body = SearchResultToJson(*graph_, *result);
+  cache_.Put(cache_key, body);
+  return HttpResponse::Json(std::move(body));
+}
+
+HttpResponse SearchService::HandleStats(const HttpRequest&) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("graph");
+  w.BeginObject();
+  w.Key("nodes");
+  w.UInt(graph_->num_nodes());
+  w.Key("triples");
+  w.UInt(graph_->num_triples());
+  w.Key("labels");
+  w.UInt(graph_->num_labels());
+  w.Key("average_distance");
+  w.Double(graph_->average_distance());
+  w.Key("pre_storage_bytes");
+  w.UInt(graph_->PreStorageBytes());
+  w.EndObject();
+  w.Key("index");
+  w.BeginObject();
+  w.Key("terms");
+  w.UInt(index_->num_terms());
+  w.Key("postings");
+  w.UInt(index_->num_postings());
+  w.EndObject();
+  w.Key("cache");
+  w.BeginObject();
+  w.Key("entries");
+  w.UInt(cache_.size());
+  w.Key("hits");
+  w.UInt(cache_.hits());
+  w.Key("misses");
+  w.UInt(cache_.misses());
+  w.EndObject();
+  w.Key("queries");
+  w.UInt(queries_.load());
+  w.Key("errors");
+  w.UInt(errors_.load());
+  w.EndObject();
+  return HttpResponse::Json(std::move(w).Take());
+}
+
+HttpResponse SearchService::HandleHealth(const HttpRequest&) {
+  return HttpResponse::Text(200, "ok\n");
+}
+
+}  // namespace wikisearch::server

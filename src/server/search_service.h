@@ -1,0 +1,57 @@
+// The WikiSearch query service: wires a SearchEngine into HTTP routes and
+// renders answers as JSON — the repository's counterpart of the paper's
+// online system at dbgpucluster-2.d2.comp.nus.edu.sg.
+//
+// Routes:
+//   GET /search?q=<keywords>[&k=][&alpha=][&lambda=][&engine=cpu|seq|dyn|gpu]
+//   GET /stats      — graph, index, cache and server counters
+//   GET /healthz    — liveness probe
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/engine.h"
+#include "server/http_server.h"
+#include "server/query_cache.h"
+
+namespace wikisearch::server {
+
+/// Renders a SearchResult as the service's JSON document.
+std::string SearchResultToJson(const KnowledgeGraph& graph,
+                               const SearchResult& result);
+
+class SearchService {
+ public:
+  /// Graph and index must outlive the service.
+  SearchService(const KnowledgeGraph* graph, const InvertedIndex* index,
+                SearchOptions defaults = {}, size_t cache_capacity = 256);
+
+  /// Registers /search, /stats and /healthz on the server.
+  void RegisterRoutes(HttpServer* server);
+
+  // Handlers are public so tests can drive them without sockets.
+  HttpResponse HandleSearch(const HttpRequest& req);
+  HttpResponse HandleStats(const HttpRequest& req);
+  HttpResponse HandleHealth(const HttpRequest& req);
+
+  const QueryCache& cache() const { return cache_; }
+
+ private:
+  const KnowledgeGraph* graph_;
+  const InvertedIndex* index_;
+  SearchOptions defaults_;
+  QueryCache cache_;
+  // SearchEngine instances are not safe for concurrent queries (shared
+  // worker pool); the HTTP layer spawns a thread per connection, so searches
+  // are serialized here. Queries are milliseconds; this matches the paper's
+  // single-GPU deployment where queries queue at the device anyway.
+  std::mutex engine_mu_;
+  SearchEngine engine_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace wikisearch::server

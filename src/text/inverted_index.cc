@@ -1,0 +1,149 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace wikisearch {
+
+InvertedIndex InvertedIndex::Build(const KnowledgeGraph& g,
+                                   const AnalyzerOptions& opts) {
+  InvertedIndex index;
+  index.opts_ = opts;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (std::string& term : AnalyzeText(g.NodeName(v), opts)) {
+      index.postings_[std::move(term)].push_back(v);
+    }
+  }
+  index.total_postings_ = 0;
+  for (auto& [term, list] : index.postings_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    list.shrink_to_fit();
+    index.total_postings_ += list.size();
+  }
+  return index;
+}
+
+std::span<const NodeId> InvertedIndex::Lookup(
+    std::string_view raw_keyword) const {
+  std::vector<std::string> terms = AnalyzeText(raw_keyword, opts_);
+  if (terms.empty()) return {};
+  // A single keyword analyzes to at most one term in practice; if the
+  // analyzer splits it, take the first term.
+  return LookupTerm(terms.front());
+}
+
+std::span<const NodeId> InvertedIndex::LookupTerm(
+    const std::string& term) const {
+  auto it = postings_.find(term);
+  if (it == postings_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::vector<std::string> InvertedIndex::AnalyzeQuery(
+    std::string_view query) const {
+  std::vector<std::string> terms = AnalyzeText(query, opts_);
+  std::vector<std::string> unique;
+  for (auto& t : terms) {
+    if (std::find(unique.begin(), unique.end(), t) == unique.end()) {
+      unique.push_back(std::move(t));
+    }
+  }
+  return unique;
+}
+
+namespace {
+
+constexpr char kIndexMagic[4] = {'W', 'S', 'I', 'X'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) return Status::IoError("short write");
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) return Status::IoError("short read");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InvertedIndex::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  WS_RETURN_NOT_OK(WriteAll(f.get(), kIndexMagic, sizeof(kIndexMagic)));
+  uint8_t flags[3] = {opts_.lowercase, opts_.remove_stopwords, opts_.stem};
+  WS_RETURN_NOT_OK(WriteAll(f.get(), flags, sizeof(flags)));
+  uint64_t lens[2] = {opts_.min_token_len, opts_.max_token_len};
+  WS_RETURN_NOT_OK(WriteAll(f.get(), lens, sizeof(lens)));
+  uint64_t num_terms = postings_.size();
+  WS_RETURN_NOT_OK(WriteAll(f.get(), &num_terms, sizeof(num_terms)));
+  for (const auto& [term, list] : postings_) {
+    uint32_t tlen = static_cast<uint32_t>(term.size());
+    uint64_t plen = list.size();
+    WS_RETURN_NOT_OK(WriteAll(f.get(), &tlen, sizeof(tlen)));
+    WS_RETURN_NOT_OK(WriteAll(f.get(), term.data(), tlen));
+    WS_RETURN_NOT_OK(WriteAll(f.get(), &plen, sizeof(plen)));
+    WS_RETURN_NOT_OK(
+        WriteAll(f.get(), list.data(), plen * sizeof(NodeId)));
+  }
+  return Status::OK();
+}
+
+Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  WS_RETURN_NOT_OK(ReadAll(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::Corruption("bad magic; not a WSIX file: " + path);
+  }
+  InvertedIndex index;
+  uint8_t flags[3];
+  WS_RETURN_NOT_OK(ReadAll(f.get(), flags, sizeof(flags)));
+  index.opts_.lowercase = flags[0];
+  index.opts_.remove_stopwords = flags[1];
+  index.opts_.stem = flags[2];
+  uint64_t lens[2];
+  WS_RETURN_NOT_OK(ReadAll(f.get(), lens, sizeof(lens)));
+  index.opts_.min_token_len = lens[0];
+  index.opts_.max_token_len = lens[1];
+  uint64_t num_terms = 0;
+  WS_RETURN_NOT_OK(ReadAll(f.get(), &num_terms, sizeof(num_terms)));
+  if (num_terms > (1ULL << 30)) return Status::Corruption("implausible size");
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    uint32_t tlen = 0;
+    WS_RETURN_NOT_OK(ReadAll(f.get(), &tlen, sizeof(tlen)));
+    if (tlen > (1u << 20)) return Status::Corruption("implausible term");
+    std::string term(tlen, '\0');
+    WS_RETURN_NOT_OK(ReadAll(f.get(), term.data(), tlen));
+    uint64_t plen = 0;
+    WS_RETURN_NOT_OK(ReadAll(f.get(), &plen, sizeof(plen)));
+    if (plen > (1ULL << 32)) return Status::Corruption("implausible list");
+    std::vector<NodeId> list(plen);
+    WS_RETURN_NOT_OK(ReadAll(f.get(), list.data(), plen * sizeof(NodeId)));
+    index.total_postings_ += list.size();
+    index.postings_.emplace(std::move(term), std::move(list));
+  }
+  return index;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, list] : postings_) {
+    bytes += term.size() + sizeof(term) + list.capacity() * sizeof(NodeId) +
+             sizeof(list);
+  }
+  return bytes;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,64 @@
+// Inverted index mapping analyzed keyword terms to the nodes whose names
+// contain them — the keyword-node sets T_i that seed each BFS instance
+// (Sec. III). This is the only text index the algorithm requires; the paper
+// stresses that, unlike BLINKS, no keyword-distance precomputation is needed.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "text/tokenizer.h"
+
+namespace wikisearch {
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Builds the index over all node names of `g`.
+  static InvertedIndex Build(const KnowledgeGraph& g,
+                             const AnalyzerOptions& opts = {});
+
+  /// Posting list (sorted unique NodeIds) for a *raw* keyword; the keyword is
+  /// run through the same analyzer as documents. Empty if unknown.
+  std::span<const NodeId> Lookup(std::string_view raw_keyword) const;
+
+  /// Posting list for an already-analyzed term.
+  std::span<const NodeId> LookupTerm(const std::string& term) const;
+
+  /// Document frequency of a raw keyword (the paper's "keyword frequency",
+  /// Table V's kwf columns).
+  size_t KeywordFrequency(std::string_view raw_keyword) const {
+    return Lookup(raw_keyword).size();
+  }
+
+  /// Analyzes a free-text query into terms (duplicates removed, order kept).
+  std::vector<std::string> AnalyzeQuery(std::string_view query) const;
+
+  size_t num_terms() const { return postings_.size(); }
+  size_t num_postings() const { return total_postings_; }
+
+  /// Approximate resident bytes.
+  size_t MemoryBytes() const;
+
+  const AnalyzerOptions& options() const { return opts_; }
+
+  /// Persists the index (terms + posting lists + analyzer options) to a
+  /// binary file, so services can skip the build on startup.
+  Status Save(const std::string& path) const;
+  static Result<InvertedIndex> Load(const std::string& path);
+
+ private:
+  AnalyzerOptions opts_;
+  std::unordered_map<std::string, std::vector<NodeId>> postings_;
+  size_t total_postings_ = 0;
+};
+
+}  // namespace wikisearch

@@ -1,0 +1,238 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace wikisearch {
+
+namespace {
+
+// Direct transliteration of the original algorithm. `b` holds the word,
+// `k` indexes its last character, `j` marks the candidate stem end set by
+// Ends().
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left alone
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_ + 1));
+    return b_;
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j_]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // consonant-vowel-consonant ending at i, where the final consonant is not
+  // w, x or y. Restores an 'e' after e.g. "hop(e)" -> "hoping" -> "hope".
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool Ends(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (std::memcmp(b_.data() + (k_ + 1 - len), s,
+                    static_cast<size_t>(len)) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  void SetTo(const char* s) {
+    const int len = static_cast<int>(std::strlen(s));
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s, static_cast<size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  void Step2() {
+    struct Rule {
+      const char* suffix;
+      const char* replacement;
+    };
+    static constexpr Rule kRules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    };
+    for (const Rule& r : kRules) {
+      if (Ends(r.suffix)) {
+        ReplaceIfMeasure(r.replacement);
+        return;
+      }
+    }
+  }
+
+  void Step3() {
+    struct Rule {
+      const char* suffix;
+      const char* replacement;
+    };
+    static constexpr Rule kRules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    };
+    for (const Rule& r : kRules) {
+      if (Ends(r.suffix)) {
+        ReplaceIfMeasure(r.replacement);
+        return;
+      }
+    }
+  }
+
+  void Step4() {
+    static constexpr const char* kSuffixes[] = {
+        "al",  "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+        "ement", "ment", "ent", "ion", "ou",  "ism",  "ate",  "iti",
+        "ous", "ive",  "ize",
+    };
+    for (const char* s : kSuffixes) {
+      if (!Ends(s)) continue;
+      if (std::strcmp(s, "ion") == 0) {
+        char c = (j_ >= 0) ? b_[static_cast<size_t>(j_)] : '\0';
+        if (c != 's' && c != 't') continue;
+      }
+      if (Measure() > 1) k_ = j_;
+      return;
+    }
+  }
+
+  void Step5() {
+    // Step 5a.
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    // Step 5b.
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(word).Run();
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,15 @@
+// Porter stemming algorithm (M.F. Porter, 1980), implemented from the
+// original paper's rule tables. Reduces inflected English words to a common
+// stem: "relational" -> "relat", "indexing" -> "index".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wikisearch {
+
+/// Returns the Porter stem of a lowercase ASCII word. Words shorter than
+/// 3 characters are returned unchanged (per the algorithm).
+std::string PorterStem(std::string_view word);
+
+}  // namespace wikisearch

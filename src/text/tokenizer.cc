@@ -1,0 +1,69 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+
+namespace wikisearch {
+
+namespace {
+
+const std::unordered_set<std::string_view>& StopWordSet() {
+  // Standard English stop list (Snowball-derived) plus connective tokens
+  // common in knowledge-base entity names.
+  static const auto* kSet = new std::unordered_set<std::string_view>{
+      "a",     "an",    "and",   "are",   "as",    "at",    "be",    "but",
+      "by",    "for",   "from",  "had",   "has",   "have",  "he",    "her",
+      "his",   "how",   "if",    "in",    "into",  "is",    "it",    "its",
+      "no",    "not",   "of",    "on",    "or",    "our",   "she",   "so",
+      "than",  "that",  "the",   "their", "them",  "then",  "there", "these",
+      "they",  "this",  "those", "to",    "was",   "we",    "were",  "what",
+      "when",  "where", "which", "who",   "will",  "with",  "would", "you",
+      "your",  "via",   "per",   "within",
+  };
+  return *kSet;
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view token) {
+  return StopWordSet().count(token) > 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> AnalyzeText(std::string_view text,
+                                     const AnalyzerOptions& opts) {
+  std::vector<std::string> out;
+  for (std::string& token : Tokenize(text)) {
+    if (opts.lowercase) {
+      for (char& c : token) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (token.size() < opts.min_token_len ||
+        token.size() > opts.max_token_len) {
+      continue;
+    }
+    if (opts.remove_stopwords && IsStopWord(token)) continue;
+    if (opts.stem) token = PorterStem(token);
+    out.push_back(std::move(token));
+  }
+  return out;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,32 @@
+// Text analysis pipeline applied to node names and user queries: lowercase,
+// split on non-alphanumerics, stop-word filtering and Porter stemming. The
+// paper applies "stopping word filtering and word stemming" before indexing
+// (Sec. II), and we do exactly the same on both documents and queries so
+// terms match.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikisearch {
+
+struct AnalyzerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  bool stem = true;
+  size_t min_token_len = 2;
+  size_t max_token_len = 40;
+};
+
+/// Splits text on non-alphanumeric characters. No normalization.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Full pipeline: tokenize + lowercase + stopword filter + stem.
+std::vector<std::string> AnalyzeText(std::string_view text,
+                                     const AnalyzerOptions& opts = {});
+
+/// True if `token` (already lowercased) is a stop word.
+bool IsStopWord(std::string_view token);
+
+}  // namespace wikisearch

@@ -1,0 +1,134 @@
+// Property tests for the BANKS baselines against an independent reference:
+// on random graphs, BANKS-I's best root score must equal the minimum over
+// all nodes of the sum of per-keyword Dijkstra distances under the same
+// edge-cost model.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "banks/banks.h"
+#include "common/random.h"
+#include "test_util.h"
+
+namespace wikisearch::banks {
+namespace {
+
+using ::wikisearch::testing::MakeGraph;
+
+/// Reference Dijkstra with the BANKS entry-cost model.
+std::vector<double> RefDijkstra(const KnowledgeGraph& g,
+                                const std::vector<NodeId>& sources) {
+  std::vector<double> cost(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) cost[v] = BanksEdgeCost(g, v);
+  std::vector<double> dist(g.num_nodes(),
+                           std::numeric_limits<double>::infinity());
+  using E = std::pair<double, NodeId>;
+  std::priority_queue<E, std::vector<E>, std::greater<E>> pq;
+  for (NodeId s : sources) {
+    dist[s] = 0;
+    pq.emplace(0, s);
+  }
+  while (!pq.empty()) {
+    auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v]) continue;
+    for (const AdjEntry& e : g.Neighbors(v)) {
+      double nd = d + cost[e.target];
+      if (nd < dist[e.target]) {
+        dist[e.target] = nd;
+        pq.emplace(nd, e.target);
+      }
+    }
+  }
+  return dist;
+}
+
+class BanksDijkstraPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(BanksDijkstraPropertyTest, BestScoreMatchesReference) {
+  Rng rng(GetParam() * 101 + 3);
+  const size_t n = 20 + rng.Uniform(40);
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng.Uniform(i)), static_cast<int>(i)});
+  }
+  for (size_t e = 0; e < n; ++e) {
+    edges.push_back({static_cast<int>(rng.Uniform(n)),
+                     static_cast<int>(rng.Uniform(n))});
+  }
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = "n" + std::to_string(i);
+    if (rng.Bernoulli(0.2)) name += " kwa";
+    if (rng.Bernoulli(0.2)) name += " kwb";
+    b.AddNode(name);
+  }
+  LabelId l = b.AddLabel("r");
+  for (auto [u, v] : edges) {
+    ASSERT_TRUE(
+        b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), l).ok());
+  }
+  KnowledgeGraph g = std::move(b).Build();
+  InvertedIndex index = InvertedIndex::Build(g);
+  if (index.Lookup("kwa").empty() || index.Lookup("kwb").empty()) {
+    GTEST_SKIP() << "random graph lacks a keyword";
+  }
+
+  BanksEngine engine(&g, &index);
+  BanksOptions opts;
+  opts.variant = BanksVariant::kBanks1;
+  opts.top_k = 1;
+  opts.time_limit_ms = 10000;
+  auto res = engine.SearchKeywords({"kwa", "kwb"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->answers.empty());
+
+  auto da = RefDijkstra(g, {index.Lookup("kwa").begin(),
+                            index.Lookup("kwa").end()});
+  auto db = RefDijkstra(g, {index.Lookup("kwb").begin(),
+                            index.Lookup("kwb").end()});
+  double best = std::numeric_limits<double>::infinity();
+  for (NodeId v = 0; v < n; ++v) best = std::min(best, da[v] + db[v]);
+  EXPECT_NEAR(res->answers[0].score, best, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BanksDijkstraPropertyTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(BanksComparisonTest, Banks2NeverBeatsBanks1Optimum) {
+  // BANKS-II is a heuristic over the same scoring; with generous budget its
+  // best answer can match but not beat BANKS-I's optimal backward-search
+  // score (distances are exact lower bounds).
+  Rng rng(4242);
+  GraphBuilder b;
+  const size_t n = 60;
+  for (size_t i = 0; i < n; ++i) {
+    std::string name = "n" + std::to_string(i);
+    if (i % 9 == 0) name += " kwa";
+    if (i % 11 == 0) name += " kwb";
+    b.AddNode(name);
+  }
+  LabelId l = b.AddLabel("r");
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_TRUE(b.AddEdge(static_cast<NodeId>(rng.Uniform(i)),
+                          static_cast<NodeId>(i), l)
+                    .ok());
+  }
+  KnowledgeGraph g = std::move(b).Build();
+  InvertedIndex index = InvertedIndex::Build(g);
+  BanksEngine engine(&g, &index);
+  BanksOptions b1, b2;
+  b1.variant = BanksVariant::kBanks1;
+  b2.variant = BanksVariant::kBanks2;
+  b1.time_limit_ms = b2.time_limit_ms = 10000;
+  auto r1 = engine.SearchKeywords({"kwa", "kwb"}, b1);
+  auto r2 = engine.SearchKeywords({"kwa", "kwb"}, b2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_FALSE(r1->answers.empty());
+  ASSERT_FALSE(r2->answers.empty());
+  EXPECT_GE(r2->answers[0].score, r1->answers[0].score - 1e-4);
+}
+
+}  // namespace
+}  // namespace wikisearch::banks

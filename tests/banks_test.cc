@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "banks/banks.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch::banks {
+namespace {
+
+struct SmallKb {
+  SmallKb() {
+    GraphBuilder b;
+    // Two "papers" linked to shared venue and authors.
+    b.AddTriple("paper alpha indexing", "published in", "vldb venue");
+    b.AddTriple("paper beta ranking", "published in", "vldb venue");
+    b.AddTriple("paper alpha indexing", "written by", "alice author");
+    b.AddTriple("paper beta ranking", "written by", "alice author");
+    b.AddTriple("paper gamma search", "written by", "bob author");
+    b.AddTriple("paper gamma search", "published in", "sigmod venue");
+    graph = std::move(b).Build();
+    AttachNodeWeights(&graph);
+    AttachAverageDistance(&graph, 500, 3);
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+TEST(BanksEdgeCostTest, PenalizesHighInDegree) {
+  GraphBuilder b;
+  for (int i = 0; i < 10; ++i) b.AddTriple("s" + std::to_string(i), "r", "hub");
+  b.AddTriple("s0", "r2", "leaf");
+  KnowledgeGraph g = std::move(b).Build();
+  EXPECT_GT(BanksEdgeCost(g, g.FindNode("hub")),
+            BanksEdgeCost(g, g.FindNode("leaf")));
+  EXPECT_GE(BanksEdgeCost(g, g.FindNode("s1")), 1.0);  // zero in-degree -> 1
+}
+
+class BanksVariantTest : public ::testing::TestWithParam<BanksVariant> {};
+
+TEST_P(BanksVariantTest, AnswersCoverAllKeywords) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  BanksOptions opts;
+  opts.variant = GetParam();
+  opts.top_k = 5;
+  Result<BanksResult> res =
+      engine.SearchKeywords({"indexing", "ranking"}, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res->answers.empty());
+  for (const AnswerGraph& a : res->answers) {
+    wikisearch::testing::CheckAnswerInvariants(kb.graph, a, 2);
+  }
+}
+
+TEST_P(BanksVariantTest, BestRootJoinsNearestLeaves) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  BanksOptions opts;
+  opts.variant = GetParam();
+  opts.top_k = 3;
+  Result<BanksResult> res =
+      engine.SearchKeywords({"alpha", "beta"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->answers.empty());
+  // Both "paper alpha"/"paper beta" connect via `vldb venue` or
+  // `alice author`; the best tree must contain both papers.
+  const AnswerGraph& best = res->answers[0];
+  EXPECT_TRUE(best.ContainsNode(kb.graph.FindNode("paper alpha indexing")));
+  EXPECT_TRUE(best.ContainsNode(kb.graph.FindNode("paper beta ranking")));
+  EXPECT_LE(best.nodes.size(), 3u);
+}
+
+TEST_P(BanksVariantTest, ScoresAreSortedAscending) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  BanksOptions opts;
+  opts.variant = GetParam();
+  opts.top_k = 10;
+  Result<BanksResult> res = engine.SearchKeywords({"paper", "author"}, opts);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 1; i < res->answers.size(); ++i) {
+    EXPECT_LE(res->answers[i - 1].score, res->answers[i].score);
+  }
+}
+
+TEST_P(BanksVariantTest, SingleKeywordReturnsKeywordNodes) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  BanksOptions opts;
+  opts.variant = GetParam();
+  opts.top_k = 5;
+  Result<BanksResult> res = engine.SearchKeywords({"paper"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->answers.empty());
+  // Roots are the keyword nodes themselves at distance 0.
+  EXPECT_EQ(res->answers[0].score, 0.0);
+  EXPECT_EQ(res->answers[0].nodes.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, BanksVariantTest,
+                         ::testing::Values(BanksVariant::kBanks1,
+                                           BanksVariant::kBanks2));
+
+TEST(BanksEngineTest, EmptyQueryRejected) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  EXPECT_FALSE(engine.SearchKeywords({}, BanksOptions{}).ok());
+}
+
+TEST(BanksEngineTest, UnknownKeywordsNotFound) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  Result<BanksResult> res =
+      engine.SearchKeywords({"zzzmissing"}, BanksOptions{});
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BanksEngineTest, TimeBudgetHonored) {
+  SmallKb kb;
+  BanksEngine engine(&kb.graph, &kb.index);
+  BanksOptions opts;
+  opts.time_limit_ms = 0.0;  // expire immediately
+  opts.max_pops = 2000;      // also bound work
+  Result<BanksResult> res = engine.SearchKeywords({"paper", "author"}, opts);
+  ASSERT_TRUE(res.ok());
+  // With a zero budget the run must stop quickly (either flagged as timed
+  // out after the first check or finished naturally on this tiny graph).
+  EXPECT_LE(res->pops, 2001u);
+}
+
+TEST(BanksEngineTest, Banks1DistancesAreShortestCosts) {
+  // On a weighted path, the root between two keywords must be the cost
+  // midpoint, and the answer tree must be the whole path.
+  GraphBuilder b;
+  b.AddTriple("left keyword", "r", "mid one");
+  b.AddTriple("mid one", "r", "mid two");
+  b.AddTriple("mid two", "r", "right keyword");
+  KnowledgeGraph g = std::move(b).Build();
+  AttachNodeWeights(&g);
+  AttachAverageDistance(&g, 100, 3);
+  InvertedIndex index = InvertedIndex::Build(g);
+  BanksEngine engine(&g, &index);
+  BanksOptions opts;
+  opts.variant = BanksVariant::kBanks1;
+  opts.top_k = 1;
+  Result<BanksResult> res = engine.SearchKeywords({"left", "right"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->answers.size(), 1u);
+  EXPECT_EQ(res->answers[0].nodes.size(), 4u);  // entire path retained
+}
+
+}  // namespace
+}  // namespace wikisearch::banks

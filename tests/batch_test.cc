@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "gen/workload.h"
+#include "graph/distance_sampler.h"
+
+namespace wikisearch {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1200;
+    cfg.num_communities = 8;
+    cfg.num_topic_nodes = 8;
+    cfg.vocab_size = 1500;
+    cfg.seed = 55;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1000, 3);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+std::vector<std::vector<std::string>> SomeQueries(const Fixture& f,
+                                                  size_t count) {
+  auto workload = gen::MakeEfficiencyWorkload(f.kb, f.index, 3, count, 9);
+  std::vector<std::vector<std::string>> out;
+  for (auto& q : workload) out.push_back(q.keywords);
+  return out;
+}
+
+TEST(BatchSearchTest, MatchesSequentialExecution) {
+  Fixture f;
+  auto queries = SomeQueries(f, 6);
+  BatchOptions opts;
+  opts.concurrency = 4;
+  opts.search.top_k = 5;
+  opts.search.threads = 1;
+  auto batch = BatchSearch(&f.kb.graph, &f.index, queries, opts);
+
+  SearchEngine engine(&f.kb.graph, &f.index, opts.search);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << i;
+    auto seq = engine.SearchKeywords(queries[i], opts.search);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_EQ(batch[i]->answers.size(), seq->answers.size()) << i;
+    for (size_t a = 0; a < seq->answers.size(); ++a) {
+      EXPECT_EQ(batch[i]->answers[a].central, seq->answers[a].central);
+      EXPECT_EQ(batch[i]->answers[a].nodes, seq->answers[a].nodes);
+    }
+  }
+}
+
+TEST(BatchSearchTest, PreservesInputOrderAndErrors) {
+  Fixture f;
+  auto queries = SomeQueries(f, 3);
+  queries.insert(queries.begin() + 1, {"zzznotaterm"});
+  BatchOptions opts;
+  opts.concurrency = 3;
+  auto results = BatchSearch(&f.kb.graph, &f.index, queries, opts);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[3].ok());
+}
+
+TEST(BatchSearchTest, EmptyBatch) {
+  Fixture f;
+  EXPECT_TRUE(BatchSearch(&f.kb.graph, &f.index, {}, BatchOptions{}).empty());
+}
+
+TEST(BatchSearchTest, SingleWorkerPath) {
+  Fixture f;
+  auto queries = SomeQueries(f, 2);
+  BatchOptions opts;
+  opts.concurrency = 1;
+  auto results = BatchSearch(&f.kb.graph, &f.index, queries, opts);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+}
+
+TEST(BatchSearchTest, ConcurrencyExceedingQueriesIsSafe) {
+  Fixture f;
+  auto queries = SomeQueries(f, 2);
+  BatchOptions opts;
+  opts.concurrency = 16;
+  auto results = BatchSearch(&f.kb.graph, &f.index, queries, opts);
+  for (const auto& r : results) EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace wikisearch

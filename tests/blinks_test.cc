@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "blinks/blinks_engine.h"
+#include "blinks/blinks_index.h"
+#include "graph/graph_algos.h"
+#include "test_util.h"
+
+namespace wikisearch::blinks {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    GraphBuilder b;
+    b.AddTriple("alpha start", "r", "mid one");
+    b.AddTriple("mid one", "r", "mid two");
+    b.AddTriple("mid two", "r", "omega end");
+    b.AddTriple("mid one", "r", "branch alpha");
+    graph = std::move(b).Build();
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+TEST(BlinksIndexTest, DistancesMatchReferenceBfs) {
+  Fixture f;
+  BlinksIndex blinks = BlinksIndex::Build(f.graph, f.index, /*radius=*/4);
+  // Reference: multi-source BFS from nodes containing "alpha".
+  std::span<const NodeId> sources = f.index.Lookup("alpha");
+  std::vector<NodeId> src(sources.begin(), sources.end());
+  auto ref = BfsDistances(f.graph, src);
+  for (NodeId v = 0; v < f.graph.num_nodes(); ++v) {
+    int got = blinks.Distance("alpha", v);
+    if (ref[v] == kUnreachable || ref[v] > 4) {
+      EXPECT_EQ(got, -1) << v;
+    } else {
+      EXPECT_EQ(got, static_cast<int>(ref[v])) << v;
+    }
+  }
+}
+
+TEST(BlinksIndexTest, RadiusCapsLists) {
+  Fixture f;
+  BlinksIndex tight = BlinksIndex::Build(f.graph, f.index, /*radius=*/1);
+  BlinksIndex wide = BlinksIndex::Build(f.graph, f.index, /*radius=*/4);
+  EXPECT_LT(tight.stats().entries, wide.stats().entries);
+  EXPECT_LT(tight.stats().bytes, wide.stats().bytes);
+  // "omega" is 3 hops from "alpha start": invisible at radius 1.
+  NodeId start = f.graph.FindNode("alpha start");
+  EXPECT_EQ(tight.Distance("omega", start), -1);
+  EXPECT_EQ(wide.Distance("omega", start), 3);
+}
+
+TEST(BlinksIndexTest, ListsSortedByDistance) {
+  Fixture f;
+  BlinksIndex blinks = BlinksIndex::Build(f.graph, f.index, 4);
+  auto list = blinks.List("alpha");
+  ASSERT_FALSE(list.empty());
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LE(list[i - 1].dist, list[i].dist);
+  }
+  EXPECT_EQ(list[0].dist, 0);  // sources first
+}
+
+TEST(BlinksIndexTest, MinDfFiltersRareTerms) {
+  Fixture f;
+  BlinksIndex filtered = BlinksIndex::Build(f.graph, f.index, 4,
+                                            /*min_df=*/2);
+  EXPECT_TRUE(filtered.List("omega").empty());   // df == 1
+  EXPECT_FALSE(filtered.List("alpha").empty());  // df == 2
+}
+
+TEST(BlinksEngineTest, FindsBestRootByDistanceSum) {
+  Fixture f;
+  BlinksIndex blinks = BlinksIndex::Build(f.graph, f.index, 4);
+  BlinksEngine engine(&f.graph, &f.index, &blinks);
+  BlinksOptions opts;
+  opts.top_k = 3;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res->answers.empty());
+  // Path: alpha start - mid one - mid two - omega end; also branch alpha at
+  // mid one. Best roots have score 3 (anywhere on the alpha..omega path).
+  EXPECT_EQ(static_cast<int>(res->answers[0].score), 3);
+  for (const AnswerGraph& a : res->answers) {
+    wikisearch::testing::CheckAnswerInvariants(f.graph, a, 2);
+  }
+}
+
+TEST(BlinksEngineTest, UnknownKeywordNotFound) {
+  Fixture f;
+  BlinksIndex blinks = BlinksIndex::Build(f.graph, f.index, 2);
+  BlinksEngine engine(&f.graph, &f.index, &blinks);
+  EXPECT_FALSE(engine.SearchKeywords({"zzz"}, BlinksOptions{}).ok());
+  EXPECT_FALSE(engine.SearchKeywords({}, BlinksOptions{}).ok());
+}
+
+TEST(BlinksEngineTest, RadiusLimitsReach) {
+  Fixture f;
+  BlinksIndex blinks = BlinksIndex::Build(f.graph, f.index, /*radius=*/1);
+  BlinksEngine engine(&f.graph, &f.index, &blinks);
+  BlinksOptions opts;
+  // alpha and omega are 3 hops apart: no root sees both within radius 1.
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->answers.empty());
+}
+
+}  // namespace
+}  // namespace wikisearch::blinks

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace wikisearch {
+namespace {
+
+// ---------------------------- Status / Result -------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad alpha");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad alpha");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Status Fails() { return Status::IoError("disk"); }
+Status Propagates() {
+  WS_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_EQ(Propagates().code(), StatusCode::kIoError);
+}
+
+// ------------------------------- Rng ---------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.UniformRange(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);  // all of -2..2 hit
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  Rng rng(5);
+  ZipfSampler zipf(100, 1.1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99] * 5);
+}
+
+TEST(ZipfTest, CoversSupport) {
+  Rng rng(5);
+  ZipfSampler zipf(3, 1.0);
+  std::set<size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(zipf.Sample(rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ----------------------------- ThreadPool -----------------------------------
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelForDynamic(100, 7, [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(10000);
+    pool.ParallelForDynamic(hits.size(), 13, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  pool.ParallelForChunked(1000, 37, [&](size_t lo, size_t hi) {
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelForDynamic(0, 1, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelForDynamic(round + 1, 1, [&](size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), round + 1);
+  }
+}
+
+TEST(ThreadPoolTest, RunOnAllHitsEveryWorkerOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.RunOnAll([&](int worker) {
+    hits[static_cast<size_t>(worker)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultGrainReasonable) {
+  EXPECT_EQ(DefaultGrain(0, 4), 1u);
+  EXPECT_GE(DefaultGrain(100, 1), 100u);
+  size_t g = DefaultGrain(1000, 4);
+  EXPECT_GE(g, 1u);
+  EXPECT_LE(g, 1000u);
+}
+
+TEST(WallTimerTest, MeasuresElapsed) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GE(t.ElapsedMs(), 0.0);
+  EXPECT_GE(t.ElapsedUs(), t.ElapsedMs());  // us value numerically larger
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,446 @@
+// Tests of the two-stage algorithm against the paper's worked examples
+// (Fig. 2 / Sec. III), the activation semantics of Sec. IV, extraction per
+// Thm. V.4, level-cover pruning (Fig. 5), and an independent fixpoint
+// formulation of hitting levels.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/extraction.h"
+#include "core/level_cover.h"
+#include "core/top_down.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using ::wikisearch::testing::FixpointCentrals;
+using ::wikisearch::testing::FixpointHits;
+using ::wikisearch::testing::MakeGraph;
+
+struct SearchRun {
+  SearchRun(const KnowledgeGraph& g, std::vector<std::vector<NodeId>> groups,
+      int top_k, double avg_dist = 2.0, double alpha = 0.5, int lmax = 20,
+      int threads = 1, bool gpu_style = false)
+      : ctx(&g, {}, std::move(groups), ActivationMap(avg_dist, alpha), lmax),
+        state(g.num_nodes(), ctx.num_keywords()),
+        pool(threads) {
+    opts.top_k = top_k;
+    opts.alpha = alpha;
+    bottom = BottomUpSearch(ctx, opts, &pool, &state, &timings, gpu_style);
+  }
+
+  std::vector<AnswerGraph> Answers() {
+    StateHitLevels hits(state);
+    auto mask = [this](NodeId v) { return state.KeywordMask(v); };
+    return TopDownProcess(ctx, opts, &pool, hits, state.centrals(), mask,
+                          &timings);
+  }
+
+  QueryContext ctx;
+  SearchState state;
+  ThreadPool pool;
+  SearchOptions opts;
+  PhaseTimings timings;
+  BottomUpResult bottom;
+};
+
+KnowledgeGraph WithZeroWeights(KnowledgeGraph g) {
+  auto st = g.SetNodeWeights(std::vector<double>(g.num_nodes(), 0.0));
+  (void)st;
+  return g;
+}
+
+// ----------------------- Paper Fig. 2 worked example -------------------------
+
+KnowledgeGraph Fig2Graph() {
+  // v0-v3, v1-v3, v1-v4, v2-v4, v3-v4 (Sec. III examples 1-3).
+  return WithZeroWeights(
+      MakeGraph(5, {{0, 3}, {1, 3}, {1, 4}, {2, 4}, {3, 4}}));
+}
+
+TEST(BottomUpTest, Fig2HittingLevels) {
+  KnowledgeGraph g = Fig2Graph();
+  SearchRun run(g, {{0}, {1, 2}}, /*top_k=*/1);
+
+  // Sources at level 0 (Example 1).
+  EXPECT_EQ(run.state.Hit(0, 0), 0);
+  EXPECT_EQ(run.state.Hit(1, 1), 0);
+  EXPECT_EQ(run.state.Hit(2, 1), 0);
+  // h^1_3 = h^1_4 = 1 (Example 1); h^0_3 = 1.
+  EXPECT_EQ(run.state.Hit(3, 1), 1);
+  EXPECT_EQ(run.state.Hit(4, 1), 1);
+  EXPECT_EQ(run.state.Hit(3, 0), 1);
+}
+
+TEST(BottomUpTest, Fig2CentralV3AtDepth1) {
+  KnowledgeGraph g = Fig2Graph();
+  SearchRun run(g, {{0}, {1, 2}}, /*top_k=*/1);
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  EXPECT_EQ(run.state.centrals()[0].node, 3u);
+  EXPECT_EQ(run.state.centrals()[0].depth, 1);
+  EXPECT_EQ(run.bottom.levels, 1);
+}
+
+TEST(BottomUpTest, Fig2CentralExclusionBlocksV4) {
+  // Sec. III-B: once v3 is identified it stops expanding, so B_0 never
+  // reaches v4 and the second Central Graph of Example 3 is not produced by
+  // the search (it exists only definitionally).
+  KnowledgeGraph g = Fig2Graph();
+  SearchRun run(g, {{0}, {1, 2}}, /*top_k=*/5);
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  EXPECT_EQ(run.state.centrals()[0].node, 3u);
+  EXPECT_TRUE(run.bottom.frontier_exhausted);
+}
+
+TEST(BottomUpTest, Fig2AnswerGraphContents) {
+  KnowledgeGraph g = Fig2Graph();
+  SearchRun run(g, {{0}, {1, 2}}, /*top_k=*/1);
+  auto answers = run.Answers();
+  ASSERT_EQ(answers.size(), 1u);
+  const AnswerGraph& a = answers[0];
+  EXPECT_EQ(a.central, 3u);
+  EXPECT_EQ(a.depth, 1);
+  // Hitting paths v0 -> v3 and v1 -> v3 (Example 3's first Central Graph).
+  EXPECT_EQ(a.nodes, (std::vector<NodeId>{0, 1, 3}));
+  testing::CheckAnswerInvariants(g, a, 2);
+}
+
+// ------------------------ Activation level semantics -------------------------
+
+TEST(BottomUpTest, ActivationDelaysHits) {
+  // Path 0-1-2-3-4 with a heavy middle node: A=2, alpha=0.5, w2=0.75
+  // -> a_2 = 3. B_0 from node 0, B_1 from node 4.
+  KnowledgeGraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto st = g.SetNodeWeights({0, 0, 0.75, 0, 0});
+  ASSERT_TRUE(st.ok());
+  SearchRun run(g, {{0}, {4}}, /*top_k=*/1);
+
+  EXPECT_EQ(run.state.Hit(1, 0), 1);
+  // Node 2 cannot be hit before its activation level 3.
+  EXPECT_EQ(run.state.Hit(2, 0), 3);
+  EXPECT_EQ(run.state.Hit(2, 1), 3);
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  EXPECT_EQ(run.state.centrals()[0].node, 2u);
+  EXPECT_EQ(run.state.centrals()[0].depth, 3);
+}
+
+TEST(BottomUpTest, KeywordNodesHitWithoutActivationRestriction) {
+  // Sec. IV-B compromise: node 2 contains a keyword and has activation 3,
+  // but may still be *hit* at level 2; it only *expands* at level >= 3.
+  KnowledgeGraph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto st = g.SetNodeWeights({0, 0, 0.75});
+  ASSERT_TRUE(st.ok());
+  SearchRun run(g, {{0}, {2}}, /*top_k=*/1);
+
+  EXPECT_EQ(run.state.Hit(2, 0), 2);  // hit freely despite a_2 = 3
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  EXPECT_EQ(run.state.centrals()[0].node, 2u);
+  EXPECT_EQ(run.state.centrals()[0].depth, 2);
+}
+
+TEST(BottomUpTest, KeywordNodeExpansionWaitsForActivation) {
+  // Path 0-1-2-3-4-5 with keywords at 0, 2, 5 and node 2 heavy (a_2 = 2).
+  // B_1's source node 2 may not expand before level 2, so node 1 is hit by
+  // B_1 only at level 3 (not 1); node 2 becomes central at level 3 when the
+  // distant B_2 arrives.
+  KnowledgeGraph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto st = g.SetNodeWeights({0, 0, 0.5, 0, 0, 0});
+  ASSERT_TRUE(st.ok());
+  SearchRun run(g, {{0}, {2}, {5}}, /*top_k=*/1);
+  EXPECT_EQ(run.state.Hit(1, 1), 3);
+  // Nodes 2 and 3 both become central at level 3 (node 3 is also hit by all
+  // three instances then).
+  ASSERT_EQ(run.state.centrals().size(), 2u);
+  EXPECT_EQ(run.state.centrals()[0].node, 2u);
+  EXPECT_EQ(run.state.centrals()[0].depth, 3);
+  EXPECT_EQ(run.state.centrals()[1].node, 3u);
+}
+
+TEST(BottomUpTest, LmaxCutsSearchOff) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 11; ++i) edges.push_back({i, i + 1});
+  KnowledgeGraph g = WithZeroWeights(MakeGraph(12, edges));
+  SearchRun run(g, {{0}, {11}}, /*top_k=*/1, 2.0, 0.5, /*lmax=*/3);
+  EXPECT_TRUE(run.state.centrals().empty());
+  EXPECT_LE(run.bottom.levels, 3);
+  EXPECT_TRUE(run.Answers().empty());
+}
+
+TEST(BottomUpTest, SingleKeywordCentralsAtDepthZero) {
+  KnowledgeGraph g = WithZeroWeights(MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}}));
+  SearchRun run(g, {{1, 2}}, /*top_k=*/2);
+  ASSERT_EQ(run.state.centrals().size(), 2u);
+  EXPECT_EQ(run.state.centrals()[0].depth, 0);
+  auto answers = run.Answers();
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].nodes.size(), 1u);  // single-node answers
+  EXPECT_EQ(answers[0].score, 0.0);        // d(C)^lambda == 0
+}
+
+// ------------------------------ Extraction -----------------------------------
+
+TEST(ExtractionTest, MultiPathsForOneKeywordRecovered) {
+  // Two nodes of keyword 1 (nodes 0, 1) both adjacent to the central node 2;
+  // keyword 0 at node 3. Central Graphs allow multiple hitting paths and
+  // multiple keyword nodes per keyword (Fig. 1's selling point).
+  KnowledgeGraph g = WithZeroWeights(MakeGraph(4, {{0, 2}, {1, 2}, {3, 2}}));
+  SearchRun run(g, {{3}, {0, 1}}, /*top_k=*/1);
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  EXPECT_EQ(run.state.centrals()[0].node, 2u);
+
+  StateHitLevels hits(run.state);
+  ExtractedGraph eg =
+      ExtractCentralGraph(run.ctx, hits, run.state.centrals()[0]);
+  using Edge = std::pair<NodeId, NodeId>;
+  EXPECT_EQ(eg.dag[0], (std::vector<Edge>{{3, 2}}));
+  EXPECT_EQ(eg.dag[1], (std::vector<Edge>{{0, 2}, {1, 2}}));
+
+  auto answers = run.Answers();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(answers[0].keyword_nodes[1], (std::vector<NodeId>{0, 1}));
+  testing::CheckAnswerInvariants(g, answers[0], 2);
+}
+
+TEST(ExtractionTest, RecurrenceRespectsWaitingPredecessors) {
+  // 0 -(kw0)- 1 - 2 -(heavy a=3)- 3(kw1). B_0: node 2 hit at 3 (activation),
+  // node 3 hit at 4. Extraction must reproduce the waiting chain.
+  KnowledgeGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto st = g.SetNodeWeights({0, 0, 0.75, 0});
+  ASSERT_TRUE(st.ok());
+  SearchRun run(g, {{0}, {3}}, /*top_k=*/1);
+  ASSERT_EQ(run.state.centrals().size(), 1u);
+  NodeId central = run.state.centrals()[0].node;
+  EXPECT_EQ(central, 2u);
+
+  StateHitLevels hits(run.state);
+  ExtractedGraph eg =
+      ExtractCentralGraph(run.ctx, hits, run.state.centrals()[0]);
+  using Edge = std::pair<NodeId, NodeId>;
+  EXPECT_EQ(eg.dag[0], (std::vector<Edge>{{0, 1}, {1, 2}}));
+  EXPECT_EQ(eg.dag[1], (std::vector<Edge>{{3, 2}}));
+}
+
+// ------------------------------ Level cover ----------------------------------
+
+TEST(LevelCoverTest, Fig5JeffreyNodesPruned) {
+  // Central node "Stanford University" (contains keyword s). Jeffrey Ullman
+  // contributes {j, u}; two extra nodes contribute only {j}. After the top
+  // level and the 2-keyword level, coverage is complete and the
+  // Jeffrey-only nodes are pruned with their paths (Fig. 5).
+  GraphBuilder b;
+  NodeId stanford = b.AddNode("stanford university");
+  NodeId ullman = b.AddNode("jeffrey ullman");
+  NodeId j1 = b.AddNode("jeffrey smith");
+  NodeId j2 = b.AddNode("jeffrey brown");
+  LabelId l = b.AddLabel("affiliated");
+  ASSERT_TRUE(b.AddEdge(ullman, stanford, l).ok());
+  ASSERT_TRUE(b.AddEdge(j1, stanford, l).ok());
+  ASSERT_TRUE(b.AddEdge(j2, stanford, l).ok());
+  KnowledgeGraph g = WithZeroWeights(std::move(b).Build());
+
+  // keywords: 0=stanford, 1=jeffrey, 2=ullman. Both `stanford` and `ullman`
+  // become Central Nodes at depth 1 (each is hit by all three instances);
+  // verify the level-cover pruning on the stanford-centered graph.
+  SearchRun run(g, {{stanford}, {ullman, j1, j2}, {ullman}}, /*top_k=*/1);
+  run.opts.dedup_answers = false;
+  run.opts.top_k = 10;
+  ASSERT_EQ(run.state.centrals().size(), 2u);
+
+  auto answers = run.Answers();
+  const AnswerGraph* stanford_answer = nullptr;
+  for (const auto& a : answers) {
+    if (a.central == stanford) stanford_answer = &a;
+  }
+  ASSERT_NE(stanford_answer, nullptr);
+  EXPECT_EQ(stanford_answer->nodes, (std::vector<NodeId>{stanford, ullman}));
+  ASSERT_EQ(stanford_answer->edges.size(), 1u);
+  EXPECT_EQ(stanford_answer->edges[0].src, ullman);
+  EXPECT_EQ(stanford_answer->edges[0].dst, stanford);
+}
+
+TEST(LevelCoverTest, DisabledKeepsFullCentralGraph) {
+  GraphBuilder b;
+  NodeId stanford = b.AddNode("stanford university");
+  NodeId ullman = b.AddNode("jeffrey ullman");
+  NodeId j1 = b.AddNode("jeffrey smith");
+  LabelId l = b.AddLabel("affiliated");
+  ASSERT_TRUE(b.AddEdge(ullman, stanford, l).ok());
+  ASSERT_TRUE(b.AddEdge(j1, stanford, l).ok());
+  KnowledgeGraph g = WithZeroWeights(std::move(b).Build());
+  SearchRun run(g, {{stanford}, {ullman, j1}, {ullman}}, 1);
+  run.opts.enable_level_cover = false;
+  run.opts.dedup_answers = false;
+  run.opts.top_k = 10;
+  auto answers = run.Answers();
+  const AnswerGraph* stanford_answer = nullptr;
+  for (const auto& a : answers) {
+    if (a.central == stanford) stanford_answer = &a;
+  }
+  ASSERT_NE(stanford_answer, nullptr);
+  EXPECT_EQ(stanford_answer->nodes,
+            (std::vector<NodeId>{stanford, ullman, j1}));
+}
+
+TEST(LevelCoverTest, NodesWithinALevelNotPrunedByEachOther) {
+  // Two single-keyword nodes for *different* keywords sit in the same level;
+  // both must be kept (pruning happens only level-by-level).
+  KnowledgeGraph g = WithZeroWeights(MakeGraph(3, {{0, 2}, {1, 2}}));
+  SearchRun run(g, {{0}, {1}}, 1);
+  auto answers = run.Answers();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+// ------------------------------- Scoring -------------------------------------
+
+TEST(ScoringTest, Eq6HandValue) {
+  KnowledgeGraph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  auto st = g.SetNodeWeights({0.5, 0.25, 0.75});
+  ASSERT_TRUE(st.ok());
+  AnswerGraph a;
+  a.depth = 3;
+  a.nodes = {0, 1, 2};
+  EXPECT_NEAR(ScoreAnswer(g, a, 0.2), std::pow(3.0, 0.2) * 1.5, 1e-12);
+}
+
+TEST(ScoringTest, AnswerOrderDeterministicTieBreaks) {
+  AnswerGraph a, b;
+  a.score = b.score = 1.0;
+  a.depth = 1;
+  b.depth = 2;
+  EXPECT_TRUE(AnswerOrder(a, b));
+  b.depth = 1;
+  a.nodes = {1};
+  b.nodes = {1, 2};
+  EXPECT_TRUE(AnswerOrder(a, b));
+  b.nodes = {1};
+  a.central = 3;
+  b.central = 5;
+  EXPECT_TRUE(AnswerOrder(a, b));
+}
+
+TEST(SelectTopKTest, DropsNestedAnswers) {
+  SearchOptions opts;
+  opts.top_k = 5;
+  AnswerGraph small, container, other;
+  small.central = 1;
+  small.score = 1.0;
+  small.nodes = {1, 2};
+  container.central = 2;
+  container.score = 2.0;
+  container.nodes = {1, 2, 3};  // contains `small`
+  other.central = 3;
+  other.score = 3.0;
+  other.nodes = {7, 8};
+  auto selected = SelectTopK({container, small, other}, opts);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].central, 1u);
+  EXPECT_EQ(selected[1].central, 3u);
+}
+
+TEST(SelectTopKTest, KeepsNestedWhenDedupDisabled) {
+  SearchOptions opts;
+  opts.top_k = 5;
+  opts.dedup_answers = false;
+  AnswerGraph small, container;
+  small.central = 1;
+  small.score = 1.0;
+  small.nodes = {1, 2};
+  container.central = 2;
+  container.score = 2.0;
+  container.nodes = {1, 2, 3};
+  EXPECT_EQ(SelectTopK({container, small}, opts).size(), 2u);
+}
+
+TEST(SelectTopKTest, TruncatesToK) {
+  SearchOptions opts;
+  opts.top_k = 2;
+  std::vector<AnswerGraph> cands(5);
+  for (int i = 0; i < 5; ++i) {
+    cands[static_cast<size_t>(i)].central = static_cast<NodeId>(i);
+    cands[static_cast<size_t>(i)].score = i;
+    cands[static_cast<size_t>(i)].nodes = {static_cast<NodeId>(100 + i)};
+  }
+  auto selected = SelectTopK(std::move(cands), opts);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].central, 0u);
+  EXPECT_EQ(selected[1].central, 1u);
+}
+
+// --------------------- Fixpoint ground-truth comparison ----------------------
+
+class FixpointCompareTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FixpointCompareTest, FirstCentralsMatchIndependentFormulation) {
+  Rng rng(GetParam());
+  const size_t n = 24;
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng.Uniform(i)), static_cast<int>(i)});
+  }
+  for (size_t e = 0; e < n; ++e) {
+    int u = static_cast<int>(rng.Uniform(n)), v = static_cast<int>(rng.Uniform(n));
+    if (u != v) edges.push_back({u, v});
+  }
+  KnowledgeGraph g = MakeGraph(n, edges);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.UniformDouble();
+  ASSERT_TRUE(g.SetNodeWeights(w).ok());
+
+  // Random 2-3 keyword groups.
+  size_t q = 2 + rng.Uniform(2);
+  std::vector<std::vector<NodeId>> groups(q);
+  for (size_t i = 0; i < q; ++i) {
+    size_t sz = 1 + rng.Uniform(3);
+    for (size_t s = 0; s < sz; ++s) {
+      groups[i].push_back(static_cast<NodeId>(rng.Uniform(n)));
+    }
+    std::sort(groups[i].begin(), groups[i].end());
+    groups[i].erase(std::unique(groups[i].begin(), groups[i].end()),
+                    groups[i].end());
+  }
+
+  const int lmax = 12;
+  ActivationMap act(2.5, 0.3);
+  auto fix = FixpointHits(g, groups, act, lmax);
+  auto fix_centrals = FixpointCentrals(fix, lmax);
+
+  SearchRun run(g, groups, /*top_k=*/1, 2.5, 0.3, lmax);
+  if (fix_centrals.empty()) {
+    EXPECT_TRUE(run.state.centrals().empty());
+    return;
+  }
+  // All centrals at the first feasible depth must be found exactly: no
+  // exclusion has occurred before the first identification level.
+  int d0 = fix_centrals[0].second;
+  std::vector<NodeId> expected;
+  for (const auto& [v, d] : fix_centrals) {
+    if (d == d0) expected.push_back(v);
+  }
+  std::vector<NodeId> got;
+  for (const auto& c : run.state.centrals()) {
+    EXPECT_EQ(c.depth, d0);
+    got.push_back(c.node);
+  }
+  EXPECT_EQ(got, expected);
+
+  // Engine hitting levels can never undercut the unconstrained fixpoint.
+  for (size_t i = 0; i < q; ++i) {
+    for (NodeId v = 0; v < n; ++v) {
+      Level h = run.state.Hit(v, i);
+      if (h != kLevelInf) {
+        EXPECT_GE(static_cast<int>(h), fix[i][v])
+            << "node " << v << " keyword " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, FixpointCompareTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/activation.h"
+#include "core/node_weight.h"
+#include "graph/csr_graph.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+// ----------------------- Degree of summary (Eq. 2) --------------------------
+
+TEST(NodeWeightTest, HandComputedEq2) {
+  // Node "hub" receives 4 in-edges labeled A and 1 labeled B:
+  // w = (4*log2(5) + 1*log2(2)) / 5.
+  GraphBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.AddTriple("src" + std::to_string(i), "A", "hub");
+  }
+  b.AddTriple("src4", "B", "hub");
+  KnowledgeGraph g = std::move(b).Build();
+  double expected = (4.0 * std::log2(5.0) + 1.0 * std::log2(2.0)) / 5.0;
+  EXPECT_NEAR(RawDegreeOfSummary(g, g.FindNode("hub")), expected, 1e-12);
+}
+
+TEST(NodeWeightTest, NoInEdgesIsZero) {
+  GraphBuilder b;
+  b.AddTriple("a", "r", "bb");
+  KnowledgeGraph g = std::move(b).Build();
+  EXPECT_EQ(RawDegreeOfSummary(g, g.FindNode("a")), 0.0);
+}
+
+TEST(NodeWeightTest, SameLabelHubOutweighsDiverseHub) {
+  // Two nodes with 6 in-edges each: one all same-labeled (summary node, like
+  // `human`), one with 6 distinct labels (informative).
+  GraphBuilder b;
+  for (int i = 0; i < 6; ++i) {
+    b.AddTriple("s" + std::to_string(i), "instance_of", "summary");
+    b.AddTriple("t" + std::to_string(i), "rel" + std::to_string(i),
+                "diverse");
+  }
+  KnowledgeGraph g = std::move(b).Build();
+  double ws = RawDegreeOfSummary(g, g.FindNode("summary"));
+  double wd = RawDegreeOfSummary(g, g.FindNode("diverse"));
+  EXPECT_GT(ws, wd);
+  EXPECT_NEAR(ws, std::log2(7.0), 1e-12);  // 6*log2(7)/6
+  EXPECT_NEAR(wd, 1.0, 1e-12);             // log2(2)
+}
+
+TEST(NodeWeightTest, MoreSameLabeledEdgesMeansHigherWeight) {
+  GraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.AddTriple("a" + std::to_string(i), "r", "x");
+  for (int i = 0; i < 30; ++i) b.AddTriple("b" + std::to_string(i), "r", "y");
+  KnowledgeGraph g = std::move(b).Build();
+  EXPECT_LT(RawDegreeOfSummary(g, g.FindNode("x")),
+            RawDegreeOfSummary(g, g.FindNode("y")));
+}
+
+TEST(NodeWeightTest, NormalizedToUnitInterval) {
+  GraphBuilder b;
+  for (int i = 0; i < 20; ++i) b.AddTriple("s" + std::to_string(i), "r", "hub");
+  b.AddTriple("hub", "r2", "leaf");
+  KnowledgeGraph g = std::move(b).Build();
+  std::vector<double> w = ComputeNodeWeights(g);
+  double mn = 1e9, mx = -1e9;
+  for (double x : w) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  EXPECT_EQ(mn, 0.0);
+  EXPECT_EQ(mx, 1.0);
+  EXPECT_EQ(w[g.FindNode("hub")], 1.0);  // the only heavy summary node
+}
+
+TEST(NodeWeightTest, UniformGraphAllZero) {
+  // All nodes structurally identical -> degenerate range -> all zeros.
+  KnowledgeGraph g =
+      testing::MakeGraph(3, {{0, 1}, {1, 2}, {2, 0}});
+  std::vector<double> w = ComputeNodeWeights(g);
+  for (double x : w) EXPECT_EQ(x, 0.0);
+}
+
+TEST(NodeWeightTest, AttachStoresWeights) {
+  KnowledgeGraph g = testing::MakeGraph(3, {{0, 1}, {1, 2}});
+  AttachNodeWeights(&g);
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_EQ(g.node_weights().size(), 3u);
+}
+
+// ----------------------- Activation mapping (Eq. 3-5) -----------------------
+
+TEST(ActivationTest, PenaltyAndRewardHandValues) {
+  ActivationMap map(/*A=*/4.0, /*alpha=*/0.5);
+  EXPECT_EQ(map.Level(0.0), 0);   // full reward: 4 - 4 = 0
+  EXPECT_EQ(map.Level(0.25), 2);  // reward 4*(0.25/0.5) = 2 -> 4-2
+  EXPECT_EQ(map.Level(0.5), 4);   // w == alpha -> round(A)
+  EXPECT_EQ(map.Level(0.75), 6);  // penalty 4*(0.25/0.5) = 2 -> 4+2
+  EXPECT_EQ(map.Level(1.0), 8);   // full penalty: 4 + 4
+}
+
+TEST(ActivationTest, RoundsToNearestInteger) {
+  ActivationMap map(/*A=*/3.7, /*alpha=*/0.5);
+  EXPECT_EQ(map.Level(0.5), 4);  // round(3.7)
+  EXPECT_EQ(map.Level(1.0), 7);  // round(7.4)
+}
+
+TEST(ActivationTest, MonotoneInWeight) {
+  ActivationMap map(3.68, 0.1);
+  int prev = -1;
+  for (double w = 0.0; w <= 1.0; w += 0.01) {
+    int a = map.Level(w);
+    EXPECT_GE(a, prev);
+    EXPECT_GE(a, 0);
+    prev = a;
+  }
+}
+
+TEST(ActivationTest, LargerAlphaLowersLevels) {
+  // Fig. 3's effect: larger alpha maps more nodes to smaller activation
+  // levels (for weights above the old alpha).
+  ActivationMap strict(3.68, 0.05);
+  ActivationMap loose(3.68, 0.4);
+  for (double w : {0.1, 0.2, 0.3, 0.5, 0.9}) {
+    EXPECT_LE(loose.Level(w), strict.Level(w)) << "w=" << w;
+  }
+}
+
+TEST(ActivationTest, DisabledMapsEverythingToZero) {
+  ActivationMap map(3.68, 0.1, /*enabled=*/false);
+  EXPECT_EQ(map.Level(0.0), 0);
+  EXPECT_EQ(map.Level(1.0), 0);
+}
+
+TEST(ActivationDeathTest, RejectsBadAlpha) {
+  EXPECT_DEATH(ActivationMap(3.0, 0.0), "alpha");
+  EXPECT_DEATH(ActivationMap(3.0, 1.0), "alpha");
+}
+
+TEST(ActivationDistributionTest, SumsToNodeCountAndShiftsWithAlpha) {
+  GraphBuilder b;
+  for (int i = 0; i < 50; ++i) {
+    b.AddTriple("s" + std::to_string(i), "instance_of", "hub");
+    b.AddTriple("s" + std::to_string(i), "r" + std::to_string(i % 7),
+                "t" + std::to_string(i));
+  }
+  KnowledgeGraph g = std::move(b).Build();
+  AttachNodeWeights(&g);
+  g.SetAverageDistance(3.0, 0.5);
+
+  auto mean_level = [&](double alpha) {
+    auto hist = ActivationDistribution(g, alpha, 8);
+    size_t total = 0;
+    double weighted = 0;
+    for (size_t l = 0; l < hist.size(); ++l) {
+      total += hist[l];
+      weighted += static_cast<double>(l) * static_cast<double>(hist[l]);
+    }
+    EXPECT_EQ(total, g.num_nodes());
+    return weighted / static_cast<double>(total);
+  };
+  EXPECT_GE(mean_level(0.05), mean_level(0.4));
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,154 @@
+// Cross-engine equivalence: the lock-free CPU engine (sequential and
+// parallel), the GPU-simulation engine and the locked dynamic-memory engine
+// implement the same algorithm with different execution strategies
+// (Thm. V.2), so they must return byte-identical answers on any input.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+void ExpectSameAnswers(const SearchResult& a, const SearchResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    const AnswerGraph& x = a.answers[i];
+    const AnswerGraph& y = b.answers[i];
+    EXPECT_EQ(x.central, y.central) << label << " answer " << i;
+    EXPECT_EQ(x.depth, y.depth) << label << " answer " << i;
+    EXPECT_EQ(x.nodes, y.nodes) << label << " answer " << i;
+    EXPECT_EQ(x.edges == y.edges, true) << label << " answer " << i;
+    EXPECT_NEAR(x.score, y.score, 1e-9) << label << " answer " << i;
+  }
+  EXPECT_EQ(a.stats.num_centrals, b.stats.num_centrals) << label;
+  EXPECT_EQ(a.stats.levels, b.stats.levels) << label;
+}
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1500;
+    cfg.num_summary_nodes = 6;
+    cfg.num_topic_nodes = 16;
+    cfg.num_communities = 8;
+    cfg.vocab_size = 2000;
+    cfg.seed = 99;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 2000, 7);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::vector<std::vector<std::string>> TestQueries(const Fixture& f,
+                                                  size_t count) {
+  Rng rng(4242);
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(4);
+    for (size_t i = 0; i < q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineEquivalenceTest, AllEnginesAgree) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 6);
+  const auto& kws = queries[static_cast<size_t>(GetParam())];
+
+  SearchOptions base;
+  base.top_k = 10;
+  base.alpha = 0.1;
+  base.threads = 1;
+  base.engine = EngineKind::kSequential;
+  SearchEngine engine(&f.kb.graph, &f.index, base);
+
+  Result<SearchResult> ref = engine.SearchKeywords(kws, base);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  struct Variant {
+    EngineKind kind;
+    int threads;
+    const char* label;
+  };
+  const Variant variants[] = {
+      {EngineKind::kCpuParallel, 2, "cpu-par-2"},
+      {EngineKind::kCpuParallel, 4, "cpu-par-4"},
+      {EngineKind::kGpuSim, 4, "gpu-sim"},
+      {EngineKind::kCpuDynamic, 1, "dynamic-1"},
+      {EngineKind::kCpuDynamic, 4, "dynamic-4"},
+  };
+  for (const Variant& v : variants) {
+    SearchOptions opts = base;
+    opts.engine = v.kind;
+    opts.threads = v.threads;
+    Result<SearchResult> got = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ExpectSameAnswers(*ref, *got, v.label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, EngineEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+TEST(EngineEquivalenceTest, RepeatedParallelRunsAreDeterministic) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 1);
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.engine = EngineKind::kCpuParallel;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  Result<SearchResult> first = engine.SearchKeywords(queries[0], opts);
+  ASSERT_TRUE(first.ok());
+  for (int round = 0; round < 5; ++round) {
+    Result<SearchResult> again = engine.SearchKeywords(queries[0], opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameAnswers(*first, *again, "round " + std::to_string(round));
+  }
+}
+
+TEST(EngineEquivalenceTest, AnswerInvariantsHoldOnGeneratedKb) {
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 15;
+  opts.threads = 2;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  for (const auto& kws : TestQueries(f, 5)) {
+    Result<SearchResult> res = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(res.ok());
+    for (const AnswerGraph& a : res->answers) {
+      testing::CheckAnswerInvariants(f.kb.graph, a,
+                                     res->keywords.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wikisearch

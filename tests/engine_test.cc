@@ -1,0 +1,168 @@
+// SearchEngine facade tests: input validation, free-text analysis, option
+// handling, reported statistics.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+struct SmallKb {
+  SmallKb() {
+    GraphBuilder b;
+    b.AddTriple("xml parsing toolkit", "part of", "data tools");
+    b.AddTriple("rdf storage engine", "part of", "data tools");
+    b.AddTriple("sql query planner", "part of", "data tools");
+    b.AddTriple("xml schema validator", "uses", "xml parsing toolkit");
+    b.AddTriple("rdf graph browser", "uses", "rdf storage engine");
+    graph = std::move(b).Build();
+    AttachNodeWeights(&graph);
+    AttachAverageDistance(&graph, 500, 3);
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+TEST(EngineTest, FreeTextSearchCoversKeywords) {
+  SmallKb kb;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf sql");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res->answers.empty());
+  EXPECT_EQ(res->keywords.size(), 3u);
+  for (const AnswerGraph& a : res->answers) {
+    testing::CheckAnswerInvariants(kb.graph, a, 3);
+  }
+}
+
+TEST(EngineTest, RequiresWeights) {
+  GraphBuilder b;
+  b.AddTriple("a node", "r", "b node");
+  KnowledgeGraph g = std::move(b).Build();
+  g.SetAverageDistance(1.0, 0.0);
+  InvertedIndex index = InvertedIndex::Build(g);
+  SearchEngine engine(&g, &index);
+  Result<SearchResult> res = engine.Search("node");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, RequiresAverageDistance) {
+  GraphBuilder b;
+  b.AddTriple("a node", "r", "b node");
+  KnowledgeGraph g = std::move(b).Build();
+  AttachNodeWeights(&g);
+  InvertedIndex index = InvertedIndex::Build(g);
+  SearchEngine engine(&g, &index);
+  Result<SearchResult> res = engine.Search("node");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, RejectsBadAlpha) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.alpha = 1.5;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml", opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, RejectsEmptyQuery) {
+  SmallKb kb;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(EngineTest, NoMatchesIsNotFound) {
+  SmallKb kb;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("zzzqqqxxx");
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, DroppedKeywordsReported) {
+  SmallKb kb;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res =
+      engine.SearchKeywords({"xml", "zzznothing"}, engine.default_options());
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->stats.num_keywords_used, 1u);
+  ASSERT_EQ(res->stats.dropped_keywords.size(), 1u);
+  EXPECT_EQ(res->stats.dropped_keywords[0], "zzznothing");
+}
+
+TEST(EngineTest, TopKLimitsAnswerCount) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.top_k = 1;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf", opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->answers.size(), 1u);
+}
+
+TEST(EngineTest, AnswersSortedByScore) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.top_k = 10;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf", opts);
+  ASSERT_TRUE(res.ok());
+  for (size_t i = 1; i < res->answers.size(); ++i) {
+    EXPECT_LE(res->answers[i - 1].score, res->answers[i].score);
+  }
+}
+
+TEST(EngineTest, StatsPopulated) {
+  SmallKb kb;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf");
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->stats.num_centrals, 0u);
+  EXPECT_GT(res->stats.running_storage_bytes, 0u);
+  EXPECT_GT(res->stats.pre_storage_bytes, 0u);
+  EXPECT_GE(res->timings.total_ms, 0.0);
+  EXPECT_GT(res->stats.peak_frontier, 0u);
+}
+
+TEST(EngineTest, GpuSimReportsTransferTime) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.engine = EngineKind::kGpuSim;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf", opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->timings.transfer_ms, 0.0);
+}
+
+TEST(EngineTest, MaxLevelOptionRespected) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.max_level = 1;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf sql", opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->stats.levels, 1);
+  for (const AnswerGraph& a : res->answers) EXPECT_LE(a.depth, 1);
+}
+
+TEST(EngineTest, ActivationAblationStillSearches) {
+  SmallKb kb;
+  SearchOptions opts;
+  opts.enable_activation = false;
+  SearchEngine engine(&kb.graph, &kb.index);
+  Result<SearchResult> res = engine.Search("xml rdf", opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_FALSE(res->answers.empty());
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "eval/harness.h"
+#include "eval/relevance.h"
+
+namespace wikisearch::eval {
+namespace {
+
+gen::WikiGenConfig TinyConfig() {
+  gen::WikiGenConfig cfg;
+  cfg.num_entities = 800;
+  cfg.num_summary_nodes = 4;
+  cfg.num_topic_nodes = 8;
+  cfg.num_communities = 8;
+  cfg.vocab_size = 1200;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : kb(gen::Generate(TinyConfig())), judge(&kb) {}
+  gen::GeneratedKb kb;
+  RelevanceJudge judge;
+};
+
+AnswerGraph MakeAnswer(std::vector<std::vector<NodeId>> keyword_nodes) {
+  AnswerGraph a;
+  a.keyword_nodes = std::move(keyword_nodes);
+  for (const auto& kn : a.keyword_nodes) {
+    for (NodeId v : kn) a.nodes.push_back(v);
+  }
+  std::sort(a.nodes.begin(), a.nodes.end());
+  a.nodes.erase(std::unique(a.nodes.begin(), a.nodes.end()), a.nodes.end());
+  if (!a.nodes.empty()) a.central = a.nodes[0];
+  return a;
+}
+
+NodeId CommunityMember(const gen::GeneratedKb& kb, int32_t c, size_t skip = 0) {
+  for (NodeId v = 0; v < kb.graph.num_nodes(); ++v) {
+    if (kb.meta.community_of_node[v] == c) {
+      if (skip == 0) return v;
+      --skip;
+    }
+  }
+  return kInvalidNode;
+}
+
+TEST(RelevanceTest, KeywordHomeFindsCommunity) {
+  Fixture f;
+  const std::string& term = f.kb.meta.community_terms[3][0];
+  EXPECT_EQ(f.judge.KeywordHome(term), 3);
+  EXPECT_EQ(f.judge.KeywordHome("not a community term"), -1);
+}
+
+TEST(RelevanceTest, UncoveredKeywordIsIrrelevant) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {f.kb.meta.community_terms[0][0],
+                f.kb.meta.community_terms[0][1]};
+  q.target_community = 0;
+  AnswerGraph a = MakeAnswer({{CommunityMember(f.kb, 0)}, {}});
+  EXPECT_FALSE(f.judge.IsRelevant(q, a));
+}
+
+TEST(RelevanceTest, CoherentCooccurringAnswerIsRelevant) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {f.kb.meta.community_terms[0][0],
+                f.kb.meta.community_terms[0][1]};
+  q.target_community = 0;
+  NodeId member = CommunityMember(f.kb, 0);
+  // One community node covering both keywords: coherent and co-occurring.
+  AnswerGraph a = MakeAnswer({{member}, {member}});
+  EXPECT_TRUE(f.judge.IsRelevant(q, a));
+}
+
+TEST(RelevanceTest, OffCommunityCoverageIsIrrelevant) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {f.kb.meta.community_terms[0][0],
+                f.kb.meta.community_terms[0][1]};
+  q.target_community = 0;
+  NodeId wrong = CommunityMember(f.kb, 5);
+  AnswerGraph a = MakeAnswer({{wrong}, {wrong}});
+  EXPECT_FALSE(f.judge.IsRelevant(q, a));
+}
+
+TEST(RelevanceTest, ScatteredSingleKeywordNodesFailPhraseTest) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {f.kb.meta.community_terms[0][0],
+                f.kb.meta.community_terms[0][1]};
+  q.target_community = 0;
+  NodeId m0 = CommunityMember(f.kb, 0, 0);
+  NodeId m1 = CommunityMember(f.kb, 0, 1);
+  ASSERT_NE(m0, m1);
+  // Each keyword covered by a different node: coherent but no co-occurrence.
+  AnswerGraph a = MakeAnswer({{m0}, {m1}});
+  EXPECT_FALSE(f.judge.IsRelevant(q, a));
+}
+
+TEST(RelevanceTest, OpenQueriesAcceptAnyCoveringAnswer) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {"anything", "else"};
+  q.target_community = -1;
+  NodeId m0 = CommunityMember(f.kb, 2, 0);
+  NodeId m1 = CommunityMember(f.kb, 5, 0);
+  AnswerGraph a = MakeAnswer({{m0}, {m1}});
+  EXPECT_TRUE(f.judge.IsRelevant(q, a));
+}
+
+TEST(RelevanceTest, TopKPrecisionCountsPrefix) {
+  Fixture f;
+  gen::Query q;
+  q.keywords = {"x"};
+  q.target_community = -1;
+  AnswerGraph good = MakeAnswer({{CommunityMember(f.kb, 0)}});
+  AnswerGraph bad = MakeAnswer({{}});
+  std::vector<AnswerGraph> answers = {good, bad, good, bad};
+  EXPECT_DOUBLE_EQ(f.judge.TopKPrecision(q, answers, 2), 0.5);
+  EXPECT_DOUBLE_EQ(f.judge.TopKPrecision(q, answers, 4), 0.5);
+  EXPECT_DOUBLE_EQ(f.judge.TopKPrecision(q, {good}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(f.judge.TopKPrecision(q, {}, 5), 0.0);
+}
+
+// ------------------------------- Harness -------------------------------------
+
+TEST(HarnessTest, ScaledConfigHonorsEnv) {
+  setenv("WS_SCALE", "0.5", 1);
+  gen::WikiGenConfig cfg;
+  cfg.num_entities = 1000;
+  gen::WikiGenConfig scaled = ScaledConfig(cfg);
+  EXPECT_EQ(scaled.num_entities, 500u);
+  unsetenv("WS_SCALE");
+  EXPECT_EQ(ScaledConfig(cfg).num_entities, 1000u);
+}
+
+TEST(HarnessTest, EnvKnobsDefaults) {
+  unsetenv("WS_BENCH_TIME_LIMIT_MS");
+  unsetenv("WS_BENCH_QUERIES");
+  EXPECT_DOUBLE_EQ(BanksTimeLimitMs(), 2000.0);
+  EXPECT_EQ(BenchQueryCount(), 8u);
+  setenv("WS_BENCH_QUERIES", "3", 1);
+  EXPECT_EQ(BenchQueryCount(), 3u);
+  unsetenv("WS_BENCH_QUERIES");
+}
+
+TEST(HarnessTest, CsvSlugNormalizesTitles) {
+  EXPECT_EQ(CsvSlug("Fig. 8 (top): vary Topk on wikisynth-S"),
+            "fig_8_top_vary_topk_on_wikisynth_s");
+  EXPECT_EQ(CsvSlug("plain"), "plain");
+  EXPECT_EQ(CsvSlug("--weird--"), "weird");
+}
+
+TEST(HarnessTest, CsvSinkWritesTables) {
+  std::string dir = ::testing::TempDir();
+  setenv("WS_CSV_DIR", dir.c_str(), 1);
+  PrintHeader("Test Table One", {"a", "b"});
+  PrintRow({"1", "with,comma"});
+  PrintRow({"2", "plain"});
+  PrintHeader("Test Table Two", {"x"});  // closes + flushes the first file
+  PrintRow({"3"});
+  PrintHeader("done", {});
+  unsetenv("WS_CSV_DIR");
+
+  std::ifstream in(dir + "/test_table_one.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,plain");
+  std::ifstream in2(dir + "/test_table_two.csv");
+  ASSERT_TRUE(in2.good());
+  std::getline(in2, line);
+  EXPECT_EQ(line, "x");
+}
+
+TEST(HarnessTest, FormattersProduceReadableStrings) {
+  EXPECT_EQ(FmtPct(0.5), "50%");
+  EXPECT_EQ(FmtMs(1.2345), "1.234 ms");
+  EXPECT_EQ(FmtMs(123.456), "123.5 ms");
+}
+
+TEST(HarnessTest, ProfileEngineAveragesOverQueries) {
+  DatasetBundle data = PrepareDataset(TinyConfig(), "tiny-test");
+  auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, 3, 4, 17);
+  SearchOptions opts;
+  opts.top_k = 5;
+  opts.threads = 2;
+  ProfiledRun run = ProfileEngine(data, queries, opts);
+  EXPECT_GT(run.avg.total_ms, 0.0);
+  EXPECT_GT(run.avg_answers, 0.0);
+  EXPECT_GT(run.peak_storage_bytes, 0u);
+}
+
+TEST(HarnessTest, ProfileBanksRuns) {
+  DatasetBundle data = PrepareDataset(TinyConfig(), "tiny-test-banks");
+  auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, 3, 2, 17);
+  banks::BanksOptions opts;
+  opts.time_limit_ms = 500.0;
+  BanksRun run = ProfileBanks(data, queries, opts);
+  EXPECT_GE(run.avg_total_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace wikisearch::eval

@@ -1,0 +1,114 @@
+// Edge-case tests for stage 2:
+//  * Thm. V.4 extraction must exclude a neighbor that satisfies the
+//    hitting-level recurrence but had already been identified as a Central
+//    Node when the edge would have fired (centrals never expand);
+//  * the level-cover rebuild must fall back to B_i's own sources when
+//    pruning removed every kept anchor of keyword i from DAG_i.
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/extraction.h"
+#include "core/level_cover.h"
+#include "core/top_down.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+TEST(ExtractionEdgeTest, CentralPredecessorsAreExcluded) {
+  // vn is hit by all three keywords at level 1 and becomes a Central Node,
+  // so it never expands. vf is later hit by B_x through `a` only; vn still
+  // satisfies the Thm.-V.4 equality towards vf and must be rejected by the
+  // central-exclusion check.
+  GraphBuilder b;
+  NodeId x0 = b.AddNode("x0 kwx");
+  NodeId y0 = b.AddNode("y0 kwy");
+  NodeId z0 = b.AddNode("z0 kwz");
+  NodeId vn = b.AddNode("vn early central");
+  NodeId a = b.AddNode("a honest path");
+  NodeId vf = b.AddNode("vf junction");
+  NodeId c = b.AddNode("c late central");
+  NodeId w = b.AddNode("w y-relay");
+  NodeId w2 = b.AddNode("w2 z-relay");
+  LabelId l = b.AddLabel("r");
+  for (auto [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {x0, vn}, {y0, vn}, {z0, vn}, {x0, a}, {a, vf}, {vn, vf},
+           {vf, c}, {y0, w}, {w, c}, {z0, w2}, {w2, c}}) {
+    WS_CHECK(b.AddEdge(u, v, l).ok());
+  }
+  KnowledgeGraph g = std::move(b).Build();
+  WS_CHECK(g.SetNodeWeights(std::vector<double>(g.num_nodes(), 0.0)).ok());
+
+  std::vector<std::vector<NodeId>> groups = {{x0}, {y0}, {z0}};
+  QueryContext ctx(&g, {}, groups, ActivationMap(2.0, 0.5), 20);
+  SearchOptions opts;
+  opts.top_k = 100;  // run to exhaustion
+  ThreadPool pool(1);
+  SearchState state(g.num_nodes(), 3);
+  PhaseTimings timings;
+  BottomUpSearch(ctx, opts, &pool, &state, &timings, false);
+
+  // vn is the depth-1 central; c becomes central later.
+  ASSERT_FALSE(state.centrals().empty());
+  EXPECT_EQ(state.centrals()[0].node, vn);
+  EXPECT_EQ(state.centrals()[0].depth, 1);
+  const CentralCandidate* c_cand = nullptr;
+  for (const auto& cand : state.centrals()) {
+    if (cand.node == c) c_cand = &cand;
+  }
+  ASSERT_NE(c_cand, nullptr) << "c must become central";
+
+  StateHitLevels hits(state);
+  ExtractedGraph eg = ExtractCentralGraph(ctx, hits, *c_cand);
+  using Edge = std::pair<NodeId, NodeId>;
+  // B_x hitting paths of c: x0 -> a -> vf -> c. The equality also holds for
+  // (vn, vf) — same hit level, same activation — but vn was already central
+  // when that edge would have fired, so it must be excluded.
+  EXPECT_NE(std::find(eg.dag[0].begin(), eg.dag[0].end(), Edge{a, vf}),
+            eg.dag[0].end());
+  EXPECT_NE(std::find(eg.dag[0].begin(), eg.dag[0].end(), Edge{x0, a}),
+            eg.dag[0].end());
+  EXPECT_NE(std::find(eg.dag[0].begin(), eg.dag[0].end(), Edge{vf, c}),
+            eg.dag[0].end());
+  EXPECT_EQ(std::find(eg.dag[0].begin(), eg.dag[0].end(), Edge{vn, vf}),
+            eg.dag[0].end())
+      << "central predecessor leaked into the hitting-path DAG";
+}
+
+TEST(LevelCoverEdgeTest, AnchorFallbackKeepsKeywordConnected) {
+  // Hand-built extraction result: s0 covers both keywords but lies only in
+  // DAG_0; s1 is keyword 1's sole source in DAG_1. Level-cover keeps s0 and
+  // prunes s1's bucket; the rebuild must fall back to DAG_1's own sources so
+  // keyword 1 stays physically connected to the central node.
+  GraphBuilder b;
+  NodeId s0 = b.AddNode("s0 both keywords");
+  NodeId s1 = b.AddNode("s1 second keyword");
+  NodeId c = b.AddNode("central");
+  LabelId l = b.AddLabel("r");
+  WS_CHECK(b.AddEdge(s0, c, l).ok());
+  WS_CHECK(b.AddEdge(s1, c, l).ok());
+  KnowledgeGraph g = std::move(b).Build();
+  WS_CHECK(g.SetNodeWeights({0.0, 0.0, 0.0}).ok());
+
+  ExtractedGraph eg;
+  eg.central = c;
+  eg.depth = 1;
+  eg.dag = {{{s0, c}}, {{s1, c}}};
+  auto mask = [&](NodeId v) -> uint64_t {
+    if (v == s0) return 0b11;  // covers keywords 0 and 1
+    if (v == s1) return 0b10;  // covers keyword 1 only
+    return 0;
+  };
+  AnswerGraph a = BuildAnswer(g, eg, 2, mask, /*enable_level_cover=*/true,
+                              /*lambda=*/0.2);
+  // s0's bucket (2 keywords) completes coverage; s1's bucket is pruned, but
+  // keyword 1's DAG has no kept anchor, so its sources are restored.
+  EXPECT_EQ(a.nodes, (std::vector<NodeId>{s0, s1, c}));
+  ASSERT_EQ(a.edges.size(), 2u);
+  testing::CheckAnswerInvariants(g, a, 2);
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,118 @@
+// A Fig. 1 / Fig. 4-style walkthrough: the query-language example with
+// per-node activation levels staging the expansion, ending in a Central
+// Graph with multiple hitting paths for one keyword (two disjoint XML
+// paths) and multiple keyword nodes for another (two RDF sources) — the
+// expressiveness the paper's introduction claims over tree answers.
+//
+// Layout (activations in parentheses; A=2, alpha=0.5):
+//
+//   v9 XML(1) --- v6(0) --- v2 center(0) --- v1 SQL(0)
+//        \------- v7(0) ------/    |
+//   v4 RDF(0) --\                  |
+//                v3(2) ------------/
+//   v5 RDF(0) --/
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/extraction.h"
+#include "core/top_down.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+struct Walkthrough {
+  Walkthrough() {
+    GraphBuilder b;
+    v9 = b.AddNode("xquery xml");
+    v6 = b.AddNode("xpath two");
+    v7 = b.AddNode("xpath three");
+    v2 = b.AddNode("query language");
+    v1 = b.AddNode("sql standard");
+    v4 = b.AddNode("sparql rdf");
+    v5 = b.AddNode("rdf query spec");
+    v3 = b.AddNode("semantic web stack");
+    LabelId l = b.AddLabel("related");
+    auto add = [&](NodeId a, NodeId c) {
+      WS_CHECK(b.AddEdge(a, c, l).ok());
+    };
+    add(v9, v6);
+    add(v9, v7);
+    add(v6, v2);
+    add(v7, v2);
+    add(v1, v2);
+    add(v4, v3);
+    add(v5, v3);
+    add(v3, v2);
+    graph = std::move(b).Build();
+    // Weights chosen so that with A=2, alpha=0.5 the activations are:
+    // a(v9)=1 (w=0.25), a(v3)=2 (w=0.5), everything else 0.
+    std::vector<double> w(graph.num_nodes(), 0.0);
+    w[v9] = 0.25;
+    w[v3] = 0.5;
+    WS_CHECK(graph.SetNodeWeights(w).ok());
+  }
+  KnowledgeGraph graph;
+  NodeId v1, v2, v3, v4, v5, v6, v7, v9;
+};
+
+TEST(Fig4WalkthroughTest, StagedExpansionAndMultiPathAnswer) {
+  Walkthrough wt;
+  std::vector<std::vector<NodeId>> groups = {
+      {wt.v9},         // xml
+      {wt.v4, wt.v5},  // rdf
+      {wt.v1},         // sql
+  };
+  QueryContext ctx(&wt.graph, {}, groups, ActivationMap(2.0, 0.5), 20);
+  SearchOptions opts;
+  opts.top_k = 1;
+  ThreadPool pool(1);
+  SearchState state(wt.graph.num_nodes(), 3);
+  PhaseTimings timings;
+  BottomUpSearch(ctx, opts, &pool, &state, &timings, false);
+
+  // Staging: v9 waits one level (a=1); v3 cannot accept B_rdf before
+  // level 2; the center is hit by SQL at 1, XML and RDF at 3.
+  EXPECT_EQ(state.Hit(wt.v2, 2), 1);  // sql
+  EXPECT_EQ(state.Hit(wt.v6, 0), 2);  // xml via delayed v9
+  EXPECT_EQ(state.Hit(wt.v7, 0), 2);
+  EXPECT_EQ(state.Hit(wt.v3, 1), 2);  // rdf blocked until a(v3)=2
+  EXPECT_EQ(state.Hit(wt.v2, 0), 3);
+  EXPECT_EQ(state.Hit(wt.v2, 1), 3);
+
+  ASSERT_GE(state.centrals().size(), 1u);
+  EXPECT_EQ(state.centrals()[0].node, wt.v2);
+  EXPECT_EQ(state.centrals()[0].depth, 3);
+
+  // Extraction: both XML paths (via v6 and v7) and both RDF sources.
+  StateHitLevels hits(state);
+  ExtractedGraph eg = ExtractCentralGraph(ctx, hits, state.centrals()[0]);
+  using Edge = std::pair<NodeId, NodeId>;
+  // (DAG edge lists are sorted by node id; v9=0, v6=1, v7=2, v2=3, ...)
+  EXPECT_EQ(eg.dag[0],
+            (std::vector<Edge>{{wt.v9, wt.v6}, {wt.v9, wt.v7},
+                               {wt.v6, wt.v2}, {wt.v7, wt.v2}}));
+  EXPECT_EQ(eg.dag[1], (std::vector<Edge>{{wt.v4, wt.v3},
+                                          {wt.v5, wt.v3},
+                                          {wt.v3, wt.v2}}));
+  EXPECT_EQ(eg.dag[2], (std::vector<Edge>{{wt.v1, wt.v2}}));
+
+  // Final answer: one graph-shaped result carrying every path — the
+  // information the paper says would take several tree answers to convey.
+  auto mask = [&state](NodeId v) { return state.KeywordMask(v); };
+  auto answers = TopDownProcess(ctx, opts, &pool, hits, state.centrals(),
+                                mask, &timings);
+  ASSERT_EQ(answers.size(), 1u);
+  const AnswerGraph& a = answers[0];
+  EXPECT_EQ(a.central, wt.v2);
+  EXPECT_EQ(a.nodes, (std::vector<NodeId>{wt.v9, wt.v6, wt.v7, wt.v2, wt.v1,
+                                          wt.v4, wt.v5, wt.v3}));
+  EXPECT_EQ(a.keyword_nodes[1], (std::vector<NodeId>{wt.v4, wt.v5}));
+  EXPECT_EQ(a.edges.size(), 8u);  // all eight KB edges participate
+  testing::CheckAnswerInvariants(wt.graph, a, 3);
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/node_weight.h"
+#include "gen/vocab.h"
+#include "gen/wikigen.h"
+#include "gen/workload.h"
+#include "graph/distance_sampler.h"
+#include "graph/graph_algos.h"
+
+namespace wikisearch::gen {
+namespace {
+
+WikiGenConfig TinyConfig() {
+  WikiGenConfig cfg;
+  cfg.num_entities = 800;
+  cfg.num_summary_nodes = 4;
+  cfg.num_topic_nodes = 8;
+  cfg.num_communities = 8;
+  cfg.num_labels = 40;
+  cfg.vocab_size = 1200;
+  cfg.seed = 7;
+  return cfg;
+}
+
+const GeneratedKb& TinyKb() {
+  static const GeneratedKb* kb = new GeneratedKb(Generate(TinyConfig()));
+  return *kb;
+}
+
+TEST(VocabTest, DistinctTermsOfRequestedSize) {
+  Vocabulary v(500, 3);
+  EXPECT_EQ(v.size(), 500u);
+  std::set<std::string> seen(v.terms().begin(), v.terms().end());
+  EXPECT_EQ(seen.size(), 500u);
+  for (const auto& t : v.terms()) {
+    EXPECT_GE(t.size(), 3u);
+    for (char c : t) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+TEST(VocabTest, DeterministicInSeed) {
+  Vocabulary a(100, 42), b(100, 42), c(100, 43);
+  EXPECT_EQ(a.terms(), b.terms());
+  EXPECT_NE(a.terms(), c.terms());
+}
+
+TEST(WikiGenTest, DeterministicInSeed) {
+  GeneratedKb a = Generate(TinyConfig());
+  GeneratedKb b = Generate(TinyConfig());
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_EQ(a.graph.num_triples(), b.graph.num_triples());
+  EXPECT_EQ(a.graph.NodeName(17), b.graph.NodeName(17));
+  EXPECT_EQ(a.meta.community_terms, b.meta.community_terms);
+}
+
+TEST(WikiGenTest, GraphIsConnected) {
+  const GeneratedKb& kb = TinyKb();
+  ComponentInfo info = ConnectedComponents(kb.graph);
+  EXPECT_EQ(info.num_components, 1u);
+}
+
+TEST(WikiGenTest, NodeAndEdgeCountsPlausible) {
+  const GeneratedKb& kb = TinyKb();
+  WikiGenConfig cfg = TinyConfig();
+  EXPECT_GE(kb.graph.num_nodes(),
+            cfg.num_entities + cfg.num_summary_nodes + cfg.num_topic_nodes);
+  // Mean out-degree ~7 plus attachments.
+  EXPECT_GT(kb.graph.num_triples(), cfg.num_entities * 3);
+  EXPECT_LT(kb.graph.num_triples(), cfg.num_entities * 40);
+}
+
+TEST(WikiGenTest, SummaryNodesAreHeaviest) {
+  GeneratedKb kb = Generate(TinyConfig());
+  AttachNodeWeights(&kb.graph);
+  // Summary hubs receive many same-labeled in-edges; their normalized
+  // degree-of-summary weight must dominate typical entities.
+  double max_summary = 0.0;
+  for (NodeId s : kb.meta.summary_nodes) {
+    max_summary = std::max(max_summary, kb.graph.NodeWeight(s));
+  }
+  EXPECT_GT(max_summary, 0.9);
+  double entity_avg = 0.0;
+  size_t count = 0;
+  for (NodeId v = 0; v < kb.graph.num_nodes(); ++v) {
+    if (kb.meta.community_of_node[v] >= 0) {
+      entity_avg += kb.graph.NodeWeight(v);
+      ++count;
+    }
+  }
+  entity_avg /= static_cast<double>(count);
+  EXPECT_LT(entity_avg, 0.5);
+}
+
+TEST(WikiGenTest, SummaryInEdgesSingleLabeled) {
+  const GeneratedKb& kb = TinyKb();
+  for (NodeId s : kb.meta.summary_nodes) {
+    std::set<LabelId> labels;
+    size_t in = 0;
+    for (const AdjEntry& e : kb.graph.Neighbors(s)) {
+      if (e.reverse) {
+        labels.insert(e.label);
+        ++in;
+      }
+    }
+    if (in > 0) EXPECT_EQ(labels.size(), 1u) << "summary node " << s;
+  }
+}
+
+TEST(WikiGenTest, CommunityMetadataConsistent) {
+  const GeneratedKb& kb = TinyKb();
+  WikiGenConfig cfg = TinyConfig();
+  EXPECT_EQ(kb.meta.num_communities, cfg.num_communities);
+  EXPECT_EQ(kb.meta.community_of_node.size(), kb.graph.num_nodes());
+  EXPECT_EQ(kb.meta.community_terms.size(), cfg.num_communities);
+  // Community vocabularies are disjoint.
+  std::set<std::string> all;
+  size_t total = 0;
+  for (const auto& terms : kb.meta.community_terms) {
+    EXPECT_EQ(terms.size(), cfg.community_vocab);
+    all.insert(terms.begin(), terms.end());
+    total += terms.size();
+  }
+  EXPECT_EQ(all.size(), total);
+  // Summary nodes belong to no community.
+  for (NodeId s : kb.meta.summary_nodes) {
+    EXPECT_EQ(kb.meta.community_of_node[s], -1);
+  }
+  // Topic nodes belong to their community.
+  for (NodeId t : kb.meta.topic_nodes) {
+    EXPECT_GE(kb.meta.community_of_node[t], 0);
+  }
+}
+
+TEST(WikiGenTest, AverageDistanceSmallWorld) {
+  GeneratedKb kb = Generate(TinyConfig());
+  DistanceSample s = SampleAverageDistance(kb.graph, 2000, 5);
+  EXPECT_GT(s.mean, 1.5);
+  EXPECT_LT(s.mean, 8.0);  // Table II reports 3.7-3.9 at Wikidata scale
+}
+
+// ------------------------------- Workload -----------------------------------
+
+struct WorkloadFixture {
+  WorkloadFixture() : kb(Generate(TinyConfig())) {
+    index = InvertedIndex::Build(kb.graph);
+  }
+  GeneratedKb kb;
+  InvertedIndex index;
+};
+
+TEST(WorkloadTest, EfficiencyQueriesValid) {
+  WorkloadFixture f;
+  auto queries = MakeEfficiencyWorkload(f.kb, f.index, 4, 12, 11);
+  ASSERT_EQ(queries.size(), 12u);
+  for (const Query& q : queries) {
+    EXPECT_EQ(q.keywords.size(), 4u);
+    EXPECT_GE(q.target_community, 0);
+    std::set<std::string> unique(q.keywords.begin(), q.keywords.end());
+    EXPECT_EQ(unique.size(), q.keywords.size());
+    for (const auto& kw : q.keywords) {
+      EXPECT_FALSE(f.index.Lookup(kw).empty()) << kw;
+    }
+    EXPECT_GT(AverageKeywordFrequency(q, f.index), 0.0);
+  }
+}
+
+TEST(WorkloadTest, EfficiencyWorkloadDeterministic) {
+  WorkloadFixture f;
+  auto a = MakeEfficiencyWorkload(f.kb, f.index, 6, 5, 3);
+  auto b = MakeEfficiencyWorkload(f.kb, f.index, 6, 5, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].keywords, b[i].keywords);
+  }
+}
+
+TEST(WorkloadTest, EffectivenessSuiteShape) {
+  WorkloadFixture f;
+  auto queries = MakeEffectivenessWorkload(f.kb, f.index, 5);
+  ASSERT_EQ(queries.size(), 11u);
+  EXPECT_EQ(queries[0].id, "Q1");
+  EXPECT_EQ(queries[10].id, "Q11");
+  // Q4-Q7 are phrase-split with a distractor community.
+  for (int i = 3; i <= 6; ++i) {
+    EXPECT_GE(queries[static_cast<size_t>(i)].distractor_community, 0)
+        << queries[static_cast<size_t>(i)].id;
+    EXPECT_NE(queries[static_cast<size_t>(i)].distractor_community,
+              queries[static_cast<size_t>(i)].target_community);
+  }
+  // Q10/Q11 judge everything relevant.
+  EXPECT_EQ(queries[9].target_community, -1);
+  EXPECT_EQ(queries[10].target_community, -1);
+  // Q10 uses head terms: much larger kwf than Q11's rare terms (Table V).
+  EXPECT_GT(AverageKeywordFrequency(queries[9], f.index),
+            AverageKeywordFrequency(queries[10], f.index) * 3);
+}
+
+}  // namespace
+}  // namespace wikisearch::gen

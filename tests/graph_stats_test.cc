@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "graph/graph_stats.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using ::wikisearch::testing::MakeGraph;
+
+TEST(DegreeStatsTest, HandGraph) {
+  // Path 0-1-2: degrees 1, 2, 1 (bi-directed).
+  KnowledgeGraph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 2u);
+  EXPECT_NEAR(stats.mean, 4.0 / 3.0, 1e-12);
+  size_t total = 0;
+  for (size_t c : stats.log2_histogram) total += c;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(DegreeStatsTest, InDegreeOnly) {
+  KnowledgeGraph g = MakeGraph(3, {{0, 2}, {1, 2}});
+  DegreeStats stats = ComputeDegreeStats(g, /*in_only=*/true);
+  EXPECT_EQ(stats.max, 2u);  // node 2
+  EXPECT_EQ(stats.min, 0u);  // nodes 0, 1
+}
+
+TEST(DegreeStatsTest, EmptyGraphSafe) {
+  KnowledgeGraph g = MakeGraph(0, {});
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max, 0u);
+}
+
+TEST(LabelHistogramTest, CountsAndOrders) {
+  GraphBuilder b;
+  b.AddTriple("a", "common", "b");
+  b.AddTriple("b", "common", "c");
+  b.AddTriple("c", "rare", "a");
+  KnowledgeGraph g = std::move(b).Build();
+  auto hist = LabelHistogram(g);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(g.LabelName(hist[0].label), "common");
+  EXPECT_EQ(hist[0].count, 2u);
+  EXPECT_EQ(hist[1].count, 1u);
+  EXPECT_EQ(LabelHistogram(g, 1).size(), 1u);
+}
+
+TEST(WeightStatsTest, QuantilesAndHeavyCount) {
+  KnowledgeGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  ASSERT_TRUE(g.SetNodeWeights({0.0, 0.2, 0.6, 1.0}).ok());
+  WeightStats stats = ComputeWeightStats(g);
+  EXPECT_NEAR(stats.mean, 0.45, 1e-12);
+  EXPECT_EQ(stats.max, 1.0);
+  EXPECT_EQ(stats.heavy_nodes, 2u);
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p99);
+}
+
+TEST(GraphStatsTest, GeneratorHasPowerLawTail) {
+  gen::WikiGenConfig cfg;
+  cfg.num_entities = 3000;
+  cfg.seed = 77;
+  gen::GeneratedKb kb = gen::Generate(cfg);
+  DegreeStats in = ComputeDegreeStats(kb.graph, /*in_only=*/true);
+  // Heavy tail: the max in-degree dwarfs the mean (summary hubs + PA).
+  EXPECT_GT(static_cast<double>(in.max), 30.0 * in.mean);
+}
+
+TEST(GraphStatsTest, DescribeMentionsEverything) {
+  KnowledgeGraph g = MakeGraph(3, {{0, 1}, {1, 2}});
+  AttachNodeWeights(&g);
+  g.SetAverageDistance(1.3, 0.4);
+  std::string s = DescribeGraph(g);
+  EXPECT_NE(s.find("nodes: 3"), std::string::npos);
+  EXPECT_NE(s.find("degree:"), std::string::npos);
+  EXPECT_NE(s.find("top predicates:"), std::string::npos);
+  EXPECT_NE(s.find("weights:"), std::string::npos);
+  EXPECT_NE(s.find("avg shortest distance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/csr_graph.h"
+#include "graph/distance_sampler.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using ::wikisearch::testing::MakeGraph;
+
+KnowledgeGraph TriangleWithTail() {
+  // a -r1-> b, b -r2-> c, c -r1-> a, c -r1-> d
+  GraphBuilder b;
+  b.AddTriple("a", "r1", "b");
+  b.AddTriple("b", "r2", "c");
+  b.AddTriple("c", "r1", "a");
+  b.AddTriple("c", "r1", "d");
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilderTest, NodesDedupByName) {
+  GraphBuilder b;
+  NodeId x = b.AddNode("x");
+  NodeId y = b.AddNode("y");
+  EXPECT_NE(x, y);
+  EXPECT_EQ(b.AddNode("x"), x);
+  EXPECT_EQ(b.num_nodes(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsBadEdges) {
+  GraphBuilder b;
+  b.AddNode("x");
+  LabelId l = b.AddLabel("r");
+  EXPECT_FALSE(b.AddEdge(0, 5, l).ok());
+  EXPECT_FALSE(b.AddEdge(0, 0, 9).ok());
+  EXPECT_TRUE(b.AddEdge(0, 0, l).ok());  // self loop is legal
+}
+
+TEST(CsrGraphTest, BidirectedAdjacency) {
+  KnowledgeGraph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_triples(), 4u);
+  EXPECT_EQ(g.num_adjacency_entries(), 8u);
+
+  NodeId a = g.FindNode("a"), b = g.FindNode("b"), c = g.FindNode("c"),
+         d = g.FindNode("d");
+  ASSERT_NE(a, kInvalidNode);
+  // a: out-edge to b (forward), in-edge from c (reverse entry).
+  EXPECT_EQ(g.Degree(a), 2u);
+  EXPECT_EQ(g.InDegree(a), 1u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+  EXPECT_EQ(g.InDegree(c), 1u);
+  EXPECT_EQ(g.InDegree(d), 1u);
+  EXPECT_EQ(g.Degree(c), 3u);
+
+  bool saw_forward_ab = false, saw_reverse_ca = false;
+  for (const AdjEntry& e : g.Neighbors(a)) {
+    if (e.target == b && !e.reverse) saw_forward_ab = true;
+    if (e.target == c && e.reverse) saw_reverse_ca = true;
+  }
+  EXPECT_TRUE(saw_forward_ab);
+  EXPECT_TRUE(saw_reverse_ca);
+}
+
+TEST(CsrGraphTest, AdjacencySortedByTarget) {
+  KnowledgeGraph g = MakeGraph(6, {{0, 5}, {0, 2}, {0, 4}, {0, 1}, {3, 0}});
+  auto adj = g.Neighbors(0);
+  ASSERT_EQ(adj.size(), 5u);
+  for (size_t i = 1; i < adj.size(); ++i) {
+    EXPECT_LE(adj[i - 1].target, adj[i].target);
+  }
+}
+
+TEST(CsrGraphTest, FindNodeMissing) {
+  KnowledgeGraph g = TriangleWithTail();
+  EXPECT_EQ(g.FindNode("zzz"), kInvalidNode);
+}
+
+TEST(CsrGraphTest, SetNodeWeightsValidatesSize) {
+  KnowledgeGraph g = TriangleWithTail();
+  EXPECT_FALSE(g.SetNodeWeights({0.1, 0.2}).ok());
+  EXPECT_TRUE(g.SetNodeWeights({0.1, 0.2, 0.3, 0.4}).ok());
+  EXPECT_DOUBLE_EQ(g.NodeWeight(1), 0.2);
+  EXPECT_TRUE(g.has_weights());
+}
+
+TEST(CsrGraphTest, MultiEdgesPreserved) {
+  GraphBuilder b;
+  b.AddTriple("x", "r1", "y");
+  b.AddTriple("x", "r2", "y");
+  b.AddTriple("x", "r1", "y");  // duplicate triple kept (RDF multigraph)
+  KnowledgeGraph g = std::move(b).Build();
+  EXPECT_EQ(g.num_triples(), 3u);
+  EXPECT_EQ(g.Degree(g.FindNode("x")), 3u);
+}
+
+TEST(CsrGraphTest, PreStorageBytesNonTrivial) {
+  KnowledgeGraph g = TriangleWithTail();
+  EXPECT_GT(g.PreStorageBytes(), 8u * sizeof(AdjEntry));
+}
+
+// ------------------------------ Graph IO ------------------------------------
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  KnowledgeGraph g = TriangleWithTail();
+  g.SetNodeWeights({0.0, 0.25, 0.5, 1.0});
+  g.SetAverageDistance(1.5, 0.3);
+  std::string path = ::testing::TempDir() + "/ws_roundtrip.wskg";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  Result<KnowledgeGraph> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_triples(), g.num_triples());
+  EXPECT_EQ(loaded->FindNode("c"), g.FindNode("c"));
+  EXPECT_DOUBLE_EQ(loaded->NodeWeight(3), 1.0);
+  EXPECT_DOUBLE_EQ(loaded->average_distance(), 1.5);
+  EXPECT_EQ(loaded->LabelName(0), g.LabelName(0));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/ws_garbage.bin";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a graph at all", f);
+  std::fclose(f);
+  Result<KnowledgeGraph> loaded = LoadGraph(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  Result<KnowledgeGraph> loaded = LoadGraph("/nonexistent/path.wskg");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, TsvRoundTrip) {
+  KnowledgeGraph g = TriangleWithTail();
+  std::string path = ::testing::TempDir() + "/ws_triples.tsv";
+  ASSERT_TRUE(SaveTriplesTsv(g, path).ok());
+  Result<KnowledgeGraph> loaded = LoadTriplesTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_triples(), g.num_triples());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_NE(loaded->FindNode("d"), kInvalidNode);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TsvRejectsMalformedLine) {
+  std::string path = ::testing::TempDir() + "/ws_bad.tsv";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("a\tr\tb\nno_tabs_here\n", f);
+  std::fclose(f);
+  Result<KnowledgeGraph> loaded = LoadTriplesTsv(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TsvSkipsCommentsAndBlank) {
+  std::string path = ::testing::TempDir() + "/ws_comments.tsv";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("# header\n\na\tr\tb\n", f);
+  std::fclose(f);
+  Result<KnowledgeGraph> loaded = LoadTriplesTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_triples(), 1u);
+  std::remove(path.c_str());
+}
+
+// ----------------------------- Graph algos ----------------------------------
+
+TEST(GraphAlgosTest, BfsDistancesOnPath) {
+  KnowledgeGraph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto dist = BfsDistances(g, 0);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(GraphAlgosTest, BfsTraversesBothDirections) {
+  // Directed 0 -> 1; BFS from 1 must still reach 0 (bi-directed model).
+  KnowledgeGraph g = MakeGraph(2, {{0, 1}});
+  auto dist = BfsDistances(g, 1);
+  EXPECT_EQ(dist[0], 1u);
+}
+
+TEST(GraphAlgosTest, UnreachableMarked) {
+  KnowledgeGraph g = MakeGraph(4, {{0, 1}, {2, 3}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(GraphAlgosTest, MultiSourceTakesNearest) {
+  KnowledgeGraph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  auto dist = BfsDistances(g, std::vector<NodeId>{0, 5});
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[4], 1u);
+}
+
+TEST(GraphAlgosTest, ConnectedComponents) {
+  KnowledgeGraph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  ComponentInfo info = ConnectedComponents(g);
+  EXPECT_EQ(info.num_components, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(info.largest_size, 3u);
+  EXPECT_EQ(info.component[0], info.component[2]);
+  EXPECT_NE(info.component[0], info.component[3]);
+}
+
+// --------------------------- Distance sampler -------------------------------
+
+TEST(DistanceSamplerTest, ExactOnCompleteGraph) {
+  // K4: every pair at distance 1.
+  KnowledgeGraph g =
+      MakeGraph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  DistanceSample s = SampleAverageDistance(g, 1000, 1);
+  EXPECT_NEAR(s.mean, 1.0, 1e-9);
+  EXPECT_NEAR(s.deviation, 0.0, 1e-9);
+  EXPECT_GT(s.pairs, 0u);
+}
+
+TEST(DistanceSamplerTest, PathGraphMeanPlausible) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 20; ++i) edges.push_back({i, i + 1});
+  KnowledgeGraph g = MakeGraph(21, edges);
+  DistanceSample s = SampleAverageDistance(g, 4000, 7);
+  // True average pair distance of P_21 is ~7.3; sampling should be close.
+  EXPECT_GT(s.mean, 5.0);
+  EXPECT_LT(s.mean, 10.0);
+  EXPECT_GT(s.deviation, 1.0);
+}
+
+TEST(DistanceSamplerTest, DeterministicInSeed) {
+  KnowledgeGraph g = MakeGraph(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5},
+                                    {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 0}});
+  DistanceSample a = SampleAverageDistance(g, 500, 3);
+  DistanceSample b = SampleAverageDistance(g, 500, 3);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.deviation, b.deviation);
+}
+
+TEST(DistanceSamplerTest, AttachSetsGraphFields) {
+  KnowledgeGraph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  AttachAverageDistance(&g, 200, 11);
+  EXPECT_GT(g.average_distance(), 0.0);
+}
+
+TEST(DistanceSamplerTest, TinyGraphSafe) {
+  KnowledgeGraph g = MakeGraph(1, {});
+  DistanceSample s = SampleAverageDistance(g, 100, 1);
+  EXPECT_EQ(s.pairs, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace wikisearch

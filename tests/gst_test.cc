@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_algos.h"
+#include "gst/dpbf.h"
+#include "gst/rclique.h"
+#include "test_util.h"
+
+namespace wikisearch::gst {
+namespace {
+
+struct PathKb {
+  // left keyword -- m1 -- m2 -- right keyword, plus a hub shortcut of
+  // length 2 (left - hub - right).
+  PathKb() {
+    GraphBuilder b;
+    b.AddTriple("left alpha", "r", "mid one");
+    b.AddTriple("mid one", "r", "mid two");
+    b.AddTriple("mid two", "r", "right omega");
+    b.AddTriple("left alpha", "r", "hub node");
+    b.AddTriple("hub node", "r", "right omega");
+    graph = std::move(b).Build();
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+// ------------------------------- DPBF ----------------------------------------
+
+TEST(DpbfTest, FindsOptimalSteinerTree) {
+  PathKb kb;
+  DpbfEngine engine(&kb.graph, &kb.index);
+  DpbfOptions opts;
+  opts.top_k = 1;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->answers.size(), 1u);
+  // Optimal tree uses the hub shortcut: 2 edges, cost 2.
+  EXPECT_EQ(res->answers[0].score, 2.0);
+  EXPECT_TRUE(
+      res->answers[0].ContainsNode(kb.graph.FindNode("hub node")));
+  wikisearch::testing::CheckAnswerInvariants(kb.graph, res->answers[0], 2);
+}
+
+TEST(DpbfTest, MergeAtInternalRoot) {
+  // Star: three keyword leaves around a center; the optimal 3-keyword tree
+  // is the star with cost 3, rooted where subtrees merge.
+  GraphBuilder b;
+  b.AddTriple("leaf aaa", "r", "center");
+  b.AddTriple("leaf bbb", "r", "center");
+  b.AddTriple("leaf ccc", "r", "center");
+  KnowledgeGraph g = std::move(b).Build();
+  InvertedIndex index = InvertedIndex::Build(g);
+  DpbfEngine engine(&g, &index);
+  DpbfOptions opts;
+  opts.top_k = 1;
+  auto res = engine.SearchKeywords({"aaa", "bbb", "ccc"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->answers.size(), 1u);
+  EXPECT_EQ(res->answers[0].score, 3.0);
+  EXPECT_EQ(res->answers[0].nodes.size(), 4u);
+  wikisearch::testing::CheckAnswerInvariants(g, res->answers[0], 3);
+}
+
+TEST(DpbfTest, TopKDistinctRootsSortedByCost) {
+  PathKb kb;
+  DpbfEngine engine(&kb.graph, &kb.index);
+  DpbfOptions opts;
+  opts.top_k = 5;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->answers.size(), 1u);
+  for (size_t i = 1; i < res->answers.size(); ++i) {
+    EXPECT_LE(res->answers[i - 1].score, res->answers[i].score);
+    EXPECT_NE(res->answers[i - 1].central, res->answers[i].central);
+  }
+}
+
+TEST(DpbfTest, SingleKeywordIsZeroCostNode) {
+  PathKb kb;
+  DpbfEngine engine(&kb.graph, &kb.index);
+  DpbfOptions opts;
+  opts.top_k = 2;
+  auto res = engine.SearchKeywords({"alpha"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->answers.empty());
+  EXPECT_EQ(res->answers[0].score, 0.0);
+  EXPECT_EQ(res->answers[0].nodes.size(), 1u);
+}
+
+TEST(DpbfTest, KeywordCapEnforced) {
+  PathKb kb;
+  DpbfEngine engine(&kb.graph, &kb.index);
+  DpbfOptions opts;
+  opts.max_keywords = 1;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DpbfTest, EmptyAndUnknownQueriesRejected) {
+  PathKb kb;
+  DpbfEngine engine(&kb.graph, &kb.index);
+  EXPECT_FALSE(engine.SearchKeywords({}, DpbfOptions{}).ok());
+  EXPECT_EQ(engine.SearchKeywords({"zzz"}, DpbfOptions{}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DpbfTest, AgreesWithBruteForceOnRandomGraphs) {
+  // Brute-force check of the optimal cost: enumerate all trees is too much,
+  // but on tiny graphs the optimum equals min over root v of the optimal
+  // merge of per-keyword shortest distances *when the groups are single
+  // nodes* (then GST = Steiner tree of 2 terminals = shortest path).
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    size_t n = 6 + rng.Uniform(8);
+    std::vector<std::pair<int, int>> edges;
+    for (size_t i = 1; i < n; ++i) {
+      edges.push_back({static_cast<int>(rng.Uniform(i)),
+                       static_cast<int>(i)});
+    }
+    GraphBuilder b;
+    for (size_t i = 0; i < n; ++i) {
+      std::string name = "n" + std::to_string(i);
+      if (i == 0) name += " srcterm";
+      if (i == n - 1) name += " dstterm";
+      b.AddNode(name);
+    }
+    LabelId l = b.AddLabel("r");
+    for (auto [u, v] : edges) {
+      ASSERT_TRUE(
+          b.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), l).ok());
+    }
+    KnowledgeGraph g = std::move(b).Build();
+    InvertedIndex index = InvertedIndex::Build(g);
+    DpbfEngine engine(&g, &index);
+    DpbfOptions opts;
+    opts.top_k = 1;
+    auto res = engine.SearchKeywords({"srcterm", "dstterm"}, opts);
+    ASSERT_TRUE(res.ok());
+    auto dist = BfsDistances(g, 0);
+    ASSERT_EQ(res->answers.size(), 1u);
+    EXPECT_EQ(res->answers[0].score, static_cast<double>(dist[n - 1]))
+        << "round " << round;
+  }
+}
+
+// ------------------------------ r-clique --------------------------------------
+
+TEST(RcliqueTest, FindsCliqueWithinRadius) {
+  PathKb kb;
+  RcliqueEngine engine(&kb.graph, &kb.index);
+  RcliqueOptions opts;
+  opts.r = 2;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_FALSE(res->answers.empty());
+  // left alpha and right omega are 2 hops apart via the hub.
+  EXPECT_EQ(res->answers[0].score, 2.0);
+  wikisearch::testing::CheckAnswerInvariants(kb.graph, res->answers[0], 2);
+}
+
+TEST(RcliqueTest, RadiusTooSmallYieldsNothing) {
+  PathKb kb;
+  RcliqueEngine engine(&kb.graph, &kb.index);
+  RcliqueOptions opts;
+  opts.r = 1;
+  auto res = engine.SearchKeywords({"alpha", "omega"}, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->answers.empty());
+}
+
+TEST(RcliqueTest, PairwiseConstraintVerified) {
+  // Triangle-ish: a and b are close to the seed but 2r apart from each
+  // other -> must be rejected when r = 2.
+  GraphBuilder b;
+  b.AddTriple("seed kwx", "r", "path1");
+  b.AddTriple("path1", "r", "far kwy");
+  b.AddTriple("seed kwx", "r", "path2");
+  b.AddTriple("path2", "r", "other kwz");
+  // far kwy and other kwz are 4 apart (via seed), > r = 2.
+  KnowledgeGraph g = std::move(b).Build();
+  InvertedIndex index = InvertedIndex::Build(g);
+  RcliqueEngine engine(&g, &index);
+  RcliqueOptions opts;
+  opts.r = 2;
+  auto res = engine.SearchKeywords({"kwx", "kwy", "kwz"}, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->answers.empty());
+  opts.r = 4;
+  res = engine.SearchKeywords({"kwx", "kwy", "kwz"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->answers.empty());
+  // weight = d(x,y) + d(x,z) + d(y,z) = 2 + 2 + 4.
+  EXPECT_EQ(res->answers[0].score, 8.0);
+}
+
+TEST(RcliqueTest, AnswersAreConnectedTrees) {
+  PathKb kb;
+  RcliqueEngine engine(&kb.graph, &kb.index);
+  RcliqueOptions opts;
+  opts.r = 3;
+  auto res = engine.SearchKeywords({"alpha", "mid", "omega"}, opts);
+  ASSERT_TRUE(res.ok());
+  for (const AnswerGraph& a : res->answers) {
+    wikisearch::testing::CheckAnswerInvariants(kb.graph, a, 3);
+  }
+}
+
+TEST(RcliqueTest, ErrorsOnBadInput) {
+  PathKb kb;
+  RcliqueEngine engine(&kb.graph, &kb.index);
+  EXPECT_FALSE(engine.SearchKeywords({}, RcliqueOptions{}).ok());
+  EXPECT_FALSE(engine.SearchKeywords({"zzz"}, RcliqueOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace wikisearch::gst

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace wikisearch {
+namespace {
+
+TEST(JsonEscapeTest, PassthroughPlain) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), "{}");
+}
+
+TEST(JsonWriterTest, EmptyArray) {
+  JsonWriter w;
+  w.BeginArray();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("x");
+  w.Key("i");
+  w.Int(-3);
+  w.Key("u");
+  w.UInt(7);
+  w.Key("d");
+  w.Double(1.5);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("n");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            R"({"s":"x","i":-3,"u":7,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("k");
+  w.String("v");
+  w.EndObject();
+  w.EndArray();
+  w.Key("b");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), R"({"a":[1,2,{"k":"v"}],"b":[]})");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EscapedKeys) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("quote\"key");
+  w.Int(1);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(), R"({"quote\"key":1})");
+}
+
+TEST(JsonWriterDeathTest, UnbalancedContainersCaught) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        std::string s = std::move(w).Take();
+      },
+      "CHECK");
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -1,0 +1,173 @@
+// Cross-cutting core tests: GPU-style vs CPU-style stage-1 produce
+// identical full state (every hitting level, not just answers), answer
+// formatting, options plumbing, and state accounting.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/bottom_up.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using ::wikisearch::testing::MakeGraph;
+
+class GpuStyleStateEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GpuStyleStateEquivalenceTest, FullMatrixIdentical) {
+  Rng rng(GetParam() * 31 + 5);
+  const size_t n = 40;
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng.Uniform(i)), static_cast<int>(i)});
+  }
+  for (size_t e = 0; e < 2 * n; ++e) {
+    edges.push_back({static_cast<int>(rng.Uniform(n)),
+                     static_cast<int>(rng.Uniform(n))});
+  }
+  KnowledgeGraph g = MakeGraph(n, edges);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.UniformDouble();
+  ASSERT_TRUE(g.SetNodeWeights(w).ok());
+
+  std::vector<std::vector<NodeId>> groups(3);
+  for (auto& grp : groups) {
+    grp.push_back(static_cast<NodeId>(rng.Uniform(n)));
+    grp.push_back(static_cast<NodeId>(rng.Uniform(n)));
+    std::sort(grp.begin(), grp.end());
+    grp.erase(std::unique(grp.begin(), grp.end()), grp.end());
+  }
+
+  QueryContext ctx(&g, {}, groups, ActivationMap(2.0, 0.3), 15);
+  SearchOptions opts;
+  opts.top_k = 1000;  // run to exhaustion so every level executes
+
+  ThreadPool pool(3);
+  SearchState cpu_state(n, groups.size());
+  SearchState gpu_state(n, groups.size());
+  PhaseTimings t1, t2;
+  BottomUpResult r1 =
+      BottomUpSearch(ctx, opts, &pool, &cpu_state, &t1, /*gpu_style=*/false);
+  BottomUpResult r2 =
+      BottomUpSearch(ctx, opts, &pool, &gpu_state, &t2, /*gpu_style=*/true);
+
+  EXPECT_EQ(r1.levels, r2.levels);
+  EXPECT_EQ(r1.frontier_exhausted, r2.frontier_exhausted);
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t i = 0; i < groups.size(); ++i) {
+      EXPECT_EQ(cpu_state.Hit(v, i), gpu_state.Hit(v, i))
+          << "node " << v << " keyword " << i;
+    }
+    EXPECT_EQ(cpu_state.IsCentral(v), gpu_state.IsCentral(v)) << v;
+  }
+  ASSERT_EQ(cpu_state.centrals().size(), gpu_state.centrals().size());
+  for (size_t i = 0; i < cpu_state.centrals().size(); ++i) {
+    EXPECT_EQ(cpu_state.centrals()[i].node, gpu_state.centrals()[i].node);
+    EXPECT_EQ(cpu_state.centrals()[i].depth, gpu_state.centrals()[i].depth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpuStyleStateEquivalenceTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(SearchStateTest, RunningStorageGrowsWithKeywords) {
+  SearchState small(1000, 2);
+  SearchState large(1000, 8);
+  EXPECT_GT(large.RunningStorageBytes(), small.RunningStorageBytes());
+  // One byte per (node, keyword), as the paper sizes M.
+  EXPECT_GE(large.RunningStorageBytes() - small.RunningStorageBytes(),
+            1000u * 6);
+}
+
+TEST(SearchStateTest, InitSeedsSourcesAndMasks) {
+  SearchState state(10, 2);
+  state.Init({{1, 3}, {3, 5}});
+  EXPECT_EQ(state.Hit(1, 0), 0);
+  EXPECT_EQ(state.Hit(3, 0), 0);
+  EXPECT_EQ(state.Hit(3, 1), 0);
+  EXPECT_EQ(state.Hit(5, 1), 0);
+  EXPECT_EQ(state.Hit(5, 0), kLevelInf);
+  EXPECT_EQ(state.KeywordMask(3), 0b11u);
+  EXPECT_EQ(state.KeywordMask(1), 0b01u);
+  EXPECT_TRUE(state.IsKeywordNode(5));
+  EXPECT_FALSE(state.IsKeywordNode(0));
+  EXPECT_TRUE(state.IsFrontierFlagged(1));
+  EXPECT_FALSE(state.IsFrontierFlagged(0));
+}
+
+TEST(SearchStateDeathTest, RejectsTooManyKeywords) {
+  EXPECT_DEATH(SearchState(10, 65), "CHECK");
+}
+
+TEST(FormatAnswerTest, RendersNamesLabelsAndTags) {
+  GraphBuilder b;
+  b.AddTriple("alpha node", "linked to", "beta node");
+  KnowledgeGraph g = std::move(b).Build();
+  ASSERT_TRUE(g.SetNodeWeights({0, 0}).ok());
+  AnswerGraph a;
+  a.central = 1;
+  a.depth = 1;
+  a.score = 0.5;
+  a.nodes = {0, 1};
+  a.edges = {AnswerEdge{0, 1, 0}};
+  a.keyword_nodes = {{0}};
+  std::string s = FormatAnswer(g, a, {"alpha"});
+  EXPECT_NE(s.find("beta node"), std::string::npos);
+  EXPECT_NE(s.find("linked to"), std::string::npos);
+  EXPECT_NE(s.find("{alpha}"), std::string::npos);
+  EXPECT_NE(s.find("depth=1"), std::string::npos);
+}
+
+TEST(EngineKindTest, AllNamesDistinct) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kSequential), "Sequential");
+  EXPECT_STREQ(EngineKindName(EngineKind::kCpuParallel), "CPU-Par");
+  EXPECT_STREQ(EngineKindName(EngineKind::kCpuDynamic), "CPU-Par-d");
+  EXPECT_STREQ(EngineKindName(EngineKind::kGpuSim), "GPU-Par(sim)");
+}
+
+TEST(PhaseTimingsTest, AccumulateAndAverage) {
+  PhaseTimings a, b;
+  a.init_ms = 1;
+  a.expansion_ms = 4;
+  a.levels = 3;
+  b.init_ms = 3;
+  b.expansion_ms = 6;
+  b.levels = 5;
+  a += b;
+  EXPECT_EQ(a.init_ms, 4);
+  EXPECT_EQ(a.expansion_ms, 10);
+  EXPECT_EQ(a.levels, 8);
+  a /= 2.0;
+  EXPECT_EQ(a.init_ms, 2);
+  EXPECT_EQ(a.expansion_ms, 5);
+}
+
+TEST(MaxCentralCandidatesTest, CapLimitsTopDownWork) {
+  // Single keyword: every keyword node is a central candidate at level 0;
+  // the cap bounds how many are carried into stage 2.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 19; ++i) edges.push_back({i, i + 1});
+  KnowledgeGraph g = MakeGraph(20, edges);
+  ASSERT_TRUE(g.SetNodeWeights(std::vector<double>(20, 0.0)).ok());
+  g.SetAverageDistance(3.0, 0.5);
+  InvertedIndex index = InvertedIndex::Build(g);
+
+  SearchOptions opts;
+  opts.top_k = 50;
+  opts.max_central_candidates = 5;
+  SearchEngine engine(&g, &index, opts);
+  // Every node's name contains "n<i>" plus the shared token "tok"? MakeGraph
+  // names are "n<i>", unique; use a keyword matching many nodes instead:
+  // search for all node names via a common prefix is not possible, so use
+  // two keywords whose sources chain along the path.
+  Result<SearchResult> res = engine.SearchKeywords({"n1", "n19"}, opts);
+  ASSERT_TRUE(res.ok());
+  EXPECT_LE(res->stats.num_centrals, 5u);
+}
+
+}  // namespace
+}  // namespace wikisearch

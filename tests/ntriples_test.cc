@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/ntriples.h"
+
+namespace wikisearch {
+namespace {
+
+TEST(UnescapeTest, Passthrough) {
+  auto r = UnescapeNTriplesLiteral("hello world");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello world");
+}
+
+TEST(UnescapeTest, StandardEscapes) {
+  auto r = UnescapeNTriplesLiteral(R"(a\"b\\c\nd\te)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "a\"b\\c\nd\te");
+}
+
+TEST(UnescapeTest, UnicodeEscapes) {
+  auto r = UnescapeNTriplesLiteral(R"(caf\u00E9)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "caf\xC3\xA9");  // é in UTF-8
+  auto wide = UnescapeNTriplesLiteral(R"(\U0001F600)");
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(*wide, "\xF0\x9F\x98\x80");  // 😀
+}
+
+TEST(UnescapeTest, RejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeNTriplesLiteral("dangling\\").ok());
+  EXPECT_FALSE(UnescapeNTriplesLiteral("\\q").ok());
+  EXPECT_FALSE(UnescapeNTriplesLiteral("\\u12").ok());
+  EXPECT_FALSE(UnescapeNTriplesLiteral("\\uZZZZ").ok());
+}
+
+TEST(NTriplesTest, ParsesIriTriples) {
+  auto g = ParseNTriples(
+      "<http://ex.org/Douglas_Adams> <http://ex.org/prop/instance_of> "
+      "<http://ex.org/Q5> .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_triples(), 1u);
+  // Localized names: last path segment, underscores to spaces.
+  EXPECT_NE(g->FindNode("Douglas Adams"), kInvalidNode);
+  EXPECT_NE(g->FindNode("Q5"), kInvalidNode);
+  EXPECT_EQ(g->LabelName(0), "instance of");
+}
+
+TEST(NTriplesTest, HashFragmentLocalization) {
+  auto g = ParseNTriples(
+      "<http://ex.org/onto#Person> <http://ex.org/onto#label> "
+      "<http://ex.org/onto#Human> .\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->FindNode("Person"), kInvalidNode);
+}
+
+TEST(NTriplesTest, FullIrisWhenLocalizationOff) {
+  NTriplesOptions opts;
+  opts.localize_iris = false;
+  auto g = ParseNTriples(
+      "<http://ex.org/a> <http://ex.org/p> <http://ex.org/b> .\n", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->FindNode("http://ex.org/a"), kInvalidNode);
+}
+
+TEST(NTriplesTest, LiteralsBecomeNodes) {
+  auto g = ParseNTriples(
+      "<http://ex.org/Q42> <http://ex.org/label> \"Douglas Adams\"@en .\n"
+      "<http://ex.org/Q42> <http://ex.org/age> "
+      "\"42\"^^<http://www.w3.org/2001/XMLSchema#int> .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_triples(), 2u);
+  EXPECT_NE(g->FindNode("Douglas Adams"), kInvalidNode);
+  EXPECT_NE(g->FindNode("42"), kInvalidNode);
+}
+
+TEST(NTriplesTest, LiteralEscapesDecoded) {
+  auto g = ParseNTriples(
+      "<http://ex.org/x> <http://ex.org/says> \"he said \\\"hi\\\"\" .\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_NE(g->FindNode("he said \"hi\""), kInvalidNode);
+}
+
+TEST(NTriplesTest, BlankNodes) {
+  auto g = ParseNTriples(
+      "_:b0 <http://ex.org/p> <http://ex.org/x> .\n"
+      "_:b0 <http://ex.org/p> _:b1 .\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_triples(), 2u);
+  EXPECT_NE(g->FindNode("_:b0"), kInvalidNode);
+  EXPECT_NE(g->FindNode("_:b1"), kInvalidNode);
+}
+
+TEST(NTriplesTest, CommentsAndBlankLines) {
+  auto g = ParseNTriples(
+      "# a comment\n\n<http://e/a> <http://e/p> <http://e/b> .\n\r\n");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_triples(), 1u);
+}
+
+TEST(NTriplesTest, MalformedLineFailsWithLineNumber) {
+  auto g = ParseNTriples(
+      "<http://e/a> <http://e/p> <http://e/b> .\n"
+      "this is not a triple\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, MissingDotRejected) {
+  EXPECT_FALSE(ParseNTriples("<http://e/a> <http://e/p> <http://e/b>\n").ok());
+}
+
+TEST(NTriplesTest, SkipMalformedMode) {
+  NTriplesOptions opts;
+  opts.skip_malformed = true;
+  auto g = ParseNTriples(
+      "garbage line\n<http://e/a> <http://e/p> <http://e/b> .\n", opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_triples(), 1u);
+}
+
+TEST(NTriplesTest, FileRoundTrip) {
+  GraphBuilder b;
+  b.AddTriple("alpha one", "relates to", "beta \"two\"");
+  b.AddTriple("beta \"two\"", "part of", "gamma");
+  KnowledgeGraph original = std::move(b).Build();
+  std::string path = ::testing::TempDir() + "/ws_roundtrip.nt";
+  ASSERT_TRUE(SaveNTriples(original, path).ok());
+  auto loaded = LoadNTriples(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_triples(), original.num_triples());
+  // Subjects are serialized as urn:ws: IRIs whose local part percent-encodes
+  // spaces; objects round-trip as literals with the exact name.
+  EXPECT_NE(loaded->FindNode("beta \"two\""), kInvalidNode);
+  std::remove(path.c_str());
+}
+
+TEST(NTriplesTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadNTriples("/nonexistent/x.nt").status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace wikisearch

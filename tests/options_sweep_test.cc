@@ -1,0 +1,89 @@
+// Parameterized sweep over the engine's option space: every combination
+// must return invariant-satisfying, deterministic answers.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "gen/workload.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+struct SweepFixture {
+  SweepFixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1500;
+    cfg.num_communities = 8;
+    cfg.num_topic_nodes = 8;
+    cfg.vocab_size = 2000;
+    cfg.seed = 123;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1500, 9);
+    index = InvertedIndex::Build(kb.graph);
+    auto workload = gen::MakeEfficiencyWorkload(kb, index, 4, 2, 31);
+    for (auto& q : workload) queries.push_back(q.keywords);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+  std::vector<std::vector<std::string>> queries;
+};
+
+SweepFixture& Shared() {
+  static SweepFixture* f = new SweepFixture();
+  return *f;
+}
+
+using SweepParam = std::tuple<double /*alpha*/, int /*top_k*/,
+                              double /*lambda*/, int /*engine*/>;
+
+class OptionsSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(OptionsSweepTest, InvariantsAndDeterminism) {
+  auto [alpha, top_k, lambda, engine_idx] = GetParam();
+  SweepFixture& f = Shared();
+  SearchOptions opts;
+  opts.alpha = alpha;
+  opts.top_k = top_k;
+  opts.lambda = lambda;
+  opts.threads = 2;
+  opts.engine = static_cast<EngineKind>(engine_idx);
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  for (const auto& kws : f.queries) {
+    Result<SearchResult> first = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_LE(first->answers.size(), static_cast<size_t>(top_k));
+    for (const AnswerGraph& a : first->answers) {
+      testing::CheckAnswerInvariants(f.kb.graph, a, first->keywords.size());
+      EXPECT_LE(a.depth, first->stats.levels);
+      EXPECT_GE(a.score, 0.0);
+    }
+    // Score ordering.
+    for (size_t i = 1; i < first->answers.size(); ++i) {
+      EXPECT_LE(first->answers[i - 1].score, first->answers[i].score);
+    }
+    // Determinism.
+    Result<SearchResult> second = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(first->answers.size(), second->answers.size());
+    for (size_t i = 0; i < first->answers.size(); ++i) {
+      EXPECT_EQ(first->answers[i].central, second->answers[i].central);
+      EXPECT_EQ(first->answers[i].nodes, second->answers[i].nodes);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptionsSweepTest,
+    ::testing::Combine(::testing::Values(0.05, 0.1, 0.4),
+                       ::testing::Values(1, 5, 20),
+                       ::testing::Values(0.0, 0.2),
+                       ::testing::Values(0, 1, 3)));  // seq, cpu-par, gpu-sim
+
+}  // namespace
+}  // namespace wikisearch

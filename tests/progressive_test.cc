@@ -1,0 +1,123 @@
+// Progressive-search API: per-level progress reporting and cooperative
+// cancellation returning the best partial answers.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using ::wikisearch::testing::MakeGraph;
+
+struct ChainKb {
+  // Two keyword endpoints on a long chain with a short side answer:
+  // kw1 - a - kw2   (fast answer at level 1)
+  // kw1 - long chain - kw2' matches appear deeper too.
+  ChainKb() {
+    GraphBuilder b;
+    b.AddTriple("start alphaterm", "r", "join middle");
+    b.AddTriple("join middle", "r", "end betaterm");
+    // Long tail: more alphaterm/betaterm pairs far apart.
+    std::string prev = "end betaterm";
+    for (int i = 0; i < 8; ++i) {
+      std::string next = "chain node " + std::to_string(i);
+      b.AddTriple(prev, "r", next);
+      prev = next;
+    }
+    b.AddTriple(prev, "r", "far alphaterm outpost");
+    graph = std::move(b).Build();
+    AttachNodeWeights(&graph);
+    AttachAverageDistance(&graph, 200, 3);
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+TEST(ProgressiveTest, CallbackInvokedPerLevel) {
+  ChainKb kb;
+  SearchOptions opts;
+  opts.top_k = 50;  // force multiple levels
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  std::vector<LevelProgress> snapshots;
+  auto res = engine.SearchKeywordsProgressive(
+      {"alphaterm", "betaterm"}, opts, [&](const LevelProgress& p) {
+        snapshots.push_back(p);
+        return true;
+      });
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->stats.cancelled);
+  ASSERT_GT(snapshots.size(), 1u);
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].level, static_cast<int>(i));
+    EXPECT_GT(snapshots[i].frontier_size, 0u);
+    if (i > 0) {
+      EXPECT_GE(snapshots[i].centrals_so_far,
+                snapshots[i - 1].centrals_so_far);
+    }
+  }
+}
+
+TEST(ProgressiveTest, CancellationReturnsPartialAnswers) {
+  ChainKb kb;
+  SearchOptions opts;
+  opts.top_k = 50;
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  auto res = engine.SearchKeywordsProgressive(
+      {"alphaterm", "betaterm"}, opts, [&](const LevelProgress& p) {
+        // Cancel as soon as any Central Node exists.
+        return p.centrals_so_far == 0;
+      });
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->stats.cancelled);
+  EXPECT_FALSE(res->answers.empty());  // partial answers still materialized
+  for (const AnswerGraph& a : res->answers) {
+    testing::CheckAnswerInvariants(kb.graph, a, 2);
+  }
+}
+
+TEST(ProgressiveTest, ImmediateCancelYieldsNothingButSucceeds) {
+  ChainKb kb;
+  SearchOptions opts;
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  auto res = engine.SearchKeywordsProgressive(
+      {"alphaterm", "betaterm"}, opts,
+      [](const LevelProgress&) { return false; });
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->stats.cancelled);
+  EXPECT_TRUE(res->answers.empty());
+  EXPECT_EQ(res->stats.levels, 0);
+}
+
+TEST(ProgressiveTest, NullCallbackEqualsPlainSearch) {
+  ChainKb kb;
+  SearchOptions opts;
+  opts.top_k = 5;
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  auto plain = engine.SearchKeywords({"alphaterm", "betaterm"}, opts);
+  auto prog = engine.SearchKeywordsProgressive({"alphaterm", "betaterm"},
+                                               opts, nullptr);
+  ASSERT_TRUE(plain.ok() && prog.ok());
+  ASSERT_EQ(plain->answers.size(), prog->answers.size());
+  for (size_t i = 0; i < plain->answers.size(); ++i) {
+    EXPECT_EQ(plain->answers[i].central, prog->answers[i].central);
+    EXPECT_EQ(plain->answers[i].nodes, prog->answers[i].nodes);
+  }
+}
+
+TEST(ProgressiveTest, DynamicEngineRejectsCallback) {
+  ChainKb kb;
+  SearchOptions opts;
+  opts.engine = EngineKind::kCpuDynamic;
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  auto res = engine.SearchKeywordsProgressive(
+      {"alphaterm"}, opts, [](const LevelProgress&) { return true; });
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wikisearch

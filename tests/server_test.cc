@@ -1,0 +1,280 @@
+// Tests of the HTTP substrate (parsing, routing, concurrency), the LRU
+// query cache, and the full search service over real sockets.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/query_cache.h"
+#include "server/search_service.h"
+
+namespace wikisearch::server {
+namespace {
+
+// ------------------------------ URL / parsing --------------------------------
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("x%2Fy"), "x/y");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+}
+
+TEST(UrlDecodeTest, MalformedPercentLeftAlone) {
+  EXPECT_EQ(UrlDecode("100%"), "100%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+}
+
+TEST(ParseQueryStringTest, SplitsPairs) {
+  auto params = ParseQueryString("q=xml+rdf&k=5&flag");
+  EXPECT_EQ(params["q"], "xml rdf");
+  EXPECT_EQ(params["k"], "5");
+  EXPECT_TRUE(params.count("flag"));
+  EXPECT_EQ(params["flag"], "");
+}
+
+TEST(ParseHttpRequestTest, FullRequest) {
+  std::string raw =
+      "GET /search?q=a%20b HTTP/1.1\r\nHost: x\r\nX-Test: Val\r\n\r\n";
+  auto req = ParseHttpRequest(raw);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->path, "/search");
+  EXPECT_EQ(req->Param("q"), "a b");
+  EXPECT_EQ(req->headers.at("x-test"), "Val");  // lower-cased key
+}
+
+TEST(ParseHttpRequestTest, PostWithBody) {
+  std::string raw =
+      "POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  auto req = ParseHttpRequest(raw);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->body, "hello");
+}
+
+TEST(ParseHttpRequestTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseHttpRequest("not http").ok());
+  EXPECT_FALSE(ParseHttpRequest("GET\r\n\r\n").ok());
+}
+
+// ------------------------------ Query cache ----------------------------------
+
+TEST(QueryCacheTest, HitAfterPut) {
+  QueryCache cache(4);
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "1");
+  auto got = cache.Get("a");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "1");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  QueryCache cache(2);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  EXPECT_TRUE(cache.Get("a").has_value());  // refresh a
+  cache.Put("c", "3");                      // evicts b
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, OverwriteRefreshes) {
+  QueryCache cache(2);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Put("a", "updated");
+  cache.Put("c", "3");  // evicts b (a was refreshed by overwrite)
+  EXPECT_EQ(*cache.Get("a"), "updated");
+  EXPECT_FALSE(cache.Get("b").has_value());
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisables) {
+  QueryCache cache(0);
+  cache.Put("a", "1");
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryCacheTest, ConcurrentAccessSafe) {
+  QueryCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string key = "k" + std::to_string((t * 31 + i) % 100);
+        cache.Put(key, "v");
+        cache.Get(key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+// ------------------------------ HTTP server ----------------------------------
+
+TEST(HttpServerTest, RoutesAndNotFound) {
+  HttpServer server;
+  server.Route("/hello", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "hi");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  auto ok = HttpGet(server.port(), "/hello");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(ok->body, "hi");
+  auto missing = HttpGet(server.port(), "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ParamsReachHandler) {
+  HttpServer server;
+  server.Route("/echo", [](const HttpRequest& req) {
+    return HttpResponse::Text(200, req.Param("msg", "none"));
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  auto resp = HttpGet(server.port(), "/echo?msg=hello%20there");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body, "hello there");
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentRequests) {
+  HttpServer server;
+  server.Route("/n", [](const HttpRequest& req) {
+    return HttpResponse::Text(200, req.Param("i"));
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      auto resp = HttpGet(server.port(), "/n?i=" + std::to_string(t));
+      if (!resp.ok() || resp->body != std::to_string(t)) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server.requests_served(), 8u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotent) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ----------------------------- Search service --------------------------------
+
+struct ServiceFixture {
+  ServiceFixture() {
+    GraphBuilder b;
+    b.AddTriple("xml toolkit", "part of", "data tools");
+    b.AddTriple("rdf engine", "part of", "data tools");
+    b.AddTriple("sql planner", "part of", "data tools");
+    graph = std::move(b).Build();
+    AttachNodeWeights(&graph);
+    AttachAverageDistance(&graph, 100, 3);
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+TEST(SearchServiceTest, SearchReturnsJsonAnswers) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  req.path = "/search";
+  req.params["q"] = "xml rdf";
+  HttpResponse resp = service.HandleSearch(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"answers\":["), std::string::npos);
+  EXPECT_NE(resp.body.find("data tools"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"keywords\":[\"xml\",\"rdf\"]"),
+            std::string::npos);
+}
+
+TEST(SearchServiceTest, MissingQueryIs400) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  EXPECT_EQ(service.HandleSearch(req).status, 400);
+}
+
+TEST(SearchServiceTest, UnknownKeywordsAre404) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  req.params["q"] = "zzzmissing";
+  HttpResponse resp = service.HandleSearch(req);
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_NE(resp.body.find("error"), std::string::npos);
+}
+
+TEST(SearchServiceTest, RepeatedQueryHitsCache) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  req.params["q"] = "xml rdf";
+  HttpResponse first = service.HandleSearch(req);
+  HttpResponse second = service.HandleSearch(req);
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(service.cache().hits(), 1u);
+}
+
+TEST(SearchServiceTest, ParametersChangeCacheKey) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest a, b;
+  a.params["q"] = b.params["q"] = "xml rdf";
+  a.params["k"] = "5";
+  b.params["k"] = "10";
+  service.HandleSearch(a);
+  service.HandleSearch(b);
+  EXPECT_EQ(service.cache().hits(), 0u);
+  EXPECT_EQ(service.cache().size(), 2u);
+}
+
+TEST(SearchServiceTest, StatsAndHealthEndpoints) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  HttpResponse stats = service.HandleStats(req);
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"graph\""), std::string::npos);
+  EXPECT_EQ(service.HandleHealth(req).status, 200);
+}
+
+TEST(SearchServiceTest, EndToEndOverSockets) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpServer server;
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto resp = HttpGet(server.port(), "/search?q=xml+sql&k=3&engine=gpu");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->body.find("\"answers\""), std::string::npos);
+  auto health = HttpGet(server.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->body, "ok\n");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace wikisearch::server

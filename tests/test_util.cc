@@ -1,0 +1,58 @@
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace wikisearch::testing {
+
+void CheckAnswerInvariants(const KnowledgeGraph& g, const AnswerGraph& answer,
+                           size_t num_keywords) {
+  ASSERT_FALSE(answer.nodes.empty());
+  ASSERT_TRUE(std::is_sorted(answer.nodes.begin(), answer.nodes.end()));
+  ASSERT_TRUE(std::adjacent_find(answer.nodes.begin(), answer.nodes.end()) ==
+              answer.nodes.end());
+  ASSERT_TRUE(answer.ContainsNode(answer.central));
+  ASSERT_EQ(answer.keyword_nodes.size(), num_keywords);
+  for (const auto& kn : answer.keyword_nodes) {
+    EXPECT_FALSE(kn.empty()) << "keyword not covered";
+    for (NodeId v : kn) {
+      EXPECT_TRUE(answer.ContainsNode(v));
+    }
+  }
+  // Every edge must be a real KB edge between member nodes.
+  for (const AnswerEdge& e : answer.edges) {
+    EXPECT_TRUE(answer.ContainsNode(e.src));
+    EXPECT_TRUE(answer.ContainsNode(e.dst));
+    bool found = false;
+    for (const AdjEntry& adj : g.Neighbors(e.src)) {
+      if (adj.target == e.dst && adj.label == e.label && !adj.reverse) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "answer edge is not a KB triple";
+  }
+  // Connectivity over the answer's own edges.
+  if (answer.nodes.size() > 1) {
+    std::map<NodeId, std::vector<NodeId>> adj;
+    for (const AnswerEdge& e : answer.edges) {
+      adj[e.src].push_back(e.dst);
+      adj[e.dst].push_back(e.src);
+    }
+    std::set<NodeId> seen{answer.central};
+    std::vector<NodeId> stack{answer.central};
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : adj[v]) {
+        if (seen.insert(w).second) stack.push_back(w);
+      }
+    }
+    EXPECT_EQ(seen.size(), answer.nodes.size())
+        << "answer graph is not connected";
+  }
+}
+
+}  // namespace wikisearch::testing

@@ -1,0 +1,111 @@
+// Shared test helpers: tiny graph construction, an independent fixpoint
+// formulation of hitting levels used as ground truth, and answer invariant
+// checks.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/activation.h"
+#include "core/answer.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch::testing {
+
+/// Builds a graph from (src, dst) pairs with node names "n<i>" and a single
+/// label "rel"; ids are assigned in order of first appearance (0..max id).
+inline KnowledgeGraph MakeGraph(size_t num_nodes,
+                                const std::vector<std::pair<int, int>>& edges,
+                                const std::string& label = "rel") {
+  GraphBuilder b;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    b.AddNode("n" + std::to_string(i));
+  }
+  LabelId l = b.AddLabel(label);
+  for (auto [s, d] : edges) {
+    auto st = b.AddEdge(static_cast<NodeId>(s), static_cast<NodeId>(d), l);
+    (void)st;
+  }
+  return std::move(b).Build();
+}
+
+inline constexpr int kIntInf = std::numeric_limits<int>::max() / 4;
+
+/// Independent ground truth for hitting levels, ignoring Central-Node
+/// exclusion and early top-k termination: the Bellman-Ford fixpoint of
+///
+///   h(v,i) = 0                                   if v in T_i
+///   h(v,i) = min over neighbors u of
+///            1 + max( h(u,i), a(u), a(v)-1 [if v is not a keyword node] )
+///
+/// bounded by lmax. Matches the engine exactly up to (and including) the
+/// first level at which any Central Node appears, since no exclusion has
+/// happened yet by then.
+inline std::vector<std::vector<int>> FixpointHits(
+    const KnowledgeGraph& g, const std::vector<std::vector<NodeId>>& groups,
+    const ActivationMap& act, int lmax) {
+  const size_t n = g.num_nodes();
+  const size_t q = groups.size();
+  std::vector<uint8_t> is_kw(n, 0);
+  for (const auto& t : groups) {
+    for (NodeId v : t) is_kw[v] = 1;
+  }
+  std::vector<int> a(n);
+  for (NodeId v = 0; v < n; ++v) a[v] = act.Level(g.NodeWeight(v));
+
+  std::vector<std::vector<int>> h(q, std::vector<int>(n, kIntInf));
+  for (size_t i = 0; i < q; ++i) {
+    for (NodeId v : groups[i]) h[i][v] = 0;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v = 0; v < n; ++v) {
+        if (h[i][v] == 0) continue;
+        int best = kIntInf;
+        for (const AdjEntry& e : g.Neighbors(v)) {
+          NodeId u = e.target;
+          if (h[i][u] >= kIntInf) continue;
+          int fire = std::max(h[i][u], a[u]);
+          if (!is_kw[v]) fire = std::max(fire, a[v] - 1);
+          best = std::min(best, 1 + fire);
+        }
+        if (best <= lmax && best < h[i][v]) {
+          h[i][v] = best;
+          changed = true;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+/// Ground-truth Central Nodes from fixpoint hits: depth(v) = max_i h(v,i),
+/// valid for depths up to and including the first level with any central.
+inline std::vector<std::pair<NodeId, int>> FixpointCentrals(
+    const std::vector<std::vector<int>>& h, int lmax) {
+  if (h.empty()) return {};
+  const size_t n = h[0].size();
+  std::vector<std::pair<NodeId, int>> out;
+  for (NodeId v = 0; v < n; ++v) {
+    int d = 0;
+    for (const auto& hi : h) d = std::max(d, hi[v]);
+    if (d <= lmax) out.emplace_back(v, d);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second < y.second;
+    return x.first < y.first;
+  });
+  return out;
+}
+
+/// Checks structural invariants every answer must satisfy: node list sorted
+/// and unique, edges reference member nodes, every keyword covered, central
+/// present, and the answer connected (over its own edge set, treating the
+/// depth-0 single-node answer as trivially connected).
+void CheckAnswerInvariants(const KnowledgeGraph& g, const AnswerGraph& answer,
+                           size_t num_keywords);
+
+}  // namespace wikisearch::testing

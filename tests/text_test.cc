@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr_graph.h"
+#include "text/inverted_index.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace wikisearch {
+namespace {
+
+// ------------------------------ Tokenizer -----------------------------------
+
+TEST(TokenizerTest, SplitsOnNonAlnum) {
+  auto t = Tokenize("Hello, world! foo-bar_baz 42");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0], "Hello");
+  EXPECT_EQ(t[1], "world");
+  EXPECT_EQ(t[2], "foo");
+  EXPECT_EQ(t[3], "bar");
+  EXPECT_EQ(t[4], "baz");
+  EXPECT_EQ(t[5], "42");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("...!!!,,,").empty());
+}
+
+TEST(AnalyzerTest, LowercasesAndStems) {
+  auto t = AnalyzeText("Relational Databases");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "relat");
+  EXPECT_EQ(t[1], "databas");
+}
+
+TEST(AnalyzerTest, RemovesStopwords) {
+  auto t = AnalyzeText("the quick search of the graph");
+  // "the", "of" removed.
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "quick");
+  EXPECT_EQ(t[1], "search");
+  EXPECT_EQ(t[2], "graph");
+}
+
+TEST(AnalyzerTest, LengthFilters) {
+  AnalyzerOptions opts;
+  opts.min_token_len = 3;
+  auto t = AnalyzeText("ab abc", opts);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], "abc");
+}
+
+TEST(AnalyzerTest, OptionsCanDisableEverything) {
+  AnalyzerOptions opts;
+  opts.lowercase = false;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  opts.min_token_len = 1;
+  auto t = AnalyzeText("The Mining", opts);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "The");
+  EXPECT_EQ(t[1], "Mining");
+}
+
+TEST(StopWordTest, KnownStopwords) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("and"));
+  EXPECT_FALSE(IsStopWord("database"));
+}
+
+// ---------------------------- Porter stemmer --------------------------------
+
+struct StemCase {
+  const char* word;
+  const char* stem;
+};
+
+class PorterStemmerTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStemmerTest, MatchesReferenceVector) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStem(c.word), c.stem) << "word: " << c.word;
+}
+
+// Reference outputs from Porter's published sample vocabulary.
+INSTANTIATE_TEST_SUITE_P(
+    ReferenceVectors, PorterStemmerTest,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+        StemCase{"cats", "cat"}, StemCase{"feed", "feed"},
+        StemCase{"agreed", "agre"}, StemCase{"plastered", "plaster"},
+        StemCase{"bled", "bled"}, StemCase{"motoring", "motor"},
+        StemCase{"sing", "sing"}, StemCase{"conflated", "conflat"},
+        StemCase{"troubled", "troubl"}, StemCase{"sized", "size"},
+        StemCase{"hopping", "hop"}, StemCase{"tanned", "tan"},
+        StemCase{"falling", "fall"}, StemCase{"hissing", "hiss"},
+        StemCase{"fizzed", "fizz"}, StemCase{"failing", "fail"},
+        StemCase{"filing", "file"}, StemCase{"happy", "happi"},
+        StemCase{"sky", "sky"}, StemCase{"relational", "relat"},
+        StemCase{"conditional", "condit"}, StemCase{"rational", "ration"},
+        StemCase{"valenci", "valenc"}, StemCase{"hesitanci", "hesit"},
+        StemCase{"digitizer", "digit"}, StemCase{"conformabli", "conform"},
+        StemCase{"radicalli", "radic"}, StemCase{"differentli", "differ"},
+        StemCase{"vileli", "vile"}, StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"}, StemCase{"predication", "predic"},
+        StemCase{"operator", "oper"}, StemCase{"feudalism", "feudal"},
+        StemCase{"decisiveness", "decis"}, StemCase{"hopefulness", "hope"},
+        StemCase{"callousness", "callous"}, StemCase{"formaliti", "formal"},
+        StemCase{"sensitiviti", "sensit"}, StemCase{"sensibiliti", "sensibl"},
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}, StemCase{"revival", "reviv"},
+        StemCase{"allowance", "allow"}, StemCase{"inference", "infer"},
+        StemCase{"airliner", "airlin"}, StemCase{"gyroscopic", "gyroscop"},
+        StemCase{"adjustable", "adjust"}, StemCase{"defensible", "defens"},
+        StemCase{"irritant", "irrit"}, StemCase{"replacement", "replac"},
+        StemCase{"adjustment", "adjust"}, StemCase{"dependent", "depend"},
+        StemCase{"adoption", "adopt"}, StemCase{"homologou", "homolog"},
+        StemCase{"communism", "commun"}, StemCase{"activate", "activ"},
+        StemCase{"angulariti", "angular"}, StemCase{"homologous", "homolog"},
+        StemCase{"effective", "effect"}, StemCase{"bowdlerize", "bowdler"},
+        StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+        StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+        StemCase{"roll", "roll"}));
+
+TEST(PorterStemmerEdge, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemmerEdge, MostlyIdempotent) {
+  // Porter is not idempotent in general ("databases" -> "databas" ->
+  // "databa"); what the engine relies on is that documents and queries are
+  // stemmed exactly once by the same pipeline. Still, common query terms
+  // should be stable under re-stemming.
+  for (const char* w : {"relational", "indexing", "searching", "mining",
+                        "retrieval", "graph", "network"}) {
+    std::string once = PorterStem(w);
+    EXPECT_EQ(PorterStem(once), once) << w;
+  }
+}
+
+// ---------------------------- Inverted index --------------------------------
+
+KnowledgeGraph SmallNamedGraph() {
+  GraphBuilder b;
+  b.AddNode("XML database systems");
+  b.AddNode("Relational database");
+  b.AddNode("Graph searching");
+  b.AddNode("The stopword node");
+  LabelId l = b.AddLabel("rel");
+  (void)b.AddEdge(0, 1, l);
+  (void)b.AddEdge(1, 2, l);
+  (void)b.AddEdge(2, 3, l);
+  return std::move(b).Build();
+}
+
+TEST(InvertedIndexTest, LookupFindsNodesByStemmedTerm) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  auto post = index.Lookup("databases");  // stems to "databas"
+  ASSERT_EQ(post.size(), 2u);
+  EXPECT_EQ(post[0], 0u);
+  EXPECT_EQ(post[1], 1u);
+}
+
+TEST(InvertedIndexTest, QueryAndDocumentAnalyzedIdentically) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  EXPECT_EQ(index.Lookup("searching").size(), 1u);
+  EXPECT_EQ(index.Lookup("SEARCH").size(), 1u);  // same stem
+}
+
+TEST(InvertedIndexTest, UnknownTermEmpty) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  EXPECT_TRUE(index.Lookup("nonexistentterm").empty());
+  EXPECT_EQ(index.KeywordFrequency("nonexistentterm"), 0u);
+}
+
+TEST(InvertedIndexTest, StopwordsNotIndexed) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  EXPECT_TRUE(index.Lookup("the").empty());
+}
+
+TEST(InvertedIndexTest, AnalyzeQueryDeduplicates) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  auto terms = index.AnalyzeQuery("database databases DATABASE graph");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0], "databas");
+  EXPECT_EQ(terms[1], "graph");
+}
+
+TEST(InvertedIndexTest, PostingsSortedUnique) {
+  GraphBuilder b;
+  b.AddNode("zeta zeta zeta");  // repeated term in one name -> one posting
+  b.AddNode("alpha zeta");
+  LabelId l = b.AddLabel("rel");
+  (void)b.AddEdge(0, 1, l);
+  KnowledgeGraph g = std::move(b).Build();
+  InvertedIndex index = InvertedIndex::Build(g);
+  auto post = index.Lookup("zeta");
+  ASSERT_EQ(post.size(), 2u);
+  EXPECT_LT(post[0], post[1]);
+}
+
+TEST(InvertedIndexTest, StatsPopulated) {
+  KnowledgeGraph g = SmallNamedGraph();
+  InvertedIndex index = InvertedIndex::Build(g);
+  EXPECT_GT(index.num_terms(), 0u);
+  EXPECT_GT(index.num_postings(), 0u);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace wikisearch
