@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blinks_tradeoff.dir/bench_blinks_tradeoff.cc.o"
+  "CMakeFiles/bench_blinks_tradeoff.dir/bench_blinks_tradeoff.cc.o.d"
+  "bench_blinks_tradeoff"
+  "bench_blinks_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blinks_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_activation.dir/bench_fig3_activation.cc.o"
+  "CMakeFiles/bench_fig3_activation.dir/bench_fig3_activation.cc.o.d"
+  "bench_fig3_activation"
+  "bench_fig3_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_vary_threads_small.dir/bench_fig9_vary_threads_small.cc.o"
+  "CMakeFiles/bench_fig9_vary_threads_small.dir/bench_fig9_vary_threads_small.cc.o.d"
+  "bench_fig9_vary_threads_small"
+  "bench_fig9_vary_threads_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_vary_threads_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_dataset.dir/build_dataset.cpp.o"
+  "CMakeFiles/build_dataset.dir/build_dataset.cpp.o.d"
+  "build_dataset"
+  "build_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

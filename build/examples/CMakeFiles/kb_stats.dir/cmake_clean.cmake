@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_stats.dir/kb_stats.cpp.o"
+  "CMakeFiles/kb_stats.dir/kb_stats.cpp.o.d"
+  "kb_stats"
+  "kb_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikisearch_cli.dir/wikisearch_cli.cpp.o"
+  "CMakeFiles/wikisearch_cli.dir/wikisearch_cli.cpp.o.d"
+  "wikisearch_cli"
+  "wikisearch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikisearch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

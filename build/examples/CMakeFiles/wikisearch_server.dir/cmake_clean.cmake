@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikisearch_server.dir/wikisearch_server.cpp.o"
+  "CMakeFiles/wikisearch_server.dir/wikisearch_server.cpp.o.d"
+  "wikisearch_server"
+  "wikisearch_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikisearch_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_banks.dir/banks.cc.o"
+  "CMakeFiles/ws_banks.dir/banks.cc.o.d"
+  "libws_banks.a"
+  "libws_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_blinks.dir/blinks_engine.cc.o"
+  "CMakeFiles/ws_blinks.dir/blinks_engine.cc.o.d"
+  "CMakeFiles/ws_blinks.dir/blinks_index.cc.o"
+  "CMakeFiles/ws_blinks.dir/blinks_index.cc.o.d"
+  "libws_blinks.a"
+  "libws_blinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_blinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

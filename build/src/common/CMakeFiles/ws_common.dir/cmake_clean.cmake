@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_common.dir/json.cc.o"
+  "CMakeFiles/ws_common.dir/json.cc.o.d"
+  "CMakeFiles/ws_common.dir/random.cc.o"
+  "CMakeFiles/ws_common.dir/random.cc.o.d"
+  "CMakeFiles/ws_common.dir/status.cc.o"
+  "CMakeFiles/ws_common.dir/status.cc.o.d"
+  "CMakeFiles/ws_common.dir/thread_pool.cc.o"
+  "CMakeFiles/ws_common.dir/thread_pool.cc.o.d"
+  "libws_common.a"
+  "libws_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

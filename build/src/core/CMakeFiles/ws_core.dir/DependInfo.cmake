@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation.cc" "src/core/CMakeFiles/ws_core.dir/activation.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/activation.cc.o.d"
+  "/root/repo/src/core/answer.cc" "src/core/CMakeFiles/ws_core.dir/answer.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/answer.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/ws_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/bfs_state.cc" "src/core/CMakeFiles/ws_core.dir/bfs_state.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/bfs_state.cc.o.d"
+  "/root/repo/src/core/bottom_up.cc" "src/core/CMakeFiles/ws_core.dir/bottom_up.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/bottom_up.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/ws_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/engine_dynamic.cc" "src/core/CMakeFiles/ws_core.dir/engine_dynamic.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/engine_dynamic.cc.o.d"
+  "/root/repo/src/core/extraction.cc" "src/core/CMakeFiles/ws_core.dir/extraction.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/extraction.cc.o.d"
+  "/root/repo/src/core/level_cover.cc" "src/core/CMakeFiles/ws_core.dir/level_cover.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/level_cover.cc.o.d"
+  "/root/repo/src/core/node_weight.cc" "src/core/CMakeFiles/ws_core.dir/node_weight.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/node_weight.cc.o.d"
+  "/root/repo/src/core/top_down.cc" "src/core/CMakeFiles/ws_core.dir/top_down.cc.o" "gcc" "src/core/CMakeFiles/ws_core.dir/top_down.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ws_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ws_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_core.dir/activation.cc.o"
+  "CMakeFiles/ws_core.dir/activation.cc.o.d"
+  "CMakeFiles/ws_core.dir/answer.cc.o"
+  "CMakeFiles/ws_core.dir/answer.cc.o.d"
+  "CMakeFiles/ws_core.dir/batch.cc.o"
+  "CMakeFiles/ws_core.dir/batch.cc.o.d"
+  "CMakeFiles/ws_core.dir/bfs_state.cc.o"
+  "CMakeFiles/ws_core.dir/bfs_state.cc.o.d"
+  "CMakeFiles/ws_core.dir/bottom_up.cc.o"
+  "CMakeFiles/ws_core.dir/bottom_up.cc.o.d"
+  "CMakeFiles/ws_core.dir/engine.cc.o"
+  "CMakeFiles/ws_core.dir/engine.cc.o.d"
+  "CMakeFiles/ws_core.dir/engine_dynamic.cc.o"
+  "CMakeFiles/ws_core.dir/engine_dynamic.cc.o.d"
+  "CMakeFiles/ws_core.dir/extraction.cc.o"
+  "CMakeFiles/ws_core.dir/extraction.cc.o.d"
+  "CMakeFiles/ws_core.dir/level_cover.cc.o"
+  "CMakeFiles/ws_core.dir/level_cover.cc.o.d"
+  "CMakeFiles/ws_core.dir/node_weight.cc.o"
+  "CMakeFiles/ws_core.dir/node_weight.cc.o.d"
+  "CMakeFiles/ws_core.dir/top_down.cc.o"
+  "CMakeFiles/ws_core.dir/top_down.cc.o.d"
+  "libws_core.a"
+  "libws_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_eval.dir/harness.cc.o"
+  "CMakeFiles/ws_eval.dir/harness.cc.o.d"
+  "CMakeFiles/ws_eval.dir/relevance.cc.o"
+  "CMakeFiles/ws_eval.dir/relevance.cc.o.d"
+  "libws_eval.a"
+  "libws_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/vocab.cc" "src/gen/CMakeFiles/ws_gen.dir/vocab.cc.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/vocab.cc.o.d"
+  "/root/repo/src/gen/wikigen.cc" "src/gen/CMakeFiles/ws_gen.dir/wikigen.cc.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/wikigen.cc.o.d"
+  "/root/repo/src/gen/workload.cc" "src/gen/CMakeFiles/ws_gen.dir/workload.cc.o" "gcc" "src/gen/CMakeFiles/ws_gen.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ws_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ws_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

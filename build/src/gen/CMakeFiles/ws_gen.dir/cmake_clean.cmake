@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_gen.dir/vocab.cc.o"
+  "CMakeFiles/ws_gen.dir/vocab.cc.o.d"
+  "CMakeFiles/ws_gen.dir/wikigen.cc.o"
+  "CMakeFiles/ws_gen.dir/wikigen.cc.o.d"
+  "CMakeFiles/ws_gen.dir/workload.cc.o"
+  "CMakeFiles/ws_gen.dir/workload.cc.o.d"
+  "libws_gen.a"
+  "libws_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/ws_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/distance_sampler.cc" "src/graph/CMakeFiles/ws_graph.dir/distance_sampler.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/distance_sampler.cc.o.d"
+  "/root/repo/src/graph/graph_algos.cc" "src/graph/CMakeFiles/ws_graph.dir/graph_algos.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/graph_algos.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/graph/CMakeFiles/ws_graph.dir/graph_io.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/ws_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/ntriples.cc" "src/graph/CMakeFiles/ws_graph.dir/ntriples.cc.o" "gcc" "src/graph/CMakeFiles/ws_graph.dir/ntriples.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

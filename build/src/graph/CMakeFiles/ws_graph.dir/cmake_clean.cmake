@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/ws_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/ws_graph.dir/distance_sampler.cc.o"
+  "CMakeFiles/ws_graph.dir/distance_sampler.cc.o.d"
+  "CMakeFiles/ws_graph.dir/graph_algos.cc.o"
+  "CMakeFiles/ws_graph.dir/graph_algos.cc.o.d"
+  "CMakeFiles/ws_graph.dir/graph_io.cc.o"
+  "CMakeFiles/ws_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/ws_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/ws_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/ws_graph.dir/ntriples.cc.o"
+  "CMakeFiles/ws_graph.dir/ntriples.cc.o.d"
+  "libws_graph.a"
+  "libws_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

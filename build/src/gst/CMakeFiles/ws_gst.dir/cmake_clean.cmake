@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_gst.dir/dpbf.cc.o"
+  "CMakeFiles/ws_gst.dir/dpbf.cc.o.d"
+  "CMakeFiles/ws_gst.dir/objectrank.cc.o"
+  "CMakeFiles/ws_gst.dir/objectrank.cc.o.d"
+  "CMakeFiles/ws_gst.dir/rclique.cc.o"
+  "CMakeFiles/ws_gst.dir/rclique.cc.o.d"
+  "libws_gst.a"
+  "libws_gst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_gst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/http_client.cc" "src/server/CMakeFiles/ws_server.dir/http_client.cc.o" "gcc" "src/server/CMakeFiles/ws_server.dir/http_client.cc.o.d"
+  "/root/repo/src/server/http_server.cc" "src/server/CMakeFiles/ws_server.dir/http_server.cc.o" "gcc" "src/server/CMakeFiles/ws_server.dir/http_server.cc.o.d"
+  "/root/repo/src/server/query_cache.cc" "src/server/CMakeFiles/ws_server.dir/query_cache.cc.o" "gcc" "src/server/CMakeFiles/ws_server.dir/query_cache.cc.o.d"
+  "/root/repo/src/server/search_service.cc" "src/server/CMakeFiles/ws_server.dir/search_service.cc.o" "gcc" "src/server/CMakeFiles/ws_server.dir/search_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ws_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ws_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

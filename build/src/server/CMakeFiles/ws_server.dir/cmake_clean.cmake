@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_server.dir/http_client.cc.o"
+  "CMakeFiles/ws_server.dir/http_client.cc.o.d"
+  "CMakeFiles/ws_server.dir/http_server.cc.o"
+  "CMakeFiles/ws_server.dir/http_server.cc.o.d"
+  "CMakeFiles/ws_server.dir/query_cache.cc.o"
+  "CMakeFiles/ws_server.dir/query_cache.cc.o.d"
+  "CMakeFiles/ws_server.dir/search_service.cc.o"
+  "CMakeFiles/ws_server.dir/search_service.cc.o.d"
+  "libws_server.a"
+  "libws_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

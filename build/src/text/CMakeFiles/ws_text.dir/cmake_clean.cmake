@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_text.dir/inverted_index.cc.o"
+  "CMakeFiles/ws_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/ws_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/ws_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/ws_text.dir/tokenizer.cc.o"
+  "CMakeFiles/ws_text.dir/tokenizer.cc.o.d"
+  "libws_text.a"
+  "libws_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

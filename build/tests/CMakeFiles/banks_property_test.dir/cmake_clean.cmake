@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banks_property_test.dir/banks_property_test.cc.o"
+  "CMakeFiles/banks_property_test.dir/banks_property_test.cc.o.d"
+  "banks_property_test"
+  "banks_property_test.pdb"
+  "banks_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banks_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banks_test.dir/banks_test.cc.o"
+  "CMakeFiles/banks_test.dir/banks_test.cc.o.d"
+  "banks_test"
+  "banks_test.pdb"
+  "banks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

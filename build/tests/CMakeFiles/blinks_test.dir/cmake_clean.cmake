@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blinks_test.dir/blinks_test.cc.o"
+  "CMakeFiles/blinks_test.dir/blinks_test.cc.o.d"
+  "blinks_test"
+  "blinks_test.pdb"
+  "blinks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blinks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

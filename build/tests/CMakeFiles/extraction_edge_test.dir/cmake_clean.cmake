@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_edge_test.dir/extraction_edge_test.cc.o"
+  "CMakeFiles/extraction_edge_test.dir/extraction_edge_test.cc.o.d"
+  "extraction_edge_test"
+  "extraction_edge_test.pdb"
+  "extraction_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

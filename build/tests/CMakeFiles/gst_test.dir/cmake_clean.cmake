@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gst_test.dir/gst_test.cc.o"
+  "CMakeFiles/gst_test.dir/gst_test.cc.o.d"
+  "gst_test"
+  "gst_test.pdb"
+  "gst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

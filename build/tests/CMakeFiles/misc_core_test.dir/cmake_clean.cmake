@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_core_test.dir/misc_core_test.cc.o"
+  "CMakeFiles/misc_core_test.dir/misc_core_test.cc.o.d"
+  "misc_core_test"
+  "misc_core_test.pdb"
+  "misc_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

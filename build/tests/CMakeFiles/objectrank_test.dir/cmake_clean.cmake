@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objectrank_test.dir/objectrank_test.cc.o"
+  "CMakeFiles/objectrank_test.dir/objectrank_test.cc.o.d"
+  "objectrank_test"
+  "objectrank_test.pdb"
+  "objectrank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objectrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/options_sweep_test.cc" "tests/CMakeFiles/options_sweep_test.dir/options_sweep_test.cc.o" "gcc" "tests/CMakeFiles/options_sweep_test.dir/options_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/ws_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ws_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/banks/CMakeFiles/ws_banks.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/ws_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ws_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ws_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ws_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ws_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

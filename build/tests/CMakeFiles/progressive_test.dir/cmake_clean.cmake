@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_test.dir/progressive_test.cc.o"
+  "CMakeFiles/progressive_test.dir/progressive_test.cc.o.d"
+  "progressive_test"
+  "progressive_test.pdb"
+  "progressive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

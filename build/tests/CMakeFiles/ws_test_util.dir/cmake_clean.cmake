@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ws_test_util.dir/test_util.cc.o"
+  "CMakeFiles/ws_test_util.dir/test_util.cc.o.d"
+  "libws_test_util.a"
+  "libws_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ws_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

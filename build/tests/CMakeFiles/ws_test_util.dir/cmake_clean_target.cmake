@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libws_test_util.a"
+)

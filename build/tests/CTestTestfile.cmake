@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/core_weight_test[1]_include.cmake")
+include("/root/repo/build/tests/core_search_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/banks_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/server_test[1]_include.cmake")
+include("/root/repo/build/tests/blinks_test[1]_include.cmake")
+include("/root/repo/build/tests/ntriples_test[1]_include.cmake")
+include("/root/repo/build/tests/random_property_test[1]_include.cmake")
+include("/root/repo/build/tests/gst_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_core_test[1]_include.cmake")
+include("/root/repo/build/tests/objectrank_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/banks_property_test[1]_include.cmake")
+include("/root/repo/build/tests/options_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/fig4_walkthrough_test[1]_include.cmake")
+include("/root/repo/build/tests/progressive_test[1]_include.cmake")
+include("/root/repo/build/tests/extraction_edge_test[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Fig4WalkthroughTest.StagedExpansionAndMultiPathAnswer]=]  /root/repo/build/tests/fig4_walkthrough_test [==[--gtest_filter=Fig4WalkthroughTest.StagedExpansionAndMultiPathAnswer]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Fig4WalkthroughTest.StagedExpansionAndMultiPathAnswer]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  fig4_walkthrough_test_TESTS Fig4WalkthroughTest.StagedExpansionAndMultiPathAnswer)
