@@ -1,0 +1,162 @@
+// Frontier-enqueue microbenchmark: per-thread frontier buffers vs the
+// legacy O(n) flag scan (SearchOptions::use_frontier_buffers). The scan
+// costs n flag loads per level no matter how small the frontier is, so on
+// the large dataset the buffered enqueue must cut per-level enqueue time by
+// >= 2x without regressing expansion (which now also pays for the buffer
+// appends). Results are written to BENCH_frontier.json for regression
+// tracking.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+
+using namespace wikisearch;
+
+namespace {
+
+struct ModeRun {
+  eval::ProfiledRun run;
+  double avg_levels = 0.0;
+  double per_level_enqueue_ms = 0.0;
+};
+
+ModeRun Profile(const eval::DatasetBundle& data,
+                const std::vector<gen::Query>& queries,
+                const SearchOptions& opts, size_t query_count) {
+  ModeRun m;
+  m.run = eval::ProfileEngine(data, queries, opts);
+  // ProfiledRun::avg divides timings by the query count but accumulates
+  // levels, so the average level count is levels / count.
+  m.avg_levels = query_count > 0
+                     ? static_cast<double>(m.run.avg.levels) /
+                           static_cast<double>(query_count)
+                     : 0.0;
+  m.per_level_enqueue_ms =
+      m.avg_levels > 0.0 ? m.run.avg.enqueue_ms / m.avg_levels : 0.0;
+  return m;
+}
+
+void WritePhases(JsonWriter& w, const ModeRun& m) {
+  w.BeginObject();
+  w.Key("init_ms");
+  w.Double(m.run.avg.init_ms);
+  w.Key("enqueue_ms");
+  w.Double(m.run.avg.enqueue_ms);
+  w.Key("identify_ms");
+  w.Double(m.run.avg.identify_ms);
+  w.Key("expansion_ms");
+  w.Double(m.run.avg.expansion_ms);
+  w.Key("topdown_ms");
+  w.Double(m.run.avg.topdown_ms);
+  w.Key("total_ms");
+  w.Double(m.run.avg.total_ms);
+  w.Key("avg_levels");
+  w.Double(m.avg_levels);
+  w.Key("per_level_enqueue_ms");
+  w.Double(m.per_level_enqueue_ms);
+  w.EndObject();
+}
+
+}  // namespace
+
+int main() {
+  eval::DatasetBundle data = bench::LargeDataset();
+  const size_t num_queries = eval::BenchQueryCount();
+  auto queries =
+      gen::MakeEfficiencyWorkload(data.kb, data.index, 6, num_queries, 717);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("frontier_enqueue");
+  w.Key("dataset");
+  w.String(data.name);
+  w.Key("nodes");
+  w.UInt(data.kb.graph.num_nodes());
+  w.Key("triples");
+  w.UInt(data.kb.graph.num_triples());
+  w.Key("queries");
+  w.UInt(num_queries);
+  w.Key("knum");
+  w.UInt(6);
+  w.Key("configs");
+  w.BeginArray();
+
+  eval::PrintHeader(
+      "Frontier enqueue: per-thread buffers vs O(n) flag scan (Knum=6, " +
+          data.name + ")",
+      {"Tnum", "scan enq/lvl", "buf enq/lvl", "enq speedup", "scan total",
+       "buf total", "total speedup"});
+
+  for (int threads : {1, 4, 16}) {
+    SearchOptions opts;
+    opts.top_k = 20;
+    opts.threads = threads;
+    opts.engine = EngineKind::kCpuParallel;
+
+    opts.use_frontier_buffers = false;
+    ModeRun scan = Profile(data, queries, opts, num_queries);
+    opts.use_frontier_buffers = true;
+    ModeRun buf = Profile(data, queries, opts, num_queries);
+
+    const double enqueue_speedup =
+        buf.per_level_enqueue_ms > 0.0
+            ? scan.per_level_enqueue_ms / buf.per_level_enqueue_ms
+            : 0.0;
+    const double total_speedup = buf.run.avg.total_ms > 0.0
+                                     ? scan.run.avg.total_ms /
+                                           buf.run.avg.total_ms
+                                     : 0.0;
+    const double expansion_ratio =
+        scan.run.avg.expansion_ms > 0.0
+            ? buf.run.avg.expansion_ms / scan.run.avg.expansion_ms
+            : 0.0;
+
+    char enq_speedup_s[32], total_speedup_s[32];
+    std::snprintf(enq_speedup_s, sizeof(enq_speedup_s), "%.1fx",
+                  enqueue_speedup);
+    std::snprintf(total_speedup_s, sizeof(total_speedup_s), "%.2fx",
+                  total_speedup);
+    eval::PrintRow({std::to_string(threads),
+                    eval::FmtMs(scan.per_level_enqueue_ms),
+                    eval::FmtMs(buf.per_level_enqueue_ms), enq_speedup_s,
+                    eval::FmtMs(scan.run.avg.total_ms),
+                    eval::FmtMs(buf.run.avg.total_ms), total_speedup_s});
+
+    w.BeginObject();
+    w.Key("threads");
+    w.Int(threads);
+    w.Key("scan");
+    WritePhases(w, scan);
+    w.Key("buffered");
+    WritePhases(w, buf);
+    w.Key("enqueue_speedup");
+    w.Double(enqueue_speedup);
+    w.Key("total_speedup");
+    w.Double(total_speedup);
+    w.Key("expansion_ratio");
+    w.Double(expansion_ratio);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = std::move(w).Take();
+  const char* out_path = "BENCH_frontier.json";
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to open %s for writing\n", out_path);
+    return 1;
+  }
+  std::printf(
+      "shape: per-level enqueue drops >= 2x with buffers (the scan pays n\n"
+      "flag loads per level, the buffers pay one append per discovered\n"
+      "frontier); expansion stays within noise of the scan variant.\n");
+  return 0;
+}

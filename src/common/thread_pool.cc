@@ -27,14 +27,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::DrainCurrentJob() {
+void ThreadPool::DrainCurrentJob(int worker) {
   const size_t n = job_n_;
   const size_t grain = job_grain_;
   while (true) {
     size_t lo = job_next_.fetch_add(grain, std::memory_order_relaxed);
     if (lo >= n) break;
     size_t hi = std::min(lo + grain, n);
-    job_chunk_fn_(lo, hi);
+    job_chunk_fn_(worker, lo, hi);
   }
 }
 
@@ -55,7 +55,7 @@ void ThreadPool::WorkerLoop(int index) {
     if (job_is_per_worker_) {
       job_worker_fn_(my_job_index);
     } else {
-      DrainCurrentJob();
+      DrainCurrentJob(my_job_index);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -66,12 +66,13 @@ void ThreadPool::WorkerLoop(int index) {
   }
 }
 
-void ThreadPool::ParallelForChunked(
-    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+void ThreadPool::ParallelForChunkedWorker(
+    size_t n, size_t grain,
+    const std::function<void(int, size_t, size_t)>& fn) {
   if (n == 0) return;
   grain = std::max<size_t>(grain, 1);
   if (threads_ <= 1 || n <= grain) {
-    fn(0, n);
+    fn(0, 0, n);
     return;
   }
   {
@@ -86,7 +87,7 @@ void ThreadPool::ParallelForChunked(
     ++job_epoch_;
   }
   wake_cv_.notify_all();
-  DrainCurrentJob();
+  DrainCurrentJob(0);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
@@ -96,9 +97,23 @@ void ThreadPool::ParallelForChunked(
   }
 }
 
+void ThreadPool::ParallelForChunked(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  ParallelForChunkedWorker(
+      n, grain, [&fn](int, size_t lo, size_t hi) { fn(lo, hi); });
+}
+
+void ThreadPool::ParallelForDynamicWorker(
+    size_t n, size_t grain, const std::function<void(int, size_t)>& fn) {
+  ParallelForChunkedWorker(n, grain,
+                           [&fn](int worker, size_t lo, size_t hi) {
+                             for (size_t i = lo; i < hi; ++i) fn(worker, i);
+                           });
+}
+
 void ThreadPool::ParallelForDynamic(size_t n, size_t grain,
                                     const std::function<void(size_t)>& fn) {
-  ParallelForChunked(n, grain, [&fn](size_t lo, size_t hi) {
+  ParallelForChunkedWorker(n, grain, [&fn](int, size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) fn(i);
   });
 }

@@ -45,14 +45,25 @@ class ThreadPool {
   void ParallelForChunked(size_t n, size_t grain,
                           const std::function<void(size_t, size_t)>& fn);
 
+  /// Worker-indexed variants: fn additionally receives the stable index of
+  /// the executing worker in [0, threads()), with the calling thread always
+  /// index 0. The index is the key into per-thread accumulation buffers
+  /// (e.g. SearchState's frontier buffers) that are merged after the join.
+  void ParallelForDynamicWorker(size_t n, size_t grain,
+                                const std::function<void(int, size_t)>& fn);
+  void ParallelForChunkedWorker(
+      size_t n, size_t grain,
+      const std::function<void(int, size_t, size_t)>& fn);
+
   /// Runs fn(worker_index) once on every worker (including the caller, as
   /// index 0). Used for per-thread state initialization.
   void RunOnAll(const std::function<void(int)>& fn);
 
  private:
   void WorkerLoop(int index);
-  // Claims chunks until the current job is exhausted.
-  void DrainCurrentJob();
+  // Claims chunks until the current job is exhausted; `worker` is the stable
+  // index of the draining thread (0 for the caller).
+  void DrainCurrentJob(int worker);
 
   const int threads_;
   std::vector<std::thread> workers_;
@@ -68,7 +79,7 @@ class ThreadPool {
   bool job_is_per_worker_ = false;
   size_t job_n_ = 0;
   size_t job_grain_ = 1;
-  std::function<void(size_t, size_t)> job_chunk_fn_;
+  std::function<void(int, size_t, size_t)> job_chunk_fn_;
   std::function<void(int)> job_worker_fn_;
   std::atomic<size_t> job_next_{0};
   std::atomic<int> job_running_workers_{0};

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <thread>
 
+#include "core/state_pool.h"
+
 namespace wikisearch {
 
 std::vector<Result<SearchResult>> BatchSearch(
@@ -17,10 +19,15 @@ std::vector<Result<SearchResult>> BatchSearch(
       std::max(1, std::min<int>(opts.concurrency,
                                 static_cast<int>(queries.size())));
   std::atomic<size_t> cursor{0};
+  // Batch-scoped state pool: at steady state each worker holds one leased
+  // SearchState, so the batch allocates `workers` states total instead of
+  // one per query (kMaxIdlePerKey bounds what it retains between claims).
+  SearchStatePool state_pool;
   auto worker = [&] {
     // One engine (and worker pool) per thread; queries share only the
-    // immutable graph and index.
+    // immutable graph, index and state pool.
     SearchEngine engine(graph, index, opts.search);
+    engine.SetStatePool(&state_pool);
     while (true) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) break;

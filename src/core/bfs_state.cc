@@ -6,32 +6,106 @@
 
 namespace wikisearch {
 
-SearchState::SearchState(size_t num_nodes, size_t num_keywords)
-    : n_(num_nodes), q_(num_keywords) {
-  WS_CHECK(q_ >= 1 && q_ <= 64);
-  m_ = std::make_unique<std::atomic<Level>[]>(n_ * q_);
-  frontier_flag_ = std::make_unique<std::atomic<uint8_t>[]>(n_);
-  central_flag_ = std::make_unique<std::atomic<uint8_t>[]>(n_);
+SearchState::SearchState(size_t num_nodes, size_t keyword_capacity)
+    : n_(num_nodes), cap_(keyword_capacity), q_(keyword_capacity) {
+  WS_CHECK(cap_ >= 1 && cap_ <= 64);
+  // make_unique value-initializes, so every cell starts at epoch 0 — invalid,
+  // because query epochs start at 1.
+  m_ = std::make_unique<std::atomic<uint32_t>[]>(n_ * cap_);
+  frontier_flag_ = std::make_unique<std::atomic<uint32_t>[]>(n_);
+  central_flag_ = std::make_unique<std::atomic<uint32_t>[]>(n_);
+  hit_mask_ = std::make_unique<std::atomic<uint64_t>[]>(n_);
   keyword_node_.assign(n_, 0);
   keyword_mask_.assign(n_, 0);
 }
 
-void SearchState::Init(const std::vector<std::vector<NodeId>>& keyword_nodes) {
-  WS_CHECK(keyword_nodes.size() == q_);
-  // atomic<Level> is layout-compatible with its byte; bulk-fill to "infinity"
-  // exactly as the paper initializes M on device.
-  std::memset(reinterpret_cast<void*>(m_.get()), 0xFF,
-              n_ * q_ * sizeof(std::atomic<Level>));
+void SearchState::ConfigureFrontierBuffers(int workers) {
+  // Buffers may still hold nodes flagged in the final level of the previous
+  // query (the level loop breaks without a drain once >= k centrals exist).
+  // Their hit masks are dirty, so record them before the buffers resize.
+  for (std::vector<NodeId>& buf : buffers_) {
+    dirty_nodes_.insert(dirty_nodes_.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  buffers_.resize(static_cast<size_t>(workers < 0 ? 0 : workers));
+}
+
+void SearchState::DrainFrontierBuffers() {
+  frontier_.clear();
+  for (std::vector<NodeId>& buf : buffers_) {
+    for (NodeId v : buf) {
+      frontier_flag_[v].store(0, std::memory_order_relaxed);
+      frontier_.push_back(v);
+    }
+    // Everything that was ever a frontier had SetHit called on it this
+    // query; remember it so the next Init can clear its hit mask.
+    dirty_nodes_.insert(dirty_nodes_.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+}
+
+void SearchState::ClearHitMasks() {
+  std::memset(reinterpret_cast<void*>(hit_mask_.get()), 0,
+              n_ * sizeof(std::atomic<uint64_t>));
+}
+
+void SearchState::HardReset() {
+  std::memset(reinterpret_cast<void*>(m_.get()), 0,
+              n_ * cap_ * sizeof(std::atomic<uint32_t>));
   std::memset(reinterpret_cast<void*>(frontier_flag_.get()), 0,
-              n_ * sizeof(std::atomic<uint8_t>));
+              n_ * sizeof(std::atomic<uint32_t>));
   std::memset(reinterpret_cast<void*>(central_flag_.get()), 0,
-              n_ * sizeof(std::atomic<uint8_t>));
+              n_ * sizeof(std::atomic<uint32_t>));
+  ClearHitMasks();
+  keyword_node_.assign(n_, 0);
+  keyword_mask_.assign(n_, 0);
+  dirty_nodes_.clear();
+  mask_dirty_all_ = false;
+  epoch_ = 0;
+}
+
+void SearchState::Init(const std::vector<std::vector<NodeId>>& keyword_nodes) {
+  q_ = keyword_nodes.size();
+  WS_CHECK(q_ >= 1 && q_ <= cap_);
+
+  // Flush nodes still sitting in buffers (flagged but never drained) into
+  // the dirty list before the epoch bump forgets they were flagged.
+  for (std::vector<NodeId>& buf : buffers_) {
+    dirty_nodes_.insert(dirty_nodes_.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+
+  if (epoch_ >= kEpochMax) HardReset();
+  ++epoch_;
+
+  // Hit masks are the one structure the epoch cannot version (all 64 bits
+  // are keyword bits), so they are cleared explicitly: in full when the
+  // upcoming or previous search ran without buffer tracking, otherwise only
+  // for the nodes the previous query actually touched.
+  if (buffers_.empty()) {
+    ClearHitMasks();
+    dirty_nodes_.clear();
+    mask_dirty_all_ = true;  // this query's hits will go unrecorded
+  } else if (mask_dirty_all_ || dirty_nodes_.size() >= n_ / 2) {
+    ClearHitMasks();
+    dirty_nodes_.clear();
+    mask_dirty_all_ = false;
+  } else {
+    for (NodeId v : dirty_nodes_) {
+      hit_mask_[v].store(0, std::memory_order_relaxed);
+    }
+    dirty_nodes_.clear();
+  }
+
   for (size_t i = 0; i < q_; ++i) {
     for (NodeId v : keyword_nodes[i]) {
       WS_CHECK(v < n_);
       SetHit(v, i, 0);
-      FlagFrontier(v);
-      keyword_node_[v] = 1;
+      PushFrontier(v, /*worker=*/0);
+      if (keyword_node_[v] != epoch_) {
+        keyword_node_[v] = epoch_;
+        keyword_mask_[v] = 0;
+      }
       keyword_mask_[v] |= (1ULL << i);
     }
   }
@@ -40,12 +114,18 @@ void SearchState::Init(const std::vector<std::vector<NodeId>>& keyword_nodes) {
 }
 
 size_t SearchState::RunningStorageBytes() const {
-  return n_ * q_ * sizeof(Level)       // node-keyword matrix M
-         + n_ * sizeof(uint8_t)        // FIdentifier
-         + n_ * sizeof(uint8_t)        // CIdentifier
-         + n_ * sizeof(uint8_t)        // keyword-node bitmap
-         + n_ * sizeof(uint64_t)       // keyword masks
+  size_t buffered = 0;
+  for (const std::vector<NodeId>& buf : buffers_) {
+    buffered += buf.capacity() * sizeof(NodeId);
+  }
+  return n_ * cap_ * sizeof(uint32_t)   // node-keyword matrix M (level+epoch)
+         + n_ * sizeof(uint32_t)        // FIdentifier (epoch-stamped)
+         + n_ * sizeof(uint32_t)        // CIdentifier (epoch-stamped)
+         + n_ * sizeof(uint64_t)        // per-node keyword-hit masks
+         + n_ * sizeof(uint32_t)        // keyword-node epoch stamps
+         + n_ * sizeof(uint64_t)        // keyword masks
          + frontier_.capacity() * sizeof(NodeId) +
+         dirty_nodes_.capacity() * sizeof(NodeId) + buffered +
          centrals_.capacity() * sizeof(CentralCandidate);
 }
 

@@ -1,15 +1,28 @@
 // Flat search state of the lock-free bottom-up stage (Sec. V-B):
 //
-//  * M            — the node-keyword matrix of hitting levels, one byte per
-//                   (node, keyword) as in the paper;
-//  * FIdentifier  — 1 if the node becomes a frontier at the next level;
-//  * CIdentifier  — 1 if the node has been identified as a Central Node;
-//  * the joint frontier array shared by all BFS instances.
+//  * M            — the node-keyword matrix of hitting levels. Each cell
+//                   packs (query epoch << 8 | level) into one 32-bit word so
+//                   a new query invalidates the whole matrix by bumping the
+//                   epoch instead of memsetting n*q bytes;
+//  * FIdentifier  — epoch-stamped: a node is a frontier for the next level
+//                   iff its stamp equals the current query epoch;
+//  * CIdentifier  — epoch-stamped Central-Node marker;
+//  * hit mask     — one atomic 64-bit bitmask per node, bit i set iff BFS
+//                   instance i has hit the node this query (maintained with
+//                   fetch_or in SetHit), so Central-Node identification is a
+//                   single load + popcount instead of q matrix probes;
+//  * per-thread frontier buffers — workers append newly flagged nodes to
+//                   their own buffer during expansion; the level-end enqueue
+//                   drains the buffers instead of scanning all n flags.
 //
 // All mutable cells are relaxed atomics: the algorithm's correctness argument
 // (Thm. V.2) is that every concurrent write to the same cell writes the same
 // value, so no ordering is required; atomics keep that reasoning free of
 // C++ data-race UB at zero cost on x86.
+//
+// Lifecycle: a state is allocated once for (num_nodes, keyword capacity) and
+// reused across queries (see SearchStatePool in core/state_pool.h). Init()
+// starts a new query epoch; allocation-free except for buffer growth.
 #pragma once
 
 #include <atomic>
@@ -31,47 +44,105 @@ struct CentralCandidate {
 
 class SearchState {
  public:
-  /// Allocates state for `num_nodes` nodes and `num_keywords` BFS instances.
-  SearchState(size_t num_nodes, size_t num_keywords);
+  /// Allocates state for `num_nodes` nodes and up to `keyword_capacity` BFS
+  /// instances. Init() sets the active keyword count of each query, which
+  /// may be anything in [1, keyword_capacity]; the matrix stride stays the
+  /// capacity so pooled states can serve differently-sized queries.
+  SearchState(size_t num_nodes, size_t keyword_capacity);
 
   size_t num_nodes() const { return n_; }
+  /// Active BFS instances of the current query (set by Init).
   size_t num_keywords() const { return q_; }
+  size_t keyword_capacity() const { return cap_; }
 
-  /// Hitting level of v w.r.t. BFS instance i (kLevelInf if not hit).
+  /// Hitting level of v w.r.t. BFS instance i (kLevelInf if not hit in the
+  /// current query epoch).
   Level Hit(NodeId v, size_t i) const {
-    return m_[v * q_ + i].load(std::memory_order_relaxed);
+    uint32_t cell = m_[v * cap_ + i].load(std::memory_order_relaxed);
+    if ((cell >> 8) != epoch_) return kLevelInf;
+    return static_cast<Level>(cell & 0xFFu);
   }
   void SetHit(NodeId v, size_t i, Level l) {
-    m_[v * q_ + i].store(l, std::memory_order_relaxed);
+    m_[v * cap_ + i].store((epoch_ << 8) | static_cast<uint32_t>(l),
+                           std::memory_order_relaxed);
+    hit_mask_[v].fetch_or(1ULL << i, std::memory_order_relaxed);
+  }
+
+  /// Bitmask of BFS instances that have hit v this query (bit i set iff
+  /// Hit(v, i) != kLevelInf). Central identification compares it against
+  /// FullMask() — one load + compare instead of q matrix probes — and
+  /// expansion iterates only its set bits.
+  uint64_t HitMask(NodeId v) const {
+    return hit_mask_[v].load(std::memory_order_relaxed);
+  }
+  /// Mask with one bit per active BFS instance.
+  uint64_t FullMask() const {
+    return q_ == 64 ? ~0ULL : (1ULL << q_) - 1;
   }
 
   bool IsFrontierFlagged(NodeId v) const {
-    return frontier_flag_[v].load(std::memory_order_relaxed) != 0;
+    return frontier_flag_[v].load(std::memory_order_relaxed) == epoch_;
   }
+  /// Sets the FIdentifier only. Searches using per-thread buffers must call
+  /// PushFrontier instead, or the node will never be enqueued (buffered
+  /// enqueue does not scan the flag array).
   void FlagFrontier(NodeId v) {
-    frontier_flag_[v].store(1, std::memory_order_relaxed);
+    frontier_flag_[v].store(epoch_, std::memory_order_relaxed);
   }
   void ClearFrontierFlag(NodeId v) {
     frontier_flag_[v].store(0, std::memory_order_relaxed);
   }
 
+  /// Flags v as a next-level frontier; if per-thread buffers are configured,
+  /// the first flagger this level also appends v to `worker`'s buffer (the
+  /// atomic exchange makes the append unique, so the drained frontier is
+  /// duplicate-free without a dedup pass).
+  void PushFrontier(NodeId v, int worker) {
+    // Test before exchanging: high-degree nodes are re-flagged by many
+    // frontiers per level, and the plain load dodges the RMW for all but
+    // the first (test-and-test-and-set).
+    if (frontier_flag_[v].load(std::memory_order_relaxed) == epoch_) return;
+    uint32_t prev =
+        frontier_flag_[v].exchange(epoch_, std::memory_order_relaxed);
+    if (prev == epoch_) return;  // lost the race: someone else appended
+    if (!buffers_.empty()) {
+      buffers_[static_cast<size_t>(worker)].push_back(v);
+    }
+  }
+
+  /// Enables (workers >= 1) or disables (workers == 0) per-thread frontier
+  /// buffers. Must be called before Init; with buffers disabled, hit masks
+  /// are bulk-cleared at Init and the caller compacts the flag array itself
+  /// (legacy scan / GPU-style enqueue).
+  void ConfigureFrontierBuffers(int workers);
+
+  /// Concatenates the per-thread buffers into frontier() (clearing the flags
+  /// of drained nodes) — work proportional to the frontier, not to n. Order
+  /// within the frontier depends on scheduling; see DESIGN.md for why that
+  /// cannot leak into results.
+  void DrainFrontierBuffers();
+
   bool IsCentral(NodeId v) const {
-    return central_flag_[v].load(std::memory_order_relaxed) != 0;
+    return central_flag_[v].load(std::memory_order_relaxed) == epoch_;
   }
   void MarkCentral(NodeId v) {
-    central_flag_[v].store(1, std::memory_order_relaxed);
+    central_flag_[v].store(epoch_, std::memory_order_relaxed);
   }
 
   /// True if v contains at least one query keyword (a "keyword node"); such
   /// nodes may be *hit* regardless of activation level (Sec. IV-B).
-  bool IsKeywordNode(NodeId v) const { return keyword_node_[v] != 0; }
+  bool IsKeywordNode(NodeId v) const { return keyword_node_[v] == epoch_; }
 
   /// Bitmask of keywords contained in v (bit i set iff Hit(v,i)==0 was
   /// seeded at initialization). Valid after Init.
-  uint64_t KeywordMask(NodeId v) const { return keyword_mask_[v]; }
+  uint64_t KeywordMask(NodeId v) const {
+    return keyword_node_[v] == epoch_ ? keyword_mask_[v] : 0;
+  }
 
-  /// Seeds M with the keyword node sets T_i and flags them as the level-0
-  /// frontier.
+  /// Starts a new query epoch, seeds M with the keyword node sets T_i and
+  /// flags them as the level-0 frontier. O(sum |T_i|) when the state is
+  /// reused with buffers enabled; the epoch bump invalidates M, both
+  /// identifier arrays and the keyword bitmap without touching them.
   void Init(const std::vector<std::vector<NodeId>>& keyword_nodes);
 
   std::vector<NodeId>& frontier() { return frontier_; }
@@ -80,20 +151,44 @@ class SearchState {
   std::vector<CentralCandidate>& centrals() { return centrals_; }
   const std::vector<CentralCandidate>& centrals() const { return centrals_; }
 
-  /// Bytes of the dynamic search state (M + identifiers + frontier), the
-  /// "running storage" on top of pre-storage in the paper's Table IV.
+  /// Current query epoch (for tests; 0 only before the first Init).
+  uint32_t epoch() const { return epoch_; }
+
+  /// Bytes of the dynamic search state (M + identifiers + masks + frontier),
+  /// the "running storage" on top of pre-storage in the paper's Table IV.
+  /// The epoch scheme widens M cells from 1 to 4 bytes — the price of O(1)
+  /// cross-query invalidation.
   size_t RunningStorageBytes() const;
 
  private:
+  // Epochs are packed into the upper 24 bits of M cells, so they live in
+  // [1, kEpochMax]; hitting the cap forces one bulk reset (HardReset).
+  static constexpr uint32_t kEpochMax = 0xFFFFFFu;
+
+  void HardReset();
+  void ClearHitMasks();
+
   size_t n_;
-  size_t q_;
-  std::unique_ptr<std::atomic<Level>[]> m_;
-  std::unique_ptr<std::atomic<uint8_t>[]> frontier_flag_;
-  std::unique_ptr<std::atomic<uint8_t>[]> central_flag_;
-  std::vector<uint8_t> keyword_node_;
+  size_t cap_;  // keyword capacity == matrix stride
+  size_t q_;    // active keywords of the current query, <= cap_
+  uint32_t epoch_ = 0;
+  std::unique_ptr<std::atomic<uint32_t>[]> m_;
+  std::unique_ptr<std::atomic<uint32_t>[]> frontier_flag_;
+  std::unique_ptr<std::atomic<uint32_t>[]> central_flag_;
+  std::unique_ptr<std::atomic<uint64_t>[]> hit_mask_;
+  std::vector<uint32_t> keyword_node_;  // epoch stamp of keyword nodes
   std::vector<uint64_t> keyword_mask_;
   std::vector<NodeId> frontier_;
   std::vector<CentralCandidate> centrals_;
+  // Per-worker frontier buffers (empty when buffered enqueue is disabled).
+  std::vector<std::vector<NodeId>> buffers_;
+  // Nodes whose hit_mask_ may be non-zero from this query: drained frontier
+  // entries accumulate here so the next Init can clear masks in time
+  // proportional to the previous query's work instead of n.
+  std::vector<NodeId> dirty_nodes_;
+  // True when the previous query dirtied masks without recording them
+  // (buffers disabled), so the next Init must bulk-clear.
+  bool mask_dirty_all_ = false;
 };
 
 }  // namespace wikisearch

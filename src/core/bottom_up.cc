@@ -1,6 +1,7 @@
 #include "core/bottom_up.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -11,11 +12,12 @@ namespace {
 
 /// Algorithm 2 body for one frontier node and one BFS instance at level l.
 /// Writes are single-valued per cell at a given level (Thm. V.2), so no
-/// synchronization is needed beyond relaxed atomics.
+/// synchronization is needed beyond relaxed atomics. `worker` indexes the
+/// executing pool worker's frontier buffer.
 inline void ExpandFrontierInstance(const KnowledgeGraph& g,
-                                   const ActivationMap& act,
+                                   const QueryContext& ctx,
                                    SearchState* state, NodeId vf, size_t i,
-                                   int l) {
+                                   int l, int worker) {
   Level hif = state->Hit(vf, i);
   if (hif == kLevelInf || static_cast<int>(hif) > l) return;
   for (const AdjEntry& e : g.Neighbors(vf)) {
@@ -24,28 +26,25 @@ inline void ExpandFrontierInstance(const KnowledgeGraph& g,
     if (!state->IsKeywordNode(vn)) {
       // Non-keyword nodes may only be hit once their activation level is
       // reached; retry this frontier at the next level otherwise.
-      int an = act.Level(g.NodeWeight(vn));
-      if (an > l + 1) {
-        state->FlagFrontier(vf);
+      if (ctx.activation_level[vn] > l + 1) {
+        state->PushFrontier(vf, worker);
         continue;
       }
     }
     state->SetHit(vn, i, static_cast<Level>(l + 1));
-    state->FlagFrontier(vn);
+    state->PushFrontier(vn, worker);
   }
 }
 
 /// Frontier-level gate of Algorithm 2 (lines 2-7). Returns true if vf may
 /// expand at level l.
-inline bool FrontierMayExpand(const KnowledgeGraph& g,
-                              const ActivationMap& act, SearchState* state,
-                              NodeId vf, int l) {
+inline bool FrontierMayExpand(const QueryContext& ctx, SearchState* state,
+                              NodeId vf, int l, int worker) {
   if (state->IsCentral(vf)) return false;  // unavailable once identified
-  int af = act.Level(g.NodeWeight(vf));
-  if (af > l) {
+  if (ctx.activation_level[vf] > l) {
     // Keyword-node compromise (Sec. IV-B): hit freely, expand only once the
     // global level reaches the activation level. Applies to all nodes.
-    state->FlagFrontier(vf);
+    state->PushFrontier(vf, worker);
     return false;
   }
   return true;
@@ -59,28 +58,41 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
                               bool gpu_style,
                               const ProgressCallback& progress) {
   const KnowledgeGraph& g = *ctx.graph;
-  const ActivationMap& act = ctx.activation;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
   BottomUpResult result;
   WallTimer timer;
 
+  // The CPU shape appends discovered frontiers to per-worker buffers during
+  // expansion, so the level-end enqueue costs O(frontier) instead of an
+  // O(n) scan of the flag array. The GPU shape keeps the flag-array
+  // compaction (that is the execution model being simulated), and
+  // use_frontier_buffers=false preserves the legacy scan for ablation.
+  const bool buffered = !gpu_style && opts.use_frontier_buffers;
+
   // ---- Initialization (fork/join in Alg. 1 line 2) ------------------------
   timer.Restart();
+  state->ConfigureFrontierBuffers(buffered ? pool->threads() : 0);
   state->Init(ctx.keyword_nodes);
   timings->init_ms += timer.ElapsedMs();
 
   std::vector<NodeId>& frontier = state->frontier();
   std::vector<CentralCandidate> level_candidates;
   const size_t wanted = static_cast<size_t>(std::max(opts.top_k, 1));
+  const uint64_t full_mask = state->FullMask();
 
   int l = 0;
   const int lmax = std::min(ctx.lmax, 250);  // Level is one byte
   while (true) {
     // ---- Enqueuing frontiers ----------------------------------------------
     timer.Restart();
-    if (!gpu_style) {
-      // Paper: on CPU, a sequential scan beats locked parallel writes.
+    if (buffered) {
+      // Concatenate the per-worker buffers; the atomic flag exchange in
+      // PushFrontier already guarantees each node appears exactly once.
+      state->DrainFrontierBuffers();
+    } else if (!gpu_style) {
+      // Legacy shape: sequential scan of all n flags (the paper's CPU
+      // enqueue; kept as the bench_frontier baseline).
       frontier.clear();
       for (NodeId v = 0; v < n; ++v) {
         if (state->IsFrontierFlagged(v)) {
@@ -126,22 +138,29 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
         [&](size_t idx) {
           NodeId v = frontier[idx];
           if (state->IsCentral(v)) return;
-          for (size_t i = 0; i < q; ++i) {
-            if (state->Hit(v, i) == kLevelInf) return;
-          }
+          // One load + compare instead of q matrix probes: bit i of the hit
+          // mask is maintained by SetHit's fetch_or.
+          if (state->HitMask(v) != full_mask) return;
           state->MarkCentral(v);
           size_t at = ncand.fetch_add(1, std::memory_order_relaxed);
           level_candidates[at] = CentralCandidate{v, l};
         });
     level_candidates.resize(ncand.load(std::memory_order_relaxed));
-    // Deterministic order regardless of scheduling.
+    // Candidates of one level are committed in ascending NodeId order no
+    // matter which worker buffer or schedule produced them, so the
+    // max_central_candidates cut and all downstream tie-breaks are
+    // deterministic across thread counts (see DESIGN.md).
     std::sort(level_candidates.begin(), level_candidates.end(),
               [](const CentralCandidate& a, const CentralCandidate& b) {
                 return a.node < b.node;
               });
-    for (const CentralCandidate& c : level_candidates) {
+    for (size_t c = 0; c < level_candidates.size(); ++c) {
+      // Strict: the frontier is duplicate-free, so each node is identified
+      // at most once per level.
+      WS_CHECK(c == 0 || level_candidates[c - 1].node <
+                             level_candidates[c].node);
       if (state->centrals().size() < opts.max_central_candidates) {
-        state->centrals().push_back(c);
+        state->centrals().push_back(level_candidates[c]);
       }
     }
     timings->identify_ms += timer.ElapsedMs();
@@ -169,25 +188,32 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     timer.Restart();
     if (!gpu_style) {
       // CPU-Par: coarse grain — one dynamic task per frontier node.
-      pool->ParallelForDynamic(
+      pool->ParallelForDynamicWorker(
           frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
-          [&](size_t idx) {
+          [&](int worker, size_t idx) {
             NodeId vf = frontier[idx];
-            if (!FrontierMayExpand(g, act, state, vf, l)) return;
-            for (size_t i = 0; i < q; ++i) {
-              ExpandFrontierInstance(g, act, state, vf, i, l);
+            if (!FrontierMayExpand(ctx, state, vf, l, worker)) return;
+            // Only instances that have hit vf can expand from it; iterate
+            // the set bits instead of probing all q levels.
+            for (uint64_t m = state->HitMask(vf); m != 0; m &= m - 1) {
+              size_t i = static_cast<size_t>(std::countr_zero(m));
+              ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
             }
           });
     } else {
       // GPU shape: one warp per (frontier, BFS-instance) pair; the pair's
       // neighbor loop plays the role of the warp's threads.
       const size_t pairs = frontier.size() * q;
-      pool->ParallelForDynamic(
-          pairs, DefaultGrain(pairs, pool->threads()), [&](size_t idx) {
+      pool->ParallelForDynamicWorker(
+          pairs, DefaultGrain(pairs, pool->threads()),
+          [&](int worker, size_t idx) {
             NodeId vf = frontier[idx / q];
             size_t i = idx % q;
-            if (!FrontierMayExpand(g, act, state, vf, l)) return;
-            ExpandFrontierInstance(g, act, state, vf, i, l);
+            // Every frontier node has >= 1 hit bit, so the skip cannot
+            // starve the FrontierMayExpand re-flag side effect.
+            if ((state->HitMask(vf) & (1ULL << i)) == 0) return;
+            if (!FrontierMayExpand(ctx, state, vf, l, worker)) return;
+            ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
           });
     }
     timings->expansion_ms += timer.ElapsedMs();

@@ -123,7 +123,13 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     result.stats.running_storage_bytes = info.running_storage_bytes;
   } else {
     const bool gpu_style = opts.engine == EngineKind::kGpuSim;
-    SearchState state(graph_->num_nodes(), ctx.num_keywords());
+    // Lease a pooled state instead of allocating n*q fresh bytes per query;
+    // BottomUpSearch's Init starts the new epoch that invalidates whatever
+    // the previous query left behind. The lease stays alive through the
+    // top-down stage, which reads hitting levels out of the state.
+    SearchStatePool::Lease lease =
+        state_pool_->Acquire(graph_->num_nodes(), ctx.num_keywords());
+    SearchState& state = *lease;
     BottomUpResult bottom = BottomUpSearch(ctx, opts, pool, &state,
                                            &result.timings, gpu_style,
                                            progress);

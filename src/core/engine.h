@@ -20,6 +20,7 @@
 #include "core/bottom_up.h"
 #include "core/phase_timings.h"
 #include "core/search_options.h"
+#include "core/state_pool.h"
 #include "graph/csr_graph.h"
 #include "text/inverted_index.h"
 
@@ -87,6 +88,13 @@ class SearchEngine {
 
   const SearchOptions& default_options() const { return defaults_; }
 
+  /// Overrides the SearchState pool (default: the process-wide one). Pass a
+  /// pool scoped to a batch/server to isolate its states; `pool` must
+  /// outlive the engine. Not thread-safe w.r.t. concurrent Search calls.
+  void SetStatePool(SearchStatePool* pool) {
+    state_pool_ = pool != nullptr ? pool : &GlobalSearchStatePool();
+  }
+
  private:
   ThreadPool* PoolFor(int threads);
 
@@ -94,6 +102,7 @@ class SearchEngine {
   const InvertedIndex* index_;
   SearchOptions defaults_;
   std::unique_ptr<ThreadPool> pool_;
+  SearchStatePool* state_pool_ = &GlobalSearchStatePool();
 };
 
 }  // namespace wikisearch

@@ -143,7 +143,6 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
                                           PhaseTimings* timings,
                                           DynamicRunInfo* info) {
   const KnowledgeGraph& g = *ctx.graph;
-  const ActivationMap& act = ctx.activation;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
   WallTimer timer;
@@ -228,7 +227,7 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
             hits_copy = node.hit;
           }
           if (central) return;
-          int af = act.Level(g.NodeWeight(vf));
+          int af = ctx.activation_level[vf];
           if (af > l) {
             state.FlagFrontier(vf);
             return;
@@ -238,7 +237,7 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
             for (const AdjEntry& e : g.Neighbors(vf)) {
               NodeId vn = e.target;
               if (!is_keyword[vn]) {
-                int an = act.Level(g.NodeWeight(vn));
+                int an = ctx.activation_level[vn];
                 if (an > l + 1) {
                   state.FlagFrontier(vf);
                   continue;

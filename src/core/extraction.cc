@@ -25,7 +25,6 @@ ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
                                    const HitLevels& hits,
                                    CentralCandidate central) {
   const KnowledgeGraph& g = *ctx.graph;
-  const ActivationMap& act = ctx.activation;
   const size_t q = ctx.num_keywords();
 
   ExtractedGraph out;
@@ -48,14 +47,14 @@ ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
       if (hf == 0) continue;  // a B_i source: nothing precedes it
       WS_CHECK(hf != static_cast<int>(kLevelInf));
       const bool vf_is_keyword = hits.IsKeywordNode(vf);
-      const int af = act.Level(g.NodeWeight(vf));
+      const int af = ctx.activation_level[vf];
       const int expand_level = hf - 1;  // level at which predecessors fired
       for (const AdjEntry& e : g.Neighbors(vf)) {
         NodeId vn = e.target;
         Level hn_raw = hits.Hit(vn, i);
         if (hn_raw == kLevelInf) continue;
         const int hn = static_cast<int>(hn_raw);
-        const int an = act.Level(g.NodeWeight(vn));
+        const int an = ctx.activation_level[vn];
         const int expected = vf_is_keyword
                                  ? 1 + std::max(an, hn)
                                  : 1 + std::max({an, hn, af - 1});

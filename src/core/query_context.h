@@ -18,7 +18,18 @@ struct QueryContext {
         keywords(std::move(raw_keywords)),
         keyword_nodes(std::move(t_i)),
         activation(act),
-        lmax(max_level) {}
+        lmax(max_level) {
+    // a_v depends only on (w_v, alpha), both fixed for the query, so the
+    // Eq. 5 float math runs once per node here instead of once per
+    // (neighbor, instance, level) probe in the expansion loops.
+    const size_t n = g->num_nodes();
+    activation_level.resize(n);
+    if (g->has_weights()) {
+      for (NodeId v = 0; v < n; ++v) {
+        activation_level[v] = activation.Level(g->NodeWeight(v));
+      }
+    }
+  }
 
   const KnowledgeGraph* graph;
   /// Raw keywords, one per BFS instance (already analyzed/deduplicated).
@@ -26,6 +37,9 @@ struct QueryContext {
   /// T_i: the keyword node set seeding BFS instance B_i.
   std::vector<std::vector<NodeId>> keyword_nodes;
   ActivationMap activation;
+  /// Minimum activation level a_v per node (Eq. 5), precomputed once per
+  /// query. Zero-filled when the graph has no weights attached.
+  std::vector<int> activation_level;
   /// Maximum BFS expansion level (the paper's lmax).
   int lmax;
 

@@ -51,6 +51,12 @@ struct SearchOptions {
   /// plain concurrent BFSes (the paper argues the results are meaningless;
   /// bench_ablation_design quantifies it).
   bool enable_activation = true;
+  /// Enqueue next-level frontiers from per-thread buffers filled during
+  /// expansion (O(frontier) per level) instead of scanning all n frontier
+  /// flags (the paper's CPU enqueue). Results are identical
+  /// (bench_frontier quantifies the difference); ignored by kGpuSim, which
+  /// models the GPU's parallel compaction, and by kCpuDynamic.
+  bool use_frontier_buffers = true;
 
   /// Safety valve: cap on Central Nodes carried into the top-down stage.
   size_t max_central_candidates = 1 << 20;

@@ -1,0 +1,78 @@
+#include "core/state_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wikisearch {
+
+size_t SearchStatePool::CapacityFor(size_t num_keywords) {
+  WS_CHECK(num_keywords >= 1 && num_keywords <= 64);
+  size_t cap = 4;
+  while (cap < num_keywords) cap <<= 1;
+  return cap;
+}
+
+SearchStatePool::Lease SearchStatePool::Acquire(size_t num_nodes,
+                                                size_t num_keywords) {
+  const std::pair<size_t, size_t> key{num_nodes, CapacityFor(num_keywords)};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shelf& shelf : shelves_) {
+      if (shelf.key == key && !shelf.idle.empty()) {
+        std::unique_ptr<SearchState> state = std::move(shelf.idle.back());
+        shelf.idle.pop_back();
+        ++reused_;
+        return Lease(this, std::move(state));
+      }
+    }
+    ++created_;
+  }
+  // Allocate outside the lock: construction zero-fills ~n*(4q+26) bytes.
+  return Lease(this, std::make_unique<SearchState>(num_nodes, key.second));
+}
+
+void SearchStatePool::Return(std::unique_ptr<SearchState> state) {
+  const std::pair<size_t, size_t> key{state->num_nodes(),
+                                      state->keyword_capacity()};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shelf& shelf : shelves_) {
+    if (shelf.key == key) {
+      if (shelf.idle.size() < kMaxIdlePerKey) {
+        shelf.idle.push_back(std::move(state));
+      }
+      return;  // over capacity: the state is freed here
+    }
+  }
+  shelves_.push_back(Shelf{key, {}});
+  shelves_.back().idle.push_back(std::move(state));
+}
+
+void SearchStatePool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shelves_.clear();
+}
+
+size_t SearchStatePool::idle_states() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const Shelf& shelf : shelves_) total += shelf.idle.size();
+  return total;
+}
+
+size_t SearchStatePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t SearchStatePool::reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+SearchStatePool& GlobalSearchStatePool() {
+  static SearchStatePool* pool = new SearchStatePool();
+  return *pool;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,110 @@
+// A reusable pool of SearchState instances, keyed on (num_nodes, keyword
+// capacity). One SearchState is ~n*q bytes of matrix plus ~26n bytes of
+// per-node arrays; before the pool every query allocated and zero-filled
+// that from scratch, which dominated short queries and multiplied under
+// concurrent server/batch load. Pooled states are invalidated between
+// queries by SearchState's epoch bump, so a reused state costs O(sum |T_i|)
+// to re-seed instead of O(n*q) to re-allocate.
+//
+// Keyword counts are rounded up to the next power of two (min 4, max 64) so
+// a 3-keyword query reuses the state a 4-keyword query created; the matrix
+// stride is the capacity, the active keyword count is set by Init.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/bfs_state.h"
+
+namespace wikisearch {
+
+/// Thread-safe pool. Acquire returns an RAII lease that gives the state
+/// back on destruction; states for other (n, capacity) keys are unaffected.
+class SearchStatePool {
+ public:
+  SearchStatePool() = default;
+  SearchStatePool(const SearchStatePool&) = delete;
+  SearchStatePool& operator=(const SearchStatePool&) = delete;
+
+  /// Move-only lease on a pooled SearchState.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SearchStatePool* pool, std::unique_ptr<SearchState> state)
+        : pool_(pool), state_(std::move(state)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), state_(std::move(other.state_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        state_ = std::move(other.state_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    SearchState* get() const { return state_.get(); }
+    SearchState& operator*() const { return *state_; }
+    SearchState* operator->() const { return state_.get(); }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && state_ != nullptr) {
+        pool_->Return(std::move(state_));
+      }
+      pool_ = nullptr;
+    }
+
+    SearchStatePool* pool_ = nullptr;
+    std::unique_ptr<SearchState> state_;
+  };
+
+  /// Returns a state sized for `num_nodes` nodes and at least `num_keywords`
+  /// BFS instances, reusing an idle one when the key matches. The state is
+  /// NOT initialized: callers run SearchState::Init (via BottomUpSearch) to
+  /// start their query epoch.
+  Lease Acquire(size_t num_nodes, size_t num_keywords);
+
+  /// Rounds a keyword count up to the pool's capacity granularity.
+  static size_t CapacityFor(size_t num_keywords);
+
+  /// Drops all idle states (e.g. after a graph swap).
+  void Clear();
+
+  size_t idle_states() const;
+  /// Lifetime counters, for tests and /stats.
+  size_t created() const;
+  size_t reused() const;
+
+ private:
+  void Return(std::unique_ptr<SearchState> state);
+
+  // Keep a few idle states per key: enough for batch concurrency without
+  // pinning unbounded memory after a load spike.
+  static constexpr size_t kMaxIdlePerKey = 8;
+
+  struct Shelf {
+    std::pair<size_t, size_t> key;  // (num_nodes, capacity)
+    std::vector<std::unique_ptr<SearchState>> idle;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Shelf> shelves_;
+  size_t created_ = 0;
+  size_t reused_ = 0;
+};
+
+/// Process-wide pool shared by all SearchEngine instances that are not given
+/// an explicit pool. Never destroyed (avoids shutdown-order issues).
+SearchStatePool& GlobalSearchStatePool();
+
+}  // namespace wikisearch

@@ -104,7 +104,9 @@ SearchService::SearchService(const KnowledgeGraph* graph,
       index_(index),
       defaults_(defaults),
       cache_(cache_capacity),
-      engine_(graph, index, defaults) {}
+      engine_(graph, index, defaults) {
+  engine_.SetStatePool(&state_pool_);
+}
 
 void SearchService::RegisterRoutes(HttpServer* server) {
   server->Route("/search",
@@ -192,6 +194,15 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.UInt(cache_.hits());
   w.Key("misses");
   w.UInt(cache_.misses());
+  w.EndObject();
+  w.Key("state_pool");
+  w.BeginObject();
+  w.Key("idle");
+  w.UInt(state_pool_.idle_states());
+  w.Key("created");
+  w.UInt(state_pool_.created());
+  w.Key("reused");
+  w.UInt(state_pool_.reused());
   w.EndObject();
   w.Key("queries");
   w.UInt(queries_.load());

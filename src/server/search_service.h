@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "core/state_pool.h"
 #include "server/http_server.h"
 #include "server/query_cache.h"
 
@@ -49,6 +50,10 @@ class SearchService {
   // are serialized here. Queries are milliseconds; this matches the paper's
   // single-GPU deployment where queries queue at the device anyway.
   std::mutex engine_mu_;
+  // Service-scoped state pool: queries reuse one epoch-versioned SearchState
+  // instead of re-allocating n*q bytes each (declared before engine_, which
+  // holds a pointer into it).
+  SearchStatePool state_pool_;
   SearchEngine engine_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> errors_{0};

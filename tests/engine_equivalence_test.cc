@@ -96,10 +96,15 @@ TEST_P(EngineEquivalenceTest, AllEnginesAgree) {
     EngineKind kind;
     int threads;
     const char* label;
+    bool frontier_buffers = true;
   };
   const Variant variants[] = {
+      {EngineKind::kCpuParallel, 1, "cpu-par-1"},
       {EngineKind::kCpuParallel, 2, "cpu-par-2"},
       {EngineKind::kCpuParallel, 4, "cpu-par-4"},
+      {EngineKind::kCpuParallel, 8, "cpu-par-8"},
+      // Legacy O(n) flag-scan enqueue must agree with the buffered enqueue.
+      {EngineKind::kCpuParallel, 4, "cpu-par-4-scan", false},
       {EngineKind::kGpuSim, 4, "gpu-sim"},
       {EngineKind::kCpuDynamic, 1, "dynamic-1"},
       {EngineKind::kCpuDynamic, 4, "dynamic-4"},
@@ -108,6 +113,7 @@ TEST_P(EngineEquivalenceTest, AllEnginesAgree) {
     SearchOptions opts = base;
     opts.engine = v.kind;
     opts.threads = v.threads;
+    opts.use_frontier_buffers = v.frontier_buffers;
     Result<SearchResult> got = engine.SearchKeywords(kws, opts);
     ASSERT_TRUE(got.ok()) << got.status().ToString();
     ExpectSameAnswers(*ref, *got, v.label);

@@ -1,0 +1,325 @@
+// SearchState reuse via SearchStatePool: a pooled state carries stale
+// matrix cells, identifier stamps and hit masks from earlier queries, and
+// the epoch scheme must make all of them invisible. Every test compares
+// engine output through one reused state against a fresh-state run.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1200;
+    cfg.num_summary_nodes = 6;
+    cfg.num_topic_nodes = 14;
+    cfg.num_communities = 7;
+    cfg.vocab_size = 1500;
+    cfg.seed = 7;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 2000, 7);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::vector<std::vector<std::string>> SampleQueries(const Fixture& f,
+                                                    size_t count,
+                                                    size_t max_terms,
+                                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(max_terms - 1);
+    for (size_t i = 0; i < 4 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+void ExpectSameAnswers(const SearchResult& a, const SearchResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].central, b.answers[i].central) << label << " " << i;
+    EXPECT_EQ(a.answers[i].depth, b.answers[i].depth) << label << " " << i;
+    EXPECT_EQ(a.answers[i].nodes, b.answers[i].nodes) << label << " " << i;
+    EXPECT_TRUE(a.answers[i].edges == b.answers[i].edges) << label << " " << i;
+    EXPECT_NEAR(a.answers[i].score, b.answers[i].score, 1e-9)
+        << label << " " << i;
+  }
+  EXPECT_EQ(a.stats.num_centrals, b.stats.num_centrals) << label;
+  EXPECT_EQ(a.stats.levels, b.stats.levels) << label;
+}
+
+/// Runs `kws` on an engine with a throwaway pool, so the state is freshly
+/// allocated — the ground truth a reused state must match.
+SearchResult FreshRun(const Fixture& f, const std::vector<std::string>& kws,
+                      const SearchOptions& opts) {
+  SearchStatePool fresh_pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  engine.SetStatePool(&fresh_pool);
+  Result<SearchResult> res = engine.SearchKeywords(kws, opts);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return std::move(*res);
+}
+
+TEST(SearchStatePoolTest, CapacityRounding) {
+  EXPECT_EQ(SearchStatePool::CapacityFor(1), 4u);
+  EXPECT_EQ(SearchStatePool::CapacityFor(4), 4u);
+  EXPECT_EQ(SearchStatePool::CapacityFor(5), 8u);
+  EXPECT_EQ(SearchStatePool::CapacityFor(9), 16u);
+  EXPECT_EQ(SearchStatePool::CapacityFor(33), 64u);
+  EXPECT_EQ(SearchStatePool::CapacityFor(64), 64u);
+}
+
+TEST(SearchStatePoolTest, LeaseReturnsStateToPool) {
+  SearchStatePool pool;
+  {
+    SearchStatePool::Lease lease = pool.Acquire(100, 3);
+    ASSERT_NE(lease.get(), nullptr);
+    EXPECT_EQ(lease->num_nodes(), 100u);
+    EXPECT_EQ(lease->keyword_capacity(), 4u);
+    EXPECT_EQ(pool.idle_states(), 0u);
+  }
+  EXPECT_EQ(pool.idle_states(), 1u);
+  EXPECT_EQ(pool.created(), 1u);
+
+  // Same key (2 rounds to capacity 4 as well) reuses the idle state.
+  SearchState* first;
+  {
+    SearchStatePool::Lease lease = pool.Acquire(100, 2);
+    first = lease.get();
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.reused(), 1u);
+
+  // Different node count is a different shelf.
+  {
+    SearchStatePool::Lease lease = pool.Acquire(200, 2);
+    EXPECT_NE(lease.get(), first);
+  }
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.idle_states(), 2u);
+
+  pool.Clear();
+  EXPECT_EQ(pool.idle_states(), 0u);
+}
+
+TEST(SearchStatePoolTest, SameQueryTwiceThroughPooledState) {
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.engine = EngineKind::kCpuParallel;
+
+  for (const auto& kws : SampleQueries(f, 4, 4, 11)) {
+    SearchResult fresh = FreshRun(f, kws, opts);
+    SearchStatePool pool;
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+    engine.SetStatePool(&pool);
+    Result<SearchResult> first = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(first.ok());
+    Result<SearchResult> second = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(pool.created(), 1u);
+    EXPECT_EQ(pool.reused(), 1u);
+    ExpectSameAnswers(fresh, *first, "first run");
+    ExpectSameAnswers(fresh, *second, "reused state");
+  }
+}
+
+TEST(SearchStatePoolTest, DifferentQueriesThroughOnePooledState) {
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.engine = EngineKind::kCpuParallel;
+
+  // Queries of 2..4 terms all round to capacity 4, so one state serves the
+  // whole sequence; each reuse must look freshly initialized.
+  auto queries = SampleQueries(f, 6, 4, 23);
+  SearchStatePool pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  engine.SetStatePool(&pool);
+  for (const auto& kws : queries) {
+    Result<SearchResult> pooled = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(pooled.ok());
+    ExpectSameAnswers(FreshRun(f, kws, opts), *pooled, "pooled");
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  EXPECT_EQ(pool.reused(), queries.size() - 1);
+}
+
+TEST(SearchStatePoolTest, ReuseAcrossEngineKindsAndThreadCounts) {
+  Fixture& f = SharedFixture();
+  auto queries = SampleQueries(f, 3, 4, 31);
+  SearchStatePool pool;
+  SearchOptions base;
+  base.top_k = 10;
+  SearchEngine engine(&f.kb.graph, &f.index, base);
+  engine.SetStatePool(&pool);
+
+  // Mode transitions are the hard part of reuse: gpu-sim and the legacy
+  // scan leave hit masks dirty without recording which nodes they touched;
+  // the following buffered run must still see clean state.
+  struct Step {
+    EngineKind kind;
+    int threads;
+    bool buffers;
+  };
+  const Step steps[] = {
+      {EngineKind::kCpuParallel, 4, true},
+      {EngineKind::kGpuSim, 4, true},
+      {EngineKind::kCpuParallel, 4, false},
+      {EngineKind::kCpuParallel, 8, true},
+      {EngineKind::kSequential, 1, true},
+      {EngineKind::kCpuParallel, 2, true},
+  };
+  for (const auto& kws : queries) {
+    for (const Step& s : steps) {
+      SearchOptions opts = base;
+      opts.engine = s.kind;
+      opts.threads = s.threads;
+      opts.use_frontier_buffers = s.buffers;
+      Result<SearchResult> pooled = engine.SearchKeywords(kws, opts);
+      ASSERT_TRUE(pooled.ok());
+      ExpectSameAnswers(FreshRun(f, kws, opts), *pooled, "step");
+    }
+  }
+  EXPECT_EQ(pool.created(), 1u);
+}
+
+TEST(SearchStatePoolTest, SmallKeywordCountMaskEdge) {
+  // q < capacity: FullMask must cover exactly the active instances, or a
+  // node hit by all q real keywords would never satisfy HitMask == FullMask
+  // (stale capacity bits) / would qualify too early (missing bits).
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 8;
+  opts.threads = 4;
+
+  auto big = SampleQueries(f, 1, 4, 41)[0];     // up to 4 terms
+  auto small = SampleQueries(f, 1, 3, 43)[0];   // 2..3 terms, same capacity
+  SearchStatePool pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  engine.SetStatePool(&pool);
+
+  Result<SearchResult> r1 = engine.SearchKeywords(big, opts);
+  ASSERT_TRUE(r1.ok());
+  Result<SearchResult> r2 = engine.SearchKeywords(small, opts);
+  ASSERT_TRUE(r2.ok());
+  ExpectSameAnswers(FreshRun(f, big, opts), *r1, "larger q");
+  ExpectSameAnswers(FreshRun(f, small, opts), *r2, "smaller q reusing state");
+}
+
+TEST(SearchStatePoolTest, MaxCentralCandidatesTruncation) {
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.max_central_candidates = 3;  // force the truncation path
+
+  auto queries = SampleQueries(f, 3, 4, 53);
+  SearchStatePool pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  engine.SetStatePool(&pool);
+  for (const auto& kws : queries) {
+    Result<SearchResult> pooled = engine.SearchKeywords(kws, opts);
+    ASSERT_TRUE(pooled.ok());
+    EXPECT_LE(pooled->stats.num_centrals, 3u);
+    ExpectSameAnswers(FreshRun(f, kws, opts), *pooled, "truncated");
+  }
+}
+
+TEST(SearchStatePoolTest, ConcurrentAcquireRelease) {
+  // Pool-level race coverage (run under -DWIKISEARCH_TSAN=ON via
+  // `ctest -L tsan`): engines on separate threads hammer one shared pool.
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 6;
+  opts.threads = 2;
+  auto queries = SampleQueries(f, 4, 4, 61);
+  std::vector<SearchResult> fresh;
+  for (const auto& kws : queries) fresh.push_back(FreshRun(f, kws, opts));
+
+  SearchStatePool pool;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      SearchEngine engine(&f.kb.graph, &f.index, opts);
+      engine.SetStatePool(&pool);
+      for (int round = 0; round < 3; ++round) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          Result<SearchResult> res = engine.SearchKeywords(queries[qi], opts);
+          if (!res.ok() ||
+              res->answers.size() != fresh[qi].answers.size()) {
+            ++failures[static_cast<size_t>(t)];
+            continue;
+          }
+          for (size_t i = 0; i < res->answers.size(); ++i) {
+            if (res->answers[i].central != fresh[qi].answers[i].central ||
+                res->answers[i].nodes != fresh[qi].answers[i].nodes) {
+              ++failures[static_cast<size_t>(t)];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[static_cast<size_t>(t)], 0);
+  EXPECT_LE(pool.idle_states(), 4u);
+  EXPECT_GT(pool.reused(), 0u);
+}
+
+TEST(SearchStatePoolTest, EpochAdvancesWithoutReallocation) {
+  SearchStatePool pool;
+  std::vector<std::vector<NodeId>> seeds{{0, 1}, {2}};
+  SearchStatePool::Lease lease = pool.Acquire(10, 2);
+  uint32_t last = lease->epoch();
+  EXPECT_EQ(last, 0u);  // never initialized yet
+  for (int i = 0; i < 5; ++i) {
+    lease->Init(seeds);
+    EXPECT_EQ(lease->epoch(), last + 1);
+    last = lease->epoch();
+    EXPECT_EQ(lease->Hit(0, 0), 0);
+    EXPECT_EQ(lease->Hit(2, 1), 0);
+    EXPECT_EQ(lease->Hit(5, 0), kLevelInf);
+    EXPECT_TRUE(lease->IsKeywordNode(1));
+    EXPECT_FALSE(lease->IsKeywordNode(5));
+    EXPECT_EQ(lease->KeywordMask(0), 1ull);
+    EXPECT_EQ(lease->KeywordMask(2), 2ull);
+  }
+}
+
+}  // namespace
+}  // namespace wikisearch
