@@ -1,0 +1,164 @@
+// Anytime-search degradation: how much answer quality survives ever-tighter
+// per-query deadlines, and how the service's admission control trades 429s
+// for tail latency under concurrent overload. Results are written to
+// BENCH_deadline.json for regression tracking.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "common/timer.h"
+#include "server/search_service.h"
+
+using namespace wikisearch;
+
+int main() {
+  eval::DatasetBundle data = bench::SmallDataset();
+  const size_t num_queries = eval::BenchQueryCount();
+  auto queries =
+      gen::MakeEfficiencyWorkload(data.kb, data.index, 4, num_queries, 1313);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("deadline");
+  w.Key("dataset");
+  w.String(data.name);
+  w.Key("queries");
+  w.UInt(queries.size());
+
+  // Part 1: graceful degradation. Sweep the per-query budget from generous
+  // to starved and measure how many queries time out and how many answers
+  // survive relative to the unbounded run.
+  eval::PrintHeader("Anytime degradation (" + data.name + ", Knum=4)",
+                    {"deadline", "timed out", "answers kept", "avg ms"});
+
+  SearchOptions base;
+  base.top_k = 20;
+  base.threads = 4;
+  base.engine = EngineKind::kCpuParallel;
+  SearchEngine engine(&data.kb.graph, &data.index, base);
+
+  size_t full_answers = 0;
+  for (const auto& q : queries) {
+    auto res = engine.SearchKeywords(q.keywords, base);
+    if (res.ok()) full_answers += res->answers.size();
+  }
+
+  w.Key("degradation");
+  w.BeginArray();
+  for (double deadline_ms : {0.0, 50.0, 10.0, 2.0, 0.5, 0.1}) {
+    SearchOptions opts = base;
+    opts.deadline_ms = deadline_ms;
+    size_t timed_out = 0, answers = 0;
+    WallTimer timer;
+    for (const auto& q : queries) {
+      auto res = engine.SearchKeywords(q.keywords, opts);
+      if (!res.ok()) continue;
+      if (res->stats.timed_out) ++timed_out;
+      answers += res->answers.size();
+    }
+    const double total_ms = timer.ElapsedMs();
+    const double kept =
+        full_answers > 0
+            ? 100.0 * static_cast<double>(answers) /
+                  static_cast<double>(full_answers)
+            : 100.0;
+
+    char label[32], to_s[32], kept_s[32];
+    std::snprintf(label, sizeof(label), deadline_ms == 0.0 ? "off" : "%gms",
+                  deadline_ms);
+    std::snprintf(to_s, sizeof(to_s), "%zu/%zu", timed_out, queries.size());
+    std::snprintf(kept_s, sizeof(kept_s), "%.0f%%", kept);
+    eval::PrintRow({label, to_s, kept_s,
+                    eval::FmtMs(total_ms / static_cast<double>(
+                                               queries.size()))});
+
+    w.BeginObject();
+    w.Key("deadline_ms");
+    w.Double(deadline_ms);
+    w.Key("timed_out");
+    w.UInt(timed_out);
+    w.Key("answers_kept_pct");
+    w.Double(kept);
+    w.Key("avg_query_ms");
+    w.Double(total_ms / static_cast<double>(queries.size()));
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Part 2: overload shedding. Many concurrent clients against a bounded
+  // queue: throughput of admitted queries vs shed rate per queue depth.
+  eval::PrintHeader("Admission control (32 clients, 4 rounds each)",
+                    {"queue depth", "served", "shed", "wall"});
+
+  w.Key("admission");
+  w.BeginArray();
+  for (size_t depth : {0u, 8u, 4u, 2u}) {
+    server::SearchService service(&data.kb.graph, &data.index, base,
+                                  /*cache_capacity=*/0);
+    service.SetQueueDepth(depth);
+    constexpr int kClients = 32;
+    constexpr int kRounds = 4;
+    std::atomic<size_t> served{0}, shed{0};
+    WallTimer timer;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kRounds; ++r) {
+          const auto& q = queries[static_cast<size_t>(c * kRounds + r) %
+                                  queries.size()];
+          server::HttpRequest req;
+          std::string text;
+          for (const auto& kw : q.keywords) text += kw + " ";
+          req.params["q"] = text;
+          auto resp = service.HandleSearch(req);
+          if (resp.status == 429) {
+            shed.fetch_add(1);
+          } else if (resp.status == 200) {
+            served.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double wall_ms = timer.ElapsedMs();
+
+    char depth_s[32], served_s[32], shed_s[32];
+    std::snprintf(depth_s, sizeof(depth_s), depth == 0 ? "unbounded" : "%zu",
+                  depth);
+    std::snprintf(served_s, sizeof(served_s), "%zu", served.load());
+    std::snprintf(shed_s, sizeof(shed_s), "%zu", shed.load());
+    eval::PrintRow({depth_s, served_s, shed_s, eval::FmtMs(wall_ms)});
+
+    w.BeginObject();
+    w.Key("queue_depth");
+    w.UInt(depth);
+    w.Key("served");
+    w.UInt(served.load());
+    w.Key("shed");
+    w.UInt(shed.load());
+    w.Key("wall_ms");
+    w.Double(wall_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = std::move(w).Take();
+  const char* out_path = "BENCH_deadline.json";
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to open %s for writing\n", out_path);
+    return 1;
+  }
+  return 0;
+}

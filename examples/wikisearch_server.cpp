@@ -7,7 +7,10 @@
 //
 // Flags: --port <p> (default 8080), --load <path.wskg>, --alpha, --topk,
 //        --threads, --once (serve a single self-test request and exit,
-//        useful for smoke tests).
+//        useful for smoke tests), --deadline-ms <ms> (default per-query
+//        budget; 0 = unbounded), --queue-depth <n> (shed searches beyond n
+//        in flight with 429; 0 = unlimited), --max-connections <n> (cap
+//        concurrent HTTP connections; excess get 503).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +33,8 @@ int main(int argc, char** argv) {
   uint16_t port = 8080;
   std::string load_path;
   bool once = false;
+  size_t queue_depth = 0;
+  size_t max_connections = 0;
   SearchOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -46,6 +51,12 @@ int main(int argc, char** argv) {
       opts.top_k = std::atoi(next());
     } else if (arg == "--threads") {
       opts.threads = std::atoi(next());
+    } else if (arg == "--deadline-ms") {
+      opts.deadline_ms = std::atof(next());
+    } else if (arg == "--queue-depth") {
+      queue_depth = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--max-connections") {
+      max_connections = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--once") {
       once = true;
     } else {
@@ -74,7 +85,9 @@ int main(int argc, char** argv) {
   InvertedIndex index = InvertedIndex::Build(graph);
 
   server::SearchService service(&graph, &index, opts);
+  service.SetQueueDepth(queue_depth);
   server::HttpServer http;
+  http.SetMaxConnections(max_connections);
   service.RegisterRoutes(&http);
   Status st = http.Start(once ? 0 : port);
   if (!st.ok()) {

@@ -1,0 +1,69 @@
+// Per-query time budgets (the robustness substrate of the online service).
+//
+// A Deadline is a steady-clock instant after which a query must stop doing
+// new work and return its best partial answers. The search stages check it
+// at coarse granularity — once per BFS level, once per worker chunk, once
+// per extraction candidate — so a query never overshoots its budget by more
+// than one chunk's work, and the common (unlimited) case costs one boolean
+// test per check. Both stages receive proportional sub-budgets carved from
+// the query deadline so the extraction stage always gets a slice even when
+// the bottom-up stage runs long (see DESIGN.md §7).
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace wikisearch {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default-constructed deadlines are unlimited: Expired() is always false.
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now; `ms <= 0` means unlimited (the
+  /// SearchOptions convention: deadline_ms = 0 disables the budget).
+  static Deadline AfterMs(double ms) {
+    if (ms <= 0.0) return Deadline();
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(ms)));
+  }
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  bool enabled() const { return enabled_; }
+
+  bool Expired() const { return enabled_ && Clock::now() >= at_; }
+
+  /// Remaining budget in milliseconds; +infinity when unlimited, clamped at
+  /// 0 once expired.
+  double RemainingMs() const {
+    if (!enabled_) return std::numeric_limits<double>::infinity();
+    double ms = std::chrono::duration<double, std::milli>(at_ - Clock::now())
+                    .count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+  /// A deadline `fraction` of the way through the remaining budget, never
+  /// later than this deadline. Used to split a query budget across stages:
+  /// SubBudget(0.6) bounds stage 1 so stage 2 keeps at least 40% of the
+  /// original budget. Unlimited stays unlimited.
+  Deadline SubBudget(double fraction) const {
+    if (!enabled_) return Deadline();
+    Clock::time_point now = Clock::now();
+    if (now >= at_) return *this;  // already expired: sub-budget is too
+    auto sub = now + std::chrono::duration_cast<Clock::duration>(
+                         (at_ - now) * fraction);
+    return Deadline(sub < at_ ? sub : at_);
+  }
+
+ private:
+  explicit Deadline(Clock::time_point at) : at_(at), enabled_(true) {}
+
+  Clock::time_point at_{};
+  bool enabled_ = false;
+};
+
+}  // namespace wikisearch

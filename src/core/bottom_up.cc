@@ -56,10 +56,12 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
                               const SearchOptions& opts, ThreadPool* pool,
                               SearchState* state, PhaseTimings* timings,
                               bool gpu_style,
-                              const ProgressCallback& progress) {
+                              const ProgressCallback& progress,
+                              const Deadline& deadline) {
   const KnowledgeGraph& g = *ctx.graph;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
+  const FaultHook& fault = opts.fault_injection;
   BottomUpResult result;
   WallTimer timer;
 
@@ -84,6 +86,15 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
   int l = 0;
   const int lmax = std::min(ctx.lmax, 250);  // Level is one byte
   while (true) {
+    if (fault) fault("bottomup:level");
+    // Per-level deadline check: every completed level left exact hitting
+    // levels and centrals behind, so breaking here yields valid partial
+    // answers.
+    if (deadline.Expired()) {
+      result.timed_out = true;
+      break;
+    }
+
     // ---- Enqueuing frontiers ----------------------------------------------
     timer.Restart();
     if (buffered) {
@@ -165,6 +176,7 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     }
     timings->identify_ms += timer.ElapsedMs();
 
+    if (fault) fault("bottomup:identify");
     if (progress) {
       LevelProgress snapshot{l, frontier.size(), state->centrals().size()};
       if (!progress(snapshot)) {
@@ -186,11 +198,31 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
 
     // ---- Expansion (Algorithm 2) -------------------------------------------
     timer.Restart();
+    // Per-chunk deadline gate: the leading item of each claimed chunk reads
+    // the clock (amortizing the check over `grain` items) and trips a shared
+    // flag on expiry, after which every worker stops claiming work. A level
+    // abandoned mid-expansion leaves only exact state behind — concurrent
+    // writes all write the same value (Thm. V.2), so a partial set of them
+    // is indistinguishable from a smaller schedule — and the loop below
+    // exits before identifying the incomplete level.
+    std::atomic<bool> expired{deadline.Expired()};
+    auto chunk_gate = [&](size_t idx, size_t grain) {
+      if (expired.load(std::memory_order_relaxed)) return false;
+      if (idx % grain == 0) {
+        if (fault) fault("bottomup:chunk");
+        if (deadline.Expired()) {
+          expired.store(true, std::memory_order_relaxed);
+          return false;
+        }
+      }
+      return true;
+    };
     if (!gpu_style) {
       // CPU-Par: coarse grain — one dynamic task per frontier node.
+      const size_t grain = DefaultGrain(frontier.size(), pool->threads());
       pool->ParallelForDynamicWorker(
-          frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
-          [&](int worker, size_t idx) {
+          frontier.size(), grain, [&](int worker, size_t idx) {
+            if (!chunk_gate(idx, grain)) return;
             NodeId vf = frontier[idx];
             if (!FrontierMayExpand(ctx, state, vf, l, worker)) return;
             // Only instances that have hit vf can expand from it; iterate
@@ -204,9 +236,10 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
       // GPU shape: one warp per (frontier, BFS-instance) pair; the pair's
       // neighbor loop plays the role of the warp's threads.
       const size_t pairs = frontier.size() * q;
+      const size_t grain = DefaultGrain(pairs, pool->threads());
       pool->ParallelForDynamicWorker(
-          pairs, DefaultGrain(pairs, pool->threads()),
-          [&](int worker, size_t idx) {
+          pairs, grain, [&](int worker, size_t idx) {
+            if (!chunk_gate(idx, grain)) return;
             NodeId vf = frontier[idx / q];
             size_t i = idx % q;
             // Every frontier node has >= 1 hit bit, so the skip cannot
@@ -217,6 +250,13 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
           });
     }
     timings->expansion_ms += timer.ElapsedMs();
+    if (expired.load(std::memory_order_relaxed)) {
+      // The partially expanded level is never drained or identified; its
+      // stragglers sit in the worker buffers until the next Init records
+      // them as dirty.
+      result.timed_out = true;
+      break;
+    }
 
     ++l;
     result.levels = l;

@@ -5,6 +5,7 @@
 // and the search stops at the smallest depth d yielding >= k of them.
 #pragma once
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/bfs_state.h"
 #include "core/phase_timings.h"
@@ -37,6 +38,9 @@ struct BottomUpResult {
   size_t total_frontier_work = 0;
   /// True if a progress callback cancelled the search.
   bool cancelled = false;
+  /// True if the deadline expired before the search reached its natural
+  /// termination; already-identified Central Nodes remain valid.
+  bool timed_out = false;
 };
 
 /// Runs stage 1. `gpu_style` selects the kGpuSim execution shape: parallel
@@ -44,10 +48,17 @@ struct BottomUpResult {
 /// (frontier x BFS-instance) work decomposition; otherwise the CPU-Par shape
 /// (sequential enqueue, one frontier per dynamic task) is used. Results are
 /// identical; only scheduling differs (Thm. V.2).
+///
+/// `deadline` bounds the stage: checked per level and per worker chunk, so a
+/// single giant level cannot blow the budget. On expiry the search stops at
+/// the next check with `timed_out` set; all state written so far (hitting
+/// levels of completed levels, identified centrals) stays exact, so stage 2
+/// can still extract the partial answers (see DESIGN.md §7).
 BottomUpResult BottomUpSearch(const QueryContext& ctx,
                               const SearchOptions& opts, ThreadPool* pool,
                               SearchState* state, PhaseTimings* timings,
                               bool gpu_style,
-                              const ProgressCallback& progress = nullptr);
+                              const ProgressCallback& progress = nullptr,
+                              const Deadline& deadline = Deadline());
 
 }  // namespace wikisearch

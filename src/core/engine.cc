@@ -107,20 +107,29 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
 
   result.stats.pre_storage_bytes = graph_->PreStorageBytes();
 
-  if (opts.engine == EngineKind::kCpuDynamic && progress) {
-    return Status::InvalidArgument(
-        "progressive search is not supported by the dynamic engine");
-  }
+  // Anytime execution: the whole query runs under one deadline, split so the
+  // bottom-up stage may consume only its fraction of the budget and
+  // extraction always gets the rest. deadline_ms = 0 keeps every check a
+  // single branch and the results bit-identical to the unbounded path.
+  const Deadline query_deadline = Deadline::AfterMs(opts.deadline_ms);
+  const Deadline bottom_deadline =
+      query_deadline.SubBudget(opts.bottom_up_budget_fraction);
+
   if (opts.engine == EngineKind::kCpuDynamic) {
     internal::DynamicRunInfo info;
-    result.answers = internal::RunDynamicEngine(ctx, opts, pool,
-                                                &result.timings, &info);
+    result.answers =
+        internal::RunDynamicEngine(ctx, opts, pool, &result.timings, &info,
+                                   progress, query_deadline);
     result.stats.num_centrals = info.num_centrals;
     result.stats.levels = info.levels;
     result.stats.frontier_exhausted = info.frontier_exhausted;
     result.stats.peak_frontier = info.peak_frontier;
     result.stats.total_frontier_work = info.total_frontier_work;
     result.stats.running_storage_bytes = info.running_storage_bytes;
+    result.stats.cancelled = info.cancelled;
+    result.stats.timed_out = info.timed_out;
+    result.stats.candidates_skipped = info.candidates_skipped;
+    result.stats.levels_completed = info.levels;
   } else {
     const bool gpu_style = opts.engine == EngineKind::kGpuSim;
     // Lease a pooled state instead of allocating n*q fresh bytes per query;
@@ -132,8 +141,9 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     SearchState& state = *lease;
     BottomUpResult bottom = BottomUpSearch(ctx, opts, pool, &state,
                                            &result.timings, gpu_style,
-                                           progress);
+                                           progress, bottom_deadline);
     result.stats.cancelled = bottom.cancelled;
+    result.stats.timed_out = bottom.timed_out;
     if (gpu_style) {
       // Model the device->host transfer of M at the paper's quoted
       // ~12 GB/s PCIe bandwidth (Sec. V-B): bytes / 12e6 gives ms.
@@ -141,16 +151,27 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
                      static_cast<double>(ctx.num_keywords());
       result.timings.transfer_ms += bytes / 12e6;
     }
+    if (opts.fault_injection) opts.fault_injection("stage:topdown");
     StateHitLevels hits(state);
     auto mask = [&state](NodeId v) { return state.KeywordMask(v); };
+    TopDownInfo td_info;
     result.answers = TopDownProcess(ctx, opts, pool, hits, state.centrals(),
-                                    mask, &result.timings);
+                                    mask, &result.timings, query_deadline,
+                                    &td_info);
+    result.stats.timed_out |= td_info.timed_out;
+    result.stats.candidates_skipped = td_info.candidates_skipped;
     result.stats.num_centrals = state.centrals().size();
     result.stats.levels = bottom.levels;
+    result.stats.levels_completed = bottom.levels;
     result.stats.frontier_exhausted = bottom.frontier_exhausted;
     result.stats.peak_frontier = bottom.peak_frontier;
     result.stats.total_frontier_work = bottom.total_frontier_work;
     result.stats.running_storage_bytes = state.RunningStorageBytes();
+  }
+  result.stats.degraded = result.stats.timed_out || result.stats.cancelled ||
+                          result.stats.candidates_skipped > 0;
+  if (query_deadline.enabled()) {
+    result.stats.deadline_left_ms = query_deadline.RemainingMs();
   }
 
   result.timings.total_ms = total_timer.ElapsedMs() +

@@ -36,6 +36,22 @@ struct SearchStats {
   size_t num_centrals = 0;
   /// True if a progressive search was cancelled by its callback.
   bool cancelled = false;
+  /// True if the per-query deadline (SearchOptions::deadline_ms) expired in
+  /// either stage. The returned answers are still valid — they are the best
+  /// answers derivable from the work completed within the budget.
+  bool timed_out = false;
+  /// True if the answer set may be smaller than an unbounded run's: the
+  /// bottom-up stage stopped early (timeout or cancellation) or extraction
+  /// shed candidates at the deadline.
+  bool degraded = false;
+  /// BFS levels whose expansion fully completed (== levels unless the budget
+  /// ran out mid-level).
+  int levels_completed = 0;
+  /// Budget remaining when the query finished: 0 when it timed out, -1 when
+  /// no deadline was set.
+  double deadline_left_ms = -1.0;
+  /// Central Graph candidates stage 2 dropped unprocessed at the deadline.
+  size_t candidates_skipped = 0;
   int levels = 0;
   bool frontier_exhausted = false;
   size_t peak_frontier = 0;
@@ -81,7 +97,7 @@ class SearchEngine {
   /// (level, frontier size, centrals found). Returning false cancels the
   /// bottom-up stage; the Central Nodes found so far still go through
   /// stage 2, so a cancelled query returns its best partial answers.
-  /// Not supported for EngineKind::kCpuDynamic.
+  /// Honored by all engine kinds (the dynamic engine included).
   Result<SearchResult> SearchKeywordsProgressive(
       const std::vector<std::string>& keywords, const SearchOptions& opts,
       const ProgressCallback& progress);

@@ -1,6 +1,7 @@
 #include "core/engine_dynamic.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -141,10 +142,18 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
                                           const SearchOptions& opts,
                                           ThreadPool* pool,
                                           PhaseTimings* timings,
-                                          DynamicRunInfo* info) {
+                                          DynamicRunInfo* info,
+                                          const ProgressCallback& progress,
+                                          const Deadline& deadline) {
   const KnowledgeGraph& g = *ctx.graph;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
+  const FaultHook& fault = opts.fault_injection;
+  // Same stage split as the lock-free path: the search may consume only its
+  // fraction of the budget so the top-down materialization always gets a
+  // slice.
+  const Deadline search_deadline =
+      deadline.SubBudget(opts.bottom_up_budget_fraction);
   WallTimer timer;
 
   // ---- Initialization (locked, dynamic allocation per keyword node) -------
@@ -172,6 +181,11 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
 
   int l = 0;
   while (true) {
+    if (fault) fault("dynamic:level");
+    if (search_deadline.Expired()) {
+      info->timed_out = true;
+      break;
+    }
     timer.Restart();
     std::vector<NodeId> frontier = state.TakeFrontier();
     timings->enqueue_ms += timer.ElapsedMs();
@@ -206,6 +220,15 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
     }
     timings->identify_ms += timer.ElapsedMs();
 
+    if (progress) {
+      LevelProgress snapshot{l, frontier.size(), centrals.size()};
+      if (!progress(snapshot)) {
+        info->cancelled = true;
+        info->levels = l;
+        break;
+      }
+    }
+
     if (centrals.size() >= wanted || l >= lmax) {
       info->levels = l;
       break;
@@ -213,9 +236,22 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
 
     // ---- Expansion (locked reads and writes) --------------------------------
     timer.Restart();
+    // Per-chunk deadline gate, mirroring the lock-free path: the leading
+    // item of each claimed chunk reads the clock; on expiry workers stop
+    // claiming work and the partially expanded level is abandoned (the
+    // per-query DynamicState needs no cleanup).
+    std::atomic<bool> expired{search_deadline.Expired()};
+    const size_t grain = DefaultGrain(frontier.size(), pool->threads());
     pool->ParallelForDynamic(
-        frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
-        [&](size_t idx) {
+        frontier.size(), grain, [&](size_t idx) {
+          if (expired.load(std::memory_order_relaxed)) return;
+          if (idx % grain == 0) {
+            if (fault) fault("dynamic:chunk");
+            if (search_deadline.Expired()) {
+              expired.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           NodeId vf = frontier[idx];
           // Snapshot vf's state under its lock.
           std::unordered_map<uint32_t, Level> hits_copy;
@@ -265,6 +301,10 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
           }
         });
     timings->expansion_ms += timer.ElapsedMs();
+    if (expired.load(std::memory_order_relaxed)) {
+      info->timed_out = true;
+      break;
+    }
 
     ++l;
     info->levels = l;
@@ -276,7 +316,14 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
   // ---- Top-down: no extraction needed; prune + rank recorded graphs -------
   timer.Restart();
   std::vector<AnswerGraph> candidates(centrals.size());
+  std::atomic<bool> td_expired{false};
   pool->ParallelForDynamic(centrals.size(), 1, [&](size_t idx) {
+    if (fault) fault("dynamic:topdown");
+    if (td_expired.load(std::memory_order_relaxed)) return;
+    if (deadline.Expired()) {
+      td_expired.store(true, std::memory_order_relaxed);
+      return;
+    }
     ExtractedGraph eg = BuildFromParents(state, centrals[idx], q);
     auto mask = [&state](NodeId v) {
       const DynNode* node = state.NodeOrNull(v);
@@ -285,6 +332,15 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
     candidates[idx] = BuildAnswer(g, eg, q, mask, opts.enable_level_cover,
                                   opts.lambda);
   });
+  if (td_expired.load(std::memory_order_relaxed)) {
+    size_t kept = 0;
+    for (AnswerGraph& cand : candidates) {
+      if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
+    }
+    info->candidates_skipped = candidates.size() - kept;
+    info->timed_out = true;
+    candidates.resize(kept);
+  }
   std::vector<AnswerGraph> answers = SelectTopK(std::move(candidates), opts);
   timings->topdown_ms += timer.ElapsedMs();
   return answers;

@@ -8,8 +8,10 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/answer.h"
+#include "core/bottom_up.h"
 #include "core/phase_timings.h"
 #include "core/query_context.h"
 #include "core/search_options.h"
@@ -23,13 +25,21 @@ struct DynamicRunInfo {
   size_t peak_frontier = 0;
   size_t total_frontier_work = 0;
   size_t running_storage_bytes = 0;
+  bool cancelled = false;
+  bool timed_out = false;
+  size_t candidates_skipped = 0;
 };
 
 /// Runs the full two-stage query with the dynamic-memory locked engine.
-std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
-                                          const SearchOptions& opts,
-                                          ThreadPool* pool,
-                                          PhaseTimings* timings,
-                                          DynamicRunInfo* info);
+/// Honors the same anytime contract as the lock-free path: `progress` is
+/// invoked after each level's identification (returning false cancels the
+/// search, already-found centrals still materialize), and `deadline` bounds
+/// both stages — per level in the search, per candidate in the top-down
+/// materialization.
+std::vector<AnswerGraph> RunDynamicEngine(
+    const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
+    PhaseTimings* timings, DynamicRunInfo* info,
+    const ProgressCallback& progress = nullptr,
+    const Deadline& deadline = Deadline());
 
 }  // namespace wikisearch::internal

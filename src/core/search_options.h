@@ -4,8 +4,22 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 namespace wikisearch {
+
+/// Test-only fault-injection hook (see SearchOptions::fault_injection): the
+/// engine invokes it at named execution points so tests can stall a worker
+/// mid-level or force deadline expiry at any stage boundary. Points:
+///   "bottomup:level"     — start of each BFS level, before enqueue
+///   "bottomup:identify"  — after Central-Node identification of a level
+///   "bottomup:chunk"     — once per expansion worker chunk
+///   "stage:topdown"      — between stage 1 and stage 2
+///   "topdown:candidate"  — before each candidate extraction
+///   "dynamic:level"      — start of each dynamic-engine level
+///   "dynamic:chunk"      — once per dynamic-engine expansion chunk
+///   "dynamic:topdown"    — before each dynamic-engine candidate
+using FaultHook = std::function<void(const char* point)>;
 
 /// Which implementation of the two-stage algorithm executes the query.
 enum class EngineKind {
@@ -60,6 +74,21 @@ struct SearchOptions {
 
   /// Safety valve: cap on Central Nodes carried into the top-down stage.
   size_t max_central_candidates = 1 << 20;
+
+  // --- bounded execution (anytime search) ---
+  /// Per-query wall-clock budget in milliseconds; 0 disables (unbounded, the
+  /// historical behavior, bit-identical results). A query that exhausts its
+  /// budget stops at the next check point and returns its best partial
+  /// answers with SearchStats::timed_out set; it never overshoots by more
+  /// than one worker chunk / one extraction candidate of work.
+  double deadline_ms = 0.0;
+  /// Fraction of the budget stage 1 (bottom-up) may consume before yielding
+  /// to stage 2, so extraction always gets a slice of the deadline and a
+  /// timed-out query can still materialize the centrals it found.
+  double bottom_up_budget_fraction = 0.6;
+  /// Test-only: invoked at named execution points (see FaultHook). Null in
+  /// production; the per-check cost is one branch.
+  FaultHook fault_injection;
 };
 
 }  // namespace wikisearch

@@ -1,6 +1,7 @@
 #include "core/top_down.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/timer.h"
 #include "core/level_cover.h"
@@ -36,18 +37,39 @@ std::vector<AnswerGraph> TopDownProcess(
     const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
     const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
     const std::function<uint64_t(NodeId)>& keyword_mask,
-    PhaseTimings* timings) {
+    PhaseTimings* timings, const Deadline& deadline, TopDownInfo* info) {
   WallTimer timer;
+  const FaultHook& fault = opts.fault_injection;
   std::vector<AnswerGraph> candidates(centrals.size());
+  std::atomic<bool> expired{false};
   // One thread recovers one or more Central Graphs (dynamic scheduling, as
-  // the paper does with OpenMP).
+  // the paper does with OpenMP). The deadline is checked before each
+  // candidate; a skipped candidate leaves its kInvalidNode placeholder,
+  // filtered below.
   pool->ParallelForDynamic(
       centrals.size(), /*grain=*/1, [&](size_t idx) {
+        if (fault) fault("topdown:candidate");
+        if (expired.load(std::memory_order_relaxed)) return;
+        if (deadline.Expired()) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
         ExtractedGraph eg = ExtractCentralGraph(ctx, hits, centrals[idx]);
         candidates[idx] =
             BuildAnswer(*ctx.graph, eg, ctx.num_keywords(), keyword_mask,
                         opts.enable_level_cover, opts.lambda);
       });
+  if (expired.load(std::memory_order_relaxed)) {
+    size_t kept = 0;
+    for (AnswerGraph& cand : candidates) {
+      if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
+    }
+    if (info != nullptr) {
+      info->candidates_skipped = candidates.size() - kept;
+      info->timed_out = true;
+    }
+    candidates.resize(kept);
+  }
   std::vector<AnswerGraph> result = SelectTopK(std::move(candidates), opts);
   timings->topdown_ms += timer.ElapsedMs();
   return result;

@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "core/answer.h"
 #include "core/bfs_state.h"
@@ -16,13 +17,24 @@
 
 namespace wikisearch {
 
+/// How many Central Graph candidates stage 2 dropped unprocessed because the
+/// deadline expired (answers degrade to the extracted subset).
+struct TopDownInfo {
+  size_t candidates_skipped = 0;
+  bool timed_out = false;
+};
+
 /// Extracts, prunes, scores and ranks all Central Graph candidates,
-/// returning the final top-k answers sorted best-first.
+/// returning the final top-k answers sorted best-first. The deadline is
+/// checked between candidates: extraction of one Central Graph is the unit
+/// of work that is never interrupted, so every returned answer is complete
+/// and exact even when later candidates are shed (`info->timed_out`).
 std::vector<AnswerGraph> TopDownProcess(
     const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
     const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
     const std::function<uint64_t(NodeId)>& keyword_mask,
-    PhaseTimings* timings);
+    PhaseTimings* timings, const Deadline& deadline = Deadline(),
+    TopDownInfo* info = nullptr);
 
 /// Final selection shared with the dynamic engine: sorts candidate answers,
 /// removes nested duplicates (when opts.dedup_answers) and truncates to

@@ -64,11 +64,14 @@ ProfiledRun ProfileEngine(const DatasetBundle& data,
                           const std::vector<gen::Query>& queries,
                           const SearchOptions& opts) {
   ProfiledRun run;
-  SearchEngine engine(&data.kb.graph, &data.index, opts);
+  SearchOptions capped = opts;
+  if (capped.deadline_ms <= 0.0) capped.deadline_ms = BanksTimeLimitMs();
+  SearchEngine engine(&data.kb.graph, &data.index, capped);
   size_t count = 0;
   for (const gen::Query& q : queries) {
-    Result<SearchResult> res = engine.SearchKeywords(q.keywords, opts);
+    Result<SearchResult> res = engine.SearchKeywords(q.keywords, capped);
     WS_CHECK(res.ok());
+    if (res->stats.timed_out) ++run.timeouts;
     run.avg += res->timings;
     run.avg_answers += static_cast<double>(res->answers.size());
     run.avg_centrals += static_cast<double>(res->stats.num_centrals);

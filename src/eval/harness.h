@@ -46,7 +46,15 @@ struct ProfiledRun {
   double avg_answers = 0.0;
   double avg_centrals = 0.0;
   size_t peak_storage_bytes = 0;
+  /// Queries that hit the per-query deadline and degraded to partial
+  /// answers (the engine-side counterpart of BanksRun::timeouts).
+  size_t timeouts = 0;
 };
+/// Profiles the engine under the same per-query budget the BANKS baselines
+/// get: when opts.deadline_ms is 0, WS_BENCH_TIME_LIMIT_MS applies, so
+/// engine-vs-baseline comparisons cap runaway queries identically. At bench
+/// scales the engine never comes near the default 2000 ms budget, so timings
+/// are unaffected; pass an explicit opts.deadline_ms to study degradation.
 ProfiledRun ProfileEngine(const DatasetBundle& data,
                           const std::vector<gen::Query>& queries,
                           const SearchOptions& opts);

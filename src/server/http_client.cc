@@ -5,7 +5,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
+
+#include "common/random.h"
 
 namespace wikisearch::server {
 
@@ -49,6 +54,38 @@ Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target) {
   resp.status = std::atoi(raw.c_str() + sp + 1);
   resp.body = raw.substr(header_end + 4);
   return resp;
+}
+
+Result<RetryingGetResult> HttpGetWithRetry(uint16_t port,
+                                           const std::string& target,
+                                           const RetryPolicy& policy) {
+  const int attempts = std::max(policy.max_attempts, 1);
+  Rng jitter(policy.jitter_seed);
+  Status last_error = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      double backoff = policy.base_backoff_ms *
+                       static_cast<double>(1u << std::min(attempt - 1, 16));
+      backoff = std::min(backoff, policy.max_backoff_ms);
+      backoff *= 1.0 + 0.5 * jitter.UniformDouble();
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          backoff));
+    }
+    Result<HttpClientResponse> resp = HttpGet(port, target);
+    if (!resp.ok()) {
+      // Connection-level failure (listener backlog full, server restarting):
+      // retryable.
+      last_error = resp.status();
+      continue;
+    }
+    if (resp->status == 429 || resp->status == 503) {
+      last_error = Status::ResourceExhausted(
+          "server shed request with status " + std::to_string(resp->status));
+      continue;
+    }
+    return RetryingGetResult{std::move(*resp), attempt + 1};
+  }
+  return last_error;
 }
 
 }  // namespace wikisearch::server

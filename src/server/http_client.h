@@ -18,4 +18,29 @@ struct HttpClientResponse {
 /// "/search?q=xml") against 127.0.0.1:`port`.
 Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target);
 
+struct RetryPolicy {
+  /// Total attempts (first try included); must be >= 1.
+  int max_attempts = 4;
+  /// Sleep before retry r is base * 2^r, capped at max_backoff_ms, plus up
+  /// to 50% deterministic jitter so synchronized clients fan out.
+  double base_backoff_ms = 25.0;
+  double max_backoff_ms = 500.0;
+  /// Seed of the jitter stream; vary per client for decorrelated retries.
+  uint64_t jitter_seed = 1;
+};
+
+struct RetryingGetResult {
+  HttpClientResponse response;
+  /// Attempts actually made (1 = first try succeeded).
+  int attempts = 1;
+};
+
+/// HttpGet that retries on overload: 429/503 responses and connection
+/// failures are retried with capped exponential backoff + jitter; any other
+/// status returns immediately. Fails with kResourceExhausted if the final
+/// attempt still sees 429/503, or the last connect error otherwise.
+Result<RetryingGetResult> HttpGetWithRetry(uint16_t port,
+                                           const std::string& target,
+                                           const RetryPolicy& policy = {});
+
 }  // namespace wikisearch::server

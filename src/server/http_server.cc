@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cctype>
@@ -32,10 +33,35 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 429:
+      return "Too Many Requests";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    StatusText(resp.status) +
+                    "\r\nContent-Type: " + resp.content_type +
+                    "\r\nContent-Length: " + std::to_string(resp.body.size());
+  for (const auto& [key, value] : resp.extra_headers) {
+    out += "\r\n" + key + ": " + value;
+  }
+  out += "\r\nConnection: close\r\n\r\n" + resp.body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& out) {
+  size_t written = 0;
+  while (written < out.size()) {
+    ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
   }
 }
 
@@ -199,12 +225,37 @@ void HttpServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::map<uint64_t, std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
     workers.swap(workers_);
+    finished_ids_.clear();
   }
-  for (auto& w : workers) w.join();
+  for (auto& [id, w] : workers) w.join();
+}
+
+size_t HttpServer::live_worker_threads() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return workers_.size();
+}
+
+void HttpServer::ReapFinishedWorkers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    done.reserve(finished_ids_.size());
+    for (uint64_t id : finished_ids_) {
+      auto it = workers_.find(id);
+      if (it != workers_.end()) {
+        done.push_back(std::move(it->second));
+        workers_.erase(it);
+      }
+    }
+    finished_ids_.clear();
+  }
+  // Join outside the lock: the thread has already announced completion, so
+  // this never blocks on request handling.
+  for (auto& w : done) w.join();
 }
 
 void HttpServer::AcceptLoop() {
@@ -214,12 +265,38 @@ void HttpServer::AcceptLoop() {
       if (!running_.load()) break;
       continue;
     }
+    ReapFinishedWorkers();
+    if (max_connections_ != 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            max_connections_) {
+      // Saturated: shed from the accept loop itself rather than spawning a
+      // worker, so the thread count stays bounded by the cap.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse resp =
+          HttpResponse::Text(503, "connection limit reached, retry later\n");
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      WriteAll(fd, SerializeResponse(resp));
+      ::close(fd);
+      continue;
+    }
+    if (socket_timeout_ms_ > 0) {
+      timeval tv{};
+      tv.tv_sec = socket_timeout_ms_ / 1000;
+      tv.tv_usec = (socket_timeout_ms_ % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(workers_mu_);
-    workers_.emplace_back([this, fd] { ServeConnection(fd); });
+    uint64_t id = next_worker_id_++;
+    workers_.emplace(id, std::thread([this, id, fd] {
+                       ServeConnection(id, fd);
+                     }));
   }
+  ReapFinishedWorkers();
 }
 
-void HttpServer::ServeConnection(int fd) {
+void HttpServer::ServeConnection(uint64_t id, int fd) {
   std::string raw;
   HttpResponse resp;
   if (!ReadFully(fd, &raw)) {
@@ -238,18 +315,11 @@ void HttpServer::ServeConnection(int fd) {
     }
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
-  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
-                    StatusText(resp.status) +
-                    "\r\nContent-Type: " + resp.content_type +
-                    "\r\nContent-Length: " + std::to_string(resp.body.size()) +
-                    "\r\nConnection: close\r\n\r\n" + resp.body;
-  size_t written = 0;
-  while (written < out.size()) {
-    ssize_t n = ::write(fd, out.data() + written, out.size() - written);
-    if (n <= 0) break;
-    written += static_cast<size_t>(n);
-  }
+  WriteAll(fd, SerializeResponse(resp));
   ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  finished_ids_.push_back(id);
 }
 
 }  // namespace wikisearch::server

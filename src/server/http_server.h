@@ -6,11 +6,13 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -35,16 +37,25 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Additional response headers (e.g. Retry-After on 429/503).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
 
   static HttpResponse Json(std::string body) {
-    return HttpResponse{200, "application/json", std::move(body)};
+    return HttpResponse{200, "application/json", std::move(body), {}};
   }
   static HttpResponse Text(int status, std::string body) {
-    return HttpResponse{status, "text/plain", std::move(body)};
+    return HttpResponse{status, "text/plain", std::move(body), {}};
   }
   static HttpResponse NotFound() { return Text(404, "not found\n"); }
   static HttpResponse BadRequest(std::string why) {
     return Text(400, std::move(why));
+  }
+  /// Load-shedding reply: 429 with a Retry-After hint in seconds.
+  static HttpResponse TooManyRequests(int retry_after_s) {
+    HttpResponse resp = Text(429, "server overloaded, retry later\n");
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(retry_after_s));
+    return resp;
   }
 };
 
@@ -73,6 +84,15 @@ class HttpServer {
   /// before Start.
   void Route(const std::string& path, HttpHandler handler);
 
+  /// Caps concurrently-served connections; excess accepts are answered 503
+  /// with Retry-After directly from the accept loop, so worker threads stay
+  /// bounded. Must be called before Start. 0 means unlimited.
+  void SetMaxConnections(size_t cap) { max_connections_ = cap; }
+
+  /// Per-connection socket recv/send timeout; a stalled peer cannot pin a
+  /// worker thread forever. Must be called before Start. 0 disables.
+  void SetSocketTimeoutMs(int timeout_ms) { socket_timeout_ms_ = timeout_ms; }
+
   /// Binds 127.0.0.1:`port` (0 picks a free port) and starts the accept
   /// loop on a background thread.
   Status Start(uint16_t port);
@@ -88,18 +108,40 @@ class HttpServer {
   /// Requests served so far.
   uint64_t requests_served() const { return requests_.load(); }
 
+  /// Connections currently being served by worker threads.
+  size_t active_connections() const { return active_connections_.load(); }
+
+  /// Accepts rejected with 503 because the connection cap was reached.
+  uint64_t rejected_connections() const { return rejected_.load(); }
+
+  /// Worker threads alive right now (served + not yet reaped). Bounded by
+  /// the connection cap plus the reap lag of one accept iteration.
+  size_t live_worker_threads() const;
+
  private:
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(uint64_t id, int fd);
+  void ReapFinishedWorkers();
 
   std::map<std::string, HttpHandler> routes_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates the fd while the accept thread reads it.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
+  size_t max_connections_ = 0;
+  int socket_timeout_ms_ = 5000;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<size_t> active_connections_{0};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
-  std::mutex workers_mu_;
+  // Worker threads keyed by a monotonic id. A worker announces completion by
+  // appending its id to finished_ids_; the accept loop (and Stop) joins and
+  // erases announced workers, so the map never grows beyond the set of live
+  // connections — unlike the previous grow-only vector.
+  uint64_t next_worker_id_ = 0;
+  std::map<uint64_t, std::thread> workers_;
+  std::vector<uint64_t> finished_ids_;
+  mutable std::mutex workers_mu_;
 };
 
 }  // namespace wikisearch::server

@@ -36,6 +36,16 @@ std::string SearchResultToJson(const KnowledgeGraph& graph,
   w.Int(result.stats.levels);
   w.Key("central_candidates");
   w.UInt(result.stats.num_centrals);
+  w.Key("timed_out");
+  w.Bool(result.stats.timed_out);
+  w.Key("degraded");
+  w.Bool(result.stats.degraded);
+  w.Key("levels_completed");
+  w.Int(result.stats.levels_completed);
+  w.Key("deadline_left_ms");
+  w.Double(result.stats.deadline_left_ms);
+  w.Key("candidates_skipped");
+  w.UInt(result.stats.candidates_skipped);
   w.Key("total_ms");
   w.Double(result.timings.total_ms);
   w.Key("expansion_ms");
@@ -131,21 +141,41 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
   if (!req.Param("lambda").empty()) {
     opts.lambda = std::atof(req.Param("lambda").c_str());
   }
+  if (!req.Param("deadline_ms").empty()) {
+    opts.deadline_ms = std::atof(req.Param("deadline_ms").c_str());
+  }
   opts.engine = ParseEngine(req.Param("engine", "cpu"));
 
   std::string cache_key = q + "|" + std::to_string(opts.top_k) + "|" +
                           std::to_string(opts.alpha) + "|" +
                           std::to_string(opts.lambda) + "|" +
+                          std::to_string(opts.deadline_ms) + "|" +
                           EngineKindName(opts.engine);
   if (auto cached = cache_.Get(cache_key)) {
     queries_.fetch_add(1);
     return HttpResponse::Json(std::move(*cached));
   }
 
+  // Admission control: bound the number of searches running or waiting on
+  // the engine. Shedding here (before touching the engine mutex) keeps the
+  // 429 path fast even when the engine is saturated.
+  const size_t depth = queue_depth_.load(std::memory_order_relaxed);
+  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (depth != 0 && in_flight > depth) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    return HttpResponse::TooManyRequests(/*retry_after_s=*/1);
+  }
+  size_t hwm = queue_hwm_.load(std::memory_order_relaxed);
+  while (in_flight > hwm &&
+         !queue_hwm_.compare_exchange_weak(hwm, in_flight)) {
+  }
+
   Result<SearchResult> result = [&] {
     std::lock_guard<std::mutex> lock(engine_mu_);
     return engine_.Search(q, opts);
   }();
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
   queries_.fetch_add(1);
   if (!result.ok()) {
     errors_.fetch_add(1);
@@ -158,8 +188,16 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
         result.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse{status, "application/json", std::move(w).Take()};
   }
+  if (result->stats.timed_out) {
+    timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result->stats.degraded) {
+    degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::string body = SearchResultToJson(*graph_, *result);
-  cache_.Put(cache_key, body);
+  // Degraded answers depend on transient load; caching them would serve a
+  // timed-out partial result long after the pressure has passed.
+  if (!result->stats.degraded) cache_.Put(cache_key, body);
   return HttpResponse::Json(std::move(body));
 }
 
@@ -208,6 +246,21 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.UInt(queries_.load());
   w.Key("errors");
   w.UInt(errors_.load());
+  w.Key("admission");
+  w.BeginObject();
+  w.Key("queue_depth");
+  w.UInt(queue_depth_.load());
+  w.Key("in_flight");
+  w.UInt(in_flight_.load());
+  w.Key("queue_high_water_mark");
+  w.UInt(queue_hwm_.load());
+  w.Key("shed_requests");
+  w.UInt(shed_requests_.load());
+  w.Key("timed_out_queries");
+  w.UInt(timed_out_queries_.load());
+  w.Key("degraded_answers");
+  w.UInt(degraded_answers_.load());
+  w.EndObject();
   w.EndObject();
   return HttpResponse::Json(std::move(w).Take());
 }

@@ -4,8 +4,13 @@
 //
 // Routes:
 //   GET /search?q=<keywords>[&k=][&alpha=][&lambda=][&engine=cpu|seq|dyn|gpu]
+//                [&deadline_ms=]
 //   GET /stats      — graph, index, cache and server counters
 //   GET /healthz    — liveness probe
+//
+// Admission control: at most `queue_depth` searches may be in flight
+// (running or waiting on the engine mutex); excess requests are shed
+// immediately with 429 + Retry-After instead of queueing unboundedly.
 #pragma once
 
 #include <atomic>
@@ -40,6 +45,15 @@ class SearchService {
 
   const QueryCache& cache() const { return cache_; }
 
+  /// Caps searches in flight (running or queued on the engine); excess
+  /// requests get 429 + Retry-After. 0 means unlimited.
+  void SetQueueDepth(size_t depth) { queue_depth_.store(depth); }
+
+  uint64_t shed_requests() const { return shed_requests_.load(); }
+  uint64_t timed_out_queries() const { return timed_out_queries_.load(); }
+  uint64_t degraded_answers() const { return degraded_answers_.load(); }
+  size_t queue_high_water_mark() const { return queue_hwm_.load(); }
+
  private:
   const KnowledgeGraph* graph_;
   const InvertedIndex* index_;
@@ -57,6 +71,13 @@ class SearchService {
   SearchEngine engine_;
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> errors_{0};
+  // Admission control + degradation telemetry.
+  std::atomic<size_t> queue_depth_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> queue_hwm_{0};
+  std::atomic<uint64_t> shed_requests_{0};
+  std::atomic<uint64_t> timed_out_queries_{0};
+  std::atomic<uint64_t> degraded_answers_{0};
 };
 
 }  // namespace wikisearch::server

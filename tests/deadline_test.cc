@@ -1,0 +1,324 @@
+// Anytime search under deadlines: expiry forced at every fault point, on
+// every engine kind, must yield valid partial answers (never garbage, never
+// a crash), leave the pooled search state reusable, and deadline_ms = 0 must
+// stay bit-identical to the unbounded path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deadline unit behavior.
+
+TEST(DeadlineTest, DefaultIsUnlimited) {
+  Deadline d;
+  EXPECT_FALSE(d.enabled());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMs(), 1e18);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetDisables) {
+  EXPECT_FALSE(Deadline::AfterMs(0.0).enabled());
+  EXPECT_FALSE(Deadline::AfterMs(-3.0).enabled());
+}
+
+TEST(DeadlineTest, FutureDeadlineNotExpired) {
+  Deadline d = Deadline::AfterMs(10000.0);
+  EXPECT_TRUE(d.enabled());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingMs(), 0.0);
+  EXPECT_LE(d.RemainingMs(), 10000.0);
+}
+
+TEST(DeadlineTest, ExpiresAfterSleep) {
+  Deadline d = Deadline::AfterMs(1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMs(), 0.0);
+}
+
+TEST(DeadlineTest, SubBudgetProperties) {
+  // Unlimited stays unlimited.
+  EXPECT_FALSE(Deadline().SubBudget(0.5).enabled());
+  // A fraction of a live budget expires no later than the whole.
+  Deadline whole = Deadline::AfterMs(10000.0);
+  Deadline part = whole.SubBudget(0.25);
+  EXPECT_TRUE(part.enabled());
+  EXPECT_LE(part.RemainingMs(), whole.RemainingMs());
+  // Degenerate fractions clamp to [now, whole].
+  EXPECT_LE(whole.SubBudget(10.0).RemainingMs(), whole.RemainingMs());
+  EXPECT_TRUE(whole.SubBudget(0.0).Expired() ||
+              whole.SubBudget(0.0).RemainingMs() < 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level behavior on a generated knowledge base.
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 800;
+    cfg.num_summary_nodes = 5;
+    cfg.num_topic_nodes = 12;
+    cfg.num_communities = 6;
+    cfg.vocab_size = 1200;
+    cfg.seed = 7;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1000, 5);
+    index = InvertedIndex::Build(kb.graph);
+    // A query with matches in several communities so multiple BFS levels and
+    // a non-trivial candidate set exist.
+    query = {kb.meta.community_terms[0][0], kb.meta.community_terms[1][0]};
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+  std::vector<std::string> query;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+const EngineKind kAllEngines[] = {
+    EngineKind::kSequential,
+    EngineKind::kCpuParallel,
+    EngineKind::kCpuDynamic,
+    EngineKind::kGpuSim,
+};
+
+// Fault points on the lock-free (sequential / CPU-parallel / GPU-sim) path
+// and on the dynamic engine's path.
+const char* const kLockFreePoints[] = {
+    "bottomup:level", "bottomup:identify", "bottomup:chunk",
+    "stage:topdown", "topdown:candidate",
+};
+const char* const kDynamicPoints[] = {
+    "dynamic:level", "dynamic:chunk", "dynamic:topdown",
+};
+
+void ExpectSameAnswers(const SearchResult& a, const SearchResult& b,
+                       const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    EXPECT_EQ(a.answers[i].central, b.answers[i].central) << label << " " << i;
+    EXPECT_EQ(a.answers[i].nodes, b.answers[i].nodes) << label << " " << i;
+    EXPECT_NEAR(a.answers[i].score, b.answers[i].score, 1e-9) << label;
+  }
+}
+
+TEST(EngineDeadlineTest, ZeroDeadlineMatchesUnboundedRun) {
+  Fixture& f = SharedFixture();
+  for (EngineKind kind : kAllEngines) {
+    SearchOptions opts;
+    opts.top_k = 10;
+    opts.threads = 4;
+    opts.engine = kind;
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+
+    opts.deadline_ms = 0.0;
+    auto unbounded = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+    EXPECT_FALSE(unbounded->stats.timed_out);
+    EXPECT_FALSE(unbounded->stats.degraded);
+    EXPECT_EQ(unbounded->stats.deadline_left_ms, -1.0);
+
+    // A deadline far beyond the query's runtime must not perturb anything.
+    opts.deadline_ms = 1e7;
+    auto bounded = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_FALSE(bounded->stats.timed_out);
+    EXPECT_GE(bounded->stats.deadline_left_ms, 0.0);
+    ExpectSameAnswers(*unbounded, *bounded, EngineKindName(kind));
+  }
+}
+
+// Stalls past the deadline the first time `point` fires, forcing expiry to
+// be observed at exactly that stage boundary.
+SearchOptions StalledOptions(EngineKind kind, const char* point,
+                             double deadline_ms, double stall_ms) {
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.engine = kind;
+  opts.deadline_ms = deadline_ms;
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  std::string target = point;
+  opts.fault_injection = [fired, target, stall_ms](const char* p) {
+    if (target == p && !fired->exchange(true)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(stall_ms));
+    }
+  };
+  return opts;
+}
+
+void RunExpirySweep(EngineKind kind, const char* const* points,
+                    size_t num_points) {
+  Fixture& f = SharedFixture();
+  for (size_t i = 0; i < num_points; ++i) {
+    SCOPED_TRACE(std::string(EngineKindName(kind)) + " @ " + points[i]);
+    SearchStatePool pool;
+    SearchOptions opts = StalledOptions(kind, points[i], /*deadline_ms=*/5.0,
+                                        /*stall_ms=*/25.0);
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+    engine.SetStatePool(&pool);
+
+    auto res = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->stats.timed_out);
+    EXPECT_TRUE(res->stats.degraded);
+    EXPECT_GE(res->stats.deadline_left_ms, 0.0);
+    for (const AnswerGraph& a : res->answers) {
+      testing::CheckAnswerInvariants(f.kb.graph, a, res->keywords.size());
+    }
+
+    // The pooled state must be reusable after the aborted run: the same
+    // engine, unbounded, must now reproduce a fresh engine's answers.
+    SearchOptions clean = opts;
+    clean.deadline_ms = 0.0;
+    clean.fault_injection = nullptr;
+    auto after = engine.SearchKeywords(f.query, clean);
+    ASSERT_TRUE(after.ok());
+    EXPECT_FALSE(after->stats.timed_out);
+
+    SearchEngine fresh_engine(&f.kb.graph, &f.index, clean);
+    auto fresh = fresh_engine.SearchKeywords(f.query, clean);
+    ASSERT_TRUE(fresh.ok());
+    ExpectSameAnswers(*fresh, *after, "post-timeout pooled rerun");
+  }
+}
+
+TEST(EngineDeadlineTest, ExpiryAtEveryFaultPointSequential) {
+  RunExpirySweep(EngineKind::kSequential, kLockFreePoints,
+                 std::size(kLockFreePoints));
+}
+
+TEST(EngineDeadlineTest, ExpiryAtEveryFaultPointCpuParallel) {
+  RunExpirySweep(EngineKind::kCpuParallel, kLockFreePoints,
+                 std::size(kLockFreePoints));
+}
+
+TEST(EngineDeadlineTest, ExpiryAtEveryFaultPointGpuSim) {
+  RunExpirySweep(EngineKind::kGpuSim, kLockFreePoints,
+                 std::size(kLockFreePoints));
+}
+
+TEST(EngineDeadlineTest, ExpiryAtEveryFaultPointDynamic) {
+  RunExpirySweep(EngineKind::kCpuDynamic, kDynamicPoints,
+                 std::size(kDynamicPoints));
+}
+
+// The stage split must leave extraction a slice of the budget: when the
+// bottom-up stage exhausts its sub-budget mid-search, centrals found in the
+// completed levels still materialize into answers.
+TEST(EngineDeadlineTest, ExtractionGetsBudgetSliceAfterBottomUpTimeout) {
+  // Deterministic chain graph with an answer at level 1 (the pattern of
+  // progressive_test): kw1 - mid - kw2, plus a long tail that keeps the
+  // search running for more levels.
+  GraphBuilder b;
+  b.AddTriple("start alphaterm", "r", "join middle");
+  b.AddTriple("join middle", "r", "end betaterm");
+  std::string prev = "end betaterm";
+  for (int i = 0; i < 8; ++i) {
+    std::string next = "chain node " + std::to_string(i);
+    b.AddTriple(prev, "r", next);
+    prev = next;
+  }
+  b.AddTriple(prev, "r", "far alphaterm outpost");
+  KnowledgeGraph graph = std::move(b).Build();
+  AttachNodeWeights(&graph);
+  AttachAverageDistance(&graph, 200, 3);
+  InvertedIndex index = InvertedIndex::Build(graph);
+
+  // Probe the first level whose identification yields centrals (activation
+  // levels make this graph-dependent; the progress snapshot of level L
+  // reports centrals identified through L). Stalling at the head of level
+  // L+1 leaves those centrals fully identified for extraction.
+  int central_level = -1;
+  {
+    SearchOptions probe;
+    probe.top_k = 50;
+    probe.engine = EngineKind::kSequential;
+    SearchEngine probe_engine(&graph, &index, probe);
+    auto r = probe_engine.SearchKeywordsProgressive(
+        {"alphaterm", "betaterm"}, probe, [&](const LevelProgress& p) {
+          if (central_level < 0 && p.centrals_so_far > 0) {
+            central_level = p.level;
+          }
+          return true;
+        });
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_GE(central_level, 0) << "query yields no centrals at all";
+  }
+
+  for (EngineKind kind : kAllEngines) {
+    SCOPED_TRACE(EngineKindName(kind));
+    SearchOptions opts;
+    opts.top_k = 50;  // keep searching past the first answer
+    opts.threads = 2;
+    opts.engine = kind;
+    // 20ms sub-budget for the search, plenty of headroom for extraction.
+    opts.deadline_ms = 100.0;
+    opts.bottom_up_budget_fraction = 0.2;
+    // Stall the probed level past the sub-budget but well inside the total
+    // budget: the centrals identified before it still have extraction time.
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    const bool dynamic = kind == EngineKind::kCpuDynamic;
+    std::string level_point = dynamic ? "dynamic:level" : "bottomup:level";
+    opts.fault_injection = [calls, level_point, central_level](const char* p) {
+      if (level_point == p && calls->fetch_add(1) == central_level + 1) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      }
+    };
+    SearchEngine engine(&graph, &index, opts);
+    auto res = engine.SearchKeywords({"alphaterm", "betaterm"}, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->stats.timed_out);
+    EXPECT_FALSE(res->answers.empty());  // level-1 answer still materialized
+    for (const AnswerGraph& a : res->answers) {
+      testing::CheckAnswerInvariants(graph, a, res->keywords.size());
+    }
+  }
+}
+
+TEST(EngineDeadlineTest, StatsConsistency) {
+  Fixture& f = SharedFixture();
+  for (EngineKind kind : kAllEngines) {
+    const bool dynamic = kind == EngineKind::kCpuDynamic;
+    SearchOptions opts =
+        StalledOptions(kind, dynamic ? "dynamic:level" : "bottomup:level",
+                       /*deadline_ms=*/5.0, /*stall_ms=*/25.0);
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+    auto res = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(res.ok());
+    // timed_out implies degraded; completed levels never exceed reported
+    // levels; a set deadline always reports non-negative slack.
+    EXPECT_TRUE(res->stats.timed_out);
+    EXPECT_TRUE(res->stats.degraded);
+    EXPECT_LE(res->stats.levels_completed, res->stats.levels);
+    EXPECT_GE(res->stats.deadline_left_ms, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wikisearch

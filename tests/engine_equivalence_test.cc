@@ -4,6 +4,8 @@
 // (Thm. V.2), so they must return byte-identical answers on any input.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "common/random.h"
 #include "core/engine.h"
 #include "core/node_weight.h"
@@ -137,6 +139,42 @@ TEST(EngineEquivalenceTest, RepeatedParallelRunsAreDeterministic) {
     Result<SearchResult> again = engine.SearchKeywords(queries[0], opts);
     ASSERT_TRUE(again.ok());
     ExpectSameAnswers(*first, *again, "round " + std::to_string(round));
+  }
+}
+
+// Cancelling every engine kind at the same level must leave each with the
+// same identified centrals (levels <= L are complete in all of them), so the
+// partial answers have to agree answer-for-answer, dynamic engine included.
+TEST(EngineEquivalenceTest, CancellationIsEquivalentAcrossEngines) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 3);
+  const int cancel_after_level = 2;
+  const EngineKind kinds[] = {EngineKind::kSequential, EngineKind::kCpuParallel,
+                              EngineKind::kCpuDynamic, EngineKind::kGpuSim};
+  for (const auto& kws : queries) {
+    SearchOptions base;
+    base.top_k = 10;
+    base.threads = 4;
+    SearchEngine engine(&f.kb.graph, &f.index, base);
+    std::optional<SearchResult> ref;
+    for (EngineKind kind : kinds) {
+      SearchOptions opts = base;
+      opts.engine = kind;
+      auto res = engine.SearchKeywordsProgressive(
+          kws, opts, [&](const LevelProgress& p) {
+            return p.level < cancel_after_level;
+          });
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_TRUE(res->stats.cancelled) << EngineKindName(kind);
+      for (const AnswerGraph& a : res->answers) {
+        testing::CheckAnswerInvariants(f.kb.graph, a, res->keywords.size());
+      }
+      if (!ref.has_value()) {
+        ref = std::move(*res);
+      } else {
+        ExpectSameAnswers(*ref, *res, EngineKindName(kind));
+      }
+    }
   }
 }
 

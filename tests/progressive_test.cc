@@ -108,15 +108,41 @@ TEST(ProgressiveTest, NullCallbackEqualsPlainSearch) {
   }
 }
 
-TEST(ProgressiveTest, DynamicEngineRejectsCallback) {
+TEST(ProgressiveTest, DynamicEngineHonorsCallback) {
   ChainKb kb;
   SearchOptions opts;
+  opts.top_k = 50;
+  opts.engine = EngineKind::kCpuDynamic;
+  SearchEngine engine(&kb.graph, &kb.index, opts);
+  std::vector<LevelProgress> snapshots;
+  auto res = engine.SearchKeywordsProgressive(
+      {"alphaterm", "betaterm"}, opts, [&](const LevelProgress& p) {
+        snapshots.push_back(p);
+        return true;
+      });
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_FALSE(res->stats.cancelled);
+  ASSERT_GT(snapshots.size(), 1u);
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].level, static_cast<int>(i));
+  }
+}
+
+TEST(ProgressiveTest, DynamicEngineCancellationReturnsPartialAnswers) {
+  ChainKb kb;
+  SearchOptions opts;
+  opts.top_k = 50;
   opts.engine = EngineKind::kCpuDynamic;
   SearchEngine engine(&kb.graph, &kb.index, opts);
   auto res = engine.SearchKeywordsProgressive(
-      {"alphaterm"}, opts, [](const LevelProgress&) { return true; });
-  ASSERT_FALSE(res.ok());
-  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+      {"alphaterm", "betaterm"}, opts,
+      [&](const LevelProgress& p) { return p.centrals_so_far == 0; });
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->stats.cancelled);
+  EXPECT_FALSE(res->answers.empty());
+  for (const AnswerGraph& a : res->answers) {
+    testing::CheckAnswerInvariants(kb.graph, a, 2);
+  }
 }
 
 }  // namespace
