@@ -1,13 +1,19 @@
-// Minimal JSON writer used by the query service and the CLI's --json mode.
-// Streaming builder: values are appended in document order; the writer
-// tracks nesting and inserts commas. No DOM, no allocation beyond the
-// output string.
+// Minimal JSON writer used by the query service and the CLI's --json mode,
+// plus a small recursive-descent parser used by tests and tooling to read
+// the documents back (trace exports, bench JSON, server responses).
+// The writer is a streaming builder: values are appended in document order;
+// the writer tracks nesting and inserts commas. No DOM, no allocation
+// beyond the output string. The parser builds a JsonValue DOM.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace wikisearch {
 
@@ -58,5 +64,33 @@ class JsonWriter {
   std::vector<bool> has_element_;
   bool pending_key_ = false;
 };
+
+/// Parsed JSON value. Numbers are kept as double (adequate for every
+/// document this codebase produces); object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Looks up an object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (RFC 8259, incl. \uXXXX escapes with
+/// surrogate pairs). Trailing non-whitespace is an error, as is nesting
+/// deeper than 128 levels.
+Result<JsonValue> JsonParse(std::string_view text);
 
 }  // namespace wikisearch

@@ -1,8 +1,30 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace wikisearch {
+
+namespace {
+
+/// RAII helper: adds the elapsed nanoseconds to `sink` on destruction.
+class BusyTimer {
+ public:
+  explicit BusyTimer(std::atomic<uint64_t>* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~BusyTimer() {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    sink_->fetch_add(static_cast<uint64_t>(ns), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t>* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 size_t DefaultGrain(size_t n, int threads) {
   if (threads <= 1) return std::max<size_t>(n, 1);
@@ -30,6 +52,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::DrainCurrentJob(int worker) {
   const size_t n = job_n_;
   const size_t grain = job_grain_;
+  BusyTimer busy(&busy_ns_);
   while (true) {
     size_t lo = job_next_.fetch_add(grain, std::memory_order_relaxed);
     if (lo >= n) break;
@@ -53,6 +76,7 @@ void ThreadPool::WorkerLoop(int index) {
       my_job_index = index;
     }
     if (job_is_per_worker_) {
+      BusyTimer busy(&busy_ns_);
       job_worker_fn_(my_job_index);
     } else {
       DrainCurrentJob(my_job_index);
@@ -71,7 +95,9 @@ void ThreadPool::ParallelForChunkedWorker(
     const std::function<void(int, size_t, size_t)>& fn) {
   if (n == 0) return;
   grain = std::max<size_t>(grain, 1);
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   if (threads_ <= 1 || n <= grain) {
+    BusyTimer busy(&busy_ns_);
     fn(0, 0, n);
     return;
   }
@@ -119,7 +145,9 @@ void ThreadPool::ParallelForDynamic(size_t n, size_t grain,
 }
 
 void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   if (threads_ <= 1) {
+    BusyTimer busy(&busy_ns_);
     fn(0);
     return;
   }
@@ -132,7 +160,10 @@ void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
     ++job_epoch_;
   }
   wake_cv_.notify_all();
-  fn(0);
+  {
+    BusyTimer busy(&busy_ns_);
+    fn(0);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Per-worker jobs require every spawned worker to run fn exactly once,

@@ -59,6 +59,19 @@ class ThreadPool {
   /// index 0). Used for per-thread state initialization.
   void RunOnAll(const std::function<void(int)>& fn);
 
+  /// Utilization accounting (monotonic since construction, relaxed reads):
+  /// number of fork-join jobs launched (parallel-fors and RunOnAlls,
+  /// including ones that ran inline on the caller) and total wall time all
+  /// workers spent executing job bodies, summed across workers. The
+  /// observability layer publishes deltas of these as pool metrics; the pool
+  /// itself stays free of any obs dependency.
+  uint64_t jobs_launched() const {
+    return jobs_.load(std::memory_order_relaxed);
+  }
+  uint64_t busy_micros() const {
+    return busy_ns_.load(std::memory_order_relaxed) / 1000;
+  }
+
  private:
   void WorkerLoop(int index);
   // Claims chunks until the current job is exhausted; `worker` is the stable
@@ -84,6 +97,10 @@ class ThreadPool {
   std::atomic<size_t> job_next_{0};
   std::atomic<int> job_running_workers_{0};
   int job_completed_workers_ = 0;  // guarded by mu_
+
+  // Utilization accounting; see jobs_launched() / busy_micros().
+  std::atomic<uint64_t> jobs_{0};
+  std::atomic<uint64_t> busy_ns_{0};
 };
 
 /// Computes a reasonable grain size: aims for ~8 chunks per worker so dynamic

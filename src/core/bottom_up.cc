@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 namespace wikisearch {
 
@@ -63,7 +64,8 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
   const size_t q = ctx.num_keywords();
   const FaultHook& fault = opts.fault_injection;
   BottomUpResult result;
-  WallTimer timer;
+  obs::TraceContext* trace = opts.trace;
+  obs::ScopedStage stage_span(trace, "bottomup");
 
   // The CPU shape appends discovered frontiers to per-worker buffers during
   // expansion, so the level-end enqueue costs O(frontier) instead of an
@@ -73,10 +75,11 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
   const bool buffered = !gpu_style && opts.use_frontier_buffers;
 
   // ---- Initialization (fork/join in Alg. 1 line 2) ------------------------
-  timer.Restart();
-  state->ConfigureFrontierBuffers(buffered ? pool->threads() : 0);
-  state->Init(ctx.keyword_nodes);
-  timings->init_ms += timer.ElapsedMs();
+  {
+    obs::ScopedStage stage(trace, "bottomup/init", &timings->init_ms);
+    state->ConfigureFrontierBuffers(buffered ? pool->threads() : 0);
+    state->Init(ctx.keyword_nodes);
+  }
 
   std::vector<NodeId>& frontier = state->frontier();
   std::vector<CentralCandidate> level_candidates;
@@ -95,8 +98,16 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
       break;
     }
 
+    // One span per level iteration. Every early exit below renames it to
+    // "bottomup/level(partial)", so the number of spans still named
+    // "bottomup/level" when the loop ends equals the number of fully
+    // completed levels — i.e. SearchStats::levels_completed (the invariant
+    // tests/trace_test.cc asserts across all exit paths).
+    obs::ScopedStage level_span(trace, "bottomup/level");
+
     // ---- Enqueuing frontiers ----------------------------------------------
-    timer.Restart();
+    {
+    obs::ScopedStage stage(trace, "bottomup/enqueue", &timings->enqueue_ms);
     if (buffered) {
       // Concatenate the per-worker buffers; the atomic flag exchange in
       // PushFrontier already guarantees each node appears exactly once.
@@ -131,9 +142,10 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
                                });
       frontier.resize(cursor.load(std::memory_order_relaxed));
     }
-    timings->enqueue_ms += timer.ElapsedMs();
+    }
 
     if (frontier.empty()) {
+      level_span.Rename("bottomup/level(partial)");
       result.frontier_exhausted = true;
       break;
     }
@@ -141,7 +153,8 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     result.total_frontier_work += frontier.size();
 
     // ---- Identifying Central Nodes (Lemma V.1) -----------------------------
-    timer.Restart();
+    {
+    obs::ScopedStage stage(trace, "bottomup/identify", &timings->identify_ms);
     level_candidates.assign(frontier.size(), CentralCandidate{kInvalidNode, 0});
     std::atomic<size_t> ncand{0};
     pool->ParallelForDynamic(
@@ -174,12 +187,13 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
         state->centrals().push_back(level_candidates[c]);
       }
     }
-    timings->identify_ms += timer.ElapsedMs();
+    }
 
     if (fault) fault("bottomup:identify");
     if (progress) {
       LevelProgress snapshot{l, frontier.size(), state->centrals().size()};
       if (!progress(snapshot)) {
+        level_span.Rename("bottomup/level(partial)");
         result.cancelled = true;
         result.levels = l;
         break;
@@ -188,16 +202,17 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
 
     // Stop at the smallest depth d with >= k Central Graphs (Def. 4).
     if (state->centrals().size() >= wanted) {
+      level_span.Rename("bottomup/level(partial)");
       result.levels = l;
       break;
     }
     if (l >= lmax) {
+      level_span.Rename("bottomup/level(partial)");
       result.levels = l;
       break;
     }
 
     // ---- Expansion (Algorithm 2) -------------------------------------------
-    timer.Restart();
     // Per-chunk deadline gate: the leading item of each claimed chunk reads
     // the clock (amortizing the check over `grain` items) and trips a shared
     // flag on expiry, after which every worker stops claiming work. A level
@@ -217,6 +232,8 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
       }
       return true;
     };
+    {
+    obs::ScopedStage stage(trace, "bottomup/expand", &timings->expansion_ms);
     if (!gpu_style) {
       // CPU-Par: coarse grain — one dynamic task per frontier node.
       const size_t grain = DefaultGrain(frontier.size(), pool->threads());
@@ -249,11 +266,12 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
             ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
           });
     }
-    timings->expansion_ms += timer.ElapsedMs();
+    }
     if (expired.load(std::memory_order_relaxed)) {
       // The partially expanded level is never drained or identified; its
       // stragglers sit in the worker buffers until the next Init records
       // them as dirty.
+      level_span.Rename("bottomup/level(partial)");
       result.timed_out = true;
       break;
     }

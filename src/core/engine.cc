@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/timer.h"
 #include "core/activation.h"
@@ -9,6 +10,8 @@
 #include "core/engine_dynamic.h"
 #include "core/query_context.h"
 #include "core/top_down.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wikisearch {
 
@@ -36,6 +39,9 @@ ThreadPool* SearchEngine::PoolFor(int threads) {
   threads = std::max(threads, 1);
   if (!pool_ || pool_->threads() != threads) {
     pool_ = std::make_unique<ThreadPool>(threads);
+    // The new pool's utilization counters restart at zero.
+    published_pool_jobs_ = 0;
+    published_pool_busy_us_ = 0;
   }
   return pool_.get();
 }
@@ -74,17 +80,25 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
 
   SearchResult result;
   WallTimer total_timer;
+  obs::TraceContext* trace = opts.trace;
+  // Root span of the query; every stage below nests inside it. Closed by
+  // scope exit on every return path, so the caller always gets a balanced
+  // span tree.
+  obs::ScopedStage search_span(trace, "search");
 
   // Resolve keyword node sets T_i; drop keywords without matches.
   std::vector<std::vector<NodeId>> t_i;
-  for (const std::string& kw : keywords) {
-    std::span<const NodeId> postings = index_->Lookup(kw);
-    if (postings.empty()) {
-      result.stats.dropped_keywords.push_back(kw);
-      continue;
+  {
+    obs::ScopedStage stage(trace, "search/index_lookup");
+    for (const std::string& kw : keywords) {
+      std::span<const NodeId> postings = index_->Lookup(kw);
+      if (postings.empty()) {
+        result.stats.dropped_keywords.push_back(kw);
+        continue;
+      }
+      t_i.emplace_back(postings.begin(), postings.end());
+      result.keywords.push_back(kw);
     }
-    t_i.emplace_back(postings.begin(), postings.end());
-    result.keywords.push_back(kw);
   }
   if (t_i.empty()) {
     return Status::NotFound("no query keyword matches any node");
@@ -101,9 +115,12 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
   if (lmax <= 0) {
     lmax = 2 * static_cast<int>(std::ceil(graph_->average_distance())) + 2;
   }
+  std::optional<obs::ScopedStage> activation_span;
+  activation_span.emplace(trace, "search/activation");
   ActivationMap activation(graph_->average_distance(), opts.alpha,
                            opts.enable_activation);
   QueryContext ctx(graph_, result.keywords, std::move(t_i), activation, lmax);
+  activation_span.reset();
 
   result.stats.pre_storage_bytes = graph_->PreStorageBytes();
 
@@ -176,7 +193,53 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
 
   result.timings.total_ms = total_timer.ElapsedMs() +
                             result.timings.transfer_ms;
+  if (opts.record_metrics) RecordSearchMetrics(opts, result, pool);
   return result;
+}
+
+void SearchEngine::RecordSearchMetrics(const SearchOptions& opts,
+                                       const SearchResult& result,
+                                       ThreadPool* pool) {
+  obs::MetricRegistry& reg = opts.metrics != nullptr
+                                 ? *opts.metrics
+                                 : obs::MetricRegistry::Global();
+  const PhaseTimings& t = result.timings;
+  const SearchStats& s = result.stats;
+  std::string engine_label = "{engine=\"";
+  engine_label += EngineKindName(opts.engine);
+  engine_label += "\"}";
+
+  reg.GetCounter("ws_search_total" + engine_label)->Inc();
+  reg.GetCounter("ws_search_levels_total")
+      ->Inc(static_cast<uint64_t>(std::max(s.levels_completed, 0)));
+  reg.GetCounter("ws_search_centrals_total")->Inc(s.num_centrals);
+  reg.GetCounter("ws_search_answers_total")->Inc(result.answers.size());
+  if (s.timed_out) reg.GetCounter("ws_search_timeout_total")->Inc();
+  if (s.degraded) reg.GetCounter("ws_search_degraded_total")->Inc();
+
+  reg.GetHistogram("ws_search_latency_ms" + engine_label)->Observe(t.total_ms);
+  // Stage histograms record exactly the PhaseTimings doubles, so histogram
+  // sums equal SearchStats/PhaseTimings sums with no FP slack (transfer_ms
+  // is excluded: it is modeled, not measured).
+  reg.GetHistogram("ws_search_stage_ms{stage=\"init\"}")->Observe(t.init_ms);
+  reg.GetHistogram("ws_search_stage_ms{stage=\"enqueue\"}")
+      ->Observe(t.enqueue_ms);
+  reg.GetHistogram("ws_search_stage_ms{stage=\"identify\"}")
+      ->Observe(t.identify_ms);
+  reg.GetHistogram("ws_search_stage_ms{stage=\"expansion\"}")
+      ->Observe(t.expansion_ms);
+  reg.GetHistogram("ws_search_stage_ms{stage=\"topdown\"}")
+      ->Observe(t.topdown_ms);
+
+  // Worker-pool utilization: the pool counts jobs and busy time
+  // monotonically; publish the delta since the last query on this pool.
+  uint64_t jobs = pool->jobs_launched();
+  uint64_t busy = pool->busy_micros();
+  reg.GetCounter("ws_pool_jobs_total")->Inc(jobs - published_pool_jobs_);
+  reg.GetCounter("ws_pool_busy_micros_total")
+      ->Inc(busy - published_pool_busy_us_);
+  published_pool_jobs_ = jobs;
+  published_pool_busy_us_ = busy;
 }
 
 }  // namespace wikisearch

@@ -113,12 +113,21 @@ class SearchEngine {
 
  private:
   ThreadPool* PoolFor(int threads);
+  /// Reports the query's counters, latency and stage histograms, and the
+  /// worker pool's utilization deltas into opts.metrics (or the global
+  /// registry). Called once per query when opts.record_metrics is set.
+  void RecordSearchMetrics(const SearchOptions& opts,
+                           const SearchResult& result, ThreadPool* pool);
 
   const KnowledgeGraph* graph_;
   const InvertedIndex* index_;
   SearchOptions defaults_;
   std::unique_ptr<ThreadPool> pool_;
   SearchStatePool* state_pool_ = &GlobalSearchStatePool();
+  // Pool utilization already published to the registry (the pool's counters
+  // are monotonic since pool creation; queries publish the delta).
+  uint64_t published_pool_jobs_ = 0;
+  uint64_t published_pool_busy_us_ = 0;
 };
 
 }  // namespace wikisearch

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -12,6 +13,7 @@
 #include "core/extraction.h"
 #include "core/level_cover.h"
 #include "core/top_down.h"
+#include "obs/trace.h"
 
 namespace wikisearch::internal {
 
@@ -154,25 +156,30 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
   // slice.
   const Deadline search_deadline =
       deadline.SubBudget(opts.bottom_up_budget_fraction);
-  WallTimer timer;
+  // Same span names as the lock-free path (obs/trace.h): tooling that reads
+  // traces never branches on engine kind.
+  obs::TraceContext* trace = opts.trace;
+  std::optional<obs::ScopedStage> stage_span;
+  stage_span.emplace(trace, "bottomup");
 
   // ---- Initialization (locked, dynamic allocation per keyword node) -------
-  timer.Restart();
   DynamicState state(n, q);
   std::vector<uint8_t> is_keyword(n, 0);
-  for (size_t i = 0; i < q; ++i) {
-    for (NodeId v : ctx.keyword_nodes[i]) is_keyword[v] = 1;
-  }
-  pool->ParallelForDynamic(q, 1, [&](size_t i) {
-    for (NodeId v : ctx.keyword_nodes[i]) {
-      std::lock_guard<std::mutex> lock(state.StripeFor(v));
-      DynNode& node = state.NodeLocked(v);
-      node.hit[static_cast<uint32_t>(i)] = 0;
-      node.keyword_mask |= (1ULL << i);
-      state.FlagFrontier(v);
+  {
+    obs::ScopedStage stage(trace, "bottomup/init", &timings->init_ms);
+    for (size_t i = 0; i < q; ++i) {
+      for (NodeId v : ctx.keyword_nodes[i]) is_keyword[v] = 1;
     }
-  });
-  timings->init_ms += timer.ElapsedMs();
+    pool->ParallelForDynamic(q, 1, [&](size_t i) {
+      for (NodeId v : ctx.keyword_nodes[i]) {
+        std::lock_guard<std::mutex> lock(state.StripeFor(v));
+        DynNode& node = state.NodeLocked(v);
+        node.hit[static_cast<uint32_t>(i)] = 0;
+        node.keyword_mask |= (1ULL << i);
+        state.FlagFrontier(v);
+      }
+    });
+  }
 
   std::vector<CentralCandidate> centrals;
   std::mutex centrals_mu;
@@ -186,10 +193,16 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
       info->timed_out = true;
       break;
     }
-    timer.Restart();
-    std::vector<NodeId> frontier = state.TakeFrontier();
-    timings->enqueue_ms += timer.ElapsedMs();
+    // One span per level, renamed "(partial)" on early exits so the count of
+    // "bottomup/level" spans equals levels_completed (see bottom_up.cc).
+    obs::ScopedStage level_span(trace, "bottomup/level");
+    std::vector<NodeId> frontier;
+    {
+      obs::ScopedStage stage(trace, "bottomup/enqueue", &timings->enqueue_ms);
+      frontier = state.TakeFrontier();
+    }
     if (frontier.empty()) {
+      level_span.Rename("bottomup/level(partial)");
       info->frontier_exhausted = true;
       break;
     }
@@ -197,7 +210,8 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
     info->total_frontier_work += frontier.size();
 
     // ---- Identify Central Nodes -------------------------------------------
-    timer.Restart();
+    {
+    obs::ScopedStage stage(trace, "bottomup/identify", &timings->identify_ms);
     std::vector<CentralCandidate> found;
     pool->ParallelForDynamic(
         frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
@@ -218,11 +232,12 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
     for (const CentralCandidate& c : found) {
       if (centrals.size() < opts.max_central_candidates) centrals.push_back(c);
     }
-    timings->identify_ms += timer.ElapsedMs();
+    }
 
     if (progress) {
       LevelProgress snapshot{l, frontier.size(), centrals.size()};
       if (!progress(snapshot)) {
+        level_span.Rename("bottomup/level(partial)");
         info->cancelled = true;
         info->levels = l;
         break;
@@ -230,18 +245,20 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
     }
 
     if (centrals.size() >= wanted || l >= lmax) {
+      level_span.Rename("bottomup/level(partial)");
       info->levels = l;
       break;
     }
 
     // ---- Expansion (locked reads and writes) --------------------------------
-    timer.Restart();
     // Per-chunk deadline gate, mirroring the lock-free path: the leading
     // item of each claimed chunk reads the clock; on expiry workers stop
     // claiming work and the partially expanded level is abandoned (the
     // per-query DynamicState needs no cleanup).
     std::atomic<bool> expired{search_deadline.Expired()};
     const size_t grain = DefaultGrain(frontier.size(), pool->threads());
+    {
+    obs::ScopedStage stage(trace, "bottomup/expand", &timings->expansion_ms);
     pool->ParallelForDynamic(
         frontier.size(), grain, [&](size_t idx) {
           if (expired.load(std::memory_order_relaxed)) return;
@@ -300,8 +317,9 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
             }
           }
         });
-    timings->expansion_ms += timer.ElapsedMs();
+    }
     if (expired.load(std::memory_order_relaxed)) {
+      level_span.Rename("bottomup/level(partial)");
       info->timed_out = true;
       break;
     }
@@ -312,38 +330,41 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
   timings->levels = info->levels;
   info->num_centrals = centrals.size();
   info->running_storage_bytes = state.EstimateStorageBytes();
+  stage_span.reset();  // close "bottomup" before "topdown" opens
 
   // ---- Top-down: no extraction needed; prune + rank recorded graphs -------
-  timer.Restart();
+  obs::ScopedStage td_span(trace, "topdown", &timings->topdown_ms);
   std::vector<AnswerGraph> candidates(centrals.size());
   std::atomic<bool> td_expired{false};
-  pool->ParallelForDynamic(centrals.size(), 1, [&](size_t idx) {
-    if (fault) fault("dynamic:topdown");
-    if (td_expired.load(std::memory_order_relaxed)) return;
-    if (deadline.Expired()) {
-      td_expired.store(true, std::memory_order_relaxed);
-      return;
+  {
+    obs::ScopedStage extract_span(trace, "topdown/extract");
+    pool->ParallelForDynamic(centrals.size(), 1, [&](size_t idx) {
+      if (fault) fault("dynamic:topdown");
+      if (td_expired.load(std::memory_order_relaxed)) return;
+      if (deadline.Expired()) {
+        td_expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ExtractedGraph eg = BuildFromParents(state, centrals[idx], q);
+      auto mask = [&state](NodeId v) {
+        const DynNode* node = state.NodeOrNull(v);
+        return node == nullptr ? 0ULL : node->keyword_mask;
+      };
+      candidates[idx] = BuildAnswer(g, eg, q, mask, opts.enable_level_cover,
+                                    opts.lambda);
+    });
+    if (td_expired.load(std::memory_order_relaxed)) {
+      size_t kept = 0;
+      for (AnswerGraph& cand : candidates) {
+        if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
+      }
+      info->candidates_skipped = candidates.size() - kept;
+      info->timed_out = true;
+      candidates.resize(kept);
     }
-    ExtractedGraph eg = BuildFromParents(state, centrals[idx], q);
-    auto mask = [&state](NodeId v) {
-      const DynNode* node = state.NodeOrNull(v);
-      return node == nullptr ? 0ULL : node->keyword_mask;
-    };
-    candidates[idx] = BuildAnswer(g, eg, q, mask, opts.enable_level_cover,
-                                  opts.lambda);
-  });
-  if (td_expired.load(std::memory_order_relaxed)) {
-    size_t kept = 0;
-    for (AnswerGraph& cand : candidates) {
-      if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
-    }
-    info->candidates_skipped = candidates.size() - kept;
-    info->timed_out = true;
-    candidates.resize(kept);
   }
-  std::vector<AnswerGraph> answers = SelectTopK(std::move(candidates), opts);
-  timings->topdown_ms += timer.ElapsedMs();
-  return answers;
+  obs::ScopedStage rank_span(trace, "topdown/rank");
+  return SelectTopK(std::move(candidates), opts);
 }
 
 }  // namespace wikisearch::internal

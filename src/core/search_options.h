@@ -8,6 +8,11 @@
 
 namespace wikisearch {
 
+namespace obs {
+class TraceContext;
+class MetricRegistry;
+}  // namespace obs
+
 /// Test-only fault-injection hook (see SearchOptions::fault_injection): the
 /// engine invokes it at named execution points so tests can stall a worker
 /// mid-level or force deadline expiry at any stage boundary. Points:
@@ -89,6 +94,21 @@ struct SearchOptions {
   /// Test-only: invoked at named execution points (see FaultHook). Null in
   /// production; the per-check cost is one branch.
   FaultHook fault_injection;
+
+  // --- observability (DESIGN.md §8) ---
+  /// When non-null, the engine records nested stage spans for this query
+  /// into the context (naming scheme in obs/trace.h). The context must
+  /// outlive the call and must not be shared across concurrent queries.
+  /// Null (the default) skips all span bookkeeping — the engine's stage
+  /// timers then behave exactly as before this layer existed.
+  obs::TraceContext* trace = nullptr;
+  /// Registry that per-query counters and latency histograms report into.
+  /// Null means obs::MetricRegistry::Global(). Tests pass their own registry
+  /// for isolation.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Master switch for metric reporting (spans are governed by `trace`
+  /// alone). Benchmarks measuring instrumentation overhead turn this off.
+  bool record_metrics = true;
 };
 
 }  // namespace wikisearch

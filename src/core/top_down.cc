@@ -5,6 +5,7 @@
 
 #include "common/timer.h"
 #include "core/level_cover.h"
+#include "obs/trace.h"
 
 namespace wikisearch {
 
@@ -38,41 +39,44 @@ std::vector<AnswerGraph> TopDownProcess(
     const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
     const std::function<uint64_t(NodeId)>& keyword_mask,
     PhaseTimings* timings, const Deadline& deadline, TopDownInfo* info) {
-  WallTimer timer;
+  obs::TraceContext* trace = opts.trace;
+  obs::ScopedStage stage_span(trace, "topdown", &timings->topdown_ms);
   const FaultHook& fault = opts.fault_injection;
   std::vector<AnswerGraph> candidates(centrals.size());
   std::atomic<bool> expired{false};
-  // One thread recovers one or more Central Graphs (dynamic scheduling, as
-  // the paper does with OpenMP). The deadline is checked before each
-  // candidate; a skipped candidate leaves its kInvalidNode placeholder,
-  // filtered below.
-  pool->ParallelForDynamic(
-      centrals.size(), /*grain=*/1, [&](size_t idx) {
-        if (fault) fault("topdown:candidate");
-        if (expired.load(std::memory_order_relaxed)) return;
-        if (deadline.Expired()) {
-          expired.store(true, std::memory_order_relaxed);
-          return;
-        }
-        ExtractedGraph eg = ExtractCentralGraph(ctx, hits, centrals[idx]);
-        candidates[idx] =
-            BuildAnswer(*ctx.graph, eg, ctx.num_keywords(), keyword_mask,
-                        opts.enable_level_cover, opts.lambda);
-      });
-  if (expired.load(std::memory_order_relaxed)) {
-    size_t kept = 0;
-    for (AnswerGraph& cand : candidates) {
-      if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
+  {
+    obs::ScopedStage extract_span(trace, "topdown/extract");
+    // One thread recovers one or more Central Graphs (dynamic scheduling, as
+    // the paper does with OpenMP). The deadline is checked before each
+    // candidate; a skipped candidate leaves its kInvalidNode placeholder,
+    // filtered below.
+    pool->ParallelForDynamic(
+        centrals.size(), /*grain=*/1, [&](size_t idx) {
+          if (fault) fault("topdown:candidate");
+          if (expired.load(std::memory_order_relaxed)) return;
+          if (deadline.Expired()) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
+          ExtractedGraph eg = ExtractCentralGraph(ctx, hits, centrals[idx]);
+          candidates[idx] =
+              BuildAnswer(*ctx.graph, eg, ctx.num_keywords(), keyword_mask,
+                          opts.enable_level_cover, opts.lambda);
+        });
+    if (expired.load(std::memory_order_relaxed)) {
+      size_t kept = 0;
+      for (AnswerGraph& cand : candidates) {
+        if (cand.central != kInvalidNode) candidates[kept++] = std::move(cand);
+      }
+      if (info != nullptr) {
+        info->candidates_skipped = candidates.size() - kept;
+        info->timed_out = true;
+      }
+      candidates.resize(kept);
     }
-    if (info != nullptr) {
-      info->candidates_skipped = candidates.size() - kept;
-      info->timed_out = true;
-    }
-    candidates.resize(kept);
   }
-  std::vector<AnswerGraph> result = SelectTopK(std::move(candidates), opts);
-  timings->topdown_ms += timer.ElapsedMs();
-  return result;
+  obs::ScopedStage rank_span(trace, "topdown/rank");
+  return SelectTopK(std::move(candidates), opts);
 }
 
 }  // namespace wikisearch

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "core/node_weight.h"
 #include "graph/distance_sampler.h"
+#include "obs/trace.h"
 
 namespace wikisearch::eval {
 
@@ -67,12 +68,37 @@ ProfiledRun ProfileEngine(const DatasetBundle& data,
   SearchOptions capped = opts;
   if (capped.deadline_ms <= 0.0) capped.deadline_ms = BanksTimeLimitMs();
   SearchEngine engine(&data.kb.graph, &data.index, capped);
+  // Bench timings are read from the query's spans, not a separate timer
+  // set; benches measure no metric registry overhead on top of tracing.
+  capped.record_metrics = false;
+  obs::TraceContext trace;
+  capped.trace = &trace;
   size_t count = 0;
   for (const gen::Query& q : queries) {
+    trace.Clear();
     Result<SearchResult> res = engine.SearchKeywords(q.keywords, capped);
     WS_CHECK(res.ok());
     if (res->stats.timed_out) ++run.timeouts;
-    run.avg += res->timings;
+    // Rebuild the stage breakdown from spans. ScopedStage feeds the same
+    // elapsed double to the span and to PhaseTimings in the same order, so
+    // the two decompositions agree exactly — asserted here on every bench
+    // query, which is what makes bench JSON and server metrics two views of
+    // one measurement rather than two measurements.
+    PhaseTimings from_spans;
+    from_spans.init_ms = trace.SumDurationsMs("bottomup/init");
+    from_spans.enqueue_ms = trace.SumDurationsMs("bottomup/enqueue");
+    from_spans.identify_ms = trace.SumDurationsMs("bottomup/identify");
+    from_spans.expansion_ms = trace.SumDurationsMs("bottomup/expand");
+    from_spans.topdown_ms = trace.SumDurationsMs("topdown");
+    from_spans.transfer_ms = res->timings.transfer_ms;  // modeled, unspanned
+    from_spans.total_ms = res->timings.total_ms;
+    from_spans.levels = res->timings.levels;
+    WS_CHECK(from_spans.init_ms == res->timings.init_ms);
+    WS_CHECK(from_spans.enqueue_ms == res->timings.enqueue_ms);
+    WS_CHECK(from_spans.identify_ms == res->timings.identify_ms);
+    WS_CHECK(from_spans.expansion_ms == res->timings.expansion_ms);
+    WS_CHECK(from_spans.topdown_ms == res->timings.topdown_ms);
+    run.avg += from_spans;
     run.avg_answers += static_cast<double>(res->answers.size());
     run.avg_centrals += static_cast<double>(res->stats.num_centrals);
     run.peak_storage_bytes =

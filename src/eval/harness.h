@@ -55,6 +55,12 @@ struct ProfiledRun {
 /// engine-vs-baseline comparisons cap runaway queries identically. At bench
 /// scales the engine never comes near the default 2000 ms budget, so timings
 /// are unaffected; pass an explicit opts.deadline_ms to study degradation.
+///
+/// Stage timings are derived from the query's obs spans — the same spans the
+/// server's /metrics and trace exports read — rather than a separate set of
+/// timers, and the harness checks span sums against the engine's
+/// PhaseTimings as exact FP equality. Bench JSON and server metrics
+/// therefore cannot disagree about stage cost (DESIGN.md §8).
 ProfiledRun ProfileEngine(const DatasetBundle& data,
                           const std::vector<gen::Query>& queries,
                           const SearchOptions& opts);

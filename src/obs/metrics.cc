@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace wikisearch::obs {
+
+size_t ThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) &
+      static_cast<uint32_t>(kShards - 1);
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+size_t Histogram::BucketIndex(double v) {
+  // Non-finite and sub-range values land in the underflow bucket; the
+  // comparison is written so NaN fails it.
+  if (!(v >= std::ldexp(1.0, kMinExp))) return 0;
+  if (v >= std::ldexp(1.0, kMaxExp)) return kNumBuckets - 1;
+  int e = std::ilogb(v);  // v in [2^e, 2^(e+1))
+  // Linear sub-bucket inside the octave: v * 2^-e is in [1, 2).
+  int sub = static_cast<int>((std::ldexp(v, -e) - 1.0) * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard FP edge at 2^(e+1)
+  return 1 + static_cast<size_t>(e - kMinExp) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+double Histogram::BucketLowerBound(size_t idx) {
+  if (idx == 0) return 0.0;
+  if (idx >= kNumBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  size_t k = idx - 1;
+  int e = kMinExp + static_cast<int>(k / kSubBuckets);
+  int sub = static_cast<int>(k % kSubBuckets);
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, e);
+}
+
+double Histogram::BucketUpperBound(size_t idx) {
+  if (idx == 0) return std::ldexp(1.0, kMinExp);
+  if (idx >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(idx + 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the order statistic ceil(q * count), matching the empirical
+  // quantile v_sorted[ceil(q*N) - 1] the tests compute exactly.
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cum + buckets[b] >= target) {
+      double lo = Histogram::BucketLowerBound(b);
+      double hi = Histogram::BucketUpperBound(b);
+      if (!std::isfinite(hi)) return lo;  // overflow bucket: no upper bound
+      double frac = static_cast<double>(target - cum) /
+                    static_cast<double>(buckets[b]);
+      return lo + (hi - lo) * frac;
+    }
+    cum += buckets[b];
+  }
+  return Histogram::BucketLowerBound(buckets.size() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* g = new MetricRegistry();
+  return *g;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrCreate(std::string_view name,
+                                                    Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    WS_CHECK(it->second.kind == kind);  // one name, one metric type
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->Reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Splits `name` into the family (metric name proper) and its label block
+/// without braces: `a_ms{x="1"}` -> ("a_ms", `x="1"`).
+std::pair<std::string_view, std::string_view> SplitLabels(
+    std::string_view name) {
+  size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  // %.17g round-trips every finite double, so scraped values compare equal
+  // to the in-process aggregates (the exactness the tests assert).
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// `family_bucket{<labels,>le="x"}` — merges the histogram's own labels with
+/// the bucket boundary label.
+std::string BucketSampleName(std::string_view family,
+                             std::string_view labels, double le) {
+  std::string out(family);
+  out += "_bucket{";
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += "le=\"";
+  out += FmtDouble(le);
+  out += "\"}";
+  return out;
+}
+
+std::string SuffixedName(std::string_view family, std::string_view labels,
+                         const char* suffix) {
+  std::string out(family);
+  out += suffix;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, e] : entries_) {
+    auto [family, labels] = SplitLabels(name);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += family;
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += " counter\n";
+          break;
+        case Kind::kGauge:
+          out += " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += " histogram\n";
+          break;
+      }
+      last_family = std::string(family);
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += name;
+        out += ' ';
+        out += std::to_string(e.counter->Value());
+        out += '\n';
+        break;
+      case Kind::kGauge:
+        out += name;
+        out += ' ';
+        out += FmtDouble(e.gauge->Value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot snap = e.histogram->Snapshot();
+        uint64_t cum = 0;
+        for (size_t b = 0; b < snap.buckets.size(); ++b) {
+          if (snap.buckets[b] == 0) continue;
+          cum += snap.buckets[b];
+          out += BucketSampleName(family, labels,
+                                  Histogram::BucketUpperBound(b));
+          out += ' ';
+          out += std::to_string(cum);
+          out += '\n';
+        }
+        out += BucketSampleName(family, labels,
+                                std::numeric_limits<double>::infinity());
+        out += ' ';
+        out += std::to_string(snap.count);
+        out += '\n';
+        out += SuffixedName(family, labels, "_sum");
+        out += ' ';
+        out += FmtDouble(snap.sum);
+        out += '\n';
+        out += SuffixedName(family, labels, "_count");
+        out += ' ';
+        out += std::to_string(snap.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<double> FindMetricValue(std::string_view exposition,
+                                      std::string_view metric) {
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    if (eol == std::string_view::npos) eol = exposition.size();
+    std::string_view line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // Sample name ends at the space before the value. Label values in this
+    // exposition never contain spaces, so this split is unambiguous.
+    size_t sp = line.rfind(' ');
+    if (sp == std::string_view::npos) continue;
+    if (line.substr(0, sp) != metric) continue;
+    std::string value(line.substr(sp + 1));
+    return std::strtod(value.c_str(), nullptr);
+  }
+  return std::nullopt;
+}
+
+}  // namespace wikisearch::obs

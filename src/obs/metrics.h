@@ -1,0 +1,223 @@
+// Lock-free metrics registry (the observability substrate of DESIGN.md §8).
+//
+// Named counters, gauges and log-bucketed histograms. The hot path — an
+// increment or an observation from a search worker — is one relaxed atomic
+// add into a per-thread-sharded cache-line-padded cell; aggregation across
+// shards happens only on scrape. Aggregated reads are exact whenever the
+// writers are quiescent (the situation every test arranges) and otherwise
+// reflect some interleaving of the in-flight increments, exactly like a
+// single relaxed atomic would.
+//
+// Naming scheme (see DESIGN.md §8): Prometheus conventions, `ws_` prefix,
+// `_total` suffix for counters, unit suffix (`_ms`, `_us`) for histograms
+// and gauges, labels inline in the metric name:
+//
+//   ws_search_total{engine="CPU-Par"}
+//   ws_search_latency_ms{engine="CPU-Par"}
+//   ws_search_stage_ms{stage="expansion"}
+//   ws_server_shed_total
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikisearch::obs {
+
+/// Number of per-thread shards in every counter/histogram (power of two).
+/// Threads hash onto shards by a process-wide thread ordinal, so up to
+/// kShards writers never contend on a cell.
+inline constexpr size_t kShards = 8;
+
+/// Stable shard slot of the calling thread in [0, kShards).
+size_t ThreadShard();
+
+namespace internal {
+/// Adds `v` to an atomic double with a relaxed CAS loop (C++17-compatible
+/// stand-in for atomic<double>::fetch_add).
+inline void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+/// Monotonic counter. Inc is one relaxed fetch_add on the caller's shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t delta = 1) {
+    cells_[ThreadShard()].v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards.
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  /// Raises the counter to `target` (no-op if already past it). Bridges
+  /// pre-existing monotonic sources (QueryCache hit counts, HttpServer
+  /// request counts) into the registry at scrape time without double
+  /// bookkeeping; the source stays authoritative. Serialized internally so
+  /// concurrent scrapes cannot overshoot.
+  void AdvanceTo(uint64_t target) {
+    std::lock_guard<std::mutex> lock(advance_mu_);
+    uint64_t cur = Value();
+    if (target > cur) {
+      cells_[0].v.fetch_add(target - cur, std::memory_order_relaxed);
+    }
+  }
+
+  void Reset() {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+  std::mutex advance_mu_;  // AdvanceTo only; Inc never touches it
+};
+
+/// Last-write-wins instantaneous value (queue depth, in-flight, threads).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { internal::AtomicAddDouble(v_, d); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Aggregated histogram state captured at one scrape.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<uint64_t> buckets;  // size Histogram::kNumBuckets
+
+  /// Quantile estimate by linear interpolation inside the bucket holding
+  /// rank ceil(q * count). The estimate lies in the same bucket as the true
+  /// order statistic, so its relative error is at most the bucket's relative
+  /// width: Histogram::kMaxRelativeError for in-range values (the guarantee
+  /// tests/metrics_test.cc proves against exact sorted quantiles).
+  double Quantile(double q) const;
+};
+
+/// Log-linear bucketed histogram (HdrHistogram-style): each power-of-two
+/// octave of the value range is divided into kSubBuckets equal-width
+/// buckets, so every bucket's width is at most 1/kSubBuckets of its lower
+/// bound. Values are doubles in the caller's unit (milliseconds for all
+/// latency metrics). Observe is one relaxed add per shard cell plus a
+/// branch-free bucket computation from the value's exponent.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;
+  static constexpr int kMinExp = -20;  // lowest octave: [2^-20, 2^-19)
+  static constexpr int kMaxExp = 30;   // overflow at 2^30 (~1e9 ms)
+  /// Bucket 0 catches v < 2^kMinExp (and non-finite garbage); the last
+  /// bucket catches v >= 2^kMaxExp.
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>(kMaxExp - kMinExp) * kSubBuckets + 2;
+  /// Documented quantile error bound for values inside
+  /// [2^kMinExp, 2^kMaxExp): bucket width / bucket lower bound <=
+  /// 1/kSubBuckets.
+  static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v) {
+    Shard& s = shards_[ThreadShard()];
+    s.buckets[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    internal::AtomicAddDouble(s.sum, v);
+  }
+
+  /// Index of the bucket that `v` falls into.
+  static size_t BucketIndex(double v);
+  /// Inclusive lower / exclusive upper value bound of bucket `idx`.
+  static double BucketLowerBound(size_t idx);
+  static double BucketUpperBound(size_t idx);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Name-keyed registry. Registration (GetX) takes a mutex and returns a
+/// stable pointer — resolve once per query or per scope, never per inner
+/// loop iteration; the returned objects are the lock-free hot path.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Process-wide default registry (what SearchOptions points at unless a
+  /// test or service supplies its own).
+  static MetricRegistry& Global();
+
+  /// Find-or-create; aborts if `name` is already registered as a different
+  /// metric type. Labels are part of the name: `ws_x_total{engine="seq"}`.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Prometheus text exposition (version 0.0.4): families sorted by name,
+  /// one `# TYPE` line per family, histograms rendered as cumulative
+  /// `_bucket{le="..."}` series (non-empty buckets plus `+Inf`) with `_sum`
+  /// and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// Zeroes every registered metric (registrations survive). Test aid.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* FindOrCreate(std::string_view name, Kind kind);
+
+  mutable std::mutex mu_;
+  // std::map keeps the exposition deterministically sorted.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Scrape helper (used by tests and ops tooling): the value of the sample
+/// whose name (including any label set) matches `metric` exactly, or
+/// nullopt. `exposition` is RenderPrometheus output.
+std::optional<double> FindMetricValue(std::string_view exposition,
+                                      std::string_view metric);
+
+}  // namespace wikisearch::obs

@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace wikisearch::obs {
+
+size_t TraceContext::OpenSpan(const char* name) {
+  Clock::time_point now = Clock::now();
+  size_t id = spans_.size();
+  Span span;
+  span.name = name;
+  span.start_ms =
+      std::chrono::duration<double, std::milli>(now - origin_).count();
+  span.depth = static_cast<int>(stack_.size());
+  spans_.push_back(std::move(span));
+  starts_.push_back(now);
+  stack_.push_back(id);
+  return id;
+}
+
+double TraceContext::CloseSpan(size_t id) {
+  WS_CHECK(!stack_.empty() && stack_.back() == id);  // strict nesting
+  stack_.pop_back();
+  double dur_ms = std::chrono::duration<double, std::milli>(
+                      Clock::now() - starts_[id])
+                      .count();
+  spans_[id].dur_ms = dur_ms;
+  return dur_ms;
+}
+
+void TraceContext::RenameSpan(size_t id, const char* name) {
+  WS_CHECK(id < spans_.size());
+  spans_[id].name = name;
+}
+
+double TraceContext::SumDurationsMs(std::string_view name) const {
+  double sum = 0.0;
+  for (const Span& s : spans_) {
+    if (s.name == name) sum += s.dur_ms;
+  }
+  return sum;
+}
+
+size_t TraceContext::CountSpans(std::string_view name) const {
+  size_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.name == name) ++n;
+  }
+  return n;
+}
+
+std::string TraceContext::ToChromeJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const Span& s : spans_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(s.name);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Double(s.start_ms * 1000.0);  // trace_event wants microseconds
+    w.Key("dur");
+    w.Double(s.dur_ms * 1000.0);
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("depth");
+    w.Int(s.depth);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+void TraceContext::Clear() {
+  WS_CHECK(stack_.empty());  // never drop open spans
+  spans_.clear();
+  starts_.clear();
+}
+
+}  // namespace wikisearch::obs

@@ -1,0 +1,153 @@
+// Per-query span tracing (the other half of DESIGN.md §8).
+//
+// A TraceContext records the nested stage spans of one query — index lookup,
+// activation mapping, each bottom-up level (enqueue / identify / expand),
+// central-node identification, extraction, ranking — with steady-clock
+// timestamps relative to the context's creation. Spans are strictly nested
+// and recorded in start order, so the vector doubles as a pre-order tree
+// walk; ToChromeJson exports them as Chrome `trace_event` complete events
+// (load the output in chrome://tracing or Perfetto).
+//
+// ScopedStage is the single instrumentation primitive the engine uses: one
+// clock-read pair per stage, whose elapsed value is written to BOTH the
+// PhaseTimings accumulator and the span. Span sums and PhaseTimings are
+// therefore identical doubles by construction — bench JSON derived from
+// spans and server metrics derived from timings cannot disagree (the
+// property tests/trace_test.cc asserts as exact FP equality).
+//
+// Thread model: a TraceContext belongs to one query and is mutated only by
+// the query's coordinating thread (engine stages open/close spans outside
+// the ParallelFor bodies). It is NOT thread-safe; never share one across
+// concurrent queries.
+//
+// Span naming scheme (DESIGN.md §8): "<stage>" or "<stage>/<substage>",
+// engine-agnostic — the dynamic engine emits the same names as the pooled
+// engines so tooling never branches on engine kind:
+//
+//   search                      whole query (root)
+//   search/index_lookup         posting-list resolution
+//   search/activation           activation map + query context
+//   bottomup                    stage 1
+//   bottomup/init               state init / keyword seeding
+//   bottomup/level              one fully completed BFS level
+//   bottomup/level(partial)     a level abandoned early (deadline, top-k
+//                               reached, cancellation, frontier exhausted);
+//                               count of "bottomup/level" spans ==
+//                               SearchStats::levels_completed
+//   bottomup/enqueue            frontier enqueue of one level
+//   bottomup/identify           central-node identification of one level
+//   bottomup/expand             expansion of one level
+//   topdown                     stage 2
+//   topdown/extract             central-graph extraction / materialization
+//   topdown/rank                scoring, dedup and top-k selection
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wikisearch::obs {
+
+class TraceContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    std::string name;
+    double start_ms = 0.0;  // relative to context creation
+    double dur_ms = 0.0;
+    int depth = 0;          // 0 = root; children have parent depth + 1
+  };
+
+  TraceContext() : origin_(Clock::now()) {}
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Opens a span as a child of the innermost open span. Returns its id.
+  size_t OpenSpan(const char* name);
+
+  /// Closes span `id`, which must be the innermost open span (strict
+  /// nesting is enforced). Returns the span's duration in ms — the same
+  /// double stored in the span.
+  double CloseSpan(size_t id);
+
+  /// Renames an open or closed span (used to mark abandoned levels).
+  void RenameSpan(size_t id, const char* name);
+
+  /// All spans opened so far, in start order (pre-order of the span tree).
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Number of currently open spans.
+  size_t open_depth() const { return stack_.size(); }
+
+  /// Sum of durations of all closed spans named `name`, in the order they
+  /// were opened (the same accumulation order PhaseTimings uses).
+  double SumDurationsMs(std::string_view name) const;
+
+  /// Number of spans named `name`.
+  size_t CountSpans(std::string_view name) const;
+
+  /// Chrome trace_event JSON: {"traceEvents": [{"ph":"X", ...}, ...]}.
+  /// Timestamps and durations are microseconds, as the format requires.
+  std::string ToChromeJson() const;
+
+  /// Drops all spans; the time origin is preserved.
+  void Clear();
+
+ private:
+  friend class ScopedStage;
+
+  Clock::time_point origin_;
+  std::vector<Span> spans_;
+  std::vector<Clock::time_point> starts_;  // parallel to spans_
+  std::vector<size_t> stack_;              // ids of open spans, innermost last
+};
+
+/// RAII stage instrumentation: on destruction the elapsed time (one
+/// steady-clock read pair) is added to `*acc` (when non-null) and recorded
+/// as a span in `trace` (when non-null) — the identical double in both
+/// sinks. With trace == nullptr this is exactly the WallTimer pattern it
+/// replaced: two clock reads and one add, no allocation.
+class ScopedStage {
+ public:
+  ScopedStage(TraceContext* trace, const char* name, double* acc = nullptr)
+      : trace_(trace), acc_(acc) {
+    if (trace_ != nullptr) {
+      id_ = trace_->OpenSpan(name);
+    } else if (acc_ != nullptr) {
+      start_ = TraceContext::Clock::now();
+    }
+  }
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  /// Renames the span (no-op without a trace). Marks abandoned levels.
+  void Rename(const char* name) {
+    if (trace_ != nullptr) trace_->RenameSpan(id_, name);
+  }
+
+  ~ScopedStage() {
+    double dur_ms;
+    if (trace_ != nullptr) {
+      dur_ms = trace_->CloseSpan(id_);
+    } else if (acc_ != nullptr) {
+      dur_ms = std::chrono::duration<double, std::milli>(
+                   TraceContext::Clock::now() - start_)
+                   .count();
+    } else {
+      return;
+    }
+    if (acc_ != nullptr) *acc_ += dur_ms;
+  }
+
+ private:
+  TraceContext* trace_;
+  double* acc_;
+  size_t id_ = 0;
+  TraceContext::Clock::time_point start_{};
+};
+
+}  // namespace wikisearch::obs

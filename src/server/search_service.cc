@@ -4,6 +4,8 @@
 #include <cstdlib>
 
 #include "common/json.h"
+#include "common/logging.h"
+#include "obs/trace.h"
 
 namespace wikisearch::server {
 
@@ -109,20 +111,40 @@ std::string SearchResultToJson(const KnowledgeGraph& graph,
 
 SearchService::SearchService(const KnowledgeGraph* graph,
                              const InvertedIndex* index,
-                             SearchOptions defaults, size_t cache_capacity)
+                             SearchOptions defaults, size_t cache_capacity,
+                             obs::MetricRegistry* metrics)
     : graph_(graph),
       index_(index),
       defaults_(defaults),
       cache_(cache_capacity),
-      engine_(graph, index, defaults) {
+      engine_(graph, index, defaults),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      queries_total_(metrics_->GetCounter("ws_server_queries_total")),
+      errors_total_(metrics_->GetCounter("ws_server_errors_total")),
+      shed_total_(metrics_->GetCounter("ws_server_shed_total")),
+      timeout_total_(metrics_->GetCounter("ws_server_timeout_total")),
+      degraded_total_(metrics_->GetCounter("ws_server_degraded_total")),
+      cache_hits_total_(metrics_->GetCounter("ws_server_cache_hits_total")),
+      cache_misses_total_(
+          metrics_->GetCounter("ws_server_cache_misses_total")),
+      http_requests_total_(
+          metrics_->GetCounter("ws_server_http_requests_total")),
+      http_rejected_total_(
+          metrics_->GetCounter("ws_server_http_rejected_total")) {
   engine_.SetStatePool(&state_pool_);
 }
 
 void SearchService::RegisterRoutes(HttpServer* server) {
+  server_ = server;
   server->Route("/search",
                 [this](const HttpRequest& r) { return HandleSearch(r); });
   server->Route("/stats",
                 [this](const HttpRequest& r) { return HandleStats(r); });
+  server->Route("/metrics",
+                [this](const HttpRequest& r) { return HandleMetrics(r); });
   server->Route("/healthz",
                 [this](const HttpRequest& r) { return HandleHealth(r); });
 }
@@ -130,7 +152,7 @@ void SearchService::RegisterRoutes(HttpServer* server) {
 HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
   std::string q = req.Param("q");
   if (q.empty()) {
-    errors_.fetch_add(1);
+    errors_total_->Inc();
     return HttpResponse::BadRequest("missing required parameter q\n");
   }
   SearchOptions opts = defaults_;
@@ -145,15 +167,26 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
     opts.deadline_ms = std::atof(req.Param("deadline_ms").c_str());
   }
   opts.engine = ParseEngine(req.Param("engine", "cpu"));
+  opts.metrics = metrics_;  // engine per-query metrics share the registry
+
+  // trace=1: record this query's stage spans and attach them to the
+  // response. Traced responses bypass the cache in both directions — a
+  // cached body has no spans, and a traced body must not be replayed to
+  // untraced clients.
+  const bool tracing = req.Param("trace") == "1";
+  obs::TraceContext trace_ctx;
+  if (tracing) opts.trace = &trace_ctx;
 
   std::string cache_key = q + "|" + std::to_string(opts.top_k) + "|" +
                           std::to_string(opts.alpha) + "|" +
                           std::to_string(opts.lambda) + "|" +
                           std::to_string(opts.deadline_ms) + "|" +
                           EngineKindName(opts.engine);
-  if (auto cached = cache_.Get(cache_key)) {
-    queries_.fetch_add(1);
-    return HttpResponse::Json(std::move(*cached));
+  if (!tracing) {
+    if (auto cached = cache_.Get(cache_key)) {
+      queries_total_->Inc();
+      return HttpResponse::Json(std::move(*cached));
+    }
   }
 
   // Admission control: bound the number of searches running or waiting on
@@ -163,7 +196,7 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
   size_t in_flight = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (depth != 0 && in_flight > depth) {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    shed_requests_.fetch_add(1, std::memory_order_relaxed);
+    shed_total_->Inc();
     return HttpResponse::TooManyRequests(/*retry_after_s=*/1);
   }
   size_t hwm = queue_hwm_.load(std::memory_order_relaxed);
@@ -176,9 +209,9 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
     return engine_.Search(q, opts);
   }();
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
-  queries_.fetch_add(1);
+  queries_total_->Inc();
   if (!result.ok()) {
-    errors_.fetch_add(1);
+    errors_total_->Inc();
     JsonWriter w;
     w.BeginObject();
     w.Key("error");
@@ -188,13 +221,19 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
         result.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse{status, "application/json", std::move(w).Take()};
   }
-  if (result->stats.timed_out) {
-    timed_out_queries_.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (result->stats.degraded) {
-    degraded_answers_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (result->stats.timed_out) timeout_total_->Inc();
+  if (result->stats.degraded) degraded_total_->Inc();
   std::string body = SearchResultToJson(*graph_, *result);
+  if (tracing) {
+    // Splice the trace document into the response object: the body is a
+    // complete JSON object, so the closing brace is its last byte.
+    WS_CHECK(!body.empty() && body.back() == '}');
+    body.pop_back();
+    body += ",\"trace\":";
+    body += trace_ctx.ToChromeJson();
+    body += '}';
+    return HttpResponse::Json(std::move(body));
+  }
   // Degraded answers depend on transient load; caching them would serve a
   // timed-out partial result long after the pressure has passed.
   if (!result->stats.degraded) cache_.Put(cache_key, body);
@@ -243,9 +282,9 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.UInt(state_pool_.reused());
   w.EndObject();
   w.Key("queries");
-  w.UInt(queries_.load());
+  w.UInt(queries_total_->Value());
   w.Key("errors");
-  w.UInt(errors_.load());
+  w.UInt(errors_total_->Value());
   w.Key("admission");
   w.BeginObject();
   w.Key("queue_depth");
@@ -255,14 +294,47 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.Key("queue_high_water_mark");
   w.UInt(queue_hwm_.load());
   w.Key("shed_requests");
-  w.UInt(shed_requests_.load());
+  w.UInt(shed_total_->Value());
   w.Key("timed_out_queries");
-  w.UInt(timed_out_queries_.load());
+  w.UInt(timeout_total_->Value());
   w.Key("degraded_answers");
-  w.UInt(degraded_answers_.load());
+  w.UInt(degraded_total_->Value());
   w.EndObject();
   w.EndObject();
   return HttpResponse::Json(std::move(w).Take());
+}
+
+void SearchService::RefreshScrapeMetrics() {
+  std::lock_guard<std::mutex> lock(scrape_mu_);
+  // Sources that keep their own monotonic counts are raised to their current
+  // values (never decremented), so the registry equals the source exactly at
+  // every quiescent scrape without double bookkeeping on the hot path.
+  cache_hits_total_->AdvanceTo(cache_.hits());
+  cache_misses_total_->AdvanceTo(cache_.misses());
+  if (server_ != nullptr) {
+    http_requests_total_->AdvanceTo(server_->requests_served());
+    http_rejected_total_->AdvanceTo(server_->rejected_connections());
+    metrics_->GetGauge("ws_server_active_connections")
+        ->Set(static_cast<double>(server_->active_connections()));
+    metrics_->GetGauge("ws_server_live_worker_threads")
+        ->Set(static_cast<double>(server_->live_worker_threads()));
+  }
+  metrics_->GetGauge("ws_server_queue_depth")
+      ->Set(static_cast<double>(queue_depth_.load()));
+  metrics_->GetGauge("ws_server_in_flight")
+      ->Set(static_cast<double>(in_flight_.load()));
+  metrics_->GetGauge("ws_server_queue_high_water_mark")
+      ->Set(static_cast<double>(queue_hwm_.load()));
+  metrics_->GetGauge("ws_server_cache_entries")
+      ->Set(static_cast<double>(cache_.size()));
+  metrics_->GetGauge("ws_server_state_pool_idle")
+      ->Set(static_cast<double>(state_pool_.idle_states()));
+}
+
+HttpResponse SearchService::HandleMetrics(const HttpRequest&) {
+  RefreshScrapeMetrics();
+  return HttpResponse{200, "text/plain; version=0.0.4",
+                      metrics_->RenderPrometheus(), {}};
 }
 
 HttpResponse SearchService::HandleHealth(const HttpRequest&) {

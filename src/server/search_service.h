@@ -4,13 +4,22 @@
 //
 // Routes:
 //   GET /search?q=<keywords>[&k=][&alpha=][&lambda=][&engine=cpu|seq|dyn|gpu]
-//                [&deadline_ms=]
-//   GET /stats      — graph, index, cache and server counters
+//                [&deadline_ms=][&trace=1]
+//   GET /stats      — graph, index, cache and server counters (JSON)
+//   GET /metrics    — Prometheus text exposition of the metric registry
 //   GET /healthz    — liveness probe
 //
 // Admission control: at most `queue_depth` searches may be in flight
 // (running or waiting on the engine mutex); excess requests are shed
 // immediately with 429 + Retry-After instead of queueing unboundedly.
+//
+// Observability (DESIGN.md §8): all service counters live in one
+// obs::MetricRegistry — the same registry the engine reports per-query
+// counters and latency histograms into — so /metrics, /stats and the
+// accessors below can never disagree; there is a single source per count.
+// `trace=1` records the query's stage spans and attaches them to the
+// response as Chrome trace_event JSON under "trace" (such responses bypass
+// the cache in both directions).
 #pragma once
 
 #include <atomic>
@@ -20,6 +29,7 @@
 
 #include "core/engine.h"
 #include "core/state_pool.h"
+#include "obs/metrics.h"
 #include "server/http_server.h"
 #include "server/query_cache.h"
 
@@ -31,30 +41,43 @@ std::string SearchResultToJson(const KnowledgeGraph& graph,
 
 class SearchService {
  public:
-  /// Graph and index must outlive the service.
+  /// Graph and index must outlive the service. `metrics` is the registry
+  /// service and engine counters report into; null means a registry owned
+  /// by this service (so two services never share counters). Pass
+  /// &obs::MetricRegistry::Global() to export into the process registry.
   SearchService(const KnowledgeGraph* graph, const InvertedIndex* index,
-                SearchOptions defaults = {}, size_t cache_capacity = 256);
+                SearchOptions defaults = {}, size_t cache_capacity = 256,
+                obs::MetricRegistry* metrics = nullptr);
 
-  /// Registers /search, /stats and /healthz on the server.
+  /// Registers /search, /stats, /metrics and /healthz on the server. The
+  /// server pointer is retained so /metrics can bridge its connection
+  /// counters into the registry at scrape time.
   void RegisterRoutes(HttpServer* server);
 
   // Handlers are public so tests can drive them without sockets.
   HttpResponse HandleSearch(const HttpRequest& req);
   HttpResponse HandleStats(const HttpRequest& req);
+  HttpResponse HandleMetrics(const HttpRequest& req);
   HttpResponse HandleHealth(const HttpRequest& req);
 
   const QueryCache& cache() const { return cache_; }
+  obs::MetricRegistry* metrics() const { return metrics_; }
 
   /// Caps searches in flight (running or queued on the engine); excess
   /// requests get 429 + Retry-After. 0 means unlimited.
   void SetQueueDepth(size_t depth) { queue_depth_.store(depth); }
 
-  uint64_t shed_requests() const { return shed_requests_.load(); }
-  uint64_t timed_out_queries() const { return timed_out_queries_.load(); }
-  uint64_t degraded_answers() const { return degraded_answers_.load(); }
+  uint64_t shed_requests() const { return shed_total_->Value(); }
+  uint64_t timed_out_queries() const { return timeout_total_->Value(); }
+  uint64_t degraded_answers() const { return degraded_total_->Value(); }
   size_t queue_high_water_mark() const { return queue_hwm_.load(); }
 
  private:
+  /// Bridges sources that keep their own monotonic counts (QueryCache, the
+  /// HttpServer) into the registry and refreshes the point-in-time gauges.
+  /// Called on every /metrics scrape, serialized by scrape_mu_.
+  void RefreshScrapeMetrics();
+
   const KnowledgeGraph* graph_;
   const InvertedIndex* index_;
   SearchOptions defaults_;
@@ -69,15 +92,30 @@ class SearchService {
   // holds a pointer into it).
   SearchStatePool state_pool_;
   SearchEngine engine_;
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> errors_{0};
-  // Admission control + degradation telemetry.
+
+  // Observability. The registry owns the counters; the service holds
+  // resolved pointers (stable for the registry's lifetime) so the request
+  // path never takes the registry lock.
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;  // when ctor got null
+  obs::MetricRegistry* metrics_;
+  obs::Counter* queries_total_;
+  obs::Counter* errors_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* timeout_total_;
+  obs::Counter* degraded_total_;
+  obs::Counter* cache_hits_total_;
+  obs::Counter* cache_misses_total_;
+  obs::Counter* http_requests_total_;
+  obs::Counter* http_rejected_total_;
+  std::mutex scrape_mu_;
+  HttpServer* server_ = nullptr;  // set by RegisterRoutes
+
+  // Admission control. These stay raw atomics (not gauges): the CAS
+  // high-water-mark update and the fetch_add/fetch_sub in-flight window need
+  // read-modify-write semantics; gauges mirror them at scrape time.
   std::atomic<size_t> queue_depth_{0};
   std::atomic<size_t> in_flight_{0};
   std::atomic<size_t> queue_hwm_{0};
-  std::atomic<uint64_t> shed_requests_{0};
-  std::atomic<uint64_t> timed_out_queries_{0};
-  std::atomic<uint64_t> degraded_answers_{0};
 };
 
 }  // namespace wikisearch::server

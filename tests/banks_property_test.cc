@@ -100,7 +100,7 @@ TEST(BanksComparisonTest, Banks2NeverBeatsBanks1Optimum) {
   // BANKS-II is a heuristic over the same scoring; with generous budget its
   // best answer can match but not beat BANKS-I's optimal backward-search
   // score (distances are exact lower bounds).
-  Rng rng(4242);
+  Rng rng(::wikisearch::testing::TestSeed());
   GraphBuilder b;
   const size_t n = 60;
   for (size_t i = 0; i < n; ++i) {

@@ -57,7 +57,9 @@ Fixture& SharedFixture() {
 
 std::vector<std::vector<std::string>> TestQueries(const Fixture& f,
                                                   size_t count) {
-  Rng rng(4242);
+  // Seeded from the running test's name: every test draws its own query
+  // stream instead of all sharing one literal constant.
+  Rng rng(testing::TestSeed());
   std::vector<std::vector<std::string>> queries;
   while (queries.size() < count) {
     const auto& terms =

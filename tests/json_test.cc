@@ -86,6 +86,122 @@ TEST(JsonWriterTest, EscapedKeys) {
   EXPECT_EQ(std::move(w).Take(), R"({"quote\"key":1})");
 }
 
+// --------------------------------- Parser ------------------------------------
+
+TEST(JsonParseTest, Scalars) {
+  auto v = JsonParse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+  v = JsonParse(" true ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->boolean);
+  v = JsonParse("false");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->boolean);
+  v = JsonParse("-12.5e2");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_number());
+  EXPECT_EQ(v->number, -1250.0);
+  v = JsonParse("\"hi\"");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_string());
+  EXPECT_EQ(v->str, "hi");
+}
+
+TEST(JsonParseTest, ObjectsPreserveOrderAndFindWorks) {
+  auto v = JsonParse(R"({"b":1,"a":[2,3,{"k":null}],"c":{}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "b");
+  EXPECT_EQ(v->object[1].first, "a");
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[1].number, 3.0);
+  EXPECT_TRUE(a->array[2].Find("k")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_EQ(a->Find("not-an-object"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapesIncludingSurrogatePairs) {
+  auto v = JsonParse(R"("a\"b\\c\/d\n\tA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "a\"b\\c/d\n\tA");
+  // U+1F600 as an escaped surrogate pair -> 4-byte UTF-8.
+  v = JsonParse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "\xF0\x9F\x98\x80");
+  // BMP escape -> 2-byte UTF-8; raw multi-byte UTF-8 passes through.
+  v = JsonParse(R"("\u00E9")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "\xC3\xA9");
+  v = JsonParse("\"\xC3\xA9\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str, "\xC3\xA9");
+  // Lone high surrogate is an error.
+  EXPECT_FALSE(JsonParse(R"("\uD83D")").ok());
+  EXPECT_FALSE(JsonParse(R"("\uZZZZ")").ok());
+}
+
+TEST(JsonParseTest, StrictNumberGrammar) {
+  EXPECT_FALSE(JsonParse("01").ok());     // leading zero
+  EXPECT_FALSE(JsonParse("+1").ok());     // leading plus
+  EXPECT_FALSE(JsonParse("1.").ok());     // bare decimal point
+  EXPECT_FALSE(JsonParse(".5").ok());
+  EXPECT_FALSE(JsonParse("1e").ok());     // empty exponent
+  EXPECT_TRUE(JsonParse("0").ok());
+  EXPECT_TRUE(JsonParse("-0.5e-2").ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryOffsetAndTrailingGarbageRejected) {
+  auto v = JsonParse(R"({"a":1} extra)");
+  ASSERT_FALSE(v.ok());
+  v = JsonParse(R"({"a":)");
+  ASSERT_FALSE(v.ok());
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonParse("[1,]").ok());
+  EXPECT_FALSE(JsonParse("nul").ok());
+}
+
+TEST(JsonParseTest, DepthLimitCutsOffRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonParse(deep).ok());
+  std::string ok(100, '[');
+  ok += std::string(100, ']');
+  EXPECT_TRUE(JsonParse(ok).ok());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("line\nbreak \"quoted\"");
+  w.Key("nums");
+  w.BeginArray();
+  w.Int(-3);
+  w.UInt(12345678901234ull);
+  w.Double(0.125);
+  w.EndArray();
+  w.Key("flag");
+  w.Bool(false);
+  w.Key("none");
+  w.Null();
+  w.EndObject();
+  auto v = JsonParse(std::move(w).Take());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("s")->str, "line\nbreak \"quoted\"");
+  ASSERT_EQ(v->Find("nums")->array.size(), 3u);
+  EXPECT_EQ(v->Find("nums")->array[0].number, -3.0);
+  EXPECT_EQ(v->Find("nums")->array[2].number, 0.125);
+  EXPECT_FALSE(v->Find("flag")->boolean);
+  EXPECT_TRUE(v->Find("none")->is_null());
+}
+
 TEST(JsonWriterDeathTest, UnbalancedContainersCaught) {
   EXPECT_DEATH(
       {

@@ -1,0 +1,396 @@
+// Tests of the lock-free metrics registry (DESIGN.md §8): bucket geometry,
+// the documented quantile error bound proven against exact sorted quantiles
+// on random streams, counter exactness under heavy concurrency, the
+// Prometheus exposition (including %.17g round-tripping), and the engine's
+// per-query reporting — whose histogram sums must equal the SearchStats /
+// PhaseTimings sums exactly, not approximately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
+namespace wikisearch::obs {
+namespace {
+
+// ------------------------------ Bucket geometry ------------------------------
+
+TEST(HistogramBucketTest, UnderflowAndOverflowBuckets) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, Histogram::kMinExp) / 2),
+            0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::ldexp(1.0, Histogram::kMaxExp)),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(1e300), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(
+      Histogram::BucketIndex(std::numeric_limits<double>::infinity()),
+      Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramBucketTest, LowerBoundsMapBackToTheirBucket) {
+  for (size_t idx = 1; idx + 1 < Histogram::kNumBuckets; ++idx) {
+    double lo = Histogram::BucketLowerBound(idx);
+    EXPECT_EQ(Histogram::BucketIndex(lo), idx) << "idx=" << idx;
+  }
+}
+
+TEST(HistogramBucketTest, ValuesLieInTheirBucketWithBoundedWidth) {
+  Rng rng(::wikisearch::testing::TestSeed());
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over the full in-range span.
+    double e = -20.0 + 50.0 * rng.UniformDouble();
+    double v = std::pow(2.0, e);
+    size_t idx = Histogram::BucketIndex(v);
+    ASSERT_GT(idx, 0u);
+    ASSERT_LT(idx, Histogram::kNumBuckets - 1);
+    double lo = Histogram::BucketLowerBound(idx);
+    double hi = Histogram::BucketUpperBound(idx);
+    EXPECT_GE(v, lo);
+    EXPECT_LT(v, hi);
+    // The documented error bound: bucket width over lower bound.
+    EXPECT_LE((hi - lo) / lo, Histogram::kMaxRelativeError * (1 + 1e-12));
+  }
+}
+
+// --------------------------- Quantile error bound ----------------------------
+
+// The property the header documents: for in-range values the interpolated
+// quantile lies in the same bucket as the exact order statistic
+// v_sorted[ceil(q*N)-1], so it is within kMaxRelativeError of it.
+class HistogramQuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramQuantileProperty, MatchesExactSortedQuantiles) {
+  Rng rng(::wikisearch::testing::TestSeed());
+  Histogram hist;
+  const size_t n = 1 + rng.Uniform(4000);
+  std::vector<double> values;
+  values.reserve(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    // Log-uniform milliseconds between 1us and ~17min — the realistic span
+    // of the latency metrics, comfortably in-range.
+    double v = std::pow(10.0, -3.0 + 9.0 * rng.UniformDouble());
+    values.push_back(v);
+    hist.Observe(v);
+    sum += v;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, n);
+  // Single-threaded observation: the shard accumulates in stream order and
+  // the other shards contribute exact zeros, so the sum is the same double.
+  EXPECT_EQ(snap.sum, sum);
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    if (rank == 0) rank = 1;
+    double exact = sorted[rank - 1];
+    double est = snap.Quantile(q);
+    EXPECT_LE(std::abs(est - exact),
+              exact * Histogram::kMaxRelativeError * (1 + 1e-12))
+        << "q=" << q << " n=" << n << " exact=" << exact << " est=" << est;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, HistogramQuantileProperty,
+                         ::testing::Range(0, 8));
+
+TEST(HistogramQuantileTest, EdgeCases) {
+  Histogram hist;
+  EXPECT_EQ(hist.Snapshot().Quantile(0.5), 0.0);  // empty
+  hist.Observe(5.0);
+  HistogramSnapshot one = hist.Snapshot();
+  // A single observation: every quantile interpolates inside its bucket.
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_LE(std::abs(one.Quantile(q) - 5.0),
+              5.0 * Histogram::kMaxRelativeError);
+  }
+  // Overflow observations report the overflow bucket's lower bound.
+  Histogram over;
+  over.Observe(1e300);
+  EXPECT_EQ(over.Snapshot().Quantile(0.99),
+            std::ldexp(1.0, Histogram::kMaxExp));
+}
+
+// ------------------------------- Concurrency ---------------------------------
+
+TEST(CounterTest, ExactUnderEightThreadsTimes100k) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncs; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kIncs);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(HistogramTest, ExactCountAndSumUnderConcurrency) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kObs = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist] {
+      // Small integers: every partial sum is exact in double, so the total
+      // is order-independent and must come out exact despite shard sharing.
+      for (int i = 0; i < kObs; ++i) {
+        hist.Observe(static_cast<double>(1 + (i % 7)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kObs);
+  uint64_t per_thread = 0;
+  for (int i = 0; i < kObs; ++i) per_thread += 1 + (i % 7);
+  EXPECT_EQ(snap.sum, static_cast<double>(kThreads * per_thread));
+  uint64_t bucketed = 0;
+  for (uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, snap.count);
+}
+
+// ----------------------------- Counter bridging ------------------------------
+
+TEST(CounterTest, AdvanceToRaisesButNeverLowers) {
+  Counter c;
+  c.AdvanceTo(10);
+  EXPECT_EQ(c.Value(), 10u);
+  c.Inc(5);
+  EXPECT_EQ(c.Value(), 15u);
+  c.AdvanceTo(12);  // already past: no-op
+  EXPECT_EQ(c.Value(), 15u);
+  c.AdvanceTo(20);
+  EXPECT_EQ(c.Value(), 20u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(1.25);
+  EXPECT_EQ(g.Value(), 3.75);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+// ------------------------------- Exposition ----------------------------------
+
+TEST(RegistryTest, PrometheusExposition) {
+  MetricRegistry reg;
+  reg.GetCounter("ws_t_total{engine=\"a\"}")->Inc(3);
+  reg.GetCounter("ws_t_total{engine=\"b\"}")->Inc(4);
+  reg.GetGauge("ws_t_gauge")->Set(2.5);
+  Histogram* h = reg.GetHistogram("ws_t_ms");
+  h->Observe(0.5);
+  h->Observe(3.0);
+
+  std::string out = reg.RenderPrometheus();
+  // One # TYPE line per family even with two labeled children.
+  EXPECT_EQ(out.find("# TYPE ws_t_total counter"),
+            out.rfind("# TYPE ws_t_total counter"));
+  EXPECT_NE(out.find("# TYPE ws_t_gauge gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE ws_t_ms histogram"), std::string::npos);
+
+  EXPECT_EQ(FindMetricValue(out, "ws_t_total{engine=\"a\"}"), 3.0);
+  EXPECT_EQ(FindMetricValue(out, "ws_t_total{engine=\"b\"}"), 4.0);
+  EXPECT_EQ(FindMetricValue(out, "ws_t_gauge"), 2.5);
+  EXPECT_EQ(FindMetricValue(out, "ws_t_ms_count"), 2.0);
+  EXPECT_EQ(FindMetricValue(out, "ws_t_ms_sum"), 3.5);
+  EXPECT_EQ(FindMetricValue(out, "ws_t_ms_bucket{le=\"+Inf\"}"), 2.0);
+  EXPECT_FALSE(FindMetricValue(out, "ws_nope_total").has_value());
+
+  // Buckets are cumulative: each non-empty bucket line is >= the previous.
+  double last = 0.0;
+  size_t pos = 0;
+  while ((pos = out.find("ws_t_ms_bucket{", pos)) != std::string::npos) {
+    size_t eol = out.find('\n', pos);
+    std::string line = out.substr(pos, eol - pos);
+    double v = std::strtod(line.substr(line.rfind(' ') + 1).c_str(), nullptr);
+    EXPECT_GE(v, last);
+    last = v;
+    pos = eol;
+  }
+  EXPECT_EQ(last, 2.0);
+}
+
+TEST(RegistryTest, SeventeenDigitRenderingRoundTripsExactly) {
+  MetricRegistry reg;
+  Histogram* h = reg.GetHistogram("ws_rt_ms");
+  Rng rng(::wikisearch::testing::TestSeed());
+  for (int i = 0; i < 100; ++i) {
+    h->Observe(std::pow(10.0, -2.0 + 6.0 * rng.UniformDouble()));
+  }
+  HistogramSnapshot snap = h->Snapshot();
+  auto scraped = FindMetricValue(reg.RenderPrometheus(), "ws_rt_ms_sum");
+  ASSERT_TRUE(scraped.has_value());
+  // %.17g round-trips every finite double: bitwise equality, no tolerance.
+  EXPECT_EQ(*scraped, snap.sum);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("ws_r_total");
+  c->Inc(7);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(reg.GetCounter("ws_r_total"), c);  // same object
+}
+
+TEST(RegistryDeathTest, KindMismatchAborts) {
+  MetricRegistry reg;
+  reg.GetCounter("ws_kind_total");
+  EXPECT_DEATH(reg.GetGauge("ws_kind_total"), "CHECK");
+}
+
+// --------------------------- Engine reporting --------------------------------
+
+struct EngineFixture {
+  EngineFixture() {
+    GraphBuilder b;
+    b.AddTriple("xml toolkit", "part of", "data tools");
+    b.AddTriple("rdf engine", "part of", "data tools");
+    b.AddTriple("sql planner", "part of", "data tools");
+    b.AddTriple("data tools", "used by", "search teams");
+    graph = std::move(b).Build();
+    AttachNodeWeights(&graph);
+    AttachAverageDistance(&graph, 100, 3);
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+// The acceptance criterion of ISSUE 3: the scraped histogram aggregates
+// must match the SearchStats / PhaseTimings sums exactly — same doubles,
+// both through Snapshot() and through the rendered exposition.
+TEST(EngineMetricsTest, HistogramSumsMatchSearchStatsExactly) {
+  EngineFixture f;
+  MetricRegistry reg;
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 2;
+  opts.engine = EngineKind::kCpuParallel;
+  opts.metrics = &reg;
+  SearchEngine engine(&f.graph, &f.index, opts);
+
+  constexpr int kQueries = 7;
+  double total_sum = 0.0, expansion_sum = 0.0, topdown_sum = 0.0;
+  uint64_t levels_sum = 0, answers_sum = 0, centrals_sum = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    auto res = engine.SearchKeywords({"xml", "rdf"}, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    total_sum += res->timings.total_ms;
+    expansion_sum += res->timings.expansion_ms;
+    topdown_sum += res->timings.topdown_ms;
+    levels_sum += static_cast<uint64_t>(res->stats.levels_completed);
+    answers_sum += res->answers.size();
+    centrals_sum += res->stats.num_centrals;
+  }
+
+  HistogramSnapshot lat =
+      reg.GetHistogram("ws_search_latency_ms{engine=\"CPU-Par\"}")->Snapshot();
+  EXPECT_EQ(lat.count, static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(lat.sum, total_sum);  // exact FP equality, not EXPECT_NEAR
+  EXPECT_EQ(reg.GetHistogram("ws_search_stage_ms{stage=\"expansion\"}")
+                ->Snapshot()
+                .sum,
+            expansion_sum);
+  EXPECT_EQ(
+      reg.GetHistogram("ws_search_stage_ms{stage=\"topdown\"}")->Snapshot().sum,
+      topdown_sum);
+
+  EXPECT_EQ(reg.GetCounter("ws_search_total{engine=\"CPU-Par\"}")->Value(),
+            static_cast<uint64_t>(kQueries));
+  EXPECT_EQ(reg.GetCounter("ws_search_levels_total")->Value(), levels_sum);
+  EXPECT_EQ(reg.GetCounter("ws_search_answers_total")->Value(), answers_sum);
+  EXPECT_EQ(reg.GetCounter("ws_search_centrals_total")->Value(), centrals_sum);
+
+  // The same equalities must survive the text exposition round trip.
+  std::string out = reg.RenderPrometheus();
+  EXPECT_EQ(FindMetricValue(out, "ws_search_latency_ms_sum{engine=\"CPU-Par\"}"),
+            total_sum);
+  EXPECT_EQ(
+      FindMetricValue(out, "ws_search_latency_ms_count{engine=\"CPU-Par\"}"),
+      static_cast<double>(kQueries));
+  EXPECT_EQ(FindMetricValue(out, "ws_search_stage_ms_sum{stage=\"expansion\"}"),
+            expansion_sum);
+  EXPECT_EQ(FindMetricValue(out, "ws_search_total{engine=\"CPU-Par\"}"),
+            static_cast<double>(kQueries));
+}
+
+TEST(EngineMetricsTest, PoolUtilizationCountersAdvance) {
+  EngineFixture f;
+  MetricRegistry reg;
+  SearchOptions opts;
+  opts.threads = 4;
+  opts.engine = EngineKind::kCpuParallel;
+  opts.metrics = &reg;
+  SearchEngine engine(&f.graph, &f.index, opts);
+  ASSERT_TRUE(engine.SearchKeywords({"xml", "rdf"}, opts).ok());
+  uint64_t jobs = reg.GetCounter("ws_pool_jobs_total")->Value();
+  EXPECT_GT(jobs, 0u);
+  // Deltas accumulate across queries on the same pool: another query can
+  // only raise the published totals.
+  ASSERT_TRUE(engine.SearchKeywords({"xml", "sql"}, opts).ok());
+  EXPECT_GE(reg.GetCounter("ws_pool_jobs_total")->Value(), jobs);
+}
+
+TEST(EngineMetricsTest, RecordMetricsOffLeavesRegistryEmpty) {
+  EngineFixture f;
+  MetricRegistry reg;
+  SearchOptions opts;
+  opts.engine = EngineKind::kSequential;
+  opts.metrics = &reg;
+  opts.record_metrics = false;
+  SearchEngine engine(&f.graph, &f.index, opts);
+  ASSERT_TRUE(engine.SearchKeywords({"xml", "rdf"}, opts).ok());
+  EXPECT_EQ(reg.RenderPrometheus(), "");
+}
+
+TEST(EngineMetricsTest, TimeoutAndDegradedCountersFire) {
+  EngineFixture f;
+  MetricRegistry reg;
+  SearchOptions opts;
+  opts.engine = EngineKind::kSequential;
+  opts.metrics = &reg;
+  opts.deadline_ms = 1.0;
+  opts.fault_injection = [](const char* point) {
+    if (std::string_view(point) == "bottomup:level") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  };
+  SearchEngine engine(&f.graph, &f.index, opts);
+  auto res = engine.SearchKeywords({"xml", "rdf"}, opts);
+  ASSERT_TRUE(res.ok());
+  ASSERT_TRUE(res->stats.timed_out);
+  EXPECT_EQ(reg.GetCounter("ws_search_timeout_total")->Value(), 1u);
+  EXPECT_EQ(reg.GetCounter("ws_search_degraded_total")->Value(), 1u);
+}
+
+}  // namespace
+}  // namespace wikisearch::obs

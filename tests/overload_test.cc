@@ -14,6 +14,7 @@
 
 #include "core/node_weight.h"
 #include "graph/distance_sampler.h"
+#include "obs/metrics.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
 #include "server/search_service.h"
@@ -84,6 +85,23 @@ TEST(OverloadTest, SixtyFourClientsVersusQueueDepthFour) {
   EXPECT_EQ(service.shed_requests(), static_cast<uint64_t>(shed429.load()));
   // Admitted searches never exceeded the configured depth.
   EXPECT_LE(service.queue_high_water_mark(), 4u);
+
+  // A /metrics scrape over the same server must agree exactly with the
+  // client-observed counts — the registry is the one source behind both the
+  // accessors above and the exposition.
+  auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  const std::string& out = metrics->body;
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_shed_total"),
+            static_cast<double>(shed429.load()));
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_queries_total"),
+            static_cast<double>(ok200.load()));
+  auto hwm = obs::FindMetricValue(out, "ws_server_queue_high_water_mark");
+  ASSERT_TRUE(hwm.has_value());
+  EXPECT_EQ(*hwm, static_cast<double>(service.queue_high_water_mark()));
+  EXPECT_LE(*hwm, 4.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_queue_depth"), 4.0);
 
   server.Stop();
   // Stop joins everything: no worker thread survives the server.

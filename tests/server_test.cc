@@ -4,8 +4,10 @@
 
 #include <thread>
 
+#include "common/json.h"
 #include "core/node_weight.h"
 #include "graph/distance_sampler.h"
+#include "obs/metrics.h"
 #include "server/http_client.h"
 #include "server/http_server.h"
 #include "server/query_cache.h"
@@ -273,6 +275,122 @@ TEST(SearchServiceTest, EndToEndOverSockets) {
   auto health = HttpGet(server.port(), "/healthz");
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health->body, "ok\n");
+  server.Stop();
+}
+
+// --------------------------- /metrics & tracing ------------------------------
+
+TEST(SearchServiceTest, MetricsScrapeAgreesWithCacheAndQueryCounters) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  req.params["q"] = "xml rdf";
+  req.params["engine"] = "seq";
+  service.HandleSearch(req);  // miss: the engine runs
+  service.HandleSearch(req);  // hit
+  service.HandleSearch(req);  // hit
+
+  HttpResponse resp = service.HandleMetrics(HttpRequest{});
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.content_type, "text/plain; version=0.0.4");
+  const std::string& out = resp.body;
+
+  // Scraped counters agree exactly with the client-observed behavior and
+  // with the cache's own counts — one source per number.
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_cache_hits_total"), 2.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_cache_misses_total"), 1.0);
+  EXPECT_EQ(service.cache().hits(), 2u);
+  EXPECT_EQ(service.cache().misses(), 1u);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_queries_total"), 3.0);
+  // The engine ran exactly once (the miss): its latency histogram proves it.
+  EXPECT_EQ(obs::FindMetricValue(
+                out, "ws_search_latency_ms_count{engine=\"Sequential\"}"),
+            1.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_search_total{engine=\"Sequential\"}"),
+            1.0);
+  // Gauges mirror the cache and admission state at scrape time.
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_cache_entries"), 1.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_in_flight"), 0.0);
+}
+
+TEST(SearchServiceTest, ServicesOwnIndependentRegistriesByDefault) {
+  ServiceFixture f;
+  SearchService a(&f.graph, &f.index);
+  SearchService b(&f.graph, &f.index);
+  HttpRequest req;
+  req.params["q"] = "xml rdf";
+  a.HandleSearch(req);
+  EXPECT_EQ(obs::FindMetricValue(a.HandleMetrics(req).body,
+                                 "ws_server_queries_total"),
+            1.0);
+  // The sibling service's registry never saw the query.
+  EXPECT_EQ(obs::FindMetricValue(b.HandleMetrics(req).body,
+                                 "ws_server_queries_total"),
+            0.0);
+}
+
+TEST(SearchServiceTest, TraceParamAttachesParseableSpansAndBypassesCache) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpRequest req;
+  req.params["q"] = "xml rdf";
+  req.params["trace"] = "1";
+  HttpResponse resp = service.HandleSearch(req);
+  EXPECT_EQ(resp.status, 200);
+
+  Result<JsonValue> doc = JsonParse(resp.body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* trace = doc->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_FALSE(events->array.empty());
+  EXPECT_EQ(events->array[0].Find("name")->str, "search");
+
+  // Exactly one "bottomup/level" event per completed level, straight from
+  // the same response's stats block.
+  const JsonValue* stats = doc->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  size_t level_events = 0;
+  for (const JsonValue& ev : events->array) {
+    if (ev.Find("name")->str == "bottomup/level") ++level_events;
+  }
+  EXPECT_EQ(static_cast<double>(level_events),
+            stats->Find("levels_completed")->number);
+
+  // Traced responses bypass the cache in both directions.
+  EXPECT_EQ(service.cache().size(), 0u);
+  HttpRequest plain = req;
+  plain.params.erase("trace");
+  service.HandleSearch(plain);  // miss: fills the cache
+  service.HandleSearch(req);    // traced: must not read the cached body
+  EXPECT_EQ(service.cache().hits(), 0u);
+  HttpResponse again = service.HandleSearch(plain);  // untraced: cache hit
+  EXPECT_EQ(service.cache().hits(), 1u);
+  EXPECT_EQ(again.body.find("\"trace\""), std::string::npos);
+}
+
+TEST(SearchServiceTest, MetricsEndpointOverSockets) {
+  ServiceFixture f;
+  SearchService service(&f.graph, &f.index);
+  HttpServer server;
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_TRUE(HttpGet(server.port(), "/search?q=xml+rdf").ok());
+  ASSERT_TRUE(HttpGet(server.port(), "/search?q=xml+rdf").ok());
+  auto resp = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  const std::string& out = resp->body;
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_queries_total"), 2.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_cache_hits_total"), 1.0);
+  // The HttpServer's own counters are bridged in at scrape time.
+  auto served = obs::FindMetricValue(out, "ws_server_http_requests_total");
+  ASSERT_TRUE(served.has_value());
+  EXPECT_GE(*served, 2.0);
+  EXPECT_TRUE(
+      obs::FindMetricValue(out, "ws_server_live_worker_threads").has_value());
   server.Stop();
 }
 

@@ -7,6 +7,20 @@
 
 namespace wikisearch::testing {
 
+uint64_t TestSeed() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string id = info == nullptr ? "no-current-test"
+                                   : std::string(info->test_suite_name()) +
+                                         "." + info->name();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV-1a prime
+  }
+  return h;
+}
+
 void CheckAnswerInvariants(const KnowledgeGraph& g, const AnswerGraph& answer,
                            size_t num_keywords) {
   ASSERT_FALSE(answer.nodes.empty());

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -14,6 +15,13 @@
 #include "graph/types.h"
 
 namespace wikisearch::testing {
+
+/// Deterministic per-test RNG seed: an FNV-1a hash of the currently running
+/// gtest "Suite.Name" id (parameterized instances hash their full name, so
+/// each gets its own stream). Use this instead of a shared literal seed so
+/// tests cannot couple through one RNG constant — renaming or reordering a
+/// test reseeds only that test.
+uint64_t TestSeed();
 
 /// Builds a graph from (src, dst) pairs with node names "n<i>" and a single
 /// label "rel"; ids are assigned in order of first appearance (0..max id).

@@ -1,0 +1,347 @@
+// Tests of per-query span tracing (DESIGN.md §8): TraceContext mechanics,
+// and the engine-level contract that every engine kind emits the same
+// well-formed span tree — strictly nested, monotonic steady-clock
+// timestamps, parseable Chrome trace JSON, exactly one "bottomup/level"
+// span per completed level (SearchStats::levels_completed), and span sums
+// that equal the engine's PhaseTimings as the same doubles — including under
+// deadline expiry forced at every fault-injection point.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "obs/trace.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+// --------------------------- TraceContext mechanics --------------------------
+
+TEST(TraceContextTest, NestedSpansRecordDepthAndDurations) {
+  obs::TraceContext trace;
+  size_t outer = trace.OpenSpan("outer");
+  size_t inner = trace.OpenSpan("inner");
+  EXPECT_EQ(trace.open_depth(), 2u);
+  double inner_dur = trace.CloseSpan(inner);
+  double outer_dur = trace.CloseSpan(outer);
+  EXPECT_EQ(trace.open_depth(), 0u);
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const auto& s0 = trace.spans()[0];
+  const auto& s1 = trace.spans()[1];
+  EXPECT_EQ(s0.name, "outer");
+  EXPECT_EQ(s0.depth, 0);
+  EXPECT_EQ(s1.name, "inner");
+  EXPECT_EQ(s1.depth, 1);
+  // CloseSpan returns the same double it stores.
+  EXPECT_EQ(s0.dur_ms, outer_dur);
+  EXPECT_EQ(s1.dur_ms, inner_dur);
+  EXPECT_GE(s1.start_ms, s0.start_ms);
+  EXPECT_GE(outer_dur, inner_dur);  // outer encloses inner
+}
+
+TEST(TraceContextDeathTest, OutOfOrderCloseIsCaught) {
+  EXPECT_DEATH(
+      {
+        obs::TraceContext trace;
+        size_t outer = trace.OpenSpan("outer");
+        trace.OpenSpan("inner");
+        trace.CloseSpan(outer);  // inner is still open
+      },
+      "CHECK");
+}
+
+TEST(TraceContextTest, RenameMarksAbandonedLevels) {
+  obs::TraceContext trace;
+  size_t id = trace.OpenSpan("bottomup/level");
+  trace.RenameSpan(id, "bottomup/level(partial)");
+  trace.CloseSpan(id);
+  EXPECT_EQ(trace.CountSpans("bottomup/level"), 0u);
+  EXPECT_EQ(trace.CountSpans("bottomup/level(partial)"), 1u);
+}
+
+TEST(TraceContextTest, SumAndCountAggregateByName) {
+  obs::TraceContext trace;
+  double expected = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    size_t id = trace.OpenSpan("stage");
+    expected += trace.CloseSpan(id);
+  }
+  size_t other = trace.OpenSpan("other");
+  trace.CloseSpan(other);
+  EXPECT_EQ(trace.CountSpans("stage"), 3u);
+  EXPECT_EQ(trace.CountSpans("other"), 1u);
+  // Same accumulation order as the loop above: identical double.
+  EXPECT_EQ(trace.SumDurationsMs("stage"), expected);
+  trace.Clear();
+  EXPECT_TRUE(trace.spans().empty());
+  EXPECT_EQ(trace.SumDurationsMs("stage"), 0.0);
+}
+
+TEST(TraceContextTest, ChromeJsonIsParseableAndMicroseconds) {
+  obs::TraceContext trace;
+  size_t a = trace.OpenSpan("search");
+  size_t b = trace.OpenSpan("search/index_lookup");
+  trace.CloseSpan(b);
+  trace.CloseSpan(a);
+
+  Result<JsonValue> doc = JsonParse(trace.ToChromeJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* unit = doc->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->str, "ms");
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), trace.spans().size());
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const auto& span = trace.spans()[i];
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_EQ(ev.Find("ph")->str, "X");
+    EXPECT_EQ(ev.Find("name")->str, span.name);
+    // ts/dur are microseconds; JsonWriter renders %.6g, so compare loosely.
+    EXPECT_NEAR(ev.Find("ts")->number, span.start_ms * 1000.0,
+                std::abs(span.start_ms) * 1e-3 + 1e-3);
+    ASSERT_NE(ev.Find("args"), nullptr);
+    EXPECT_EQ(ev.Find("args")->Find("depth")->number,
+              static_cast<double>(span.depth));
+  }
+}
+
+TEST(ScopedStageTest, FeedsIdenticalDoubleToSpanAndAccumulator) {
+  obs::TraceContext trace;
+  double acc = 0.0;
+  {
+    obs::ScopedStage stage(&trace, "stage", &acc);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_EQ(acc, trace.spans()[0].dur_ms);  // the same double, both sinks
+  EXPECT_GT(acc, 0.0);
+
+  // Without a trace, ScopedStage degenerates to the plain timer pattern.
+  double timer_only = 0.0;
+  {
+    obs::ScopedStage stage(nullptr, "stage", &timer_only);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_GT(timer_only, 0.0);
+  EXPECT_EQ(trace.spans().size(), 1u);  // nothing recorded
+}
+
+// ----------------------------- Engine span trees -----------------------------
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 800;
+    cfg.num_summary_nodes = 5;
+    cfg.num_topic_nodes = 12;
+    cfg.num_communities = 6;
+    cfg.vocab_size = 1200;
+    cfg.seed = 7;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1000, 5);
+    index = InvertedIndex::Build(kb.graph);
+    query = {kb.meta.community_terms[0][0], kb.meta.community_terms[1][0]};
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+  std::vector<std::string> query;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+const EngineKind kAllEngines[] = {
+    EngineKind::kSequential,
+    EngineKind::kCpuParallel,
+    EngineKind::kCpuDynamic,
+    EngineKind::kGpuSim,
+};
+
+/// Structural well-formedness of a finished trace: spans in start order,
+/// non-negative durations, depths consistent with a pre-order tree walk,
+/// children contained in their parents, nothing left open.
+void CheckWellFormed(const obs::TraceContext& trace) {
+  ASSERT_EQ(trace.open_depth(), 0u);
+  const auto& spans = trace.spans();
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans[0].depth, 0);
+  std::vector<const obs::TraceContext::Span*> stack;
+  double prev_start = 0.0;
+  for (const auto& s : spans) {
+    EXPECT_GE(s.start_ms, 0.0) << s.name;
+    EXPECT_GE(s.start_ms, prev_start) << s.name;  // monotonic steady clock
+    prev_start = s.start_ms;
+    EXPECT_GE(s.dur_ms, 0.0) << s.name;
+    while (!stack.empty() && stack.back()->depth >= s.depth) stack.pop_back();
+    ASSERT_EQ(s.depth, static_cast<int>(stack.size())) << s.name;
+    if (!stack.empty()) {
+      const auto* parent = stack.back();
+      EXPECT_GE(s.start_ms, parent->start_ms) << s.name;
+      EXPECT_LE(s.start_ms + s.dur_ms,
+                parent->start_ms + parent->dur_ms + 1e-6)
+          << s.name << " escapes " << parent->name;
+    }
+    stack.push_back(&s);
+  }
+}
+
+/// The cross-engine contract checked after every traced query.
+void CheckEngineTrace(const obs::TraceContext& trace, const SearchResult& res,
+                      EngineKind kind) {
+  SCOPED_TRACE(EngineKindName(kind));
+  CheckWellFormed(trace);
+
+  // The fixed skeleton: one root "search" span enclosing everything, one
+  // "bottomup" stage; "topdown" appears whenever the bottom-up stage left
+  // candidates to extract.
+  EXPECT_EQ(trace.CountSpans("search"), 1u);
+  EXPECT_EQ(trace.spans()[0].name, "search");
+  EXPECT_EQ(trace.CountSpans("search/index_lookup"), 1u);
+  EXPECT_EQ(trace.CountSpans("search/activation"), 1u);
+  EXPECT_EQ(trace.CountSpans("bottomup"), 1u);
+  EXPECT_LE(trace.CountSpans("topdown"), 1u);
+
+  // One "bottomup/level" span per completed level — the invariant that makes
+  // level accounting in traces and SearchStats a single measurement.
+  EXPECT_EQ(trace.CountSpans("bottomup/level"),
+            static_cast<size_t>(std::max(res.stats.levels_completed, 0)));
+
+  // Span sums equal PhaseTimings — identical doubles, not approximations.
+  EXPECT_EQ(trace.SumDurationsMs("bottomup/init"), res.timings.init_ms);
+  EXPECT_EQ(trace.SumDurationsMs("bottomup/enqueue"), res.timings.enqueue_ms);
+  EXPECT_EQ(trace.SumDurationsMs("bottomup/identify"),
+            res.timings.identify_ms);
+  EXPECT_EQ(trace.SumDurationsMs("bottomup/expand"),
+            res.timings.expansion_ms);
+  EXPECT_EQ(trace.SumDurationsMs("topdown"), res.timings.topdown_ms);
+
+  // The export is valid JSON with one event per span.
+  Result<JsonValue> doc = JsonParse(trace.ToChromeJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_NE(doc->Find("traceEvents"), nullptr);
+  EXPECT_EQ(doc->Find("traceEvents")->array.size(), trace.spans().size());
+}
+
+TEST(EngineTraceTest, EveryEngineKindEmitsWellFormedSpanTree) {
+  Fixture& f = SharedFixture();
+  for (EngineKind kind : kAllEngines) {
+    SearchOptions opts;
+    opts.top_k = 10;
+    opts.threads = 4;
+    opts.engine = kind;
+    obs::TraceContext trace;
+    opts.trace = &trace;
+    opts.record_metrics = false;
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+    auto res = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    CheckEngineTrace(trace, *res, kind);
+  }
+}
+
+TEST(EngineTraceTest, TraceContextIsReusableAcrossQueries) {
+  Fixture& f = SharedFixture();
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 2;
+  opts.engine = EngineKind::kCpuParallel;
+  obs::TraceContext trace;
+  opts.trace = &trace;
+  opts.record_metrics = false;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  for (int round = 0; round < 3; ++round) {
+    trace.Clear();
+    auto res = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(res.ok());
+    CheckEngineTrace(trace, *res, opts.engine);
+  }
+}
+
+// ------------------------- Deadline expiry sweeps ----------------------------
+
+// Expiry forced at every fault point must still leave a well-formed trace
+// whose completed-level span count matches levels_completed — the abandoned
+// level is renamed "bottomup/level(partial)", never miscounted.
+const char* const kLockFreePoints[] = {
+    "bottomup:level", "bottomup:identify", "bottomup:chunk",
+    "stage:topdown", "topdown:candidate",
+};
+const char* const kDynamicPoints[] = {
+    "dynamic:level", "dynamic:chunk", "dynamic:topdown",
+};
+
+SearchOptions StalledOptions(EngineKind kind, const char* point) {
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 4;
+  opts.engine = kind;
+  opts.deadline_ms = 5.0;
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  std::string target = point;
+  opts.fault_injection = [fired, target](const char* p) {
+    if (target == p && !fired->exchange(true)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  };
+  return opts;
+}
+
+void RunTracedExpirySweep(EngineKind kind, const char* const* points,
+                          size_t num_points) {
+  Fixture& f = SharedFixture();
+  for (size_t i = 0; i < num_points; ++i) {
+    SCOPED_TRACE(std::string(EngineKindName(kind)) + " @ " + points[i]);
+    SearchOptions opts = StalledOptions(kind, points[i]);
+    obs::TraceContext trace;
+    opts.trace = &trace;
+    opts.record_metrics = false;
+    SearchEngine engine(&f.kb.graph, &f.index, opts);
+    auto res = engine.SearchKeywords(f.query, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    EXPECT_TRUE(res->stats.timed_out);
+    CheckEngineTrace(trace, *res, kind);
+  }
+}
+
+TEST(EngineTraceTest, ExpiryAtEveryFaultPointSequential) {
+  RunTracedExpirySweep(EngineKind::kSequential, kLockFreePoints,
+                       std::size(kLockFreePoints));
+}
+
+TEST(EngineTraceTest, ExpiryAtEveryFaultPointCpuParallel) {
+  RunTracedExpirySweep(EngineKind::kCpuParallel, kLockFreePoints,
+                       std::size(kLockFreePoints));
+}
+
+TEST(EngineTraceTest, ExpiryAtEveryFaultPointGpuSim) {
+  RunTracedExpirySweep(EngineKind::kGpuSim, kLockFreePoints,
+                       std::size(kLockFreePoints));
+}
+
+TEST(EngineTraceTest, ExpiryAtEveryFaultPointDynamic) {
+  RunTracedExpirySweep(EngineKind::kCpuDynamic, kDynamicPoints,
+                       std::size(kDynamicPoints));
+}
+
+}  // namespace
+}  // namespace wikisearch
