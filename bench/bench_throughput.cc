@@ -1,86 +1,296 @@
-// Service-level throughput: queries per second of the end-to-end engine
-// (index lookup -> two-stage search -> answer materialization) and the
-// effect of the HTTP layer's LRU cache on repeated interactive queries —
-// the paper's "interactive re-querying" motivation (Sec. I).
+// Closed-loop serving throughput: N in-process clients issue back-to-back
+// /search requests from a small hot query set and we measure delivered QPS
+// and latency quantiles per concurrency level, comparing
+//
+//   mutex      — the pre-scheduler serving path: engine executions
+//                serialized one at a time, no deduplication, no context
+//                cache (the old engine_mu_, reconstructed via
+//                SetMaxConcurrency(1) + SetSingleFlight(false));
+//   sched      — the query scheduler: admission + single-flight dedup of
+//                identical in-flight queries;
+//   sched+ctx  — the scheduler plus the shared query-context cache.
+//
+// The response (body) cache is disabled in every configuration so the
+// comparison measures the serving path, not body replay. Results land in
+// BENCH_throughput.json; --smoke runs a shortened sweep and exits nonzero
+// unless the scheduler beats the mutex baseline by >= 2x at 16 clients
+// (the committed full run must show >= 3x).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
-#include "common/timer.h"
-#include "core/batch.h"
+#include "common/json.h"
+#include "common/random.h"
 #include "server/search_service.h"
 
 using namespace wikisearch;
 
-int main() {
+namespace {
+
+struct RunStats {
+  std::string config;
+  int clients = 0;
+  uint64_t requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t engine_executions = 0;
+  uint64_t single_flight_shared = 0;
+  uint64_t context_cache_hits = 0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  idx = std::min(idx, sorted_ms.size() - 1);
+  return sorted_ms[idx];
+}
+
+struct Config {
+  const char* name;
+  bool scheduler;      // false = serialized like the old engine mutex
+  bool context_cache;
+};
+
+RunStats RunClosedLoop(const eval::DatasetBundle& data,
+                       const std::vector<std::string>& hot_queries,
+                       const Config& cfg, int clients, double duration_ms) {
+  SearchOptions defaults;
+  defaults.top_k = 10;
+  defaults.threads = 1;  // intra-query width is not what this bench measures
+  defaults.engine = EngineKind::kCpuParallel;
+  // Response cache off (capacity 0) in every config: measure the serving
+  // path, not body replay.
+  server::SearchService service(&data.kb.graph, &data.index, defaults,
+                                /*cache_capacity=*/0, /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/
+                                cfg.context_cache ? 256u : 0u);
+  if (!cfg.scheduler) {
+    service.SetMaxConcurrency(1);
+    service.SetSingleFlight(false);
+  }
+
+  // Warm-up: touch every hot query once so allocator and index warmth do
+  // not favor whichever config runs later.
+  for (const std::string& q : hot_queries) {
+    server::HttpRequest req;
+    req.params["q"] = q;
+    (void)service.HandleSearch(req);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<bool> stop{false};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x9e3779b9u * static_cast<uint64_t>(c + 1));
+      auto& lat = latencies[static_cast<size_t>(c)];
+      while (!stop.load(std::memory_order_relaxed)) {
+        server::HttpRequest req;
+        req.params["q"] = hot_queries[rng.Uniform(hot_queries.size())];
+        const auto t0 = Clock::now();
+        auto resp = service.HandleSearch(req);
+        const auto t1 = Clock::now();
+        if (resp.status != 200) continue;
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(duration_ms));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  RunStats s;
+  s.config = cfg.name;
+  s.clients = clients;
+  s.requests = all.size();
+  s.wall_ms = wall_ms;
+  s.qps = all.empty() ? 0.0
+                      : static_cast<double>(all.size()) / (wall_ms / 1000.0);
+  s.p50_ms = Percentile(all, 0.50);
+  s.p99_ms = Percentile(all, 0.99);
+  s.single_flight_shared = service.single_flight_shared();
+  s.engine_executions =
+      service.metrics()->GetCounter("ws_server_queries_total")->Value() -
+      s.single_flight_shared;
+  s.context_cache_hits = service.context_cache().hits();
+  return s;
+}
+
+const RunStats* Find(const std::vector<RunStats>& all,
+                     const std::string& config, int clients) {
+  for (const RunStats& s : all) {
+    if (s.config == config && s.clients == clients) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  double duration_ms = smoke ? 250.0 : 1200.0;
+  if (const char* env = std::getenv("WS_BENCH_DURATION_MS")) {
+    duration_ms = std::atof(env);
+  }
+
   eval::DatasetBundle data = bench::SmallDataset();
-  auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, 4, 32, 77);
-
-  eval::PrintHeader("Query throughput (wikisynth-S, Knum=4, k=20)",
-                    {"configuration", "queries", "total", "QPS"});
-
-  auto report = [&](const std::string& label, size_t n, double ms) {
-    char count[32], qps[32];
-    std::snprintf(count, sizeof(count), "%zu", n);
-    std::snprintf(qps, sizeof(qps), "%.0f", n / (ms / 1000.0));
-    eval::PrintRow({label, count, eval::FmtMs(ms), qps});
-  };
-
-  // Raw engine, distinct queries.
-  for (EngineKind kind : {EngineKind::kSequential, EngineKind::kCpuParallel,
-                          EngineKind::kGpuSim}) {
-    SearchOptions opts;
-    opts.top_k = 20;
-    opts.threads = 4;
-    opts.engine = kind;
-    SearchEngine engine(&data.kb.graph, &data.index, opts);
-    WallTimer timer;
-    for (const auto& q : queries) {
-      auto res = engine.SearchKeywords(q.keywords, opts);
-      (void)res;
+  // The hot set: 4 distinct queries, the interactive "everyone searches the
+  // trending topic" shape single-flight and the context cache exist for.
+  auto workload = gen::MakeEfficiencyWorkload(data.kb, data.index, 4, 4, 77);
+  std::vector<std::string> hot_queries;
+  for (const auto& q : workload) {
+    std::string text;
+    for (const auto& kw : q.keywords) {
+      if (!text.empty()) text += ' ';
+      text += kw;
     }
-    report(EngineKindName(kind), queries.size(),
-           timer.ElapsedMs());
+    hot_queries.push_back(std::move(text));
   }
 
-  // Inter-query parallelism: one query per worker, sequential inside.
-  {
-    std::vector<std::vector<std::string>> batch;
-    for (const auto& q : queries) batch.push_back(q.keywords);
-    for (int conc : {2, 4}) {
-      BatchOptions bopts;
-      bopts.concurrency = conc;
-      bopts.search.top_k = 20;
-      bopts.search.threads = 1;
-      WallTimer timer;
-      auto results = BatchSearch(&data.kb.graph, &data.index, batch, bopts);
-      (void)results;
-      report("batch x" + std::to_string(conc), batch.size(),
-             timer.ElapsedMs());
+  const std::vector<Config> configs = {
+      {"mutex", /*scheduler=*/false, /*context_cache=*/false},
+      {"sched", /*scheduler=*/true, /*context_cache=*/false},
+      {"sched+ctx", /*scheduler=*/true, /*context_cache=*/true},
+  };
+  const std::vector<int> client_counts = {1, 4, 16, 64};
+
+  eval::PrintHeader(
+      "Closed-loop serving throughput (wikisynth-S, 4 hot queries)",
+      {"configuration", "clients", "requests", "QPS", "p50", "p99"});
+  std::vector<RunStats> results;
+  for (const Config& cfg : configs) {
+    for (int clients : client_counts) {
+      RunStats s = RunClosedLoop(data, hot_queries, cfg, clients,
+                                 duration_ms);
+      char clients_s[16], requests_s[32], qps_s[32];
+      std::snprintf(clients_s, sizeof(clients_s), "%d", s.clients);
+      std::snprintf(requests_s, sizeof(requests_s), "%llu",
+                    static_cast<unsigned long long>(s.requests));
+      std::snprintf(qps_s, sizeof(qps_s), "%.0f", s.qps);
+      eval::PrintRow({s.config, clients_s, requests_s, qps_s,
+                      eval::FmtMs(s.p50_ms), eval::FmtMs(s.p99_ms)});
+      results.push_back(std::move(s));
     }
   }
 
-  // Service with cache: first pass cold, second pass fully cached.
-  SearchOptions opts;
-  opts.top_k = 20;
-  opts.threads = 4;
-  server::SearchService service(&data.kb.graph, &data.index, opts, 1024);
-  auto run_pass = [&](const char* label) {
-    WallTimer timer;
-    for (const auto& q : queries) {
-      server::HttpRequest req;
-      std::string text;
-      for (const auto& kw : q.keywords) text += kw + " ";
-      req.params["q"] = text;
-      auto resp = service.HandleSearch(req);
-      (void)resp;
-    }
-    report(label, queries.size(), timer.ElapsedMs());
-  };
-  run_pass("svc cold");
-  run_pass("svc warm");
+  const RunStats* mutex16 = Find(results, "mutex", 16);
+  const RunStats* sched16 = Find(results, "sched", 16);
+  const RunStats* schedctx16 = Find(results, "sched+ctx", 16);
+  const RunStats* mutex1 = Find(results, "mutex", 1);
+  const RunStats* sched1 = Find(results, "sched", 1);
+  const double speedup16 =
+      (mutex16 != nullptr && sched16 != nullptr && mutex16->qps > 0.0)
+          ? sched16->qps / mutex16->qps
+          : 0.0;
+  const double speedup16_ctx =
+      (mutex16 != nullptr && schedctx16 != nullptr && mutex16->qps > 0.0)
+          ? schedctx16->qps / mutex16->qps
+          : 0.0;
+  const double p99_ratio_1client =
+      (mutex1 != nullptr && sched1 != nullptr && mutex1->p99_ms > 0.0)
+          ? sched1->p99_ms / mutex1->p99_ms
+          : 0.0;
 
-  std::printf("\ncache hits: %llu, misses: %llu\n",
-              static_cast<unsigned long long>(service.cache().hits()),
-              static_cast<unsigned long long>(service.cache().misses()));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("throughput");
+  w.Key("dataset");
+  w.String("wikisynth-S");
+  w.Key("hot_queries");
+  w.UInt(hot_queries.size());
+  w.Key("duration_ms_per_point");
+  w.Double(duration_ms);
+  w.Key("smoke");
+  w.Bool(smoke);
+  w.Key("runs");
+  w.BeginArray();
+  for (const RunStats& s : results) {
+    w.BeginObject();
+    w.Key("config");
+    w.String(s.config);
+    w.Key("clients");
+    w.Int(s.clients);
+    w.Key("requests");
+    w.UInt(s.requests);
+    w.Key("wall_ms");
+    w.Double(s.wall_ms);
+    w.Key("qps");
+    w.Double(s.qps);
+    w.Key("p50_ms");
+    w.Double(s.p50_ms);
+    w.Key("p99_ms");
+    w.Double(s.p99_ms);
+    w.Key("engine_executions");
+    w.UInt(s.engine_executions);
+    w.Key("single_flight_shared");
+    w.UInt(s.single_flight_shared);
+    w.Key("context_cache_hits");
+    w.UInt(s.context_cache_hits);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("acceptance");
+  w.BeginObject();
+  w.Key("speedup_16_clients");
+  w.Double(speedup16);
+  w.Key("speedup_16_clients_with_context_cache");
+  w.Double(speedup16_ctx);
+  w.Key("meets_3x");
+  w.Bool(speedup16 >= 3.0 || speedup16_ctx >= 3.0);
+  w.Key("p99_ratio_1_client");
+  w.Double(p99_ratio_1client);
+  w.Key("p99_1_client_no_worse");
+  // Tolerance for run-to-run noise on a single-digit-ms quantile.
+  w.Bool(p99_ratio_1client <= 1.15);
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(out_path);
+  out << std::move(w).Take() << "\n";
+  out.close();
+  std::printf("\nscheduler speedup at 16 clients: %.2fx (with context "
+              "cache: %.2fx); p99 ratio at 1 client: %.2f\nwrote %s\n",
+              speedup16, speedup16_ctx, p99_ratio_1client, out_path.c_str());
+
+  if (smoke) {
+    const double best = std::max(speedup16, speedup16_ctx);
+    if (best < 2.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: scheduler speedup %.2fx < 2x at 16 clients\n",
+                   best);
+      return 1;
+    }
+  }
   return 0;
 }

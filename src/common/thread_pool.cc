@@ -144,6 +144,62 @@ void ThreadPool::ParallelForDynamic(size_t n, size_t grain,
   });
 }
 
+ThreadPoolCache::Lease ThreadPoolCache::Acquire(int threads) {
+  threads = std::max(threads, 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+      if (it->pool->threads() == threads) {
+        Entry entry = std::move(*it);
+        idle_.erase(it);
+        ++reused_;
+        return Lease(this, std::move(entry));
+      }
+    }
+    ++created_;
+  }
+  // Pool construction (thread spawning) happens outside the lock.
+  Entry entry;
+  entry.pool = std::make_unique<ThreadPool>(threads);
+  return Lease(this, std::move(entry));
+}
+
+void ThreadPoolCache::Return(Entry entry) {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t same_width = 0;
+  for (const Entry& e : idle_) {
+    if (e.pool->threads() == entry.pool->threads()) ++same_width;
+  }
+  if (same_width < kMaxIdlePerWidth) {
+    idle_.push_back(std::move(entry));
+    return;
+  }
+  lock.unlock();  // joining the surplus pool's workers needs no lock
+}
+
+void ThreadPoolCache::Clear() {
+  std::vector<Entry> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    doomed.swap(idle_);
+  }
+}
+
+size_t ThreadPoolCache::idle_pools() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+size_t ThreadPoolCache::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t ThreadPoolCache::reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
 void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
   jobs_.fetch_add(1, std::memory_order_relaxed);
   if (threads_ <= 1) {

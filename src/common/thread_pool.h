@@ -11,7 +11,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -106,5 +108,91 @@ class ThreadPool {
 /// Computes a reasonable grain size: aims for ~8 chunks per worker so dynamic
 /// scheduling can balance, without degenerating to per-element dispatch.
 size_t DefaultGrain(size_t n, int threads);
+
+/// Thread-safe cache of idle ThreadPool instances keyed by width. A ThreadPool
+/// runs one fork-join job at a time, so concurrent queries cannot share one;
+/// instead each query leases a pool for its duration and returns it, which
+/// keeps the pre-concurrency behavior (persistent workers reused across the
+/// queries of one client) without serializing independent queries. Width-1
+/// pools spawn no OS threads, so the under-load path (scheduler grants one
+/// thread per query) never pays thread creation.
+class ThreadPoolCache {
+ public:
+  /// A pooled ThreadPool plus the slice of its monotonic utilization counters
+  /// that has already been published to a metric registry. The counters ride
+  /// with the pool because only the current lease holder may publish deltas.
+  struct Entry {
+    std::unique_ptr<ThreadPool> pool;
+    uint64_t published_jobs = 0;
+    uint64_t published_busy_us = 0;
+  };
+
+  /// Move-only lease; returns the pool to the cache on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ThreadPoolCache* cache, Entry entry)
+        : cache_(cache), entry_(std::move(entry)) {}
+    Lease(Lease&& other) noexcept
+        : cache_(other.cache_), entry_(std::move(other.entry_)) {
+      other.cache_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        entry_ = std::move(other.entry_);
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    ThreadPool* get() const { return entry_.pool.get(); }
+    ThreadPool* operator->() const { return entry_.pool.get(); }
+    Entry& entry() { return entry_; }
+
+   private:
+    void Release() {
+      if (cache_ != nullptr && entry_.pool != nullptr) {
+        cache_->Return(std::move(entry_));
+      }
+      cache_ = nullptr;
+    }
+
+    ThreadPoolCache* cache_ = nullptr;
+    Entry entry_;
+  };
+
+  ThreadPoolCache() = default;
+  ThreadPoolCache(const ThreadPoolCache&) = delete;
+  ThreadPoolCache& operator=(const ThreadPoolCache&) = delete;
+
+  /// Returns a pool with exactly max(threads, 1) workers, reusing an idle one
+  /// of that width when available.
+  Lease Acquire(int threads);
+
+  /// Drops all idle pools (joins their workers).
+  void Clear();
+
+  size_t idle_pools() const;
+  size_t created() const;
+  size_t reused() const;
+
+ private:
+  friend class Lease;
+  void Return(Entry entry);
+
+  // Keep a few idle pools per width: enough for a burst of same-width
+  // queries without pinning unbounded OS threads after a load spike.
+  static constexpr size_t kMaxIdlePerWidth = 4;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> idle_;
+  size_t created_ = 0;
+  size_t reused_ = 0;
+};
 
 }  // namespace wikisearch

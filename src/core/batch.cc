@@ -1,9 +1,13 @@
 #include "core/batch.h"
 
+#include <algorithm>
 #include <atomic>
+#include <string>
 #include <thread>
 
+#include "core/context_cache.h"
 #include "core/state_pool.h"
+#include "server/query_scheduler.h"
 
 namespace wikisearch {
 
@@ -18,20 +22,45 @@ std::vector<Result<SearchResult>> BatchSearch(
   const int workers =
       std::max(1, std::min<int>(opts.concurrency,
                                 static_cast<int>(queries.size())));
-  std::atomic<size_t> cursor{0};
-  // Batch-scoped state pool: at steady state each worker holds one leased
-  // SearchState, so the batch allocates `workers` states total instead of
-  // one per query (kMaxIdlePerKey bounds what it retains between claims).
+  // One shared engine: Search is const/thread-safe, per-query state comes
+  // from the leases below. Batch-scoped pools keep the batch's memory
+  // footprint at O(workers) states and let repeated keyword sets share one
+  // context build.
   SearchStatePool state_pool;
+  QueryContextCache context_cache(/*capacity=*/256);
+  SearchEngine engine(graph, index, opts.search);
+  engine.SetStatePool(&state_pool);
+  engine.SetContextCache(&context_cache);
+
+  // The same scheduler the HTTP service runs on: `concurrency` running
+  // slots, each granted the configured intra-query width, and duplicate
+  // keyword lists in the batch collapsed onto one engine execution.
+  server::QueryScheduler::Options sched_opts;
+  sched_opts.max_running = static_cast<size_t>(workers);
+  sched_opts.total_threads = workers * std::max(opts.search.threads, 1);
+  sched_opts.max_threads_per_query = std::max(opts.search.threads, 1);
+  // A trace context cannot be shared between deduplicated executions.
+  sched_opts.single_flight = opts.search.trace == nullptr;
+  server::QueryScheduler scheduler(sched_opts);
+
+  std::atomic<size_t> cursor{0};
   auto worker = [&] {
-    // One engine (and worker pool) per thread; queries share only the
-    // immutable graph, index and state pool.
-    SearchEngine engine(graph, index, opts.search);
-    engine.SetStatePool(&state_pool);
     while (true) {
       size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= queries.size()) break;
-      results[i] = engine.SearchKeywords(queries[i], opts.search);
+      std::string key;
+      for (const std::string& kw : queries[i]) {
+        key += kw;
+        key += '\x1f';
+      }
+      server::QueryScheduler::Outcome out =
+          scheduler.Run(key, [&, i](int threads) {
+            SearchOptions search = opts.search;
+            search.threads = threads;
+            return engine.SearchKeywords(queries[i], search);
+          });
+      // queue_depth is unlimited, so nothing is ever shed.
+      results[i] = *out.result;
     }
   };
   if (workers == 1) {

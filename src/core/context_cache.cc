@@ -1,0 +1,122 @@
+#include "core/context_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace wikisearch {
+
+namespace {
+
+// Up to 8 shards so concurrent queries with different keys rarely contend on
+// one mutex; fewer when the capacity is tiny so per-shard capacities stay
+// >= 1 and the total bound stays exact.
+constexpr size_t kMaxShards = 8;
+
+size_t ShardCountFor(size_t capacity) {
+  if (capacity == 0) return 1;
+  return std::min<size_t>(kMaxShards, capacity);
+}
+
+}  // namespace
+
+QueryContextCache::QueryContextCache(size_t capacity)
+    : capacity_(capacity), shard_count_(ShardCountFor(capacity)) {
+  shards_.reserve(shard_count_);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string QueryContextCache::MakeKey(const void* graph, const void* index,
+                                       const std::vector<std::string>& keywords,
+                                       double alpha, bool enable_activation,
+                                       int max_level) {
+  char head[96];
+  std::snprintf(head, sizeof(head), "%p|%p|%.17g|%d|%d", graph, index, alpha,
+                enable_activation ? 1 : 0, max_level);
+  std::string key(head);
+  for (const std::string& kw : keywords) {
+    key += '\x1f';  // cannot occur inside an analyzed term
+    key += kw;
+  }
+  return key;
+}
+
+QueryContextCache::Shard& QueryContextCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shard_count_];
+}
+
+size_t QueryContextCache::ShardCapacity(size_t shard) const {
+  // Distribute the capacity exactly: the first (capacity % shards) shards
+  // get one extra slot, so the per-shard caps sum to capacity.
+  return capacity_ / shard_count_ + (shard < capacity_ % shard_count_ ? 1 : 0);
+}
+
+std::shared_ptr<const CachedQueryContext> QueryContextCache::Get(
+    const std::string& key) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void QueryContextCache::Put(const std::string& key,
+                            std::shared_ptr<const CachedQueryContext> value,
+                            uint64_t generation) {
+  if (capacity_ == 0 || value == nullptr) return;
+  // A context built against a since-invalidated index must not re-enter.
+  if (generation != generation_.load(std::memory_order_acquire)) return;
+  const size_t shard_id =
+      std::hash<std::string>{}(key) % shard_count_;
+  Shard& shard = *shards_[shard_id];
+  const size_t cap = ShardCapacity(shard_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (cap == 0) return;  // this shard holds nothing at tiny capacities
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > cap) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryContextCache::Invalidate() {
+  // Bump first: a Put racing with the invalidation either observes the new
+  // generation (and is dropped) or inserts before the sweep below clears it.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t QueryContextCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,119 @@
+// Shared query-context cache: memoizes the expensive per-keyword work of a
+// query — posting-list resolution (the T_i seed sets) and the O(n)
+// precomputed QueryContext::activation_level table — keyed by the analyzed
+// keyword set plus every parameter the context depends on (alpha,
+// activation switch, lmax override, and the graph/index identities). Under
+// concurrent serving the same hot keywords arrive from many clients at
+// once; with this cache each distinct keyword set pays the O(n) context
+// build once and every other query shares an immutable snapshot.
+//
+// Entries are immutable after insertion and handed out as
+// shared_ptr<const ...>, so readers never take a per-entry lock and a
+// context stays alive for as long as any in-flight query uses it, even
+// across eviction or invalidation.
+//
+// Invalidation: Invalidate() bumps a generation and drops every entry.
+// Lookups that began against the old index cannot re-populate the cache
+// with stale data because Put carries the generation observed at Get time
+// and is discarded on mismatch (the stale-after-reindex contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query_context.h"
+
+namespace wikisearch {
+
+/// One cached context: the immutable QueryContext plus the query-analysis
+/// byproducts the engine reports per query.
+struct CachedQueryContext {
+  CachedQueryContext(QueryContext context, std::vector<std::string> dropped)
+      : ctx(std::move(context)), dropped_keywords(std::move(dropped)) {}
+
+  QueryContext ctx;
+  /// Query terms dropped for lack of matches (reported in SearchStats).
+  std::vector<std::string> dropped_keywords;
+};
+
+/// Sharded LRU cache of CachedQueryContext. Thread-safe; all methods may be
+/// called concurrently. Capacity is exact: size() never exceeds it, split
+/// across shards (capacity 0 disables caching entirely).
+class QueryContextCache {
+ public:
+  explicit QueryContextCache(size_t capacity);
+  QueryContextCache(const QueryContextCache&) = delete;
+  QueryContextCache& operator=(const QueryContextCache&) = delete;
+
+  /// Builds the canonical cache key for a query. `graph` and `index` are
+  /// identity-only (mixed in as addresses) so one cache can serve engines
+  /// over different datasets without cross-contamination.
+  static std::string MakeKey(const void* graph, const void* index,
+                             const std::vector<std::string>& keywords,
+                             double alpha, bool enable_activation,
+                             int max_level);
+
+  /// Returns the cached context (refreshing recency) or null.
+  std::shared_ptr<const CachedQueryContext> Get(const std::string& key);
+
+  /// Inserts `value` unless the cache has been invalidated since
+  /// `generation` was observed (see generation()); evicts LRU past capacity.
+  void Put(const std::string& key,
+           std::shared_ptr<const CachedQueryContext> value,
+           uint64_t generation);
+
+  /// Generation to capture before building a context destined for Put.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Drops every entry and bumps the generation: contexts built against the
+  /// pre-invalidation index can no longer enter the cache. Call after any
+  /// reindex / graph swap.
+  void Invalidate();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  // Lifetime counters (exact, monotonic): bridged into the metric registry
+  // by the serving layer via Counter::AdvanceTo.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedQueryContext> value;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  size_t ShardCapacity(size_t shard) const;
+
+  const size_t capacity_;
+  const size_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> generation_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace wikisearch

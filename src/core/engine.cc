@@ -35,34 +35,84 @@ SearchEngine::SearchEngine(const KnowledgeGraph* graph,
 
 SearchEngine::~SearchEngine() = default;
 
-ThreadPool* SearchEngine::PoolFor(int threads) {
-  threads = std::max(threads, 1);
-  if (!pool_ || pool_->threads() != threads) {
-    pool_ = std::make_unique<ThreadPool>(threads);
-    // The new pool's utilization counters restart at zero.
-    published_pool_jobs_ = 0;
-    published_pool_busy_us_ = 0;
-  }
-  return pool_.get();
-}
-
-Result<SearchResult> SearchEngine::Search(const std::string& query) {
+Result<SearchResult> SearchEngine::Search(const std::string& query) const {
   return Search(query, defaults_);
 }
 
 Result<SearchResult> SearchEngine::Search(const std::string& query,
-                                          const SearchOptions& opts) {
+                                          const SearchOptions& opts) const {
   return SearchKeywords(index_->AnalyzeQuery(query), opts);
 }
 
 Result<SearchResult> SearchEngine::SearchKeywords(
-    const std::vector<std::string>& keywords, const SearchOptions& opts) {
+    const std::vector<std::string>& keywords,
+    const SearchOptions& opts) const {
   return SearchKeywordsProgressive(keywords, opts, nullptr);
+}
+
+std::shared_ptr<const CachedQueryContext> SearchEngine::ResolveContext(
+    const std::vector<std::string>& keywords, const SearchOptions& opts,
+    obs::TraceContext* trace, Status* error) const {
+  // The trace skeleton (one index_lookup and one activation span per query)
+  // is emitted on the hit path too: a hit simply makes both spans ~empty.
+  std::string key;
+  uint64_t generation = 0;
+  std::shared_ptr<const CachedQueryContext> hit;
+  std::vector<std::vector<NodeId>> t_i;
+  std::vector<std::string> used;
+  std::vector<std::string> dropped;
+  {
+    obs::ScopedStage stage(trace, "search/index_lookup");
+    if (context_cache_ != nullptr) {
+      key = QueryContextCache::MakeKey(graph_, index_, keywords, opts.alpha,
+                                       opts.enable_activation, opts.max_level);
+      generation = context_cache_->generation();
+      hit = context_cache_->Get(key);
+    }
+    if (hit == nullptr) {
+      // Miss (or no cache): resolve keyword node sets T_i, dropping
+      // keywords without matches.
+      for (const std::string& kw : keywords) {
+        std::span<const NodeId> postings = index_->Lookup(kw);
+        if (postings.empty()) {
+          dropped.push_back(kw);
+          continue;
+        }
+        t_i.emplace_back(postings.begin(), postings.end());
+        used.push_back(kw);
+      }
+    }
+  }
+  if (hit != nullptr) {
+    obs::ScopedStage act(trace, "search/activation");
+    return hit;
+  }
+  if (t_i.empty()) {
+    *error = Status::NotFound("no query keyword matches any node");
+    return nullptr;
+  }
+  if (t_i.size() > 64) {
+    *error = Status::InvalidArgument("at most 64 keywords are supported");
+    return nullptr;
+  }
+
+  int lmax = opts.max_level;
+  if (lmax <= 0) {
+    lmax = 2 * static_cast<int>(std::ceil(graph_->average_distance())) + 2;
+  }
+  obs::ScopedStage act(trace, "search/activation");
+  ActivationMap activation(graph_->average_distance(), opts.alpha,
+                           opts.enable_activation);
+  auto built = std::make_shared<CachedQueryContext>(
+      QueryContext(graph_, std::move(used), std::move(t_i), activation, lmax),
+      std::move(dropped));
+  if (context_cache_ != nullptr) context_cache_->Put(key, built, generation);
+  return built;
 }
 
 Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     const std::vector<std::string>& keywords, const SearchOptions& opts,
-    const ProgressCallback& progress) {
+    const ProgressCallback& progress) const {
   if (!graph_->has_weights()) {
     return Status::FailedPrecondition(
         "graph has no node weights; call AttachNodeWeights first");
@@ -86,41 +136,22 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
   // span tree.
   obs::ScopedStage search_span(trace, "search");
 
-  // Resolve keyword node sets T_i; drop keywords without matches.
-  std::vector<std::vector<NodeId>> t_i;
-  {
-    obs::ScopedStage stage(trace, "search/index_lookup");
-    for (const std::string& kw : keywords) {
-      std::span<const NodeId> postings = index_->Lookup(kw);
-      if (postings.empty()) {
-        result.stats.dropped_keywords.push_back(kw);
-        continue;
-      }
-      t_i.emplace_back(postings.begin(), postings.end());
-      result.keywords.push_back(kw);
-    }
-  }
-  if (t_i.empty()) {
-    return Status::NotFound("no query keyword matches any node");
-  }
-  if (t_i.size() > 64) {
-    return Status::InvalidArgument("at most 64 keywords are supported");
-  }
-  result.stats.num_keywords_used = t_i.size();
+  Status context_error = Status::OK();
+  std::shared_ptr<const CachedQueryContext> cached =
+      ResolveContext(keywords, opts, trace, &context_error);
+  if (cached == nullptr) return context_error;
+  const QueryContext& ctx = cached->ctx;
+  result.keywords = ctx.keywords;
+  result.stats.dropped_keywords = cached->dropped_keywords;
+  result.stats.num_keywords_used = ctx.num_keywords();
 
   const bool sequential = opts.engine == EngineKind::kSequential;
-  ThreadPool* pool = PoolFor(sequential ? 1 : opts.threads);
-
-  int lmax = opts.max_level;
-  if (lmax <= 0) {
-    lmax = 2 * static_cast<int>(std::ceil(graph_->average_distance())) + 2;
-  }
-  std::optional<obs::ScopedStage> activation_span;
-  activation_span.emplace(trace, "search/activation");
-  ActivationMap activation(graph_->average_distance(), opts.alpha,
-                           opts.enable_activation);
-  QueryContext ctx(graph_, result.keywords, std::move(t_i), activation, lmax);
-  activation_span.reset();
+  // Lease a worker pool for the query's duration: concurrent queries get
+  // distinct pools (a pool runs one fork-join job at a time), repeated
+  // same-width queries reuse cached ones.
+  ThreadPoolCache::Lease pool_lease =
+      pool_cache_.Acquire(sequential ? 1 : opts.threads);
+  ThreadPool* pool = pool_lease.get();
 
   result.stats.pre_storage_bytes = graph_->PreStorageBytes();
 
@@ -193,13 +224,14 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
 
   result.timings.total_ms = total_timer.ElapsedMs() +
                             result.timings.transfer_ms;
-  if (opts.record_metrics) RecordSearchMetrics(opts, result, pool);
+  if (opts.record_metrics) RecordSearchMetrics(opts, result, &pool_lease);
   return result;
 }
 
 void SearchEngine::RecordSearchMetrics(const SearchOptions& opts,
                                        const SearchResult& result,
-                                       ThreadPool* pool) {
+                                       ThreadPoolCache::Lease* pool_lease)
+    const {
   obs::MetricRegistry& reg = opts.metrics != nullptr
                                  ? *opts.metrics
                                  : obs::MetricRegistry::Global();
@@ -232,14 +264,17 @@ void SearchEngine::RecordSearchMetrics(const SearchOptions& opts,
       ->Observe(t.topdown_ms);
 
   // Worker-pool utilization: the pool counts jobs and busy time
-  // monotonically; publish the delta since the last query on this pool.
-  uint64_t jobs = pool->jobs_launched();
-  uint64_t busy = pool->busy_micros();
-  reg.GetCounter("ws_pool_jobs_total")->Inc(jobs - published_pool_jobs_);
+  // monotonically; publish the delta since the last query that held this
+  // pool. The watermarks live in the lease entry, which this query holds
+  // exclusively, so concurrent queries publish disjoint deltas.
+  ThreadPoolCache::Entry& entry = pool_lease->entry();
+  uint64_t jobs = entry.pool->jobs_launched();
+  uint64_t busy = entry.pool->busy_micros();
+  reg.GetCounter("ws_pool_jobs_total")->Inc(jobs - entry.published_jobs);
   reg.GetCounter("ws_pool_busy_micros_total")
-      ->Inc(busy - published_pool_busy_us_);
-  published_pool_jobs_ = jobs;
-  published_pool_busy_us_ = busy;
+      ->Inc(busy - entry.published_busy_us);
+  entry.published_jobs = jobs;
+  entry.published_busy_us = busy;
 }
 
 }  // namespace wikisearch

@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "core/answer.h"
 #include "core/bottom_up.h"
+#include "core/context_cache.h"
 #include "core/phase_timings.h"
 #include "core/search_options.h"
 #include "core/state_pool.h"
@@ -72,9 +73,12 @@ struct SearchResult {
   SearchStats stats;
 };
 
-/// Thread-compatible facade: one instance may serve many sequential queries;
-/// concurrent queries should use separate instances (they would share the
-/// worker pool).
+/// Thread-safe facade: one instance serves many queries *concurrently* over
+/// the shared read-only graph and index. Search is const; every piece of
+/// per-query mutable state comes from a lease — a SearchState from the
+/// configured SearchStatePool and a worker ThreadPool from an internal
+/// ThreadPoolCache — so simultaneous queries never touch shared mutable
+/// memory (the serving-path rule documented in DESIGN.md §9).
 class SearchEngine {
  public:
   /// `graph` must have node weights and a sampled average distance attached;
@@ -85,13 +89,13 @@ class SearchEngine {
 
   /// Free-text query: analyzed with the index's analyzer, unknown terms
   /// dropped (reported in stats). Fails if no term matches any node.
-  Result<SearchResult> Search(const std::string& query);
+  Result<SearchResult> Search(const std::string& query) const;
   Result<SearchResult> Search(const std::string& query,
-                              const SearchOptions& opts);
+                              const SearchOptions& opts) const;
 
   /// Pre-split keywords (each analyzed individually).
   Result<SearchResult> SearchKeywords(const std::vector<std::string>& keywords,
-                                      const SearchOptions& opts);
+                                      const SearchOptions& opts) const;
 
   /// Progressive search: `progress` is invoked after every BFS level with
   /// (level, frontier size, centrals found). Returning false cancels the
@@ -100,34 +104,50 @@ class SearchEngine {
   /// Honored by all engine kinds (the dynamic engine included).
   Result<SearchResult> SearchKeywordsProgressive(
       const std::vector<std::string>& keywords, const SearchOptions& opts,
-      const ProgressCallback& progress);
+      const ProgressCallback& progress) const;
 
   const SearchOptions& default_options() const { return defaults_; }
 
   /// Overrides the SearchState pool (default: the process-wide one). Pass a
   /// pool scoped to a batch/server to isolate its states; `pool` must
-  /// outlive the engine. Not thread-safe w.r.t. concurrent Search calls.
+  /// outlive the engine. Configuration only — call before issuing
+  /// concurrent Searches.
   void SetStatePool(SearchStatePool* pool) {
     state_pool_ = pool != nullptr ? pool : &GlobalSearchStatePool();
   }
 
+  /// Attaches a shared query-context cache: per-keyword posting resolution
+  /// and the O(n) activation-level table are then memoized across queries
+  /// (and across concurrent queries — entries are immutable snapshots).
+  /// Null (the default) disables memoization. Configuration only — call
+  /// before issuing concurrent Searches; `cache` must outlive the engine.
+  void SetContextCache(QueryContextCache* cache) { context_cache_ = cache; }
+
  private:
-  ThreadPool* PoolFor(int threads);
+  /// Resolves the query's immutable context — T_i posting lists, activation
+  /// levels, lmax — through the context cache when one is attached. Returns
+  /// null and sets `error` when the query is unanswerable.
+  std::shared_ptr<const CachedQueryContext> ResolveContext(
+      const std::vector<std::string>& keywords, const SearchOptions& opts,
+      obs::TraceContext* trace, Status* error) const;
+
   /// Reports the query's counters, latency and stage histograms, and the
-  /// worker pool's utilization deltas into opts.metrics (or the global
-  /// registry). Called once per query when opts.record_metrics is set.
+  /// leased worker pool's utilization deltas into opts.metrics (or the
+  /// global registry). Called once per query when opts.record_metrics is
+  /// set; the published-counter watermarks ride in the lease entry, which
+  /// the query holds exclusively.
   void RecordSearchMetrics(const SearchOptions& opts,
-                           const SearchResult& result, ThreadPool* pool);
+                           const SearchResult& result,
+                           ThreadPoolCache::Lease* pool_lease) const;
 
   const KnowledgeGraph* graph_;
   const InvertedIndex* index_;
   SearchOptions defaults_;
-  std::unique_ptr<ThreadPool> pool_;
+  // Per-query worker pools are leased here; mutable because leasing from a
+  // (internally locked) cache is not logical state mutation.
+  mutable ThreadPoolCache pool_cache_;
   SearchStatePool* state_pool_ = &GlobalSearchStatePool();
-  // Pool utilization already published to the registry (the pool's counters
-  // are monotonic since pool creation; queries publish the delta).
-  uint64_t published_pool_jobs_ = 0;
-  uint64_t published_pool_busy_us_ = 0;
+  QueryContextCache* context_cache_ = nullptr;
 };
 
 }  // namespace wikisearch

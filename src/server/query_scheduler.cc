@@ -1,0 +1,181 @@
+#include "server/query_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wikisearch::server {
+
+namespace {
+
+size_t HardwareWidth() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace
+
+QueryScheduler::QueryScheduler() : QueryScheduler(Options()) {}
+
+QueryScheduler::QueryScheduler(Options opts)
+    : opts_(opts),
+      resolved_max_running_(opts.max_running != 0 ? opts.max_running
+                                                  : HardwareWidth()),
+      resolved_total_threads_(opts.total_threads > 0
+                                  ? opts.total_threads
+                                  : static_cast<int>(HardwareWidth())) {}
+
+int QueryScheduler::GrantThreads(size_t running) const {
+  int per = std::max(1, resolved_total_threads_ /
+                            static_cast<int>(std::max<size_t>(running, 1)));
+  if (opts_.max_threads_per_query > 0) {
+    per = std::min(per, opts_.max_threads_per_query);
+  }
+  return per;
+}
+
+QueryScheduler::Outcome QueryScheduler::Run(const std::string& key,
+                                            const SearchFn& fn) {
+  std::shared_ptr<Flight> flight;
+  bool leader = true;
+  int threads = 1;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Admission: shedding and the high-water mark are decided atomically,
+    // so a shed request can never inflate in_flight or the HWM (the exact
+    // accounting the old fetch_add/check/fetch_sub window could not give).
+    if (opts_.queue_depth != 0 && in_flight_ + 1 > opts_.queue_depth) {
+      ++shed_;
+      return Outcome{Outcome::Kind::kShed, nullptr};
+    }
+    ++in_flight_;
+    ++admitted_;
+    hwm_ = std::max(hwm_, in_flight_);
+
+    if (opts_.single_flight && !key.empty()) {
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        flight = it->second;
+        leader = false;
+        ++shared_;
+      } else {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+      }
+    }
+    if (leader) {
+      slot_cv_.wait(lock, [&] { return running_ < resolved_max_running_; });
+      ++running_;
+      ++executed_;
+      threads = GrantThreads(running_);
+    }
+  }
+
+  if (!leader) {
+    std::shared_ptr<const Result<SearchResult>> shared_result;
+    {
+      std::unique_lock<std::mutex> fl(flight->mu);
+      flight->cv.wait(fl, [&] { return flight->done; });
+      shared_result = flight->result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+    return Outcome{Outcome::Kind::kShared, std::move(shared_result)};
+  }
+
+  auto result =
+      std::make_shared<const Result<SearchResult>>(fn(threads));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    --in_flight_;
+    // Erase before publishing: a same-key request arriving from here on
+    // starts a fresh flight (single-flight dedups in-flight work only;
+    // replaying finished results is the response cache's job).
+    if (flight != nullptr) flights_.erase(key);
+    slot_cv_.notify_one();
+  }
+  if (flight != nullptr) {
+    std::lock_guard<std::mutex> fl(flight->mu);
+    flight->result = result;
+    flight->done = true;
+    flight->cv.notify_all();
+  }
+  return Outcome{Outcome::Kind::kRan, std::move(result)};
+}
+
+void QueryScheduler::set_queue_depth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.queue_depth = depth;
+}
+
+size_t QueryScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.queue_depth;
+}
+
+void QueryScheduler::set_max_running(size_t max_running) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    resolved_max_running_ =
+        max_running != 0 ? max_running : HardwareWidth();
+  }
+  slot_cv_.notify_all();  // a raised cap may unblock waiting leaders
+}
+
+size_t QueryScheduler::max_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resolved_max_running_;
+}
+
+void QueryScheduler::set_thread_budget(int total_threads,
+                                       int max_threads_per_query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  resolved_total_threads_ = total_threads > 0
+                                ? total_threads
+                                : static_cast<int>(HardwareWidth());
+  opts_.max_threads_per_query = max_threads_per_query;
+}
+
+void QueryScheduler::set_single_flight(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.single_flight = on;
+}
+
+size_t QueryScheduler::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t QueryScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t QueryScheduler::high_water_mark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hwm_;
+}
+
+uint64_t QueryScheduler::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+uint64_t QueryScheduler::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t QueryScheduler::executed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+uint64_t QueryScheduler::shared_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shared_;
+}
+
+}  // namespace wikisearch::server

@@ -1,0 +1,130 @@
+// The serving path's inter-query scheduler (DESIGN.md §9). Replaces the
+// old one-big-mutex in front of the engine with three cooperating policies,
+// all decided under a single scheduler lock so the admission counters are
+// exact under any interleaving:
+//
+//   admission   — at most `queue_depth` queries may be admitted (running or
+//                 waiting); excess callers are shed immediately so overload
+//                 turns into fast 429s instead of unbounded queueing. At
+//                 most `max_running` of the admitted queries execute the
+//                 engine simultaneously; the rest wait on a slot.
+//   single-flight — concurrent queries with the same key share one engine
+//                 execution: the first becomes the leader and runs, the
+//                 rest join its flight and receive the same (immutable)
+//                 result. A thundering herd on one hot query costs one run.
+//   thread sizing — the intra-query worker width is granted at admission
+//                 from a shared budget: `total_threads / running` (clamped
+//                 to [1, max_threads_per_query]). Many concurrent queries
+//                 get one thread each; an idle server gives a lone query
+//                 the full width.
+//
+// The scheduler is engine-agnostic: callers pass a closure that runs the
+// query with the granted width. Both the HTTP service and BatchSearch run
+// on this one code path.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/engine.h"
+
+namespace wikisearch::server {
+
+class QueryScheduler {
+ public:
+  struct Options {
+    /// Engine executions allowed simultaneously; 0 means
+    /// hardware_concurrency (min 1).
+    size_t max_running = 0;
+    /// Admitted queries (running + waiting + joining) allowed before
+    /// shedding; 0 means unlimited. Runtime-tunable via set_queue_depth.
+    size_t queue_depth = 0;
+    /// Intra-query thread budget shared by the running queries; 0 means
+    /// hardware_concurrency (min 1).
+    int total_threads = 0;
+    /// Cap on the width granted to any one query; 0 means no cap beyond
+    /// total_threads.
+    int max_threads_per_query = 0;
+    /// Master switch for single-flight deduplication.
+    bool single_flight = true;
+  };
+
+  /// Runs the query with the granted worker width.
+  using SearchFn = std::function<Result<SearchResult>(int threads)>;
+
+  struct Outcome {
+    enum class Kind {
+      kRan,     ///< this caller executed the engine
+      kShared,  ///< joined an identical in-flight query's execution
+      kShed,    ///< rejected at admission; `result` is null
+    };
+    Kind kind = Kind::kShed;
+    std::shared_ptr<const Result<SearchResult>> result;
+  };
+
+  QueryScheduler();
+  explicit QueryScheduler(Options opts);
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Admits, deduplicates and runs one query. A non-empty `key` opts this
+  /// call into single-flight (keys must encode every parameter that affects
+  /// the result); an empty key always executes. Blocks while waiting for a
+  /// running slot or for a shared flight to finish.
+  Outcome Run(const std::string& key, const SearchFn& fn);
+
+  // Runtime-tunable knobs (all exact under concurrency; the setters take
+  // the scheduler lock).
+  void set_queue_depth(size_t depth);
+  size_t queue_depth() const;
+  void set_max_running(size_t max_running);
+  size_t max_running() const;
+  void set_thread_budget(int total_threads, int max_threads_per_query);
+  void set_single_flight(bool on);
+
+  // Exact point-in-time and lifetime counters: every transition happens
+  // under the same lock as the admission decision, so a quiescent reader
+  // always sees shed + completed == attempted and in_flight == 0.
+  size_t in_flight() const;         ///< admitted: running + waiting + joining
+  size_t running() const;           ///< executing the engine right now
+  size_t high_water_mark() const;   ///< max in_flight ever admitted
+  uint64_t shed_total() const;
+  uint64_t admitted_total() const;
+  uint64_t executed_total() const;  ///< engine executions (leaders)
+  uint64_t shared_total() const;    ///< flights joined (followers)
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const Result<SearchResult>> result;
+  };
+
+  /// Width granted to a query admitted while `running` queries (including
+  /// itself) hold slots. Caller must hold mu_.
+  int GrantThreads(size_t running) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;
+  Options opts_;
+  size_t resolved_max_running_;
+  int resolved_total_threads_;
+
+  size_t in_flight_ = 0;
+  size_t running_ = 0;
+  size_t hwm_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t executed_ = 0;
+  uint64_t shared_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace wikisearch::server

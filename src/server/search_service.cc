@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <thread>
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -16,6 +17,18 @@ EngineKind ParseEngine(const std::string& s) {
   if (s == "dyn") return EngineKind::kCpuDynamic;
   if (s == "gpu") return EngineKind::kGpuSim;
   return EngineKind::kCpuParallel;
+}
+
+QueryScheduler::Options SchedulerDefaults(const SearchOptions& defaults) {
+  QueryScheduler::Options opts;
+  // Budget ≥ per-query cap keeps an idle server granting a lone query the
+  // configured width exactly (clamp(total/1) == cap), even on boxes with
+  // fewer cores than defaults.threads.
+  const int cap = std::max(defaults.threads, 1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  opts.total_threads = std::max(static_cast<int>(hw == 0 ? 1 : hw), cap);
+  opts.max_threads_per_query = cap;
+  return opts;
 }
 
 }  // namespace
@@ -112,12 +125,15 @@ std::string SearchResultToJson(const KnowledgeGraph& graph,
 SearchService::SearchService(const KnowledgeGraph* graph,
                              const InvertedIndex* index,
                              SearchOptions defaults, size_t cache_capacity,
-                             obs::MetricRegistry* metrics)
+                             obs::MetricRegistry* metrics,
+                             size_t context_cache_capacity)
     : graph_(graph),
       index_(index),
       defaults_(defaults),
       cache_(cache_capacity),
+      context_cache_(context_cache_capacity),
       engine_(graph, index, defaults),
+      scheduler_(SchedulerDefaults(defaults)),
       owned_metrics_(metrics == nullptr
                          ? std::make_unique<obs::MetricRegistry>()
                          : nullptr),
@@ -135,6 +151,9 @@ SearchService::SearchService(const KnowledgeGraph* graph,
       http_rejected_total_(
           metrics_->GetCounter("ws_server_http_rejected_total")) {
   engine_.SetStatePool(&state_pool_);
+  if (context_cache_.capacity() > 0) {
+    engine_.SetContextCache(&context_cache_);
+  }
 }
 
 void SearchService::RegisterRoutes(HttpServer* server) {
@@ -189,26 +208,22 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
     }
   }
 
-  // Admission control: bound the number of searches running or waiting on
-  // the engine. Shedding here (before touching the engine mutex) keeps the
-  // 429 path fast even when the engine is saturated.
-  const size_t depth = queue_depth_.load(std::memory_order_relaxed);
-  size_t in_flight = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (depth != 0 && in_flight > depth) {
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  // Hand the query to the scheduler: it sheds past queue_depth, collapses
+  // identical in-flight queries onto one engine execution, and grants this
+  // query's intra-query worker width from the shared thread budget. A
+  // traced query passes an empty key — its spans belong to one execution,
+  // so it must never share (or lend out) a result.
+  QueryScheduler::Outcome out =
+      scheduler_.Run(tracing ? std::string() : cache_key, [&](int threads) {
+        SearchOptions run_opts = opts;
+        run_opts.threads = threads;
+        return engine_.Search(q, run_opts);
+      });
+  if (out.kind == QueryScheduler::Outcome::Kind::kShed) {
     shed_total_->Inc();
     return HttpResponse::TooManyRequests(/*retry_after_s=*/1);
   }
-  size_t hwm = queue_hwm_.load(std::memory_order_relaxed);
-  while (in_flight > hwm &&
-         !queue_hwm_.compare_exchange_weak(hwm, in_flight)) {
-  }
-
-  Result<SearchResult> result = [&] {
-    std::lock_guard<std::mutex> lock(engine_mu_);
-    return engine_.Search(q, opts);
-  }();
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  const Result<SearchResult>& result = *out.result;
   queries_total_->Inc();
   if (!result.ok()) {
     errors_total_->Inc();
@@ -221,6 +236,8 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
         result.status().code() == StatusCode::kNotFound ? 404 : 400;
     return HttpResponse{status, "application/json", std::move(w).Take()};
   }
+  // Outcome counters are per request served, not per engine execution: a
+  // shared flight's timed-out answer was delivered to every joiner.
   if (result->stats.timed_out) timeout_total_->Inc();
   if (result->stats.degraded) degraded_total_->Inc();
   std::string body = SearchResultToJson(*graph_, *result);
@@ -235,8 +252,12 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
     return HttpResponse::Json(std::move(body));
   }
   // Degraded answers depend on transient load; caching them would serve a
-  // timed-out partial result long after the pressure has passed.
-  if (!result->stats.degraded) cache_.Put(cache_key, body);
+  // timed-out partial result long after the pressure has passed. Only the
+  // flight leader populates — joiners would just re-insert the same body.
+  if (!result->stats.degraded &&
+      out.kind == QueryScheduler::Outcome::Kind::kRan) {
+    cache_.Put(cache_key, body);
+  }
   return HttpResponse::Json(std::move(body));
 }
 
@@ -272,6 +293,21 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.Key("misses");
   w.UInt(cache_.misses());
   w.EndObject();
+  w.Key("context_cache");
+  w.BeginObject();
+  w.Key("entries");
+  w.UInt(context_cache_.size());
+  w.Key("capacity");
+  w.UInt(context_cache_.capacity());
+  w.Key("hits");
+  w.UInt(context_cache_.hits());
+  w.Key("misses");
+  w.UInt(context_cache_.misses());
+  w.Key("evictions");
+  w.UInt(context_cache_.evictions());
+  w.Key("invalidations");
+  w.UInt(context_cache_.invalidations());
+  w.EndObject();
   w.Key("state_pool");
   w.BeginObject();
   w.Key("idle");
@@ -281,6 +317,17 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.Key("reused");
   w.UInt(state_pool_.reused());
   w.EndObject();
+  w.Key("scheduler");
+  w.BeginObject();
+  w.Key("max_running");
+  w.UInt(scheduler_.max_running());
+  w.Key("running");
+  w.UInt(scheduler_.running());
+  w.Key("executed");
+  w.UInt(scheduler_.executed_total());
+  w.Key("single_flight_shared");
+  w.UInt(scheduler_.shared_total());
+  w.EndObject();
   w.Key("queries");
   w.UInt(queries_total_->Value());
   w.Key("errors");
@@ -288,11 +335,11 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.Key("admission");
   w.BeginObject();
   w.Key("queue_depth");
-  w.UInt(queue_depth_.load());
+  w.UInt(scheduler_.queue_depth());
   w.Key("in_flight");
-  w.UInt(in_flight_.load());
+  w.UInt(scheduler_.in_flight());
   w.Key("queue_high_water_mark");
-  w.UInt(queue_hwm_.load());
+  w.UInt(scheduler_.high_water_mark());
   w.Key("shed_requests");
   w.UInt(shed_total_->Value());
   w.Key("timed_out_queries");
@@ -311,6 +358,16 @@ void SearchService::RefreshScrapeMetrics() {
   // every quiescent scrape without double bookkeeping on the hot path.
   cache_hits_total_->AdvanceTo(cache_.hits());
   cache_misses_total_->AdvanceTo(cache_.misses());
+  metrics_->GetCounter("ws_context_cache_hits_total")
+      ->AdvanceTo(context_cache_.hits());
+  metrics_->GetCounter("ws_context_cache_misses_total")
+      ->AdvanceTo(context_cache_.misses());
+  metrics_->GetCounter("ws_context_cache_evictions_total")
+      ->AdvanceTo(context_cache_.evictions());
+  metrics_->GetCounter("ws_server_single_flight_shared_total")
+      ->AdvanceTo(scheduler_.shared_total());
+  metrics_->GetCounter("ws_server_engine_executions_total")
+      ->AdvanceTo(scheduler_.executed_total());
   if (server_ != nullptr) {
     http_requests_total_->AdvanceTo(server_->requests_served());
     http_rejected_total_->AdvanceTo(server_->rejected_connections());
@@ -320,13 +377,17 @@ void SearchService::RefreshScrapeMetrics() {
         ->Set(static_cast<double>(server_->live_worker_threads()));
   }
   metrics_->GetGauge("ws_server_queue_depth")
-      ->Set(static_cast<double>(queue_depth_.load()));
+      ->Set(static_cast<double>(scheduler_.queue_depth()));
   metrics_->GetGauge("ws_server_in_flight")
-      ->Set(static_cast<double>(in_flight_.load()));
+      ->Set(static_cast<double>(scheduler_.in_flight()));
   metrics_->GetGauge("ws_server_queue_high_water_mark")
-      ->Set(static_cast<double>(queue_hwm_.load()));
+      ->Set(static_cast<double>(scheduler_.high_water_mark()));
+  metrics_->GetGauge("ws_server_running")
+      ->Set(static_cast<double>(scheduler_.running()));
   metrics_->GetGauge("ws_server_cache_entries")
       ->Set(static_cast<double>(cache_.size()));
+  metrics_->GetGauge("ws_context_cache_entries")
+      ->Set(static_cast<double>(context_cache_.size()));
   metrics_->GetGauge("ws_server_state_pool_idle")
       ->Set(static_cast<double>(state_pool_.idle_states()));
 }

@@ -9,9 +9,15 @@
 //   GET /metrics    — Prometheus text exposition of the metric registry
 //   GET /healthz    — liveness probe
 //
-// Admission control: at most `queue_depth` searches may be in flight
-// (running or waiting on the engine mutex); excess requests are shed
-// immediately with 429 + Retry-After instead of queueing unboundedly.
+// Concurrent serving path (DESIGN.md §9): there is no engine mutex. The
+// SearchEngine is const/thread-safe — every byte of per-query state comes
+// from a SearchStatePool or ThreadPoolCache lease — so queries from the
+// HTTP layer's per-connection threads run concurrently. A QueryScheduler
+// decides, under one lock, which requests are admitted (queue_depth, exact
+// high-water mark), which share an identical in-flight execution
+// (single-flight), and how many intra-query worker threads each running
+// query is granted. A QueryContextCache memoizes per-keyword-set posting
+// lists and activation levels across queries.
 //
 // Observability (DESIGN.md §8): all service counters live in one
 // obs::MetricRegistry — the same registry the engine reports per-query
@@ -19,19 +25,20 @@
 // accessors below can never disagree; there is a single source per count.
 // `trace=1` records the query's stage spans and attaches them to the
 // response as Chrome trace_event JSON under "trace" (such responses bypass
-// the cache in both directions).
+// the response cache and single-flight: spans belong to one execution).
 #pragma once
 
-#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 
+#include "core/context_cache.h"
 #include "core/engine.h"
 #include "core/state_pool.h"
 #include "obs/metrics.h"
 #include "server/http_server.h"
 #include "server/query_cache.h"
+#include "server/query_scheduler.h"
 
 namespace wikisearch::server {
 
@@ -45,9 +52,12 @@ class SearchService {
   /// service and engine counters report into; null means a registry owned
   /// by this service (so two services never share counters). Pass
   /// &obs::MetricRegistry::Global() to export into the process registry.
+  /// `context_cache_capacity` bounds the memoized query contexts (0
+  /// disables the context cache).
   SearchService(const KnowledgeGraph* graph, const InvertedIndex* index,
                 SearchOptions defaults = {}, size_t cache_capacity = 256,
-                obs::MetricRegistry* metrics = nullptr);
+                obs::MetricRegistry* metrics = nullptr,
+                size_t context_cache_capacity = 256);
 
   /// Registers /search, /stats, /metrics and /healthz on the server. The
   /// server pointer is retained so /metrics can bridge its connection
@@ -61,37 +71,52 @@ class SearchService {
   HttpResponse HandleHealth(const HttpRequest& req);
 
   const QueryCache& cache() const { return cache_; }
+  const QueryContextCache& context_cache() const { return context_cache_; }
   obs::MetricRegistry* metrics() const { return metrics_; }
 
-  /// Caps searches in flight (running or queued on the engine); excess
-  /// requests get 429 + Retry-After. 0 means unlimited.
-  void SetQueueDepth(size_t depth) { queue_depth_.store(depth); }
+  /// Caps searches in flight (running, waiting for a slot, or joined to a
+  /// shared flight); excess requests get 429 + Retry-After. 0 = unlimited.
+  void SetQueueDepth(size_t depth) { scheduler_.set_queue_depth(depth); }
+  /// Caps simultaneous engine executions. 0 = hardware concurrency.
+  void SetMaxConcurrency(size_t n) { scheduler_.set_max_running(n); }
+  /// Toggles single-flight deduplication of identical in-flight queries.
+  void SetSingleFlight(bool on) { scheduler_.set_single_flight(on); }
+  /// Sets the shared intra-query thread budget and the per-query cap.
+  void SetThreadBudget(int total_threads, int max_threads_per_query) {
+    scheduler_.set_thread_budget(total_threads, max_threads_per_query);
+  }
+  /// Drops memoized query contexts and rejects in-flight re-population;
+  /// call after the graph or index is rebuilt in place.
+  void InvalidateContextCache() { context_cache_.Invalidate(); }
 
   uint64_t shed_requests() const { return shed_total_->Value(); }
   uint64_t timed_out_queries() const { return timeout_total_->Value(); }
   uint64_t degraded_answers() const { return degraded_total_->Value(); }
-  size_t queue_high_water_mark() const { return queue_hwm_.load(); }
+  size_t in_flight() const { return scheduler_.in_flight(); }
+  size_t queue_high_water_mark() const {
+    return scheduler_.high_water_mark();
+  }
+  uint64_t single_flight_shared() const { return scheduler_.shared_total(); }
 
  private:
   /// Bridges sources that keep their own monotonic counts (QueryCache, the
-  /// HttpServer) into the registry and refreshes the point-in-time gauges.
-  /// Called on every /metrics scrape, serialized by scrape_mu_.
+  /// scheduler, the context cache, the HttpServer) into the registry and
+  /// refreshes the point-in-time gauges. Called on every /metrics scrape,
+  /// serialized by scrape_mu_.
   void RefreshScrapeMetrics();
 
   const KnowledgeGraph* graph_;
   const InvertedIndex* index_;
   SearchOptions defaults_;
   QueryCache cache_;
-  // SearchEngine instances are not safe for concurrent queries (shared
-  // worker pool); the HTTP layer spawns a thread per connection, so searches
-  // are serialized here. Queries are milliseconds; this matches the paper's
-  // single-GPU deployment where queries queue at the device anyway.
-  std::mutex engine_mu_;
-  // Service-scoped state pool: queries reuse one epoch-versioned SearchState
-  // instead of re-allocating n*q bytes each (declared before engine_, which
-  // holds a pointer into it).
+  // Per-query engine state only ever comes from these pools' leases
+  // (DESIGN.md §9) — that is what lets one engine serve concurrent
+  // queries with no mutex. Declared before engine_, which holds pointers
+  // into them.
   SearchStatePool state_pool_;
+  QueryContextCache context_cache_;
   SearchEngine engine_;
+  QueryScheduler scheduler_;
 
   // Observability. The registry owns the counters; the service holds
   // resolved pointers (stable for the registry's lifetime) so the request
@@ -109,13 +134,6 @@ class SearchService {
   obs::Counter* http_rejected_total_;
   std::mutex scrape_mu_;
   HttpServer* server_ = nullptr;  // set by RegisterRoutes
-
-  // Admission control. These stay raw atomics (not gauges): the CAS
-  // high-water-mark update and the fetch_add/fetch_sub in-flight window need
-  // read-modify-write semantics; gauges mirror them at scrape time.
-  std::atomic<size_t> queue_depth_{0};
-  std::atomic<size_t> in_flight_{0};
-  std::atomic<size_t> queue_hwm_{0};
 };
 
 }  // namespace wikisearch::server

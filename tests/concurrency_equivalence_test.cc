@@ -1,0 +1,217 @@
+// Concurrent-serving equivalence: one SearchEngine instance, hit by many
+// threads at once, must return answers bit-identical to the same queries
+// run serially — across every engine kind, with and without a shared
+// SearchStatePool, and with a (non-firing) deadline attached. This is the
+// load-bearing guarantee behind removing the service's engine mutex: if
+// any per-query state leaked between concurrent searches, answers would
+// diverge here. Runs under the tsan/asan presets, where a leak shows up as
+// a data race even when the answers happen to agree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/context_cache.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+/// Canonical byte-exact serialization of a result: every field that reaches
+/// the response JSON, with scores rendered as raw IEEE-754 bits so "close"
+/// doubles do not compare equal.
+std::string Canonical(const Result<SearchResult>& r) {
+  std::ostringstream out;
+  if (!r.ok()) {
+    out << "error:" << r.status().ToString();
+    return out.str();
+  }
+  for (const std::string& kw : r->keywords) out << kw << ';';
+  out << "|levels=" << r->stats.levels
+      << "|centrals=" << r->stats.num_centrals << '|';
+  for (const AnswerGraph& a : r->answers) {
+    uint64_t score_bits = 0;
+    static_assert(sizeof(score_bits) == sizeof(a.score));
+    std::memcpy(&score_bits, &a.score, sizeof(score_bits));
+    out << "a{" << a.central << ',' << a.depth << ',' << score_bits << ",n[";
+    for (NodeId v : a.nodes) out << v << ',';
+    out << "],e[";
+    for (const AnswerEdge& e : a.edges) {
+      out << e.src << '-' << e.label << '-' << e.dst << ',';
+    }
+    out << "]}";
+  }
+  return out.str();
+}
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1200;
+    cfg.num_summary_nodes = 6;
+    cfg.num_topic_nodes = 14;
+    cfg.num_communities = 8;
+    cfg.vocab_size = 1600;
+    cfg.seed = 181;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 2000, 7);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::vector<std::vector<std::string>> DrawQueries(const Fixture& f,
+                                                  size_t count) {
+  Rng rng(testing::TestSeed());
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(3);
+    for (size_t i = 0; i < 2 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+struct Config {
+  EngineKind kind;
+  bool pooled;
+  bool deadline;
+  bool context_cache;
+};
+
+std::string ConfigLabel(const Config& c) {
+  std::string s = EngineKindName(c.kind);
+  s += c.pooled ? "/pooled" : "/fresh";
+  s += c.deadline ? "/deadline" : "/no-deadline";
+  s += c.context_cache ? "/ctx-cache" : "";
+  return s;
+}
+
+void RunEquivalence(const Config& cfg) {
+  SCOPED_TRACE(ConfigLabel(cfg));
+  Fixture& f = SharedFixture();
+  const auto queries = DrawQueries(f, 12);
+
+  SearchOptions opts;
+  opts.engine = cfg.kind;
+  opts.top_k = 8;
+  opts.threads = 4;
+  // A deadline generous enough to never fire: the deadline plumbing (clock
+  // checks, degraded-path branches) must be exercised without introducing
+  // load-dependent nondeterminism.
+  if (cfg.deadline) opts.deadline_ms = 60000.0;
+
+  SearchStatePool pool;
+  QueryContextCache context_cache(64);
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  if (cfg.pooled) engine.SetStatePool(&pool);
+  if (cfg.context_cache) engine.SetContextCache(&context_cache);
+
+  // Serial baselines from the very same engine instance.
+  std::vector<std::string> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) {
+    expected.push_back(Canonical(engine.SearchKeywords(q, opts)));
+  }
+
+  // Then 8 threads × all queries concurrently against that instance; every
+  // thread must reproduce every baseline byte for byte.
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::string>> got(
+      kThreads, std::vector<std::string>(queries.size()));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger starting offsets so different queries overlap in time.
+      for (size_t j = 0; j < queries.size(); ++j) {
+        size_t i = (j + static_cast<size_t>(t)) % queries.size();
+        got[t][i] = Canonical(engine.SearchKeywords(queries[i], opts));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(got[t][i], expected[i])
+          << "thread " << t << " query " << i;
+    }
+  }
+}
+
+class ConcurrencyEquivalenceTest
+    : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(ConcurrencyEquivalenceTest, FreshStates) {
+  RunEquivalence({GetParam(), /*pooled=*/false, /*deadline=*/false,
+                  /*context_cache=*/false});
+}
+
+TEST_P(ConcurrencyEquivalenceTest, PooledStates) {
+  RunEquivalence({GetParam(), /*pooled=*/true, /*deadline=*/false,
+                  /*context_cache=*/false});
+}
+
+TEST_P(ConcurrencyEquivalenceTest, PooledStatesWithDeadline) {
+  RunEquivalence({GetParam(), /*pooled=*/true, /*deadline=*/true,
+                  /*context_cache=*/false});
+}
+
+TEST_P(ConcurrencyEquivalenceTest, FreshStatesWithDeadline) {
+  RunEquivalence({GetParam(), /*pooled=*/false, /*deadline=*/true,
+                  /*context_cache=*/false});
+}
+
+TEST_P(ConcurrencyEquivalenceTest, PooledStatesWithContextCache) {
+  RunEquivalence({GetParam(), /*pooled=*/true, /*deadline=*/false,
+                  /*context_cache=*/true});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngineKinds, ConcurrencyEquivalenceTest,
+                         ::testing::Values(EngineKind::kSequential,
+                                           EngineKind::kCpuParallel,
+                                           EngineKind::kCpuDynamic,
+                                           EngineKind::kGpuSim),
+                         [](const auto& info) {
+                           // Gtest names must be alphanumeric; the engine
+                           // labels ("CPU-Par") are not.
+                           switch (info.param) {
+                             case EngineKind::kSequential:
+                               return std::string("Sequential");
+                             case EngineKind::kCpuParallel:
+                               return std::string("CpuParallel");
+                             case EngineKind::kCpuDynamic:
+                               return std::string("CpuDynamic");
+                             default:
+                               return std::string("GpuSim");
+                           }
+                         });
+
+}  // namespace
+}  // namespace wikisearch

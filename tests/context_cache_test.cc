@@ -1,0 +1,303 @@
+// The shared query-context cache, from the unit level (keying, exact LRU
+// capacity, the stale-after-reindex Put contract) up through the serving
+// layer (hit/miss/eviction counters must reconcile exactly with /metrics
+// and /stats, and invalidation must force a rebuild).
+#include "core/context_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "obs/metrics.h"
+#include "server/search_service.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+KnowledgeGraph MakeWeightedGraph() {
+  GraphBuilder b;
+  b.AddTriple("xml toolkit", "part of", "data tools");
+  b.AddTriple("rdf engine", "part of", "data tools");
+  b.AddTriple("sql planner", "part of", "data tools");
+  b.AddTriple("graph store", "part of", "data tools");
+  b.AddTriple("xml parser", "part of", "xml toolkit");
+  b.AddTriple("query optimizer", "part of", "sql planner");
+  KnowledgeGraph g = std::move(b).Build();
+  AttachNodeWeights(&g);
+  AttachAverageDistance(&g, 100, 3);
+  return g;
+}
+
+std::shared_ptr<const CachedQueryContext> MakeContext(
+    const KnowledgeGraph* g, std::vector<std::string> keywords) {
+  std::vector<std::vector<NodeId>> t_i(keywords.size(),
+                                       std::vector<NodeId>{0});
+  ActivationMap act(g->average_distance(), 0.5, true);
+  return std::make_shared<CachedQueryContext>(
+      QueryContext(g, std::move(keywords), std::move(t_i), act, 4),
+      std::vector<std::string>{});
+}
+
+TEST(QueryContextCacheTest, MakeKeyDistinguishesEveryParameter) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  const void* gp = &g;
+  const void* ip = reinterpret_cast<const void*>(0x1);
+  std::set<std::string> keys;
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"b", "a"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.25, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, false, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 3));
+  keys.insert(
+      QueryContextCache::MakeKey(ip, ip, {"a", "b"}, 0.5, true, 0));
+  EXPECT_EQ(keys.size(), 7u);
+  // Keyword concatenation cannot collide across the separator: {"ab"} and
+  // {"a","b"} differ.
+  EXPECT_NE(QueryContextCache::MakeKey(gp, ip, {"ab"}, 0.5, true, 0),
+            QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 0));
+}
+
+TEST(QueryContextCacheTest, HitRefreshesRecencyAndSharesOneSnapshot) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  QueryContextCache cache(8);
+  auto ctx = MakeContext(&g, {"xml"});
+  const std::string key =
+      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  cache.Put(key, ctx, cache.generation());
+  auto first = cache.Get(key);
+  auto second = cache.Get(key);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first.get(), ctx.get());   // the same immutable snapshot
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryContextCacheTest, TinyCapacityEvictsExactly) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  QueryContextCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  constexpr int kKeys = 6;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string kw = "kw" + std::to_string(i);
+    std::string key =
+        QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0);
+    EXPECT_EQ(cache.Get(key), nullptr);  // every probe misses: capacity 2
+    cache.Put(key, MakeContext(&g, {kw}), cache.generation());
+  }
+  // Exact accounting: every miss inserted one entry, everything beyond the
+  // capacity was evicted, and the books balance to the entry.
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(cache.size(), cache.misses() - cache.evictions());
+  // An entry kept by a live shared_ptr survives its eviction.
+  auto held = MakeContext(&g, {"held"});
+  std::string held_key =
+      QueryContextCache::MakeKey(&g, nullptr, {"held"}, 0.5, true, 0);
+  cache.Put(held_key, held, cache.generation());
+  auto leased = cache.Get(held_key);
+  for (int i = 0; i < 2 * kKeys; ++i) {
+    std::string kw = "spill" + std::to_string(i);
+    cache.Put(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0),
+              MakeContext(&g, {kw}), cache.generation());
+  }
+  if (leased != nullptr) {
+    EXPECT_EQ(leased->ctx.keywords.front(), "held");
+  }
+}
+
+TEST(QueryContextCacheTest, StalePutAfterInvalidateIsRejected) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  QueryContextCache cache(4);
+  const std::string key =
+      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+  // A query captures the generation, starts building... and the index is
+  // rebuilt before it finishes. Its Put must be dropped on the floor.
+  uint64_t stale_generation = cache.generation();
+  cache.Invalidate();
+  cache.Put(key, MakeContext(&g, {"xml"}), stale_generation);
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  // A Put carrying the post-invalidation generation is accepted.
+  cache.Put(key, MakeContext(&g, {"xml"}), cache.generation());
+  EXPECT_NE(cache.Get(key), nullptr);
+}
+
+TEST(QueryContextCacheTest, InvalidateDropsEverything) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  // Capacity 64 = 8 slots per shard: five keys can never evict each other
+  // regardless of how they land across shards (key strings embed heap
+  // addresses, so shard assignment varies run to run).
+  QueryContextCache cache(64);
+  for (int i = 0; i < 5; ++i) {
+    std::string kw = "kw" + std::to_string(i);
+    cache.Put(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0),
+              MakeContext(&g, {kw}), cache.generation());
+  }
+  EXPECT_EQ(cache.size(), 5u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  for (int i = 0; i < 5; ++i) {
+    std::string kw = "kw" + std::to_string(i);
+    EXPECT_EQ(
+        cache.Get(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true,
+                                             0)),
+        nullptr);
+  }
+}
+
+TEST(QueryContextCacheTest, CapacityZeroDisablesCaching) {
+  KnowledgeGraph g = MakeWeightedGraph();
+  QueryContextCache cache(0);
+  const std::string key =
+      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+  cache.Put(key, MakeContext(&g, {"xml"}), cache.generation());
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+// ---- Serving-layer reconciliation ----------------------------------------
+
+using server::HttpRequest;
+
+struct ServiceFixture {
+  ServiceFixture() : graph(MakeWeightedGraph()) {
+    index = InvertedIndex::Build(graph);
+  }
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+HttpRequest SearchRequest(const std::string& q) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/search";
+  req.params["q"] = q;
+  return req;
+}
+
+TEST(ContextCacheServiceTest, HitsAndMissesReconcileWithMetrics) {
+  ServiceFixture f;
+  // Response cache disabled (capacity 0): every request reaches the engine,
+  // so context probes equal requests and the books must balance exactly.
+  server::SearchService service(&f.graph, &f.index, SearchOptions{},
+                                /*cache_capacity=*/0);
+  const std::vector<std::string> hot = {"xml tools", "rdf engine",
+                                        "sql planner"};
+  int requests = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& q : hot) {
+      auto resp = service.HandleSearch(SearchRequest(q));
+      ASSERT_EQ(resp.status, 200) << q;
+      ++requests;
+    }
+  }
+  const QueryContextCache& cc = service.context_cache();
+  EXPECT_EQ(cc.hits() + cc.misses(), static_cast<uint64_t>(requests));
+  EXPECT_EQ(cc.misses(), hot.size());  // one build per distinct keyword set
+  EXPECT_EQ(cc.hits(), static_cast<uint64_t>(requests) - hot.size());
+  EXPECT_EQ(cc.size(), hot.size());
+  EXPECT_EQ(cc.evictions(), 0u);
+
+  // /metrics must expose the same numbers through the registry bridge.
+  auto metrics = service.HandleMetrics(HttpRequest{});
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(obs::FindMetricValue(metrics.body, "ws_context_cache_hits_total"),
+            static_cast<double>(cc.hits()));
+  EXPECT_EQ(
+      obs::FindMetricValue(metrics.body, "ws_context_cache_misses_total"),
+      static_cast<double>(cc.misses()));
+  EXPECT_EQ(
+      obs::FindMetricValue(metrics.body, "ws_context_cache_evictions_total"),
+      0.0);
+  EXPECT_EQ(obs::FindMetricValue(metrics.body, "ws_context_cache_entries"),
+            static_cast<double>(cc.size()));
+
+  // /stats carries the same counters under "context_cache".
+  auto stats = service.HandleStats(HttpRequest{});
+  EXPECT_NE(stats.body.find("\"context_cache\""), std::string::npos);
+  EXPECT_NE(stats.body.find("\"evictions\""), std::string::npos);
+}
+
+TEST(ContextCacheServiceTest, InvalidationForcesRebuild) {
+  ServiceFixture f;
+  server::SearchService service(&f.graph, &f.index, SearchOptions{},
+                                /*cache_capacity=*/0);
+  ASSERT_EQ(service.HandleSearch(SearchRequest("xml tools")).status, 200);
+  ASSERT_EQ(service.HandleSearch(SearchRequest("xml tools")).status, 200);
+  const QueryContextCache& cc = service.context_cache();
+  EXPECT_EQ(cc.hits(), 1u);
+  EXPECT_EQ(cc.misses(), 1u);
+
+  service.InvalidateContextCache();
+  EXPECT_EQ(cc.size(), 0u);
+  ASSERT_EQ(service.HandleSearch(SearchRequest("xml tools")).status, 200);
+  // The post-invalidation query rebuilt rather than hitting stale state.
+  EXPECT_EQ(cc.hits(), 1u);
+  EXPECT_EQ(cc.misses(), 2u);
+  EXPECT_EQ(cc.invalidations(), 1u);
+  EXPECT_EQ(cc.size(), 1u);
+}
+
+TEST(ContextCacheServiceTest, TinyCapacityPropertyReconciliation) {
+  ServiceFixture f;
+  // Context capacity 2 with 5 distinct keyword sets: a seeded random request
+  // stream must keep every invariant — size within capacity, hits + misses
+  // equal to requests, and entries = misses - evictions (every miss inserts
+  // exactly one entry; every overflow evicts exactly one).
+  server::SearchService service(&f.graph, &f.index, SearchOptions{},
+                                /*cache_capacity=*/0, /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/2);
+  const std::vector<std::string> pool = {"xml tools", "rdf engine",
+                                         "sql planner", "graph store",
+                                         "query optimizer"};
+  Rng rng(testing::TestSeed());
+  constexpr int kRequests = 60;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::string& q = pool[rng.Uniform(pool.size())];
+    auto resp = service.HandleSearch(SearchRequest(q));
+    ASSERT_EQ(resp.status, 200) << q;
+    EXPECT_LE(service.context_cache().size(), 2u);
+  }
+  const QueryContextCache& cc = service.context_cache();
+  EXPECT_EQ(cc.hits() + cc.misses(), static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(cc.size(), cc.misses() - cc.evictions());
+  EXPECT_GT(cc.misses(), 0u);
+
+  auto metrics = service.HandleMetrics(HttpRequest{});
+  EXPECT_EQ(obs::FindMetricValue(metrics.body, "ws_context_cache_hits_total"),
+            static_cast<double>(cc.hits()));
+  EXPECT_EQ(
+      obs::FindMetricValue(metrics.body, "ws_context_cache_misses_total"),
+      static_cast<double>(cc.misses()));
+  EXPECT_EQ(
+      obs::FindMetricValue(metrics.body, "ws_context_cache_evictions_total"),
+      static_cast<double>(cc.evictions()));
+}
+
+TEST(ContextCacheServiceTest, CapacityZeroServiceSkipsTheCache) {
+  ServiceFixture f;
+  server::SearchService service(&f.graph, &f.index, SearchOptions{},
+                                /*cache_capacity=*/0, /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/0);
+  ASSERT_EQ(service.HandleSearch(SearchRequest("xml tools")).status, 200);
+  ASSERT_EQ(service.HandleSearch(SearchRequest("xml tools")).status, 200);
+  // The engine was never given the cache: no probes are recorded at all.
+  EXPECT_EQ(service.context_cache().hits(), 0u);
+  EXPECT_EQ(service.context_cache().misses(), 0u);
+}
+
+}  // namespace
+}  // namespace wikisearch

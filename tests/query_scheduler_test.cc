@@ -1,0 +1,360 @@
+// The QueryScheduler's three policies in isolation: exact admission
+// accounting (shed, in-flight, high-water mark), single-flight collapse of
+// identical in-flight queries, and the shared intra-query thread budget.
+#include "server/query_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wikisearch::server {
+namespace {
+
+SearchResult TaggedResult(int tag) {
+  SearchResult r;
+  r.stats.levels = tag;
+  return r;
+}
+
+/// A search function whose entry/exit the test controls: workers block at
+/// the "engine" until the test releases them, so concurrency windows are
+/// deterministic rather than timing-dependent.
+class Gate {
+ public:
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void ArriveAndWait() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++arrived_;
+      cv_.notify_all();
+    }
+    Wait();
+  }
+  void AwaitArrivals(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  int arrived_ = 0;
+};
+
+TEST(QuerySchedulerTest, SingleFlightCollapsesIdenticalInFlightQueries) {
+  QueryScheduler::Options opts;
+  opts.max_running = 2;
+  QueryScheduler sched(opts);
+
+  Gate gate;
+  std::atomic<int> executions{0};
+  constexpr int kThreads = 8;
+  std::vector<QueryScheduler::Outcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      outcomes[i] = sched.Run("hot-query", [&](int) {
+        executions.fetch_add(1);
+        gate.ArriveAndWait();
+        return Result<SearchResult>(TaggedResult(42));
+      });
+    });
+  }
+  // Exactly one leader reaches the engine; everyone else joins its flight.
+  // Hold the leader at the gate until all eight are admitted — otherwise a
+  // slow-spawning thread could arrive after the flight finished and start
+  // a fresh one.
+  gate.AwaitArrivals(1);
+  while (sched.in_flight() < static_cast<size_t>(kThreads)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate.Release();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  EXPECT_EQ(sched.executed_total(), 1u);
+  EXPECT_EQ(sched.shared_total(), static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(sched.admitted_total(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(sched.in_flight(), 0u);
+  int ran = 0, shared = 0;
+  const Result<SearchResult>* leader_result = nullptr;
+  for (const auto& out : outcomes) {
+    ASSERT_NE(out.result, nullptr);
+    ASSERT_TRUE(out.result->ok());
+    EXPECT_EQ((*out.result)->stats.levels, 42);
+    if (out.kind == QueryScheduler::Outcome::Kind::kRan) {
+      ++ran;
+      leader_result = out.result.get();
+    } else if (out.kind == QueryScheduler::Outcome::Kind::kShared) {
+      ++shared;
+    }
+  }
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(shared, kThreads - 1);
+  // Joiners share the leader's result object, not a copy.
+  for (const auto& out : outcomes) {
+    EXPECT_EQ(out.result.get(), leader_result);
+  }
+}
+
+TEST(QuerySchedulerTest, DistinctKeysNeverShare) {
+  QueryScheduler::Options opts;
+  opts.max_running = 4;
+  QueryScheduler sched(opts);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&, i] {
+      auto out = sched.Run("q" + std::to_string(i), [&](int) {
+        return Result<SearchResult>(TaggedResult(i));
+      });
+      ASSERT_EQ(out.kind, QueryScheduler::Outcome::Kind::kRan);
+      EXPECT_EQ((*out.result)->stats.levels, i);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sched.executed_total(), 6u);
+  EXPECT_EQ(sched.shared_total(), 0u);
+}
+
+TEST(QuerySchedulerTest, EmptyKeyOptsOutOfSingleFlight) {
+  QueryScheduler::Options opts;
+  opts.max_running = 8;
+  QueryScheduler sched(opts);
+  Gate gate;
+  std::atomic<int> executions{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto out = sched.Run(std::string(), [&](int) {
+        executions.fetch_add(1);
+        gate.ArriveAndWait();
+        return Result<SearchResult>(TaggedResult(0));
+      });
+      EXPECT_EQ(out.kind, QueryScheduler::Outcome::Kind::kRan);
+    });
+  }
+  gate.AwaitArrivals(kThreads);  // all four run the engine simultaneously
+  gate.Release();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(executions.load(), kThreads);
+  EXPECT_EQ(sched.shared_total(), 0u);
+}
+
+TEST(QuerySchedulerTest, QueueDepthShedsExactlyAndHwmNeverExceedsDepth) {
+  QueryScheduler::Options opts;
+  opts.max_running = 1;
+  opts.queue_depth = 4;
+  opts.single_flight = false;
+  QueryScheduler sched(opts);
+
+  Gate gate;
+  constexpr int kThreads = 16;
+  std::atomic<int> ran{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      auto out = sched.Run("q" + std::to_string(i), [&](int) {
+        gate.ArriveAndWait();
+        return Result<SearchResult>(TaggedResult(i));
+      });
+      if (out.kind == QueryScheduler::Outcome::Kind::kShed) {
+        EXPECT_EQ(out.result, nullptr);
+        shed.fetch_add(1);
+      } else {
+        ran.fetch_add(1);
+      }
+    });
+  }
+  gate.AwaitArrivals(1);
+  gate.Release();
+  for (auto& t : threads) t.join();
+
+  // Exact reconciliation under any interleaving: every request either ran
+  // or was shed, the counters agree with the caller tallies, admitted
+  // never exceeded the depth, and the gate drains back to zero.
+  EXPECT_EQ(ran.load() + shed.load(), kThreads);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_EQ(sched.shed_total(), static_cast<uint64_t>(shed.load()));
+  EXPECT_EQ(sched.executed_total(), static_cast<uint64_t>(ran.load()));
+  EXPECT_EQ(sched.admitted_total(), static_cast<uint64_t>(ran.load()));
+  EXPECT_LE(sched.high_water_mark(), 4u);
+  EXPECT_GE(sched.high_water_mark(), 1u);
+  EXPECT_EQ(sched.in_flight(), 0u);
+  EXPECT_EQ(sched.running(), 0u);
+}
+
+TEST(QuerySchedulerTest, DepthZeroAdmitsEverything) {
+  QueryScheduler::Options opts;
+  opts.max_running = 2;
+  opts.queue_depth = 0;
+  QueryScheduler sched(opts);
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 32; ++i) {
+    threads.emplace_back([&, i] {
+      auto out = sched.Run("q" + std::to_string(i), [&](int) {
+        return Result<SearchResult>(TaggedResult(i));
+      });
+      if (out.kind != QueryScheduler::Outcome::Kind::kShed) ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 32);
+  EXPECT_EQ(sched.shed_total(), 0u);
+  EXPECT_EQ(sched.admitted_total(), 32u);
+  EXPECT_LE(sched.high_water_mark(), 32u);
+}
+
+TEST(QuerySchedulerTest, ThreadGrantDividesBudgetAmongRunningQueries) {
+  QueryScheduler::Options opts;
+  opts.max_running = 4;
+  opts.total_threads = 8;
+  opts.max_threads_per_query = 8;
+  opts.single_flight = false;
+  QueryScheduler sched(opts);
+
+  // A lone query gets the full budget.
+  auto solo = sched.Run("solo", [&](int threads) {
+    EXPECT_EQ(threads, 8);
+    return Result<SearchResult>(TaggedResult(0));
+  });
+  EXPECT_EQ(solo.kind, QueryScheduler::Outcome::Kind::kRan);
+
+  // With four running simultaneously, each is granted 8/4 = 2; the grant
+  // never drops below 1 and is monotone in the number of running queries.
+  Gate gate;
+  std::mutex grants_mu;
+  std::vector<int> grants;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      sched.Run("q" + std::to_string(i), [&](int t) {
+        {
+          std::lock_guard<std::mutex> lock(grants_mu);
+          grants.push_back(t);
+        }
+        gate.ArriveAndWait();
+        return Result<SearchResult>(TaggedResult(i));
+      });
+    });
+  }
+  gate.AwaitArrivals(4);
+  gate.Release();
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(grants.size(), 4u);
+  for (int g : grants) {
+    EXPECT_GE(g, 2);  // 8 / 4 at full occupancy
+    EXPECT_LE(g, 8);  // a query admitted while others drain gets more
+  }
+}
+
+TEST(QuerySchedulerTest, PerQueryCapBoundsTheGrant) {
+  QueryScheduler::Options opts;
+  opts.max_running = 2;
+  opts.total_threads = 16;
+  opts.max_threads_per_query = 3;
+  QueryScheduler sched(opts);
+  auto out = sched.Run("q", [&](int threads) {
+    EXPECT_EQ(threads, 3);
+    return Result<SearchResult>(TaggedResult(0));
+  });
+  EXPECT_EQ(out.kind, QueryScheduler::Outcome::Kind::kRan);
+}
+
+TEST(QuerySchedulerTest, MaxRunningBoundsSimultaneousExecutions) {
+  QueryScheduler::Options opts;
+  opts.max_running = 2;
+  opts.single_flight = false;
+  QueryScheduler sched(opts);
+
+  Gate gate;
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      sched.Run("q" + std::to_string(i), [&](int) {
+        int now = inside.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        inside.fetch_sub(1);
+        return Result<SearchResult>(TaggedResult(i));
+      });
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_EQ(sched.executed_total(), 8u);
+  EXPECT_EQ(sched.running(), 0u);
+}
+
+TEST(QuerySchedulerTest, SingleFlightDoesNotReplayFinishedFlights) {
+  QueryScheduler sched;
+  std::atomic<int> executions{0};
+  for (int i = 0; i < 3; ++i) {
+    auto out = sched.Run("same-key", [&](int) {
+      executions.fetch_add(1);
+      return Result<SearchResult>(TaggedResult(i));
+    });
+    EXPECT_EQ(out.kind, QueryScheduler::Outcome::Kind::kRan);
+  }
+  // Sequential same-key queries each execute: dedup applies to in-flight
+  // work only; replaying finished results is the response cache's job.
+  EXPECT_EQ(executions.load(), 3);
+  EXPECT_EQ(sched.shared_total(), 0u);
+}
+
+TEST(QuerySchedulerTest, RuntimeKnobsTakeEffect) {
+  QueryScheduler sched;
+  sched.set_queue_depth(1);
+  EXPECT_EQ(sched.queue_depth(), 1u);
+  sched.set_max_running(3);
+  EXPECT_EQ(sched.max_running(), 3u);
+  sched.set_thread_budget(6, 2);
+  auto out = sched.Run("q", [&](int threads) {
+    EXPECT_EQ(threads, 2);  // min(6 / 1 running, cap 2)
+    return Result<SearchResult>(TaggedResult(0));
+  });
+  EXPECT_EQ(out.kind, QueryScheduler::Outcome::Kind::kRan);
+
+  sched.set_single_flight(false);
+  sched.set_queue_depth(0);  // re-admit everything for the phase below
+  Gate gate;
+  std::atomic<int> executions{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&] {
+      sched.Run("dup", [&](int) {
+        executions.fetch_add(1);
+        gate.ArriveAndWait();
+        return Result<SearchResult>(TaggedResult(0));
+      });
+    });
+  }
+  gate.AwaitArrivals(2);  // both run: single-flight is off
+  gate.Release();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(executions.load(), 2);
+}
+
+}  // namespace
+}  // namespace wikisearch::server
