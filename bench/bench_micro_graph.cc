@@ -82,7 +82,7 @@ void BM_BottomUpSearch(benchmark::State& state) {
       groups[static_cast<size_t>(c)].push_back(v);
     }
   }
-  QueryContext ctx(&g, {}, groups, ActivationMap(3.5, 0.1), 10);
+  QueryContext ctx(g, {}, groups, ActivationMap(3.5, 0.1), 10);
   ThreadPool pool(static_cast<int>(state.range(0)));
   SearchOptions opts;
   opts.top_k = 20;

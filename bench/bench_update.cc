@@ -1,0 +1,352 @@
+// Live-update benchmark (DESIGN.md §10): measures (a) online mutation
+// throughput through SnapshotManager::Apply — batches/s, mutations/s and
+// apply latency quantiles, plus the cost of one full fold — and (b) the
+// impact of churn on serving latency: query p50/p99 against a live
+// SearchService while an updater thread applies batches and the background
+// Compactor folds and republishes, compared with the same closed loop over
+// a quiescent manager.
+//
+// Both caches are disabled in both query runs: under churn every Apply
+// bumps the version and would defeat them anyway, so leaving them on would
+// compare cached quiescent replies against uncached live ones.
+//
+// Results land in BENCH_update.json; --smoke runs a shortened sweep and
+// exits nonzero unless p99 under churn stays within 2x of quiescent p99
+// (with a small absolute floor so a sub-millisecond quiescent quantile on a
+// loaded CI box does not turn scheduler jitter into a failure).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "live/compactor.h"
+#include "live/snapshot_manager.h"
+#include "live/update.h"
+#include "server/search_service.h"
+
+using namespace wikisearch;
+
+namespace {
+
+double Percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  idx = std::min(idx, sorted_ms.size() - 1);
+  return sorted_ms[idx];
+}
+
+/// One synthetic batch: a couple of fresh "updN" entities wired to random
+/// existing nodes, and an occasional text amendment — the steady trickle of
+/// edits a live KB sees.
+live::UpdateBatch MakeBatch(uint64_t batch, Rng& rng,
+                            const KnowledgeGraph& base) {
+  live::UpdateBatch b;
+  const size_t adds = 2 + rng.Uniform(2);
+  for (size_t j = 0; j < adds; ++j) {
+    const std::string fresh =
+        "upd" + std::to_string(batch) + "n" + std::to_string(j);
+    const std::string anchor =
+        base.NodeName(static_cast<NodeId>(rng.Uniform(base.num_nodes())));
+    b.add.push_back({fresh, "updpred" + std::to_string(rng.Uniform(8)),
+                     anchor});
+  }
+  if (batch % 4 == 0) {
+    const std::string anchor =
+        base.NodeName(static_cast<NodeId>(rng.Uniform(base.num_nodes())));
+    b.text.push_back({anchor, "amended" + std::to_string(batch)});
+  }
+  return b;
+}
+
+struct QueryRun {
+  uint64_t requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t updates_applied = 0;
+  uint64_t compactions = 0;
+  uint64_t generation = 0;
+};
+
+/// Closed loop of one in-process client against `service` for duration_ms;
+/// if `churn` is set, an updater thread applies batches back-to-back (small
+/// pause) while the manager's Compactor folds on its depth trigger.
+QueryRun RunQueryLoop(live::SnapshotManager& mgr,
+                      server::SearchService& service,
+                      const std::vector<std::string>& hot_queries,
+                      const KnowledgeGraph& base, bool churn,
+                      double duration_ms) {
+  // Warm-up: touch every hot query once.
+  for (const std::string& q : hot_queries) {
+    server::HttpRequest req;
+    req.params["q"] = q;
+    (void)service.HandleSearch(req);
+  }
+
+  const uint64_t updates_before = mgr.updates_applied();
+  const uint64_t compactions_before = mgr.compactions();
+
+  using Clock = std::chrono::steady_clock;
+  std::atomic<bool> stop{false};
+  std::thread updater;
+  live::Compactor compactor(&mgr);
+  if (churn) {
+    compactor.Start();
+    updater = std::thread([&] {
+      Rng rng(0xC0FFEEu);
+      uint64_t batch = 1000000;  // distinct namespace from the apply phase
+      while (!stop.load(std::memory_order_relaxed)) {
+        live::UpdateBatch b = MakeBatch(batch++, rng, base);
+        if (!mgr.Apply(b).ok()) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  std::vector<double> lat;
+  Rng rng(0x51CA5Eu);
+  const auto start = Clock::now();
+  for (;;) {
+    server::HttpRequest req;
+    req.params["q"] = hot_queries[rng.Uniform(hot_queries.size())];
+    const auto t0 = Clock::now();
+    auto resp = service.HandleSearch(req);
+    const auto t1 = Clock::now();
+    if (resp.status == 200) {
+      lat.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    if (std::chrono::duration<double, std::milli>(t1 - start).count() >=
+        duration_ms) {
+      break;
+    }
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  stop.store(true);
+  if (updater.joinable()) updater.join();
+  compactor.Stop();
+
+  std::sort(lat.begin(), lat.end());
+  QueryRun r;
+  r.requests = lat.size();
+  r.wall_ms = wall_ms;
+  r.qps = lat.empty() ? 0.0
+                      : static_cast<double>(lat.size()) / (wall_ms / 1000.0);
+  r.p50_ms = Percentile(lat, 0.50);
+  r.p99_ms = Percentile(lat, 0.99);
+  r.updates_applied = mgr.updates_applied() - updates_before;
+  r.compactions = mgr.compactions() - compactions_before;
+  r.generation = mgr.generation();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_update.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  double duration_ms = smoke ? 400.0 : 1500.0;
+  if (const char* env = std::getenv("WS_BENCH_DURATION_MS")) {
+    duration_ms = std::atof(env);
+  }
+  const uint64_t apply_batches = smoke ? 64 : 512;
+
+  eval::DatasetBundle data = bench::SmallDataset();
+  auto workload = gen::MakeEfficiencyWorkload(data.kb, data.index, 4, 4, 77);
+  std::vector<std::string> hot_queries;
+  for (const auto& q : workload) {
+    std::string text;
+    for (const auto& kw : q.keywords) {
+      if (!text.empty()) text += ' ';
+      text += kw;
+    }
+    hot_queries.push_back(std::move(text));
+  }
+
+  // ---- Phase 1: update throughput (quiescent, then one measured fold) ----
+  live::SnapshotManager::Config mcfg;
+  mcfg.compact_threshold_batches = 0;  // manual fold, measured separately
+  live::SnapshotManager apply_mgr(data.kb.graph, data.index, mcfg);
+  const KnowledgeGraph& base = data.kb.graph;
+
+  std::vector<double> apply_ms;
+  apply_ms.reserve(apply_batches);
+  Rng rng(42);
+  using Clock = std::chrono::steady_clock;
+  const auto apply_start = Clock::now();
+  for (uint64_t i = 0; i < apply_batches; ++i) {
+    live::UpdateBatch b = MakeBatch(i, rng, base);
+    const auto t0 = Clock::now();
+    if (!apply_mgr.Apply(b).ok()) {
+      std::fprintf(stderr, "apply %llu rejected\n",
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    apply_ms.push_back(std::chrono::duration<double, std::milli>(
+                           Clock::now() - t0)
+                           .count());
+  }
+  const double apply_wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - apply_start)
+          .count();
+  if (!apply_mgr.CompactOnce().ok()) {
+    std::fprintf(stderr, "fold failed\n");
+    return 1;
+  }
+  const double fold_ms = apply_mgr.last_fold_ms();
+  const double publish_ms = apply_mgr.last_publish_ms();
+  const uint64_t mutations = apply_mgr.mutations_applied();
+  std::sort(apply_ms.begin(), apply_ms.end());
+  const double applies_per_s =
+      static_cast<double>(apply_batches) / (apply_wall_ms / 1000.0);
+  const double mutations_per_s =
+      static_cast<double>(mutations) / (apply_wall_ms / 1000.0);
+  const double apply_p50 = Percentile(apply_ms, 0.50);
+  const double apply_p99 = Percentile(apply_ms, 0.99);
+
+  // ---- Phase 2: query latency, quiescent vs under churn ----
+  SearchOptions defaults;
+  defaults.top_k = 10;
+  defaults.threads = 1;
+  defaults.engine = EngineKind::kCpuParallel;
+  live::SnapshotManager::Config scfg;
+  scfg.compact_threshold_batches = 16;  // Compactor folds on this trigger
+  live::SnapshotManager serve_mgr(data.kb.graph, data.index, scfg);
+  server::SearchService service(&serve_mgr, defaults, /*cache_capacity=*/0,
+                                /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/0);
+
+  QueryRun quiescent = RunQueryLoop(serve_mgr, service, hot_queries, base,
+                                    /*churn=*/false, duration_ms);
+  QueryRun churn = RunQueryLoop(serve_mgr, service, hot_queries, base,
+                                /*churn=*/true, duration_ms);
+
+  // p99 gate with an absolute floor: on a quiet box quiescent p99 can be a
+  // fraction of a millisecond, where a single scheduler preemption breaks a
+  // pure ratio test without telling us anything about the publish path.
+  const double floor_ms = 25.0;
+  const double p99_budget = std::max(2.0 * quiescent.p99_ms, floor_ms);
+  const bool within_2x = churn.p99_ms <= p99_budget;
+  const double p99_ratio =
+      quiescent.p99_ms > 0.0 ? churn.p99_ms / quiescent.p99_ms : 0.0;
+
+  eval::PrintHeader("Live updates (wikisynth-S)",
+                    {"phase", "requests", "QPS", "p50", "p99"});
+  {
+    char req_s[32], qps_s[32];
+    std::snprintf(req_s, sizeof(req_s), "%llu",
+                  static_cast<unsigned long long>(apply_batches));
+    std::snprintf(qps_s, sizeof(qps_s), "%.0f", applies_per_s);
+    eval::PrintRow({"apply (batches)", req_s, qps_s, eval::FmtMs(apply_p50),
+                    eval::FmtMs(apply_p99)});
+  }
+  for (const auto& [label, r] :
+       std::vector<std::pair<const char*, const QueryRun*>>{
+           {"query quiescent", &quiescent}, {"query under churn", &churn}}) {
+    char req_s[32], qps_s[32];
+    std::snprintf(req_s, sizeof(req_s), "%llu",
+                  static_cast<unsigned long long>(r->requests));
+    std::snprintf(qps_s, sizeof(qps_s), "%.0f", r->qps);
+    eval::PrintRow({label, req_s, qps_s, eval::FmtMs(r->p50_ms),
+                    eval::FmtMs(r->p99_ms)});
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("update");
+  w.Key("dataset");
+  w.String("wikisynth-S");
+  w.Key("smoke");
+  w.Bool(smoke);
+  w.Key("update_throughput");
+  w.BeginObject();
+  w.Key("batches");
+  w.UInt(apply_batches);
+  w.Key("mutations");
+  w.UInt(mutations);
+  w.Key("wall_ms");
+  w.Double(apply_wall_ms);
+  w.Key("applies_per_s");
+  w.Double(applies_per_s);
+  w.Key("mutations_per_s");
+  w.Double(mutations_per_s);
+  w.Key("apply_p50_ms");
+  w.Double(apply_p50);
+  w.Key("apply_p99_ms");
+  w.Double(apply_p99);
+  w.Key("fold_ms");
+  w.Double(fold_ms);
+  w.Key("publish_ms");
+  w.Double(publish_ms);
+  w.EndObject();
+  w.Key("query_latency");
+  w.BeginObject();
+  for (const auto& [label, r] :
+       std::vector<std::pair<const char*, const QueryRun*>>{
+           {"quiescent", &quiescent}, {"during_compaction", &churn}}) {
+    w.Key(label);
+    w.BeginObject();
+    w.Key("requests");
+    w.UInt(r->requests);
+    w.Key("wall_ms");
+    w.Double(r->wall_ms);
+    w.Key("qps");
+    w.Double(r->qps);
+    w.Key("p50_ms");
+    w.Double(r->p50_ms);
+    w.Key("p99_ms");
+    w.Double(r->p99_ms);
+    w.Key("updates_applied");
+    w.UInt(r->updates_applied);
+    w.Key("compactions");
+    w.UInt(r->compactions);
+    w.Key("generation");
+    w.UInt(r->generation);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("acceptance");
+  w.BeginObject();
+  w.Key("p99_ratio_churn_vs_quiescent");
+  w.Double(p99_ratio);
+  w.Key("p99_budget_ms");
+  w.Double(p99_budget);
+  w.Key("within_2x");
+  w.Bool(within_2x);
+  w.EndObject();
+  w.EndObject();
+
+  std::ofstream out(out_path);
+  out << std::move(w).Take() << "\n";
+  out.close();
+  std::printf("\napplies/s: %.0f (mutations/s %.0f); fold %.1f ms; p99 "
+              "churn/quiescent: %.2f (budget %.1f ms)\nwrote %s\n",
+              applies_per_s, mutations_per_s, fold_ms, p99_ratio, p99_budget,
+              out_path.c_str());
+
+  if (smoke && !within_2x) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: p99 under churn %.2f ms exceeds budget %.2f "
+                 "ms (quiescent p99 %.2f ms)\n",
+                 churn.p99_ms, p99_budget, quiescent.p99_ms);
+    return 1;
+  }
+  return 0;
+}

@@ -10,15 +10,20 @@
 //        useful for smoke tests), --deadline-ms <ms> (default per-query
 //        budget; 0 = unbounded), --queue-depth <n> (shed searches beyond n
 //        in flight with 429; 0 = unlimited), --max-connections <n> (cap
-//        concurrent HTTP connections; excess get 503).
+//        concurrent HTTP connections; excess get 503), --live (serve from
+//        a SnapshotManager with a background compactor: POST /update
+//        accepts online mutations, GET /snapshot reports the live state).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 #include "core/node_weight.h"
 #include "eval/harness.h"
 #include "graph/distance_sampler.h"
 #include "graph/graph_io.h"
+#include "live/compactor.h"
+#include "live/snapshot_manager.h"
 #include "server/http_client.h"
 #include "server/search_service.h"
 
@@ -33,6 +38,7 @@ int main(int argc, char** argv) {
   uint16_t port = 8080;
   std::string load_path;
   bool once = false;
+  bool live_mode = false;
   size_t queue_depth = 0;
   size_t max_connections = 0;
   SearchOptions opts;
@@ -59,6 +65,8 @@ int main(int argc, char** argv) {
       max_connections = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--once") {
       once = true;
+    } else if (arg == "--live") {
+      live_mode = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -84,7 +92,31 @@ int main(int argc, char** argv) {
   if (graph.average_distance() <= 0.0) AttachAverageDistance(&graph);
   InvertedIndex index = InvertedIndex::Build(graph);
 
-  server::SearchService service(&graph, &index, opts);
+  const std::string node0_name =
+      graph.num_nodes() > 0 ? graph.NodeName(0) : std::string("test");
+
+  // Live mode hands the KB to a SnapshotManager (queries pin immutable
+  // snapshots; POST /update mutates through the delta overlay) and folds in
+  // the background once the overlay is 8 batches deep.
+  std::unique_ptr<live::SnapshotManager> manager;
+  std::unique_ptr<live::Compactor> compactor;
+  std::unique_ptr<server::SearchService> live_service;
+  server::SearchService* serving = nullptr;
+  std::unique_ptr<server::SearchService> static_service;
+  if (live_mode) {
+    manager = std::make_unique<live::SnapshotManager>(std::move(graph),
+                                                      std::move(index));
+    compactor = std::make_unique<live::Compactor>(manager.get());
+    live_service =
+        std::make_unique<server::SearchService>(manager.get(), opts);
+    compactor->Start();
+    serving = live_service.get();
+  } else {
+    static_service =
+        std::make_unique<server::SearchService>(&graph, &index, opts);
+    serving = static_service.get();
+  }
+  server::SearchService& service = *serving;
   service.SetQueueDepth(queue_depth);
   server::HttpServer http;
   http.SetMaxConnections(max_connections);
@@ -99,7 +131,7 @@ int main(int argc, char** argv) {
 
   if (once) {
     // Self-test: query a term that certainly exists (a node name token).
-    std::vector<std::string> toks = Tokenize(graph.NodeName(0));
+    std::vector<std::string> toks = Tokenize(node0_name);
     std::string q = toks.empty() ? "test" : toks[0];
     auto resp = server::HttpGet(http.port(), "/search?q=" + q + "&k=3");
     if (resp.ok()) {
@@ -108,6 +140,21 @@ int main(int argc, char** argv) {
     }
     auto stats = server::HttpGet(http.port(), "/stats");
     if (stats.ok()) std::printf("GET /stats -> %.400s\n", stats->body.c_str());
+    if (live_mode) {
+      // And one mutation through the live path (in-process; POST /update
+      // over the wire carries the same body).
+      server::HttpRequest update;
+      update.method = "POST";
+      update.path = "/update";
+      update.body = "{\"add\":[[\"live demo node\",\"linksTo\",\"" +
+                    node0_name + "\"]]}";
+      auto up = service.HandleUpdate(update);
+      std::printf("POST /update -> %d %.200s\n", up.status, up.body.c_str());
+      auto snap = server::HttpGet(http.port(), "/snapshot");
+      if (snap.ok()) {
+        std::printf("GET /snapshot -> %.300s\n", snap->body.c_str());
+      }
+    }
     http.Stop();
     return 0;
   }

@@ -16,7 +16,7 @@ bool AnswerGraph::ContainsAllNodesOf(const AnswerGraph& other) const {
                        other.nodes.end());
 }
 
-double ScoreAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+double ScoreAnswer(const GraphView& g, const AnswerGraph& answer,
                    double lambda) {
   double weight_sum = 0.0;
   for (NodeId v : answer.nodes) weight_sum += g.NodeWeight(v);
@@ -30,7 +30,7 @@ bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b) {
   return a.central < b.central;
 }
 
-void AppendEdgesBetween(const KnowledgeGraph& g, NodeId u, NodeId v,
+void AppendEdgesBetween(const GraphView& g, NodeId u, NodeId v,
                         std::vector<AnswerEdge>* edges) {
   std::span<const AdjEntry> adj = g.Neighbors(u);
   // Adjacency lists are sorted by target; binary-search the range.
@@ -46,7 +46,7 @@ void AppendEdgesBetween(const KnowledgeGraph& g, NodeId u, NodeId v,
   }
 }
 
-std::string FormatAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+std::string FormatAnswer(const GraphView& g, const AnswerGraph& answer,
                          const std::vector<std::string>& keywords) {
   std::ostringstream out;
   out << "CentralGraph(center=\"" << g.NodeName(answer.central)

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 
 namespace wikisearch {
@@ -47,7 +48,7 @@ struct AnswerGraph {
 };
 
 /// Eq. 6: S(C) = d(C)^lambda * sum of node weights. Lower is better.
-double ScoreAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+double ScoreAnswer(const GraphView& g, const AnswerGraph& answer,
                    double lambda);
 
 /// Deterministic strict ordering used for final ranking: by score, then
@@ -55,13 +56,13 @@ double ScoreAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
 bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b);
 
 /// Human-readable rendering (node names + labeled edges) for examples/CLI.
-std::string FormatAnswer(const KnowledgeGraph& g, const AnswerGraph& answer,
+std::string FormatAnswer(const GraphView& g, const AnswerGraph& answer,
                          const std::vector<std::string>& keywords);
 
 /// Appends every KB edge between u and v (either orientation) to `edges`,
 /// rendered in original triple direction. Shared by answer materialization
 /// in the Central Graph engines and the BANKS baselines.
-void AppendEdgesBetween(const KnowledgeGraph& g, NodeId u, NodeId v,
+void AppendEdgesBetween(const GraphView& g, NodeId u, NodeId v,
                         std::vector<AnswerEdge>* edges);
 
 }  // namespace wikisearch

@@ -15,7 +15,7 @@ namespace {
 /// Writes are single-valued per cell at a given level (Thm. V.2), so no
 /// synchronization is needed beyond relaxed atomics. `worker` indexes the
 /// executing pool worker's frontier buffer.
-inline void ExpandFrontierInstance(const KnowledgeGraph& g,
+inline void ExpandFrontierInstance(const GraphView& g,
                                    const QueryContext& ctx,
                                    SearchState* state, NodeId vf, size_t i,
                                    int l, int worker) {
@@ -59,7 +59,7 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
                               bool gpu_style,
                               const ProgressCallback& progress,
                               const Deadline& deadline) {
-  const KnowledgeGraph& g = *ctx.graph;
+  const GraphView& g = ctx.graph;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
   const FaultHook& fault = opts.fault_injection;

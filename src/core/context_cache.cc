@@ -29,11 +29,13 @@ QueryContextCache::QueryContextCache(size_t capacity)
 }
 
 std::string QueryContextCache::MakeKey(const void* graph, const void* index,
+                                       uint64_t version,
                                        const std::vector<std::string>& keywords,
                                        double alpha, bool enable_activation,
                                        int max_level) {
-  char head[96];
-  std::snprintf(head, sizeof(head), "%p|%p|%.17g|%d|%d", graph, index, alpha,
+  char head[128];
+  std::snprintf(head, sizeof(head), "%p|%p|%llu|%.17g|%d|%d", graph, index,
+                static_cast<unsigned long long>(version), alpha,
                 enable_activation ? 1 : 0, max_level);
   std::string key(head);
   for (const std::string& kw : keywords) {

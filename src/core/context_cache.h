@@ -34,12 +34,18 @@ namespace wikisearch {
 /// One cached context: the immutable QueryContext plus the query-analysis
 /// byproducts the engine reports per query.
 struct CachedQueryContext {
-  CachedQueryContext(QueryContext context, std::vector<std::string> dropped)
-      : ctx(std::move(context)), dropped_keywords(std::move(dropped)) {}
+  CachedQueryContext(QueryContext context, std::vector<std::string> dropped,
+                     std::shared_ptr<const void> snapshot_pin = nullptr)
+      : ctx(std::move(context)),
+        dropped_keywords(std::move(dropped)),
+        pin(std::move(snapshot_pin)) {}
 
   QueryContext ctx;
   /// Query terms dropped for lack of matches (reported in SearchStats).
   std::vector<std::string> dropped_keywords;
+  /// Keeps the live snapshot/patches referenced by ctx.graph alive for as
+  /// long as this context is cached or in use (null for static KBs).
+  std::shared_ptr<const void> pin;
 };
 
 /// Sharded LRU cache of CachedQueryContext. Thread-safe; all methods may be
@@ -53,8 +59,12 @@ class QueryContextCache {
 
   /// Builds the canonical cache key for a query. `graph` and `index` are
   /// identity-only (mixed in as addresses) so one cache can serve engines
-  /// over different datasets without cross-contamination.
+  /// over different datasets without cross-contamination. `version` is the
+  /// KbHandle's KB-state version: overlay states over the same base
+  /// snapshot get distinct keys (0 for static KBs), and versions never
+  /// repeat, so a recycled snapshot address cannot alias an old entry.
   static std::string MakeKey(const void* graph, const void* index,
+                             uint64_t version,
                              const std::vector<std::string>& keywords,
                              double alpha, bool enable_activation,
                              int max_level);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "core/activation.h"
 #include "core/bottom_up.h"
@@ -33,7 +34,15 @@ SearchEngine::SearchEngine(const KnowledgeGraph* graph,
                            const InvertedIndex* index, SearchOptions defaults)
     : graph_(graph), index_(index), defaults_(defaults) {}
 
+SearchEngine::SearchEngine(SearchOptions defaults)
+    : graph_(nullptr), index_(nullptr), defaults_(defaults) {}
+
 SearchEngine::~SearchEngine() = default;
+
+KbHandle SearchEngine::BoundHandle() const {
+  WS_CHECK(graph_ != nullptr && index_ != nullptr);
+  return KbHandle{GraphView(*graph_), IndexView(*index_), 0, nullptr};
+}
 
 Result<SearchResult> SearchEngine::Search(const std::string& query) const {
   return Search(query, defaults_);
@@ -41,18 +50,37 @@ Result<SearchResult> SearchEngine::Search(const std::string& query) const {
 
 Result<SearchResult> SearchEngine::Search(const std::string& query,
                                           const SearchOptions& opts) const {
-  return SearchKeywords(index_->AnalyzeQuery(query), opts);
+  return Search(BoundHandle(), query, opts);
 }
 
 Result<SearchResult> SearchEngine::SearchKeywords(
     const std::vector<std::string>& keywords,
     const SearchOptions& opts) const {
-  return SearchKeywordsProgressive(keywords, opts, nullptr);
+  return SearchKeywordsProgressive(BoundHandle(), keywords, opts, nullptr);
+}
+
+Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
+    const std::vector<std::string>& keywords, const SearchOptions& opts,
+    const ProgressCallback& progress) const {
+  return SearchKeywordsProgressive(BoundHandle(), keywords, opts, progress);
+}
+
+Result<SearchResult> SearchEngine::Search(const KbHandle& kb,
+                                          const std::string& query,
+                                          const SearchOptions& opts) const {
+  return SearchKeywords(kb, kb.index.AnalyzeQuery(query), opts);
+}
+
+Result<SearchResult> SearchEngine::SearchKeywords(
+    const KbHandle& kb, const std::vector<std::string>& keywords,
+    const SearchOptions& opts) const {
+  return SearchKeywordsProgressive(kb, keywords, opts, nullptr);
 }
 
 std::shared_ptr<const CachedQueryContext> SearchEngine::ResolveContext(
-    const std::vector<std::string>& keywords, const SearchOptions& opts,
-    obs::TraceContext* trace, Status* error) const {
+    const KbHandle& kb, const std::vector<std::string>& keywords,
+    const SearchOptions& opts, obs::TraceContext* trace,
+    Status* error) const {
   // The trace skeleton (one index_lookup and one activation span per query)
   // is emitted on the hit path too: a hit simply makes both spans ~empty.
   std::string key;
@@ -64,7 +92,8 @@ std::shared_ptr<const CachedQueryContext> SearchEngine::ResolveContext(
   {
     obs::ScopedStage stage(trace, "search/index_lookup");
     if (context_cache_ != nullptr) {
-      key = QueryContextCache::MakeKey(graph_, index_, keywords, opts.alpha,
+      key = QueryContextCache::MakeKey(kb.graph.base(), kb.index.base(),
+                                       kb.version, keywords, opts.alpha,
                                        opts.enable_activation, opts.max_level);
       generation = context_cache_->generation();
       hit = context_cache_->Get(key);
@@ -73,7 +102,7 @@ std::shared_ptr<const CachedQueryContext> SearchEngine::ResolveContext(
       // Miss (or no cache): resolve keyword node sets T_i, dropping
       // keywords without matches.
       for (const std::string& kw : keywords) {
-        std::span<const NodeId> postings = index_->Lookup(kw);
+        std::span<const NodeId> postings = kb.index.Lookup(kw);
         if (postings.empty()) {
           dropped.push_back(kw);
           continue;
@@ -98,26 +127,30 @@ std::shared_ptr<const CachedQueryContext> SearchEngine::ResolveContext(
 
   int lmax = opts.max_level;
   if (lmax <= 0) {
-    lmax = 2 * static_cast<int>(std::ceil(graph_->average_distance())) + 2;
+    lmax = 2 * static_cast<int>(std::ceil(kb.graph.average_distance())) + 2;
   }
   obs::ScopedStage act(trace, "search/activation");
-  ActivationMap activation(graph_->average_distance(), opts.alpha,
+  ActivationMap activation(kb.graph.average_distance(), opts.alpha,
                            opts.enable_activation);
+  // The cached context carries the handle's pin: a memoized context built
+  // over a live snapshot keeps that snapshot alive even after a publish
+  // retires it from the serving path.
   auto built = std::make_shared<CachedQueryContext>(
-      QueryContext(graph_, std::move(used), std::move(t_i), activation, lmax),
-      std::move(dropped));
+      QueryContext(kb.graph, std::move(used), std::move(t_i), activation,
+                   lmax),
+      std::move(dropped), kb.pin);
   if (context_cache_ != nullptr) context_cache_->Put(key, built, generation);
   return built;
 }
 
 Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
-    const std::vector<std::string>& keywords, const SearchOptions& opts,
-    const ProgressCallback& progress) const {
-  if (!graph_->has_weights()) {
+    const KbHandle& kb, const std::vector<std::string>& keywords,
+    const SearchOptions& opts, const ProgressCallback& progress) const {
+  if (!kb.graph.has_weights()) {
     return Status::FailedPrecondition(
         "graph has no node weights; call AttachNodeWeights first");
   }
-  if (graph_->average_distance() <= 0.0) {
+  if (kb.graph.average_distance() <= 0.0) {
     return Status::FailedPrecondition(
         "graph has no sampled average distance; call AttachAverageDistance");
   }
@@ -138,7 +171,7 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
 
   Status context_error = Status::OK();
   std::shared_ptr<const CachedQueryContext> cached =
-      ResolveContext(keywords, opts, trace, &context_error);
+      ResolveContext(kb, keywords, opts, trace, &context_error);
   if (cached == nullptr) return context_error;
   const QueryContext& ctx = cached->ctx;
   result.keywords = ctx.keywords;
@@ -153,7 +186,7 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
       pool_cache_.Acquire(sequential ? 1 : opts.threads);
   ThreadPool* pool = pool_lease.get();
 
-  result.stats.pre_storage_bytes = graph_->PreStorageBytes();
+  result.stats.pre_storage_bytes = kb.graph.PreStorageBytes();
 
   // Anytime execution: the whole query runs under one deadline, split so the
   // bottom-up stage may consume only its fraction of the budget and
@@ -185,7 +218,7 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     // the previous query left behind. The lease stays alive through the
     // top-down stage, which reads hitting levels out of the state.
     SearchStatePool::Lease lease =
-        state_pool_->Acquire(graph_->num_nodes(), ctx.num_keywords());
+        state_pool_->Acquire(kb.graph.num_nodes(), ctx.num_keywords());
     SearchState& state = *lease;
     BottomUpResult bottom = BottomUpSearch(ctx, opts, pool, &state,
                                            &result.timings, gpu_style,
@@ -195,7 +228,7 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     if (gpu_style) {
       // Model the device->host transfer of M at the paper's quoted
       // ~12 GB/s PCIe bandwidth (Sec. V-B): bytes / 12e6 gives ms.
-      double bytes = static_cast<double>(graph_->num_nodes()) *
+      double bytes = static_cast<double>(kb.graph.num_nodes()) *
                      static_cast<double>(ctx.num_keywords());
       result.timings.transfer_ms += bytes / 12e6;
     }

@@ -23,9 +23,29 @@
 #include "core/search_options.h"
 #include "core/state_pool.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
+#include "text/index_view.h"
 #include "text/inverted_index.h"
 
 namespace wikisearch {
+
+/// A pinned, consistent (graph, index) pair a query executes against. In
+/// static deployments the views wrap the engine's bound graph/index and
+/// `version` stays 0. Under live updates, live::SnapshotManager::PinHandle
+/// fills all four fields: the views bind one published (snapshot, overlay)
+/// state, `version` identifies that state for cache keys, and `pin` keeps
+/// the snapshot and patches alive until the last in-flight query (or cached
+/// context built from them) drops its handle — how old snapshots retire
+/// only after their last lease.
+struct KbHandle {
+  GraphView graph;
+  IndexView index;
+  /// Monotonic KB-state version; mixed into context-cache keys so entries
+  /// built over different overlay states never collide.
+  uint64_t version = 0;
+  /// Refcount lease on the snapshot/patches backing the views.
+  std::shared_ptr<const void> pin;
+};
 
 /// Non-timing measurements of one query.
 struct SearchStats {
@@ -85,6 +105,10 @@ class SearchEngine {
   /// both pointers must outlive the engine.
   SearchEngine(const KnowledgeGraph* graph, const InvertedIndex* index,
                SearchOptions defaults = {});
+
+  /// Handle-only engine for live deployments: every Search must go through
+  /// a KbHandle overload (the bound-KB overloads WS_CHECK-fail).
+  explicit SearchEngine(SearchOptions defaults);
   ~SearchEngine();
 
   /// Free-text query: analyzed with the index's analyzer, unknown terms
@@ -105,6 +129,19 @@ class SearchEngine {
   Result<SearchResult> SearchKeywordsProgressive(
       const std::vector<std::string>& keywords, const SearchOptions& opts,
       const ProgressCallback& progress) const;
+
+  // KbHandle overloads: identical semantics, but the query executes against
+  // the handle's pinned views instead of the engine's bound graph/index —
+  // the serving path under live updates. The bound-KB methods above are
+  // sugar for these with a version-0 handle over (graph_, index_).
+  Result<SearchResult> Search(const KbHandle& kb, const std::string& query,
+                              const SearchOptions& opts) const;
+  Result<SearchResult> SearchKeywords(const KbHandle& kb,
+                                      const std::vector<std::string>& keywords,
+                                      const SearchOptions& opts) const;
+  Result<SearchResult> SearchKeywordsProgressive(
+      const KbHandle& kb, const std::vector<std::string>& keywords,
+      const SearchOptions& opts, const ProgressCallback& progress) const;
 
   const SearchOptions& default_options() const { return defaults_; }
 
@@ -128,8 +165,12 @@ class SearchEngine {
   /// levels, lmax — through the context cache when one is attached. Returns
   /// null and sets `error` when the query is unanswerable.
   std::shared_ptr<const CachedQueryContext> ResolveContext(
-      const std::vector<std::string>& keywords, const SearchOptions& opts,
-      obs::TraceContext* trace, Status* error) const;
+      const KbHandle& kb, const std::vector<std::string>& keywords,
+      const SearchOptions& opts, obs::TraceContext* trace,
+      Status* error) const;
+
+  /// Version-0 handle over the bound graph/index for the legacy overloads.
+  KbHandle BoundHandle() const;
 
   /// Reports the query's counters, latency and stage histograms, and the
   /// leased worker pool's utilization deltas into opts.metrics (or the

@@ -147,7 +147,7 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
                                           DynamicRunInfo* info,
                                           const ProgressCallback& progress,
                                           const Deadline& deadline) {
-  const KnowledgeGraph& g = *ctx.graph;
+  const GraphView& g = ctx.graph;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
   const FaultHook& fault = opts.fault_injection;

@@ -24,7 +24,7 @@ int CentralDepth(const HitLevels& hits, NodeId v, size_t q) {
 ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
                                    const HitLevels& hits,
                                    CentralCandidate central) {
-  const KnowledgeGraph& g = *ctx.graph;
+  const GraphView& g = ctx.graph;
   const size_t q = ctx.num_keywords();
 
   ExtractedGraph out;

@@ -11,7 +11,7 @@
 
 namespace wikisearch {
 
-AnswerGraph BuildAnswer(const KnowledgeGraph& g, const ExtractedGraph& eg,
+AnswerGraph BuildAnswer(const GraphView& g, const ExtractedGraph& eg,
                         size_t num_keywords,
                         const std::function<uint64_t(NodeId)>& keyword_mask,
                         bool enable_level_cover, double lambda) {

@@ -20,7 +20,7 @@ namespace wikisearch {
 /// `keyword_mask(v)` returns the bitmask of query keywords contained in v.
 /// With `enable_level_cover == false` the full Central Graph is kept
 /// (ablation mode). The score is filled per Eq. 6 with `lambda`.
-AnswerGraph BuildAnswer(const KnowledgeGraph& g, const ExtractedGraph& eg,
+AnswerGraph BuildAnswer(const GraphView& g, const ExtractedGraph& eg,
                         size_t num_keywords,
                         const std::function<uint64_t(NodeId)>& keyword_mask,
                         bool enable_level_cover, double lambda);

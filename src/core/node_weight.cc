@@ -6,7 +6,7 @@
 
 namespace wikisearch {
 
-double RawDegreeOfSummary(const KnowledgeGraph& g, NodeId v) {
+double RawDegreeOfSummary(const GraphView& g, NodeId v) {
   // Count in-edges per label. Adjacency lists are label-sorted per target
   // but not globally, so accumulate in a small map (in-label cardinality is
   // tiny for most nodes).
@@ -24,7 +24,7 @@ double RawDegreeOfSummary(const KnowledgeGraph& g, NodeId v) {
   return num / den;
 }
 
-std::vector<double> ComputeNodeWeights(const KnowledgeGraph& g) {
+std::vector<double> ComputeNodeWeights(const GraphView& g) {
   const size_t n = g.num_nodes();
   std::vector<double> w(n, 0.0);
   for (NodeId v = 0; v < n; ++v) w[v] = RawDegreeOfSummary(g, v);

@@ -14,15 +14,16 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 
 namespace wikisearch {
 
 /// Raw (unnormalized) Eq. 2 weight of one node.
-double RawDegreeOfSummary(const KnowledgeGraph& g, NodeId v);
+double RawDegreeOfSummary(const GraphView& g, NodeId v);
 
 /// Computes normalized weights for all nodes. Nodes without in-edges get the
 /// minimum weight (they summarize nothing).
-std::vector<double> ComputeNodeWeights(const KnowledgeGraph& g);
+std::vector<double> ComputeNodeWeights(const GraphView& g);
 
 /// Computes and attaches weights to the graph.
 void AttachNodeWeights(KnowledgeGraph* g);

@@ -6,12 +6,13 @@
 
 #include "core/activation.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 
 namespace wikisearch {
 
 struct QueryContext {
-  QueryContext(const KnowledgeGraph* g, std::vector<std::string> raw_keywords,
+  QueryContext(GraphView g, std::vector<std::string> raw_keywords,
                std::vector<std::vector<NodeId>> t_i, ActivationMap act,
                int max_level)
       : graph(g),
@@ -22,16 +23,18 @@ struct QueryContext {
     // a_v depends only on (w_v, alpha), both fixed for the query, so the
     // Eq. 5 float math runs once per node here instead of once per
     // (neighbor, instance, level) probe in the expansion loops.
-    const size_t n = g->num_nodes();
+    const size_t n = g.num_nodes();
     activation_level.resize(n);
-    if (g->has_weights()) {
+    if (g.has_weights()) {
       for (NodeId v = 0; v < n; ++v) {
-        activation_level[v] = activation.Level(g->NodeWeight(v));
+        activation_level[v] = activation.Level(g.NodeWeight(v));
       }
     }
   }
 
-  const KnowledgeGraph* graph;
+  /// Consistent view of the KB this query runs against (base snapshot plus
+  /// the overlay patch pinned at query start). By value: two pointers.
+  GraphView graph;
   /// Raw keywords, one per BFS instance (already analyzed/deduplicated).
   std::vector<std::string> keywords;
   /// T_i: the keyword node set seeding BFS instance B_i.

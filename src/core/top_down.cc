@@ -60,7 +60,7 @@ std::vector<AnswerGraph> TopDownProcess(
           }
           ExtractedGraph eg = ExtractCentralGraph(ctx, hits, centrals[idx]);
           candidates[idx] =
-              BuildAnswer(*ctx.graph, eg, ctx.num_keywords(), keyword_mask,
+              BuildAnswer(ctx.graph, eg, ctx.num_keywords(), keyword_mask,
                           opts.enable_level_cover, opts.lambda);
         });
     if (expired.load(std::memory_order_relaxed)) {

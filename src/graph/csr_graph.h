@@ -31,6 +31,7 @@ struct AdjEntry {
 static_assert(sizeof(AdjEntry) == 8, "AdjEntry must stay 8 bytes");
 
 class GraphBuilder;
+class GraphView;
 
 /// The data graph G(V, E). Immutable after construction; all search state
 /// lives outside so many queries can share one graph.
@@ -90,6 +91,7 @@ class KnowledgeGraph {
 
  private:
   friend class GraphBuilder;
+  friend KnowledgeGraph MaterializeGraph(const GraphView& view);
   friend Status SaveGraph(const KnowledgeGraph& g, const std::string& path);
   friend Result<KnowledgeGraph> LoadGraph(const std::string& path);
 

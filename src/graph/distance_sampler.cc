@@ -7,7 +7,7 @@
 
 namespace wikisearch {
 
-DistanceSample SampleAverageDistance(const KnowledgeGraph& g,
+DistanceSample SampleAverageDistance(const GraphView& g,
                                      size_t target_pairs, uint64_t seed) {
   DistanceSample out;
   const size_t n = g.num_nodes();

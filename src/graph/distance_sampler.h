@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 
 namespace wikisearch {
 
@@ -19,7 +20,7 @@ struct DistanceSample {
 /// Samples approximately `target_pairs` reachable node pairs (the paper uses
 /// ten thousand) by running full BFS from a set of random sources and drawing
 /// random reachable targets from each. Deterministic given `seed`.
-DistanceSample SampleAverageDistance(const KnowledgeGraph& g,
+DistanceSample SampleAverageDistance(const GraphView& g,
                                      size_t target_pairs = 10000,
                                      uint64_t seed = 42);
 

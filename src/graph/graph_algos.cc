@@ -5,11 +5,11 @@
 
 namespace wikisearch {
 
-std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g, NodeId source) {
+std::vector<uint32_t> BfsDistances(const GraphView& g, NodeId source) {
   return BfsDistances(g, std::vector<NodeId>{source});
 }
 
-std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g,
+std::vector<uint32_t> BfsDistances(const GraphView& g,
                                    const std::vector<NodeId>& sources) {
   std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
   std::vector<NodeId> frontier;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/csr_graph.h"
+#include "graph/graph_view.h"
 #include "graph/types.h"
 
 namespace wikisearch {
@@ -14,10 +15,10 @@ namespace wikisearch {
 /// Unweighted single-source shortest distances over the bi-directed graph.
 /// Unreachable nodes get kUnreachable.
 inline constexpr uint32_t kUnreachable = ~0u;
-std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g, NodeId source);
+std::vector<uint32_t> BfsDistances(const GraphView& g, NodeId source);
 
 /// Multi-source variant: distance to the nearest of `sources`.
-std::vector<uint32_t> BfsDistances(const KnowledgeGraph& g,
+std::vector<uint32_t> BfsDistances(const GraphView& g,
                                    const std::vector<NodeId>& sources);
 
 /// Connected components over the bi-directed view. Returns component id per

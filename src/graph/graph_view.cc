@@ -1,0 +1,63 @@
+#include "graph/graph_view.h"
+
+namespace wikisearch {
+
+size_t GraphOverlayPatch::OverlayBytes() const {
+  size_t bytes = touched.size() + weights.size() * sizeof(double);
+  for (const auto& [v, list] : merged_adj) {
+    bytes += sizeof(v) + list.capacity() * sizeof(AdjEntry);
+  }
+  for (const auto& s : new_names) bytes += s.size() + sizeof(std::string);
+  for (const auto& s : new_label_names) {
+    bytes += s.size() + sizeof(std::string);
+  }
+  return bytes;
+}
+
+size_t GraphView::InDegree(NodeId v) const {
+  if (patch_ == nullptr) return base_->InDegree(v);
+  size_t in = 0;
+  for (const AdjEntry& e : Neighbors(v)) {
+    if (e.reverse) ++in;
+  }
+  return in;
+}
+
+NodeId GraphView::FindNode(std::string_view name) const {
+  NodeId id = base_->FindNode(name);
+  if (id != kInvalidNode || patch_ == nullptr) return id;
+  auto it = patch_->new_name_to_id.find(std::string(name));
+  if (it == patch_->new_name_to_id.end()) return kInvalidNode;
+  return it->second;
+}
+
+KnowledgeGraph MaterializeGraph(const GraphView& view) {
+  KnowledgeGraph g;
+  const size_t n = view.num_nodes();
+  g.names_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) g.names_.push_back(view.NodeName(v));
+  const size_t labels = view.num_labels();
+  g.label_names_.reserve(labels);
+  for (LabelId l = 0; l < labels; ++l) {
+    g.label_names_.push_back(view.LabelName(l));
+  }
+  g.name_to_id_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) g.name_to_id_.emplace(g.names_[v], v);
+
+  g.offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] = g.offsets_[v] + view.Neighbors(v).size();
+  }
+  g.adj_.resize(g.offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    std::span<const AdjEntry> adj = view.Neighbors(v);
+    std::copy(adj.begin(), adj.end(), g.adj_.begin() + g.offsets_[v]);
+  }
+
+  if (view.has_weights()) g.weights_ = view.node_weights();
+  g.average_distance_ = view.average_distance();
+  g.avg_dist_deviation_ = view.average_distance_deviation();
+  return g;
+}
+
+}  // namespace wikisearch

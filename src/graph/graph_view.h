@@ -1,0 +1,157 @@
+// Read-through view of a KnowledgeGraph plus an optional delta overlay — the
+// zero-lock hot-path abstraction of the live-update subsystem (DESIGN.md
+// §10). Engines never observe a mutating graph: a GraphView binds an
+// *immutable* base CSR and an *immutable* overlay patch at construction, so
+// every read through one view is consistent for the view's whole lifetime.
+// Publishing a KB change means building a fresh patch (copy-on-write, off
+// the serving path) and handing out new views; in-flight queries keep
+// reading their old one.
+//
+// The patch materializes the full merged adjacency list for every *touched*
+// node, so a view read costs one branch over a plain CSR read for untouched
+// nodes and one hash lookup for touched ones — there is no per-edge merge
+// logic on the hot path, and reads take no locks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// Immutable delta over a base KnowledgeGraph. Built by live::DeltaOverlay
+/// (copy-on-write per update batch), consumed read-only by GraphView.
+struct GraphOverlayPatch {
+  /// View-total node/label counts (base + overlay-created).
+  size_t num_nodes = 0;
+  size_t num_labels = 0;
+  size_t base_num_nodes = 0;
+  size_t base_num_labels = 0;
+  /// View-total triple/adjacency-entry counts after all adds and removes.
+  size_t num_triples = 0;
+  size_t num_adjacency_entries = 0;
+
+  /// Names of overlay-created nodes/labels; id = base count + vector index.
+  std::vector<std::string> new_names;
+  std::vector<std::string> new_label_names;
+  std::unordered_map<std::string, NodeId> new_name_to_id;
+  std::unordered_map<std::string, LabelId> new_label_to_id;
+
+  /// touched[v] == 1 iff v's adjacency differs from the base (or v is new);
+  /// exactly those nodes have a merged_adj entry. Size num_nodes.
+  std::vector<uint8_t> touched;
+  /// Full merged adjacency per touched node, sorted by (target, label,
+  /// reverse) — the same comparator GraphBuilder::Build uses, so a view read
+  /// is byte-identical to a from-scratch rebuild.
+  std::unordered_map<NodeId, std::vector<AdjEntry>> merged_adj;
+
+  /// Derived stats, recomputed over the whole view after every batch so
+  /// query results match a cold rebuild exactly (Eq. 2 weights are globally
+  /// min-max normalized; A is a global sample).
+  std::vector<double> weights;  // size num_nodes
+  double average_distance = 0.0;
+  double avg_dist_deviation = 0.0;
+
+  /// Approximate resident bytes of the overlay structures.
+  size_t OverlayBytes() const;
+};
+
+/// Non-owning, trivially copyable (two pointers) read view. Implicitly
+/// constructible from a bare KnowledgeGraph so every pre-live call site
+/// (engines, baselines, tests) keeps compiling unchanged.
+class GraphView {
+ public:
+  GraphView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit.
+  GraphView(const KnowledgeGraph& base) : base_(&base) {}
+  GraphView(const KnowledgeGraph* base, const GraphOverlayPatch* patch)
+      : base_(base), patch_(patch) {}
+
+  size_t num_nodes() const {
+    return patch_ != nullptr ? patch_->num_nodes : base_->num_nodes();
+  }
+  size_t num_triples() const {
+    return patch_ != nullptr ? patch_->num_triples : base_->num_triples();
+  }
+  size_t num_adjacency_entries() const {
+    return patch_ != nullptr ? patch_->num_adjacency_entries
+                             : base_->num_adjacency_entries();
+  }
+  size_t num_labels() const {
+    return patch_ != nullptr ? patch_->num_labels : base_->num_labels();
+  }
+
+  /// Neighbors of v (both directions), sorted by (target, label, reverse).
+  std::span<const AdjEntry> Neighbors(NodeId v) const {
+    if (patch_ == nullptr) return base_->Neighbors(v);
+    if (patch_->touched[v]) {
+      const std::vector<AdjEntry>& list = patch_->merged_adj.find(v)->second;
+      return {list.data(), list.size()};
+    }
+    return base_->Neighbors(v);
+  }
+
+  size_t Degree(NodeId v) const { return Neighbors(v).size(); }
+  size_t InDegree(NodeId v) const;
+
+  const std::string& NodeName(NodeId v) const {
+    if (patch_ != nullptr && v >= patch_->base_num_nodes) {
+      return patch_->new_names[v - patch_->base_num_nodes];
+    }
+    return base_->NodeName(v);
+  }
+  const std::string& LabelName(LabelId l) const {
+    if (patch_ != nullptr && l >= patch_->base_num_labels) {
+      return patch_->new_label_names[l - patch_->base_num_labels];
+    }
+    return base_->LabelName(l);
+  }
+  NodeId FindNode(std::string_view name) const;
+
+  double NodeWeight(NodeId v) const {
+    return patch_ != nullptr ? patch_->weights[v] : base_->NodeWeight(v);
+  }
+  bool has_weights() const {
+    return patch_ != nullptr ? !patch_->weights.empty()
+                             : base_->has_weights();
+  }
+  const std::vector<double>& node_weights() const {
+    return patch_ != nullptr ? patch_->weights : base_->node_weights();
+  }
+
+  double average_distance() const {
+    return patch_ != nullptr ? patch_->average_distance
+                             : base_->average_distance();
+  }
+  double average_distance_deviation() const {
+    return patch_ != nullptr ? patch_->avg_dist_deviation
+                             : base_->average_distance_deviation();
+  }
+
+  /// Base pre-storage plus overlay resident bytes.
+  size_t PreStorageBytes() const {
+    return base_->PreStorageBytes() +
+           (patch_ != nullptr ? patch_->OverlayBytes() : 0);
+  }
+
+  const KnowledgeGraph* base() const { return base_; }
+  const GraphOverlayPatch* patch() const { return patch_; }
+
+ private:
+  const KnowledgeGraph* base_ = nullptr;
+  const GraphOverlayPatch* patch_ = nullptr;
+};
+
+/// Folds a view into a standalone CSR graph: offsets/adjacency/weights and
+/// the sampled average distance come out byte-identical to rebuilding the
+/// same triple multiset through GraphBuilder (both sort per-node lists with
+/// the same comparator). This is the Compactor's off-path fold step.
+KnowledgeGraph MaterializeGraph(const GraphView& view);
+
+}  // namespace wikisearch

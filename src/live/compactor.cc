@@ -1,0 +1,69 @@
+#include "live/compactor.h"
+
+#include "common/logging.h"
+
+namespace wikisearch::live {
+
+Compactor::Compactor(SnapshotManager* manager, Options opts)
+    : manager_(manager), opts_(opts) {
+  WS_CHECK(manager_ != nullptr);
+  manager_->SetCompactionTrigger([this] { Kick(); });
+}
+
+Compactor::~Compactor() {
+  Stop();
+  manager_->SetCompactionTrigger(nullptr);
+}
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_acquire)) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Compactor::Kick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kicked_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Compactor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (opts_.interval_ms > 0.0) {
+      cv_.wait_for(lock,
+                   std::chrono::duration<double, std::milli>(opts_.interval_ms),
+                   [this] { return stop_ || kicked_; });
+      if (stop_) break;
+      kicked_ = true;  // interval elapsed: run a cycle regardless
+    } else {
+      cv_.wait(lock, [this] { return stop_ || kicked_; });
+      if (stop_) break;
+    }
+    kicked_ = false;
+    lock.unlock();
+    Status st = manager_->CompactOnce();
+    if (!st.ok()) {
+      WS_LOG("compaction cycle failed: %s", st.message().c_str());
+    }
+    cycles_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+}  // namespace wikisearch::live

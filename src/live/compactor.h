@@ -1,0 +1,60 @@
+// Background compactor: a single thread that folds the delta overlay into
+// fresh snapshots off the serving path. Runs when kicked (the manager's
+// depth-threshold trigger, wired up in the constructor) and optionally on a
+// fixed interval; every cycle is one SnapshotManager::CompactOnce.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "live/snapshot_manager.h"
+
+namespace wikisearch::live {
+
+class Compactor {
+ public:
+  struct Options {
+    /// Also compact every this-many milliseconds while running (0 = only
+    /// when kicked).
+    double interval_ms = 0.0;
+  };
+
+  /// Registers itself as `manager`'s compaction trigger. One Compactor per
+  /// manager; `manager` must outlive it.
+  explicit Compactor(SnapshotManager* manager) : Compactor(manager, Options()) {}
+  Compactor(SnapshotManager* manager, Options opts);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  void Start();
+  /// Idempotent; joins the thread. The destructor calls it.
+  void Stop();
+
+  /// Requests a compaction cycle soon (thread-safe; coalesces).
+  void Kick();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Compaction cycles executed (including no-op folds of an empty overlay).
+  uint64_t cycles() const { return cycles_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  SnapshotManager* manager_;
+  Options opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;    // guarded by mu_
+  bool kicked_ = false;  // guarded by mu_
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> cycles_{0};
+  std::thread thread_;
+};
+
+}  // namespace wikisearch::live

@@ -1,0 +1,288 @@
+#include "live/delta_overlay.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "text/tokenizer.h"
+
+namespace wikisearch::live {
+
+namespace {
+
+bool AdjLess(const AdjEntry& a, const AdjEntry& b) {
+  // Same comparator as GraphBuilder::Build so merged lists are
+  // byte-identical to a from-scratch rebuild's.
+  if (a.target != b.target) return a.target < b.target;
+  if (a.label != b.label) return a.label < b.label;
+  return a.reverse < b.reverse;
+}
+
+std::vector<std::string> TermSet(std::string_view text,
+                                 const AnalyzerOptions& opts) {
+  std::vector<std::string> terms = AnalyzeText(text, opts);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+bool Contains(const std::vector<std::string>& sorted, const std::string& t) {
+  return std::binary_search(sorted.begin(), sorted.end(), t);
+}
+
+}  // namespace
+
+void DeltaOverlay::Reset(std::shared_ptr<const GraphSnapshot> base) {
+  WS_CHECK(base != nullptr);
+  base_ = std::move(base);
+  base_label_ids_.clear();
+  base_label_ids_.reserve(base_->graph.num_labels());
+  for (LabelId l = 0; l < static_cast<LabelId>(base_->graph.num_labels());
+       ++l) {
+    base_label_ids_.emplace(base_->graph.LabelName(l), l);
+  }
+  gpatch_.reset();
+  ipatch_.reset();
+  node_text_.clear();
+  log_.clear();
+}
+
+const std::string* DeltaOverlay::EffectiveText(
+    NodeId v, const std::unordered_map<NodeId, std::string>& staged) const {
+  if (auto it = staged.find(v); it != staged.end()) return &it->second;
+  if (auto it = node_text_.find(v); it != node_text_.end()) return &it->second;
+  if (auto it = base_->node_text.find(v); it != base_->node_text.end()) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+Status DeltaOverlay::Apply(const UpdateBatch& batch) {
+  WS_CHECK(base_ != nullptr);
+  if (batch.empty()) return Status::InvalidArgument("empty update batch");
+  const KnowledgeGraph& bg = base_->graph;
+  const InvertedIndex& bi = base_->index;
+  const AnalyzerOptions& aopts = bi.options();
+
+  // Copy-on-write: every mutation below targets these copies; the live
+  // patches (and any pinned view of them) stay untouched until the final
+  // swap, which only happens when the whole batch validated.
+  auto g = gpatch_ != nullptr ? std::make_shared<GraphOverlayPatch>(*gpatch_)
+                              : std::make_shared<GraphOverlayPatch>();
+  auto ip = ipatch_ != nullptr ? std::make_shared<IndexOverlayPatch>(*ipatch_)
+                               : std::make_shared<IndexOverlayPatch>();
+  if (gpatch_ == nullptr) {
+    g->num_nodes = g->base_num_nodes = bg.num_nodes();
+    g->num_labels = g->base_num_labels = bg.num_labels();
+    g->num_triples = bg.num_triples();
+    g->num_adjacency_entries = bg.num_adjacency_entries();
+    g->touched.assign(bg.num_nodes(), 0);
+  }
+  if (ipatch_ == nullptr) {
+    ip->num_terms = bi.num_terms();
+    ip->total_postings = bi.num_postings();
+  }
+  std::unordered_map<NodeId, std::string> staged_text;
+
+  auto touch_adj = [&](NodeId v) -> std::vector<AdjEntry>& {
+    if (g->touched[v] == 0) {
+      std::span<const AdjEntry> base_list = bg.Neighbors(v);
+      g->merged_adj.emplace(
+          v, std::vector<AdjEntry>(base_list.begin(), base_list.end()));
+      g->touched[v] = 1;
+    }
+    return g->merged_adj.find(v)->second;
+  };
+  auto touch_postings = [&](const std::string& term) -> std::vector<NodeId>& {
+    auto it = ip->merged_postings.find(term);
+    if (it == ip->merged_postings.end()) {
+      std::span<const NodeId> base_list = bi.LookupTerm(term);
+      it = ip->merged_postings
+               .emplace(term,
+                        std::vector<NodeId>(base_list.begin(), base_list.end()))
+               .first;
+    }
+    return it->second;
+  };
+  auto insert_posting = [&](const std::string& term, NodeId v) {
+    std::vector<NodeId>& list = touch_postings(term);
+    auto pos = std::lower_bound(list.begin(), list.end(), v);
+    if (pos != list.end() && *pos == v) return;
+    if (list.empty()) ++ip->num_terms;
+    list.insert(pos, v);
+    ++ip->total_postings;
+  };
+  auto remove_posting = [&](const std::string& term, NodeId v) {
+    std::vector<NodeId>& list = touch_postings(term);
+    auto pos = std::lower_bound(list.begin(), list.end(), v);
+    if (pos == list.end() || *pos != v) return;
+    list.erase(pos);
+    --ip->total_postings;
+    if (list.empty()) --ip->num_terms;  // empty merged list == tombstone
+  };
+
+  auto resolve_node = [&](const std::string& name) -> NodeId {
+    NodeId id = bg.FindNode(name);
+    if (id != kInvalidNode) return id;
+    auto it = g->new_name_to_id.find(name);
+    return it != g->new_name_to_id.end() ? it->second : kInvalidNode;
+  };
+  auto create_node = [&](const std::string& name) -> NodeId {
+    NodeId id = static_cast<NodeId>(g->num_nodes++);
+    g->new_names.push_back(name);
+    g->new_name_to_id.emplace(name, id);
+    g->touched.push_back(1);
+    g->merged_adj.emplace(id, std::vector<AdjEntry>());
+    // Build() indexes every node name; a node born in the overlay gets its
+    // name terms the same way.
+    for (const std::string& t : TermSet(name, aopts)) insert_posting(t, id);
+    return id;
+  };
+  auto node_name = [&](NodeId v) -> const std::string& {
+    return v < g->base_num_nodes ? bg.NodeName(v)
+                                 : g->new_names[v - g->base_num_nodes];
+  };
+
+  for (const TripleOp& op : batch.add) {
+    if (op.subject.empty() || op.predicate.empty() || op.object.empty()) {
+      return Status::InvalidArgument("triple op with an empty field");
+    }
+    // Subject before object, nodes before label: the exact first-appearance
+    // id assignment GraphBuilder::AddTriple performs.
+    NodeId s = resolve_node(op.subject);
+    if (s == kInvalidNode) s = create_node(op.subject);
+    NodeId o = resolve_node(op.object);
+    if (o == kInvalidNode) o = create_node(op.object);
+    LabelId l;
+    if (auto it = base_label_ids_.find(op.predicate);
+        it != base_label_ids_.end()) {
+      l = it->second;
+    } else if (auto nit = g->new_label_to_id.find(op.predicate);
+               nit != g->new_label_to_id.end()) {
+      l = nit->second;
+    } else {
+      l = static_cast<LabelId>(g->num_labels++);
+      g->new_label_names.push_back(op.predicate);
+      g->new_label_to_id.emplace(op.predicate, l);
+    }
+    AdjEntry fwd{o, l, 0};
+    AdjEntry rev{s, l, 1};
+    std::vector<AdjEntry>& slist = touch_adj(s);
+    slist.insert(std::upper_bound(slist.begin(), slist.end(), fwd, AdjLess),
+                 fwd);
+    std::vector<AdjEntry>& olist = touch_adj(o);
+    olist.insert(std::upper_bound(olist.begin(), olist.end(), rev, AdjLess),
+                 rev);
+    ++g->num_triples;
+    g->num_adjacency_entries += 2;
+  }
+
+  for (const TripleOp& op : batch.remove) {
+    NodeId s = resolve_node(op.subject);
+    NodeId o = resolve_node(op.object);
+    LabelId l = kInvalidLabel;
+    if (auto it = base_label_ids_.find(op.predicate);
+        it != base_label_ids_.end()) {
+      l = it->second;
+    } else if (auto nit = g->new_label_to_id.find(op.predicate);
+               nit != g->new_label_to_id.end()) {
+      l = nit->second;
+    }
+    if (s == kInvalidNode || o == kInvalidNode || l == kInvalidLabel) {
+      return Status::NotFound("remove of unknown triple: " + op.subject +
+                              " -[" + op.predicate + "]-> " + op.object);
+    }
+    AdjEntry fwd{o, l, 0};
+    std::vector<AdjEntry>& slist = touch_adj(s);
+    auto [sfirst, slast] =
+        std::equal_range(slist.begin(), slist.end(), fwd, AdjLess);
+    if (sfirst == slast) {
+      return Status::NotFound("remove of missing triple: " + op.subject +
+                              " -[" + op.predicate + "]-> " + op.object);
+    }
+    slist.erase(sfirst);  // one instance — triples are a multiset
+    AdjEntry rev{s, l, 1};
+    std::vector<AdjEntry>& olist = touch_adj(o);
+    auto [ofirst, olast] =
+        std::equal_range(olist.begin(), olist.end(), rev, AdjLess);
+    WS_CHECK(ofirst != olast);  // bi-directed invariant
+    olist.erase(ofirst);
+    --g->num_triples;
+    g->num_adjacency_entries -= 2;
+  }
+
+  for (const TextOp& op : batch.text) {
+    NodeId v = resolve_node(op.node);
+    if (v == kInvalidNode) {
+      return Status::NotFound("text op on unknown node: " + op.node);
+    }
+    const std::string* prev = EffectiveText(v, staged_text);
+    std::vector<std::string> prev_terms =
+        prev != nullptr ? TermSet(*prev, aopts) : std::vector<std::string>();
+    std::vector<std::string> new_terms = TermSet(op.text, aopts);
+    std::vector<std::string> name_terms = TermSet(node_name(v), aopts);
+    // A posting (t, v) goes away iff v no longer carries t from any source:
+    // the always-indexed name wins over any text change.
+    for (const std::string& t : prev_terms) {
+      if (!Contains(new_terms, t) && !Contains(name_terms, t)) {
+        remove_posting(t, v);
+      }
+    }
+    for (const std::string& t : new_terms) {
+      if (!Contains(prev_terms, t)) insert_posting(t, v);
+    }
+    staged_text[v] = op.text;
+  }
+
+  // Derived stats over the *whole* view: Eq. 2 weights are globally min-max
+  // normalized and A is a global sample, so any local change moves them
+  // everywhere. Recomputing with the exact rebuild parameters is what keeps
+  // overlay answers byte-identical to a cold rebuild's.
+  GraphView trial(&bg, g.get());
+  g->weights = ComputeNodeWeights(trial);
+  DistanceSample ds =
+      SampleAverageDistance(trial, cfg_.distance_pairs, cfg_.distance_seed);
+  g->average_distance = ds.mean;
+  g->avg_dist_deviation = ds.deviation;
+
+  // Commit.
+  for (auto& [v, text] : staged_text) node_text_[v] = std::move(text);
+  gpatch_ = std::move(g);
+  ipatch_ = std::move(ip);
+  log_.push_back(batch);
+  triples_added_ += batch.add.size();
+  triples_removed_ += batch.remove.size();
+  text_ops_ += batch.text.size();
+  return Status::OK();
+}
+
+void DeltaOverlay::Rebase(std::shared_ptr<const GraphSnapshot> new_base,
+                          size_t folded) {
+  WS_CHECK(folded <= log_.size());
+  std::vector<UpdateBatch> tail(log_.begin() + static_cast<long>(folded),
+                                log_.end());
+  const uint64_t added = triples_added_;
+  const uint64_t removed = triples_removed_;
+  const uint64_t texts = text_ops_;
+  Reset(std::move(new_base));
+  for (const UpdateBatch& b : tail) {
+    // The tail applied cleanly against the pre-fold state, and the folded
+    // snapshot is equivalent to that state, so re-application cannot fail.
+    Status st = Apply(b);
+    WS_CHECK(st.ok());
+  }
+  triples_added_ = added;
+  triples_removed_ = removed;
+  text_ops_ = texts;
+}
+
+size_t DeltaOverlay::overlay_bytes() const {
+  size_t total = 0;
+  if (gpatch_ != nullptr) total += gpatch_->OverlayBytes();
+  if (ipatch_ != nullptr) total += ipatch_->OverlayBytes();
+  return total;
+}
+
+}  // namespace wikisearch::live

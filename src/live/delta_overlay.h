@@ -1,0 +1,108 @@
+// Delta overlay: accepts online mutation batches against an immutable base
+// GraphSnapshot and maintains copy-on-write GraphOverlayPatch /
+// IndexOverlayPatch objects that queries merge read-through (DESIGN.md §10).
+//
+// Concurrency contract: DeltaOverlay itself is NOT thread-safe — the
+// SnapshotManager serializes all writers under its update mutex. Readers
+// never touch the overlay: they pin a published LiveState whose patch
+// pointers are immutable shared_ptrs; Apply builds *new* patch objects and
+// swaps the pointers, so a pinned state keeps serving its old patches
+// untouched.
+//
+// Equivalence contract: after any sequence of applied batches, the
+// (base + patches) view is structurally identical — ids, adjacency order,
+// node weights, sampled average distance, posting lists — to a from-scratch
+// GraphBuilder/InvertedIndex::Build replay of the same history. That is
+// what makes overlay answers byte-identical to a cold rebuild's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph_view.h"
+#include "live/snapshot.h"
+#include "live/update.h"
+#include "text/index_view.h"
+
+namespace wikisearch::live {
+
+class DeltaOverlay {
+ public:
+  struct Config {
+    /// Parameters for re-sampling the average distance A after each batch —
+    /// must match what the base snapshot was attached with, or overlay
+    /// states would diverge from a cold rebuild.
+    size_t distance_pairs = 2000;
+    uint64_t distance_seed = 7;
+  };
+
+  // Two overloads rather than `Config cfg = {}`: GCC late-parses a nested
+  // struct's default member initializers, so a braced default argument for
+  // it cannot be used inside the enclosing class.
+  DeltaOverlay() : DeltaOverlay(Config()) {}
+  explicit DeltaOverlay(Config cfg) : cfg_(cfg) {}
+
+  /// Resets the overlay to empty on top of `base`; drops the batch log.
+  void Reset(std::shared_ptr<const GraphSnapshot> base);
+
+  /// Applies one batch atomically: validates and stages every op into
+  /// copies of the current patches, and only on full success swaps them in
+  /// and appends the batch to the log. On any failure (unknown node in a
+  /// remove/text op, missing triple, empty batch) nothing changes.
+  Status Apply(const UpdateBatch& batch);
+
+  /// Rebases onto a freshly folded snapshot: the first `folded` batches of
+  /// the log are already part of `new_base`; the tail is re-applied on top.
+  void Rebase(std::shared_ptr<const GraphSnapshot> new_base, size_t folded);
+
+  const std::shared_ptr<const GraphSnapshot>& base() const { return base_; }
+  /// Null when the overlay is empty (depth 0).
+  const std::shared_ptr<const GraphOverlayPatch>& graph_patch() const {
+    return gpatch_;
+  }
+  const std::shared_ptr<const IndexOverlayPatch>& index_patch() const {
+    return ipatch_;
+  }
+
+  /// Number of applied-but-not-yet-folded batches.
+  size_t depth() const { return log_.size(); }
+  const std::vector<UpdateBatch>& log() const { return log_; }
+  /// Per-node extra-text overrides accumulated since base (empty string =
+  /// cleared, overriding any base text).
+  const std::unordered_map<NodeId, std::string>& node_text() const {
+    return node_text_;
+  }
+
+  size_t overlay_bytes() const;
+
+  // Cumulative mutation counters across the overlay's lifetime (survive
+  // Rebase; bridged into metrics by the manager).
+  uint64_t triples_added() const { return triples_added_; }
+  uint64_t triples_removed() const { return triples_removed_; }
+  uint64_t text_ops() const { return text_ops_; }
+
+ private:
+  /// The node's current effective extra text: staged > overlay > base.
+  const std::string* EffectiveText(
+      NodeId v,
+      const std::unordered_map<NodeId, std::string>& staged) const;
+
+  Config cfg_;
+  std::shared_ptr<const GraphSnapshot> base_;
+  /// name -> id for the base graph's labels (KnowledgeGraph keeps no label
+  /// map of its own); rebuilt on every Reset/Rebase.
+  std::unordered_map<std::string, LabelId> base_label_ids_;
+  std::shared_ptr<const GraphOverlayPatch> gpatch_;
+  std::shared_ptr<const IndexOverlayPatch> ipatch_;
+  std::unordered_map<NodeId, std::string> node_text_;
+  std::vector<UpdateBatch> log_;
+  uint64_t triples_added_ = 0;
+  uint64_t triples_removed_ = 0;
+  uint64_t text_ops_ = 0;
+};
+
+}  // namespace wikisearch::live

@@ -1,0 +1,29 @@
+// An immutable, compacted knowledge-base state: the unit the live-update
+// subsystem publishes and retires (DESIGN.md §10). A snapshot owns a fully
+// materialized CSR graph (weights + sampled average distance attached) and
+// the matching inverted index; queries never see anything that is not
+// either one of these or a read-through overlay on top of one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch::live {
+
+struct GraphSnapshot {
+  KnowledgeGraph graph;
+  InvertedIndex index;
+  /// Extra searchable text per node (beyond the always-indexed name),
+  /// cumulative as of this snapshot. Kept so later TextOps can diff the
+  /// previous effective terms of a node when computing posting deltas.
+  std::unordered_map<NodeId, std::string> node_text;
+  /// Bumped on every compaction publish; caches key invalidation off it.
+  uint64_t generation = 0;
+};
+
+}  // namespace wikisearch::live

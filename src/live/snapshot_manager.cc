@@ -1,0 +1,184 @@
+#include "live/snapshot_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+
+namespace wikisearch::live {
+
+SnapshotManager::SnapshotManager(KnowledgeGraph graph, InvertedIndex index)
+    : SnapshotManager(std::move(graph), std::move(index), Config()) {}
+
+SnapshotManager::SnapshotManager(KnowledgeGraph graph, InvertedIndex index,
+                                 Config cfg)
+    : cfg_(cfg),
+      retired_(std::make_shared<std::atomic<uint64_t>>(0)),
+      overlay_(DeltaOverlay::Config{cfg.distance_pairs, cfg.distance_seed}) {
+  if (!graph.has_weights()) AttachNodeWeights(&graph);
+  if (graph.average_distance() <= 0.0) {
+    AttachAverageDistance(&graph, cfg_.distance_pairs, cfg_.distance_seed);
+  }
+  GraphSnapshot snap;
+  snap.graph = std::move(graph);
+  snap.index = std::move(index);
+  snap.generation = 1;
+  std::shared_ptr<const GraphSnapshot> base = WrapSnapshot(std::move(snap));
+  overlay_.Reset(base);
+  auto st = std::make_shared<LiveState>();
+  st->base = std::move(base);
+  st->version = 1;
+  st->generation = 1;
+  state_.store(std::shared_ptr<const LiveState>(std::move(st)));
+}
+
+std::shared_ptr<const GraphSnapshot> SnapshotManager::WrapSnapshot(
+    GraphSnapshot&& snap) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<std::atomic<uint64_t>> retired = retired_;
+  return std::shared_ptr<const GraphSnapshot>(
+      new GraphSnapshot(std::move(snap)), [retired](const GraphSnapshot* p) {
+        retired->fetch_add(1, std::memory_order_relaxed);
+        delete p;
+      });
+}
+
+KbHandle SnapshotManager::PinHandle() const {
+  std::shared_ptr<const LiveState> st = Pin();
+  KbHandle kb;
+  kb.graph = st->graph_view();
+  kb.index = st->index_view();
+  kb.version = st->version;
+  kb.pin = std::move(st);
+  return kb;
+}
+
+Status SnapshotManager::Apply(const UpdateBatch& batch) {
+  WallTimer timer;
+  bool trigger = false;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    if (fault_) fault_("live:apply");
+    Status st = overlay_.Apply(batch);
+    if (!st.ok()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+    std::shared_ptr<const LiveState> cur =
+        state_.load(std::memory_order_acquire);
+    auto next = std::make_shared<LiveState>();
+    next->base = overlay_.base();
+    next->gpatch = overlay_.graph_patch();
+    next->ipatch = overlay_.index_patch();
+    next->version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    next->generation = cur->generation;
+    state_.store(std::shared_ptr<const LiveState>(std::move(next)),
+                 std::memory_order_release);
+    overlay_depth_.store(overlay_.depth(), std::memory_order_relaxed);
+    overlay_bytes_.store(overlay_.overlay_bytes(), std::memory_order_relaxed);
+    updates_.fetch_add(1, std::memory_order_relaxed);
+    mutations_.fetch_add(batch.num_ops(), std::memory_order_relaxed);
+    trigger = cfg_.compact_threshold_batches > 0 &&
+              overlay_.depth() >= cfg_.compact_threshold_batches;
+  }
+  ObserveMs("ws_live_apply_ms", timer.ElapsedMs());
+  if (trigger && compaction_trigger_) compaction_trigger_();
+  return Status::OK();
+}
+
+Status SnapshotManager::CompactOnce() {
+  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+
+  // Capture a consistent fold input: the published state *is* the overlay's
+  // (base + patches) at capture time, and `folded` marks how much of the
+  // batch log it covers.
+  std::shared_ptr<const LiveState> pinned;
+  size_t folded = 0;
+  std::unordered_map<NodeId, std::string> overlay_text;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    pinned = state_.load(std::memory_order_acquire);
+    folded = overlay_.depth();
+    overlay_text = overlay_.node_text();
+  }
+  if (folded == 0) return Status::OK();  // nothing to fold
+
+  // Fold off the serving path: no lock held, queries and applies proceed.
+  compaction_phase_.store(1, std::memory_order_release);
+  if (fault_) fault_("live:fold");
+  WallTimer fold_timer;
+  GraphSnapshot next_snap;
+  next_snap.graph = MaterializeGraph(pinned->graph_view());
+  next_snap.index = pinned->base->index;  // copy, then apply posting deltas
+  if (pinned->ipatch != nullptr) {
+    for (const auto& [term, list] : pinned->ipatch->merged_postings) {
+      next_snap.index.SetTermPostings(term, list);
+    }
+  }
+  next_snap.node_text = pinned->base->node_text;
+  for (const auto& [v, text] : overlay_text) {
+    if (text.empty()) {
+      next_snap.node_text.erase(v);
+    } else {
+      next_snap.node_text[v] = text;
+    }
+  }
+  next_snap.generation = pinned->generation + 1;
+  last_fold_ms_.store(fold_timer.ElapsedMs(), std::memory_order_relaxed);
+  std::shared_ptr<const GraphSnapshot> new_base =
+      WrapSnapshot(std::move(next_snap));
+
+  // Publish: rebase the overlay tail (batches applied during the fold) onto
+  // the new snapshot and swap the state in. Mutators are briefly excluded;
+  // readers never block — they keep loading whichever state is current.
+  uint64_t gen = 0;
+  WallTimer publish_timer;
+  {
+    std::lock_guard<std::mutex> lock(update_mu_);
+    compaction_phase_.store(2, std::memory_order_release);
+    overlay_.Rebase(new_base, folded);
+    auto next = std::make_shared<LiveState>();
+    next->base = std::move(new_base);
+    next->gpatch = overlay_.graph_patch();
+    next->ipatch = overlay_.index_patch();
+    next->version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
+    next->generation = gen;
+    WS_CHECK(gen == pinned->generation + 1);  // folds are serialized
+    if (fault_) fault_("live:publish");
+    state_.store(std::shared_ptr<const LiveState>(std::move(next)),
+                 std::memory_order_release);
+    overlay_depth_.store(overlay_.depth(), std::memory_order_relaxed);
+    overlay_bytes_.store(overlay_.overlay_bytes(), std::memory_order_relaxed);
+  }
+  last_publish_ms_.store(publish_timer.ElapsedMs(), std::memory_order_relaxed);
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  compaction_phase_.store(0, std::memory_order_release);
+  ObserveMs("ws_live_fold_ms", last_fold_ms_.load());
+  ObserveMs("ws_live_publish_ms", last_publish_ms_.load());
+  // Outside update_mu_ but inside compact_mu_, so callbacks arrive in
+  // publish order and may call back into the manager freely.
+  if (publish_cb_) publish_cb_(gen);
+  return Status::OK();
+}
+
+const char* SnapshotManager::compaction_state() const {
+  switch (compaction_phase_.load(std::memory_order_acquire)) {
+    case 1:
+      return "folding";
+    case 2:
+      return "publishing";
+    default:
+      return "idle";
+  }
+}
+
+void SnapshotManager::ObserveMs(const char* name, double ms) {
+  if (metrics_ == nullptr) return;
+  metrics_->GetHistogram(name)->Observe(ms);
+}
+
+}  // namespace wikisearch::live

@@ -1,0 +1,165 @@
+// SnapshotManager: the live-update subsystem's front door (DESIGN.md §10).
+// Publishes refcounted immutable KB states RCU-style — readers pin the
+// current LiveState with one lock-free atomic shared_ptr load and keep a
+// consistent view for as long as they hold the pin; writers build new
+// states off to the side and swap them in atomically. Old snapshots retire
+// (are destroyed, counted) when the last lease — in-flight query, cached
+// context, or the overlay's base pointer — drops.
+//
+// Locking: update_mu_ serializes mutators (Apply, and CompactOnce's capture
+// + publish sections); compact_mu_ serializes folds. Readers take neither.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/search_options.h"
+#include "live/delta_overlay.h"
+#include "live/snapshot.h"
+#include "live/update.h"
+#include "obs/metrics.h"
+
+namespace wikisearch::live {
+
+/// One published KB state: an immutable base snapshot plus the (possibly
+/// null) immutable overlay patches on top of it. Everything here is
+/// shared_ptr-owned, so a pinned LiveState keeps its whole object graph
+/// alive across any number of later publishes.
+struct LiveState {
+  std::shared_ptr<const GraphSnapshot> base;
+  std::shared_ptr<const GraphOverlayPatch> gpatch;
+  std::shared_ptr<const IndexOverlayPatch> ipatch;
+  /// Globally monotonic across applies *and* publishes; never reused, so a
+  /// recycled snapshot address cannot alias a cache entry (no ABA).
+  uint64_t version = 0;
+  /// Bumped only on compaction publishes; drives cache invalidation.
+  uint64_t generation = 0;
+
+  GraphView graph_view() const { return GraphView(&base->graph, gpatch.get()); }
+  IndexView index_view() const { return IndexView(&base->index, ipatch.get()); }
+};
+
+class SnapshotManager {
+ public:
+  struct Config {
+    /// Average-distance sampling parameters; every snapshot and overlay
+    /// state is (re)attached with these so answers match a cold rebuild.
+    size_t distance_pairs = 2000;
+    uint64_t distance_seed = 7;
+    /// Overlay depth (applied batches) at which Apply fires the compaction
+    /// trigger. 0 disables triggering (manual CompactOnce only).
+    size_t compact_threshold_batches = 8;
+  };
+
+  /// Takes ownership of the initial KB. Weights / average distance are
+  /// attached (with cfg's parameters) if the graph lacks them. (Overload
+  /// instead of a `= {}` default: GCC cannot brace-default a nested struct
+  /// with member initializers inside the enclosing class.)
+  SnapshotManager(KnowledgeGraph graph, InvertedIndex index);
+  SnapshotManager(KnowledgeGraph graph, InvertedIndex index, Config cfg);
+
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Lock-free: pins the currently published state.
+  std::shared_ptr<const LiveState> Pin() const {
+    return state_.load(std::memory_order_acquire);
+  }
+  /// Pin() packaged for SearchEngine's KbHandle overloads: views bind the
+  /// pinned state, `version` keys caches, `pin` holds the lease.
+  KbHandle PinHandle() const;
+
+  /// Applies one batch atomically and publishes the new overlay state.
+  /// Serialized with other mutators; never blocks readers. On rejection
+  /// (validation failure) the published state is unchanged.
+  Status Apply(const UpdateBatch& batch);
+
+  /// Folds the current overlay into a fresh compacted snapshot off the
+  /// serving path, then atomically publishes it with a bumped generation.
+  /// Batches applied *during* the fold survive: they are rebased onto the
+  /// new snapshot inside the publish section. Serialized with other folds.
+  Status CompactOnce();
+
+  /// Invoked after every generation bump (outside update_mu_, in publish
+  /// order) — the server hooks cache invalidation here. Set before serving.
+  void SetPublishCallback(std::function<void(uint64_t generation)> cb) {
+    publish_cb_ = std::move(cb);
+  }
+  /// Invoked (outside update_mu_) when an Apply pushes the overlay depth to
+  /// cfg.compact_threshold_batches — the Compactor's kick. Set before
+  /// serving.
+  void SetCompactionTrigger(std::function<void()> cb) {
+    compaction_trigger_ = std::move(cb);
+  }
+  /// Test-only fault/stall points: "live:apply" (inside the apply lock,
+  /// before mutating), "live:fold" (off-lock, before the fold),
+  /// "live:publish" (inside the publish lock, before the swap).
+  void SetFaultHook(FaultHook hook) { fault_ = std::move(hook); }
+  /// Observes ws_live_apply_ms / ws_live_fold_ms / ws_live_publish_ms into
+  /// `registry` (null disables). Set before serving.
+  void SetMetricRegistry(obs::MetricRegistry* registry) {
+    metrics_ = registry;
+  }
+
+  // -- stats (all safe to read concurrently) --
+  uint64_t generation() const { return generation_.load(); }
+  uint64_t version() const { return version_.load(); }
+  size_t overlay_depth() const { return overlay_depth_.load(); }
+  size_t overlay_bytes() const { return overlay_bytes_.load(); }
+  uint64_t updates_applied() const { return updates_.load(); }
+  uint64_t updates_rejected() const { return rejected_.load(); }
+  uint64_t mutations_applied() const { return mutations_.load(); }
+  uint64_t compactions() const { return compactions_.load(); }
+  uint64_t snapshots_published() const { return published_.load(); }
+  uint64_t snapshots_retired() const { return retired_->load(); }
+  /// Snapshots currently alive (published - retired).
+  uint64_t snapshots_live() const {
+    return published_.load() - retired_->load();
+  }
+  /// "idle" | "folding" | "publishing".
+  const char* compaction_state() const;
+  double last_fold_ms() const { return last_fold_ms_.load(); }
+  double last_publish_ms() const { return last_publish_ms_.load(); }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  std::shared_ptr<const GraphSnapshot> WrapSnapshot(GraphSnapshot&& snap);
+  void ObserveMs(const char* name, double ms);
+
+  Config cfg_;
+  /// Shared with snapshot deleters so retirement counting survives the
+  /// manager (pinned snapshots may outlive it).
+  std::shared_ptr<std::atomic<uint64_t>> retired_;
+
+  std::mutex update_mu_;
+  std::mutex compact_mu_;
+  DeltaOverlay overlay_;  // guarded by update_mu_
+  std::atomic<std::shared_ptr<const LiveState>> state_;
+
+  std::function<void(uint64_t)> publish_cb_;
+  std::function<void()> compaction_trigger_;
+  FaultHook fault_;
+  obs::MetricRegistry* metrics_ = nullptr;
+
+  std::atomic<uint64_t> generation_{1};
+  std::atomic<uint64_t> version_{1};
+  std::atomic<size_t> overlay_depth_{0};
+  std::atomic<size_t> overlay_bytes_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> published_{0};
+  std::atomic<int> compaction_phase_{0};  // 0 idle, 1 folding, 2 publishing
+  std::atomic<double> last_fold_ms_{0.0};
+  std::atomic<double> last_publish_ms_{0.0};
+};
+
+}  // namespace wikisearch::live

@@ -1,0 +1,40 @@
+// Online mutation vocabulary of the live-update subsystem (DESIGN.md §10).
+// A batch is the unit of atomicity: either every op in it becomes visible
+// in one published overlay state, or none does (validation failure rejects
+// the whole batch). Names, not ids, address nodes and labels — ids are an
+// artifact of first-appearance order and are assigned by the overlay
+// exactly as a from-scratch GraphBuilder replay would assign them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wikisearch::live {
+
+/// One directed labeled triple, by display names. Adds create unknown
+/// subjects/objects/predicates; removes require the exact triple to exist
+/// (one instance of it — duplicates are a multiset, per RDF).
+struct TripleOp {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// Replaces the extra searchable text attached to an existing node (the
+/// node's name is always indexed on top). An empty `text` clears it.
+struct TextOp {
+  std::string node;
+  std::string text;
+};
+
+struct UpdateBatch {
+  std::vector<TripleOp> add;
+  std::vector<TripleOp> remove;
+  std::vector<TextOp> text;
+
+  bool empty() const { return add.empty() && remove.empty() && text.empty(); }
+  size_t num_ops() const { return add.size() + remove.size() + text.size(); }
+};
+
+}  // namespace wikisearch::live

@@ -33,7 +33,7 @@ QueryScheduler::Options SchedulerDefaults(const SearchOptions& defaults) {
 
 }  // namespace
 
-std::string SearchResultToJson(const KnowledgeGraph& graph,
+std::string SearchResultToJson(const GraphView& graph,
                                const SearchResult& result) {
   JsonWriter w;
   w.BeginObject();
@@ -122,6 +122,52 @@ std::string SearchResultToJson(const KnowledgeGraph& graph,
   return std::move(w).Take();
 }
 
+Result<live::UpdateBatch> ParseUpdateBody(const std::string& body) {
+  Result<JsonValue> doc = JsonParse(body);
+  if (!doc.ok()) return doc.status();
+  if (!doc->is_object()) {
+    return Status::InvalidArgument("update body must be a JSON object");
+  }
+  live::UpdateBatch batch;
+  auto parse_triples = [&](const char* key, std::vector<live::TripleOp>* out) {
+    const JsonValue* arr = doc->Find(key);
+    if (arr == nullptr) return Status::OK();
+    if (!arr->is_array()) {
+      return Status::InvalidArgument(std::string(key) + " must be an array");
+    }
+    for (const JsonValue& t : arr->array) {
+      if (!t.is_array() || t.array.size() != 3 || !t.array[0].is_string() ||
+          !t.array[1].is_string() || !t.array[2].is_string()) {
+        return Status::InvalidArgument(
+            std::string(key) + " entries must be [subject, predicate, object]");
+      }
+      out->push_back(
+          live::TripleOp{t.array[0].str, t.array[1].str, t.array[2].str});
+    }
+    return Status::OK();
+  };
+  Status st = parse_triples("add", &batch.add);
+  if (!st.ok()) return st;
+  st = parse_triples("remove", &batch.remove);
+  if (!st.ok()) return st;
+  if (const JsonValue* arr = doc->Find("text"); arr != nullptr) {
+    if (!arr->is_array()) {
+      return Status::InvalidArgument("text must be an array");
+    }
+    for (const JsonValue& t : arr->array) {
+      if (!t.is_array() || t.array.size() != 2 || !t.array[0].is_string() ||
+          !t.array[1].is_string()) {
+        return Status::InvalidArgument("text entries must be [node, text]");
+      }
+      batch.text.push_back(live::TextOp{t.array[0].str, t.array[1].str});
+    }
+  }
+  if (batch.empty()) {
+    return Status::InvalidArgument("update batch has no operations");
+  }
+  return batch;
+}
+
 SearchService::SearchService(const KnowledgeGraph* graph,
                              const InvertedIndex* index,
                              SearchOptions defaults, size_t cache_capacity,
@@ -156,6 +202,51 @@ SearchService::SearchService(const KnowledgeGraph* graph,
   }
 }
 
+SearchService::SearchService(live::SnapshotManager* live,
+                             SearchOptions defaults, size_t cache_capacity,
+                             obs::MetricRegistry* metrics,
+                             size_t context_cache_capacity)
+    : graph_(nullptr),
+      index_(nullptr),
+      live_(live),
+      defaults_(defaults),
+      cache_(cache_capacity),
+      context_cache_(context_cache_capacity),
+      engine_(defaults),
+      scheduler_(SchedulerDefaults(defaults)),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      queries_total_(metrics_->GetCounter("ws_server_queries_total")),
+      errors_total_(metrics_->GetCounter("ws_server_errors_total")),
+      shed_total_(metrics_->GetCounter("ws_server_shed_total")),
+      timeout_total_(metrics_->GetCounter("ws_server_timeout_total")),
+      degraded_total_(metrics_->GetCounter("ws_server_degraded_total")),
+      cache_hits_total_(metrics_->GetCounter("ws_server_cache_hits_total")),
+      cache_misses_total_(
+          metrics_->GetCounter("ws_server_cache_misses_total")),
+      http_requests_total_(
+          metrics_->GetCounter("ws_server_http_requests_total")),
+      http_rejected_total_(
+          metrics_->GetCounter("ws_server_http_rejected_total")) {
+  WS_CHECK(live_ != nullptr);
+  engine_.SetStatePool(&state_pool_);
+  if (context_cache_.capacity() > 0) {
+    engine_.SetContextCache(&context_cache_);
+  }
+  live_->SetMetricRegistry(metrics_);
+  // The generation/invalidation contract (DESIGN.md §10): every compaction
+  // publish drops both the memoized contexts and the response cache, so no
+  // post-publish request can be served a pre-publish answer. Overlay
+  // publishes (Apply) don't need this — their new version changes every
+  // cache key instead.
+  live_->SetPublishCallback([this](uint64_t) {
+    context_cache_.Invalidate();
+    cache_.Clear();
+  });
+}
+
 void SearchService::RegisterRoutes(HttpServer* server) {
   server_ = server;
   server->Route("/search",
@@ -166,6 +257,20 @@ void SearchService::RegisterRoutes(HttpServer* server) {
                 [this](const HttpRequest& r) { return HandleMetrics(r); });
   server->Route("/healthz",
                 [this](const HttpRequest& r) { return HandleHealth(r); });
+  if (live_ != nullptr) {
+    server->Route("/update",
+                  [this](const HttpRequest& r) { return HandleUpdate(r); });
+    server->Route("/snapshot",
+                  [this](const HttpRequest& r) { return HandleSnapshot(r); });
+  }
+}
+
+KbHandle SearchService::CurrentHandle() const {
+  if (live_ != nullptr) return live_->PinHandle();
+  KbHandle kb;
+  kb.graph = GraphView(*graph_);
+  kb.index = IndexView(*index_);
+  return kb;
 }
 
 HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
@@ -196,11 +301,16 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
   obs::TraceContext trace_ctx;
   if (tracing) opts.trace = &trace_ctx;
 
+  // Pin the KB state first: the pinned version is part of the cache key, so
+  // a response cached against one overlay state can never answer a request
+  // that pinned a newer one (version 0 = static mode, key unchanged).
+  KbHandle kb = CurrentHandle();
   std::string cache_key = q + "|" + std::to_string(opts.top_k) + "|" +
                           std::to_string(opts.alpha) + "|" +
                           std::to_string(opts.lambda) + "|" +
                           std::to_string(opts.deadline_ms) + "|" +
-                          EngineKindName(opts.engine);
+                          EngineKindName(opts.engine) + "|v" +
+                          std::to_string(kb.version);
   if (!tracing) {
     if (auto cached = cache_.Get(cache_key)) {
       queries_total_->Inc();
@@ -217,7 +327,7 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
       scheduler_.Run(tracing ? std::string() : cache_key, [&](int threads) {
         SearchOptions run_opts = opts;
         run_opts.threads = threads;
-        return engine_.Search(q, run_opts);
+        return engine_.Search(kb, q, run_opts);
       });
   if (out.kind == QueryScheduler::Outcome::Kind::kShed) {
     shed_total_->Inc();
@@ -240,7 +350,7 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
   // shared flight's timed-out answer was delivered to every joiner.
   if (result->stats.timed_out) timeout_total_->Inc();
   if (result->stats.degraded) degraded_total_->Inc();
-  std::string body = SearchResultToJson(*graph_, *result);
+  std::string body = SearchResultToJson(kb.graph, *result);
   if (tracing) {
     // Splice the trace document into the response object: the body is a
     // complete JSON object, so the closing brace is its last byte.
@@ -262,28 +372,54 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
 }
 
 HttpResponse SearchService::HandleStats(const HttpRequest&) {
+  // One pinned state describes graph and index consistently even while
+  // updates and compactions race this scrape.
+  KbHandle kb = CurrentHandle();
   JsonWriter w;
   w.BeginObject();
   w.Key("graph");
   w.BeginObject();
   w.Key("nodes");
-  w.UInt(graph_->num_nodes());
+  w.UInt(kb.graph.num_nodes());
   w.Key("triples");
-  w.UInt(graph_->num_triples());
+  w.UInt(kb.graph.num_triples());
   w.Key("labels");
-  w.UInt(graph_->num_labels());
+  w.UInt(kb.graph.num_labels());
   w.Key("average_distance");
-  w.Double(graph_->average_distance());
+  w.Double(kb.graph.average_distance());
   w.Key("pre_storage_bytes");
-  w.UInt(graph_->PreStorageBytes());
+  w.UInt(kb.graph.PreStorageBytes());
   w.EndObject();
   w.Key("index");
   w.BeginObject();
   w.Key("terms");
-  w.UInt(index_->num_terms());
+  w.UInt(kb.index.num_terms());
   w.Key("postings");
-  w.UInt(index_->num_postings());
+  w.UInt(kb.index.num_postings());
   w.EndObject();
+  if (live_ != nullptr) {
+    w.Key("live");
+    w.BeginObject();
+    w.Key("generation");
+    w.UInt(live_->generation());
+    w.Key("version");
+    w.UInt(live_->version());
+    w.Key("overlay_batches");
+    w.UInt(live_->overlay_depth());
+    w.Key("overlay_bytes");
+    w.UInt(live_->overlay_bytes());
+    w.Key("updates_applied");
+    w.UInt(live_->updates_applied());
+    w.Key("updates_rejected");
+    w.UInt(live_->updates_rejected());
+    w.Key("compactions");
+    w.UInt(live_->compactions());
+    w.Key("snapshots_live");
+    w.UInt(live_->snapshots_live());
+    w.Key("compaction_state");
+    w.String(live_->compaction_state());
+    w.EndObject();
+  }
   w.Key("cache");
   w.BeginObject();
   w.Key("entries");
@@ -390,6 +526,30 @@ void SearchService::RefreshScrapeMetrics() {
       ->Set(static_cast<double>(context_cache_.size()));
   metrics_->GetGauge("ws_server_state_pool_idle")
       ->Set(static_cast<double>(state_pool_.idle_states()));
+  if (live_ != nullptr) {
+    metrics_->GetCounter("ws_live_updates_total")
+        ->AdvanceTo(live_->updates_applied());
+    metrics_->GetCounter("ws_live_update_mutations_total")
+        ->AdvanceTo(live_->mutations_applied());
+    metrics_->GetCounter("ws_live_update_rejected_total")
+        ->AdvanceTo(live_->updates_rejected());
+    metrics_->GetCounter("ws_live_compactions_total")
+        ->AdvanceTo(live_->compactions());
+    metrics_->GetCounter("ws_live_snapshots_published_total")
+        ->AdvanceTo(live_->snapshots_published());
+    metrics_->GetCounter("ws_live_snapshots_retired_total")
+        ->AdvanceTo(live_->snapshots_retired());
+    metrics_->GetGauge("ws_live_overlay_batches")
+        ->Set(static_cast<double>(live_->overlay_depth()));
+    metrics_->GetGauge("ws_live_overlay_bytes")
+        ->Set(static_cast<double>(live_->overlay_bytes()));
+    metrics_->GetGauge("ws_live_generation")
+        ->Set(static_cast<double>(live_->generation()));
+    metrics_->GetGauge("ws_live_version")
+        ->Set(static_cast<double>(live_->version()));
+    metrics_->GetGauge("ws_live_snapshots_live")
+        ->Set(static_cast<double>(live_->snapshots_live()));
+  }
 }
 
 HttpResponse SearchService::HandleMetrics(const HttpRequest&) {
@@ -400,6 +560,91 @@ HttpResponse SearchService::HandleMetrics(const HttpRequest&) {
 
 HttpResponse SearchService::HandleHealth(const HttpRequest&) {
   return HttpResponse::Text(200, "ok\n");
+}
+
+HttpResponse SearchService::HandleUpdate(const HttpRequest& req) {
+  if (live_ == nullptr) {
+    return HttpResponse{404, "text/plain", "not a live deployment\n", {}};
+  }
+  if (req.method != "POST") {
+    errors_total_->Inc();
+    return HttpResponse::BadRequest("POST a JSON update batch to /update\n");
+  }
+  Result<live::UpdateBatch> batch = ParseUpdateBody(req.body);
+  if (!batch.ok()) {
+    errors_total_->Inc();
+    return HttpResponse::BadRequest(batch.status().ToString() + "\n");
+  }
+  Status st = live_->Apply(*batch);
+  if (!st.ok()) {
+    errors_total_->Inc();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error");
+    w.String(st.ToString());
+    w.EndObject();
+    // The whole batch was rejected atomically: nothing became visible.
+    int status = st.code() == StatusCode::kNotFound ? 404 : 400;
+    return HttpResponse{status, "application/json", std::move(w).Take(), {}};
+  }
+  if (req.Param("compact") == "1") {
+    Status cst = live_->CompactOnce();
+    WS_CHECK(cst.ok());  // CompactOnce only fails via fault injection
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("added");
+  w.UInt(batch->add.size());
+  w.Key("removed");
+  w.UInt(batch->remove.size());
+  w.Key("text_ops");
+  w.UInt(batch->text.size());
+  w.Key("version");
+  w.UInt(live_->version());
+  w.Key("generation");
+  w.UInt(live_->generation());
+  w.Key("overlay_batches");
+  w.UInt(live_->overlay_depth());
+  w.EndObject();
+  return HttpResponse::Json(std::move(w).Take());
+}
+
+HttpResponse SearchService::HandleSnapshot(const HttpRequest&) {
+  if (live_ == nullptr) {
+    return HttpResponse{404, "text/plain", "not a live deployment\n", {}};
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("generation");
+  w.UInt(live_->generation());
+  w.Key("version");
+  w.UInt(live_->version());
+  w.Key("overlay_batches");
+  w.UInt(live_->overlay_depth());
+  w.Key("overlay_bytes");
+  w.UInt(live_->overlay_bytes());
+  w.Key("compaction_state");
+  w.String(live_->compaction_state());
+  w.Key("compactions");
+  w.UInt(live_->compactions());
+  w.Key("updates_applied");
+  w.UInt(live_->updates_applied());
+  w.Key("updates_rejected");
+  w.UInt(live_->updates_rejected());
+  w.Key("mutations_applied");
+  w.UInt(live_->mutations_applied());
+  w.Key("snapshots_published");
+  w.UInt(live_->snapshots_published());
+  w.Key("snapshots_retired");
+  w.UInt(live_->snapshots_retired());
+  w.Key("snapshots_live");
+  w.UInt(live_->snapshots_live());
+  w.Key("last_fold_ms");
+  w.Double(live_->last_fold_ms());
+  w.Key("last_publish_ms");
+  w.Double(live_->last_publish_ms());
+  w.EndObject();
+  return HttpResponse::Json(std::move(w).Take());
 }
 
 }  // namespace wikisearch::server

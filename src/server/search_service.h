@@ -35,6 +35,7 @@
 #include "core/context_cache.h"
 #include "core/engine.h"
 #include "core/state_pool.h"
+#include "live/snapshot_manager.h"
 #include "obs/metrics.h"
 #include "server/http_server.h"
 #include "server/query_cache.h"
@@ -42,9 +43,17 @@
 
 namespace wikisearch::server {
 
-/// Renders a SearchResult as the service's JSON document.
-std::string SearchResultToJson(const KnowledgeGraph& graph,
+/// Renders a SearchResult as the service's JSON document. Takes a GraphView
+/// so live-mode handlers can render against a pinned overlay state; static
+/// callers pass the KnowledgeGraph (implicit conversion).
+std::string SearchResultToJson(const GraphView& graph,
                                const SearchResult& result);
+
+/// Parses the POST /update JSON body:
+///   {"add": [["s","p","o"], ...], "remove": [["s","p","o"], ...],
+///    "text": [["node","text"], ...]}
+/// All three keys optional. Exposed for tests and the bench driver.
+Result<live::UpdateBatch> ParseUpdateBody(const std::string& body);
 
 class SearchService {
  public:
@@ -59,9 +68,20 @@ class SearchService {
                 obs::MetricRegistry* metrics = nullptr,
                 size_t context_cache_capacity = 256);
 
-  /// Registers /search, /stats, /metrics and /healthz on the server. The
-  /// server pointer is retained so /metrics can bridge its connection
-  /// counters into the registry at scrape time.
+  /// Live-mode service: every query executes against a KbHandle pinned from
+  /// `live` (DESIGN.md §10), POST /update and GET /snapshot are served, and
+  /// the manager's publish callback is hooked to invalidate both caches
+  /// exactly when a compaction bumps the generation. `live` must outlive
+  /// the service and must not have a publish callback of its own.
+  SearchService(live::SnapshotManager* live, SearchOptions defaults = {},
+                size_t cache_capacity = 256,
+                obs::MetricRegistry* metrics = nullptr,
+                size_t context_cache_capacity = 256);
+
+  /// Registers /search, /stats, /metrics and /healthz on the server (plus
+  /// /update and /snapshot in live mode). The server pointer is retained so
+  /// /metrics can bridge its connection counters into the registry at
+  /// scrape time.
   void RegisterRoutes(HttpServer* server);
 
   // Handlers are public so tests can drive them without sockets.
@@ -69,6 +89,11 @@ class SearchService {
   HttpResponse HandleStats(const HttpRequest& req);
   HttpResponse HandleMetrics(const HttpRequest& req);
   HttpResponse HandleHealth(const HttpRequest& req);
+  /// Live mode only (404 otherwise): applies a mutation batch;
+  /// `?compact=1` folds and publishes synchronously before responding.
+  HttpResponse HandleUpdate(const HttpRequest& req);
+  /// Live mode only (404 otherwise): snapshot/overlay/compaction status.
+  HttpResponse HandleSnapshot(const HttpRequest& req);
 
   const QueryCache& cache() const { return cache_; }
   const QueryContextCache& context_cache() const { return context_cache_; }
@@ -105,8 +130,13 @@ class SearchService {
   /// serialized by scrape_mu_.
   void RefreshScrapeMetrics();
 
-  const KnowledgeGraph* graph_;
-  const InvertedIndex* index_;
+  /// The KB state this request executes against: a pinned live handle, or a
+  /// version-0 handle over the bound graph/index in static mode.
+  KbHandle CurrentHandle() const;
+
+  const KnowledgeGraph* graph_;  // null in live mode
+  const InvertedIndex* index_;   // null in live mode
+  live::SnapshotManager* live_ = nullptr;  // null in static mode
   SearchOptions defaults_;
   QueryCache cache_;
   // Per-query engine state only ever comes from these pools' leases

@@ -1,0 +1,22 @@
+#include "text/index_view.h"
+
+#include "text/tokenizer.h"
+
+namespace wikisearch {
+
+size_t IndexOverlayPatch::OverlayBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, list] : merged_postings) {
+    bytes += term.size() + sizeof(term) + list.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+std::span<const NodeId> IndexView::Lookup(std::string_view raw_keyword) const {
+  std::vector<std::string> terms = AnalyzeText(raw_keyword, options());
+  if (terms.empty()) return {};
+  // Same convention as InvertedIndex::Lookup: one keyword, first term.
+  return LookupTerm(terms.front());
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,86 @@
+// Read-through view of an InvertedIndex plus an optional posting-delta
+// overlay — the text-layer twin of GraphView (DESIGN.md §10). A touched
+// term's posting list is materialized in full inside the patch (sorted
+// unique, exactly what InvertedIndex stores), so a view lookup is one hash
+// probe with no merge logic and no locks; untouched terms read straight
+// from the immutable base index. An empty merged list is a tombstone: the
+// term currently matches no node.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch {
+
+/// Immutable posting deltas over a base InvertedIndex. Built by
+/// live::DeltaOverlay (copy-on-write per batch), consumed read-only.
+struct IndexOverlayPatch {
+  /// Full replacement posting list per touched term (sorted unique). An
+  /// empty vector tombstones the term.
+  std::unordered_map<std::string, std::vector<NodeId>> merged_postings;
+  /// View-total term/posting counts (base counts adjusted by the deltas).
+  size_t num_terms = 0;
+  size_t total_postings = 0;
+
+  size_t OverlayBytes() const;
+};
+
+/// Non-owning, trivially copyable read view over (base, patch).
+class IndexView {
+ public:
+  IndexView() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit.
+  IndexView(const InvertedIndex& base) : base_(&base) {}
+  IndexView(const InvertedIndex* base, const IndexOverlayPatch* patch)
+      : base_(base), patch_(patch) {}
+
+  /// Posting list for a raw keyword, analyzed with the base's analyzer.
+  std::span<const NodeId> Lookup(std::string_view raw_keyword) const;
+
+  /// Posting list for an already-analyzed term.
+  std::span<const NodeId> LookupTerm(const std::string& term) const {
+    if (patch_ != nullptr) {
+      auto it = patch_->merged_postings.find(term);
+      if (it != patch_->merged_postings.end()) {
+        return {it->second.data(), it->second.size()};
+      }
+    }
+    return base_->LookupTerm(term);
+  }
+
+  size_t KeywordFrequency(std::string_view raw_keyword) const {
+    return Lookup(raw_keyword).size();
+  }
+
+  std::vector<std::string> AnalyzeQuery(std::string_view query) const {
+    return base_->AnalyzeQuery(query);
+  }
+
+  size_t num_terms() const {
+    return patch_ != nullptr ? patch_->num_terms : base_->num_terms();
+  }
+  size_t num_postings() const {
+    return patch_ != nullptr ? patch_->total_postings
+                             : base_->num_postings();
+  }
+  size_t MemoryBytes() const {
+    return base_->MemoryBytes() +
+           (patch_ != nullptr ? patch_->OverlayBytes() : 0);
+  }
+
+  const AnalyzerOptions& options() const { return base_->options(); }
+  const InvertedIndex* base() const { return base_; }
+  const IndexOverlayPatch* patch() const { return patch_; }
+
+ private:
+  const InvertedIndex* base_ = nullptr;
+  const IndexOverlayPatch* patch_ = nullptr;
+};
+
+}  // namespace wikisearch

@@ -42,6 +42,43 @@ std::span<const NodeId> InvertedIndex::LookupTerm(
   return {it->second.data(), it->second.size()};
 }
 
+void InvertedIndex::SetTermPostings(const std::string& term,
+                                    std::vector<NodeId> list) {
+  auto it = postings_.find(term);
+  if (it != postings_.end()) {
+    total_postings_ -= it->second.size();
+    if (list.empty()) {
+      postings_.erase(it);
+      return;
+    }
+    total_postings_ += list.size();
+    it->second = std::move(list);
+    return;
+  }
+  if (list.empty()) return;
+  total_postings_ += list.size();
+  postings_.emplace(term, std::move(list));
+}
+
+void InvertedIndex::AddNodeTerms(NodeId v,
+                                 const std::vector<std::string>& terms) {
+  for (const std::string& t : terms) {
+    std::vector<NodeId>& list = postings_[t];
+    auto at = std::lower_bound(list.begin(), list.end(), v);
+    if (at != list.end() && *at == v) continue;
+    list.insert(at, v);
+    ++total_postings_;
+  }
+}
+
+std::vector<std::string> InvertedIndex::Terms() const {
+  std::vector<std::string> out;
+  out.reserve(postings_.size());
+  for (const auto& [term, list] : postings_) out.push_back(term);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<std::string> InvertedIndex::AnalyzeQuery(
     std::string_view query) const {
   std::vector<std::string> terms = AnalyzeText(query, opts_);

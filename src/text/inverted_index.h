@@ -45,6 +45,20 @@ class InvertedIndex {
   size_t num_terms() const { return postings_.size(); }
   size_t num_postings() const { return total_postings_; }
 
+  /// Replaces (or inserts) one term's posting list; an empty `list` erases
+  /// the term. `list` must be sorted unique. Used by the live-update fold
+  /// to apply an IndexOverlayPatch, and by tests rebuilding comparators.
+  void SetTermPostings(const std::string& term, std::vector<NodeId> list);
+
+  /// Adds node `v` to the posting list of every term in `terms` (sorted
+  /// insert, no-op where already present) — how extra node text enters the
+  /// index beyond the indexed node name.
+  void AddNodeTerms(NodeId v, const std::vector<std::string>& terms);
+
+  /// All indexed terms, sorted — exposed so equivalence tests can compare
+  /// two indexes term by term.
+  std::vector<std::string> Terms() const;
+
   /// Approximate resident bytes.
   size_t MemoryBytes() const;
 

@@ -41,7 +41,7 @@ std::shared_ptr<const CachedQueryContext> MakeContext(
                                        std::vector<NodeId>{0});
   ActivationMap act(g->average_distance(), 0.5, true);
   return std::make_shared<CachedQueryContext>(
-      QueryContext(g, std::move(keywords), std::move(t_i), act, 4),
+      QueryContext(*g, std::move(keywords), std::move(t_i), act, 4),
       std::vector<std::string>{});
 }
 
@@ -50,19 +50,20 @@ TEST(QueryContextCacheTest, MakeKeyDistinguishesEveryParameter) {
   const void* gp = &g;
   const void* ip = reinterpret_cast<const void*>(0x1);
   std::set<std::string> keys;
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 0));
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"b", "a"}, 0.5, true, 0));
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a"}, 0.5, true, 0));
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.25, true, 0));
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, false, 0));
-  keys.insert(QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 3));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"a", "b"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"b", "a"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"a"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"a", "b"}, 0.25, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"a", "b"}, 0.5, false, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 0, {"a", "b"}, 0.5, true, 3));
   keys.insert(
-      QueryContextCache::MakeKey(ip, ip, {"a", "b"}, 0.5, true, 0));
-  EXPECT_EQ(keys.size(), 7u);
+      QueryContextCache::MakeKey(ip, ip, 0, {"a", "b"}, 0.5, true, 0));
+  keys.insert(QueryContextCache::MakeKey(gp, ip, 7, {"a", "b"}, 0.5, true, 0));
+  EXPECT_EQ(keys.size(), 8u);
   // Keyword concatenation cannot collide across the separator: {"ab"} and
   // {"a","b"} differ.
-  EXPECT_NE(QueryContextCache::MakeKey(gp, ip, {"ab"}, 0.5, true, 0),
-            QueryContextCache::MakeKey(gp, ip, {"a", "b"}, 0.5, true, 0));
+  EXPECT_NE(QueryContextCache::MakeKey(gp, ip, 0, {"ab"}, 0.5, true, 0),
+            QueryContextCache::MakeKey(gp, ip, 0, {"a", "b"}, 0.5, true, 0));
 }
 
 TEST(QueryContextCacheTest, HitRefreshesRecencyAndSharesOneSnapshot) {
@@ -70,7 +71,7 @@ TEST(QueryContextCacheTest, HitRefreshesRecencyAndSharesOneSnapshot) {
   QueryContextCache cache(8);
   auto ctx = MakeContext(&g, {"xml"});
   const std::string key =
-      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+      QueryContextCache::MakeKey(&g, nullptr, 0, {"xml"}, 0.5, true, 0);
   EXPECT_EQ(cache.Get(key), nullptr);
   cache.Put(key, ctx, cache.generation());
   auto first = cache.Get(key);
@@ -91,7 +92,7 @@ TEST(QueryContextCacheTest, TinyCapacityEvictsExactly) {
   for (int i = 0; i < kKeys; ++i) {
     std::string kw = "kw" + std::to_string(i);
     std::string key =
-        QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0);
+        QueryContextCache::MakeKey(&g, nullptr, 0, {kw}, 0.5, true, 0);
     EXPECT_EQ(cache.Get(key), nullptr);  // every probe misses: capacity 2
     cache.Put(key, MakeContext(&g, {kw}), cache.generation());
   }
@@ -103,12 +104,12 @@ TEST(QueryContextCacheTest, TinyCapacityEvictsExactly) {
   // An entry kept by a live shared_ptr survives its eviction.
   auto held = MakeContext(&g, {"held"});
   std::string held_key =
-      QueryContextCache::MakeKey(&g, nullptr, {"held"}, 0.5, true, 0);
+      QueryContextCache::MakeKey(&g, nullptr, 0, {"held"}, 0.5, true, 0);
   cache.Put(held_key, held, cache.generation());
   auto leased = cache.Get(held_key);
   for (int i = 0; i < 2 * kKeys; ++i) {
     std::string kw = "spill" + std::to_string(i);
-    cache.Put(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0),
+    cache.Put(QueryContextCache::MakeKey(&g, nullptr, 0, {kw}, 0.5, true, 0),
               MakeContext(&g, {kw}), cache.generation());
   }
   if (leased != nullptr) {
@@ -120,7 +121,7 @@ TEST(QueryContextCacheTest, StalePutAfterInvalidateIsRejected) {
   KnowledgeGraph g = MakeWeightedGraph();
   QueryContextCache cache(4);
   const std::string key =
-      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+      QueryContextCache::MakeKey(&g, nullptr, 0, {"xml"}, 0.5, true, 0);
   // A query captures the generation, starts building... and the index is
   // rebuilt before it finishes. Its Put must be dropped on the floor.
   uint64_t stale_generation = cache.generation();
@@ -142,7 +143,7 @@ TEST(QueryContextCacheTest, InvalidateDropsEverything) {
   QueryContextCache cache(64);
   for (int i = 0; i < 5; ++i) {
     std::string kw = "kw" + std::to_string(i);
-    cache.Put(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true, 0),
+    cache.Put(QueryContextCache::MakeKey(&g, nullptr, 0, {kw}, 0.5, true, 0),
               MakeContext(&g, {kw}), cache.generation());
   }
   EXPECT_EQ(cache.size(), 5u);
@@ -151,7 +152,7 @@ TEST(QueryContextCacheTest, InvalidateDropsEverything) {
   for (int i = 0; i < 5; ++i) {
     std::string kw = "kw" + std::to_string(i);
     EXPECT_EQ(
-        cache.Get(QueryContextCache::MakeKey(&g, nullptr, {kw}, 0.5, true,
+        cache.Get(QueryContextCache::MakeKey(&g, nullptr, 0, {kw}, 0.5, true,
                                              0)),
         nullptr);
   }
@@ -161,7 +162,7 @@ TEST(QueryContextCacheTest, CapacityZeroDisablesCaching) {
   KnowledgeGraph g = MakeWeightedGraph();
   QueryContextCache cache(0);
   const std::string key =
-      QueryContextCache::MakeKey(&g, nullptr, {"xml"}, 0.5, true, 0);
+      QueryContextCache::MakeKey(&g, nullptr, 0, {"xml"}, 0.5, true, 0);
   cache.Put(key, MakeContext(&g, {"xml"}), cache.generation());
   EXPECT_EQ(cache.Get(key), nullptr);
   EXPECT_EQ(cache.size(), 0u);

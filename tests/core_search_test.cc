@@ -23,7 +23,7 @@ struct SearchRun {
   SearchRun(const KnowledgeGraph& g, std::vector<std::vector<NodeId>> groups,
       int top_k, double avg_dist = 2.0, double alpha = 0.5, int lmax = 20,
       int threads = 1, bool gpu_style = false)
-      : ctx(&g, {}, std::move(groups), ActivationMap(avg_dist, alpha), lmax),
+      : ctx(g, {}, std::move(groups), ActivationMap(avg_dist, alpha), lmax),
         state(g.num_nodes(), ctx.num_keywords()),
         pool(threads) {
     opts.top_k = top_k;

@@ -42,7 +42,7 @@ TEST(ExtractionEdgeTest, CentralPredecessorsAreExcluded) {
   WS_CHECK(g.SetNodeWeights(std::vector<double>(g.num_nodes(), 0.0)).ok());
 
   std::vector<std::vector<NodeId>> groups = {{x0}, {y0}, {z0}};
-  QueryContext ctx(&g, {}, groups, ActivationMap(2.0, 0.5), 20);
+  QueryContext ctx(g, {}, groups, ActivationMap(2.0, 0.5), 20);
   SearchOptions opts;
   opts.top_k = 100;  // run to exhaustion
   ThreadPool pool(1);

@@ -65,7 +65,7 @@ TEST(Fig4WalkthroughTest, StagedExpansionAndMultiPathAnswer) {
       {wt.v4, wt.v5},  // rdf
       {wt.v1},         // sql
   };
-  QueryContext ctx(&wt.graph, {}, groups, ActivationMap(2.0, 0.5), 20);
+  QueryContext ctx(wt.graph, {}, groups, ActivationMap(2.0, 0.5), 20);
   SearchOptions opts;
   opts.top_k = 1;
   ThreadPool pool(1);

@@ -1,0 +1,647 @@
+// Live-update equivalence suite (DESIGN.md §10). The load-bearing contract:
+// after ANY sequence of applied mutation batches, the served
+// (base snapshot + delta overlay) state is byte-identical — structure,
+// weights, sampled average distance, postings, and query answers across all
+// engine kinds — to a cold from-scratch rebuild of the same history. Plus
+// the lifecycle contracts: batch atomicity on rejection, pinned handles
+// surviving publishes, exact fold/rebuild agreement after compaction, and
+// end-to-end cache invalidation through the HTTP service.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "graph/graph_view.h"
+#include "live/compactor.h"
+#include "live/snapshot_manager.h"
+#include "server/search_service.h"
+#include "test_util.h"
+#include "text/index_view.h"
+#include "text/tokenizer.h"
+
+namespace wikisearch {
+namespace {
+
+using live::SnapshotManager;
+using live::TextOp;
+using live::TripleOp;
+using live::UpdateBatch;
+
+constexpr size_t kDistancePairs = 2000;
+constexpr uint64_t kDistanceSeed = 7;
+
+std::string Canonical(const Result<SearchResult>& r) {
+  std::ostringstream out;
+  if (!r.ok()) {
+    out << "error:" << r.status().ToString();
+    return out.str();
+  }
+  for (const std::string& kw : r->keywords) out << kw << ';';
+  out << "|levels=" << r->stats.levels
+      << "|centrals=" << r->stats.num_centrals << '|';
+  for (const AnswerGraph& a : r->answers) {
+    uint64_t score_bits = 0;
+    static_assert(sizeof(score_bits) == sizeof(a.score));
+    std::memcpy(&score_bits, &a.score, sizeof(score_bits));
+    out << "a{" << a.central << ',' << a.depth << ',' << score_bits << ",n[";
+    for (NodeId v : a.nodes) out << v << ',';
+    out << "],e[";
+    for (const AnswerEdge& e : a.edges) {
+      out << e.src << '-' << e.label << '-' << e.dst << ',';
+    }
+    out << "]}";
+  }
+  return out.str();
+}
+
+/// The independent ground truth: a name-level replay of the full mutation
+/// history that rebuilds the KB from scratch through GraphBuilder /
+/// InvertedIndex::Build — the exact offline pipeline. The overlay must
+/// match whatever this produces, id for id and byte for byte.
+struct MirrorKb {
+  std::vector<std::string> node_order;   // first-appearance order
+  std::vector<std::string> label_order;  // first-appearance order
+  std::set<std::string> known_nodes;
+  std::set<std::string> known_labels;
+  struct T {
+    std::string s, p, o;
+  };
+  std::vector<T> triples;
+  std::unordered_map<std::string, std::string> text;  // node -> extra text
+
+  void InitFromBase(const KnowledgeGraph& g) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      node_order.push_back(g.NodeName(v));
+      known_nodes.insert(g.NodeName(v));
+    }
+    for (LabelId l = 0; l < static_cast<LabelId>(g.num_labels()); ++l) {
+      label_order.push_back(g.LabelName(l));
+      known_labels.insert(g.LabelName(l));
+    }
+    // Forward entries only; each triple is stored twice in the CSR.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const AdjEntry& e : g.Neighbors(v)) {
+        if (e.reverse == 0) {
+          triples.push_back(
+              {g.NodeName(v), g.LabelName(e.label), g.NodeName(e.target)});
+        }
+      }
+    }
+  }
+
+  void AddName(const std::string& name) {
+    if (known_nodes.insert(name).second) node_order.push_back(name);
+  }
+
+  void Apply(const UpdateBatch& b) {
+    for (const TripleOp& op : b.add) {
+      AddName(op.subject);
+      AddName(op.object);
+      if (known_labels.insert(op.predicate).second) {
+        label_order.push_back(op.predicate);
+      }
+      triples.push_back({op.subject, op.predicate, op.object});
+    }
+    for (const TripleOp& op : b.remove) {
+      auto it = std::find_if(triples.begin(), triples.end(), [&](const T& t) {
+        return t.s == op.subject && t.p == op.predicate && t.o == op.object;
+      });
+      ASSERT_NE(it, triples.end()) << "mirror remove of missing triple";
+      triples.erase(it);
+    }
+    for (const TextOp& op : b.text) text[op.node] = op.text;
+  }
+
+  struct Rebuilt {
+    KnowledgeGraph graph;
+    InvertedIndex index;
+  };
+
+  Rebuilt Rebuild() const {
+    GraphBuilder b;
+    for (const std::string& name : node_order) b.AddNode(name);
+    for (const std::string& name : label_order) b.AddLabel(name);
+    for (const T& t : triples) b.AddTriple(t.s, t.p, t.o);
+    Rebuilt out;
+    out.graph = std::move(b).Build();
+    AttachNodeWeights(&out.graph);
+    AttachAverageDistance(&out.graph, kDistancePairs, kDistanceSeed);
+    out.index = InvertedIndex::Build(out.graph);
+    for (const auto& [name, txt] : text) {
+      if (txt.empty()) continue;
+      NodeId v = out.graph.FindNode(name);
+      EXPECT_NE(v, kInvalidNode) << name;
+      if (v == kInvalidNode) continue;
+      out.index.AddNodeTerms(v, AnalyzeText(txt, out.index.options()));
+    }
+    return out;
+  }
+};
+
+// GoogleTest's ASSERT_* macros need a void return type; wrap the uses above.
+void ApplyToMirror(MirrorKb* m, const UpdateBatch& b) { m->Apply(b); }
+
+/// Asserts the served view equals the cold rebuild, field by field and byte
+/// by byte: ids, adjacency, weights, A, and every posting list.
+void ExpectViewEqualsRebuild(const GraphView& view, const IndexView& iview,
+                             const MirrorKb::Rebuilt& want) {
+  const KnowledgeGraph& wg = want.graph;
+  ASSERT_EQ(view.num_nodes(), wg.num_nodes());
+  ASSERT_EQ(view.num_labels(), wg.num_labels());
+  EXPECT_EQ(view.num_triples(), wg.num_triples());
+  EXPECT_EQ(view.num_adjacency_entries(), wg.num_adjacency_entries());
+  for (NodeId v = 0; v < wg.num_nodes(); ++v) {
+    EXPECT_EQ(view.NodeName(v), wg.NodeName(v)) << "node " << v;
+    EXPECT_EQ(view.FindNode(wg.NodeName(v)), v);
+    std::span<const AdjEntry> got = view.Neighbors(v);
+    std::span<const AdjEntry> exp = wg.Neighbors(v);
+    ASSERT_EQ(got.size(), exp.size()) << "degree of node " << v;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].target, exp[i].target) << "node " << v << " entry " << i;
+      EXPECT_EQ(got[i].label, exp[i].label) << "node " << v << " entry " << i;
+      EXPECT_EQ(got[i].reverse, exp[i].reverse)
+          << "node " << v << " entry " << i;
+    }
+    // Bit-exact: weights feed answer scores, which must match a rebuild.
+    EXPECT_EQ(view.NodeWeight(v), wg.NodeWeight(v)) << "weight of " << v;
+  }
+  for (LabelId l = 0; l < static_cast<LabelId>(wg.num_labels()); ++l) {
+    EXPECT_EQ(view.LabelName(l), wg.LabelName(l)) << "label " << l;
+  }
+  EXPECT_EQ(view.average_distance(), wg.average_distance());
+  EXPECT_EQ(view.average_distance_deviation(),
+            wg.average_distance_deviation());
+
+  ASSERT_EQ(iview.num_terms(), want.index.num_terms());
+  EXPECT_EQ(iview.num_postings(), want.index.num_postings());
+  for (const std::string& term : want.index.Terms()) {
+    std::span<const NodeId> got = iview.LookupTerm(term);
+    std::span<const NodeId> exp = want.index.LookupTerm(term);
+    ASSERT_EQ(got.size(), exp.size()) << "postings of '" << term << "'";
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], exp[i]) << "posting " << i << " of '" << term << "'";
+    }
+  }
+}
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 400;
+    cfg.num_summary_nodes = 4;
+    cfg.num_topic_nodes = 8;
+    cfg.num_communities = 5;
+    cfg.vocab_size = 700;
+    cfg.seed = 83;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, kDistancePairs, kDistanceSeed);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+SnapshotManager::Config ManagerConfig() {
+  SnapshotManager::Config cfg;
+  cfg.distance_pairs = kDistancePairs;
+  cfg.distance_seed = kDistanceSeed;
+  cfg.compact_threshold_batches = 0;  // tests compact explicitly
+  return cfg;
+}
+
+/// Draws a random valid batch against the mirror's current state.
+UpdateBatch DrawBatch(Rng* rng, const MirrorKb& mirror, int batch_id) {
+  UpdateBatch b;
+  const size_t adds = 2 + rng->Uniform(5);
+  for (size_t i = 0; i < adds; ++i) {
+    TripleOp op;
+    // Mix of existing and brand-new endpoints; new names are query-able
+    // pseudo-words so text search exercises overlay-born nodes.
+    if (rng->Bernoulli(0.4)) {
+      op.subject = "livenode" + std::to_string(batch_id) + "x" +
+                   std::to_string(rng->Uniform(4));
+    } else {
+      op.subject = mirror.node_order[rng->Uniform(mirror.node_order.size())];
+    }
+    if (rng->Bernoulli(0.4)) {
+      op.object = "livenode" + std::to_string(batch_id) + "y" +
+                  std::to_string(rng->Uniform(4));
+    } else {
+      op.object = mirror.node_order[rng->Uniform(mirror.node_order.size())];
+    }
+    op.predicate = rng->Bernoulli(0.2)
+                       ? "livepred" + std::to_string(rng->Uniform(3))
+                       : mirror.label_order[rng->Uniform(
+                             mirror.label_order.size())];
+    b.add.push_back(std::move(op));
+  }
+  const size_t removes = rng->Uniform(3);
+  for (size_t i = 0; i < removes && !mirror.triples.empty(); ++i) {
+    const MirrorKb::T& t =
+        mirror.triples[rng->Uniform(mirror.triples.size())];
+    // May remove a triple this batch also adds — removes run after adds in
+    // Apply, so the multiset stays consistent either way.
+    b.remove.push_back(TripleOp{t.s, t.p, t.o});
+  }
+  const size_t texts = rng->Uniform(3);
+  for (size_t i = 0; i < texts; ++i) {
+    TextOp op;
+    op.node = mirror.node_order[rng->Uniform(mirror.node_order.size())];
+    if (rng->Bernoulli(0.25)) {
+      op.text.clear();  // clear any previous text
+    } else {
+      op.text = "extra" + std::to_string(rng->Uniform(6)) + " shared" +
+                std::to_string(rng->Uniform(3));
+    }
+    b.text.push_back(std::move(op));
+  }
+  // Duplicate removes of the same triple instance could invalidate the
+  // batch (the overlay erases one instance per remove); dedupe.
+  std::sort(b.remove.begin(), b.remove.end(),
+            [](const TripleOp& a, const TripleOp& c) {
+              return std::tie(a.subject, a.predicate, a.object) <
+                     std::tie(c.subject, c.predicate, c.object);
+            });
+  b.remove.erase(std::unique(b.remove.begin(), b.remove.end(),
+                             [](const TripleOp& a, const TripleOp& c) {
+                               return a.subject == c.subject &&
+                                      a.predicate == c.predicate &&
+                                      a.object == c.object;
+                             }),
+                 b.remove.end());
+  return b;
+}
+
+std::vector<std::vector<std::string>> DrawQueries(const Fixture& f,
+                                                  Rng* rng, size_t count) {
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng->Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng->Uniform(2);
+    for (size_t i = 0; i < 2 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng->Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  // Overlay-born content must be searchable too.
+  queries.push_back({"livenode0x0", "livenode0y0"});
+  return queries;
+}
+
+/// Queries on (base + overlay) must be byte-identical to queries on the
+/// cold rebuild — across engine kinds and pooled/fresh state.
+void ExpectQueryEquivalence(const SnapshotManager& manager,
+                            const MirrorKb::Rebuilt& want,
+                            const std::vector<std::vector<std::string>>& qs,
+                            const std::vector<EngineKind>& kinds) {
+  SearchOptions defaults;
+  defaults.threads = 2;
+  SearchEngine live_engine(defaults);
+  SearchEngine cold_engine(&want.graph, &want.index, defaults);
+  SearchStatePool pool;
+  for (EngineKind kind : kinds) {
+    for (bool pooled : {false, true}) {
+      SCOPED_TRACE(std::string(EngineKindName(kind)) +
+                   (pooled ? "/pooled" : "/fresh"));
+      live_engine.SetStatePool(pooled ? &pool : &GlobalSearchStatePool());
+      cold_engine.SetStatePool(pooled ? &pool : &GlobalSearchStatePool());
+      for (const auto& kws : qs) {
+        SearchOptions opts = defaults;
+        opts.engine = kind;
+        KbHandle kb = manager.PinHandle();
+        auto live_result = live_engine.SearchKeywords(kb, kws, opts);
+        auto cold_result = cold_engine.SearchKeywords(kws, opts);
+        EXPECT_EQ(Canonical(live_result), Canonical(cold_result))
+            << "query: " << ::testing::PrintToString(kws);
+      }
+    }
+  }
+}
+
+TEST(LiveUpdateTest, RandomizedBatchesMatchColdRebuild) {
+  Fixture f;
+  Rng rng(testing::TestSeed());
+  MirrorKb mirror;
+  mirror.InitFromBase(f.kb.graph);
+  SnapshotManager manager(f.kb.graph, f.index, ManagerConfig());
+
+  const auto queries = DrawQueries(f, &rng, 3);
+  const int kBatches = 6;
+  for (int i = 0; i < kBatches; ++i) {
+    SCOPED_TRACE("batch " + std::to_string(i));
+    UpdateBatch b = DrawBatch(&rng, mirror, i);
+    ASSERT_TRUE(manager.Apply(b).ok());
+    ApplyToMirror(&mirror, b);
+    MirrorKb::Rebuilt want = mirror.Rebuild();
+    KbHandle kb = manager.PinHandle();
+    ExpectViewEqualsRebuild(kb.graph, kb.index, want);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Cheap per-batch query check; the full 4-kind sweep runs on the final
+    // state below.
+    ExpectQueryEquivalence(manager, want, queries,
+                           {EngineKind::kSequential, EngineKind::kCpuParallel});
+  }
+  MirrorKb::Rebuilt final_want = mirror.Rebuild();
+  ExpectQueryEquivalence(
+      manager, final_want, DrawQueries(f, &rng, 4),
+      {EngineKind::kSequential, EngineKind::kCpuParallel,
+       EngineKind::kCpuDynamic, EngineKind::kGpuSim});
+}
+
+TEST(LiveUpdateTest, CompactedFoldMatchesColdRebuild) {
+  Fixture f;
+  Rng rng(testing::TestSeed());
+  MirrorKb mirror;
+  mirror.InitFromBase(f.kb.graph);
+  SnapshotManager manager(f.kb.graph, f.index, ManagerConfig());
+
+  for (int i = 0; i < 4; ++i) {
+    UpdateBatch b = DrawBatch(&rng, mirror, i);
+    ASSERT_TRUE(manager.Apply(b).ok());
+    ApplyToMirror(&mirror, b);
+  }
+  EXPECT_EQ(manager.overlay_depth(), 4u);
+  ASSERT_TRUE(manager.CompactOnce().ok());
+  EXPECT_EQ(manager.overlay_depth(), 0u);
+  EXPECT_EQ(manager.generation(), 2u);
+  EXPECT_EQ(manager.compactions(), 1u);
+
+  MirrorKb::Rebuilt want = mirror.Rebuild();
+  KbHandle kb = manager.PinHandle();
+  // The compacted state serves with a null patch: pure snapshot.
+  EXPECT_EQ(kb.graph.patch(), nullptr);
+  ExpectViewEqualsRebuild(kb.graph, kb.index, want);
+  // The folded CSR itself (not just the view of it) must equal the rebuilt
+  // one, adjacency array for adjacency array.
+  const KnowledgeGraph& folded = *kb.graph.base();
+  ASSERT_EQ(folded.adjacency().size(), want.graph.adjacency().size());
+  for (size_t i = 0; i < folded.adjacency().size(); ++i) {
+    EXPECT_EQ(folded.adjacency()[i].target, want.graph.adjacency()[i].target);
+    EXPECT_EQ(folded.adjacency()[i].label, want.graph.adjacency()[i].label);
+    EXPECT_EQ(folded.adjacency()[i].reverse,
+              want.graph.adjacency()[i].reverse);
+  }
+  ExpectQueryEquivalence(manager, want, DrawQueries(f, &rng, 3),
+                         {EngineKind::kSequential, EngineKind::kCpuParallel});
+
+  // Updates keep working after the fold (rebased overlay on the new base).
+  UpdateBatch b = DrawBatch(&rng, mirror, 99);
+  ASSERT_TRUE(manager.Apply(b).ok());
+  ApplyToMirror(&mirror, b);
+  MirrorKb::Rebuilt want2 = mirror.Rebuild();
+  KbHandle kb2 = manager.PinHandle();
+  ExpectViewEqualsRebuild(kb2.graph, kb2.index, want2);
+}
+
+TEST(LiveUpdateTest, RejectedBatchChangesNothing) {
+  Fixture f;
+  MirrorKb mirror;
+  mirror.InitFromBase(f.kb.graph);
+  SnapshotManager manager(f.kb.graph, f.index, ManagerConfig());
+
+  UpdateBatch good;
+  good.add.push_back({"atomnew1", "livepred0", "atomnew2"});
+  ASSERT_TRUE(manager.Apply(good).ok());
+  ApplyToMirror(&mirror, good);
+  const uint64_t version = manager.version();
+
+  // Valid adds followed by an invalid remove: the adds must not leak.
+  UpdateBatch bad;
+  bad.add.push_back({"atomnew3", "livepred0", "atomnew1"});
+  bad.add.push_back({mirror.node_order[0], "livepred1", "atomnew3"});
+  bad.remove.push_back({"no-such-node", "livepred0", "atomnew1"});
+  Status st = manager.Apply(bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.version(), version) << "rejected batch must not publish";
+  EXPECT_EQ(manager.updates_rejected(), 1u);
+
+  KbHandle kb = manager.PinHandle();
+  EXPECT_EQ(kb.graph.FindNode("atomnew3"), kInvalidNode);
+  ExpectViewEqualsRebuild(kb.graph, kb.index, mirror.Rebuild());
+
+  // Same for an invalid text op after valid adds.
+  UpdateBatch bad_text;
+  bad_text.add.push_back({"atomnew4", "livepred0", "atomnew1"});
+  bad_text.text.push_back({"another-missing-node", "some words"});
+  ASSERT_FALSE(manager.Apply(bad_text).ok());
+  EXPECT_EQ(manager.PinHandle().graph.FindNode("atomnew4"), kInvalidNode);
+
+  // Empty batches are rejected too.
+  EXPECT_FALSE(manager.Apply(UpdateBatch{}).ok());
+}
+
+TEST(LiveUpdateTest, PinnedHandleSurvivesPublishAndRetiresAfter) {
+  Fixture f;
+  Rng rng(testing::TestSeed());
+  MirrorKb mirror;
+  mirror.InitFromBase(f.kb.graph);
+  SnapshotManager manager(f.kb.graph, f.index, ManagerConfig());
+
+  MirrorKb::Rebuilt want_before = mirror.Rebuild();
+  KbHandle pinned = manager.PinHandle();
+  const uint64_t pinned_version = pinned.version;
+
+  // Mutate and compact twice behind the pin's back.
+  for (int i = 0; i < 2; ++i) {
+    UpdateBatch b = DrawBatch(&rng, mirror, i);
+    ASSERT_TRUE(manager.Apply(b).ok());
+    ApplyToMirror(&mirror, b);
+    ASSERT_TRUE(manager.CompactOnce().ok());
+  }
+  EXPECT_EQ(manager.generation(), 3u);
+  EXPECT_GT(manager.version(), pinned_version);
+
+  // The pinned handle still reads the pre-mutation state, consistently.
+  ExpectViewEqualsRebuild(pinned.graph, pinned.index, want_before);
+  SearchOptions opts;
+  opts.threads = 2;
+  SearchEngine engine(opts);
+  SearchEngine cold(&want_before.graph, &want_before.index, opts);
+  auto qs = DrawQueries(f, &rng, 2);
+  for (const auto& kws : qs) {
+    EXPECT_EQ(Canonical(engine.SearchKeywords(pinned, kws, opts)),
+              Canonical(cold.SearchKeywords(kws, opts)));
+  }
+
+  // Three snapshots were published (initial + 2 folds); the two stale ones
+  // are still leased: the first by `pinned`, the second by nothing — it
+  // retired the moment the second fold's publish dropped it.
+  EXPECT_EQ(manager.snapshots_published(), 3u);
+  EXPECT_EQ(manager.snapshots_retired(), 1u);
+  pinned = manager.PinHandle();  // drop the last lease on snapshot #1
+  EXPECT_EQ(manager.snapshots_retired(), 2u);
+  EXPECT_EQ(manager.snapshots_live(), 1u);
+}
+
+TEST(LiveUpdateTest, ParseUpdateBody) {
+  auto batch = server::ParseUpdateBody(
+      R"({"add":[["a","p","b"],["b","q","c"]],)"
+      R"("remove":[["x","p","y"]],"text":[["a","hello world"],["b",""]]})");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->add.size(), 2u);
+  EXPECT_EQ(batch->add[1].predicate, "q");
+  EXPECT_EQ(batch->remove.size(), 1u);
+  ASSERT_EQ(batch->text.size(), 2u);
+  EXPECT_EQ(batch->text[0].text, "hello world");
+  EXPECT_TRUE(batch->text[1].text.empty());
+
+  EXPECT_FALSE(server::ParseUpdateBody("not json").ok());
+  EXPECT_FALSE(server::ParseUpdateBody("[]").ok());
+  EXPECT_FALSE(server::ParseUpdateBody("{}").ok());  // no operations
+  EXPECT_FALSE(server::ParseUpdateBody(R"({"add":[["a","b"]]})").ok());
+  EXPECT_FALSE(server::ParseUpdateBody(R"({"text":[["a",1]]})").ok());
+}
+
+/// End-to-end generation/invalidation contract through the HTTP service:
+/// after a publish, no query can be served a pre-publish cached answer or
+/// context.
+TEST(LiveUpdateTest, ServiceCacheInvalidationEndToEnd) {
+  Fixture f;
+  SnapshotManager manager(f.kb.graph, f.index, ManagerConfig());
+  SearchOptions defaults;
+  defaults.threads = 2;
+  server::SearchService service(&manager, defaults, /*cache_capacity=*/64,
+                                /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/64);
+
+  // Seed the graph with a uniquely-named cluster we can search for.
+  live::UpdateBatch seed;
+  seed.add.push_back({"zzqueryable", "livepred0", "zzanchor"});
+  ASSERT_TRUE(manager.Apply(seed).ok());
+
+  // Probe for a node that does not exist yet: "zzfresh" matches nothing and
+  // is dropped, so the cached pre-update answer cannot mention it — making
+  // a stale cache hit after the update unambiguously detectable.
+  server::HttpRequest search;
+  search.method = "GET";
+  search.path = "/search";
+  search.params["q"] = "zzfresh zzanchor";
+  server::HttpResponse before = service.HandleSearch(search);
+  ASSERT_EQ(before.status, 200) << before.body;
+  EXPECT_NE(before.body.find("zzanchor"), std::string::npos);
+  EXPECT_NE(before.body.find(R"("dropped_keywords":["zzfresh"])"),
+            std::string::npos)
+      << before.body;
+  EXPECT_EQ(before.body.find(R"("name":"zzfresh")"), std::string::npos);
+  // Same request again: served from the response cache at this version.
+  server::HttpResponse repeat = service.HandleSearch(search);
+  EXPECT_EQ(repeat.body, before.body);
+  EXPECT_GE(service.cache().hits(), 1u);
+
+  // Mutate: attach a new node to the cluster. No compaction yet — the
+  // version bump alone must keep the stale cached answer unreachable.
+  server::HttpRequest update;
+  update.method = "POST";
+  update.path = "/update";
+  update.body =
+      R"({"add":[["zzfresh","livepred0","zzqueryable"],)"
+      R"(["zzfresh","livepred0","zzanchor"]]})";
+  server::HttpResponse uresp = service.HandleUpdate(update);
+  ASSERT_EQ(uresp.status, 200) << uresp.body;
+
+  server::HttpResponse after = service.HandleSearch(search);
+  ASSERT_EQ(after.status, 200) << after.body;
+  EXPECT_NE(after.body.find(R"("name":"zzfresh")"), std::string::npos)
+      << "post-update query served a pre-update answer: " << after.body;
+
+  // Now through a compaction publish: the caches are invalidated and the
+  // answer reflects the folded snapshot.
+  const uint64_t invalidations_before = service.context_cache().invalidations();
+  // Cache a probe for the next node before it exists, then fold it in.
+  server::HttpRequest search2;
+  search2.method = "GET";
+  search2.path = "/search";
+  search2.params["q"] = "zzpostfold zzanchor";
+  server::HttpResponse probe = service.HandleSearch(search2);
+  ASSERT_EQ(probe.status, 200) << probe.body;
+  EXPECT_EQ(probe.body.find(R"("name":"zzpostfold")"), std::string::npos);
+
+  server::HttpRequest update2;
+  update2.method = "POST";
+  update2.path = "/update";
+  update2.params["compact"] = "1";
+  update2.body = R"({"add":[["zzpostfold","livepred0","zzanchor"]]})";
+  server::HttpResponse uresp2 = service.HandleUpdate(update2);
+  ASSERT_EQ(uresp2.status, 200) << uresp2.body;
+  EXPECT_EQ(service.context_cache().invalidations(),
+            invalidations_before + 1);
+  EXPECT_EQ(service.cache().size(), 0u) << "publish must clear the cache";
+
+  server::HttpResponse folded = service.HandleSearch(search2);
+  ASSERT_EQ(folded.status, 200) << folded.body;
+  EXPECT_NE(folded.body.find(R"("name":"zzpostfold")"), std::string::npos)
+      << "post-publish query served a pre-publish answer: " << folded.body;
+
+  // Rejected updates surface as errors and change nothing.
+  server::HttpRequest bad;
+  bad.method = "POST";
+  bad.path = "/update";
+  bad.body = R"({"remove":[["ghost","livepred0","zzanchor"]]})";
+  EXPECT_EQ(service.HandleUpdate(bad).status, 404);
+
+  // /snapshot reports the lifecycle.
+  server::HttpRequest snap;
+  snap.method = "GET";
+  snap.path = "/snapshot";
+  server::HttpResponse sresp = service.HandleSnapshot(snap);
+  ASSERT_EQ(sresp.status, 200);
+  EXPECT_NE(sresp.body.find("\"generation\":2"), std::string::npos)
+      << sresp.body;
+  EXPECT_NE(sresp.body.find("\"compaction_state\":\"idle\""),
+            std::string::npos);
+}
+
+TEST(LiveUpdateTest, CompactorThreadFoldsOnThreshold) {
+  Fixture f;
+  SnapshotManager::Config cfg = ManagerConfig();
+  cfg.compact_threshold_batches = 2;
+  SnapshotManager manager(f.kb.graph, f.index, cfg);
+  live::Compactor compactor(&manager);
+  compactor.Start();
+
+  UpdateBatch b1;
+  b1.add.push_back({"cthr1", "livepred0", "cthr2"});
+  ASSERT_TRUE(manager.Apply(b1).ok());
+  UpdateBatch b2;
+  b2.add.push_back({"cthr3", "livepred0", "cthr1"});
+  ASSERT_TRUE(manager.Apply(b2).ok());  // depth hits 2: trigger fires
+
+  // The fold runs on the compactor thread; wait for the publish.
+  for (int i = 0; i < 2000 && manager.generation() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(manager.generation(), 2u);
+  EXPECT_EQ(manager.overlay_depth(), 0u);
+  KbHandle kb = manager.PinHandle();
+  EXPECT_NE(kb.graph.FindNode("cthr3"), kInvalidNode);
+  compactor.Stop();
+}
+
+}  // namespace
+}  // namespace wikisearch

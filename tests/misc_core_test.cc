@@ -42,7 +42,7 @@ TEST_P(GpuStyleStateEquivalenceTest, FullMatrixIdentical) {
     grp.erase(std::unique(grp.begin(), grp.end()), grp.end());
   }
 
-  QueryContext ctx(&g, {}, groups, ActivationMap(2.0, 0.3), 15);
+  QueryContext ctx(g, {}, groups, ActivationMap(2.0, 0.3), 15);
   SearchOptions opts;
   opts.top_k = 1000;  // run to exhaustion so every level executes
 
