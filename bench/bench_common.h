@@ -17,6 +17,12 @@ inline eval::DatasetBundle SmallDataset() {
                               "wikisynth-S");
 }
 
+/// wikisynth-M: single-query kernel-benchmark scale between S and L.
+inline eval::DatasetBundle MediumDataset() {
+  return eval::PrepareDataset(eval::ScaledConfig(gen::MediumConfig()),
+                              "wikisynth-M");
+}
+
 /// wikisynth-L: plays the role of the paper's wiki2018 dump.
 inline eval::DatasetBundle LargeDataset() {
   return eval::PrepareDataset(eval::ScaledConfig(gen::LargeConfig()),

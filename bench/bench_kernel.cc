@@ -1,0 +1,227 @@
+// Bottom-up kernel microbenchmark (DESIGN.md §11): the raw-speed pass over
+// the stage-1 hot loops, measured as three stacked variants on wikisynth-M:
+//
+//   legacy — the paper's instance-major expansion (one adjacency pass per
+//            hit instance, per-neighbor re-flag) with scalar loops: the
+//            pre-kernel baseline (SearchOptions::legacy_instance_expansion);
+//   scalar — neighbor-major expansion + degree-bucketed schedule through
+//            the portable kernel Ops;
+//   avx2   — the same structure through the AVX2 kernels (present only when
+//            the host dispatches them).
+//
+// Every variant commits byte-identical search state (kernel_equivalence_test
+// proves it), so the deltas here are pure speed. Results are written to
+// BENCH_kernel.json; --smoke runs a shortened sweep and exits nonzero unless
+// the best kernel beats the legacy expansion phase by >= 1.5x at Tnum=1.
+// Single-core CI hosts drift up to ~30% run to run, so the smoke gate
+// re-measures (up to 3 attempts) before failing: it is a regression
+// tripwire, not a benchmark. The committed full run records the stage
+// ratios measured on the reference host.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/kernel/kernel.h"
+
+using namespace wikisearch;
+
+namespace {
+
+struct VariantRun {
+  eval::ProfiledRun run;
+  double bottomup_ms = 0.0;  // init + enqueue + identify + expansion
+};
+
+VariantRun Profile(const eval::DatasetBundle& data,
+                   const std::vector<gen::Query>& queries,
+                   const SearchOptions& opts) {
+  VariantRun v;
+  v.run = eval::ProfileEngine(data, queries, opts);
+  v.bottomup_ms = v.run.avg.init_ms + v.run.avg.enqueue_ms +
+                  v.run.avg.identify_ms + v.run.avg.expansion_ms;
+  return v;
+}
+
+void WriteVariant(JsonWriter& w, const VariantRun& v) {
+  w.BeginObject();
+  w.Key("init_ms");
+  w.Double(v.run.avg.init_ms);
+  w.Key("enqueue_ms");
+  w.Double(v.run.avg.enqueue_ms);
+  w.Key("identify_ms");
+  w.Double(v.run.avg.identify_ms);
+  w.Key("expansion_ms");
+  w.Double(v.run.avg.expansion_ms);
+  w.Key("bottomup_ms");
+  w.Double(v.bottomup_ms);
+  w.Key("total_ms");
+  w.Double(v.run.avg.total_ms);
+  w.EndObject();
+}
+
+double Ratio(double base, double x) { return x > 0.0 ? base / x : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  eval::DatasetBundle data = bench::MediumDataset();
+  const size_t num_queries = smoke ? 4 : eval::BenchQueryCount();
+  auto queries =
+      gen::MakeEfficiencyWorkload(data.kb, data.index, 10, num_queries, 919);
+
+  const bool have_avx2 = kernel::Avx2Usable();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("bottomup_kernel");
+  w.Key("dataset");
+  w.String(data.name);
+  w.Key("nodes");
+  w.UInt(data.kb.graph.num_nodes());
+  w.Key("triples");
+  w.UInt(data.kb.graph.num_triples());
+  w.Key("queries");
+  w.UInt(num_queries);
+  w.Key("knum");
+  w.UInt(10);
+  w.Key("smoke");
+  w.Bool(smoke);
+  w.Key("avx2_dispatched");
+  w.Bool(have_avx2);
+  w.Key("configs");
+  w.BeginArray();
+
+  eval::PrintHeader(
+      "Bottom-up kernels: legacy instance-major vs neighbor-major "
+      "scalar/AVX2 (Knum=10, " + data.name + ")",
+      {"Tnum", "variant", "expand", "bottomup", "total", "expand spdup",
+       "bottomup spdup"});
+
+  double expansion_speedup_t1 = 0.0;  // best kernel vs legacy at Tnum=1
+  double bottomup_speedup_t1 = 0.0;
+
+  for (int threads : {1, 4}) {
+    SearchOptions opts;
+    opts.top_k = 20;
+    opts.threads = threads;
+    opts.engine = EngineKind::kCpuParallel;
+
+    SearchOptions legacy_opts = opts;
+    legacy_opts.legacy_instance_expansion = true;
+    legacy_opts.degree_bucketed_expansion = false;
+    legacy_opts.kernel_isa = KernelIsa::kScalar;
+    VariantRun legacy = Profile(data, queries, legacy_opts);
+
+    SearchOptions scalar_opts = opts;
+    scalar_opts.kernel_isa = KernelIsa::kScalar;
+    VariantRun scalar = Profile(data, queries, scalar_opts);
+
+    SearchOptions avx2_opts = opts;
+    avx2_opts.kernel_isa = KernelIsa::kAvx2;
+    VariantRun avx2;
+    if (have_avx2) avx2 = Profile(data, queries, avx2_opts);
+
+    if (smoke && threads == 1) {
+      // Retry the gated config on a miss: machine-level drift on shared
+      // single-core hosts can depress any one measurement by more than the
+      // gate margin.
+      for (int rep = 1; rep < 3; ++rep) {
+        const VariantRun& b = have_avx2 ? avx2 : scalar;
+        if (Ratio(legacy.run.avg.expansion_ms, b.run.avg.expansion_ms) >=
+            1.5) {
+          break;
+        }
+        legacy = Profile(data, queries, legacy_opts);
+        scalar = Profile(data, queries, scalar_opts);
+        if (have_avx2) avx2 = Profile(data, queries, avx2_opts);
+      }
+    }
+
+    const VariantRun& best = have_avx2 ? avx2 : scalar;
+    const double expand_speedup =
+        Ratio(legacy.run.avg.expansion_ms, best.run.avg.expansion_ms);
+    const double bottomup_speedup = Ratio(legacy.bottomup_ms, best.bottomup_ms);
+    if (threads == 1) {
+      expansion_speedup_t1 = expand_speedup;
+      bottomup_speedup_t1 = bottomup_speedup;
+    }
+
+    struct Row {
+      const char* label;
+      const VariantRun* v;
+      bool present;
+    };
+    const Row rows[] = {{"legacy", &legacy, true},
+                        {"scalar", &scalar, true},
+                        {"avx2", &avx2, have_avx2}};
+    for (const Row& r : rows) {
+      if (!r.present) continue;
+      char es[32], bs[32];
+      std::snprintf(es, sizeof(es), "%.2fx",
+                    Ratio(legacy.run.avg.expansion_ms,
+                          r.v->run.avg.expansion_ms));
+      std::snprintf(bs, sizeof(bs), "%.2fx",
+                    Ratio(legacy.bottomup_ms, r.v->bottomup_ms));
+      eval::PrintRow({std::to_string(threads), r.label,
+                      eval::FmtMs(r.v->run.avg.expansion_ms),
+                      eval::FmtMs(r.v->bottomup_ms),
+                      eval::FmtMs(r.v->run.avg.total_ms), es, bs});
+    }
+
+    w.BeginObject();
+    w.Key("threads");
+    w.Int(threads);
+    w.Key("legacy");
+    WriteVariant(w, legacy);
+    w.Key("scalar");
+    WriteVariant(w, scalar);
+    if (have_avx2) {
+      w.Key("avx2");
+      WriteVariant(w, avx2);
+    }
+    w.Key("expansion_speedup");
+    w.Double(expand_speedup);
+    w.Key("bottomup_speedup");
+    w.Double(bottomup_speedup);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = std::move(w).Take();
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to open %s for writing\n", out_path);
+    return 1;
+  }
+  std::printf(
+      "shape: the neighbor-major kernels replace one adjacency pass per hit\n"
+      "instance with a single pass per frontier node; AVX2 retires 4\n"
+      "neighbors (or 4 full-mask probes, or 8 flag words) per compare.\n");
+
+  if (smoke && expansion_speedup_t1 < 1.5) {
+    std::printf("SMOKE FAIL: expansion speedup %.2fx < 1.5x at Tnum=1\n",
+                expansion_speedup_t1);
+    return 1;
+  }
+  if (smoke) {
+    std::printf("smoke ok: expansion %.2fx, bottomup %.2fx at Tnum=1\n",
+                expansion_speedup_t1, bottomup_speedup_t1);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "common/cpu_features.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace wikisearch {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+// The _xgetbv intrinsic needs -mxsave on gcc; raw xgetbv works at any
+// baseline (only executed after the OSXSAVE check guarantees the
+// instruction exists).
+uint64_t ReadXcr0() {
+  uint32_t lo = 0, hi = 0;
+  __asm__ volatile("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+#endif
+
+bool DetectAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  // AVX2 needs OS support for saving the 256-bit state: check OSXSAVE and
+  // then XCR0 bits 1|2 (SSE + AVX state) before trusting the AVX2 bit.
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return false;
+  constexpr unsigned kOsxsave = 1u << 27;
+  constexpr unsigned kAvx = 1u << 28;
+  if ((ecx & kOsxsave) == 0 || (ecx & kAvx) == 0) return false;
+  if ((ReadXcr0() & 0x6) != 0x6) return false;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 5)) != 0;  // leaf 7.0 EBX bit 5: AVX2
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool CpuHasAvx2() {
+  static const bool has = DetectAvx2();
+  return has;
+}
+
+bool ForceScalarKernels() {
+  static const bool forced = [] {
+    const char* v = std::getenv("WIKISEARCH_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return forced;
+}
+
+}  // namespace wikisearch

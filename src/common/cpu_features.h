@@ -1,0 +1,30 @@
+// Runtime CPU feature detection for the kernel dispatch layer
+// (core/kernel/). Detection is a one-time cpuid probe, cached in a static;
+// the result never changes for the process lifetime, so callers may hold
+// the answer.
+//
+// The dispatch *policy* (which ISA a search actually uses) layers on top:
+//   - the binary must have been built with the AVX2 translation unit
+//     (WIKISEARCH_AVX2, on by default where the compiler supports -mavx2),
+//   - the CPU must report AVX2 via cpuid,
+//   - the WIKISEARCH_FORCE_SCALAR environment variable must be unset/0
+//     (the test suite's "scalar path forced" runs set it to 1),
+//   - ThreadSanitizer builds always run scalar: the vector expansion kernel
+//     reads hit-mask words with plain 256-bit loads concurrently with other
+//     workers' fetch_or stores — benign by the bits-only-get-set argument
+//     (DESIGN.md §11) but a data race to TSan's instrumentation.
+// That policy lives in kernel::Select; this header is mechanism only.
+#pragma once
+
+namespace wikisearch {
+
+/// True iff the processor supports AVX2 (cpuid leaf 7, EBX bit 5) and the
+/// OS saves the ymm state (OSXSAVE + XCR0). Cached after the first call.
+bool CpuHasAvx2();
+
+/// True iff the WIKISEARCH_FORCE_SCALAR environment variable is set to a
+/// non-empty value other than "0". Read once and cached: ctest registers
+/// scalar-forced twins as separate processes, so per-process is enough.
+bool ForceScalarKernels();
+
+}  // namespace wikisearch

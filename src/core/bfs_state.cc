@@ -9,14 +9,22 @@ namespace wikisearch {
 SearchState::SearchState(size_t num_nodes, size_t keyword_capacity)
     : n_(num_nodes), cap_(keyword_capacity), q_(keyword_capacity) {
   WS_CHECK(cap_ >= 1 && cap_ <= 64);
-  // make_unique value-initializes, so every cell starts at epoch 0 — invalid,
+  // make_unique value-initializes: level bytes start at 0 (unreachable —
+  // hit masks start empty) and flag cells at epoch 0, which is invalid
   // because query epochs start at 1.
-  m_ = std::make_unique<std::atomic<uint32_t>[]>(n_ * cap_);
+  m_ = std::make_unique<std::atomic<Level>[]>(n_ * cap_);
   frontier_flag_ = std::make_unique<std::atomic<uint32_t>[]>(n_);
   central_flag_ = std::make_unique<std::atomic<uint32_t>[]>(n_);
   hit_mask_ = std::make_unique<std::atomic<uint64_t>[]>(n_);
   keyword_node_.assign(n_, 0);
   keyword_mask_.assign(n_, 0);
+}
+
+void SearchState::EnableAosMirror() {
+  if (aos_) return;
+  // Zero cells read as epoch 0 — invalid — so no seeding pass is needed,
+  // exactly like the level matrix in the constructor.
+  aos_ = std::make_unique<std::atomic<uint32_t>[]>(n_ * cap_);
 }
 
 void SearchState::ConfigureFrontierBuffers(int workers) {
@@ -51,7 +59,11 @@ void SearchState::ClearHitMasks() {
 
 void SearchState::HardReset() {
   std::memset(reinterpret_cast<void*>(m_.get()), 0,
-              n_ * cap_ * sizeof(std::atomic<uint32_t>));
+              n_ * cap_ * sizeof(std::atomic<Level>));
+  if (aos_) {
+    std::memset(reinterpret_cast<void*>(aos_.get()), 0,
+                n_ * cap_ * sizeof(std::atomic<uint32_t>));
+  }
   std::memset(reinterpret_cast<void*>(frontier_flag_.get()), 0,
               n_ * sizeof(std::atomic<uint32_t>));
   std::memset(reinterpret_cast<void*>(central_flag_.get()), 0,
@@ -118,7 +130,9 @@ size_t SearchState::RunningStorageBytes() const {
   for (const std::vector<NodeId>& buf : buffers_) {
     buffered += buf.capacity() * sizeof(NodeId);
   }
-  return n_ * cap_ * sizeof(uint32_t)   // node-keyword matrix M (level+epoch)
+  return n_ * cap_ * sizeof(Level)      // M: n rows of cap_ level bytes
+         // Ablation-only epoch-stamped mirror (zero in production engines).
+         + (aos_ ? n_ * cap_ * sizeof(uint32_t) : 0)
          + n_ * sizeof(uint32_t)        // FIdentifier (epoch-stamped)
          + n_ * sizeof(uint32_t)        // CIdentifier (epoch-stamped)
          + n_ * sizeof(uint64_t)        // per-node keyword-hit masks
@@ -126,7 +140,9 @@ size_t SearchState::RunningStorageBytes() const {
          + n_ * sizeof(uint64_t)        // keyword masks
          + frontier_.capacity() * sizeof(NodeId) +
          dirty_nodes_.capacity() * sizeof(NodeId) + buffered +
-         centrals_.capacity() * sizeof(CentralCandidate);
+         centrals_.capacity() * sizeof(CentralCandidate) +
+         expand_plan_.CapacityBytes() +  // degree-tier schedule scratch
+         frontier_masks_.capacity() * sizeof(uint64_t);
 }
 
 }  // namespace wikisearch

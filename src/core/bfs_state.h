@@ -1,9 +1,17 @@
 // Flat search state of the lock-free bottom-up stage (Sec. V-B):
 //
-//  * M            — the node-keyword matrix of hitting levels. Each cell
-//                   packs (query epoch << 8 | level) into one 32-bit word so
-//                   a new query invalidates the whole matrix by bumping the
-//                   epoch instead of memsetting n*q bytes;
+//  * M            — the node-keyword matrix of hitting levels. Each cell is
+//                   a single level byte whose validity comes from the node's
+//                   hit mask (bit i set => cell (v, i) was written this
+//                   query), so no per-cell epoch stamp is needed and the
+//                   matrix is 4x denser than the epoch|level packing it
+//                   replaced. Cell (v, i) lives at m[v * cap + i]: a
+//                   discovery that hits several instances of one node at
+//                   once (SetHitMulti) writes into the node's contiguous
+//                   cap-byte row — one cache line per discovery — and the
+//                   top-down stage's per-node Hit probes walk the same row
+//                   (DESIGN.md §11). No bottom-up phase reads M at all:
+//                   identify and expansion run on the hit masks alone;
 //  * FIdentifier  — epoch-stamped: a node is a frontier for the next level
 //                   iff its stamp equals the current query epoch;
 //  * CIdentifier  — epoch-stamped Central-Node marker;
@@ -26,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -42,6 +51,40 @@ struct CentralCandidate {
   int depth;
 };
 
+/// One expansion work item of the degree-bucketed schedule: the neighbor
+/// sub-range [begin, end) of the frontier node at `pos` in the frontier
+/// array. Non-hub nodes get one item covering their whole adjacency; hubs
+/// are split into bounded sub-ranges so no single node serializes a worker
+/// chunk (DESIGN.md §11).
+struct ExpandItem {
+  uint32_t pos;
+  uint32_t begin;
+  uint32_t end;
+};
+
+/// Reusable per-level scratch of the degree-bucketed expansion schedule.
+/// Lives in SearchState so pooled states amortize the allocations exactly
+/// like the frontier buffers.
+struct ExpandPlan {
+  /// Frontier positions with degree <= kTierSmallMaxDegree (coarse grain).
+  std::vector<uint32_t> small;
+  /// Frontier positions with degree in (small, hub) (fine grain).
+  std::vector<uint32_t> mid;
+  /// Hub sub-ranges, one dynamic task each.
+  std::vector<ExpandItem> hub;
+
+  void Clear() {
+    small.clear();
+    mid.clear();
+    hub.clear();
+  }
+  size_t CapacityBytes() const {
+    return small.capacity() * sizeof(uint32_t) +
+           mid.capacity() * sizeof(uint32_t) +
+           hub.capacity() * sizeof(ExpandItem);
+  }
+};
+
 class SearchState {
  public:
   /// Allocates state for `num_nodes` nodes and up to `keyword_capacity` BFS
@@ -56,16 +99,78 @@ class SearchState {
   size_t keyword_capacity() const { return cap_; }
 
   /// Hitting level of v w.r.t. BFS instance i (kLevelInf if not hit in the
-  /// current query epoch).
+  /// current query). The hit-mask bit gates validity: level bytes of
+  /// earlier queries are never cleared, but their mask bits are (Init), so
+  /// a stale byte is unreachable. Mask bit and level byte are two separate
+  /// relaxed cells, which is only coherent because all reads happen either
+  /// by the writing worker or after a fork-join barrier — no stage reads
+  /// Hit() concurrently with another worker's SetHit.
   Level Hit(NodeId v, size_t i) const {
-    uint32_t cell = m_[v * cap_ + i].load(std::memory_order_relaxed);
-    if ((cell >> 8) != epoch_) return kLevelInf;
-    return static_cast<Level>(cell & 0xFFu);
+    if (((hit_mask_[v].load(std::memory_order_relaxed) >> i) & 1) == 0) {
+      return kLevelInf;
+    }
+    return m_[v * cap_ + i].load(std::memory_order_relaxed);
   }
   void SetHit(NodeId v, size_t i, Level l) {
-    m_[v * cap_ + i].store((epoch_ << 8) | static_cast<uint32_t>(l),
-                           std::memory_order_relaxed);
+    m_[v * cap_ + i].store(l, std::memory_order_relaxed);
+    if (aos_) {
+      aos_[v * cap_ + i].store((epoch_ << 8) | static_cast<uint32_t>(l),
+                               std::memory_order_relaxed);
+    }
     hit_mask_[v].fetch_or(1ULL << i, std::memory_order_relaxed);
+  }
+  /// Records level `l` for every instance in `instances` (a bitmask) at
+  /// once: one byte store per set bit — all landing in v's contiguous
+  /// cap_-byte row, i.e. one cache line per discovery no matter how many
+  /// instances arrive together — but a *single* fetch_or into the hit mask.
+  /// The neighbor-major expansion kernel discovers all of a neighbor's
+  /// outstanding instances together, so the per-instance RMW of repeated
+  /// SetHit calls would be pure overhead.
+  void SetHitMulti(NodeId v, uint64_t instances, Level l) {
+    for (uint64_t m = instances; m != 0; m &= m - 1) {
+      size_t i = static_cast<size_t>(std::countr_zero(m));
+      m_[v * cap_ + i].store(l, std::memory_order_relaxed);
+      if (aos_) {
+        aos_[v * cap_ + i].store((epoch_ << 8) | static_cast<uint32_t>(l),
+                                 std::memory_order_relaxed);
+      }
+    }
+    hit_mask_[v].fetch_or(instances, std::memory_order_relaxed);
+  }
+  /// SetHitMulti for a single-worker search (ThreadPool with threads()==1
+  /// runs fully inline): with no concurrent writers the lock-prefixed
+  /// fetch_or — ~20 cycles per discovery on x86 — degrades to a plain
+  /// store of old_mask | instances (old_mask is the mask the caller already
+  /// loaded for its skip test, exact under one worker).
+  void SetHitMultiSingle(NodeId v, uint64_t old_mask, uint64_t instances,
+                         Level l) {
+    for (uint64_t m = instances; m != 0; m &= m - 1) {
+      size_t i = static_cast<size_t>(std::countr_zero(m));
+      m_[v * cap_ + i].store(l, std::memory_order_relaxed);
+      if (aos_) {
+        aos_[v * cap_ + i].store((epoch_ << 8) | static_cast<uint32_t>(l),
+                                 std::memory_order_relaxed);
+      }
+    }
+    hit_mask_[v].store(old_mask | instances, std::memory_order_relaxed);
+  }
+
+  /// Reconstructs the pre-kernel hit matrix — epoch-stamped 4-byte cells at
+  /// aos[v * cap + i] — alongside the compact one, so the instance-major
+  /// ablation path (legacy_instance_expansion) probes the same memory shape
+  /// the pre-kernel engine probed: a 4x larger n*cap*4-byte matrix whose
+  /// per-cell (epoch << 8 | level) packing it must unpack on every probe,
+  /// instead of silently inheriting the layout change under test.
+  /// Once enabled, SetHit* mirrors every write; the allocation persists
+  /// for the state's lifetime (pooled states pay it once). Epoch stamping
+  /// makes cross-query staleness self-invalidating, exactly as pre-kernel.
+  void EnableAosMirror();
+  bool aos_mirror_enabled() const { return aos_ != nullptr; }
+  /// Hit() against the row-major mirror (ablation reads only).
+  Level HitAos(NodeId v, size_t i) const {
+    uint32_t cell = aos_[v * cap_ + i].load(std::memory_order_relaxed);
+    if ((cell >> 8) != epoch_) return kLevelInf;
+    return static_cast<Level>(cell & 0xFFu);
   }
 
   /// Bitmask of BFS instances that have hit v this query (bit i set iff
@@ -107,6 +212,16 @@ class SearchState {
     if (prev == epoch_) return;  // lost the race: someone else appended
     if (!buffers_.empty()) {
       buffers_[static_cast<size_t>(worker)].push_back(v);
+    }
+  }
+
+  /// PushFrontier for a single-worker search: no race to lose, so the
+  /// atomic exchange degrades to a plain flag store.
+  void PushFrontierSingle(NodeId v) {
+    if (frontier_flag_[v].load(std::memory_order_relaxed) == epoch_) return;
+    frontier_flag_[v].store(epoch_, std::memory_order_relaxed);
+    if (!buffers_.empty()) {
+      buffers_[0].push_back(v);
     }
   }
 
@@ -154,15 +269,45 @@ class SearchState {
   /// Current query epoch (for tests; 0 only before the first Init).
   uint32_t epoch() const { return epoch_; }
 
+  // --- raw views for the vector kernels (core/kernel/) -----------------------
+  // The kernels operate on the underlying words directly: identification and
+  // the enqueue scans run between expansion joins (no concurrent writers),
+  // and the expansion kernel's speculative wide loads are safe because hit
+  // bits only get set within a query (any observed 1 is real; a stale 0 is
+  // rechecked through the atomic before acting). See DESIGN.md §11.
+  const std::atomic<uint64_t>* hit_mask_words() const {
+    return hit_mask_.get();
+  }
+  const std::atomic<uint32_t>* frontier_flag_words() const {
+    return frontier_flag_.get();
+  }
+  const std::atomic<uint32_t>* central_flag_words() const {
+    return central_flag_.get();
+  }
+  /// Epoch stamps of keyword nodes (IsKeywordNode(v) == stamp[v] == epoch).
+  const uint32_t* keyword_stamps() const { return keyword_node_.data(); }
+
+  /// Degree-bucketed expansion scratch (reused across levels and queries).
+  ExpandPlan& expand_plan() { return expand_plan_; }
+
+  /// Per-level snapshot of each frontier node's hit mask, captured by the
+  /// identify kernel (between fork-join barriers, before any level-(l+1)
+  /// write exists) — so entry `pos` is exactly the fixed instance set
+  /// {i : Hit(frontier[pos], i) <= l} the node expands at this level, and
+  /// the expansion kernels never re-derive it from the level matrix
+  /// (q probes per node). Indexed like frontier().
+  std::vector<uint64_t>& frontier_masks() { return frontier_masks_; }
+
   /// Bytes of the dynamic search state (M + identifiers + masks + frontier),
   /// the "running storage" on top of pre-storage in the paper's Table IV.
-  /// The epoch scheme widens M cells from 1 to 4 bytes — the price of O(1)
-  /// cross-query invalidation.
+  /// M matches the paper's n*q level bytes exactly: validity lives in the
+  /// hit masks, so cells carry no epoch stamp (DESIGN.md §11).
   size_t RunningStorageBytes() const;
 
  private:
-  // Epochs are packed into the upper 24 bits of M cells, so they live in
-  // [1, kEpochMax]; hitting the cap forces one bulk reset (HardReset).
+  // Epochs version the flag arrays and the ablation mirror's cells (upper
+  // 24 bits there), so they live in [1, kEpochMax]; hitting the cap forces
+  // one bulk reset (HardReset).
   static constexpr uint32_t kEpochMax = 0xFFFFFFu;
 
   void HardReset();
@@ -172,7 +317,9 @@ class SearchState {
   size_t cap_;  // keyword capacity == matrix stride
   size_t q_;    // active keywords of the current query, <= cap_
   uint32_t epoch_ = 0;
-  std::unique_ptr<std::atomic<uint32_t>[]> m_;
+  std::unique_ptr<std::atomic<Level>[]> m_;
+  // Row-major pre-kernel matrix mirror; null unless EnableAosMirror().
+  std::unique_ptr<std::atomic<uint32_t>[]> aos_;
   std::unique_ptr<std::atomic<uint32_t>[]> frontier_flag_;
   std::unique_ptr<std::atomic<uint32_t>[]> central_flag_;
   std::unique_ptr<std::atomic<uint64_t>[]> hit_mask_;
@@ -189,6 +336,20 @@ class SearchState {
   // True when the previous query dirtied masks without recording them
   // (buffers disabled), so the next Init must bulk-clear.
   bool mask_dirty_all_ = false;
+  // Degree-tier scratch of the bucketed expansion schedule.
+  ExpandPlan expand_plan_;
+  // Per-level hit-mask snapshot of the frontier (see frontier_masks()).
+  std::vector<uint64_t> frontier_masks_;
 };
+
+static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t) &&
+                  std::atomic<uint64_t>::is_always_lock_free,
+              "kernels reinterpret the atomic hit-mask array as plain words");
+static_assert(sizeof(std::atomic<uint32_t>) == sizeof(uint32_t) &&
+                  std::atomic<uint32_t>::is_always_lock_free,
+              "kernels reinterpret the atomic flag arrays as plain words");
+static_assert(sizeof(std::atomic<Level>) == sizeof(Level) &&
+                  std::atomic<Level>::is_always_lock_free,
+              "level matrix cells must stay 1 byte");
 
 }  // namespace wikisearch

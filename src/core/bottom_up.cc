@@ -2,16 +2,26 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/kernel/kernel.h"
 #include "obs/trace.h"
 
 namespace wikisearch {
 
 namespace {
 
-/// Algorithm 2 body for one frontier node and one BFS instance at level l.
+/// Frontier positions are identified in blocks of this many hit-mask probes
+/// per kernel call, so the vector path amortizes its setup while the
+/// position buffer stays on the worker's stack.
+inline constexpr size_t kIdentifyBlock = 256;
+
+/// Algorithm 2 body for one frontier node and one BFS instance at level l —
+/// the paper's instance-major formulation, retained verbatim as the
+/// `legacy_instance_expansion` ablation baseline (one adjacency pass per hit
+/// instance; bench_kernel measures the neighbor-major kernels against it).
 /// Writes are single-valued per cell at a given level (Thm. V.2), so no
 /// synchronization is needed beyond relaxed atomics. `worker` indexes the
 /// executing pool worker's frontier buffer.
@@ -19,11 +29,15 @@ inline void ExpandFrontierInstance(const GraphView& g,
                                    const QueryContext& ctx,
                                    SearchState* state, NodeId vf, size_t i,
                                    int l, int worker) {
-  Level hif = state->Hit(vf, i);
+  // All probes go against the row-major mirror, i.e. the memory shape the
+  // pre-kernel engine probed (one cache line per (neighbor, instance));
+  // SetHit keeps both matrices coherent. Probing the compact matrix here
+  // would silently grant this baseline the layout change under test.
+  Level hif = state->HitAos(vf, i);
   if (hif == kLevelInf || static_cast<int>(hif) > l) return;
   for (const AdjEntry& e : g.Neighbors(vf)) {
     NodeId vn = e.target;
-    if (state->Hit(vn, i) != kLevelInf) continue;  // hit once per instance
+    if (state->HitAos(vn, i) != kLevelInf) continue;  // hit once per instance
     if (!state->IsKeywordNode(vn)) {
       // Non-keyword nodes may only be hit once their activation level is
       // reached; retry this frontier at the next level otherwise.
@@ -40,12 +54,17 @@ inline void ExpandFrontierInstance(const GraphView& g,
 /// Frontier-level gate of Algorithm 2 (lines 2-7). Returns true if vf may
 /// expand at level l.
 inline bool FrontierMayExpand(const QueryContext& ctx, SearchState* state,
-                              NodeId vf, int l, int worker) {
+                              NodeId vf, int l, int worker,
+                              bool single_worker) {
   if (state->IsCentral(vf)) return false;  // unavailable once identified
   if (ctx.activation_level[vf] > l) {
     // Keyword-node compromise (Sec. IV-B): hit freely, expand only once the
     // global level reaches the activation level. Applies to all nodes.
-    state->PushFrontier(vf, worker);
+    if (single_worker) {
+      state->PushFrontierSingle(vf);
+    } else {
+      state->PushFrontier(vf, worker);
+    }
     return false;
   }
   return true;
@@ -67,6 +86,12 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
   obs::TraceContext* trace = opts.trace;
   obs::ScopedStage stage_span(trace, "bottomup");
 
+  // Hot-loop kernels, resolved once per search (DESIGN.md §11). Every
+  // implementation commits byte-identical state, so this choice can only
+  // change speed.
+  const kernel::Ops& ops = kernel::Select(opts.kernel_isa);
+  result.kernel = ops.name;
+
   // The CPU shape appends discovered frontiers to per-worker buffers during
   // expansion, so the level-end enqueue costs O(frontier) instead of an
   // O(n) scan of the flag array. The GPU shape keeps the flag-array
@@ -78,13 +103,30 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
   {
     obs::ScopedStage stage(trace, "bottomup/init", &timings->init_ms);
     state->ConfigureFrontierBuffers(buffered ? pool->threads() : 0);
+    if (opts.legacy_instance_expansion) state->EnableAosMirror();
     state->Init(ctx.keyword_nodes);
   }
 
   std::vector<NodeId>& frontier = state->frontier();
+  std::vector<uint64_t>& frontier_masks = state->frontier_masks();
   std::vector<CentralCandidate> level_candidates;
+  std::vector<NodeId> gpu_scratch;  // block-local compaction staging
   const size_t wanted = static_cast<size_t>(std::max(opts.top_k, 1));
   const uint64_t full_mask = state->FullMask();
+  const std::atomic<uint64_t>* hit_words = state->hit_mask_words();
+
+  kernel::ExpandContext ectx;
+  ectx.hit_mask = hit_words;
+  ectx.hit_gate = ctx.hit_gate.data();
+  ectx.activation_level = ctx.activation_level.data();
+  ectx.graph = g;
+  // Prefetch target only — null under a delta overlay, where touched-node
+  // adjacency lives off-CSR (reads always go through GraphView::Neighbors).
+  ectx.csr_offsets = (g.base() != nullptr && g.patch() == nullptr)
+                         ? g.base()->offsets().data()
+                         : nullptr;
+  ectx.state = state;
+  ectx.single_worker = pool->threads() == 1;
 
   int l = 0;
   const int lmax = std::min(ctx.lmax, 250);  // Level is one byte
@@ -111,36 +153,51 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     if (buffered) {
       // Concatenate the per-worker buffers; the atomic flag exchange in
       // PushFrontier already guarantees each node appears exactly once.
+      // (An ascending-order frontier — via post-drain sort or a flag-array
+      // compaction — was measured here and lost: the O(F log F) / O(n)
+      // reorder cost exceeds the CSR-locality it buys at these scales.)
       state->DrainFrontierBuffers();
     } else if (!gpu_style) {
       // Legacy shape: sequential scan of all n flags (the paper's CPU
-      // enqueue; kept as the bench_frontier baseline).
-      frontier.clear();
-      for (NodeId v = 0; v < n; ++v) {
-        if (state->IsFrontierFlagged(v)) {
-          frontier.push_back(v);
-          state->ClearFrontierFlag(v);
-        }
-      }
-    } else {
-      // GPU shape: parallel compaction with an atomic write cursor (the
-      // "locked" enqueue that pays off only with GPU memory bandwidth).
+      // enqueue; kept as the bench_frontier baseline). The kernel scans 8
+      // flag words per compare on the AVX2 path.
       frontier.resize(n);
+      size_t cnt = ops.collect_flagged(state->frontier_flag_words(),
+                                       state->epoch(), 0,
+                                       static_cast<NodeId>(n),
+                                       frontier.data());
+      frontier.resize(cnt);
+      for (NodeId v : frontier) state->ClearFrontierFlag(v);
+    } else {
+      // GPU shape: parallel flag-array compaction (the execution model
+      // being simulated). Each chunk collects its flagged nodes into its
+      // own staging slice, then claims one cursor slot per *block* instead
+      // of the old per-node fetch_add. The concatenation order depends on
+      // scheduling, so the frontier is sorted afterwards — making this
+      // shape's frontier order deterministic — and the strict check below
+      // mirrors the CPU-shape identify invariant: a duplicate node here
+      // means the compaction double-collected.
+      frontier.resize(n);
+      gpu_scratch.resize(n);
       std::atomic<size_t> cursor{0};
-      pool->ParallelForChunked(n, DefaultGrain(n, pool->threads()),
-                               [&](size_t lo, size_t hi) {
-                                 for (size_t v = lo; v < hi; ++v) {
-                                   NodeId node = static_cast<NodeId>(v);
-                                   if (!state->IsFrontierFlagged(node)) {
-                                     continue;
-                                   }
-                                   state->ClearFrontierFlag(node);
-                                   size_t at = cursor.fetch_add(
-                                       1, std::memory_order_relaxed);
-                                   frontier[at] = node;
-                                 }
-                               });
+      pool->ParallelForChunked(
+          n, DefaultGrain(n, pool->threads()), [&](size_t lo, size_t hi) {
+            NodeId* buf = gpu_scratch.data() + lo;
+            size_t cnt = ops.collect_flagged(
+                state->frontier_flag_words(), state->epoch(),
+                static_cast<NodeId>(lo), static_cast<NodeId>(hi), buf);
+            if (cnt == 0) return;
+            for (size_t j = 0; j < cnt; ++j) {
+              state->ClearFrontierFlag(buf[j]);
+            }
+            size_t at = cursor.fetch_add(cnt, std::memory_order_relaxed);
+            std::copy_n(buf, cnt, frontier.data() + at);
+          });
       frontier.resize(cursor.load(std::memory_order_relaxed));
+      std::sort(frontier.begin(), frontier.end());
+      for (size_t j = 1; j < frontier.size(); ++j) {
+        WS_CHECK(frontier[j - 1] < frontier[j]);
+      }
     }
     }
 
@@ -155,20 +212,67 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     // ---- Identifying Central Nodes (Lemma V.1) -----------------------------
     {
     obs::ScopedStage stage(trace, "bottomup/identify", &timings->identify_ms);
-    level_candidates.assign(frontier.size(), CentralCandidate{kInvalidNode, 0});
+    level_candidates.assign(frontier.size(),
+                            CentralCandidate{kInvalidNode, 0});
     std::atomic<size_t> ncand{0};
-    pool->ParallelForDynamic(
+    if (opts.legacy_instance_expansion) {
+      // Ablation baseline keeps the pre-kernel identify verbatim: one live
+      // HitMask compare per node, no snapshot. The instance-major expansion
+      // re-derives its instance sets from the live mask, so charging this
+      // baseline for a snapshot it never reads would bias bench_kernel
+      // against it.
+      pool->ParallelForDynamic(
+          frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
+          [&](size_t idx) {
+            NodeId v = frontier[idx];
+            if (state->IsCentral(v)) return;
+            if (state->HitMask(v) != full_mask) return;
+            state->MarkCentral(v);
+            size_t at = ncand.fetch_add(1, std::memory_order_relaxed);
+            level_candidates[at] = CentralCandidate{v, l};
+          });
+    } else {
+    // The identify pass doubles as the expand-mask snapshot: no level-(l+1)
+    // write exists yet, so each mask it loads is exactly the fixed instance
+    // set {i : Hit(frontier[j], i) <= l} the node expands at this level
+    // (every write racing with the expansion below records level l+1, which
+    // this snapshot provably excludes). That stability is what lets the
+    // neighbor-major kernel replace one adjacency pass per hit instance
+    // with a single pass per node — and the snapshot hands the expansion
+    // phase its masks as one dense array instead of q matrix probes per
+    // node.
+    frontier_masks.resize(frontier.size());
+    pool->ParallelForChunked(
         frontier.size(), DefaultGrain(frontier.size(), pool->threads()),
-        [&](size_t idx) {
-          NodeId v = frontier[idx];
-          if (state->IsCentral(v)) return;
-          // One load + compare instead of q matrix probes: bit i of the hit
-          // mask is maintained by SetHit's fetch_or.
-          if (state->HitMask(v) != full_mask) return;
-          state->MarkCentral(v);
-          size_t at = ncand.fetch_add(1, std::memory_order_relaxed);
-          level_candidates[at] = CentralCandidate{v, l};
+        [&](size_t lo, size_t hi) {
+          // Full-mask probes run through the kernel in blocks (4 masks per
+          // compare on the AVX2 path); survivors — rare — take the scalar
+          // commit path below.
+          uint32_t sel[kIdentifyBlock];
+          for (size_t b = lo; b < hi; b += kIdentifyBlock) {
+            size_t len = std::min(kIdentifyBlock, hi - b);
+            size_t cnt = ops.select_full_masks(frontier.data() + b, len,
+                                               hit_words, full_mask, sel,
+                                               frontier_masks.data() + b);
+            for (size_t s = 0; s < cnt; ++s) {
+              size_t p = b + sel[s];
+              // Consume the node for this level's expansion: a zeroed
+              // snapshot mask is the expansion kernels' central test (a
+              // non-central frontier node always carries >= 1 bit), saving
+              // one random central_flag_ probe per frontier node there.
+              frontier_masks[p] = 0;
+              NodeId v = frontier[p];
+              // Defensive: with zeroed masks a consumed central is never
+              // re-pushed, but identification must stay at-most-once per
+              // node regardless of how the frontier was produced.
+              if (state->IsCentral(v)) continue;
+              state->MarkCentral(v);
+              size_t at = ncand.fetch_add(1, std::memory_order_relaxed);
+              level_candidates[at] = CentralCandidate{v, l};
+            }
+          }
         });
+    }
     level_candidates.resize(ncand.load(std::memory_order_relaxed));
     // Candidates of one level are committed in ascending NodeId order no
     // matter which worker buffer or schedule produced them, so the
@@ -219,7 +323,9 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
     // abandoned mid-expansion leaves only exact state behind — concurrent
     // writes all write the same value (Thm. V.2), so a partial set of them
     // is indistinguishable from a smaller schedule — and the loop below
-    // exits before identifying the incomplete level.
+    // exits before identifying the incomplete level. The flag is shared by
+    // all fork-joins of the level, so an expiry in one degree tier stops
+    // the remaining tiers at their first chunk.
     std::atomic<bool> expired{deadline.Expired()};
     auto chunk_gate = [&](size_t idx, size_t grain) {
       if (expired.load(std::memory_order_relaxed)) return false;
@@ -232,26 +338,51 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
       }
       return true;
     };
+    // Neighbor-major expansion of one frontier node (or a hub sub-range of
+    // one): the instance set is computed once, each neighbor is resolved
+    // against all of its outstanding instances in a single kernel pass, and
+    // the activation re-flag is raised at most once per node per level —
+    // versus the legacy path's flag-per-blocked-(instance, neighbor), which
+    // hammered the same frontier_flag_ word from the inner loop. Whole
+    // chunks of frontier nodes go through one kernel call
+    // (expand_frontier_chunk / expand_position_chunk), so per-node work
+    // carries no indirect-call overhead; only hub sub-ranges dispatch
+    // per item.
+    ectx.level = l;
+    ectx.frontier = frontier.data();
+    ectx.frontier_masks = frontier_masks.data();
+    auto expand_node_range = [&](int worker, size_t pos, size_t nb_begin,
+                                 size_t nb_end) {
+      const uint64_t expand = frontier_masks[pos];
+      if (expand == 0) return;  // central: consumed at identify
+      NodeId vf = frontier[pos];
+      if (ctx.activation_level[vf] > l) {
+        // Frontier-level activation gate; one re-flag per sub-range, the
+        // flag exchange deduplicates.
+        if (ectx.single_worker) {
+          state->PushFrontierSingle(vf);
+        } else {
+          state->PushFrontier(vf, worker);
+        }
+        return;
+      }
+      std::span<const AdjEntry> nb = g.Neighbors(vf);
+      if (ops.expand_range(ectx, expand, nb.data() + nb_begin,
+                           nb_end - nb_begin, worker)) {
+        // Hoisted activation re-flag: at most once per call.
+        if (ectx.single_worker) {
+          state->PushFrontierSingle(vf);
+        } else {
+          state->PushFrontier(vf, worker);
+        }
+      }
+    };
     {
     obs::ScopedStage stage(trace, "bottomup/expand", &timings->expansion_ms);
-    if (!gpu_style) {
-      // CPU-Par: coarse grain — one dynamic task per frontier node.
-      const size_t grain = DefaultGrain(frontier.size(), pool->threads());
-      pool->ParallelForDynamicWorker(
-          frontier.size(), grain, [&](int worker, size_t idx) {
-            if (!chunk_gate(idx, grain)) return;
-            NodeId vf = frontier[idx];
-            if (!FrontierMayExpand(ctx, state, vf, l, worker)) return;
-            // Only instances that have hit vf can expand from it; iterate
-            // the set bits instead of probing all q levels.
-            for (uint64_t m = state->HitMask(vf); m != 0; m &= m - 1) {
-              size_t i = static_cast<size_t>(std::countr_zero(m));
-              ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
-            }
-          });
-    } else {
+    if (gpu_style) {
       // GPU shape: one warp per (frontier, BFS-instance) pair; the pair's
-      // neighbor loop plays the role of the warp's threads.
+      // neighbor run goes through the same kernel with a one-bit instance
+      // mask, so the committed state is bit-for-bit the CPU shape's.
       const size_t pairs = frontier.size() * q;
       const size_t grain = DefaultGrain(pairs, pool->threads());
       pool->ParallelForDynamicWorker(
@@ -259,12 +390,113 @@ BottomUpResult BottomUpSearch(const QueryContext& ctx,
             if (!chunk_gate(idx, grain)) return;
             NodeId vf = frontier[idx / q];
             size_t i = idx % q;
-            // Every frontier node has >= 1 hit bit, so the skip cannot
+            // The snapshot bit subsumes both the old hit-bit test and the
+            // Hit(vf, i) <= l level check; identify zeroes the mask of every
+            // consumed central, so all of its pairs skip here. Non-central
+            // frontier nodes keep >= 1 snapshot bit, so the skip cannot
             // starve the FrontierMayExpand re-flag side effect.
-            if ((state->HitMask(vf) & (1ULL << i)) == 0) return;
-            if (!FrontierMayExpand(ctx, state, vf, l, worker)) return;
-            ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
+            if ((frontier_masks[idx / q] & (1ULL << i)) == 0) return;
+            if (!FrontierMayExpand(ctx, state, vf, l, worker,
+                                   ectx.single_worker)) {
+              return;
+            }
+            std::span<const AdjEntry> nb = g.Neighbors(vf);
+            if (ops.expand_range(ectx, 1ULL << i, nb.data(), nb.size(),
+                                 worker)) {
+              if (ectx.single_worker) {
+                state->PushFrontierSingle(vf);  // hoisted re-flag
+              } else {
+                state->PushFrontier(vf, worker);  // hoisted re-flag
+              }
+            }
           });
+    } else if (opts.legacy_instance_expansion) {
+      // Ablation baseline: the paper's instance-major loop (one adjacency
+      // pass per hit instance) on the same state layout.
+      const size_t grain = DefaultGrain(frontier.size(), pool->threads());
+      pool->ParallelForDynamicWorker(
+          frontier.size(), grain, [&](int worker, size_t idx) {
+            if (!chunk_gate(idx, grain)) return;
+            NodeId vf = frontier[idx];
+            // The ablation baseline keeps the atomic push path regardless of
+            // pool width: it models the pre-kernel engine.
+            if (!FrontierMayExpand(ctx, state, vf, l, worker, false)) return;
+            for (uint64_t m = state->HitMask(vf); m != 0; m &= m - 1) {
+              size_t i = static_cast<size_t>(std::countr_zero(m));
+              ExpandFrontierInstance(g, ctx, state, vf, i, l, worker);
+            }
+          });
+    } else if (!opts.degree_bucketed_expansion) {
+      // Flat schedule: uniform grain, one kernel call per claimed chunk.
+      const size_t grain = DefaultGrain(frontier.size(), pool->threads());
+      pool->ParallelForChunkedWorker(
+          frontier.size(), grain, [&](int worker, size_t lo, size_t hi) {
+            // Sub-chunking keeps the deadline-gate granularity at `grain`
+            // even when the pool hands one worker the whole range
+            // (single-thread pools, tail chunks).
+            for (size_t b = lo; b < hi; b += grain) {
+              if (!chunk_gate(b, grain)) return;
+              ops.expand_frontier_chunk(ectx, b, std::min(hi, b + grain),
+                                        worker);
+            }
+          });
+    } else {
+      // Degree-bucketed schedule (DESIGN.md §11): low-degree nodes batch
+      // coarsely (task overhead dominates their work), mid-degree nodes get
+      // finer chunks, and hubs are pre-split into bounded sub-ranges so one
+      // celebrity node cannot serialize the level. Up to three fork-joins;
+      // correctness is schedule-independent (Thm. V.2 + the fixed expand
+      // mask), which kernel_equivalence_test's commit-order property checks.
+      ExpandPlan& plan = state->expand_plan();
+      plan.Clear();
+      for (size_t idx = 0; idx < frontier.size(); ++idx) {
+        const size_t deg = g.Degree(frontier[idx]);
+        if (deg <= kernel::kTierSmallMaxDegree) {
+          plan.small.push_back(static_cast<uint32_t>(idx));
+        } else if (deg < kernel::kTierHubMinDegree) {
+          plan.mid.push_back(static_cast<uint32_t>(idx));
+        } else {
+          for (size_t b = 0; b < deg; b += kernel::kHubSubRange) {
+            plan.hub.push_back(ExpandItem{
+                static_cast<uint32_t>(idx), static_cast<uint32_t>(b),
+                static_cast<uint32_t>(
+                    std::min(deg, b + kernel::kHubSubRange))});
+          }
+        }
+      }
+      if (!plan.small.empty()) {
+        const size_t grain = DefaultGrain(plan.small.size(), pool->threads());
+        pool->ParallelForChunkedWorker(
+            plan.small.size(), grain, [&](int worker, size_t lo, size_t hi) {
+              for (size_t b = lo; b < hi; b += grain) {
+                if (!chunk_gate(b, grain)) return;
+                ops.expand_position_chunk(ectx, plan.small.data() + b,
+                                          std::min(hi, b + grain) - b,
+                                          worker);
+              }
+            });
+      }
+      if (!plan.mid.empty()) {
+        const size_t grain = std::max<size_t>(
+            1, DefaultGrain(plan.mid.size(), pool->threads()) / 4);
+        pool->ParallelForChunkedWorker(
+            plan.mid.size(), grain, [&](int worker, size_t lo, size_t hi) {
+              for (size_t b = lo; b < hi; b += grain) {
+                if (!chunk_gate(b, grain)) return;
+                ops.expand_position_chunk(ectx, plan.mid.data() + b,
+                                          std::min(hi, b + grain) - b,
+                                          worker);
+              }
+            });
+      }
+      if (!plan.hub.empty()) {
+        pool->ParallelForDynamicWorker(
+            plan.hub.size(), 1, [&](int worker, size_t t) {
+              if (!chunk_gate(t, 1)) return;
+              const ExpandItem& it = plan.hub[t];
+              expand_node_range(worker, it.pos, it.begin, it.end);
+            });
+      }
     }
     }
     if (expired.load(std::memory_order_relaxed)) {

@@ -41,6 +41,9 @@ struct BottomUpResult {
   /// True if the deadline expired before the search reached its natural
   /// termination; already-identified Central Nodes remain valid.
   bool timed_out = false;
+  /// Name of the kernel Ops that ran the hot loops ("scalar" or "avx2");
+  /// diagnostic only — every kernel commits byte-identical state.
+  const char* kernel = "scalar";
 };
 
 /// Runs stage 1. `gpu_style` selects the kGpuSim execution shape: parallel

@@ -1,0 +1,151 @@
+// Runtime-dispatched hot-loop kernels of the bottom-up stage (DESIGN.md
+// §11). The three loops that dominate a level — Central-Node
+// identification, frontier-flag scanning, and neighbor expansion — are
+// factored into an Ops vtable with a portable scalar implementation (always
+// built) and an AVX2 implementation (built when the toolchain supports
+// -mavx2, selected only when cpuid reports AVX2 at run time).
+//
+// Contract: every Ops implementation produces byte-identical search state —
+// same hit cells, same flags, same candidate sets in the same committed
+// order — for any schedule (kernel_equivalence_test proves it across all
+// engine kinds, thread counts and deadline fault points). Vectorization may
+// only change *when* memory is read, never what is written:
+//
+//  * select_full_masks / collect_flagged run between fork-join barriers, so
+//    their inputs are quiescent and wide loads are race-free;
+//  * expand_range's unrolled skip test reads hit masks that race with
+//    concurrent fetch_or stores, but every read goes through the relaxed
+//    atomic, and a stale value is harmless: hit bits only get set within a
+//    query, so an observed 1 is real (skip is safe) and an observed 0
+//    merely forwards the neighbor to a tail that re-reads before acting.
+//    The AVX2 TU is still kept out of TSan builds: its *scan* kernels
+//    reinterpret the atomic arrays as plain words for the wide loads, an
+//    idiom TSan cannot credit even though those phases are quiescent.
+//
+// Scalar fallback is forced by the WIKISEARCH_FORCE_SCALAR environment
+// variable (the test suite's second ISA pass) and by ThreadSanitizer
+// builds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/search_options.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_view.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+class SearchState;
+
+namespace kernel {
+
+/// Degree-tier thresholds of the bucketed expansion schedule (DESIGN.md
+/// §11): nodes with degree <= kTierSmallMaxDegree are batched coarsely,
+/// nodes above kTierHubMinDegree are split into sub-ranges of at most
+/// kHubSubRange neighbors (one dynamic task each), everything between gets
+/// fine-grained whole-node tasks.
+inline constexpr size_t kTierSmallMaxDegree = 32;
+inline constexpr size_t kTierHubMinDegree = 1024;
+inline constexpr size_t kHubSubRange = 512;
+
+/// Everything the expansion kernel needs besides the neighbor run itself.
+/// All pointers borrow from the query's SearchState / QueryContext.
+struct ExpandContext {
+  const std::atomic<uint64_t>* hit_mask = nullptr;  // per-node hit bitmasks
+  /// QueryContext::hit_gate — a_v with keyword nodes forced to zero, so the
+  /// per-survivor gate is one byte load (no separate keyword-stamp probe).
+  const uint8_t* hit_gate = nullptr;
+  /// Raw a_v table for the frontier-level gate (applies to keyword nodes
+  /// too: hit freely, expand only once the level reaches a_v).
+  const uint8_t* activation_level = nullptr;
+  /// Current-level frontier and its snapshot expand masks (parallel
+  /// arrays; see select_full_masks). Rebound every level — the vectors
+  /// may reallocate between levels.
+  const NodeId* frontier = nullptr;
+  const uint64_t* frontier_masks = nullptr;
+  /// Raw CSR offset array of the base graph, or nullptr when the view has a
+  /// delta overlay (whose touched-node adjacency lives in a hash map no
+  /// pointer arithmetic can reach). Only used as a prefetch target: the
+  /// chunk kernels warm the *next* frontier node's offset cell while the
+  /// current node expands, hiding the one dependent random load that
+  /// serializes the per-node pipeline. Reads still go through
+  /// GraphView::Neighbors.
+  const uint64_t* csr_offsets = nullptr;
+  GraphView graph;        // adjacency of the pinned snapshot
+  int level = 0;          // current level l; new hits are written at l+1
+  SearchState* state = nullptr;
+  /// True when the search runs on a width-1 pool (fully inline, one
+  /// worker): discovery writes take the plain-store fast path instead of
+  /// lock-prefixed RMWs (SetHitMultiSingle / PushFrontierSingle).
+  bool single_worker = false;
+};
+
+struct Ops {
+  const char* name;
+
+  /// Scans hit_mask[frontier[j]] for j in [0, count) and writes the j of
+  /// every full mask (== full_mask) to out; returns how many. Positions are
+  /// emitted in ascending j, so the caller's commit order is independent of
+  /// the ISA. `out` must hold `count` entries.
+  ///
+  /// Every loaded mask is also stored to masks_out[j] (`count` entries):
+  /// identify runs between fork-join barriers, before any level-(l+1) write
+  /// exists, so masks_out[j] is exactly the fixed instance set
+  /// {i : Hit(frontier[j], i) <= l} that frontier[j] expands at this level —
+  /// captured here for free instead of re-derived from the level matrix
+  /// (q probes per node) in the expansion phase.
+  size_t (*select_full_masks)(const NodeId* frontier, size_t count,
+                              const std::atomic<uint64_t>* hit_mask,
+                              uint64_t full_mask, uint32_t* out,
+                              uint64_t* masks_out);
+
+  /// Appends every v in [begin, end) with flags[v] == epoch to out (in
+  /// ascending v); returns how many. `out` must hold `end - begin` entries.
+  size_t (*collect_flagged)(const std::atomic<uint32_t>* flags,
+                            uint32_t epoch, NodeId begin, NodeId end,
+                            NodeId* out);
+
+  /// Algorithm 2's inner loop, neighbor-major: for each entry of the run
+  /// [nb, nb + count), hits every instance of `expand` that has not already
+  /// hit the target (SetHitMulti + PushFrontier), honoring keyword-node and
+  /// activation gating. Returns true if any neighbor was activation-blocked
+  /// (the caller re-flags the frontier node once — the hoisted re-flag).
+  /// `expand` is the fixed set {i : Hit(vf, i) <= level}; see bottom_up.cc
+  /// for why it cannot change during the level.
+  bool (*expand_range)(const ExpandContext& c, uint64_t expand,
+                       const AdjEntry* nb, size_t count, int worker);
+
+  /// Expands frontier[idx] for every idx in [lo, hi) — one flat-schedule
+  /// chunk. Runs the whole per-node pipeline (central/activation frontier
+  /// gate, snapshot mask, adjacency pass, hoisted re-flag) inside the
+  /// kernel TU, so the per-node cost carries no indirect call: the caller
+  /// dispatches once per chunk, not once per frontier node.
+  void (*expand_frontier_chunk)(const ExpandContext& c, size_t lo, size_t hi,
+                                int worker);
+
+  /// Same pipeline over frontier[pos[t]] for t in [0, count) — one
+  /// degree-tier chunk of the bucketed schedule (pos points into
+  /// ExpandPlan::small or ::mid).
+  void (*expand_position_chunk)(const ExpandContext& c, const uint32_t* pos,
+                                size_t count, int worker);
+};
+
+/// The portable implementation (always available).
+const Ops& ScalarOps();
+
+/// True iff the AVX2 translation unit was compiled in (WIKISEARCH_AVX2).
+bool Avx2Compiled();
+
+/// True iff AVX2 kernels can actually run now: compiled in, cpuid reports
+/// AVX2, not a TSan build, and WIKISEARCH_FORCE_SCALAR is not set.
+bool Avx2Usable();
+
+/// Resolves a KernelIsa request against availability. kAuto and kAvx2 both
+/// yield the AVX2 ops when Avx2Usable(), scalar otherwise.
+const Ops& Select(KernelIsa isa);
+
+}  // namespace kernel
+}  // namespace wikisearch

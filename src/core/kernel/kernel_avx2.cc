@@ -1,0 +1,123 @@
+// AVX2 kernel variants. This translation unit is compiled with -mavx2 only
+// when WIKISEARCH_AVX2 is enabled; it is *dispatched* only when cpuid
+// reports AVX2 at run time (kernel::Select), so the rest of the binary
+// stays runnable on any x86-64.
+//
+// Equivalence with the scalar kernels is structural: the vector code only
+// *prefilters* (which frontier positions have full masks, which flag words
+// match the epoch); every surviving element goes through the same scalar
+// tail (kernel_inline.h) that the scalar TU uses, and both scan kernels run
+// between fork-join barriers over quiescent arrays (kernel.h).
+//
+// Gather indices: select_full_masks uses 32-bit-indexed gathers, which are
+// signed — fine for any graph this engine can hold (NodeId is 32-bit and
+// SearchState allocates n*cap 32-bit cells, so n >= 2^31 is out of reach
+// long before the sign bit matters).
+#include "core/kernel/kernel_inline.h"
+
+#ifdef WIKISEARCH_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace wikisearch::kernel {
+
+namespace {
+
+size_t SelectFullMasksAvx2(const NodeId* frontier, size_t count,
+                           const std::atomic<uint64_t>* hit_mask,
+                           uint64_t full_mask, uint32_t* out,
+                           uint64_t* masks_out) {
+  const long long* masks = reinterpret_cast<const long long*>(hit_mask);
+  const __m256i vfull = _mm256_set1_epi64x(static_cast<long long>(full_mask));
+  size_t n_out = 0;
+  size_t j = 0;
+  for (; j + 8 <= count; j += 8) {
+    __m256i ids = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(frontier + j));
+    __m128i lo = _mm256_castsi256_si128(ids);
+    __m128i hi = _mm256_extracti128_si256(ids, 1);
+    __m256i m0 = _mm256_i32gather_epi64(masks, lo, 8);
+    __m256i m1 = _mm256_i32gather_epi64(masks, hi, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(masks_out + j), m0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(masks_out + j + 4), m1);
+    unsigned bits =
+        static_cast<unsigned>(_mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(m0, vfull)))) |
+        (static_cast<unsigned>(_mm256_movemask_pd(
+             _mm256_castsi256_pd(_mm256_cmpeq_epi64(m1, vfull))))
+         << 4);
+    while (bits != 0) {
+      out[n_out++] = static_cast<uint32_t>(
+          j + static_cast<unsigned>(__builtin_ctz(bits)));
+      bits &= bits - 1;
+    }
+  }
+  for (; j < count; ++j) {
+    uint64_t mask = hit_mask[frontier[j]].load(std::memory_order_relaxed);
+    masks_out[j] = mask;
+    if (mask == full_mask) {
+      out[n_out++] = static_cast<uint32_t>(j);
+    }
+  }
+  return n_out;
+}
+
+size_t CollectFlaggedAvx2(const std::atomic<uint32_t>* flags, uint32_t epoch,
+                          NodeId begin, NodeId end, NodeId* out) {
+  const uint32_t* words = reinterpret_cast<const uint32_t*>(flags);
+  const __m256i vep = _mm256_set1_epi32(static_cast<int>(epoch));
+  size_t n_out = 0;
+  NodeId v = begin;
+  for (; v + 8 <= end; v += 8) {
+    __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + v));
+    unsigned bits = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(f, vep))));
+    while (bits != 0) {
+      out[n_out++] = v + static_cast<NodeId>(__builtin_ctz(bits));
+      bits &= bits - 1;
+    }
+  }
+  for (; v < end; ++v) {
+    if (flags[v].load(std::memory_order_relaxed) == epoch) out[n_out++] = v;
+  }
+  return n_out;
+}
+
+bool ExpandRangeAvx2(const ExpandContext& c, uint64_t expand,
+                     const AdjEntry* nb, size_t count, int worker) {
+  // Same unrolled skip-test body as the scalar TU (compiled here under
+  // -mavx2). A gathered variant (vpgatherqq on the neighbor targets +
+  // testz) was measured slower on the target host: the microcoded gather
+  // costs more than the well-predicted branches it removes, and the skip
+  // test's loads are the cheap part of this loop.
+  return internal::ExpandRangeUnrolled(c, expand, nb, count, worker);
+}
+
+void ExpandFrontierChunkAvx2(const ExpandContext& c, size_t lo, size_t hi,
+                             int worker) {
+  internal::ExpandFrontierChunkImpl(c, lo, hi, worker);
+}
+
+void ExpandPositionChunkAvx2(const ExpandContext& c, const uint32_t* pos,
+                             size_t count, int worker) {
+  internal::ExpandPositionChunkImpl(c, pos, count, worker);
+}
+
+}  // namespace
+
+const Ops& Avx2Ops() {
+  static constexpr Ops ops = {
+      "avx2",
+      &SelectFullMasksAvx2,
+      &CollectFlaggedAvx2,
+      &ExpandRangeAvx2,
+      &ExpandFrontierChunkAvx2,
+      &ExpandPositionChunkAvx2,
+  };
+  return ops;
+}
+
+}  // namespace wikisearch::kernel
+
+#endif  // WIKISEARCH_HAVE_AVX2

@@ -1,0 +1,48 @@
+// Resolves KernelIsa requests against what was compiled in and what the
+// host CPU / environment allows. See kernel.h for the policy.
+#include "core/kernel/kernel.h"
+
+#include "common/cpu_features.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define WIKISEARCH_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WIKISEARCH_TSAN_BUILD 1
+#endif
+#endif
+
+namespace wikisearch::kernel {
+
+#ifdef WIKISEARCH_HAVE_AVX2
+const Ops& Avx2Ops();  // kernel_avx2.cc
+#endif
+
+bool Avx2Compiled() {
+#ifdef WIKISEARCH_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Usable() {
+#if !defined(WIKISEARCH_HAVE_AVX2) || defined(WIKISEARCH_TSAN_BUILD)
+  // TSan cannot model the speculative wide loads in expand_range (the
+  // race-safety argument lives in kernel.h), so sanitized builds always run
+  // the scalar kernels.
+  return false;
+#else
+  return CpuHasAvx2() && !ForceScalarKernels();
+#endif
+}
+
+const Ops& Select(KernelIsa isa) {
+  if (isa == KernelIsa::kScalar) return ScalarOps();
+#ifdef WIKISEARCH_HAVE_AVX2
+  if (Avx2Usable()) return Avx2Ops();
+#endif
+  return ScalarOps();
+}
+
+}  // namespace wikisearch::kernel

@@ -1,0 +1,163 @@
+// Shared scalar building blocks of the kernel variants. The AVX2 kernels
+// use the same per-neighbor tail after their vector prefilters, so the two
+// translation units stay byte-identical by construction wherever a vector
+// lane falls back to scalar.
+#pragma once
+
+#include <atomic>
+#include <span>
+
+#include "core/bfs_state.h"
+#include "core/kernel/kernel.h"
+
+namespace wikisearch::kernel::internal {
+
+/// Distance (in neighbor entries) the expansion loop prefetches ahead. One
+/// hit-mask line per neighbor is the dominant miss; the adjacency run
+/// itself is sequential and needs no help.
+inline constexpr size_t kPrefetchAhead = 8;
+
+/// Distance (in frontier nodes) the chunk kernels prefetch CSR offset cells
+/// ahead. Each node's pipeline starts with a dependent random load of
+/// offsets[vf]; warming it a few nodes early overlaps that miss with the
+/// preceding nodes' adjacency work.
+inline constexpr size_t kNodeLookahead = 4;
+
+/// Processes one neighbor entry exactly as Algorithm 2 requires. Returns
+/// true if the neighbor was activation-blocked (caller accumulates the
+/// hoisted re-flag). `mask` is the caller's (possibly slightly stale) read
+/// of hit_mask[vn]: staleness only inflates `todo` with bits another worker
+/// is committing at the same level, and re-committing those is idempotent —
+/// SetHitMulti re-stores the same level-(l+1) cell values (Thm. V.2) and
+/// PushFrontier deduplicates via its flag exchange.
+inline bool ExpandOneNeighbor(const ExpandContext& c, uint64_t expand,
+                              NodeId vn, uint64_t mask, int worker) {
+  uint64_t todo = expand & ~mask;
+  if (todo == 0) return false;  // every instance already hit vn
+  // hit_gate is zero for keyword nodes (they are hit freely), a_v otherwise.
+  if (static_cast<int>(c.hit_gate[vn]) > c.level + 1) {
+    // The caller retries the frontier node at the next level.
+    return true;
+  }
+  if (c.single_worker) {
+    c.state->SetHitMultiSingle(vn, mask, todo,
+                               static_cast<Level>(c.level + 1));
+    c.state->PushFrontierSingle(vn);
+  } else {
+    c.state->SetHitMulti(vn, todo, static_cast<Level>(c.level + 1));
+    c.state->PushFrontier(vn, worker);
+  }
+  return false;
+}
+
+/// Shared expand_range body: unrolled by 4 with an AND-combined skip test.
+/// Mid-search most neighbors are already hit by every expanding instance,
+/// so one combined test retires 4 neighbors with a single (almost always
+/// not-taken) branch; survivors reuse the already-loaded mask (see
+/// ExpandOneNeighbor for why a stale read is harmless). Both ISA TUs
+/// instantiate this; measured on the target host it beats a gathered
+/// variant, whose microcoded index loads cost more than the branches they
+/// remove.
+inline bool ExpandRangeUnrolled(const ExpandContext& c, uint64_t expand,
+                                const AdjEntry* nb, size_t count,
+                                int worker) {
+  bool blocked = false;
+  size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    if (j + 8 <= count) {
+      // One hit-mask line per upcoming neighbor; the AdjEntry run itself is
+      // sequential and the hardware prefetcher owns it.
+      __builtin_prefetch(&c.hit_mask[nb[j + 4].target], 0, 1);
+      __builtin_prefetch(&c.hit_mask[nb[j + 5].target], 0, 1);
+      __builtin_prefetch(&c.hit_mask[nb[j + 6].target], 0, 1);
+      __builtin_prefetch(&c.hit_mask[nb[j + 7].target], 0, 1);
+    }
+    const uint64_t m0 = c.hit_mask[nb[j].target].load(std::memory_order_relaxed);
+    const uint64_t m1 =
+        c.hit_mask[nb[j + 1].target].load(std::memory_order_relaxed);
+    const uint64_t m2 =
+        c.hit_mask[nb[j + 2].target].load(std::memory_order_relaxed);
+    const uint64_t m3 =
+        c.hit_mask[nb[j + 3].target].load(std::memory_order_relaxed);
+    if ((expand & ~(m0 & m1 & m2 & m3)) == 0) continue;
+    blocked |= ExpandOneNeighbor(c, expand, nb[j].target, m0, worker);
+    blocked |= ExpandOneNeighbor(c, expand, nb[j + 1].target, m1, worker);
+    blocked |= ExpandOneNeighbor(c, expand, nb[j + 2].target, m2, worker);
+    blocked |= ExpandOneNeighbor(c, expand, nb[j + 3].target, m3, worker);
+  }
+  for (; j < count; ++j) {
+    if (j + kPrefetchAhead < count) {
+      __builtin_prefetch(&c.hit_mask[nb[j + kPrefetchAhead].target], 0, 1);
+    }
+    const NodeId vn = nb[j].target;
+    const uint64_t m = c.hit_mask[vn].load(std::memory_order_relaxed);
+    blocked |= ExpandOneNeighbor(c, expand, vn, m, worker);
+  }
+  return blocked;
+}
+
+/// Full per-frontier-node pipeline of Algorithm 2: frontier gate (central
+/// nodes are consumed; activation-deferred nodes re-flag and retry next
+/// level), snapshot expand mask, adjacency pass, and the hoisted
+/// activation re-flag. Lives here so the chunk ops inline it — the
+/// per-node work then costs no indirect call.
+///
+/// The central-node skip is folded into the snapshot: identify zeroes the
+/// expand mask of every position it selects, and a non-central frontier
+/// node always carries >= 1 snapshot bit (it was pushed because some
+/// instance hit it), so `expand == 0` *is* the IsCentral test — one
+/// sequential mask read replaces a random central_flag_ probe per node.
+/// The mask check must run before the activation gate for exactly that
+/// reason: a consumed central must not be re-flagged.
+inline void ExpandOneFrontierNode(const ExpandContext& c, size_t pos,
+                                  int worker) {
+  const uint64_t expand = c.frontier_masks[pos];
+  if (expand == 0) return;  // central: unavailable once identified
+  const NodeId vf = c.frontier[pos];
+  bool reflag = false;
+  if (static_cast<int>(c.activation_level[vf]) > c.level) {
+    // Keyword-node compromise (Sec. IV-B): hit freely, expand only once
+    // the global level reaches the activation level. Applies to all nodes.
+    reflag = true;
+  } else {
+    std::span<const AdjEntry> nb = c.graph.Neighbors(vf);
+    // Hoisted activation re-flag: at most once per node per level.
+    reflag = ExpandRangeUnrolled(c, expand, nb.data(), nb.size(), worker);
+  }
+  if (!reflag) return;
+  if (c.single_worker) {
+    c.state->PushFrontierSingle(vf);
+  } else {
+    c.state->PushFrontier(vf, worker);
+  }
+}
+
+/// Flat-schedule chunk body: frontier[pos] for pos in [lo, hi), warming the
+/// CSR offset cell of the node kNodeLookahead ahead (see ExpandContext::
+/// csr_offsets). Both ISA TUs wrap this, keeping the chunk loops identical.
+inline void ExpandFrontierChunkImpl(const ExpandContext& c, size_t lo,
+                                    size_t hi, int worker) {
+  for (size_t pos = lo; pos < hi; ++pos) {
+    if (c.csr_offsets != nullptr && pos + kNodeLookahead < hi) {
+      __builtin_prefetch(c.csr_offsets + c.frontier[pos + kNodeLookahead],
+                         0, 1);
+    }
+    ExpandOneFrontierNode(c, pos, worker);
+  }
+}
+
+/// Degree-tier chunk body: frontier[pos[t]] for t in [0, count), same
+/// lookahead prefetch through the position indirection.
+inline void ExpandPositionChunkImpl(const ExpandContext& c,
+                                    const uint32_t* pos, size_t count,
+                                    int worker) {
+  for (size_t t = 0; t < count; ++t) {
+    if (c.csr_offsets != nullptr && t + kNodeLookahead < count) {
+      __builtin_prefetch(
+          c.csr_offsets + c.frontier[pos[t + kNodeLookahead]], 0, 1);
+    }
+    ExpandOneFrontierNode(c, pos[t], worker);
+  }
+}
+
+}  // namespace wikisearch::kernel::internal

@@ -1,0 +1,70 @@
+// Portable scalar kernels — the reference implementation every other ISA
+// variant must match byte-for-byte, and the fallback dispatched on CPUs
+// without AVX2, under WIKISEARCH_FORCE_SCALAR, and in TSan builds.
+#include "core/kernel/kernel_inline.h"
+
+namespace wikisearch::kernel {
+
+namespace {
+
+size_t SelectFullMasksScalar(const NodeId* frontier, size_t count,
+                             const std::atomic<uint64_t>* hit_mask,
+                             uint64_t full_mask, uint32_t* out,
+                             uint64_t* masks_out) {
+  size_t n_out = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (j + internal::kPrefetchAhead < count) {
+      __builtin_prefetch(&hit_mask[frontier[j + internal::kPrefetchAhead]],
+                         0, 1);
+    }
+    uint64_t mask = hit_mask[frontier[j]].load(std::memory_order_relaxed);
+    masks_out[j] = mask;
+    if (mask == full_mask) {
+      out[n_out++] = static_cast<uint32_t>(j);
+    }
+  }
+  return n_out;
+}
+
+size_t CollectFlaggedScalar(const std::atomic<uint32_t>* flags,
+                            uint32_t epoch, NodeId begin, NodeId end,
+                            NodeId* out) {
+  size_t n_out = 0;
+  for (NodeId v = begin; v < end; ++v) {
+    if (flags[v].load(std::memory_order_relaxed) == epoch) {
+      out[n_out++] = v;
+    }
+  }
+  return n_out;
+}
+
+bool ExpandRangeScalar(const ExpandContext& c, uint64_t expand,
+                       const AdjEntry* nb, size_t count, int worker) {
+  return internal::ExpandRangeUnrolled(c, expand, nb, count, worker);
+}
+
+void ExpandFrontierChunkScalar(const ExpandContext& c, size_t lo, size_t hi,
+                               int worker) {
+  internal::ExpandFrontierChunkImpl(c, lo, hi, worker);
+}
+
+void ExpandPositionChunkScalar(const ExpandContext& c, const uint32_t* pos,
+                               size_t count, int worker) {
+  internal::ExpandPositionChunkImpl(c, pos, count, worker);
+}
+
+}  // namespace
+
+const Ops& ScalarOps() {
+  static constexpr Ops ops = {
+      "scalar",
+      &SelectFullMasksScalar,
+      &CollectFlaggedScalar,
+      &ExpandRangeScalar,
+      &ExpandFrontierChunkScalar,
+      &ExpandPositionChunkScalar,
+  };
+  return ops;
+}
+
+}  // namespace wikisearch::kernel

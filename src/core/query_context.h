@@ -1,6 +1,7 @@
 // Per-query immutable context shared by both stages and all engine variants.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,13 +23,28 @@ struct QueryContext {
         lmax(max_level) {
     // a_v depends only on (w_v, alpha), both fixed for the query, so the
     // Eq. 5 float math runs once per node here instead of once per
-    // (neighbor, instance, level) probe in the expansion loops.
+    // (neighbor, instance, level) probe in the expansion loops. Stored as
+    // one byte per node (saturated at 255): every engine caps levels at 250
+    // (Level is a byte), so all activation levels above 250 gate identically
+    // and the 4x denser table keeps the expansion kernels' activation reads
+    // inside fewer cache lines.
     const size_t n = g.num_nodes();
     activation_level.resize(n);
     if (g.has_weights()) {
       for (NodeId v = 0; v < n; ++v) {
-        activation_level[v] = activation.Level(g.NodeWeight(v));
+        int a = activation.Level(g.NodeWeight(v));
+        activation_level[v] = static_cast<uint8_t>(a > 255 ? 255 : a);
       }
+    }
+    // hit_gate folds the keyword-node exemption (Sec. IV-B: keyword nodes
+    // may be hit at any level) into the activation table: zero for keyword
+    // nodes, a_v otherwise. The expansion kernels' per-survivor gate is
+    // then one byte load instead of a 4-byte stamp probe plus the byte.
+    // The *frontier* gate keeps reading activation_level — keyword nodes
+    // hit freely but still expand only once the level reaches a_v.
+    hit_gate = activation_level;
+    for (const std::vector<NodeId>& t_i : keyword_nodes) {
+      for (NodeId v : t_i) hit_gate[v] = 0;
     }
   }
 
@@ -41,8 +57,12 @@ struct QueryContext {
   std::vector<std::vector<NodeId>> keyword_nodes;
   ActivationMap activation;
   /// Minimum activation level a_v per node (Eq. 5), precomputed once per
-  /// query. Zero-filled when the graph has no weights attached.
-  std::vector<int> activation_level;
+  /// query and saturated into one byte (see the constructor note).
+  /// Zero-filled when the graph has no weights attached.
+  std::vector<uint8_t> activation_level;
+  /// activation_level with keyword nodes forced to zero — the single-load
+  /// hit gate of the expansion kernels (see the constructor note).
+  std::vector<uint8_t> hit_gate;
   /// Maximum BFS expansion level (the paper's lmax).
   int lmax;
 

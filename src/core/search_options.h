@@ -45,6 +45,21 @@ enum class EngineKind {
 
 const char* EngineKindName(EngineKind kind);
 
+/// Which bottom-up kernel variant executes the hot loops (identify /
+/// enqueue-scan / expansion). All variants are byte-identical in results
+/// (kernel_equivalence_test); they differ only in instruction selection.
+enum class KernelIsa {
+  /// AVX2 when built in, supported by the CPU and not vetoed (the
+  /// WIKISEARCH_FORCE_SCALAR environment variable and TSan builds force
+  /// scalar); otherwise scalar. The production default.
+  kAuto,
+  /// Portable scalar kernels, always built.
+  kScalar,
+  /// Request the AVX2 kernels explicitly; silently degrades to scalar when
+  /// unavailable (tests gate on kernel::Avx2Usable first).
+  kAvx2,
+};
+
 struct SearchOptions {
   /// Number of answers to return (paper default 20).
   int top_k = 20;
@@ -76,6 +91,19 @@ struct SearchOptions {
   /// (bench_frontier quantifies the difference); ignored by kGpuSim, which
   /// models the GPU's parallel compaction, and by kCpuDynamic.
   bool use_frontier_buffers = true;
+  /// Bottom-up kernel instruction-set selection (see KernelIsa).
+  KernelIsa kernel_isa = KernelIsa::kAuto;
+  /// Bin frontier nodes into degree tiers before expansion and split hub
+  /// adjacency runs into sub-ranges, so one hub never serializes a worker
+  /// chunk (DESIGN.md §11; the radial-pattern paper's warp/block split as
+  /// chunk-size tiers). Results are byte-identical either way; false keeps
+  /// the flat one-task-per-frontier-node schedule for ablation.
+  bool degree_bucketed_expansion = true;
+  /// Ablation/bench baseline: expand instance-major (one adjacency pass per
+  /// hit BFS instance, the pre-kernel code shape) instead of neighbor-major
+  /// (one adjacency pass per node). bench_kernel measures the gap; results
+  /// are byte-identical.
+  bool legacy_instance_expansion = false;
 
   /// Safety valve: cap on Central Nodes carried into the top-down stage.
   size_t max_central_candidates = 1 << 20;

@@ -51,6 +51,19 @@ WikiGenConfig SmallConfig() {
   return cfg;
 }
 
+WikiGenConfig MediumConfig() {
+  WikiGenConfig cfg;
+  cfg.num_entities = 30000;
+  cfg.num_summary_nodes = 14;
+  cfg.num_topic_nodes = 78;
+  cfg.num_communities = 28;
+  cfg.num_labels = 240;
+  cfg.vocab_size = 15000;
+  cfg.avg_out_degree = 7.5;
+  cfg.seed = 2019;  // wikisynth-M: kernel-bench scale between S and L
+  return cfg;
+}
+
 WikiGenConfig LargeConfig() {
   WikiGenConfig cfg;
   cfg.num_entities = 40000;

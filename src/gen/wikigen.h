@@ -59,6 +59,7 @@ struct WikiGenConfig {
 /// (scaled to commodity single-machine benchmarking; override via the
 /// WS_SCALE environment variable in bench binaries).
 WikiGenConfig SmallConfig();   // "wikisynth-S" (~wiki2017 role)
+WikiGenConfig MediumConfig();  // "wikisynth-M" (kernel-bench scale)
 WikiGenConfig LargeConfig();   // "wikisynth-L" (~wiki2018 role)
 
 /// Generator byproducts needed by workload construction and the automatic

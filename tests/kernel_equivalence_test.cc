@@ -1,0 +1,366 @@
+// Scalar-vs-AVX2 kernel equivalence (DESIGN.md §11): every kernel Ops
+// implementation must commit byte-identical search state, so the two ISA
+// paths must return byte-identical answers on every engine kind, thread
+// count, state-reuse mode, and at every forced deadline-expiry point. The
+// suite also property-checks that the degree-bucketed expansion schedule
+// cannot leak into the central-candidate commit order (ascending NodeId per
+// level regardless of how frontier nodes were binned or split).
+//
+// On hosts (or builds) where the AVX2 kernels cannot dispatch —
+// !kernel::Avx2Usable(), e.g. under WIKISEARCH_FORCE_SCALAR or TSan — the
+// cross-ISA tests skip gracefully; the schedule property tests still run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/engine.h"
+#include "core/kernel/kernel.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1200;
+    cfg.num_summary_nodes = 6;
+    cfg.num_topic_nodes = 14;
+    cfg.num_communities = 7;
+    cfg.vocab_size = 1600;
+    cfg.seed = 1213;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1500, 5);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::vector<std::vector<std::string>> TestQueries(const Fixture& f,
+                                                  size_t count) {
+  Rng rng(testing::TestSeed());
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(4);
+    for (size_t i = 0; i < 2 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+// Byte-identical, not merely equivalent: both ISA paths commit the same
+// search state, so extraction runs the same arithmetic on the same inputs
+// and even the floating-point scores must match exactly.
+void ExpectByteIdentical(const SearchResult& a, const SearchResult& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    const AnswerGraph& x = a.answers[i];
+    const AnswerGraph& y = b.answers[i];
+    EXPECT_EQ(x.central, y.central) << label << " answer " << i;
+    EXPECT_EQ(x.depth, y.depth) << label << " answer " << i;
+    EXPECT_EQ(x.nodes, y.nodes) << label << " answer " << i;
+    EXPECT_TRUE(x.edges == y.edges) << label << " answer " << i;
+    EXPECT_EQ(x.score, y.score) << label << " answer " << i;
+  }
+  EXPECT_EQ(a.stats.num_centrals, b.stats.num_centrals) << label;
+  EXPECT_EQ(a.stats.levels, b.stats.levels) << label;
+}
+
+const EngineKind kAllEngines[] = {
+    EngineKind::kSequential,
+    EngineKind::kCpuParallel,
+    EngineKind::kCpuDynamic,
+    EngineKind::kGpuSim,
+};
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<EngineKind> {};
+
+// ---------------------------------------------------------------------------
+// Scalar vs AVX2 across engine kinds x {1, 8} threads x pooled/fresh states.
+
+TEST_P(KernelEquivalenceTest, ScalarVsAvx2AcrossThreadsAndStateModes) {
+  if (!kernel::Avx2Usable()) {
+    GTEST_SKIP() << "AVX2 kernels not dispatchable on this host/build";
+  }
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 3);
+
+  for (int threads : {1, 8}) {
+    SearchOptions base;
+    base.top_k = 10;
+    base.threads = threads;
+    base.engine = GetParam();
+
+    SearchOptions scalar_opts = base;
+    scalar_opts.kernel_isa = KernelIsa::kScalar;
+    SearchOptions avx2_opts = base;
+    avx2_opts.kernel_isa = KernelIsa::kAvx2;
+
+    // Pooled: one engine (and state pool) per ISA serves the whole query
+    // stream, so later queries run on epoch-reused SearchStates.
+    {
+      SearchStatePool scalar_pool, avx2_pool;
+      SearchEngine scalar_engine(&f.kb.graph, &f.index, scalar_opts);
+      scalar_engine.SetStatePool(&scalar_pool);
+      SearchEngine avx2_engine(&f.kb.graph, &f.index, avx2_opts);
+      avx2_engine.SetStatePool(&avx2_pool);
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        auto s = scalar_engine.SearchKeywords(queries[qi], scalar_opts);
+        auto v = avx2_engine.SearchKeywords(queries[qi], avx2_opts);
+        ASSERT_TRUE(s.ok()) << s.status().ToString();
+        ASSERT_TRUE(v.ok()) << v.status().ToString();
+        ExpectByteIdentical(*s, *v,
+                            std::string(EngineKindName(GetParam())) + " T" +
+                                std::to_string(threads) + " pooled q" +
+                                std::to_string(qi));
+      }
+    }
+
+    // Fresh: a new engine per query — first-epoch state every time.
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      SearchEngine scalar_engine(&f.kb.graph, &f.index, scalar_opts);
+      SearchEngine avx2_engine(&f.kb.graph, &f.index, avx2_opts);
+      auto s = scalar_engine.SearchKeywords(queries[qi], scalar_opts);
+      auto v = avx2_engine.SearchKeywords(queries[qi], avx2_opts);
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      ExpectByteIdentical(*s, *v,
+                          std::string(EngineKindName(GetParam())) + " T" +
+                              std::to_string(threads) + " fresh q" +
+                              std::to_string(qi));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced deadline expiry at every fault point, on both ISA paths: the
+// aborted run must yield valid partial answers, and the pooled state it
+// leaves behind must recover to byte-identical clean answers across ISAs.
+
+TEST_P(KernelEquivalenceTest, DeadlineExpiryAtEveryFaultPoint) {
+  if (!kernel::Avx2Usable()) {
+    GTEST_SKIP() << "AVX2 kernels not dispatchable on this host/build";
+  }
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 1);
+  const auto& kws = queries[0];
+
+  const bool dynamic = GetParam() == EngineKind::kCpuDynamic;
+  const char* const lock_free_points[] = {
+      "bottomup:level", "bottomup:identify", "bottomup:chunk",
+      "stage:topdown", "topdown:candidate",
+  };
+  const char* const dynamic_points[] = {
+      "dynamic:level", "dynamic:chunk", "dynamic:topdown",
+  };
+  const char* const* points = dynamic ? dynamic_points : lock_free_points;
+  const size_t num_points =
+      dynamic ? std::size(dynamic_points) : std::size(lock_free_points);
+
+  for (size_t pi = 0; pi < num_points; ++pi) {
+    // Alternate thread counts across points so both pool widths see every
+    // expiry path without doubling the (stall-dominated) runtime.
+    const int threads = (pi % 2 == 0) ? 1 : 8;
+    SCOPED_TRACE(std::string(EngineKindName(GetParam())) + " @ " +
+                 points[pi] + " T" + std::to_string(threads));
+
+    SearchResult clean_by_isa[2];
+    const KernelIsa isas[2] = {KernelIsa::kScalar, KernelIsa::kAvx2};
+    for (int ki = 0; ki < 2; ++ki) {
+      SearchOptions opts;
+      opts.top_k = 10;
+      opts.threads = threads;
+      opts.engine = GetParam();
+      opts.kernel_isa = isas[ki];
+      opts.deadline_ms = 25.0;
+      auto fired = std::make_shared<std::atomic<bool>>(false);
+      std::string target = points[pi];
+      opts.fault_injection = [fired, target](const char* p) {
+        if (target == p && !fired->exchange(true)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        }
+      };
+
+      SearchStatePool pool;
+      SearchEngine engine(&f.kb.graph, &f.index, opts);
+      engine.SetStatePool(&pool);
+      auto res = engine.SearchKeywords(kws, opts);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_TRUE(res->stats.timed_out);
+      for (const AnswerGraph& a : res->answers) {
+        testing::CheckAnswerInvariants(f.kb.graph, a, res->keywords.size());
+      }
+
+      // Reuse the state the aborted run left in the pool.
+      SearchOptions clean = opts;
+      clean.deadline_ms = 0.0;
+      clean.fault_injection = nullptr;
+      auto after = engine.SearchKeywords(kws, clean);
+      ASSERT_TRUE(after.ok()) << after.status().ToString();
+      EXPECT_FALSE(after->stats.timed_out);
+      clean_by_isa[ki] = *after;
+    }
+    ExpectByteIdentical(clean_by_isa[0], clean_by_isa[1],
+                        "post-expiry scalar vs avx2");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngineKinds, KernelEquivalenceTest,
+                         ::testing::ValuesIn(kAllEngines),
+                         [](const ::testing::TestParamInfo<EngineKind>& i) {
+                           // Param names must be alphanumeric ("CPU-Par"
+                           // is not).
+                           std::string name = EngineKindName(i.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Degree-bucketed schedule property: binning frontier nodes into tiers and
+// splitting hubs into sub-ranges must not perturb the central-candidate
+// commit order — candidates of one level commit in ascending NodeId order
+// under every schedule (the WS_CHECK in bottom_up.cc enforces strictness;
+// this test checks the cross-schedule agreement on top of it).
+
+void ExpectSameCentralsAscending(const std::vector<CentralCandidate>& a,
+                                 const std::vector<CentralCandidate>& b,
+                                 const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << label << " candidate " << i;
+    EXPECT_EQ(a[i].depth, b[i].depth) << label << " candidate " << i;
+    if (i > 0 && a[i].depth == a[i - 1].depth) {
+      EXPECT_LT(a[i - 1].node, a[i].node)
+          << label << " commit order not ascending within level";
+    }
+  }
+}
+
+std::vector<CentralCandidate> RunBottomUp(
+    const KnowledgeGraph& g, const std::vector<std::vector<NodeId>>& groups,
+    int threads, bool bucketed) {
+  QueryContext ctx(g, {}, groups, ActivationMap(2.5, 0.3), /*max_level=*/20);
+  SearchState state(g.num_nodes(), ctx.num_keywords());
+  ThreadPool pool(threads);
+  SearchOptions opts;
+  opts.top_k = 1 << 20;  // never stop early: identify every level
+  opts.degree_bucketed_expansion = bucketed;
+  PhaseTimings timings;
+  BottomUpSearch(ctx, opts, &pool, &state, &timings, /*gpu_style=*/false);
+  return state.centrals();
+}
+
+TEST(DegreeBucketProperty, CommitOrderInvariantOnRandomGraphs) {
+  Rng rng(testing::TestSeed());
+  for (int rep = 0; rep < 3; ++rep) {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 500 + 137 * rep;
+    cfg.num_summary_nodes = 4;
+    cfg.num_topic_nodes = 8;
+    cfg.num_communities = 5;
+    cfg.vocab_size = 700;
+    cfg.seed = rng.Uniform(1u << 30);
+    gen::GeneratedKb kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+
+    // Random keyword-node groups: the property is purely structural, so the
+    // seeds need not correspond to any text.
+    const size_t q = 3 + rng.Uniform(4);
+    std::vector<std::vector<NodeId>> groups(q);
+    for (auto& g : groups) {
+      const size_t sz = 1 + rng.Uniform(4);
+      for (size_t s = 0; s < sz; ++s) {
+        g.push_back(static_cast<NodeId>(
+            rng.Uniform(kb.graph.num_nodes())));
+      }
+      std::sort(g.begin(), g.end());
+      g.erase(std::unique(g.begin(), g.end()), g.end());
+    }
+
+    auto flat1 = RunBottomUp(kb.graph, groups, /*threads=*/1,
+                             /*bucketed=*/false);
+    auto flat8 = RunBottomUp(kb.graph, groups, 8, false);
+    auto bucket1 = RunBottomUp(kb.graph, groups, 1, true);
+    auto bucket8 = RunBottomUp(kb.graph, groups, 8, true);
+    const std::string label = "rep " + std::to_string(rep);
+    ExpectSameCentralsAscending(flat1, flat8, label + " flat1 vs flat8");
+    ExpectSameCentralsAscending(flat1, bucket1, label + " flat1 vs bucket1");
+    ExpectSameCentralsAscending(flat1, bucket8, label + " flat1 vs bucket8");
+  }
+}
+
+TEST(DegreeBucketProperty, CommitOrderInvariantWithHubSplitting) {
+  // A star whose hub degree far exceeds kTierHubMinDegree, so the bucketed
+  // schedule genuinely splits it into sub-ranges; keywords are planted on
+  // leaves so every instance must traverse the hub.
+  GraphBuilder b;
+  const int leaves = static_cast<int>(kernel::kTierHubMinDegree) + 700;
+  for (int i = 0; i < leaves; ++i) {
+    b.AddTriple("hub", "r", "leaf " + std::to_string(i));
+  }
+  // A few chains off distinct leaves create multi-level structure.
+  for (int c = 0; c < 5; ++c) {
+    std::string prev = "leaf " + std::to_string(c * 100);
+    for (int d = 0; d < 3; ++d) {
+      std::string next = "tail " + std::to_string(c) + "-" + std::to_string(d);
+      b.AddTriple(prev, "r", next);
+      prev = next;
+    }
+  }
+  KnowledgeGraph graph = std::move(b).Build();
+  AttachNodeWeights(&graph);
+
+  Rng rng(testing::TestSeed());
+  std::vector<std::vector<NodeId>> groups(4);
+  for (auto& g : groups) {
+    for (int s = 0; s < 3; ++s) {
+      g.push_back(static_cast<NodeId>(rng.Uniform(graph.num_nodes())));
+    }
+    std::sort(g.begin(), g.end());
+    g.erase(std::unique(g.begin(), g.end()), g.end());
+  }
+
+  auto flat = RunBottomUp(graph, groups, 8, false);
+  auto bucket1 = RunBottomUp(graph, groups, 1, true);
+  auto bucket8 = RunBottomUp(graph, groups, 8, true);
+  ExpectSameCentralsAscending(flat, bucket8, "star flat8 vs bucket8");
+  ExpectSameCentralsAscending(bucket1, bucket8, "star bucket1 vs bucket8");
+  EXPECT_FALSE(flat.empty());  // the star must actually produce centrals
+}
+
+}  // namespace
+}  // namespace wikisearch
