@@ -26,11 +26,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/fsio.h"
 #include "common/json.h"
 #include "common/random.h"
 #include "live/compactor.h"
 #include "live/snapshot_manager.h"
 #include "live/update.h"
+#include "live/wal.h"
 #include "server/search_service.h"
 
 using namespace wikisearch;
@@ -152,6 +154,115 @@ QueryRun RunQueryLoop(live::SnapshotManager& mgr,
   return r;
 }
 
+/// Fresh scratch directory for one durable run (removed by the caller).
+std::string MakeScratchDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl =
+      std::string(base && *base ? base : "/tmp") + "/wsbench.XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  char* got = mkdtemp(buf.data());
+  return got ? std::string(got) : std::string();
+}
+
+struct DurableRun {
+  std::string policy;
+  uint64_t batches = 0;
+  double wall_ms = 0.0;
+  double applies_per_s = 0.0;
+  double apply_p50_ms = 0.0;
+  double apply_p99_ms = 0.0;
+  uint64_t wal_bytes = 0;
+  uint64_t fsyncs = 0;
+  double recovery_ms = 0.0;  // unclean reopen replaying the full WAL tail
+  uint64_t replayed = 0;
+};
+
+/// Applies `batches` synthetic batches through a durable manager with the
+/// given fsync policy, then kills it (no clean shutdown) and times the
+/// recovery replay of the whole WAL tail.
+DurableRun RunDurableApply(const eval::DatasetBundle& data,
+                           live::FsyncPolicy policy, uint64_t batches) {
+  DurableRun r;
+  r.policy = live::FsyncPolicyName(policy);
+  r.batches = batches;
+  const std::string dir = MakeScratchDir();
+  if (dir.empty()) return r;
+  live::SnapshotManager::Config mcfg;
+  mcfg.compact_threshold_batches = 0;
+  live::SnapshotManager::DurabilityOptions dopts;
+  dopts.data_dir = dir;
+  dopts.fsync_policy = policy;
+  using Clock = std::chrono::steady_clock;
+  {
+    auto mgr = live::SnapshotManager::OpenDurable(
+        data.kb.graph, data.index, mcfg, dopts, nullptr);
+    if (!mgr.ok()) {
+      std::fprintf(stderr, "durable open (%s): %s\n", r.policy.c_str(),
+                   mgr.status().ToString().c_str());
+      return r;
+    }
+    std::vector<double> apply_ms;
+    apply_ms.reserve(batches);
+    Rng rng(42);
+    const auto start = Clock::now();
+    for (uint64_t i = 0; i < batches; ++i) {
+      live::UpdateBatch b = MakeBatch(i, rng, data.kb.graph);
+      const auto t0 = Clock::now();
+      if (!(*mgr)->Apply(b).ok()) {
+        std::fprintf(stderr, "durable apply %llu rejected\n",
+                     static_cast<unsigned long long>(i));
+        return r;
+      }
+      apply_ms.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+    }
+    r.wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    r.applies_per_s =
+        static_cast<double>(batches) / (r.wall_ms / 1000.0);
+    std::sort(apply_ms.begin(), apply_ms.end());
+    r.apply_p50_ms = Percentile(apply_ms, 0.50);
+    r.apply_p99_ms = Percentile(apply_ms, 0.99);
+    r.wal_bytes = (*mgr)->wal_bytes();
+    r.fsyncs = (*mgr)->wal_fsyncs();
+    // Destroyed without ShutdownDurable: the reopen below is a real
+    // unclean-boot recovery, not a marker fast path.
+  }
+  {
+    live::SnapshotManager::RecoveryInfo rec;
+    auto mgr = live::SnapshotManager::OpenDurable(
+        data.kb.graph, data.index, mcfg, dopts, &rec);
+    if (mgr.ok()) {
+      r.recovery_ms = rec.recovery_ms;
+      r.replayed = rec.replayed_batches;
+    } else {
+      std::fprintf(stderr, "durable recovery (%s): %s\n", r.policy.c_str(),
+                   mgr.status().ToString().c_str());
+    }
+  }
+  (void)RemoveDirRecursive(dir);
+  return r;
+}
+
+/// Recovery time as a function of WAL tail length (fsync=never, so the
+/// apply phase is cheap and the replay dominates the reopen).
+struct RecoveryPoint {
+  uint64_t wal_batches = 0;
+  double recovery_ms = 0.0;
+};
+
+RecoveryPoint RunRecoveryPoint(const eval::DatasetBundle& data,
+                               uint64_t batches) {
+  RecoveryPoint p;
+  p.wal_batches = batches;
+  DurableRun r = RunDurableApply(data, live::FsyncPolicy::kNever, batches);
+  p.recovery_ms = r.recovery_ms;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +331,28 @@ int main(int argc, char** argv) {
   const double apply_p50 = Percentile(apply_ms, 0.50);
   const double apply_p99 = Percentile(apply_ms, 0.99);
 
+  // ---- Phase 1b: durable apply per fsync policy + recovery cost ----
+  std::vector<DurableRun> durable_runs;
+  for (live::FsyncPolicy policy :
+       {live::FsyncPolicy::kAlways, live::FsyncPolicy::kInterval,
+        live::FsyncPolicy::kNever}) {
+    durable_runs.push_back(RunDurableApply(data, policy, apply_batches));
+  }
+  const DurableRun& durable_never = durable_runs.back();
+  // The durability tax gate: with fsync off the WAL is one write(2) per
+  // batch, so durable apply must stay within 1.3x of memory-only apply
+  // (small absolute floor for scheduler jitter on short smoke runs).
+  const double durable_budget_ms = 1.3 * apply_wall_ms + 50.0;
+  const bool durable_within_budget =
+      durable_never.wall_ms > 0.0 && durable_never.wall_ms <= durable_budget_ms;
+  const double durable_ratio =
+      apply_wall_ms > 0.0 ? durable_never.wall_ms / apply_wall_ms : 0.0;
+
+  std::vector<RecoveryPoint> recovery_curve;
+  for (uint64_t n : {apply_batches / 4, apply_batches / 2, apply_batches}) {
+    if (n > 0) recovery_curve.push_back(RunRecoveryPoint(data, n));
+  }
+
   // ---- Phase 2: query latency, quiescent vs under churn ----
   SearchOptions defaults;
   defaults.top_k = 10;
@@ -255,6 +388,16 @@ int main(int argc, char** argv) {
     std::snprintf(qps_s, sizeof(qps_s), "%.0f", applies_per_s);
     eval::PrintRow({"apply (batches)", req_s, qps_s, eval::FmtMs(apply_p50),
                     eval::FmtMs(apply_p99)});
+  }
+  for (const DurableRun& r : durable_runs) {
+    char label[48], req_s[32], qps_s[32];
+    std::snprintf(label, sizeof(label), "apply durable/%s",
+                  r.policy.c_str());
+    std::snprintf(req_s, sizeof(req_s), "%llu",
+                  static_cast<unsigned long long>(r.batches));
+    std::snprintf(qps_s, sizeof(qps_s), "%.0f", r.applies_per_s);
+    eval::PrintRow({label, req_s, qps_s, eval::FmtMs(r.apply_p50_ms),
+                    eval::FmtMs(r.apply_p99_ms)});
   }
   for (const auto& [label, r] :
        std::vector<std::pair<const char*, const QueryRun*>>{
@@ -296,6 +439,43 @@ int main(int argc, char** argv) {
   w.Key("publish_ms");
   w.Double(publish_ms);
   w.EndObject();
+  w.Key("durable");
+  w.BeginObject();
+  for (const DurableRun& r : durable_runs) {
+    w.Key(r.policy.c_str());
+    w.BeginObject();
+    w.Key("batches");
+    w.UInt(r.batches);
+    w.Key("wall_ms");
+    w.Double(r.wall_ms);
+    w.Key("applies_per_s");
+    w.Double(r.applies_per_s);
+    w.Key("apply_p50_ms");
+    w.Double(r.apply_p50_ms);
+    w.Key("apply_p99_ms");
+    w.Double(r.apply_p99_ms);
+    w.Key("wal_bytes");
+    w.UInt(r.wal_bytes);
+    w.Key("fsyncs");
+    w.UInt(r.fsyncs);
+    w.Key("recovery_ms");
+    w.Double(r.recovery_ms);
+    w.Key("replayed_batches");
+    w.UInt(r.replayed);
+    w.EndObject();
+  }
+  w.Key("recovery_vs_wal_length");
+  w.BeginArray();
+  for (const RecoveryPoint& p : recovery_curve) {
+    w.BeginObject();
+    w.Key("wal_batches");
+    w.UInt(p.wal_batches);
+    w.Key("recovery_ms");
+    w.Double(p.recovery_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
   w.Key("query_latency");
   w.BeginObject();
   for (const auto& [label, r] :
@@ -330,6 +510,12 @@ int main(int argc, char** argv) {
   w.Double(p99_budget);
   w.Key("within_2x");
   w.Bool(within_2x);
+  w.Key("durable_never_vs_memory_ratio");
+  w.Double(durable_ratio);
+  w.Key("durable_budget_ms");
+  w.Double(durable_budget_ms);
+  w.Key("durable_within_1p3x");
+  w.Bool(durable_within_budget);
   w.EndObject();
   w.EndObject();
 
@@ -337,15 +523,26 @@ int main(int argc, char** argv) {
   out << std::move(w).Take() << "\n";
   out.close();
   std::printf("\napplies/s: %.0f (mutations/s %.0f); fold %.1f ms; p99 "
-              "churn/quiescent: %.2f (budget %.1f ms)\nwrote %s\n",
+              "churn/quiescent: %.2f (budget %.1f ms)\n"
+              "durable fsync=never: %.2fx memory apply; recovery of %llu "
+              "batches %.1f ms\nwrote %s\n",
               applies_per_s, mutations_per_s, fold_ms, p99_ratio, p99_budget,
-              out_path.c_str());
+              durable_ratio,
+              static_cast<unsigned long long>(durable_never.replayed),
+              durable_never.recovery_ms, out_path.c_str());
 
   if (smoke && !within_2x) {
     std::fprintf(stderr,
                  "SMOKE FAIL: p99 under churn %.2f ms exceeds budget %.2f "
                  "ms (quiescent p99 %.2f ms)\n",
                  churn.p99_ms, p99_budget, quiescent.p99_ms);
+    return 1;
+  }
+  if (smoke && !durable_within_budget) {
+    std::fprintf(stderr,
+                 "SMOKE FAIL: durable fsync=never apply %.2f ms exceeds "
+                 "budget %.2f ms (memory apply %.2f ms)\n",
+                 durable_never.wall_ms, durable_budget_ms, apply_wall_ms);
     return 1;
   }
   return 0;

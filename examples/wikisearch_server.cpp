@@ -12,7 +12,16 @@
 //        in flight with 429; 0 = unlimited), --max-connections <n> (cap
 //        concurrent HTTP connections; excess get 503), --live (serve from
 //        a SnapshotManager with a background compactor: POST /update
-//        accepts online mutations, GET /snapshot reports the live state).
+//        accepts online mutations, GET /snapshot reports the live state),
+//        --data-dir <dir> (durable live mode: WAL + snapshot persistence in
+//        <dir>; boot recovers any prior state there and the initial KB is
+//        only used when the directory is fresh), --fsync-policy
+//        always|interval|never (default always), --fsync-interval-ms <ms>
+//        (flusher period for --fsync-policy interval).
+//
+// Graceful shutdown: on SIGINT/SIGTERM the server stops accepting, drains
+// in-flight requests, stops the compactor, then flushes + fsyncs the WAL
+// and writes the CLEAN marker so the next boot can skip torn-tail repair.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +50,7 @@ int main(int argc, char** argv) {
   bool live_mode = false;
   size_t queue_depth = 0;
   size_t max_connections = 0;
+  live::SnapshotManager::DurabilityOptions dopts;
   SearchOptions opts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -67,32 +77,56 @@ int main(int argc, char** argv) {
       once = true;
     } else if (arg == "--live") {
       live_mode = true;
+    } else if (arg == "--data-dir") {
+      dopts.data_dir = next();
+      live_mode = true;  // durability implies the live serving path
+    } else if (arg == "--fsync-policy") {
+      auto policy = live::ParseFsyncPolicy(next());
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+        return 2;
+      }
+      dopts.fsync_policy = *policy;
+    } else if (arg == "--fsync-interval-ms") {
+      dopts.fsync_interval_ms = std::atof(next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
     }
   }
 
+  const bool durable = !dopts.data_dir.empty();
+  const bool recovering =
+      durable && live::SnapshotManager::HasDurableState(dopts.data_dir);
+
+  // On recovery the data dir is the source of truth: OpenDurable ignores the
+  // seed KB entirely, so skip the (expensive) generation/index build.
   KnowledgeGraph graph;
   gen::GeneratedKb generated;
-  if (!load_path.empty()) {
-    Result<KnowledgeGraph> loaded = LoadGraph(load_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load %s: %s\n", load_path.c_str(),
-                   loaded.status().ToString().c_str());
-      return 1;
+  InvertedIndex index;
+  if (!recovering) {
+    if (!load_path.empty()) {
+      Result<KnowledgeGraph> loaded = LoadGraph(load_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "cannot load %s: %s\n", load_path.c_str(),
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      graph = std::move(*loaded);
+    } else {
+      std::fprintf(stderr, "no --load given; generating wikisynth-S...\n");
+      generated = gen::Generate(eval::ScaledConfig(gen::SmallConfig()));
+      graph = std::move(generated.graph);
     }
-    graph = std::move(*loaded);
+    if (!graph.has_weights()) AttachNodeWeights(&graph);
+    if (graph.average_distance() <= 0.0) AttachAverageDistance(&graph);
+    index = InvertedIndex::Build(graph);
   } else {
-    std::fprintf(stderr, "no --load given; generating wikisynth-S...\n");
-    generated = gen::Generate(eval::ScaledConfig(gen::SmallConfig()));
-    graph = std::move(generated.graph);
+    std::fprintf(stderr, "durable state found in %s; skipping KB build\n",
+                 dopts.data_dir.c_str());
   }
-  if (!graph.has_weights()) AttachNodeWeights(&graph);
-  if (graph.average_distance() <= 0.0) AttachAverageDistance(&graph);
-  InvertedIndex index = InvertedIndex::Build(graph);
 
-  const std::string node0_name =
+  std::string node0_name =
       graph.num_nodes() > 0 ? graph.NodeName(0) : std::string("test");
 
   // Live mode hands the KB to a SnapshotManager (queries pin immutable
@@ -104,8 +138,36 @@ int main(int argc, char** argv) {
   server::SearchService* serving = nullptr;
   std::unique_ptr<server::SearchService> static_service;
   if (live_mode) {
-    manager = std::make_unique<live::SnapshotManager>(std::move(graph),
-                                                      std::move(index));
+    if (durable) {
+      live::SnapshotManager::RecoveryInfo rec;
+      auto opened = live::SnapshotManager::OpenDurable(
+          std::move(graph), std::move(index), {}, dopts, &rec);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open data dir %s: %s\n",
+                     dopts.data_dir.c_str(),
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      manager = std::move(*opened);
+      std::fprintf(stderr,
+                   "durable %s: gen=%llu version=%llu replayed=%llu "
+                   "clean_shutdown=%d wal_tail_torn=%d (%.1f ms)\n",
+                   rec.recovered ? "recovery" : "fresh start",
+                   static_cast<unsigned long long>(rec.generation),
+                   static_cast<unsigned long long>(rec.version),
+                   static_cast<unsigned long long>(rec.replayed_batches),
+                   rec.clean_shutdown ? 1 : 0, rec.wal_tail_torn ? 1 : 0,
+                   rec.recovery_ms);
+      if (rec.recovered) {
+        auto pinned = manager->Pin();
+        node0_name = pinned->base->graph.num_nodes() > 0
+                         ? pinned->base->graph.NodeName(0)
+                         : std::string("test");
+      }
+    } else {
+      manager = std::make_unique<live::SnapshotManager>(std::move(graph),
+                                                        std::move(index));
+    }
     compactor = std::make_unique<live::Compactor>(manager.get());
     live_service =
         std::make_unique<server::SearchService>(manager.get(), opts);
@@ -156,6 +218,12 @@ int main(int argc, char** argv) {
       }
     }
     http.Stop();
+    if (compactor) compactor->Stop();
+    if (manager && manager->durable()) {
+      Status down = manager->ShutdownDurable();
+      std::printf("durable shutdown -> %s\n",
+                  down.ok() ? "clean" : down.ToString().c_str());
+    }
     return 0;
   }
 
@@ -165,7 +233,20 @@ int main(int argc, char** argv) {
     struct timespec ts{0, 100 * 1000 * 1000};
     nanosleep(&ts, nullptr);
   }
+  // Graceful shutdown: stop accepting + drain in-flight requests first, then
+  // quiesce the compactor, then seal the WAL (flush + fsync + CLEAN marker)
+  // so the next boot skips replay validation of the tail.
   http.Stop();
+  if (compactor) compactor->Stop();
+  if (manager && manager->durable()) {
+    Status down = manager->ShutdownDurable();
+    if (down.ok()) {
+      std::fprintf(stderr, "durable state sealed (clean marker written)\n");
+    } else {
+      std::fprintf(stderr, "durable shutdown failed: %s\n",
+                   down.ToString().c_str());
+    }
+  }
   std::fprintf(stderr, "served %llu requests, bye\n",
                static_cast<unsigned long long>(http.requests_served()));
   return 0;

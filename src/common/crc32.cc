@@ -1,0 +1,58 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace wikisearch {
+
+namespace {
+
+// Slicing-by-4 tables: table[0] is the classic byte-at-a-time table, the
+// higher tables advance the CRC four bytes per step on the aligned middle of
+// long buffers (WAL payloads are whole serialized batches).
+struct Crc32Tables {
+  uint32_t t[4][256];
+  Crc32Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int j = 1; j < 4; ++j) {
+        c = t[0][c & 0xFFu] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t crc) {
+  const auto& tb = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (n >= 4) {
+    c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+    c = tb[3][c & 0xFFu] ^ tb[2][(c >> 8) & 0xFFu] ^ tb[1][(c >> 16) & 0xFFu] ^
+        tb[0][c >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    c = tb[0][(c ^ *p++) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace wikisearch

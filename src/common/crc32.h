@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding every
+// write-ahead-log record and manifest line in the durability layer. The
+// incremental form lets callers fold a header and a payload into one value
+// without concatenating buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wikisearch {
+
+/// Extends the running CRC-32 `crc` (0 for a fresh computation) over `n`
+/// bytes at `data`. Matches zlib's crc32(): Crc32("123456789", 9) ==
+/// 0xCBF43926.
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace wikisearch

@@ -1,0 +1,174 @@
+#include "common/fsio.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace wikisearch {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IoError("EnsureDir " + dir + ": exists but not a directory");
+  }
+  return Status::IoError(Errno("mkdir", dir));
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::lstat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSizeOf(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IoError(Errno("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IoError(Errno("opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    const char* n = ent->d_name;
+    if (std::strcmp(n, ".") == 0 || std::strcmp(n, "..") == 0) continue;
+    names.emplace_back(n);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return Status::IoError(Errno("unlink", path));
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) == 0) return Status::OK();
+  return Status::IoError(Errno("rename", from + " -> " + to));
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IoError(Errno("open(dir)", dir));
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    return Status::IoError(Errno("fsync(dir)", dir));
+  }
+  return Status::OK();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) == 0) {
+    return Status::OK();
+  }
+  return Status::IoError(Errno("truncate", path));
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(Errno("open", path));
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return Status::IoError(Errno("read", path));
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(Errno("open", tmp));
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int saved = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      errno = saved;
+      return Status::IoError(Errno("write", tmp));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    errno = saved;
+    return Status::IoError(Errno("fsync", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError(Errno("close", tmp));
+  }
+  WS_RETURN_NOT_OK(RenameFile(tmp, path));
+  return FsyncDir(DirName(path));
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  struct stat st;
+  if (::lstat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IoError(Errno("lstat", path));
+  }
+  if (!S_ISDIR(st.st_mode)) return RemoveFile(path);
+  auto names = ListDir(path);
+  WS_RETURN_NOT_OK(names.status());
+  for (const std::string& n : *names) {
+    WS_RETURN_NOT_OK(RemoveDirRecursive(path + "/" + n));
+  }
+  if (::rmdir(path.c_str()) != 0) {
+    return Status::IoError(Errno("rmdir", path));
+  }
+  return Status::OK();
+}
+
+std::string DirName(const std::string& path) {
+  size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+}  // namespace wikisearch

@@ -1,0 +1,56 @@
+// Thin POSIX filesystem helpers used by the durability layer (src/live).
+// Everything returns Status/Result rather than throwing, and every mutation
+// that must survive a crash pairs the data write with the directory fsync
+// needed to make the rename/creation itself durable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wikisearch {
+
+/// Creates `dir` (single level, parent must exist). OK if it already exists
+/// as a directory.
+Status EnsureDir(const std::string& dir);
+
+/// True if `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Regular-file size in bytes.
+Result<uint64_t> FileSizeOf(const std::string& path);
+
+/// Names (not paths) of directory entries, excluding "." and "..", sorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// unlink(2). OK if the file is already gone.
+Status RemoveFile(const std::string& path);
+
+/// rename(2) — atomic within a filesystem.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// fsyncs the directory itself so renames/creates/unlinks inside it are
+/// durable.
+Status FsyncDir(const std::string& dir);
+
+/// truncate(2) to `size` bytes.
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Reads the whole file into `*out` (replacing its contents).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Crash-atomic small-file write: writes `data` to `path + ".tmp"`, fsyncs
+/// it, renames over `path`, and fsyncs the parent directory. After a crash,
+/// `path` holds either the old contents or the new — never a mix.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Recursively deletes `path` (file or directory tree). OK if absent.
+/// Test/tooling helper — the engine never does this on user data.
+Status RemoveDirRecursive(const std::string& path);
+
+/// Parent directory of `path` ("." if there is no slash).
+std::string DirName(const std::string& path);
+
+}  // namespace wikisearch

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <string>
 #include <string_view>
@@ -94,6 +95,8 @@ class KnowledgeGraph {
   friend KnowledgeGraph MaterializeGraph(const GraphView& view);
   friend Status SaveGraph(const KnowledgeGraph& g, const std::string& path);
   friend Result<KnowledgeGraph> LoadGraph(const std::string& path);
+  friend Status WriteGraphTo(std::FILE* f, const KnowledgeGraph& g);
+  friend Result<KnowledgeGraph> ReadGraphFrom(std::FILE* f);
 
   std::vector<uint64_t> offsets_;        // size num_nodes()+1
   std::vector<AdjEntry> adj_;            // size 2 * num_triples()

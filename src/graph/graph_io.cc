@@ -86,42 +86,38 @@ Status ReadStrings(std::FILE* f, std::vector<std::string>* strs) {
 
 }  // namespace
 
-Status SaveGraph(const KnowledgeGraph& g, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  WS_RETURN_NOT_OK(WriteBytes(f.get(), kMagic, sizeof(kMagic)));
-  WS_RETURN_NOT_OK(WritePod(f.get(), kVersion));
-  WS_RETURN_NOT_OK(WriteVec(f.get(), g.offsets_));
-  WS_RETURN_NOT_OK(WriteVec(f.get(), g.adj_));
-  WS_RETURN_NOT_OK(WriteStrings(f.get(), g.names_));
-  WS_RETURN_NOT_OK(WriteStrings(f.get(), g.label_names_));
-  WS_RETURN_NOT_OK(WriteVec(f.get(), g.weights_));
-  WS_RETURN_NOT_OK(WritePod(f.get(), g.average_distance_));
-  WS_RETURN_NOT_OK(WritePod(f.get(), g.avg_dist_deviation_));
+Status WriteGraphTo(std::FILE* f, const KnowledgeGraph& g) {
+  WS_RETURN_NOT_OK(WriteBytes(f, kMagic, sizeof(kMagic)));
+  WS_RETURN_NOT_OK(WritePod(f, kVersion));
+  WS_RETURN_NOT_OK(WriteVec(f, g.offsets_));
+  WS_RETURN_NOT_OK(WriteVec(f, g.adj_));
+  WS_RETURN_NOT_OK(WriteStrings(f, g.names_));
+  WS_RETURN_NOT_OK(WriteStrings(f, g.label_names_));
+  WS_RETURN_NOT_OK(WriteVec(f, g.weights_));
+  WS_RETURN_NOT_OK(WritePod(f, g.average_distance_));
+  WS_RETURN_NOT_OK(WritePod(f, g.avg_dist_deviation_));
   return Status::OK();
 }
 
-Result<KnowledgeGraph> LoadGraph(const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IoError("cannot open for read: " + path);
+Result<KnowledgeGraph> ReadGraphFrom(std::FILE* f) {
   char magic[4];
-  WS_RETURN_NOT_OK(ReadBytes(f.get(), magic, sizeof(magic)));
+  WS_RETURN_NOT_OK(ReadBytes(f, magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("bad magic; not a WSKG file: " + path);
+    return Status::Corruption("bad magic; not a WSKG section");
   }
   uint32_t version = 0;
-  WS_RETURN_NOT_OK(ReadPod(f.get(), &version));
+  WS_RETURN_NOT_OK(ReadPod(f, &version));
   if (version != kVersion) {
     return Status::Corruption("unsupported WSKG version");
   }
   KnowledgeGraph g;
-  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.offsets_));
-  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.adj_));
-  WS_RETURN_NOT_OK(ReadStrings(f.get(), &g.names_));
-  WS_RETURN_NOT_OK(ReadStrings(f.get(), &g.label_names_));
-  WS_RETURN_NOT_OK(ReadVec(f.get(), &g.weights_));
-  WS_RETURN_NOT_OK(ReadPod(f.get(), &g.average_distance_));
-  WS_RETURN_NOT_OK(ReadPod(f.get(), &g.avg_dist_deviation_));
+  WS_RETURN_NOT_OK(ReadVec(f, &g.offsets_));
+  WS_RETURN_NOT_OK(ReadVec(f, &g.adj_));
+  WS_RETURN_NOT_OK(ReadStrings(f, &g.names_));
+  WS_RETURN_NOT_OK(ReadStrings(f, &g.label_names_));
+  WS_RETURN_NOT_OK(ReadVec(f, &g.weights_));
+  WS_RETURN_NOT_OK(ReadPod(f, &g.average_distance_));
+  WS_RETURN_NOT_OK(ReadPod(f, &g.avg_dist_deviation_));
   if (g.offsets_.size() != g.names_.size() + 1) {
     return Status::Corruption("offset/name size mismatch");
   }
@@ -133,6 +129,26 @@ Result<KnowledgeGraph> LoadGraph(const std::string& path) {
     g.name_to_id_.emplace(g.names_[i], i);
   }
   return g;
+}
+
+Status SaveGraph(const KnowledgeGraph& g, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  return WriteGraphTo(f.get(), g);
+}
+
+Result<KnowledgeGraph> LoadGraph(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  Result<KnowledgeGraph> r = ReadGraphFrom(f.get());
+  if (!r.ok()) {
+    Status st = r.status();
+    if (st.code() == StatusCode::kCorruption) {
+      return Status::Corruption(st.message() + ": " + path);
+    }
+    return Status::IoError(st.message() + ": " + path);
+  }
+  return r;
 }
 
 Result<KnowledgeGraph> LoadTriplesTsv(const std::string& path) {

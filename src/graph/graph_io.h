@@ -2,6 +2,7 @@
 // datasets) and a TSV triple reader/writer (interchange with RDF-ish dumps).
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "common/status.h"
@@ -15,6 +16,12 @@ Status SaveGraph(const KnowledgeGraph& g, const std::string& path);
 
 /// Loads a graph previously written by SaveGraph.
 Result<KnowledgeGraph> LoadGraph(const std::string& path);
+
+/// Stream variants writing/reading the same "WSKG" section at the current
+/// file position — used to embed the graph inside a larger snapshot file
+/// (live durability layer). SaveGraph/LoadGraph delegate to these.
+Status WriteGraphTo(std::FILE* f, const KnowledgeGraph& g);
+Result<KnowledgeGraph> ReadGraphFrom(std::FILE* f);
 
 /// Reads a TSV file of triples: `subject<TAB>predicate<TAB>object`, one per
 /// line; '#'-prefixed lines are comments. Node/label names are created on

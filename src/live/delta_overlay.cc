@@ -258,6 +258,29 @@ Status DeltaOverlay::Apply(const UpdateBatch& batch) {
   return Status::OK();
 }
 
+DeltaOverlay::Checkpoint DeltaOverlay::TakeCheckpoint() const {
+  Checkpoint cp;
+  cp.gpatch = gpatch_;
+  cp.ipatch = ipatch_;
+  cp.node_text = node_text_;
+  cp.log_size = log_.size();
+  cp.triples_added = triples_added_;
+  cp.triples_removed = triples_removed_;
+  cp.text_ops = text_ops_;
+  return cp;
+}
+
+void DeltaOverlay::Restore(Checkpoint cp) {
+  WS_CHECK(cp.log_size <= log_.size());
+  gpatch_ = std::move(cp.gpatch);
+  ipatch_ = std::move(cp.ipatch);
+  node_text_ = std::move(cp.node_text);
+  log_.resize(cp.log_size);
+  triples_added_ = cp.triples_added;
+  triples_removed_ = cp.triples_removed;
+  text_ops_ = cp.text_ops;
+}
+
 void DeltaOverlay::Rebase(std::shared_ptr<const GraphSnapshot> new_base,
                           size_t folded) {
   WS_CHECK(folded <= log_.size());

@@ -59,6 +59,23 @@ class DeltaOverlay {
   /// the log are already part of `new_base`; the tail is re-applied on top.
   void Rebase(std::shared_ptr<const GraphSnapshot> new_base, size_t folded);
 
+  /// Rollback point for the durable Apply path: if the WAL append fails
+  /// after a batch was staged and committed into the overlay, Restore()
+  /// rewinds to the state TakeCheckpoint() captured, keeping the overlay in
+  /// lockstep with the log. Cheap: the patches are COW shared_ptr copies;
+  /// only the (small, overlay-scoped) text-override map is deep-copied.
+  struct Checkpoint {
+    std::shared_ptr<const GraphOverlayPatch> gpatch;
+    std::shared_ptr<const IndexOverlayPatch> ipatch;
+    std::unordered_map<NodeId, std::string> node_text;
+    size_t log_size = 0;
+    uint64_t triples_added = 0;
+    uint64_t triples_removed = 0;
+    uint64_t text_ops = 0;
+  };
+  Checkpoint TakeCheckpoint() const;
+  void Restore(Checkpoint cp);
+
   const std::shared_ptr<const GraphSnapshot>& base() const { return base_; }
   /// Null when the overlay is empty (depth 0).
   const std::shared_ptr<const GraphOverlayPatch>& graph_patch() const {

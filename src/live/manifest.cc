@@ -1,0 +1,140 @@
+#include "live/manifest.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/crc32.h"
+#include "common/fsio.h"
+#include "common/json.h"
+
+namespace wikisearch::live {
+
+namespace {
+
+// Shared two-line shape for MANIFEST and CLEAN: JSON + its CRC32.
+std::string WithChecksumLine(std::string json) {
+  uint32_t crc = Crc32(json.data(), json.size());
+  json += '\n';
+  json += std::to_string(crc);
+  json += '\n';
+  return json;
+}
+
+Result<JsonValue> ParseChecksummedFile(const std::string& path) {
+  std::string data;
+  WS_RETURN_NOT_OK(ReadFileToString(path, &data));
+  size_t nl = data.find('\n');
+  if (nl == std::string::npos) {
+    return Status::Corruption(path + ": missing checksum line");
+  }
+  std::string_view json(data.data(), nl);
+  size_t nl2 = data.find('\n', nl + 1);
+  std::string crc_line =
+      data.substr(nl + 1, (nl2 == std::string::npos ? data.size() : nl2) -
+                              nl - 1);
+  char* end = nullptr;
+  unsigned long long stored = std::strtoull(crc_line.c_str(), &end, 10);
+  if (end == crc_line.c_str() || *end != '\0') {
+    return Status::Corruption(path + ": malformed checksum line");
+  }
+  if (Crc32(json.data(), json.size()) != static_cast<uint32_t>(stored)) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  auto parsed = JsonParse(json);
+  if (!parsed.ok()) {
+    return Status::Corruption(path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Result<uint64_t> GetU64(const JsonValue& v, const char* key,
+                        const std::string& path) {
+  const JsonValue* f = v.Find(key);
+  if (f == nullptr || !f->is_number()) {
+    return Status::Corruption(path + ": missing field " + key);
+  }
+  return static_cast<uint64_t>(f->number);
+}
+
+}  // namespace
+
+Status WriteManifest(const std::string& dir, const Manifest& m,
+                     const FaultHook& fault) {
+  if (fault) fault("manifest:write");
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("format");
+  w.UInt(m.format);
+  w.Key("generation");
+  w.UInt(m.generation);
+  w.Key("snapshot");
+  w.String(m.snapshot_file);
+  w.Key("last_included_seq");
+  w.UInt(m.last_included_seq);
+  w.Key("version");
+  w.UInt(m.version);
+  w.EndObject();
+  return WriteFileAtomic(dir + "/" + kManifestFile,
+                         WithChecksumLine(std::move(w).Take()));
+}
+
+Result<Manifest> ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFile;
+  auto v = ParseChecksummedFile(path);
+  WS_RETURN_NOT_OK(v.status());
+  Manifest m;
+  auto format = GetU64(*v, "format", path);
+  WS_RETURN_NOT_OK(format.status());
+  m.format = static_cast<uint32_t>(*format);
+  if (m.format != 1) {
+    return Status::Corruption(path + ": unsupported manifest format " +
+                              std::to_string(m.format));
+  }
+  auto gen = GetU64(*v, "generation", path);
+  WS_RETURN_NOT_OK(gen.status());
+  m.generation = *gen;
+  const JsonValue* snap = v->Find("snapshot");
+  if (snap == nullptr || !snap->is_string()) {
+    return Status::Corruption(path + ": missing field snapshot");
+  }
+  m.snapshot_file = snap->str;
+  auto last = GetU64(*v, "last_included_seq", path);
+  WS_RETURN_NOT_OK(last.status());
+  m.last_included_seq = *last;
+  auto ver = GetU64(*v, "version", path);
+  WS_RETURN_NOT_OK(ver.status());
+  m.version = *ver;
+  return m;
+}
+
+Status WriteCleanMarker(const std::string& dir, const CleanMarker& m) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("last_seq");
+  w.UInt(m.last_seq);
+  w.Key("version");
+  w.UInt(m.version);
+  w.EndObject();
+  return WriteFileAtomic(dir + "/" + kCleanMarkerFile,
+                         WithChecksumLine(std::move(w).Take()));
+}
+
+Result<CleanMarker> ReadCleanMarker(const std::string& dir) {
+  const std::string path = dir + "/" + kCleanMarkerFile;
+  auto v = ParseChecksummedFile(path);
+  WS_RETURN_NOT_OK(v.status());
+  CleanMarker m;
+  auto last = GetU64(*v, "last_seq", path);
+  WS_RETURN_NOT_OK(last.status());
+  m.last_seq = *last;
+  auto ver = GetU64(*v, "version", path);
+  WS_RETURN_NOT_OK(ver.status());
+  m.version = *ver;
+  return m;
+}
+
+Status RemoveCleanMarker(const std::string& dir) {
+  return RemoveFile(dir + "/" + kCleanMarkerFile);
+}
+
+}  // namespace wikisearch::live

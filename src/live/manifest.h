@@ -1,0 +1,55 @@
+// MANIFEST: the single source of truth for what a durable data directory
+// contains (DESIGN.md §12). A two-line text file — one JSON object naming
+// the current snapshot file, its generation, the last WAL sequence folded
+// into it, and the version it publishes at; then the decimal CRC32 of the
+// first line. Written atomically (temp + fsync + rename + dir fsync), so
+// recovery always sees either the old manifest or the new one.
+//
+// CLEAN is a sibling marker written at graceful shutdown and consumed
+// (deleted) on boot: its presence certifies the WAL tail is complete and
+// fsynced, letting recovery skip torn-tail tolerance and treat any
+// irregularity as hard corruption.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/search_options.h"
+
+namespace wikisearch::live {
+
+inline constexpr const char kManifestFile[] = "MANIFEST";
+inline constexpr const char kCleanMarkerFile[] = "CLEAN";
+
+struct Manifest {
+  uint32_t format = 1;
+  uint64_t generation = 0;
+  std::string snapshot_file;     // name within the data dir ("snap-G.wssp")
+  uint64_t last_included_seq = 0;  // WAL records <= this are in the snapshot
+  uint64_t version = 0;          // published version at snapshot time
+};
+
+/// Atomically replaces `dir`/MANIFEST. Fault point "manifest:write" fires
+/// before any byte is written.
+Status WriteManifest(const std::string& dir, const Manifest& m,
+                     const FaultHook& fault = nullptr);
+
+/// Reads and checksum-verifies `dir`/MANIFEST. NotFound when absent,
+/// Corruption on any mismatch.
+Result<Manifest> ReadManifest(const std::string& dir);
+
+/// Graceful-shutdown receipt: the WAL is flushed and complete through
+/// `last_seq`, the published version was `version`.
+struct CleanMarker {
+  uint64_t last_seq = 0;
+  uint64_t version = 0;
+};
+
+Status WriteCleanMarker(const std::string& dir, const CleanMarker& m);
+/// NotFound when absent (i.e. the previous process did not shut down
+/// cleanly), Corruption when unreadable.
+Result<CleanMarker> ReadCleanMarker(const std::string& dir);
+Status RemoveCleanMarker(const std::string& dir);
+
+}  // namespace wikisearch::live

@@ -1,0 +1,156 @@
+#include "live/persist.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/fsio.h"
+#include "graph/graph_io.h"
+
+namespace wikisearch::live {
+
+namespace {
+
+constexpr char kSnapMagic[4] = {'W', 'S', 'S', 'P'};
+constexpr uint32_t kSnapFormat = 1;
+// Trailing marker proving serialization ran to completion; a snapshot is
+// only ever read through the rename protocol, so this is belt & braces
+// against filesystems reordering the rename past the data flush.
+constexpr uint32_t kSnapEndMarker = 0x50535357;  // "WSSP" little-endian
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* f, const void* data, size_t n) {
+  if (std::fwrite(data, 1, n, f) != n) return Status::IoError("short write");
+  return Status::OK();
+}
+
+Status ReadAll(std::FILE* f, void* data, size_t n) {
+  if (std::fread(data, 1, n, f) != n) {
+    return Status::IoError("short read / truncated snapshot");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t generation) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snap-%" PRIu64 ".wssp", generation);
+  return buf;
+}
+
+bool ParseSnapshotFileName(const std::string& name, uint64_t* generation) {
+  uint64_t gen = 0;
+  char tail = 0;
+  if (std::sscanf(name.c_str(), "snap-%" SCNu64 ".wss%c", &gen, &tail) == 2 &&
+      tail == 'p' && name == SnapshotFileName(gen)) {
+    *generation = gen;
+    return true;
+  }
+  return false;
+}
+
+Status SaveSnapshotFile(const std::string& path, const GraphSnapshot& snap,
+                        const FaultHook& fault) {
+  if (fault) fault("snap:write");
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::IoError("cannot open for write: " + tmp);
+    WS_RETURN_NOT_OK(WriteAll(f.get(), kSnapMagic, sizeof(kSnapMagic)));
+    WS_RETURN_NOT_OK(WriteAll(f.get(), &kSnapFormat, sizeof(kSnapFormat)));
+    WS_RETURN_NOT_OK(
+        WriteAll(f.get(), &snap.generation, sizeof(snap.generation)));
+    WS_RETURN_NOT_OK(WriteGraphTo(f.get(), snap.graph));
+    WS_RETURN_NOT_OK(snap.index.SaveTo(f.get()));
+    // Node-text section, sorted by id so the file is deterministic for a
+    // given snapshot.
+    std::vector<NodeId> ids;
+    ids.reserve(snap.node_text.size());
+    for (const auto& [v, text] : snap.node_text) ids.push_back(v);
+    std::sort(ids.begin(), ids.end());
+    uint64_t count = ids.size();
+    WS_RETURN_NOT_OK(WriteAll(f.get(), &count, sizeof(count)));
+    for (NodeId v : ids) {
+      const std::string& text = snap.node_text.at(v);
+      uint64_t id64 = v;
+      uint32_t len = static_cast<uint32_t>(text.size());
+      WS_RETURN_NOT_OK(WriteAll(f.get(), &id64, sizeof(id64)));
+      WS_RETURN_NOT_OK(WriteAll(f.get(), &len, sizeof(len)));
+      WS_RETURN_NOT_OK(WriteAll(f.get(), text.data(), len));
+    }
+    WS_RETURN_NOT_OK(
+        WriteAll(f.get(), &kSnapEndMarker, sizeof(kSnapEndMarker)));
+    if (std::fflush(f.get()) != 0) {
+      return Status::IoError("fflush failed: " + tmp);
+    }
+    if (::fsync(::fileno(f.get())) != 0) {
+      return Status::IoError("fsync failed: " + tmp);
+    }
+  }
+  if (fault) fault("snap:rename");
+  WS_RETURN_NOT_OK(RenameFile(tmp, path));
+  return FsyncDir(DirName(path));
+}
+
+Result<GraphSnapshot> LoadSnapshotFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IoError("cannot open for read: " + path);
+  char magic[4];
+  WS_RETURN_NOT_OK(ReadAll(f.get(), magic, sizeof(magic)));
+  if (std::memcmp(magic, kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::Corruption("bad magic; not a WSSP file: " + path);
+  }
+  uint32_t format = 0;
+  WS_RETURN_NOT_OK(ReadAll(f.get(), &format, sizeof(format)));
+  if (format != kSnapFormat) {
+    return Status::Corruption("unsupported snapshot format: " + path);
+  }
+  GraphSnapshot snap;
+  WS_RETURN_NOT_OK(
+      ReadAll(f.get(), &snap.generation, sizeof(snap.generation)));
+  auto graph = ReadGraphFrom(f.get());
+  WS_RETURN_NOT_OK(graph.status());
+  snap.graph = std::move(*graph);
+  auto index = InvertedIndex::LoadFrom(f.get());
+  WS_RETURN_NOT_OK(index.status());
+  snap.index = std::move(*index);
+  uint64_t count = 0;
+  WS_RETURN_NOT_OK(ReadAll(f.get(), &count, sizeof(count)));
+  if (count > (1ULL << 30)) {
+    return Status::Corruption("implausible node-text count: " + path);
+  }
+  snap.node_text.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id64 = 0;
+    uint32_t len = 0;
+    WS_RETURN_NOT_OK(ReadAll(f.get(), &id64, sizeof(id64)));
+    WS_RETURN_NOT_OK(ReadAll(f.get(), &len, sizeof(len)));
+    if (len > (1u << 24)) {
+      return Status::Corruption("implausible node-text size: " + path);
+    }
+    std::string text(len, '\0');
+    WS_RETURN_NOT_OK(ReadAll(f.get(), text.data(), len));
+    snap.node_text.emplace(static_cast<NodeId>(id64), std::move(text));
+  }
+  uint32_t end = 0;
+  WS_RETURN_NOT_OK(ReadAll(f.get(), &end, sizeof(end)));
+  if (end != kSnapEndMarker) {
+    return Status::Corruption("missing end marker (incomplete snapshot): " +
+                              path);
+  }
+  return snap;
+}
+
+}  // namespace wikisearch::live

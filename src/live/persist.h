@@ -1,0 +1,35 @@
+// Durable snapshot files (DESIGN.md §12): one self-contained `.wssp` file
+// per compaction generation holding the compacted CSR graph, the matching
+// inverted index, and the cumulative per-node extra text — everything a
+// GraphSnapshot carries. Written crash-atomically: serialize to
+// `<name>.tmp`, fsync, rename over the final name, fsync the directory. A
+// torn snapshot can therefore only ever exist as an ignored `.tmp`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/search_options.h"
+#include "live/snapshot.h"
+
+namespace wikisearch::live {
+
+/// File name within the data dir for a given generation
+/// ("snap-<generation>.wssp").
+std::string SnapshotFileName(uint64_t generation);
+
+/// If `name` is a snapshot file name, returns true and sets *generation.
+bool ParseSnapshotFileName(const std::string& name, uint64_t* generation);
+
+/// Serializes `snap` to `path` with the temp+fsync+rename protocol. Fault
+/// points: "snap:write" before serialization, "snap:rename" after the temp
+/// file is durable but before it takes the final name.
+Status SaveSnapshotFile(const std::string& path, const GraphSnapshot& snap,
+                        const FaultHook& fault = nullptr);
+
+/// Loads a snapshot file; validates magic, section framing, and the end
+/// marker. `generation` comes back from the file header.
+Result<GraphSnapshot> LoadSnapshotFile(const std::string& path);
+
+}  // namespace wikisearch::live

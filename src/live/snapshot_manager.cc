@@ -3,10 +3,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/fsio.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/node_weight.h"
 #include "graph/distance_sampler.h"
+#include "live/manifest.h"
+#include "live/persist.h"
 
 namespace wikisearch::live {
 
@@ -15,23 +18,34 @@ SnapshotManager::SnapshotManager(KnowledgeGraph graph, InvertedIndex index)
 
 SnapshotManager::SnapshotManager(KnowledgeGraph graph, InvertedIndex index,
                                  Config cfg)
+    : SnapshotManager(
+          [&] {
+            GraphSnapshot snap;
+            snap.graph = std::move(graph);
+            snap.index = std::move(index);
+            return snap;
+          }(),
+          cfg, /*version=*/1, /*generation=*/1) {}
+
+SnapshotManager::SnapshotManager(GraphSnapshot snap, Config cfg,
+                                 uint64_t version, uint64_t generation)
     : cfg_(cfg),
       retired_(std::make_shared<std::atomic<uint64_t>>(0)),
       overlay_(DeltaOverlay::Config{cfg.distance_pairs, cfg.distance_seed}) {
-  if (!graph.has_weights()) AttachNodeWeights(&graph);
-  if (graph.average_distance() <= 0.0) {
-    AttachAverageDistance(&graph, cfg_.distance_pairs, cfg_.distance_seed);
+  if (!snap.graph.has_weights()) AttachNodeWeights(&snap.graph);
+  if (snap.graph.average_distance() <= 0.0) {
+    AttachAverageDistance(&snap.graph, cfg_.distance_pairs,
+                          cfg_.distance_seed);
   }
-  GraphSnapshot snap;
-  snap.graph = std::move(graph);
-  snap.index = std::move(index);
-  snap.generation = 1;
+  snap.generation = generation;
+  version_.store(version, std::memory_order_relaxed);
+  generation_.store(generation, std::memory_order_relaxed);
   std::shared_ptr<const GraphSnapshot> base = WrapSnapshot(std::move(snap));
   overlay_.Reset(base);
   auto st = std::make_shared<LiveState>();
   st->base = std::move(base);
-  st->version = 1;
-  st->generation = 1;
+  st->version = version;
+  st->generation = generation;
   state_.store(std::shared_ptr<const LiveState>(std::move(st)));
 }
 
@@ -56,16 +70,32 @@ KbHandle SnapshotManager::PinHandle() const {
   return kb;
 }
 
-Status SnapshotManager::Apply(const UpdateBatch& batch) {
+Status SnapshotManager::Apply(const UpdateBatch& batch, ApplyResult* out) {
   WallTimer timer;
   bool trigger = false;
+  uint64_t seq = 0;
+  uint64_t version = 0;
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     if (fault_) fault_("live:apply");
+    // In durable mode a failed WAL append must undo the just-committed
+    // overlay mutation — the log and the overlay never diverge.
+    DeltaOverlay::Checkpoint cp;
+    if (wal_) cp = overlay_.TakeCheckpoint();
     Status st = overlay_.Apply(batch);
     if (!st.ok()) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return st;
+    }
+    if (wal_) {
+      seq = last_seq_ + 1;
+      Status ws = wal_->Append(seq, batch);
+      if (!ws.ok()) {
+        overlay_.Restore(std::move(cp));
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return ws;
+      }
+      last_seq_ = seq;
     }
     std::shared_ptr<const LiveState> cur =
         state_.load(std::memory_order_acquire);
@@ -74,6 +104,7 @@ Status SnapshotManager::Apply(const UpdateBatch& batch) {
     next->gpatch = overlay_.graph_patch();
     next->ipatch = overlay_.index_patch();
     next->version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    version = next->version;
     next->generation = cur->generation;
     state_.store(std::shared_ptr<const LiveState>(std::move(next)),
                  std::memory_order_release);
@@ -83,6 +114,22 @@ Status SnapshotManager::Apply(const UpdateBatch& batch) {
     mutations_.fetch_add(batch.num_ops(), std::memory_order_relaxed);
     trigger = cfg_.compact_threshold_batches > 0 &&
               overlay_.depth() >= cfg_.compact_threshold_batches;
+  }
+  // Group commit happens outside update_mu_: concurrent acknowledgers share
+  // one fsync, and new appends are not blocked behind it.
+  bool durable = false;
+  if (wal_ != nullptr) {
+    if (dopts_.fsync_policy == FsyncPolicy::kAlways) {
+      WS_RETURN_NOT_OK(wal_->SyncTo(seq));
+      durable = true;
+    } else {
+      durable = wal_->synced_seq() >= seq;
+    }
+  }
+  if (out != nullptr) {
+    out->version = version;
+    out->seq = seq;
+    out->durable = durable;
   }
   ObserveMs("ws_live_apply_ms", timer.ElapsedMs());
   if (trigger && compaction_trigger_) compaction_trigger_();
@@ -97,14 +144,19 @@ Status SnapshotManager::CompactOnce() {
   // batch log it covers.
   std::shared_ptr<const LiveState> pinned;
   size_t folded = 0;
+  uint64_t captured_base_seq = 0;
   std::unordered_map<NodeId, std::string> overlay_text;
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     pinned = state_.load(std::memory_order_acquire);
     folded = overlay_.depth();
+    captured_base_seq = wal_base_seq_;
     overlay_text = overlay_.node_text();
   }
   if (folded == 0) return Status::OK();  // nothing to fold
+  // WAL sequences are 1:1 with accepted applies, so the fold covers exactly
+  // seqs (captured_base_seq, captured_base_seq + folded].
+  const uint64_t last_included = captured_base_seq + folded;
 
   // Fold off the serving path: no lock held, queries and applies proceed.
   compaction_phase_.store(1, std::memory_order_release);
@@ -128,6 +180,18 @@ Status SnapshotManager::CompactOnce() {
   }
   next_snap.generation = pinned->generation + 1;
   last_fold_ms_.store(fold_timer.ElapsedMs(), std::memory_order_relaxed);
+
+  // Durable mode: make the folded snapshot crash-safe on disk *before*
+  // publishing it. A failure (or a simulated crash at snap:write /
+  // snap:rename) aborts the compaction cleanly — the overlay, the WAL, and
+  // the published state are untouched, and at most a .tmp file leaks (boot
+  // GC sweeps it).
+  std::string snap_file;
+  if (wal_ != nullptr) {
+    snap_file = SnapshotFileName(next_snap.generation);
+    WS_RETURN_NOT_OK(SaveSnapshotFile(dopts_.data_dir + "/" + snap_file,
+                                      next_snap, fault_));
+  }
   std::shared_ptr<const GraphSnapshot> new_base =
       WrapSnapshot(std::move(next_snap));
 
@@ -135,16 +199,31 @@ Status SnapshotManager::CompactOnce() {
   // the new snapshot and swap the state in. Mutators are briefly excluded;
   // readers never block — they keep loading whichever state is current.
   uint64_t gen = 0;
+  uint64_t published_version = 0;
   WallTimer publish_timer;
   {
     std::lock_guard<std::mutex> lock(update_mu_);
     compaction_phase_.store(2, std::memory_order_release);
+    if (wal_ != nullptr) {
+      // Close the current segment before the manifest can reference past
+      // it. Rotation failure aborts the publish with every in-memory and
+      // on-disk structure still consistent (the new snapshot file becomes
+      // an orphan; boot GC sweeps it).
+      Status rs = wal_->Rotate(last_seq_ + 1);
+      if (!rs.ok()) {
+        compaction_phase_.store(0, std::memory_order_release);
+        return rs;
+      }
+      wal_base_seq_ = last_included;
+      wal_base_seq_stat_.store(last_included, std::memory_order_relaxed);
+    }
     overlay_.Rebase(new_base, folded);
     auto next = std::make_shared<LiveState>();
     next->base = std::move(new_base);
     next->gpatch = overlay_.graph_patch();
     next->ipatch = overlay_.index_patch();
     next->version = version_.fetch_add(1, std::memory_order_relaxed) + 1;
+    published_version = next->version;
     gen = generation_.fetch_add(1, std::memory_order_relaxed) + 1;
     next->generation = gen;
     WS_CHECK(gen == pinned->generation + 1);  // folds are serialized
@@ -159,10 +238,237 @@ Status SnapshotManager::CompactOnce() {
   compaction_phase_.store(0, std::memory_order_release);
   ObserveMs("ws_live_fold_ms", last_fold_ms_.load());
   ObserveMs("ws_live_publish_ms", last_publish_ms_.load());
+
+  // Durable mode: commit the compaction on disk, then garbage-collect what
+  // it superseded. A crash (or failure) before the manifest lands simply
+  // means the compaction "didn't happen" durably — recovery replays the
+  // full WAL tail onto the previous snapshot, which is equivalent content
+  // (the overlay ≡ cold-rebuild contract), just an older generation.
+  Status durable_st = Status::OK();
+  if (wal_ != nullptr) {
+    Manifest m;
+    m.generation = gen;
+    m.snapshot_file = snap_file;
+    m.last_included_seq = last_included;
+    m.version = published_version;
+    durable_st = WriteManifest(dopts_.data_dir, m, fault_);
+    if (durable_st.ok()) {
+      manifest_gen_.store(gen, std::memory_order_relaxed);
+      auto deleted = wal_->DeleteSegmentsCoveredBy(last_included);
+      if (deleted.ok()) {
+        wal_gc_deleted_.fetch_add(*deleted, std::memory_order_relaxed);
+      } else {
+        durable_st = deleted.status();
+      }
+      // Superseded snapshot files are unreferenced once the manifest names
+      // the new one.
+      auto names = ListDir(dopts_.data_dir);
+      if (names.ok()) {
+        for (const std::string& n : *names) {
+          uint64_t file_gen = 0;
+          if (ParseSnapshotFileName(n, &file_gen) && file_gen != gen) {
+            (void)RemoveFile(dopts_.data_dir + "/" + n);
+          }
+        }
+      }
+    }
+  }
   // Outside update_mu_ but inside compact_mu_, so callbacks arrive in
-  // publish order and may call back into the manager freely.
+  // publish order and may call back into the manager freely. The callback
+  // fires even if the durable commit failed: the in-memory publish DID
+  // happen, so caches must invalidate regardless.
   if (publish_cb_) publish_cb_(gen);
-  return Status::OK();
+  return durable_st;
+}
+
+bool SnapshotManager::HasDurableState(const std::string& data_dir) {
+  return PathExists(data_dir + "/" + kManifestFile);
+}
+
+Status SnapshotManager::SyncWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status SnapshotManager::ShutdownDurable() {
+  if (wal_ == nullptr) return Status::OK();
+  // update_mu_ excludes racing mutators, so the marker's (last_seq, version)
+  // promise is exact. Lock order update_mu_ -> sync_mu_ matches the
+  // rotation path.
+  std::lock_guard<std::mutex> lock(update_mu_);
+  WS_RETURN_NOT_OK(wal_->Sync());
+  CleanMarker marker;
+  marker.last_seq = last_seq_;
+  marker.version = version_.load(std::memory_order_relaxed);
+  return WriteCleanMarker(dopts_.data_dir, marker);
+}
+
+Result<std::unique_ptr<SnapshotManager>> SnapshotManager::OpenDurable(
+    KnowledgeGraph graph, InvertedIndex index, Config cfg,
+    DurabilityOptions dopts, RecoveryInfo* info) {
+  WallTimer timer;
+  WS_RETURN_NOT_OK(EnsureDir(dopts.data_dir));
+  WalOptions wopts;
+  wopts.policy = dopts.fsync_policy;
+  wopts.interval_ms = dopts.fsync_interval_ms;
+  RecoveryInfo rec;
+
+  std::unique_ptr<SnapshotManager> mgr;
+  uint64_t last_seq = 0;       // last sequence on disk after replay
+  uint64_t base_seq = 0;       // manifest truncation point
+  uint64_t segment_start = 1;  // WAL segment to (re)open for appending
+
+  if (!HasDurableState(dopts.data_dir)) {
+    // Fresh directory: the passed-in KB becomes the generation-1 snapshot.
+    // No MANIFEST means no durable lineage — anything else lying around
+    // (stale segments from a half-created directory, a lone CLEAN marker)
+    // must not leak into the new one.
+    {
+      auto names = ListDir(dopts.data_dir);
+      WS_RETURN_NOT_OK(names.status());
+      for (const std::string& n : *names) {
+        uint64_t ignored = 0;
+        const bool is_tmp =
+            n.size() > 4 && n.compare(n.size() - 4, 4, ".tmp") == 0;
+        if (n.rfind("wal-", 0) == 0 || ParseSnapshotFileName(n, &ignored) ||
+            n == kCleanMarkerFile || is_tmp) {
+          WS_RETURN_NOT_OK(RemoveFile(dopts.data_dir + "/" + n));
+        }
+      }
+    }
+    mgr.reset(new SnapshotManager(std::move(graph), std::move(index), cfg));
+    const std::string snap_file = SnapshotFileName(1);
+    WS_RETURN_NOT_OK(SaveSnapshotFile(dopts.data_dir + "/" + snap_file,
+                                      *mgr->Pin()->base, nullptr));
+    Manifest m;
+    m.generation = 1;
+    m.snapshot_file = snap_file;
+    m.last_included_seq = 0;
+    m.version = 1;
+    WS_RETURN_NOT_OK(WriteManifest(dopts.data_dir, m, nullptr));
+    mgr->manifest_gen_.store(1, std::memory_order_relaxed);
+  } else {
+    rec.recovered = true;
+    auto manifest = ReadManifest(dopts.data_dir);
+    WS_RETURN_NOT_OK(manifest.status());
+    auto clean = ReadCleanMarker(dopts.data_dir);
+    if (!clean.ok() && clean.status().code() != StatusCode::kNotFound) {
+      return clean.status();
+    }
+    rec.clean_shutdown = clean.ok();
+
+    auto snap = LoadSnapshotFile(dopts.data_dir + "/" +
+                                 manifest->snapshot_file);
+    WS_RETURN_NOT_OK(snap.status());
+    if (snap->generation != manifest->generation) {
+      return Status::Corruption("snapshot/manifest generation mismatch: " +
+                                std::to_string(snap->generation) + " vs " +
+                                std::to_string(manifest->generation));
+    }
+    mgr.reset(new SnapshotManager(std::move(*snap), cfg, manifest->version,
+                                  manifest->generation));
+    mgr->manifest_gen_.store(manifest->generation, std::memory_order_relaxed);
+
+    // Replay the WAL tail through the ordinary Apply path (durability not
+    // yet enabled, so nothing is re-logged and no compaction triggers).
+    base_seq = manifest->last_included_seq;
+    uint64_t expected = base_seq + 1;
+    auto segments = ListWalSegments(dopts.data_dir);
+    WS_RETURN_NOT_OK(segments.status());
+    for (size_t i = 0; i < segments->size(); ++i) {
+      const WalSegment& seg = (*segments)[i];
+      auto read = ReadWalFile(seg.path);
+      WS_RETURN_NOT_OK(read.status());
+      if (read->torn) {
+        // A torn record is legal only as the very tail of an unclean
+        // shutdown; anywhere else (or after a CLEAN promise) it is real
+        // corruption.
+        if (rec.clean_shutdown || i + 1 != segments->size()) {
+          return Status::Corruption("torn WAL record not at tail: " +
+                                    read->diagnostic);
+        }
+        rec.wal_tail_torn = true;
+        WS_RETURN_NOT_OK(TruncateFile(seg.path, read->valid_bytes));
+      }
+      for (const WalRecord& r : read->records) {
+        if (r.seq <= base_seq) continue;  // already folded in the snapshot
+        if (r.seq != expected) {
+          return Status::Corruption(
+              "WAL sequence gap: expected " + std::to_string(expected) +
+              ", found " + std::to_string(r.seq) + " in " + seg.path);
+        }
+        Status st = mgr->Apply(r.batch);
+        if (!st.ok()) {
+          // Only accepted batches are logged, and acceptance is
+          // deterministic — a replay rejection means the directory and the
+          // log disagree.
+          return Status::Corruption("WAL replay of seq " +
+                                    std::to_string(r.seq) +
+                                    " rejected: " + st.ToString());
+        }
+        ++rec.replayed_batches;
+        ++expected;
+      }
+    }
+    last_seq = expected - 1;
+    if (rec.clean_shutdown) {
+      if (clean->last_seq != last_seq) {
+        return Status::Corruption(
+            "CLEAN marker promises last_seq " +
+            std::to_string(clean->last_seq) + " but WAL replay ended at " +
+            std::to_string(last_seq));
+      }
+      if (clean->version != mgr->version()) {
+        return Status::Corruption(
+            "CLEAN marker promises version " +
+            std::to_string(clean->version) + " but replay reached " +
+            std::to_string(mgr->version()));
+      }
+      WS_RETURN_NOT_OK(RemoveCleanMarker(dopts.data_dir));
+    }
+    if (!segments->empty()) {
+      segment_start = segments->back().start;
+    } else {
+      segment_start = last_seq + 1;
+    }
+
+    // Boot GC: segments fully folded into the snapshot, snapshot files the
+    // manifest no longer names, and interrupted .tmp writes.
+    auto names = ListDir(dopts.data_dir);
+    WS_RETURN_NOT_OK(names.status());
+    for (const std::string& n : *names) {
+      uint64_t file_gen = 0;
+      if (ParseSnapshotFileName(n, &file_gen) &&
+          file_gen != manifest->generation) {
+        WS_RETURN_NOT_OK(RemoveFile(dopts.data_dir + "/" + n));
+      }
+      if (n.size() > 4 && n.compare(n.size() - 4, 4, ".tmp") == 0) {
+        WS_RETURN_NOT_OK(RemoveFile(dopts.data_dir + "/" + n));
+      }
+    }
+  }
+
+  auto wal = WalWriter::Open(dopts.data_dir, segment_start, last_seq, wopts);
+  WS_RETURN_NOT_OK(wal.status());
+  mgr->dopts_ = dopts;
+  mgr->wal_ = std::move(*wal);
+  mgr->wal_base_seq_ = base_seq;
+  mgr->wal_base_seq_stat_.store(base_seq, std::memory_order_relaxed);
+  mgr->last_seq_ = last_seq;
+  mgr->replayed_ = rec.replayed_batches;
+  mgr->clean_boot_ = rec.clean_shutdown;
+  if (rec.recovered) {
+    // Sweep segments the previous life never got to GC (e.g. a crash right
+    // after the manifest landed but before its truncation pass ran).
+    auto deleted = mgr->wal_->DeleteSegmentsCoveredBy(base_seq);
+    WS_RETURN_NOT_OK(deleted.status());
+    mgr->wal_gc_deleted_.fetch_add(*deleted, std::memory_order_relaxed);
+  }
+  rec.generation = mgr->generation();
+  rec.version = mgr->version();
+  rec.recovery_ms = timer.ElapsedMs();
+  if (info != nullptr) *info = rec;
+  return mgr;
 }
 
 const char* SnapshotManager::compaction_state() const {

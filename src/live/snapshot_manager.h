@@ -23,6 +23,7 @@
 #include "live/delta_overlay.h"
 #include "live/snapshot.h"
 #include "live/update.h"
+#include "live/wal.h"
 #include "obs/metrics.h"
 
 namespace wikisearch::live {
@@ -67,6 +68,51 @@ class SnapshotManager {
   SnapshotManager(const SnapshotManager&) = delete;
   SnapshotManager& operator=(const SnapshotManager&) = delete;
 
+  // --- durable mode (DESIGN.md §12) ---
+
+  struct DurabilityOptions {
+    std::string data_dir;
+    FsyncPolicy fsync_policy = FsyncPolicy::kAlways;
+    /// Flusher period for FsyncPolicy::kInterval.
+    double fsync_interval_ms = 5.0;
+  };
+
+  /// What recovery found when a durable manager was opened.
+  struct RecoveryInfo {
+    bool recovered = false;       // directory held prior durable state
+    bool clean_shutdown = false;  // CLEAN marker found (and consumed)
+    bool wal_tail_torn = false;   // a torn final record was discarded
+    uint64_t replayed_batches = 0;
+    uint64_t generation = 0;      // serving generation after recovery
+    uint64_t version = 0;         // serving version after recovery
+    double recovery_ms = 0.0;
+  };
+
+  /// What an individual durable Apply acknowledged.
+  struct ApplyResult {
+    /// Published version. Reassigned deterministically on recovery; `seq`
+    /// is the durable identity of a batch, version is a cache key.
+    uint64_t version = 0;
+    uint64_t seq = 0;      // WAL sequence number; 0 in memory-only mode
+    /// True iff the record was fsynced before this acknowledgement (always
+    /// under FsyncPolicy::kAlways; opportunistic under kInterval/kNever).
+    bool durable = false;
+  };
+
+  /// True if `data_dir` holds a durable state a prior OpenDurable created
+  /// (i.e. booting will recover instead of starting fresh).
+  static bool HasDurableState(const std::string& data_dir);
+
+  /// Opens (or creates) a durable manager on `dopts.data_dir`. A fresh
+  /// directory persists `graph`/`index` as the generation-1 snapshot; an
+  /// existing one IGNORES them and recovers: loads the manifest's snapshot,
+  /// replays the WAL tail through the ordinary Apply path (tolerating a
+  /// torn final record unless the CLEAN marker promises there is none), and
+  /// resumes. A second recovery of the same directory is idempotent.
+  static Result<std::unique_ptr<SnapshotManager>> OpenDurable(
+      KnowledgeGraph graph, InvertedIndex index, Config cfg,
+      DurabilityOptions dopts, RecoveryInfo* info = nullptr);
+
   /// Lock-free: pins the currently published state.
   std::shared_ptr<const LiveState> Pin() const {
     return state_.load(std::memory_order_acquire);
@@ -77,8 +123,20 @@ class SnapshotManager {
 
   /// Applies one batch atomically and publishes the new overlay state.
   /// Serialized with other mutators; never blocks readers. On rejection
-  /// (validation failure) the published state is unchanged.
-  Status Apply(const UpdateBatch& batch);
+  /// (validation failure) the published state is unchanged. In durable mode
+  /// the batch is WAL-appended before it becomes visible, and a failed
+  /// append rolls the overlay back — the log and the overlay never diverge.
+  Status Apply(const UpdateBatch& batch) { return Apply(batch, nullptr); }
+  Status Apply(const UpdateBatch& batch, ApplyResult* out);
+
+  /// Flushes + fsyncs the WAL through the last appended record (honored
+  /// under every fsync policy). No-op in memory-only mode.
+  Status SyncWal();
+
+  /// Graceful-shutdown hand-off: fsyncs the WAL and writes the CLEAN
+  /// marker. Call only after mutators are drained — a later Apply would
+  /// invalidate the marker's promise (recovery then fails hard).
+  Status ShutdownDurable();
 
   /// Folds the current overlay into a fresh compacted snapshot off the
   /// serving path, then atomically publishes it with a bumped generation.
@@ -99,8 +157,14 @@ class SnapshotManager {
   }
   /// Test-only fault/stall points: "live:apply" (inside the apply lock,
   /// before mutating), "live:fold" (off-lock, before the fold),
-  /// "live:publish" (inside the publish lock, before the swap).
-  void SetFaultHook(FaultHook hook) { fault_ = std::move(hook); }
+  /// "live:publish" (inside the publish lock, before the swap). In durable
+  /// mode the hook is also forwarded to the WAL ("wal:append", "wal:fsync",
+  /// "wal:truncate") and fires at "snap:write" / "snap:rename" /
+  /// "manifest:write" during a durable compaction.
+  void SetFaultHook(FaultHook hook) {
+    fault_ = std::move(hook);
+    if (wal_) wal_->SetFaultHook(fault_);
+  }
   /// Observes ws_live_apply_ms / ws_live_fold_ms / ws_live_publish_ms into
   /// `registry` (null disables). Set before serving.
   void SetMetricRegistry(obs::MetricRegistry* registry) {
@@ -127,9 +191,32 @@ class SnapshotManager {
   double last_fold_ms() const { return last_fold_ms_.load(); }
   double last_publish_ms() const { return last_publish_ms_.load(); }
 
+  // -- durable-mode stats (zero / false in memory-only mode) --
+  bool durable() const { return wal_ != nullptr; }
+  const DurabilityOptions& durability_options() const { return dopts_; }
+  uint64_t wal_last_seq() const { return wal_ ? wal_->written_seq() : 0; }
+  uint64_t wal_synced_seq() const { return wal_ ? wal_->synced_seq() : 0; }
+  uint64_t wal_appends() const { return wal_ ? wal_->appends_total() : 0; }
+  uint64_t wal_fsyncs() const { return wal_ ? wal_->fsyncs_total() : 0; }
+  uint64_t wal_bytes() const { return wal_ ? wal_->bytes_written() : 0; }
+  uint64_t wal_rotations() const { return wal_ ? wal_->rotations_total() : 0; }
+  uint64_t wal_segments_deleted() const { return wal_gc_deleted_.load(); }
+  /// Last WAL sequence folded into the durable snapshot (manifest's
+  /// truncation point).
+  uint64_t wal_base_seq() const { return wal_base_seq_stat_.load(); }
+  uint64_t manifest_generation() const { return manifest_gen_.load(); }
+  uint64_t replayed_batches() const { return replayed_; }
+  bool clean_boot() const { return clean_boot_; }
+
   const Config& config() const { return cfg_; }
 
  private:
+  /// The real constructor: adopts an already-materialized snapshot and the
+  /// version/generation to resume at (1/1 for a fresh KB; the recovered
+  /// values when OpenDurable replays a directory).
+  SnapshotManager(GraphSnapshot snap, Config cfg, uint64_t version,
+                  uint64_t generation);
+
   std::shared_ptr<const GraphSnapshot> WrapSnapshot(GraphSnapshot&& snap);
   void ObserveMs(const char* name, double ms);
 
@@ -160,6 +247,20 @@ class SnapshotManager {
   std::atomic<int> compaction_phase_{0};  // 0 idle, 1 folding, 2 publishing
   std::atomic<double> last_fold_ms_{0.0};
   std::atomic<double> last_publish_ms_{0.0};
+
+  // --- durable mode (all null/zero in memory-only managers) ---
+  DurabilityOptions dopts_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Last WAL sequence folded into the current base snapshot; the next
+  /// Apply appends wal_base_seq_ + overlay depth + 1. Guarded by update_mu_.
+  uint64_t wal_base_seq_ = 0;
+  /// Last appended WAL sequence. Guarded by update_mu_.
+  uint64_t last_seq_ = 0;
+  std::atomic<uint64_t> wal_base_seq_stat_{0};  // wal_base_seq_ for /stats
+  std::atomic<uint64_t> manifest_gen_{0};
+  std::atomic<uint64_t> wal_gc_deleted_{0};
+  uint64_t replayed_ = 0;    // set before serving
+  bool clean_boot_ = false;  // set before serving
 };
 
 }  // namespace wikisearch::live

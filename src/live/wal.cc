@@ -1,0 +1,384 @@
+#include "live/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/fsio.h"
+#include "common/logging.h"
+
+namespace wikisearch::live {
+
+namespace {
+
+// Record header: payload length, checksum over (seq ‖ payload), sequence.
+constexpr size_t kHeaderBytes = sizeof(uint32_t) * 2 + sizeof(uint64_t);
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+struct Cursor {
+  std::string_view data;
+  size_t pos = 0;
+
+  bool Take(void* dst, size_t n) {
+    if (data.size() - pos < n) return false;
+    std::memcpy(dst, data.data() + pos, n);
+    pos += n;
+    return true;
+  }
+  bool TakeString(std::string* s) {
+    uint32_t len = 0;
+    if (!Take(&len, sizeof(len))) return false;
+    if (data.size() - pos < len) return false;
+    s->assign(data.data() + pos, len);
+    pos += len;
+    return true;
+  }
+};
+
+uint32_t RecordCrc(uint64_t seq, std::string_view payload) {
+  uint32_t crc = Crc32(&seq, sizeof(seq));
+  return Crc32(payload.data(), payload.size(), crc);
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kNever:
+      return "never";
+  }
+  return "?";
+}
+
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "always") return FsyncPolicy::kAlways;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "never") return FsyncPolicy::kNever;
+  return Status::InvalidArgument("unknown fsync policy: " + name +
+                                 " (expected always|interval|never)");
+}
+
+void EncodeBatch(const UpdateBatch& batch, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(batch.add.size()));
+  PutU32(out, static_cast<uint32_t>(batch.remove.size()));
+  PutU32(out, static_cast<uint32_t>(batch.text.size()));
+  for (const TripleOp& t : batch.add) {
+    PutString(out, t.subject);
+    PutString(out, t.predicate);
+    PutString(out, t.object);
+  }
+  for (const TripleOp& t : batch.remove) {
+    PutString(out, t.subject);
+    PutString(out, t.predicate);
+    PutString(out, t.object);
+  }
+  for (const TextOp& t : batch.text) {
+    PutString(out, t.node);
+    PutString(out, t.text);
+  }
+}
+
+Status DecodeBatch(std::string_view data, UpdateBatch* out) {
+  Cursor c{data};
+  uint32_t na = 0, nr = 0, nt = 0;
+  if (!c.Take(&na, sizeof(na)) || !c.Take(&nr, sizeof(nr)) ||
+      !c.Take(&nt, sizeof(nt))) {
+    return Status::Corruption("batch payload too short for op counts");
+  }
+  out->add.resize(na);
+  out->remove.resize(nr);
+  out->text.resize(nt);
+  for (TripleOp& t : out->add) {
+    if (!c.TakeString(&t.subject) || !c.TakeString(&t.predicate) ||
+        !c.TakeString(&t.object)) {
+      return Status::Corruption("batch payload truncated in add ops");
+    }
+  }
+  for (TripleOp& t : out->remove) {
+    if (!c.TakeString(&t.subject) || !c.TakeString(&t.predicate) ||
+        !c.TakeString(&t.object)) {
+      return Status::Corruption("batch payload truncated in remove ops");
+    }
+  }
+  for (TextOp& t : out->text) {
+    if (!c.TakeString(&t.node) || !c.TakeString(&t.text)) {
+      return Status::Corruption("batch payload truncated in text ops");
+    }
+  }
+  if (c.pos != data.size()) {
+    return Status::Corruption("batch payload has trailing bytes");
+  }
+  return Status::OK();
+}
+
+std::string WalSegmentName(uint64_t start_seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", start_seq);
+  return buf;
+}
+
+Result<std::vector<WalSegment>> ListWalSegments(const std::string& dir) {
+  auto names = ListDir(dir);
+  WS_RETURN_NOT_OK(names.status());
+  std::vector<WalSegment> out;
+  for (const std::string& n : *names) {
+    uint64_t start = 0;
+    char tail = 0;
+    // Exact-shape match: "wal-" + 20 digits + ".log".
+    if (n.size() == 4 + 20 + 4 &&
+        std::sscanf(n.c_str(), "wal-%20" SCNu64 ".lo%c", &start, &tail) == 2 &&
+        tail == 'g') {
+      out.push_back(WalSegment{start, dir + "/" + n});
+    }
+  }
+  // ListDir sorts lexicographically == numerically for zero-padded names.
+  return out;
+}
+
+Result<WalReadResult> ReadWalFile(const std::string& path) {
+  std::string data;
+  WS_RETURN_NOT_OK(ReadFileToString(path, &data));
+  WalReadResult out;
+  size_t pos = 0;
+  auto torn = [&](const std::string& why) {
+    out.torn = true;
+    out.diagnostic = path + ": " + why + " at offset " + std::to_string(pos) +
+                     " (file size " + std::to_string(data.size()) + ")";
+    out.valid_bytes = pos;
+    return out;
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < kHeaderBytes) {
+      return torn("truncated record header");
+    }
+    uint32_t len = 0, crc = 0;
+    uint64_t seq = 0;
+    std::memcpy(&len, data.data() + pos, sizeof(len));
+    std::memcpy(&crc, data.data() + pos + 4, sizeof(crc));
+    std::memcpy(&seq, data.data() + pos + 8, sizeof(seq));
+    if (len > kMaxPayloadBytes) {
+      return torn("implausible payload length " + std::to_string(len));
+    }
+    if (data.size() - pos - kHeaderBytes < len) {
+      return torn("truncated payload (want " + std::to_string(len) +
+                  " bytes, have " +
+                  std::to_string(data.size() - pos - kHeaderBytes) + ")");
+    }
+    std::string_view payload(data.data() + pos + kHeaderBytes, len);
+    if (RecordCrc(seq, payload) != crc) {
+      return torn("checksum mismatch for seq " + std::to_string(seq));
+    }
+    // A checksum-valid record that doesn't decode cannot be produced by
+    // truncation — it is real corruption, not a torn tail.
+    WalRecord rec;
+    rec.seq = seq;
+    Status st = DecodeBatch(payload, &rec.batch);
+    if (!st.ok()) {
+      return Status::Corruption(path + ": seq " + std::to_string(seq) + ": " +
+                                st.message());
+    }
+    out.records.push_back(std::move(rec));
+    pos += kHeaderBytes + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+WalWriter::WalWriter(std::string dir, uint64_t segment_start,
+                     uint64_t last_seq, WalOptions opts)
+    : dir_(std::move(dir)), opts_(opts), segment_start_(segment_start) {
+  written_seq_.store(last_seq, std::memory_order_relaxed);
+  synced_seq_.store(last_seq, std::memory_order_relaxed);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   uint64_t segment_start,
+                                                   uint64_t last_seq,
+                                                   const WalOptions& opts) {
+  std::unique_ptr<WalWriter> w(
+      new WalWriter(dir, segment_start, last_seq, opts));
+  const std::string path = dir + "/" + WalSegmentName(segment_start);
+  // Append mode: recovery reopens the (truncated-to-valid) tail segment and
+  // continues it; a fresh directory creates segment 1.
+  w->fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (w->fd_ < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  WS_RETURN_NOT_OK(FsyncDir(dir));  // make the segment's creation durable
+  if (opts.policy == FsyncPolicy::kInterval) w->StartFlusher();
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(stop_mu_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    flusher_.join();
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::SetFaultHook(FaultHook hook) { fault_ = std::move(hook); }
+
+Status WalWriter::Append(uint64_t seq, const UpdateBatch& batch) {
+  WS_CHECK(seq == written_seq_.load(std::memory_order_relaxed) + 1);
+  encode_buf_.clear();
+  encode_buf_.resize(kHeaderBytes);
+  EncodeBatch(batch, &encode_buf_);
+  const uint32_t len =
+      static_cast<uint32_t>(encode_buf_.size() - kHeaderBytes);
+  const uint32_t crc = RecordCrc(
+      seq, std::string_view(encode_buf_.data() + kHeaderBytes, len));
+  std::memcpy(encode_buf_.data(), &len, sizeof(len));
+  std::memcpy(encode_buf_.data() + 4, &crc, sizeof(crc));
+  std::memcpy(encode_buf_.data() + 8, &seq, sizeof(seq));
+  if (fault_) fault_("wal:append");
+  size_t off = 0;
+  while (off < encode_buf_.size()) {
+    ssize_t n = ::write(fd_, encode_buf_.data() + off,
+                        encode_buf_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Chop any partially written bytes so the segment tail stays a clean
+      // record boundary for later appends; if even that fails, a restart
+      // recovers via the torn-tail path.
+      Status st = Status::IoError(std::string("wal append write: ") +
+                                  std::strerror(errno));
+      off_t end = ::lseek(fd_, 0, SEEK_END);
+      if (end >= static_cast<off_t>(off)) {
+        (void)::ftruncate(fd_, end - static_cast<off_t>(off));
+      }
+      return st;
+    }
+    off += static_cast<size_t>(n);
+  }
+  written_seq_.store(seq, std::memory_order_release);
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(encode_buf_.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status WalWriter::SyncLocked(bool foreground) {
+  const uint64_t target = written_seq_.load(std::memory_order_acquire);
+  if (synced_seq_.load(std::memory_order_relaxed) >= target) {
+    return Status::OK();
+  }
+  if (foreground && fault_) fault_("wal:fsync");
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal fsync: ") + std::strerror(errno));
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  synced_seq_.store(target, std::memory_order_release);
+  return Status::OK();
+}
+
+Status WalWriter::SyncTo(uint64_t seq) {
+  if (opts_.policy == FsyncPolicy::kNever) return Status::OK();
+  if (synced_seq_.load(std::memory_order_acquire) >= seq) return Status::OK();
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  WS_RETURN_NOT_OK(flusher_error_);
+  if (synced_seq_.load(std::memory_order_relaxed) >= seq) return Status::OK();
+  return SyncLocked(/*foreground=*/true);
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  WS_RETURN_NOT_OK(flusher_error_);
+  return SyncLocked(/*foreground=*/true);
+}
+
+Status WalWriter::Rotate(uint64_t next_start) {
+  if (segment_start_ == next_start) return Status::OK();  // still empty
+  WS_CHECK(next_start == written_seq_.load(std::memory_order_relaxed) + 1);
+  std::lock_guard<std::mutex> lk(sync_mu_);
+  // The closing segment is fsynced unconditionally (even under kNever):
+  // rotation precedes a manifest that implies this data is on disk, and any
+  // in-flight SyncTo waiter must never fsync a swapped fd.
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(std::string("wal rotate fsync: ") +
+                           std::strerror(errno));
+  }
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+  synced_seq_.store(written_seq_.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+  const std::string path = dir_ + "/" + WalSegmentName(next_start);
+  int nfd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                   0644);
+  if (nfd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  WS_RETURN_NOT_OK(FsyncDir(dir_));
+  ::close(fd_);
+  fd_ = nfd;
+  segment_start_ = next_start;
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::DeleteSegmentsCoveredBy(uint64_t last_included) {
+  if (fault_) fault_("wal:truncate");
+  auto segs = ListWalSegments(dir_);
+  WS_RETURN_NOT_OK(segs.status());
+  uint64_t deleted = 0;
+  for (size_t i = 0; i + 1 < segs->size(); ++i) {
+    const WalSegment& s = (*segs)[i];
+    // Deletable iff every record in it is folded into the snapshot: its own
+    // start is covered and the next segment starts at or before
+    // last_included+1 (so no record here can exceed last_included).
+    if (s.start == segment_start_) continue;  // never the open segment
+    if (s.start <= last_included && (*segs)[i + 1].start <= last_included + 1) {
+      WS_RETURN_NOT_OK(RemoveFile(s.path));
+      ++deleted;
+    }
+  }
+  if (deleted > 0) WS_RETURN_NOT_OK(FsyncDir(dir_));
+  return deleted;
+}
+
+void WalWriter::StartFlusher() {
+  flusher_ = std::thread([this] {
+    const auto period = std::chrono::duration<double, std::milli>(
+        opts_.interval_ms <= 0.0 ? 1.0 : opts_.interval_ms);
+    std::unique_lock<std::mutex> lk(stop_mu_);
+    while (!stop_) {
+      stop_cv_.wait_for(lk, period, [this] { return stop_; });
+      if (stop_) break;
+      lk.unlock();
+      {
+        std::lock_guard<std::mutex> sl(sync_mu_);
+        if (flusher_error_.ok()) {
+          // Background sync skips the fault hook: a test crash exception
+          // must not escape on a detached thread.
+          Status st = SyncLocked(/*foreground=*/false);
+          if (!st.ok()) flusher_error_ = st;
+        }
+      }
+      lk.lock();
+    }
+  });
+}
+
+}  // namespace wikisearch::live

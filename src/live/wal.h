@@ -1,0 +1,190 @@
+// Write-ahead log for live updates (DESIGN.md §12). Every accepted
+// UpdateBatch is appended — length-prefixed, CRC32-checksummed, and
+// monotonically sequenced — *before* the new overlay state becomes visible,
+// so a crash can lose at most un-acknowledged work.
+//
+// On-disk layout: the data directory holds segment files named
+// `wal-<start>.log` where <start> is the zero-padded sequence number of the
+// segment's first record. Each record is:
+//
+//   uint32 payload_len | uint32 crc32(seq ‖ payload) | uint64 seq | payload
+//
+// with the payload a self-contained encoding of one UpdateBatch. Records
+// never span segments. A torn final record (crash mid-append) is detected by
+// the length/CRC and discarded by recovery; anything before it is intact.
+//
+// Group commit: Append() only issues the write(2); acknowledgement-time
+// durability is SyncTo(seq), which fsyncs once on behalf of every append
+// that raced in before it (leader/follower on an internal mutex). The fsync
+// policy knob decides who calls it: `always` syncs before every ack,
+// `interval_ms` runs a background flusher, `never` leaves it to the OS.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/search_options.h"
+#include "live/update.h"
+
+namespace wikisearch::live {
+
+/// When an acknowledged Apply is guaranteed to survive a machine crash.
+enum class FsyncPolicy {
+  kAlways,    // fsync before every acknowledgement (group commit)
+  kInterval,  // background fsync every interval_ms; bounded loss window
+  kNever,     // write(2) only; survives process crash, not power loss
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+Result<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
+struct WalOptions {
+  FsyncPolicy policy = FsyncPolicy::kAlways;
+  /// Flusher period for FsyncPolicy::kInterval, in milliseconds.
+  double interval_ms = 5.0;
+};
+
+/// Serializes `batch` into `*out` (appending) in the WAL payload format.
+void EncodeBatch(const UpdateBatch& batch, std::string* out);
+
+/// Inverse of EncodeBatch over exactly `data`; Corruption on any mismatch.
+Status DecodeBatch(std::string_view data, UpdateBatch* out);
+
+/// Segment file name for a given first-record sequence number
+/// ("wal-00000000000000000001.log" — zero-padded so lexicographic order is
+/// numeric order).
+std::string WalSegmentName(uint64_t start_seq);
+
+struct WalSegment {
+  uint64_t start = 0;   // sequence number of the segment's first record
+  std::string path;
+};
+
+/// WAL segments present in `dir`, sorted by start sequence. Non-WAL names
+/// are ignored.
+Result<std::vector<WalSegment>> ListWalSegments(const std::string& dir);
+
+struct WalRecord {
+  uint64_t seq = 0;
+  UpdateBatch batch;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;  // whole, checksum-valid records in order
+  uint64_t valid_bytes = 0;        // file offset just past the last good record
+  bool torn = false;               // trailing bytes that don't form a record
+  std::string diagnostic;          // human-readable reason when torn
+};
+
+/// Scans one segment file. Stops at the first record whose header, length,
+/// or checksum doesn't hold and reports it via `torn`/`diagnostic` — every
+/// record *returned* is whole and checksum-valid. Only a decode failure of a
+/// checksum-valid payload (impossible by truncation) is a hard error.
+Result<WalReadResult> ReadWalFile(const std::string& path);
+
+/// Appender for the currently open segment. Thread compatibility: Append()
+/// and Rotate() must be externally serialized (SnapshotManager calls them
+/// under its update lock); Sync()/SyncTo() may be called concurrently from
+/// any thread.
+class WalWriter {
+ public:
+  /// Opens segment `wal-<segment_start>.log` in `dir` for appending
+  /// (creating it if absent — recovery reopens the tail segment, a fresh
+  /// directory starts at segment 1). `last_seq` is the most recent sequence
+  /// number already on disk (0 if none); Append expects last_seq+1 next.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 uint64_t segment_start,
+                                                 uint64_t last_seq,
+                                                 const WalOptions& opts);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends record `seq` (must be exactly written_seq()+1). Issues the
+  /// write(2) but no fsync. Fault point "wal:append" fires before the write.
+  Status Append(uint64_t seq, const UpdateBatch& batch);
+
+  /// Group commit: returns once every record up to `seq` is fsynced. The
+  /// caller that takes the sync lock flushes through the current write
+  /// frontier, so concurrent acknowledgers share one fsync. Fault point
+  /// "wal:fsync" fires before the fsync. No-op under FsyncPolicy::kNever.
+  Status SyncTo(uint64_t seq);
+
+  /// Fsyncs everything written so far (shutdown / manual flush). Honored
+  /// under every policy, including kNever.
+  Status Sync();
+
+  /// Closes the current segment (fsyncing it unconditionally, so no later
+  /// manifest can reference data that isn't durable) and starts
+  /// `wal-<next_start>.log`. No-op if the current segment is still empty.
+  /// Serialized with Append by the caller.
+  Status Rotate(uint64_t next_start);
+
+  /// Deletes every segment whose records all have seq <= last_included
+  /// (provable from the *next* segment's start; the open segment is never
+  /// deleted). Fault point "wal:truncate" fires before the first unlink.
+  /// Returns the number of segments deleted.
+  Result<uint64_t> DeleteSegmentsCoveredBy(uint64_t last_included);
+
+  void SetFaultHook(FaultHook hook);
+
+  uint64_t written_seq() const {
+    return written_seq_.load(std::memory_order_acquire);
+  }
+  uint64_t synced_seq() const {
+    return synced_seq_.load(std::memory_order_acquire);
+  }
+  uint64_t segment_start() const { return segment_start_; }
+  uint64_t appends_total() const { return appends_.load(); }
+  uint64_t fsyncs_total() const { return fsyncs_.load(); }
+  uint64_t bytes_written() const { return bytes_.load(); }
+  uint64_t rotations_total() const { return rotations_.load(); }
+  const WalOptions& options() const { return opts_; }
+
+ private:
+  WalWriter(std::string dir, uint64_t segment_start, uint64_t last_seq,
+            WalOptions opts);
+
+  /// Fsync through the current write frontier; sync_mu_ must be held.
+  /// Background (flusher) syncs skip the fault hook so a test crash point
+  /// can't escape on a detached thread.
+  Status SyncLocked(bool foreground);
+  void StartFlusher();
+
+  const std::string dir_;
+  const WalOptions opts_;
+  FaultHook fault_;  // set before serving; read from mutator threads
+
+  // fd_ is written only under BOTH the caller's append serialization and
+  // sync_mu_ (Rotate); Append reads it append-serialized, syncs read it
+  // under sync_mu_.
+  int fd_ = -1;
+  uint64_t segment_start_ = 0;
+
+  std::atomic<uint64_t> written_seq_{0};
+  std::atomic<uint64_t> synced_seq_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> rotations_{0};
+
+  std::mutex sync_mu_;
+  Status flusher_error_;  // guarded by sync_mu_; surfaced on next sync
+  std::thread flusher_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+
+  std::string encode_buf_;  // Append scratch; append-serialized like fd_
+};
+
+}  // namespace wikisearch::live

@@ -418,6 +418,37 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
     w.UInt(live_->snapshots_live());
     w.Key("compaction_state");
     w.String(live_->compaction_state());
+    w.Key("durable");
+    w.Bool(live_->durable());
+    if (live_->durable()) {
+      w.Key("fsync_policy");
+      w.String(live::FsyncPolicyName(live_->durability_options().fsync_policy));
+      w.Key("clean_boot");
+      w.Bool(live_->clean_boot());
+      w.Key("replayed_batches");
+      w.UInt(live_->replayed_batches());
+      w.Key("wal");
+      w.BeginObject();
+      w.Key("last_seq");
+      w.UInt(live_->wal_last_seq());
+      w.Key("synced_seq");
+      w.UInt(live_->wal_synced_seq());
+      w.Key("base_seq");
+      w.UInt(live_->wal_base_seq());
+      w.Key("appends");
+      w.UInt(live_->wal_appends());
+      w.Key("fsyncs");
+      w.UInt(live_->wal_fsyncs());
+      w.Key("bytes");
+      w.UInt(live_->wal_bytes());
+      w.Key("rotations");
+      w.UInt(live_->wal_rotations());
+      w.Key("segments_deleted");
+      w.UInt(live_->wal_segments_deleted());
+      w.EndObject();
+      w.Key("manifest_generation");
+      w.UInt(live_->manifest_generation());
+    }
     w.EndObject();
   }
   w.Key("cache");
@@ -549,6 +580,24 @@ void SearchService::RefreshScrapeMetrics() {
         ->Set(static_cast<double>(live_->version()));
     metrics_->GetGauge("ws_live_snapshots_live")
         ->Set(static_cast<double>(live_->snapshots_live()));
+    if (live_->durable()) {
+      metrics_->GetCounter("ws_wal_appends_total")
+          ->AdvanceTo(live_->wal_appends());
+      metrics_->GetCounter("ws_wal_fsyncs_total")
+          ->AdvanceTo(live_->wal_fsyncs());
+      metrics_->GetCounter("ws_wal_bytes_written_total")
+          ->AdvanceTo(live_->wal_bytes());
+      metrics_->GetCounter("ws_wal_rotations_total")
+          ->AdvanceTo(live_->wal_rotations());
+      metrics_->GetCounter("ws_wal_segments_deleted_total")
+          ->AdvanceTo(live_->wal_segments_deleted());
+      metrics_->GetGauge("ws_wal_last_seq")
+          ->Set(static_cast<double>(live_->wal_last_seq()));
+      metrics_->GetGauge("ws_wal_synced_seq")
+          ->Set(static_cast<double>(live_->wal_synced_seq()));
+      metrics_->GetGauge("ws_wal_base_seq")
+          ->Set(static_cast<double>(live_->wal_base_seq()));
+    }
   }
 }
 
@@ -575,7 +624,8 @@ HttpResponse SearchService::HandleUpdate(const HttpRequest& req) {
     errors_total_->Inc();
     return HttpResponse::BadRequest(batch.status().ToString() + "\n");
   }
-  Status st = live_->Apply(*batch);
+  live::SnapshotManager::ApplyResult applied;
+  Status st = live_->Apply(*batch, &applied);
   if (!st.ok()) {
     errors_total_->Inc();
     JsonWriter w;
@@ -583,13 +633,35 @@ HttpResponse SearchService::HandleUpdate(const HttpRequest& req) {
     w.Key("error");
     w.String(st.ToString());
     w.EndObject();
-    // The whole batch was rejected atomically: nothing became visible.
-    int status = st.code() == StatusCode::kNotFound ? 404 : 400;
+    // The whole batch was rejected atomically: nothing became visible. An
+    // IO failure (durable mode: WAL append/fsync) is the server's fault,
+    // not the client's.
+    int status = st.code() == StatusCode::kNotFound    ? 404
+                 : st.code() == StatusCode::kIoError   ? 500
+                 : st.code() == StatusCode::kCorruption ? 500
+                                                        : 400;
     return HttpResponse{status, "application/json", std::move(w).Take(), {}};
   }
   if (req.Param("compact") == "1") {
     Status cst = live_->CompactOnce();
-    WS_CHECK(cst.ok());  // CompactOnce only fails via fault injection
+    if (!cst.ok()) {
+      // The apply itself succeeded (and was acknowledged durable per
+      // `applied`); only the synchronous compaction failed — in durable
+      // mode that is a real IO outcome, not just fault injection.
+      errors_total_->Inc();
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("error");
+      w.String("compaction failed: " + cst.ToString());
+      w.Key("version");
+      w.UInt(applied.version);
+      w.Key("seq");
+      w.UInt(applied.seq);
+      w.Key("durable");
+      w.Bool(applied.durable);
+      w.EndObject();
+      return HttpResponse{500, "application/json", std::move(w).Take(), {}};
+    }
   }
   JsonWriter w;
   w.BeginObject();
@@ -600,11 +672,18 @@ HttpResponse SearchService::HandleUpdate(const HttpRequest& req) {
   w.Key("text_ops");
   w.UInt(batch->text.size());
   w.Key("version");
-  w.UInt(live_->version());
+  w.UInt(applied.version);
   w.Key("generation");
   w.UInt(live_->generation());
   w.Key("overlay_batches");
   w.UInt(live_->overlay_depth());
+  // Durability contract (README): `durable` is whether this batch was
+  // fsynced before the acknowledgement; `seq` is its WAL identity (0 in
+  // memory-only deployments).
+  w.Key("seq");
+  w.UInt(applied.seq);
+  w.Key("durable");
+  w.Bool(applied.durable);
   w.EndObject();
   return HttpResponse::Json(std::move(w).Take());
 }

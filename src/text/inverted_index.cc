@@ -114,64 +114,79 @@ Status ReadAll(std::FILE* f, void* data, size_t n) {
 
 }  // namespace
 
-Status InvertedIndex::Save(const std::string& path) const {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IoError("cannot open for write: " + path);
-  WS_RETURN_NOT_OK(WriteAll(f.get(), kIndexMagic, sizeof(kIndexMagic)));
+Status InvertedIndex::SaveTo(std::FILE* f) const {
+  WS_RETURN_NOT_OK(WriteAll(f, kIndexMagic, sizeof(kIndexMagic)));
   uint8_t flags[3] = {opts_.lowercase, opts_.remove_stopwords, opts_.stem};
-  WS_RETURN_NOT_OK(WriteAll(f.get(), flags, sizeof(flags)));
+  WS_RETURN_NOT_OK(WriteAll(f, flags, sizeof(flags)));
   uint64_t lens[2] = {opts_.min_token_len, opts_.max_token_len};
-  WS_RETURN_NOT_OK(WriteAll(f.get(), lens, sizeof(lens)));
+  WS_RETURN_NOT_OK(WriteAll(f, lens, sizeof(lens)));
   uint64_t num_terms = postings_.size();
-  WS_RETURN_NOT_OK(WriteAll(f.get(), &num_terms, sizeof(num_terms)));
+  WS_RETURN_NOT_OK(WriteAll(f, &num_terms, sizeof(num_terms)));
   for (const auto& [term, list] : postings_) {
     uint32_t tlen = static_cast<uint32_t>(term.size());
     uint64_t plen = list.size();
-    WS_RETURN_NOT_OK(WriteAll(f.get(), &tlen, sizeof(tlen)));
-    WS_RETURN_NOT_OK(WriteAll(f.get(), term.data(), tlen));
-    WS_RETURN_NOT_OK(WriteAll(f.get(), &plen, sizeof(plen)));
-    WS_RETURN_NOT_OK(
-        WriteAll(f.get(), list.data(), plen * sizeof(NodeId)));
+    WS_RETURN_NOT_OK(WriteAll(f, &tlen, sizeof(tlen)));
+    WS_RETURN_NOT_OK(WriteAll(f, term.data(), tlen));
+    WS_RETURN_NOT_OK(WriteAll(f, &plen, sizeof(plen)));
+    WS_RETURN_NOT_OK(WriteAll(f, list.data(), plen * sizeof(NodeId)));
   }
   return Status::OK();
+}
+
+Result<InvertedIndex> InvertedIndex::LoadFrom(std::FILE* f) {
+  char magic[4];
+  WS_RETURN_NOT_OK(ReadAll(f, magic, sizeof(magic)));
+  if (std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return Status::Corruption("bad magic; not a WSIX section");
+  }
+  InvertedIndex index;
+  uint8_t flags[3];
+  WS_RETURN_NOT_OK(ReadAll(f, flags, sizeof(flags)));
+  index.opts_.lowercase = flags[0];
+  index.opts_.remove_stopwords = flags[1];
+  index.opts_.stem = flags[2];
+  uint64_t lens[2];
+  WS_RETURN_NOT_OK(ReadAll(f, lens, sizeof(lens)));
+  index.opts_.min_token_len = lens[0];
+  index.opts_.max_token_len = lens[1];
+  uint64_t num_terms = 0;
+  WS_RETURN_NOT_OK(ReadAll(f, &num_terms, sizeof(num_terms)));
+  if (num_terms > (1ULL << 30)) return Status::Corruption("implausible size");
+  for (uint64_t t = 0; t < num_terms; ++t) {
+    uint32_t tlen = 0;
+    WS_RETURN_NOT_OK(ReadAll(f, &tlen, sizeof(tlen)));
+    if (tlen > (1u << 20)) return Status::Corruption("implausible term");
+    std::string term(tlen, '\0');
+    WS_RETURN_NOT_OK(ReadAll(f, term.data(), tlen));
+    uint64_t plen = 0;
+    WS_RETURN_NOT_OK(ReadAll(f, &plen, sizeof(plen)));
+    if (plen > (1ULL << 32)) return Status::Corruption("implausible list");
+    std::vector<NodeId> list(plen);
+    WS_RETURN_NOT_OK(ReadAll(f, list.data(), plen * sizeof(NodeId)));
+    index.total_postings_ += list.size();
+    index.postings_.emplace(std::move(term), std::move(list));
+  }
+  return index;
+}
+
+Status InvertedIndex::Save(const std::string& path) const {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IoError("cannot open for write: " + path);
+  return SaveTo(f.get());
 }
 
 Result<InvertedIndex> InvertedIndex::Load(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IoError("cannot open for read: " + path);
-  char magic[4];
-  WS_RETURN_NOT_OK(ReadAll(f.get(), magic, sizeof(magic)));
-  if (std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) != 0) {
-    return Status::Corruption("bad magic; not a WSIX file: " + path);
+  Result<InvertedIndex> r = LoadFrom(f.get());
+  if (!r.ok()) {
+    Status st = r.status();
+    if (st.code() == StatusCode::kCorruption) {
+      return Status::Corruption(st.message() + ": " + path);
+    }
+    return Status::IoError(st.message() + ": " + path);
   }
-  InvertedIndex index;
-  uint8_t flags[3];
-  WS_RETURN_NOT_OK(ReadAll(f.get(), flags, sizeof(flags)));
-  index.opts_.lowercase = flags[0];
-  index.opts_.remove_stopwords = flags[1];
-  index.opts_.stem = flags[2];
-  uint64_t lens[2];
-  WS_RETURN_NOT_OK(ReadAll(f.get(), lens, sizeof(lens)));
-  index.opts_.min_token_len = lens[0];
-  index.opts_.max_token_len = lens[1];
-  uint64_t num_terms = 0;
-  WS_RETURN_NOT_OK(ReadAll(f.get(), &num_terms, sizeof(num_terms)));
-  if (num_terms > (1ULL << 30)) return Status::Corruption("implausible size");
-  for (uint64_t t = 0; t < num_terms; ++t) {
-    uint32_t tlen = 0;
-    WS_RETURN_NOT_OK(ReadAll(f.get(), &tlen, sizeof(tlen)));
-    if (tlen > (1u << 20)) return Status::Corruption("implausible term");
-    std::string term(tlen, '\0');
-    WS_RETURN_NOT_OK(ReadAll(f.get(), term.data(), tlen));
-    uint64_t plen = 0;
-    WS_RETURN_NOT_OK(ReadAll(f.get(), &plen, sizeof(plen)));
-    if (plen > (1ULL << 32)) return Status::Corruption("implausible list");
-    std::vector<NodeId> list(plen);
-    WS_RETURN_NOT_OK(ReadAll(f.get(), list.data(), plen * sizeof(NodeId)));
-    index.total_postings_ += list.size();
-    index.postings_.emplace(std::move(term), std::move(list));
-  }
-  return index;
+  return r;
 }
 
 size_t InvertedIndex::MemoryBytes() const {

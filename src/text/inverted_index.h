@@ -4,6 +4,7 @@
 // stresses that, unlike BLINKS, no keyword-distance precomputation is needed.
 #pragma once
 
+#include <cstdio>
 #include <span>
 #include <string>
 
@@ -68,6 +69,12 @@ class InvertedIndex {
   /// binary file, so services can skip the build on startup.
   Status Save(const std::string& path) const;
   static Result<InvertedIndex> Load(const std::string& path);
+
+  /// Stream variants writing/reading the same "WSIX" section at the current
+  /// file position — used to embed the index inside a larger snapshot file
+  /// (live durability layer).
+  Status SaveTo(std::FILE* f) const;
+  static Result<InvertedIndex> LoadFrom(std::FILE* f);
 
  private:
   AnalyzerOptions opts_;

@@ -1,0 +1,537 @@
+// Crash-recovery suite (DESIGN.md §12). The contract under test: a durable
+// SnapshotManager killed at ANY fault point recovers to a whole-batch
+// boundary — at least every acknowledged batch, never a torn one — and the
+// recovered KB answers queries byte-identically, across all four engine
+// kinds, to a memory-only manager replaying the same prefix. Crashes are
+// simulated by a fault hook that throws; the manager object is then
+// abandoned exactly as a dead process would abandon it, and a second
+// OpenDurable must put the directory back in service.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fsio.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "live/manifest.h"
+#include "live/persist.h"
+#include "live/snapshot_manager.h"
+#include "live/wal.h"
+#include "server/search_service.h"
+#include "test_util.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch {
+namespace {
+
+using live::FsyncPolicy;
+using live::SnapshotManager;
+using live::UpdateBatch;
+using testing::TempDir;
+
+constexpr size_t kDistancePairs = 200;
+constexpr uint64_t kDistanceSeed = 7;
+
+SnapshotManager::Config ManagerConfig() {
+  SnapshotManager::Config cfg;
+  cfg.distance_pairs = kDistancePairs;
+  cfg.distance_seed = kDistanceSeed;
+  cfg.compact_threshold_batches = 0;  // tests compact explicitly
+  return cfg;
+}
+
+struct SmallKb {
+  KnowledgeGraph graph;
+  InvertedIndex index;
+};
+
+SmallKb MakeKb() {
+  SmallKb kb;
+  kb.graph = testing::MakeGraph(
+      12, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8},
+           {8, 9}, {9, 10}, {10, 11}, {11, 0}, {0, 6}, {2, 9}, {4, 11}});
+  AttachNodeWeights(&kb.graph);
+  AttachAverageDistance(&kb.graph, kDistancePairs, kDistanceSeed);
+  kb.index = InvertedIndex::Build(kb.graph);
+  return kb;
+}
+
+/// Deterministic batch stream: every batch adds an overlay-born node wired
+/// into the base ring (searchable by name), odd batches attach extra text,
+/// every third batch removes the previous batch's hub edge.
+UpdateBatch NthBatch(int i) {
+  UpdateBatch b;
+  live::TripleOp add;
+  add.subject = "crash" + std::to_string(i);
+  add.predicate = "rel";
+  add.object = "n" + std::to_string(i % 12);
+  b.add.push_back(add);
+  live::TripleOp hub;
+  hub.subject = "n" + std::to_string((i + 3) % 12);
+  hub.predicate = "linksTo";
+  hub.object = "crash" + std::to_string(i);
+  b.add.push_back(hub);
+  if (i % 2 == 1) {
+    live::TextOp t;
+    t.node = "crash" + std::to_string(i);
+    t.text = "payload token" + std::to_string(i);
+    b.text.push_back(t);
+  }
+  if (i % 3 == 0 && i > 1) {
+    live::TripleOp rm;
+    rm.subject = "n" + std::to_string(((i - 1) + 3) % 12);
+    rm.predicate = "linksTo";
+    rm.object = "crash" + std::to_string(i - 1);
+    b.remove.push_back(rm);
+  }
+  return b;
+}
+
+std::vector<std::vector<std::string>> Queries() {
+  return {{"n0", "n5"}, {"n2", "n9", "n11"}, {"crash1", "n0"}, {"crash2"}};
+}
+
+std::string Canonical(const Result<SearchResult>& r) {
+  std::ostringstream out;
+  if (!r.ok()) {
+    out << "error:" << r.status().ToString();
+    return out.str();
+  }
+  for (const std::string& kw : r->keywords) out << kw << ';';
+  out << "|levels=" << r->stats.levels << '|';
+  for (const AnswerGraph& a : r->answers) {
+    uint64_t score_bits = 0;
+    static_assert(sizeof(score_bits) == sizeof(a.score));
+    std::memcpy(&score_bits, &a.score, sizeof(score_bits));
+    out << "a{" << a.central << ',' << a.depth << ',' << score_bits << ",n[";
+    for (NodeId v : a.nodes) out << v << ',';
+    out << "],e[";
+    for (const AnswerEdge& e : a.edges) {
+      out << e.src << '-' << e.label << '-' << e.dst << ',';
+    }
+    out << "]}";
+  }
+  return out.str();
+}
+
+/// Ground truth: a memory-only manager replaying batches 1..n from scratch.
+std::unique_ptr<SnapshotManager> ReplayInMemory(int n) {
+  SmallKb kb = MakeKb();
+  auto mgr = std::make_unique<SnapshotManager>(
+      std::move(kb.graph), std::move(kb.index), ManagerConfig());
+  for (int i = 1; i <= n; ++i) {
+    Status st = mgr->Apply(NthBatch(i));
+    EXPECT_TRUE(st.ok()) << "replay batch " << i << ": " << st.ToString();
+  }
+  return mgr;
+}
+
+/// The recovered state must answer every query byte-identically to the
+/// ground truth, on every engine kind — plus agree structurally.
+void ExpectEquivalent(const SnapshotManager& got, const SnapshotManager& want) {
+  auto gs = got.Pin();
+  auto ws = want.Pin();
+  GraphView gv = gs->graph_view();
+  GraphView wv = ws->graph_view();
+  ASSERT_EQ(gv.num_nodes(), wv.num_nodes());
+  EXPECT_EQ(gv.num_triples(), wv.num_triples());
+  for (NodeId v = 0; v < wv.num_nodes(); ++v) {
+    ASSERT_EQ(gv.NodeName(v), wv.NodeName(v)) << "node " << v;
+    EXPECT_EQ(gv.NodeWeight(v), wv.NodeWeight(v)) << "weight " << v;
+  }
+  IndexView gi = gs->index_view();
+  IndexView wi = ws->index_view();
+  EXPECT_EQ(gi.num_terms(), wi.num_terms());
+  EXPECT_EQ(gi.num_postings(), wi.num_postings());
+
+  SearchOptions defaults;
+  defaults.threads = 2;
+  SearchEngine got_engine(defaults);
+  SearchEngine want_engine(defaults);
+  for (EngineKind kind :
+       {EngineKind::kSequential, EngineKind::kCpuParallel,
+        EngineKind::kCpuDynamic, EngineKind::kGpuSim}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    for (const auto& kws : Queries()) {
+      SearchOptions opts;
+      opts.threads = 2;
+      opts.engine = kind;
+      KbHandle gk = got.PinHandle();
+      KbHandle wk = want.PinHandle();
+      auto got_r = got_engine.SearchKeywords(gk, kws, opts);
+      auto want_r = want_engine.SearchKeywords(wk, kws, opts);
+      EXPECT_EQ(Canonical(got_r), Canonical(want_r))
+          << "query: " << ::testing::PrintToString(kws);
+    }
+  }
+}
+
+/// Test crash: thrown by the fault hook, caught at the scenario level. The
+/// manager that threw is then discarded un-shut-down, like a dead process.
+struct CrashPoint {
+  std::string point;
+};
+
+/// Arms a one-shot crash at `point` on `mgr`.
+void ArmCrash(SnapshotManager* mgr, std::string point,
+              std::shared_ptr<bool> armed) {
+  mgr->SetFaultHook([point = std::move(point), armed](const char* p) {
+    if (*armed && point == p) {
+      *armed = false;
+      throw CrashPoint{point};
+    }
+  });
+}
+
+Result<std::unique_ptr<SnapshotManager>> OpenDir(
+    const std::string& dir, SnapshotManager::RecoveryInfo* info = nullptr,
+    FsyncPolicy policy = FsyncPolicy::kAlways) {
+  SmallKb kb = MakeKb();
+  SnapshotManager::DurabilityOptions dopts;
+  dopts.data_dir = dir;
+  dopts.fsync_policy = policy;
+  return SnapshotManager::OpenDurable(std::move(kb.graph),
+                                      std::move(kb.index), ManagerConfig(),
+                                      dopts, info);
+}
+
+// ------------------------------------------------------ lifecycle basics --
+
+TEST(DurabilityTest, FreshBootThenCleanShutdownThenRecovery) {
+  TempDir dir;
+  {
+    SnapshotManager::RecoveryInfo rec;
+    auto mgr = OpenDir(dir.path(), &rec);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_FALSE(rec.recovered);
+    EXPECT_TRUE(SnapshotManager::HasDurableState(dir.path()));
+    for (int i = 1; i <= 4; ++i) {
+      SnapshotManager::ApplyResult out;
+      ASSERT_TRUE((*mgr)->Apply(NthBatch(i), &out).ok());
+      EXPECT_EQ(out.seq, static_cast<uint64_t>(i));
+      EXPECT_TRUE(out.durable);  // kAlways: fsynced before the ack
+    }
+    ASSERT_TRUE((*mgr)->ShutdownDurable().ok());
+    EXPECT_TRUE(PathExists(dir.File(live::kCleanMarkerFile)));
+  }
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_TRUE(rec.clean_shutdown);
+  EXPECT_FALSE(rec.wal_tail_torn);
+  EXPECT_EQ(rec.replayed_batches, 4u);
+  EXPECT_TRUE((*mgr)->clean_boot());
+  // The marker is consumed: a crash after this boot is detectable.
+  EXPECT_FALSE(PathExists(dir.File(live::kCleanMarkerFile)));
+  auto want = ReplayInMemory(4);
+  ExpectEquivalent(**mgr, *want);
+  // The lineage continues: the next apply gets the next sequence number.
+  SnapshotManager::ApplyResult out;
+  ASSERT_TRUE((*mgr)->Apply(NthBatch(5), &out).ok());
+  EXPECT_EQ(out.seq, 5u);
+}
+
+TEST(DurabilityTest, UncleanBootWithoutCrashStillRecovers) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE((*mgr)->Apply(NthBatch(i)).ok());
+    }
+    // No ShutdownDurable: simulates kill -9 between acks.
+  }
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_FALSE(rec.clean_shutdown);
+  EXPECT_EQ(rec.replayed_batches, 3u);
+  auto want = ReplayInMemory(3);
+  ExpectEquivalent(**mgr, *want);
+}
+
+TEST(DurabilityTest, CompactionPersistsAndTruncatesWal) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    for (int i = 1; i <= 5; ++i) {
+      ASSERT_TRUE((*mgr)->Apply(NthBatch(i)).ok());
+    }
+    ASSERT_TRUE((*mgr)->CompactOnce().ok());
+    EXPECT_EQ((*mgr)->wal_base_seq(), 5u);
+    EXPECT_EQ((*mgr)->manifest_generation(), 2u);
+    EXPECT_EQ((*mgr)->wal_segments_deleted(), 1u);
+    // Post-compaction applies land in the rotated segment.
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(6)).ok());
+  }
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(rec.generation, 2u);
+  EXPECT_EQ(rec.replayed_batches, 1u);  // only batch 6 is past the snapshot
+  auto want = ReplayInMemory(6);
+  ExpectEquivalent(**mgr, *want);
+  // Superseded snapshot files are gone; the manifest's snapshot remains.
+  EXPECT_FALSE(PathExists(dir.File(live::SnapshotFileName(1))));
+  EXPECT_TRUE(PathExists(dir.File(live::SnapshotFileName(2))));
+}
+
+TEST(DurabilityTest, DoubleRecoveryIsIdempotent) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    for (int i = 1; i <= 4; ++i) {
+      ASSERT_TRUE((*mgr)->Apply(NthBatch(i)).ok());
+    }
+    ASSERT_TRUE((*mgr)->CompactOnce().ok());
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(5)).ok());
+  }
+  SnapshotManager::RecoveryInfo rec1;
+  {
+    auto mgr = OpenDir(dir.path(), &rec1);
+    ASSERT_TRUE(mgr.ok());
+    // Abandoned again without shutdown and without new writes.
+  }
+  SnapshotManager::RecoveryInfo rec2;
+  auto mgr = OpenDir(dir.path(), &rec2);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_EQ(rec2.generation, rec1.generation);
+  EXPECT_EQ(rec2.version, rec1.version);
+  EXPECT_EQ(rec2.replayed_batches, rec1.replayed_batches);
+  auto want = ReplayInMemory(5);
+  ExpectEquivalent(**mgr, *want);
+}
+
+TEST(DurabilityTest, FsyncPoliciesAllRecoverAfterExplicitSync) {
+  for (FsyncPolicy policy : {FsyncPolicy::kInterval, FsyncPolicy::kNever}) {
+    SCOPED_TRACE(live::FsyncPolicyName(policy));
+    TempDir dir;
+    {
+      auto mgr = OpenDir(dir.path(), nullptr, policy);
+      ASSERT_TRUE(mgr.ok());
+      for (int i = 1; i <= 3; ++i) {
+        SnapshotManager::ApplyResult out;
+        ASSERT_TRUE((*mgr)->Apply(NthBatch(i), &out).ok());
+        EXPECT_EQ(out.seq, static_cast<uint64_t>(i));
+      }
+      ASSERT_TRUE((*mgr)->SyncWal().ok());  // honored under every policy
+      EXPECT_EQ((*mgr)->wal_synced_seq(), 3u);
+    }
+    SnapshotManager::RecoveryInfo rec;
+    auto mgr = OpenDir(dir.path(), &rec, policy);
+    ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+    EXPECT_EQ(rec.replayed_batches, 3u);
+    auto want = ReplayInMemory(3);
+    ExpectEquivalent(**mgr, *want);
+  }
+}
+
+// -------------------------------------------------- torn WAL tails ------
+
+TEST(DurabilityTest, TornTailIsDiscardedAndRepaired) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE((*mgr)->Apply(NthBatch(i)).ok());
+    }
+  }
+  // Tear the last record mid-payload, as a crash mid-append would.
+  const std::string seg = dir.File(live::WalSegmentName(1));
+  auto size = FileSizeOf(seg);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(seg, *size - 5).ok());
+
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_TRUE(rec.wal_tail_torn);
+  EXPECT_EQ(rec.replayed_batches, 2u);  // batch 3 was torn — whole-batch loss
+  auto want = ReplayInMemory(2);
+  ExpectEquivalent(**mgr, *want);
+  // Recovery repaired the file: a second boot sees no tear and the lineage
+  // reuses sequence 3.
+  mgr->reset();
+  SnapshotManager::RecoveryInfo rec2;
+  auto again = OpenDir(dir.path(), &rec2);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(rec2.wal_tail_torn);
+  EXPECT_EQ(rec2.replayed_batches, 2u);
+  SnapshotManager::ApplyResult out;
+  ASSERT_TRUE((*again)->Apply(NthBatch(3), &out).ok());
+  EXPECT_EQ(out.seq, 3u);
+}
+
+TEST(DurabilityTest, GarbageTailIsDiscardedOnUncleanBoot) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(1)).ok());
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(2)).ok());
+  }
+  const std::string seg = dir.File(live::WalSegmentName(1));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(seg, &bytes).ok());
+  bytes += std::string("\x13\x37garbage", 9);
+  ASSERT_TRUE(WriteFileAtomic(seg, bytes).ok());
+
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << mgr.status().ToString();
+  EXPECT_TRUE(rec.wal_tail_torn);
+  EXPECT_EQ(rec.replayed_batches, 2u);
+  auto want = ReplayInMemory(2);
+  ExpectEquivalent(**mgr, *want);
+}
+
+TEST(DurabilityTest, CleanBootTreatsTornTailAsHardCorruption) {
+  TempDir dir;
+  {
+    auto mgr = OpenDir(dir.path());
+    ASSERT_TRUE(mgr.ok());
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(1)).ok());
+    ASSERT_TRUE((*mgr)->Apply(NthBatch(2)).ok());
+    ASSERT_TRUE((*mgr)->ShutdownDurable().ok());
+  }
+  // CLEAN promises the tail is complete; a tear contradicts it.
+  const std::string seg = dir.File(live::WalSegmentName(1));
+  auto size = FileSizeOf(seg);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(seg, *size - 3).ok());
+  auto mgr = OpenDir(dir.path());
+  ASSERT_FALSE(mgr.ok());
+  EXPECT_EQ(mgr.status().code(), StatusCode::kCorruption);
+}
+
+// ------------------------------------------- crash-point fault matrix ---
+
+/// One kill-and-recover scenario: apply `pre` batches cleanly, arm a crash
+/// at `point`, run the doomed operation (an Apply or a CompactOnce)
+/// expecting the simulated crash, abandon the manager, recover, and check
+/// the recovered KB equals a from-scratch replay of a whole-batch prefix:
+/// at least every acknowledged batch, at most everything the WAL saw.
+void RunCrashScenario(const std::string& point, int pre,
+                      bool crash_in_compaction) {
+  SCOPED_TRACE(point + (crash_in_compaction ? " (compaction)" : " (apply)"));
+  TempDir dir;
+  int acked = 0;
+  {
+    auto opened = OpenDir(dir.path());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<SnapshotManager> mgr = std::move(*opened);
+    for (int i = 1; i <= pre; ++i) {
+      ASSERT_TRUE(mgr->Apply(NthBatch(i)).ok());
+    }
+    acked = pre;
+    auto armed = std::make_shared<bool>(true);
+    ArmCrash(mgr.get(), point, armed);
+    try {
+      if (crash_in_compaction) {
+        // Some fault points surface as a Status instead of unwinding (the
+        // compaction aborts cleanly); either way the process "dies" here.
+        (void)mgr->CompactOnce();
+      } else {
+        SnapshotManager::ApplyResult out;
+        Status st = mgr->Apply(NthBatch(pre + 1), &out);
+        if (st.ok()) acked = pre + 1;
+      }
+    } catch (const CrashPoint& cp) {
+      EXPECT_EQ(cp.point, point);
+    }
+    EXPECT_FALSE(*armed) << "fault point never fired: " << point;
+    // Abandon without shutdown — the crash.
+  }
+
+  SnapshotManager::RecoveryInfo rec;
+  auto mgr = OpenDir(dir.path(), &rec);
+  ASSERT_TRUE(mgr.ok()) << point << ": " << mgr.status().ToString();
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_FALSE(rec.clean_shutdown);
+
+  // The recovered WAL frontier is a whole-batch boundary between the acked
+  // prefix and everything attempted.
+  const uint64_t frontier = (*mgr)->wal_last_seq();
+  EXPECT_GE(frontier, static_cast<uint64_t>(acked)) << point;
+  EXPECT_LE(frontier, static_cast<uint64_t>(pre) + 1) << point;
+  auto want = ReplayInMemory(static_cast<int>(frontier));
+  ExpectEquivalent(**mgr, *want);
+
+  // Second recovery of the same directory is idempotent.
+  mgr->reset();
+  SnapshotManager::RecoveryInfo rec2;
+  auto again = OpenDir(dir.path(), &rec2);
+  ASSERT_TRUE(again.ok()) << point << ": " << again.status().ToString();
+  EXPECT_EQ((*again)->wal_last_seq(), frontier) << point;
+  auto want2 = ReplayInMemory(static_cast<int>(frontier));
+  ExpectEquivalent(**again, *want2);
+
+  // And the directory still takes writes + a full durable compaction.
+  SnapshotManager::ApplyResult out;
+  ASSERT_TRUE(
+      (*again)->Apply(NthBatch(static_cast<int>(frontier) + 1), &out).ok())
+      << point;
+  EXPECT_EQ(out.seq, frontier + 1) << point;
+  ASSERT_TRUE((*again)->CompactOnce().ok()) << point;
+}
+
+TEST(DurabilityCrashTest, CrashDuringApply) {
+  for (const char* point : {"live:apply", "wal:append", "wal:fsync"}) {
+    RunCrashScenario(point, 3, /*crash_in_compaction=*/false);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DurabilityCrashTest, CrashDuringFold) {
+  for (const char* point : {"live:fold", "snap:write", "snap:rename"}) {
+    RunCrashScenario(point, 3, /*crash_in_compaction=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(DurabilityCrashTest, CrashDuringPublish) {
+  RunCrashScenario("live:publish", 3, /*crash_in_compaction=*/true);
+}
+
+TEST(DurabilityCrashTest, CrashDuringManifestWriteAndGc) {
+  for (const char* point : {"manifest:write", "wal:truncate"}) {
+    RunCrashScenario(point, 3, /*crash_in_compaction=*/true);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// --------------------------------------------------- HTTP /update shape --
+
+TEST(DurabilityTest, UpdateResponseCarriesSeqAndDurable) {
+  TempDir dir;
+  auto opened = OpenDir(dir.path());
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<SnapshotManager> mgr = std::move(*opened);
+  SearchOptions opts;
+  opts.threads = 2;
+  server::SearchService service(mgr.get(), opts);
+  server::HttpRequest req;
+  req.method = "POST";
+  req.path = "/update";
+  req.body = "{\"add\":[[\"durnode\",\"rel\",\"n0\"]]}";
+  server::HttpResponse resp = service.HandleUpdate(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"seq\":1"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("\"durable\":true"), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"version\":"), std::string::npos) << resp.body;
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -5,16 +5,47 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <string>
 #include <vector>
 
+#include "common/fsio.h"
 #include "core/activation.h"
 #include "core/answer.h"
 #include "graph/csr_graph.h"
 #include "graph/types.h"
 
 namespace wikisearch::testing {
+
+/// RAII temporary directory (mkdtemp under $TMPDIR, default /tmp); removed
+/// recursively on destruction. Used by the durability suites, which need
+/// real files for WAL / snapshot / crash-recovery coverage.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(base && *base ? base : "/tmp") + "/wstest.XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    char* got = ::mkdtemp(buf.data());
+    if (got != nullptr) path_ = got;
+  }
+  ~TempDir() {
+    if (!path_.empty()) (void)RemoveDirRecursive(path_);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::string File(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
 
 /// Deterministic per-test RNG seed: an FNV-1a hash of the currently running
 /// gtest "Suite.Name" id (parameterized instances hash their full name, so

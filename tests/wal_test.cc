@@ -1,0 +1,586 @@
+// Durability-layer unit suite (DESIGN.md §12), bottom up: CRC32 vectors,
+// the fsio helpers, WAL record encode/decode, segment append/read
+// roundtrips, and — the load-bearing property — torn-tail recovery at EVERY
+// byte offset of a valid log: truncating anywhere must yield a whole-batch
+// prefix (never a partial batch), with a diagnostic when bytes were
+// discarded. Plus manifest/CLEAN checksummed files and snapshot persistence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/fsio.h"
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "live/manifest.h"
+#include "live/persist.h"
+#include "live/wal.h"
+#include "test_util.h"
+#include "text/inverted_index.h"
+
+namespace wikisearch {
+namespace {
+
+using live::DecodeBatch;
+using live::EncodeBatch;
+using live::FsyncPolicy;
+using live::ListWalSegments;
+using live::ReadWalFile;
+using live::UpdateBatch;
+using live::WalOptions;
+using live::WalSegmentName;
+using live::WalWriter;
+using testing::TempDir;
+
+// ---------------------------------------------------------------- crc32 --
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE 802.3 check value — any table bug breaks this immediately.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+  EXPECT_EQ(Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32(data.data(), data.size());
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t part = Crc32(data.data(), cut);
+    part = Crc32(data.data() + cut, data.size() - cut, part);
+    EXPECT_EQ(part, whole) << "cut at " << cut;
+  }
+}
+
+// ----------------------------------------------------------------- fsio --
+
+TEST(FsioTest, AtomicWriteRoundtrip) {
+  TempDir dir;
+  ASSERT_FALSE(dir.path().empty());
+  const std::string path = dir.File("config");
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "hello\nworld\n");
+  // Replacement is whole-file, and the temp never lingers.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "v2");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+  auto size = FileSizeOf(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+}
+
+TEST(FsioTest, MissingFilesAndDirs) {
+  TempDir dir;
+  std::string out;
+  Status st = ReadFileToString(dir.File("absent"), &out);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_TRUE(RemoveFile(dir.File("absent")).ok());  // idempotent unlink
+  EXPECT_TRUE(EnsureDir(dir.path()).ok());           // idempotent mkdir
+  EXPECT_FALSE(PathExists(dir.File("absent")));
+}
+
+TEST(FsioTest, ListDirSortedAndDirName) {
+  TempDir dir;
+  ASSERT_TRUE(WriteFileAtomic(dir.File("bbb"), "1").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir.File("aaa"), "2").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir.File("ccc"), "3").ok());
+  auto names = ListDir(dir.path());
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"aaa", "bbb", "ccc"}));
+  EXPECT_EQ(DirName("/a/b/c"), "/a/b");
+  EXPECT_EQ(DirName("plain"), ".");
+}
+
+TEST(FsioTest, TruncateFile) {
+  TempDir dir;
+  const std::string path = dir.File("t");
+  ASSERT_TRUE(WriteFileAtomic(path, "0123456789").ok());
+  ASSERT_TRUE(TruncateFile(path, 4).ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "0123");
+}
+
+// ------------------------------------------------------- record framing --
+
+UpdateBatch MakeBatch(int i) {
+  UpdateBatch b;
+  live::TripleOp add;
+  add.subject = "subj" + std::to_string(i);
+  add.predicate = "pred" + std::to_string(i % 3);
+  add.object = "obj" + std::to_string(i * 7);
+  b.add.push_back(add);
+  if (i % 2 == 0) {
+    live::TripleOp more;
+    more.subject = "subj" + std::to_string(i);
+    more.predicate = "linksTo";
+    more.object = "hub";
+    b.add.push_back(more);
+  }
+  if (i % 3 == 0) {
+    live::TripleOp rm;
+    rm.subject = "old" + std::to_string(i);
+    rm.predicate = "pred0";
+    rm.object = "gone";
+    b.remove.push_back(rm);
+  }
+  if (i % 2 == 1) {
+    live::TextOp t;
+    t.node = "subj" + std::to_string(i);
+    t.text = "extra searchable text " + std::to_string(i);
+    b.text.push_back(t);
+  }
+  return b;
+}
+
+std::string Encoded(const UpdateBatch& b) {
+  std::string out;
+  EncodeBatch(b, &out);
+  return out;
+}
+
+TEST(WalCodecTest, EncodeDecodeRoundtrip) {
+  for (int i = 0; i < 8; ++i) {
+    UpdateBatch in = MakeBatch(i);
+    UpdateBatch out;
+    ASSERT_TRUE(DecodeBatch(Encoded(in), &out).ok()) << "batch " << i;
+    EXPECT_EQ(Encoded(out), Encoded(in)) << "batch " << i;
+  }
+  // Empty batch and embedded awkward bytes both survive.
+  UpdateBatch empty, back;
+  ASSERT_TRUE(DecodeBatch(Encoded(empty), &back).ok());
+  EXPECT_EQ(Encoded(back), Encoded(empty));
+  UpdateBatch odd;
+  live::TextOp t;
+  t.node = std::string("nul\0byte", 8);
+  t.text = "tab\tnewline\n\"quote\"";
+  odd.text.push_back(t);
+  ASSERT_TRUE(DecodeBatch(Encoded(odd), &back).ok());
+  EXPECT_EQ(Encoded(back), Encoded(odd));
+}
+
+TEST(WalCodecTest, DecodeRejectsTruncationAndTrailingGarbage) {
+  std::string enc = Encoded(MakeBatch(4));
+  UpdateBatch out;
+  for (size_t cut = 0; cut < enc.size(); ++cut) {
+    Status st = DecodeBatch(std::string_view(enc.data(), cut), &out);
+    EXPECT_FALSE(st.ok()) << "truncated to " << cut << " decoded";
+  }
+  Status st = DecodeBatch(enc + "x", &out);
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+TEST(WalCodecTest, SegmentNamesSortNumerically) {
+  EXPECT_EQ(WalSegmentName(1), "wal-00000000000000000001.log");
+  EXPECT_LT(WalSegmentName(9), WalSegmentName(10));
+  EXPECT_LT(WalSegmentName(99), WalSegmentName(100));
+}
+
+// ------------------------------------------------------------ WalWriter --
+
+TEST(WalWriterTest, AppendReadRoundtrip) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kAlways;
+  auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+  ASSERT_TRUE(wal.ok());
+  const int kN = 5;
+  for (int i = 1; i <= kN; ++i) {
+    ASSERT_TRUE((*wal)->Append(i, MakeBatch(i)).ok());
+    ASSERT_TRUE((*wal)->SyncTo(i).ok());
+  }
+  EXPECT_EQ((*wal)->written_seq(), 5u);
+  EXPECT_EQ((*wal)->synced_seq(), 5u);
+  EXPECT_EQ((*wal)->appends_total(), 5u);
+  EXPECT_GT((*wal)->bytes_written(), 0u);
+  wal->reset();
+
+  auto read = ReadWalFile(dir.File(WalSegmentName(1)));
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->torn);
+  ASSERT_EQ(read->records.size(), 5u);
+  for (int i = 1; i <= kN; ++i) {
+    EXPECT_EQ(read->records[i - 1].seq, static_cast<uint64_t>(i));
+    EXPECT_EQ(Encoded(read->records[i - 1].batch), Encoded(MakeBatch(i)));
+  }
+}
+
+TEST(WalWriterTest, GroupCommitSharesFsyncs) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kAlways;
+  auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 1; i <= 8; ++i) {
+    ASSERT_TRUE((*wal)->Append(i, MakeBatch(i)).ok());
+  }
+  // One SyncTo covers every record appended before it...
+  ASSERT_TRUE((*wal)->SyncTo(8).ok());
+  uint64_t fsyncs = (*wal)->fsyncs_total();
+  EXPECT_GE(fsyncs, 1u);
+  // ...and later SyncTo calls for already-covered seqs are free.
+  ASSERT_TRUE((*wal)->SyncTo(3).ok());
+  ASSERT_TRUE((*wal)->SyncTo(8).ok());
+  EXPECT_EQ((*wal)->fsyncs_total(), fsyncs);
+  EXPECT_EQ((*wal)->synced_seq(), 8u);
+}
+
+TEST(WalWriterTest, NeverPolicySkipsAckFsyncButHonorsExplicitSync) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kNever;
+  auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, MakeBatch(1)).ok());
+  ASSERT_TRUE((*wal)->SyncTo(1).ok());  // no-op under kNever
+  EXPECT_EQ((*wal)->synced_seq(), 0u);
+  ASSERT_TRUE((*wal)->Sync().ok());  // explicit flush always works
+  EXPECT_EQ((*wal)->synced_seq(), 1u);
+}
+
+TEST(WalWriterTest, IntervalPolicyFlushesInBackground) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kInterval;
+  opts.interval_ms = 1.0;
+  auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, MakeBatch(1)).ok());
+  ASSERT_TRUE((*wal)->Append(2, MakeBatch(2)).ok());
+  // The flusher must catch up without any foreground Sync call.
+  for (int spin = 0; spin < 2000 && (*wal)->synced_seq() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ((*wal)->synced_seq(), 2u);
+}
+
+TEST(WalWriterTest, RotationAndGc) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kAlways;
+  auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE((*wal)->Append(i, MakeBatch(i)).ok());
+  }
+  ASSERT_TRUE((*wal)->Rotate(4).ok());
+  EXPECT_EQ((*wal)->segment_start(), 4u);
+  for (int i = 4; i <= 5; ++i) {
+    ASSERT_TRUE((*wal)->Append(i, MakeBatch(i)).ok());
+  }
+  auto segs = ListWalSegments(dir.path());
+  ASSERT_TRUE(segs.ok());
+  ASSERT_EQ(segs->size(), 2u);
+  EXPECT_EQ((*segs)[0].start, 1u);
+  EXPECT_EQ((*segs)[1].start, 4u);
+
+  // last_included=2 doesn't cover segment 1 (it holds seq 3) — no deletion.
+  auto gc = (*wal)->DeleteSegmentsCoveredBy(2);
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(*gc, 0u);
+  // last_included=3 covers it exactly.
+  gc = (*wal)->DeleteSegmentsCoveredBy(3);
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(*gc, 1u);
+  segs = ListWalSegments(dir.path());
+  ASSERT_TRUE(segs.ok());
+  ASSERT_EQ(segs->size(), 1u);
+  EXPECT_EQ((*segs)[0].start, 4u);
+  // The open segment is never deleted, no matter the horizon.
+  gc = (*wal)->DeleteSegmentsCoveredBy(1000);
+  ASSERT_TRUE(gc.ok());
+  EXPECT_EQ(*gc, 0u);
+}
+
+TEST(WalWriterTest, RotateOnEmptySegmentIsNoOp) {
+  TempDir dir;
+  WalOptions opts;
+  auto wal = WalWriter::Open(dir.path(), 3, 2, opts);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Rotate(3).ok());  // nothing written yet
+  EXPECT_EQ((*wal)->segment_start(), 3u);
+  EXPECT_EQ((*wal)->rotations_total(), 0u);
+  ASSERT_TRUE((*wal)->Append(3, MakeBatch(3)).ok());
+  EXPECT_EQ((*wal)->written_seq(), 3u);
+}
+
+TEST(WalWriterTest, ReopenExistingSegmentAppends) {
+  TempDir dir;
+  WalOptions opts;
+  {
+    auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(1, MakeBatch(1)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  {
+    auto wal = WalWriter::Open(dir.path(), 1, 1, opts);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(2, MakeBatch(2)).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto read = ReadWalFile(dir.File(WalSegmentName(1)));
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 2u);
+  EXPECT_EQ(read->records[1].seq, 2u);
+}
+
+// -------------------------------------------------- torn-tail property --
+
+/// The satellite property test: write a multi-record WAL, then for EVERY
+/// byte offset L of the file, truncate a copy to L bytes and read it back.
+/// The reader must return exactly the whole records that fit (a prefix —
+/// never a partial batch), point valid_bytes at their end, and flag the
+/// leftover bytes as torn with a diagnostic.
+TEST(WalTornTailTest, EveryByteOffsetRecoversWholePrefix) {
+  TempDir dir;
+  WalOptions opts;
+  opts.policy = FsyncPolicy::kAlways;
+  const int kN = 6;
+  std::vector<std::string> encoded;
+  {
+    auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 1; i <= kN; ++i) {
+      UpdateBatch b = MakeBatch(i);
+      encoded.push_back(Encoded(b));
+      ASSERT_TRUE((*wal)->Append(i, b).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  std::string full;
+  ASSERT_TRUE(ReadFileToString(dir.File(WalSegmentName(1)), &full).ok());
+
+  // Record boundaries from the framing itself (header is 16 bytes).
+  std::vector<size_t> boundary = {0};
+  {
+    size_t pos = 0;
+    while (pos < full.size()) {
+      uint32_t len = 0;
+      std::memcpy(&len, full.data() + pos, sizeof(len));
+      pos += 16 + len;
+      boundary.push_back(pos);
+    }
+    ASSERT_EQ(boundary.size(), static_cast<size_t>(kN) + 1);
+    ASSERT_EQ(boundary.back(), full.size());
+  }
+
+  const std::string probe = dir.File("probe.log");
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(probe, full.substr(0, cut)).ok());
+    auto read = ReadWalFile(probe);
+    ASSERT_TRUE(read.ok()) << "cut=" << cut << ": " << read.status().ToString();
+    const size_t n = read->records.size();
+    ASSERT_LE(n, static_cast<size_t>(kN)) << "cut=" << cut;
+    // Exactly the records that fit in full: the largest k with
+    // boundary[k] <= cut.
+    size_t expect_n = 0;
+    while (expect_n < static_cast<size_t>(kN) &&
+           boundary[expect_n + 1] <= cut) {
+      ++expect_n;
+    }
+    EXPECT_EQ(n, expect_n) << "cut=" << cut;
+    EXPECT_EQ(read->valid_bytes, boundary[n]) << "cut=" << cut;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(read->records[i].seq, i + 1) << "cut=" << cut;
+      EXPECT_EQ(Encoded(read->records[i].batch), encoded[i])
+          << "cut=" << cut << " record " << i;
+    }
+    const bool leftover = cut != boundary[n];
+    EXPECT_EQ(read->torn, leftover) << "cut=" << cut;
+    if (leftover) {
+      EXPECT_FALSE(read->diagnostic.empty()) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WalTornTailTest, BitFlipIsDetectedAndStopsTheScan) {
+  TempDir dir;
+  WalOptions opts;
+  {
+    auto wal = WalWriter::Open(dir.path(), 1, 0, opts);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 1; i <= 3; ++i) {
+      ASSERT_TRUE((*wal)->Append(i, MakeBatch(i)).ok());
+    }
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  const std::string path = dir.File(WalSegmentName(1));
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  // Flip one payload byte inside the SECOND record; record 1 must survive,
+  // records 2+ must be dropped with a diagnostic.
+  uint32_t len0 = 0;
+  std::memcpy(&len0, bytes.data(), sizeof(len0));
+  const size_t second = 16 + len0;
+  bytes[second + 16 + 2] ^= 0x40;
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+  auto read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->records[0].seq, 1u);
+  EXPECT_TRUE(read->torn);
+  EXPECT_FALSE(read->diagnostic.empty());
+  EXPECT_EQ(read->valid_bytes, second);
+}
+
+TEST(WalTornTailTest, ChecksumValidGarbagePayloadIsHardCorruption) {
+  // A payload that passes its CRC but fails DecodeBatch cannot be produced
+  // by truncation — the reader must escalate it to a hard error rather than
+  // silently dropping the tail.
+  TempDir dir;
+  const uint64_t seq = 1;
+  const std::string payload = "zz";  // not a valid batch encoding
+  uint32_t crc = Crc32(&seq, sizeof(seq));
+  crc = Crc32(payload.data(), payload.size(), crc);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string record(16, '\0');
+  std::memcpy(record.data(), &len, sizeof(len));
+  std::memcpy(record.data() + 4, &crc, sizeof(crc));
+  std::memcpy(record.data() + 8, &seq, sizeof(seq));
+  record += payload;
+  const std::string path = dir.File(WalSegmentName(1));
+  ASSERT_TRUE(WriteFileAtomic(path, record).ok());
+  auto read = ReadWalFile(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorruption);
+}
+
+// ----------------------------------------------------- manifest / CLEAN --
+
+TEST(ManifestTest, Roundtrip) {
+  TempDir dir;
+  live::Manifest m;
+  m.generation = 7;
+  m.snapshot_file = "snap-7.wssp";
+  m.last_included_seq = 41;
+  m.version = 95;
+  ASSERT_TRUE(live::WriteManifest(dir.path(), m).ok());
+  auto back = live::ReadManifest(dir.path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->format, 1u);
+  EXPECT_EQ(back->generation, 7u);
+  EXPECT_EQ(back->snapshot_file, "snap-7.wssp");
+  EXPECT_EQ(back->last_included_seq, 41u);
+  EXPECT_EQ(back->version, 95u);
+}
+
+TEST(ManifestTest, MissingIsNotFoundTamperIsCorruption) {
+  TempDir dir;
+  EXPECT_EQ(live::ReadManifest(dir.path()).status().code(),
+            StatusCode::kNotFound);
+  live::Manifest m;
+  m.generation = 1;
+  m.snapshot_file = "snap-1.wssp";
+  ASSERT_TRUE(live::WriteManifest(dir.path(), m).ok());
+  std::string bytes;
+  ASSERT_TRUE(
+      ReadFileToString(dir.File(live::kManifestFile), &bytes).ok());
+  // Flip a content byte; the checksum line must catch it.
+  bytes[10] ^= 0x01;
+  ASSERT_TRUE(WriteFileAtomic(dir.File(live::kManifestFile), bytes).ok());
+  EXPECT_EQ(live::ReadManifest(dir.path()).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(ManifestTest, CleanMarkerLifecycle) {
+  TempDir dir;
+  EXPECT_EQ(live::ReadCleanMarker(dir.path()).status().code(),
+            StatusCode::kNotFound);
+  live::CleanMarker c;
+  c.last_seq = 12;
+  c.version = 30;
+  ASSERT_TRUE(live::WriteCleanMarker(dir.path(), c).ok());
+  auto back = live::ReadCleanMarker(dir.path());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->last_seq, 12u);
+  EXPECT_EQ(back->version, 30u);
+  ASSERT_TRUE(live::RemoveCleanMarker(dir.path()).ok());
+  EXPECT_EQ(live::ReadCleanMarker(dir.path()).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------- snapshot persist --
+
+TEST(PersistTest, SnapshotFileNames) {
+  EXPECT_EQ(live::SnapshotFileName(3), "snap-3.wssp");
+  uint64_t gen = 0;
+  EXPECT_TRUE(live::ParseSnapshotFileName("snap-12.wssp", &gen));
+  EXPECT_EQ(gen, 12u);
+  EXPECT_FALSE(live::ParseSnapshotFileName("snap-12.wssp.tmp", &gen));
+  EXPECT_FALSE(live::ParseSnapshotFileName("wal-00000001.log", &gen));
+  EXPECT_FALSE(live::ParseSnapshotFileName("snap-.wssp", &gen));
+}
+
+TEST(PersistTest, SnapshotRoundtrip) {
+  TempDir dir;
+  live::GraphSnapshot snap;
+  snap.graph = testing::MakeGraph(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  AttachNodeWeights(&snap.graph);
+  AttachAverageDistance(&snap.graph, 100, 7);
+  snap.index = InvertedIndex::Build(snap.graph);
+  snap.node_text[2] = "extra words here";
+  snap.node_text[4] = "more text";
+  snap.generation = 9;
+
+  const std::string path = dir.File(live::SnapshotFileName(9));
+  ASSERT_TRUE(live::SaveSnapshotFile(path, snap).ok());
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+  auto back = live::LoadSnapshotFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->generation, 9u);
+  ASSERT_EQ(back->graph.num_nodes(), snap.graph.num_nodes());
+  EXPECT_EQ(back->graph.num_triples(), snap.graph.num_triples());
+  for (NodeId v = 0; v < snap.graph.num_nodes(); ++v) {
+    EXPECT_EQ(back->graph.NodeName(v), snap.graph.NodeName(v));
+    EXPECT_EQ(back->graph.NodeWeight(v), snap.graph.NodeWeight(v));
+  }
+  EXPECT_EQ(back->graph.average_distance(), snap.graph.average_distance());
+  EXPECT_EQ(back->index.num_terms(), snap.index.num_terms());
+  EXPECT_EQ(back->index.num_postings(), snap.index.num_postings());
+  EXPECT_EQ(back->node_text.size(), 2u);
+  EXPECT_EQ(back->node_text.at(2), "extra words here");
+  EXPECT_EQ(back->node_text.at(4), "more text");
+}
+
+TEST(PersistTest, TruncatedSnapshotIsRejected) {
+  TempDir dir;
+  live::GraphSnapshot snap;
+  snap.graph = testing::MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  AttachNodeWeights(&snap.graph);
+  snap.index = InvertedIndex::Build(snap.graph);
+  snap.generation = 1;
+  const std::string path = dir.File(live::SnapshotFileName(1));
+  ASSERT_TRUE(live::SaveSnapshotFile(path, snap).ok());
+  auto size = FileSizeOf(path);
+  ASSERT_TRUE(size.ok());
+  // Cut at several depths, including just shy of the end marker.
+  for (uint64_t cut : {uint64_t{0}, uint64_t{3}, *size / 2, *size - 1}) {
+    ASSERT_TRUE(TruncateFile(path, cut).ok());
+    auto load = live::LoadSnapshotFile(path);
+    EXPECT_FALSE(load.ok()) << "cut=" << cut;
+    // Restore for the next iteration.
+    ASSERT_TRUE(live::SaveSnapshotFile(path, snap).ok());
+  }
+}
+
+TEST(PersistTest, FsyncPolicyNamesRoundtrip) {
+  for (FsyncPolicy p :
+       {FsyncPolicy::kAlways, FsyncPolicy::kInterval, FsyncPolicy::kNever}) {
+    auto parsed = live::ParseFsyncPolicy(live::FsyncPolicyName(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_FALSE(live::ParseFsyncPolicy("bogus").ok());
+  EXPECT_FALSE(live::ParseFsyncPolicy("").ok());
+}
+
+}  // namespace
+}  // namespace wikisearch
