@@ -11,10 +11,27 @@
 //   sched+ctx  — the scheduler plus the shared query-context cache.
 //
 // The response (body) cache is disabled in every configuration so the
-// comparison measures the serving path, not body replay. Results land in
-// BENCH_throughput.json; --smoke runs a shortened sweep and exits nonzero
-// unless the scheduler beats the mutex baseline by >= 2x at 16 clients
-// (the committed full run must show >= 3x).
+// comparison measures the serving path, not body replay.
+//
+// A second, socket-level section compares the serving *tier* (DESIGN.md
+// §13): the retired thread-per-connection server (ThreadedHttpServer,
+// connection-per-request clients — it closes after every response) against
+// the epoll reactor (keep-alive clients), with and without cross-request
+// micro-batching, on /search and on a trivial /ping route that isolates
+// transport cost. It then parks 1k/4k/10k idle keep-alive connections on
+// the reactor while 8 active clients keep querying, and measures RSS per
+// held connection on both tiers (thread stacks vs a few hundred bytes of
+// reactor state).
+//
+// Results land in BENCH_throughput.json; --smoke runs a shortened sweep and
+// exits nonzero unless (a) the scheduler beats the mutex baseline by >= 2x
+// at 16 clients (the committed full run must show >= 3x), (b) the reactor
+// matches or beats the thread-per-connection tier on /ping QPS at 64
+// clients, and (c) the reactor holds >= 5x more connections per byte of
+// RSS.
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -22,6 +39,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,7 +47,10 @@
 #include "bench_common.h"
 #include "common/json.h"
 #include "common/random.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
 #include "server/search_service.h"
+#include "server/threaded_server.h"
 
 using namespace wikisearch;
 
@@ -141,6 +162,337 @@ RunStats RunClosedLoop(const eval::DatasetBundle& data,
   return s;
 }
 
+// ---------------------------------------------------------------------------
+// Socket-level serving-tier comparison (DESIGN.md §13).
+// ---------------------------------------------------------------------------
+
+size_t CurrentRssBytes() {
+  std::ifstream f("/proc/self/statm");
+  size_t pages_total = 0, pages_resident = 0;
+  f >> pages_total >> pages_resident;
+  return pages_resident * static_cast<size_t>(sysconf(_SC_PAGESIZE));
+}
+
+// Raises RLIMIT_NOFILE toward `want` (root may push the hard limit too) and
+// returns the limit actually in effect, so the 10k-connection sweep clamps
+// itself instead of dying on EMFILE.
+size_t EffectiveFdLimit(size_t want) {
+  struct rlimit rl {};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return 1024;
+  if (rl.rlim_cur != RLIM_INFINITY &&
+      static_cast<size_t>(rl.rlim_cur) >= want) {
+    return static_cast<size_t>(rl.rlim_cur);
+  }
+  struct rlimit bump = rl;
+  bump.rlim_cur = want;
+  if (bump.rlim_max != RLIM_INFINITY &&
+      static_cast<size_t>(bump.rlim_max) < want) {
+    bump.rlim_max = want;
+  }
+  if (setrlimit(RLIMIT_NOFILE, &bump) == 0) return want;
+  bump = rl;
+  bump.rlim_cur = rl.rlim_max;  // soft -> hard is always allowed
+  if (setrlimit(RLIMIT_NOFILE, &bump) == 0 &&
+      bump.rlim_cur != RLIM_INFINITY) {
+    return static_cast<size_t>(bump.rlim_cur);
+  }
+  return rl.rlim_cur == RLIM_INFINITY ? want
+                                      : static_cast<size_t>(rl.rlim_cur);
+}
+
+struct SocketRun {
+  std::string config;
+  std::string route;
+  int clients = 0;
+  size_t idle_conns = 0;
+  uint64_t requests = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double rss_mb = 0.0;
+  uint64_t batch_epochs = 0;
+  uint64_t batch_merged = 0;
+};
+
+// Closed-loop socket clients against a running server. Keep-alive clients
+// hold one connection each (reconnecting if the server drops it); the
+// connection-per-request mode models the thread-per-connection server,
+// which closes after every response anyway.
+SocketRun DriveSocket(uint16_t port, const std::vector<std::string>& targets,
+                      int clients, double duration_ms, bool keep_alive) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  std::atomic<bool> stop{false};
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x51ed2701u * static_cast<uint64_t>(c + 1));
+      auto& lat = latencies[static_cast<size_t>(c)];
+      server::HttpConnection conn;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& target = targets[rng.Uniform(targets.size())];
+        const auto t0 = Clock::now();
+        int status = 0;
+        if (keep_alive) {
+          if (!conn.connected() && !conn.Connect(port).ok()) continue;
+          auto resp = conn.Get(target);
+          if (!resp.ok()) {
+            conn.Close();
+            continue;
+          }
+          status = resp->status;
+        } else {
+          auto resp = server::HttpGet(port, target);
+          if (!resp.ok()) continue;
+          status = resp->status;
+        }
+        const auto t1 = Clock::now();
+        if (status != 200) continue;
+        lat.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(duration_ms));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  SocketRun s;
+  s.clients = clients;
+  s.requests = all.size();
+  s.wall_ms = wall_ms;
+  s.qps = all.empty() ? 0.0
+                      : static_cast<double>(all.size()) / (wall_ms / 1000.0);
+  s.p50_ms = Percentile(all, 0.50);
+  s.p99_ms = Percentile(all, 0.99);
+  return s;
+}
+
+enum class ServingTier { kThreadPerConn, kReactor, kReactorBatch };
+
+const char* TierName(ServingTier tier) {
+  switch (tier) {
+    case ServingTier::kThreadPerConn:
+      return "thread-per-conn";
+    case ServingTier::kReactor:
+      return "reactor";
+    case ServingTier::kReactorBatch:
+      return "reactor+batch";
+  }
+  return "?";
+}
+
+SocketRun RunSearchOverSocket(const eval::DatasetBundle& data,
+                              const std::vector<std::string>& search_targets,
+                              ServingTier tier, int clients,
+                              double duration_ms) {
+  SearchOptions defaults;
+  defaults.top_k = 10;
+  defaults.threads = 1;
+  defaults.engine = EngineKind::kCpuParallel;
+  server::SearchService service(&data.kb.graph, &data.index, defaults,
+                                /*cache_capacity=*/0, /*metrics=*/nullptr,
+                                /*context_cache_capacity=*/0);
+  if (tier == ServingTier::kReactorBatch) {
+    service.SetBatchWindow(2.0);
+    service.SetBatchLimit(8);
+  }
+  auto handler = [&service](const server::HttpRequest& req) {
+    return service.HandleSearch(req);
+  };
+
+  SocketRun s;
+  if (tier == ServingTier::kThreadPerConn) {
+    server::ThreadedHttpServer srv;
+    srv.Route("/search", handler);
+    if (!srv.Start(0).ok()) return s;
+    for (const std::string& t : search_targets) {
+      (void)server::HttpGet(srv.port(), t);
+    }
+    s = DriveSocket(srv.port(), search_targets, clients, duration_ms,
+                    /*keep_alive=*/false);
+    srv.Stop();
+  } else {
+    server::HttpServer srv;
+    srv.Route("/search", handler);
+    // Match the handler pool to the client count: the thread-per-connection
+    // tier gets one handler thread per connection for free, and /search
+    // handlers block in the engine, so a smaller pool would cap
+    // single-flight sharing rather than measure the transport.
+    srv.SetHandlerThreads(clients);
+    if (!srv.Start(0).ok()) return s;
+    for (const std::string& t : search_targets) {
+      (void)server::HttpGet(srv.port(), t);
+    }
+    s = DriveSocket(srv.port(), search_targets, clients, duration_ms,
+                    /*keep_alive=*/true);
+    srv.Stop();
+  }
+  s.config = TierName(tier);
+  s.route = "/search";
+  s.batch_epochs = service.batch_epochs();
+  s.batch_merged = service.batch_merged_queries();
+  return s;
+}
+
+server::HttpHandler PingHandler() {
+  return [](const server::HttpRequest&) {
+    server::HttpResponse r;
+    r.content_type = "text/plain";
+    r.body = "pong";
+    return r;
+  };
+}
+
+// Transport-only comparison: a trivial route isolates connection setup and
+// thread-spawn cost from engine time.
+SocketRun RunPingOverSocket(ServingTier tier, int clients,
+                            double duration_ms) {
+  const std::vector<std::string> targets = {"/ping"};
+  SocketRun s;
+  if (tier == ServingTier::kThreadPerConn) {
+    server::ThreadedHttpServer srv;
+    srv.Route("/ping", PingHandler());
+    if (!srv.Start(0).ok()) return s;
+    s = DriveSocket(srv.port(), targets, clients, duration_ms,
+                    /*keep_alive=*/false);
+    srv.Stop();
+  } else {
+    server::HttpServer srv;
+    srv.Route("/ping", PingHandler());
+    if (!srv.Start(0).ok()) return s;
+    s = DriveSocket(srv.port(), targets, clients, duration_ms,
+                    /*keep_alive=*/true);
+    srv.Stop();
+  }
+  s.config = TierName(tier);
+  s.route = "/ping";
+  return s;
+}
+
+// Parks `idle_conns` keep-alive connections on the reactor (idle reaping
+// off) and measures what 8 active clients still get out of it, plus the
+// process RSS with everything held open.
+SocketRun RunIdleSweepPoint(size_t idle_conns, int active_clients,
+                            double duration_ms) {
+  server::HttpServer srv;
+  srv.Route("/ping", PingHandler());
+  srv.SetIdleTimeoutMs(0);  // parked connections must survive the run
+  SocketRun s;
+  if (!srv.Start(0).ok()) return s;
+  std::vector<std::unique_ptr<server::HttpConnection>> parked;
+  parked.reserve(idle_conns);
+  for (size_t i = 0; i < idle_conns; ++i) {
+    auto conn = std::make_unique<server::HttpConnection>();
+    if (!conn->Connect(srv.port()).ok()) break;
+    parked.push_back(std::move(conn));
+  }
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::seconds(15);
+  while (srv.active_connections() < parked.size() &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<std::string> targets = {"/ping"};
+  s = DriveSocket(srv.port(), targets, active_clients, duration_ms,
+                  /*keep_alive=*/true);
+  s.config = "reactor";
+  s.route = "/ping";
+  s.idle_conns = parked.size();
+  s.rss_mb = static_cast<double>(CurrentRssBytes()) / (1024.0 * 1024.0);
+  parked.clear();
+  srv.Stop();
+  return s;
+}
+
+struct CapacityStats {
+  size_t conns = 0;
+  double threaded_bytes_per_conn = 0.0;
+  double reactor_bytes_per_conn = 0.0;
+  double ratio = 0.0;
+};
+
+template <typename Server>
+double MeasureRssPerConn(Server& srv, size_t conns) {
+  const size_t rss0 = CurrentRssBytes();
+  std::vector<std::unique_ptr<server::HttpConnection>> parked;
+  parked.reserve(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    auto conn = std::make_unique<server::HttpConnection>();
+    if (!conn->Connect(srv.port()).ok()) break;
+    parked.push_back(std::move(conn));
+  }
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::seconds(15);
+  while (srv.active_connections() < parked.size() &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const size_t rss1 = CurrentRssBytes();
+  const size_t held = parked.size();
+  parked.clear();  // EOF unblocks any worker parked in read
+  if (held == 0) return 0.0;
+  return static_cast<double>(rss1 > rss0 ? rss1 - rss0 : 0) /
+         static_cast<double>(held);
+}
+
+// RSS cost of a held-open connection on each tier: the thread-per-connection
+// server parks a worker (stack and all) in read per connection, the reactor
+// a small heap entry. Reactor first so thread-stack pages released by the
+// threaded run cannot deflate its delta.
+CapacityStats MeasureConnectionCapacity(size_t conns) {
+  CapacityStats c;
+  c.conns = conns;
+  {
+    server::HttpServer srv;
+    srv.Route("/ping", PingHandler());
+    srv.SetIdleTimeoutMs(0);
+    if (srv.Start(0).ok()) {
+      c.reactor_bytes_per_conn = MeasureRssPerConn(srv, conns);
+      srv.Stop();
+    }
+  }
+  {
+    server::ThreadedHttpServer srv;
+    srv.Route("/ping", PingHandler());
+    srv.SetSocketTimeoutMs(60000);  // workers park in read, holding stacks
+    if (srv.Start(0).ok()) {
+      c.threaded_bytes_per_conn = MeasureRssPerConn(srv, conns);
+      srv.Stop();
+    }
+  }
+  // The reactor's per-connection cost can vanish into allocator noise;
+  // floor it at one cache line so the ratio stays finite.
+  const double reactor = std::max(c.reactor_bytes_per_conn, 64.0);
+  c.ratio = c.threaded_bytes_per_conn > 0.0
+                ? c.threaded_bytes_per_conn / reactor
+                : 0.0;
+  return c;
+}
+
+void PrintSocketRow(const SocketRun& s) {
+  char clients_s[16], requests_s[32], qps_s[32];
+  std::snprintf(clients_s, sizeof(clients_s), "%d", s.clients);
+  std::snprintf(requests_s, sizeof(requests_s), "%llu",
+                static_cast<unsigned long long>(s.requests));
+  std::snprintf(qps_s, sizeof(qps_s), "%.0f", s.qps);
+  eval::PrintRow({s.config, clients_s, requests_s, qps_s,
+                  eval::FmtMs(s.p50_ms), eval::FmtMs(s.p99_ms)});
+}
+
 const RunStats* Find(const std::vector<RunStats>& all,
                      const std::string& config, int clients) {
   for (const RunStats& s : all) {
@@ -203,6 +555,108 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- Socket-level serving-tier comparison (DESIGN.md §13) ----
+  // Both ends of every connection live in this process (client fd + server
+  // fd), so a parked connection costs two fds; the slack covers listeners,
+  // epoll/event fds, the active clients and stdio.
+  const size_t fd_limit = EffectiveFdLimit(32768);
+  const size_t max_parked = fd_limit > 1024 ? (fd_limit - 128) / 2 : 256;
+
+  std::vector<std::string> search_targets;
+  for (const std::string& q : hot_queries) {
+    std::string enc = q;
+    for (char& ch : enc) {
+      if (ch == ' ') ch = '+';
+    }
+    search_targets.push_back("/search?q=" + enc + "&k=10");
+  }
+
+  eval::PrintHeader(
+      "Serving tier over sockets: /search (thread-per-conn closes per "
+      "response; reactor keeps alive)",
+      {"configuration", "clients", "requests", "QPS", "p50", "p99"});
+  std::vector<SocketRun> socket_runs;
+  const std::vector<int> socket_clients = {4, 64};
+  for (ServingTier tier :
+       {ServingTier::kThreadPerConn, ServingTier::kReactor,
+        ServingTier::kReactorBatch}) {
+    for (int clients : socket_clients) {
+      SocketRun s = RunSearchOverSocket(data, search_targets, tier, clients,
+                                        duration_ms);
+      PrintSocketRow(s);
+      socket_runs.push_back(std::move(s));
+    }
+  }
+
+  eval::PrintHeader(
+      "Transport-only (/ping, 64 clients): connection setup + thread spawn "
+      "vs keep-alive reactor",
+      {"configuration", "clients", "requests", "QPS", "p50", "p99"});
+  SocketRun ping_threaded =
+      RunPingOverSocket(ServingTier::kThreadPerConn, 64, duration_ms);
+  PrintSocketRow(ping_threaded);
+  SocketRun ping_reactor =
+      RunPingOverSocket(ServingTier::kReactor, 64, duration_ms);
+  PrintSocketRow(ping_reactor);
+  socket_runs.push_back(ping_threaded);
+  socket_runs.push_back(ping_reactor);
+
+  eval::PrintHeader(
+      "Idle keep-alive sweep (reactor, 8 active clients + N parked "
+      "connections)",
+      {"idle conns", "requests", "QPS", "p50", "p99", "RSS MB"});
+  std::vector<size_t> sweep_counts =
+      smoke ? std::vector<size_t>{256, 1024}
+            : std::vector<size_t>{1000, 4000, 10000};
+  std::vector<SocketRun> sweep_runs;
+  for (size_t n : sweep_counts) {
+    const size_t parked = std::min(n, max_parked);
+    if (parked < n) {
+      std::fprintf(stderr,
+                   "fd limit %zu clamps the %zu-connection point to %zu\n",
+                   fd_limit, n, parked);
+    }
+    SocketRun s = RunIdleSweepPoint(parked, /*active_clients=*/8,
+                                    duration_ms);
+    char conns_s[16], requests_s[32], qps_s[32], rss_s[32];
+    std::snprintf(conns_s, sizeof(conns_s), "%zu", s.idle_conns);
+    std::snprintf(requests_s, sizeof(requests_s), "%llu",
+                  static_cast<unsigned long long>(s.requests));
+    std::snprintf(qps_s, sizeof(qps_s), "%.0f", s.qps);
+    std::snprintf(rss_s, sizeof(rss_s), "%.1f", s.rss_mb);
+    eval::PrintRow({conns_s, requests_s, qps_s, eval::FmtMs(s.p50_ms),
+                    eval::FmtMs(s.p99_ms), rss_s});
+    sweep_runs.push_back(std::move(s));
+  }
+
+  const CapacityStats cap =
+      MeasureConnectionCapacity(std::min<size_t>(1000, max_parked));
+  std::printf(
+      "\nRSS per held connection over %zu conns: thread-per-conn %.0f B, "
+      "reactor %.0f B -> %.1fx capacity at fixed RSS\n",
+      cap.conns, cap.threaded_bytes_per_conn, cap.reactor_bytes_per_conn,
+      cap.ratio);
+
+  auto find_socket = [&socket_runs](const char* config, const char* route,
+                                    int clients) -> const SocketRun* {
+    for (const SocketRun& s : socket_runs) {
+      if (s.config == config && s.route == route && s.clients == clients) {
+        return &s;
+      }
+    }
+    return nullptr;
+  };
+  auto qps_ratio = [&find_socket](const char* route, int clients) {
+    const SocketRun* threaded = find_socket("thread-per-conn", route, clients);
+    const SocketRun* reactor = find_socket("reactor", route, clients);
+    return (threaded != nullptr && reactor != nullptr && threaded->qps > 0.0)
+               ? reactor->qps / threaded->qps
+               : 0.0;
+  };
+  const double ping_ratio_64 = qps_ratio("/ping", 64);
+  const double search_ratio_64 = qps_ratio("/search", 64);
+  const double search_ratio_4 = qps_ratio("/search", 4);
+
   const RunStats* mutex16 = Find(results, "mutex", 16);
   const RunStats* sched16 = Find(results, "sched", 16);
   const RunStats* schedctx16 = Find(results, "sched+ctx", 16);
@@ -260,6 +714,67 @@ int main(int argc, char** argv) {
     w.EndObject();
   }
   w.EndArray();
+  w.Key("socket_runs");
+  w.BeginArray();
+  for (const SocketRun& s : socket_runs) {
+    w.BeginObject();
+    w.Key("config");
+    w.String(s.config);
+    w.Key("route");
+    w.String(s.route);
+    w.Key("clients");
+    w.Int(s.clients);
+    w.Key("requests");
+    w.UInt(s.requests);
+    w.Key("wall_ms");
+    w.Double(s.wall_ms);
+    w.Key("qps");
+    w.Double(s.qps);
+    w.Key("p50_ms");
+    w.Double(s.p50_ms);
+    w.Key("p99_ms");
+    w.Double(s.p99_ms);
+    w.Key("batch_epochs");
+    w.UInt(s.batch_epochs);
+    w.Key("batch_merged");
+    w.UInt(s.batch_merged);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("keepalive_sweep");
+  w.BeginArray();
+  for (const SocketRun& s : sweep_runs) {
+    w.BeginObject();
+    w.Key("idle_conns");
+    w.UInt(s.idle_conns);
+    w.Key("active_clients");
+    w.Int(s.clients);
+    w.Key("requests");
+    w.UInt(s.requests);
+    w.Key("qps");
+    w.Double(s.qps);
+    w.Key("p50_ms");
+    w.Double(s.p50_ms);
+    w.Key("p99_ms");
+    w.Double(s.p99_ms);
+    w.Key("rss_mb");
+    w.Double(s.rss_mb);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("capacity");
+  w.BeginObject();
+  w.Key("connections");
+  w.UInt(cap.conns);
+  w.Key("threaded_rss_bytes_per_conn");
+  w.Double(cap.threaded_bytes_per_conn);
+  w.Key("reactor_rss_bytes_per_conn");
+  w.Double(cap.reactor_bytes_per_conn);
+  w.Key("capacity_ratio");
+  w.Double(cap.ratio);
+  w.Key("fd_limit");
+  w.UInt(fd_limit);
+  w.EndObject();
   w.Key("acceptance");
   w.BeginObject();
   w.Key("speedup_16_clients");
@@ -273,6 +788,22 @@ int main(int argc, char** argv) {
   w.Key("p99_1_client_no_worse");
   // Tolerance for run-to-run noise on a single-digit-ms quantile.
   w.Bool(p99_ratio_1client <= 1.15);
+  w.Key("reactor_vs_threaded_qps_64_ping");
+  w.Double(ping_ratio_64);
+  w.Key("reactor_meets_threaded_qps");
+  w.Bool(ping_ratio_64 >= 1.0);
+  w.Key("reactor_vs_threaded_qps_64_search");
+  w.Double(search_ratio_64);
+  w.Key("reactor_vs_threaded_qps_4_search");
+  w.Double(search_ratio_4);
+  // Engine time dominates /search, so low-concurrency parity has noise
+  // headroom; the transport win shows undiluted on /ping.
+  w.Key("search_qps_no_regression_low_concurrency");
+  w.Bool(search_ratio_4 >= 0.9);
+  w.Key("capacity_ratio");
+  w.Double(cap.ratio);
+  w.Key("meets_5x_capacity");
+  w.Bool(cap.ratio >= 5.0);
   w.EndObject();
   w.EndObject();
 
@@ -280,8 +811,11 @@ int main(int argc, char** argv) {
   out << std::move(w).Take() << "\n";
   out.close();
   std::printf("\nscheduler speedup at 16 clients: %.2fx (with context "
-              "cache: %.2fx); p99 ratio at 1 client: %.2f\nwrote %s\n",
-              speedup16, speedup16_ctx, p99_ratio_1client, out_path.c_str());
+              "cache: %.2fx); p99 ratio at 1 client: %.2f\n"
+              "reactor vs thread-per-conn at 64 clients: %.2fx on /ping, "
+              "%.2fx on /search; capacity ratio %.1fx\nwrote %s\n",
+              speedup16, speedup16_ctx, p99_ratio_1client, ping_ratio_64,
+              search_ratio_64, cap.ratio, out_path.c_str());
 
   if (smoke) {
     const double best = std::max(speedup16, speedup16_ctx);
@@ -289,6 +823,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "SMOKE FAIL: scheduler speedup %.2fx < 2x at 16 clients\n",
                    best);
+      return 1;
+    }
+    if (ping_ratio_64 < 1.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: reactor /ping QPS %.2fx of thread-per-conn "
+                   "at 64 clients (must be >= 1x)\n",
+                   ping_ratio_64);
+      return 1;
+    }
+    if (cap.ratio < 5.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: connection capacity ratio %.1fx < 5x "
+                   "(thread-per-conn %.0f B/conn, reactor %.0f B/conn)\n",
+                   cap.ratio, cap.threaded_bytes_per_conn,
+                   cap.reactor_bytes_per_conn);
       return 1;
     }
   }

@@ -10,7 +10,13 @@
 //        useful for smoke tests), --deadline-ms <ms> (default per-query
 //        budget; 0 = unbounded), --queue-depth <n> (shed searches beyond n
 //        in flight with 429; 0 = unlimited), --max-connections <n> (cap
-//        concurrent HTTP connections; excess get 503), --live (serve from
+//        concurrent HTTP connections; excess get 503), --reactor-threads
+//        <n> (event-loop threads, each with its own SO_REUSEPORT listener;
+//        default 1), --idle-timeout-ms <ms> (reap connections with no
+//        request in flight and no write progress for this long; 0 disables;
+//        default 5000), --batch-window-ms <ms> (merge distinct queries
+//        admitted within this window into one batch epoch; 0 = off),
+//        --live (serve from
 //        a SnapshotManager with a background compactor: POST /update
 //        accepts online mutations, GET /snapshot reports the live state),
 //        --data-dir <dir> (durable live mode: WAL + snapshot persistence in
@@ -50,6 +56,9 @@ int main(int argc, char** argv) {
   bool live_mode = false;
   size_t queue_depth = 0;
   size_t max_connections = 0;
+  int reactor_threads = 1;
+  int idle_timeout_ms = 5000;
+  double batch_window_ms = 0.0;
   live::SnapshotManager::DurabilityOptions dopts;
   SearchOptions opts;
   for (int i = 1; i < argc; ++i) {
@@ -73,6 +82,12 @@ int main(int argc, char** argv) {
       queue_depth = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--max-connections") {
       max_connections = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--reactor-threads") {
+      reactor_threads = std::atoi(next());
+    } else if (arg == "--idle-timeout-ms") {
+      idle_timeout_ms = std::atoi(next());
+    } else if (arg == "--batch-window-ms") {
+      batch_window_ms = std::atof(next());
     } else if (arg == "--once") {
       once = true;
     } else if (arg == "--live") {
@@ -180,8 +195,11 @@ int main(int argc, char** argv) {
   }
   server::SearchService& service = *serving;
   service.SetQueueDepth(queue_depth);
+  if (batch_window_ms > 0) service.SetBatchWindow(batch_window_ms);
   server::HttpServer http;
   http.SetMaxConnections(max_connections);
+  http.SetReactorThreads(reactor_threads);
+  http.SetIdleTimeoutMs(idle_timeout_ms);
   service.RegisterRoutes(&http);
   Status st = http.Start(once ? 0 : port);
   if (!st.ok()) {

@@ -1,0 +1,518 @@
+#include "server/epoll_reactor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wikisearch::server {
+
+namespace {
+
+// epoll user-data tags. Connection ids start above these.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kEventFdTag = 1;
+
+}  // namespace
+
+EpollReactor::EpollReactor(Options opts)
+    : opts_(opts), next_conn_id_(2) {
+  if (opts_.reactor_threads < 1) opts_.reactor_threads = 1;
+  if (opts_.handler_threads < 1) opts_.handler_threads = 1;
+  if (opts_.max_pipeline < 1) opts_.max_pipeline = 1;
+}
+
+EpollReactor::~EpollReactor() { Stop(); }
+
+void EpollReactor::Route(const std::string& path, HttpHandler handler) {
+  WS_CHECK(!running_.load());
+  routes_[path] = std::move(handler);
+}
+
+void EpollReactor::SetOptions(const Options& opts) {
+  WS_CHECK(!running_.load());
+  opts_ = opts;
+  if (opts_.reactor_threads < 1) opts_.reactor_threads = 1;
+  if (opts_.handler_threads < 1) opts_.handler_threads = 1;
+  if (opts_.max_pipeline < 1) opts_.max_pipeline = 1;
+}
+
+Status EpollReactor::OpenListener(Loop* loop, uint16_t port,
+                                  uint16_t* resolved) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int opt = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  // Every reactor binds its own listener to the same port; the kernel
+  // hashes incoming connections across them, so accept load spreads with
+  // no shared accept lock.
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &opt, sizeof(opt));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("bind() failed (port in use?)");
+  }
+  if (::listen(fd, 512) < 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *resolved = ntohs(addr.sin_port);
+  loop->listen_fd = fd;
+  return Status::OK();
+}
+
+EpollReactor::Loop::~Loop() {
+  if (listen_fd >= 0) ::close(listen_fd);
+  if (event_fd >= 0) ::close(event_fd);
+  if (epoll_fd >= 0) ::close(epoll_fd);
+}
+
+Status EpollReactor::Start(uint16_t port) {
+  WS_CHECK(!running_.load());
+  stopping_.store(false);
+  tasks_stop_ = false;
+
+  uint16_t resolved = port;
+  for (int i = 0; i < opts_.reactor_threads; ++i) {
+    auto loop = std::make_unique<Loop>();
+    // The first bind resolves port 0 to a concrete port; the rest must
+    // join it exactly or SO_REUSEPORT balancing silently splits the port.
+    Status st = OpenListener(loop.get(), resolved, &resolved);
+    if (!st.ok()) {
+      loops_.clear();  // ~Loop closes whatever was opened so far
+      return st;
+    }
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    WS_CHECK(loop->epoll_fd >= 0 && loop->event_fd >= 0);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenerTag;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->listen_fd, &ev);
+    ev.data.u64 = kEventFdTag;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  port_ = resolved;
+  running_.store(true);
+  for (int i = 0; i < opts_.handler_threads; ++i) {
+    handlers_.emplace_back([this] { HandlerMain(); });
+  }
+  for (size_t i = 0; i < loops_.size(); ++i) {
+    Loop* loop = loops_[i].get();
+    loop->index = i;
+    loop->thread = std::thread([this, loop] { RunLoop(loop); });
+  }
+  return Status::OK();
+}
+
+void EpollReactor::Stop() {
+  if (!running_.exchange(false)) return;
+  // Handlers first: a running handler finishes and posts its completion
+  // (harmlessly — the reactors are still draining); queued-but-unstarted
+  // tasks are dropped with their connections.
+  {
+    std::lock_guard<std::mutex> lock(task_mu_);
+    tasks_stop_ = true;
+    tasks_.clear();
+  }
+  task_cv_.notify_all();
+  for (auto& h : handlers_) h.join();
+  handlers_.clear();
+
+  stopping_.store(true);
+  for (auto& loop : loops_) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(loop->event_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  loops_.clear();
+}
+
+void EpollReactor::PostCompletion(size_t loop_index,
+                                  Loop::Completion completion) {
+  Loop* loop = loops_[loop_index].get();
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    loop->completions.push_back(std::move(completion));
+  }
+  uint64_t one = 1;
+  ssize_t ignored = ::write(loop->event_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+void EpollReactor::HandlerMain() {
+  live_threads_.fetch_add(1, std::memory_order_relaxed);
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(task_mu_);
+      task_cv_.wait(lock, [&] { return tasks_stop_ || !tasks_.empty(); });
+      if (tasks_stop_) break;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    HttpResponse resp = (*task.handler)(task.req);
+    PostCompletion(task.loop_index,
+                   Loop::Completion{task.conn_id, task.seq, std::move(resp),
+                                    task.keep_alive});
+  }
+  live_threads_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void EpollReactor::AcceptReady(Loop* loop) {
+  for (;;) {
+    int fd = ::accept4(loop->listen_fd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    if (opts_.max_connections != 0 &&
+        open_connections_.load(std::memory_order_relaxed) >=
+            opts_.max_connections) {
+      // Shed inline from the reactor: no connection state is created, so
+      // an accept flood past the cap costs one rendered 503 each.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse resp =
+          HttpResponse::Text(503, "connection limit reached, retry later\n");
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      std::string out;
+      AppendResponseHead(&out, resp, resp.body.size(), /*keep_alive=*/false);
+      out += resp.body;
+      ssize_t ignored = ::send(fd, out.data(), out.size(), MSG_NOSIGNAL);
+      (void)ignored;  // best effort: the peer may already be gone
+      ::close(fd);
+      continue;
+    }
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_unique<Conn>(opts_.limits);
+    conn->fd = fd;
+    conn->id = id;
+    conn->idle_base = std::chrono::steady_clock::now();
+    conn->events = EPOLLIN | EPOLLRDHUP;
+    epoll_event ev{};
+    ev.events = conn->events;
+    ev.data.u64 = id;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    loop->conns.emplace(id, std::move(conn));
+  }
+}
+
+void EpollReactor::CloseConn(Loop* loop, Conn* conn) {
+  // Undelivered responses (completed but unwritten, or mid-write) die with
+  // the connection; their pooled buffers go back, never leaked.
+  discarded_.fetch_add(conn->ready.size() + conn->outq.size(),
+                       std::memory_order_relaxed);
+  for (auto& [seq, msg] : conn->ready) pool_.Put(std::move(msg.head));
+  for (auto& msg : conn->outq) pool_.Put(std::move(msg.head));
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  loop->conns.erase(conn->id);  // destroys *conn
+}
+
+void EpollReactor::QueueResponse(Loop* loop, Conn* conn, uint64_t seq,
+                                 HttpResponse resp, bool keep_alive) {
+  (void)loop;
+  bool ka = keep_alive && !resp.close_connection;
+  OutMsg msg;
+  msg.head = pool_.Get();
+  AppendResponseHead(&msg.head, resp, resp.body.size(), ka);
+  msg.body = std::move(resp.body);
+  msg.close_after = !ka;
+  conn->ready.emplace(seq, std::move(msg));
+  // Promote everything that is now in order: pipelined responses go on the
+  // wire strictly in request order no matter when handlers finish.
+  while (!conn->ready.empty() &&
+         conn->ready.begin()->first == conn->next_write_seq) {
+    conn->outq.push_back(std::move(conn->ready.begin()->second));
+    conn->ready.erase(conn->ready.begin());
+    ++conn->next_write_seq;
+  }
+}
+
+bool EpollReactor::DispatchParsed(Loop* loop, Conn* conn) {
+  while (!conn->stop_reading) {
+    if (conn->next_seq - conn->written >= opts_.max_pipeline) {
+      return true;  // parse-ahead full; resume as responses drain
+    }
+    HttpConnParser::Request parsed;
+    HttpConnParser::Next next = conn->parser.TryNext(&parsed);
+    if (next == HttpConnParser::Next::kNeedMore) return false;
+    if (next == HttpConnParser::Next::kError) {
+      // The byte stream has no trustworthy request boundary anymore:
+      // answer (in order, after any pipelined predecessors) and close.
+      uint64_t seq = conn->next_seq++;
+      conn->stop_reading = true;
+      HttpResponse err = HttpResponse::Text(
+          conn->parser.error_code(), conn->parser.error_message() + "\n");
+      err.close_connection = true;
+      QueueResponse(loop, conn, seq, std::move(err), /*keep_alive=*/false);
+      return false;
+    }
+    uint64_t seq = conn->next_seq++;
+    ++conn->requests_on_conn;
+    if (conn->requests_on_conn > 1) {
+      keepalive_reuse_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!parsed.keep_alive) conn->stop_reading = true;
+    auto it = routes_.find(parsed.req.path);
+    if (it == routes_.end()) {
+      QueueResponse(loop, conn, seq, HttpResponse::NotFound(),
+                    parsed.keep_alive);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(task_mu_);
+      tasks_.push_back(Task{loop->index, conn->id, seq, &it->second,
+                            std::move(parsed.req), parsed.keep_alive});
+    }
+    task_cv_.notify_one();
+  }
+  return false;
+}
+
+bool EpollReactor::FlushWrites(Loop* loop, Conn* conn) {
+  while (!conn->outq.empty()) {
+    OutMsg& msg = conn->outq.front();
+    const size_t head_size = msg.head.size();
+    const size_t total = head_size + msg.body.size();
+    if (msg.off >= total) {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      ++conn->written;
+      conn->idle_base = std::chrono::steady_clock::now();
+      pool_.Put(std::move(msg.head));
+      bool close_after = msg.close_after;
+      conn->outq.pop_front();
+      if (close_after) {
+        CloseConn(loop, conn);
+        return false;
+      }
+      continue;
+    }
+    // Zero-copy gather: the rendered head and the handler's body are sent
+    // from where they already live.
+    iovec iov[2];
+    int iov_count = 0;
+    if (msg.off < head_size) {
+      iov[iov_count++] = {msg.head.data() + msg.off, head_size - msg.off};
+      if (!msg.body.empty()) {
+        iov[iov_count++] = {msg.body.data(), msg.body.size()};
+      }
+    } else {
+      size_t body_off = msg.off - head_size;
+      iov[iov_count++] = {msg.body.data() + body_off,
+                          msg.body.size() - body_off};
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<size_t>(iov_count);
+    ssize_t n = ::sendmsg(conn->fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      // EPIPE/ECONNRESET: the peer is gone; everything undelivered is
+      // discarded and no further write is attempted on the dead fd.
+      CloseConn(loop, conn);
+      return false;
+    }
+    msg.off += static_cast<size_t>(n);
+    conn->idle_base = std::chrono::steady_clock::now();
+  }
+  return true;
+}
+
+void EpollReactor::Pump(Loop* loop, Conn* conn) {
+  for (;;) {
+    bool throttled = DispatchParsed(loop, conn);
+    if (!FlushWrites(loop, conn)) return;  // connection closed
+    bool under_limit =
+        conn->next_seq - conn->written < opts_.max_pipeline;
+    if (!(throttled && under_limit)) break;
+  }
+  if (conn->read_closed && conn->outq.empty() &&
+      conn->next_write_seq == conn->next_seq) {
+    // Peer EOF and every accepted request answered and flushed: a
+    // half-closed connection is held open exactly until its responses are
+    // delivered.
+    CloseConn(loop, conn);
+    return;
+  }
+  UpdateInterest(loop, conn);
+}
+
+void EpollReactor::UpdateInterest(Loop* loop, Conn* conn) {
+  uint32_t want = EPOLLRDHUP;
+  bool under_limit = conn->next_seq - conn->written < opts_.max_pipeline;
+  if (!conn->stop_reading && !conn->read_closed && under_limit) {
+    want |= EPOLLIN;
+  }
+  if (!conn->outq.empty()) want |= EPOLLOUT;
+  if (want != conn->events) {
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->events = want;
+  }
+}
+
+void EpollReactor::ReadReady(Loop* loop, Conn* conn) {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      // Bytes pipelined after a Connection: close request (or a framing
+      // error) are discarded, not parsed.
+      if (!conn->stop_reading) {
+        conn->parser.Feed(buf, static_cast<size_t>(n));
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConn(loop, conn);  // ECONNRESET and friends
+    return;
+  }
+  Pump(loop, conn);
+}
+
+void EpollReactor::SweepIdle(Loop* loop) {
+  if (opts_.idle_timeout_ms <= 0) return;
+  auto now = std::chrono::steady_clock::now();
+  auto limit = std::chrono::milliseconds(opts_.idle_timeout_ms);
+  std::vector<uint64_t> reap;
+  for (auto& [id, conn] : loop->conns) {
+    if (now - conn->idle_base <= limit) continue;
+    // A connection whose requests are still in the engine (accepted, not
+    // yet written, nothing write-stalled) is working, not idle — never
+    // reap it. Everything else past the limit is either silent, trickling
+    // header bytes (slowloris — partial reads do not refresh idle_base),
+    // or not reading its responses (write-stalled).
+    bool engine_pending =
+        conn->outq.empty() && conn->next_write_seq < conn->next_seq;
+    if (engine_pending) continue;
+    reap.push_back(id);
+  }
+  for (uint64_t id : reap) {
+    auto it = loop->conns.find(id);
+    if (it == loop->conns.end()) continue;
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+    CloseConn(loop, it->second.get());
+  }
+}
+
+void EpollReactor::DrainCompletions(Loop* loop) {
+  std::vector<Loop::Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(loop->mu);
+    batch.swap(loop->completions);
+  }
+  for (Loop::Completion& c : batch) {
+    auto it = loop->conns.find(c.conn_id);
+    if (it == loop->conns.end()) {
+      // The client disconnected while the engine ran: the result is
+      // dropped here, before any buffer is borrowed or fd written.
+      discarded_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Conn* conn = it->second.get();
+    QueueResponse(loop, conn, c.seq, std::move(c.resp), c.keep_alive);
+    Pump(loop, conn);
+  }
+}
+
+void EpollReactor::RunLoop(Loop* loop) {
+  live_threads_.fetch_add(1, std::memory_order_relaxed);
+  const int sweep_ms =
+      opts_.idle_timeout_ms > 0
+          ? std::clamp(opts_.idle_timeout_ms / 4, 10, 250)
+          : 250;
+  auto last_sweep = std::chrono::steady_clock::now();
+  std::vector<epoll_event> events(128);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(loop->epoll_fd, events.data(),
+                         static_cast<int>(events.size()), sweep_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kListenerTag) {
+        AcceptReady(loop);
+        continue;
+      }
+      if (tag == kEventFdTag) {
+        uint64_t v;
+        ssize_t ignored = ::read(loop->event_fd, &v, sizeof(v));
+        (void)ignored;
+        DrainCompletions(loop);
+        continue;
+      }
+      // Look up by id, not pointer: a completion processed earlier in this
+      // batch may have closed the connection already (ids never recycle).
+      auto it = loop->conns.find(tag);
+      if (it == loop->conns.end()) continue;
+      Conn* conn = it->second.get();
+      if (ev & EPOLLERR) {
+        CloseConn(loop, conn);
+        continue;
+      }
+      if (ev & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) {
+        ReadReady(loop, conn);
+        it = loop->conns.find(tag);
+        if (it == loop->conns.end()) continue;
+        conn = it->second.get();
+      }
+      if (ev & EPOLLOUT) Pump(loop, conn);
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep >= std::chrono::milliseconds(sweep_ms)) {
+      SweepIdle(loop);
+      last_sweep = now;
+    }
+  }
+  // Teardown on the owning thread: every connection fd is closed and every
+  // pooled buffer returned before Stop() unblocks. The listener/event/epoll
+  // fds stay open — Stop() may still be writing the eventfd to wake other
+  // loops; ~Loop closes them after every thread is joined.
+  std::vector<uint64_t> ids;
+  ids.reserve(loop->conns.size());
+  for (auto& [id, conn] : loop->conns) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = loop->conns.find(id);
+    if (it != loop->conns.end()) CloseConn(loop, it->second.get());
+  }
+  live_threads_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace wikisearch::server

@@ -1,0 +1,222 @@
+// Nonblocking epoll reactor — the event-driven serving tier (DESIGN.md
+// §13). N reactor threads each own a SO_REUSEPORT listener, an epoll set
+// and the connections the kernel hashed to them; connection state never
+// crosses threads. Blocking route handlers (the engine) run on a separate
+// handler pool; completed responses are posted back to the owning reactor
+// through an eventfd-signalled queue, rendered into pooled head buffers
+// and drained on EPOLLOUT — in request order per connection, which is what
+// makes HTTP/1.1 pipelining safe.
+//
+// Connection lifecycle (one state machine per fd):
+//
+//   accept → [reading] --parse--> [dispatched]* --completion--> [writing]
+//      |         |  idle > limit        |  peer RST               |
+//      |         +--------→ reap        +---------→ discard       |
+//      +-- cap reached → inline 503                               |
+//   [writing] --drained--> [reading]   (keep-alive)               |
+//   [writing] --drained + close/error/EOF--> close  ←-------------+
+//
+// Abuse posture: a peer that trickles header bytes (slowloris) never
+// refreshes the idle clock — only accept, response completion and write
+// progress do — so it is reaped at idle_timeout_ms like a silent peer. A
+// peer that pipelines without reading is throttled (EPOLLIN disarmed past
+// max_pipeline unanswered requests) and reaped when its write side stalls
+// past the same timeout.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "server/http_conn.h"
+
+namespace wikisearch::server {
+
+class EpollReactor {
+ public:
+  struct Options {
+    /// Reactor (event-loop) threads, each with its own SO_REUSEPORT
+    /// listener and epoll set. 1 is right for this box; more spreads
+    /// accept load by kernel hash.
+    int reactor_threads = 1;
+    /// Threads running blocking route handlers (the engine). The reactor
+    /// never blocks on a handler.
+    int handler_threads = 8;
+    /// Open-connection cap across all reactors; excess accepts get an
+    /// inline 503 + Retry-After. 0 = unlimited.
+    size_t max_connections = 0;
+    /// A connection with no request in flight and no write progress for
+    /// this long is reaped. 0 disables reaping.
+    int idle_timeout_ms = 5000;
+    /// Unanswered pipelined requests allowed per connection before the
+    /// reactor stops reading from it (resumes as responses drain).
+    size_t max_pipeline = 32;
+    HttpConnParser::Limits limits;
+  };
+
+  EpollReactor() : EpollReactor(Options()) {}
+  explicit EpollReactor(Options opts);
+  ~EpollReactor();
+  EpollReactor(const EpollReactor&) = delete;
+  EpollReactor& operator=(const EpollReactor&) = delete;
+
+  /// Registers a handler for an exact path (any method). Must be called
+  /// before Start.
+  void Route(const std::string& path, HttpHandler handler);
+
+  /// Replaces the options wholesale. Must be called before Start.
+  void SetOptions(const Options& opts);
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port; every reactor's listener
+  /// binds the same resolved port via SO_REUSEPORT) and starts the reactor
+  /// and handler threads.
+  Status Start(uint16_t port);
+
+  /// Stops handler threads first (running handlers finish; their responses
+  /// are discarded), then the reactors; every connection fd is closed and
+  /// every pooled buffer returned before this returns.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+  // Counters. The gauges are exact at any quiescent instant; the totals
+  // are monotonic for Counter::AdvanceTo bridging.
+  uint64_t requests_served() const { return requests_.load(); }
+  size_t open_connections() const { return open_connections_.load(); }
+  uint64_t accepted_connections() const { return accepted_.load(); }
+  uint64_t rejected_connections() const { return rejected_.load(); }
+  uint64_t keepalive_reuse() const { return keepalive_reuse_.load(); }
+  uint64_t idle_reaped() const { return idle_reaped_.load(); }
+  /// Responses completed by a handler after their connection died.
+  uint64_t discarded_responses() const { return discarded_.load(); }
+  /// Alive server-owned threads (reactors + handlers); 0 after Stop.
+  size_t live_threads() const { return live_threads_.load(); }
+
+  const BufferPool& buffer_pool() const { return pool_; }
+
+ private:
+  // A response head buffer + body queued for writing on a connection.
+  struct OutMsg {
+    std::string head;  // pooled; returned on completion or teardown
+    std::string body;
+    size_t off = 0;  // bytes of head+body already on the wire
+    bool close_after = false;
+  };
+
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    HttpConnParser parser;
+    uint64_t next_seq = 0;        // seq assigned to the next parsed request
+    uint64_t next_write_seq = 0;  // seq whose response goes on the wire next
+    uint64_t written = 0;         // responses fully written
+    std::map<uint64_t, OutMsg> ready;  // completed out of order, waiting
+    std::deque<OutMsg> outq;           // in order, being written
+    bool stop_reading = false;  // close requested / parse error latched
+    bool read_closed = false;   // peer EOF (half-close): flush, then close
+    uint32_t events = 0;        // epoll interest currently armed
+    std::chrono::steady_clock::time_point idle_base;
+    uint64_t requests_on_conn = 0;
+
+    Conn(const HttpConnParser::Limits& limits)
+        : parser(limits) {}
+  };
+
+  // One reactor thread's private world + its two cross-thread mailboxes
+  // (completions, stop) signalled through the eventfd.
+  struct Loop {
+    // Closes the three fds below. Destruction (loops_.clear() in Stop,
+    // after the joins) is the ONLY place they are closed: the loop thread
+    // must not close them itself, or Stop()'s eventfd wake-up write races
+    // a loop that exited via a timeout — possibly onto a recycled fd.
+    ~Loop();
+    int epoll_fd = -1;
+    int event_fd = -1;
+    int listen_fd = -1;
+    size_t index = 0;
+    std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+    std::thread thread;
+
+    struct Completion {
+      uint64_t conn_id;
+      uint64_t seq;
+      HttpResponse resp;
+      bool keep_alive;
+    };
+    std::mutex mu;
+    std::vector<Completion> completions;
+  };
+
+  struct Task {
+    size_t loop_index = 0;
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    const HttpHandler* handler = nullptr;  // into routes_, fixed after Start
+    HttpRequest req;
+    bool keep_alive = true;
+  };
+
+  Status OpenListener(Loop* loop, uint16_t port, uint16_t* resolved);
+  void RunLoop(Loop* loop);
+  void HandlerMain();
+  void PostCompletion(size_t loop_index, Loop::Completion completion);
+
+  void AcceptReady(Loop* loop);
+  void ReadReady(Loop* loop, Conn* conn);
+  /// Parses as many buffered requests as the pipeline limit allows and
+  /// dispatches them (handler tasks, or inline 404/parse-error replies).
+  /// Returns true if parsing stopped because the pipeline limit was hit.
+  bool DispatchParsed(Loop* loop, Conn* conn);
+  /// Renders the response for `seq` into a pooled buffer and promotes any
+  /// newly in-order responses to the write queue.
+  void QueueResponse(Loop* loop, Conn* conn, uint64_t seq, HttpResponse resp,
+                     bool keep_alive);
+  /// Writes queued responses until the socket would block. Returns false
+  /// if the connection was closed (peer gone, or close-after written).
+  bool FlushWrites(Loop* loop, Conn* conn);
+  /// Alternates parse/dispatch and write until neither can progress, then
+  /// settles the connection: close on drained EOF, re-arm epoll interest.
+  void Pump(Loop* loop, Conn* conn);
+  void DrainCompletions(Loop* loop);
+  void UpdateInterest(Loop* loop, Conn* conn);
+  void CloseConn(Loop* loop, Conn* conn);
+  void SweepIdle(Loop* loop);
+
+  Options opts_;
+  std::map<std::string, HttpHandler> routes_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+
+  std::vector<std::thread> handlers_;
+  std::mutex task_mu_;
+  std::condition_variable task_cv_;
+  std::deque<Task> tasks_;
+  bool tasks_stop_ = false;
+
+  BufferPool pool_;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> keepalive_reuse_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> discarded_{0};
+  std::atomic<size_t> live_threads_{0};
+};
+
+}  // namespace wikisearch::server

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
@@ -54,6 +55,115 @@ Result<HttpClientResponse> HttpGet(uint16_t port, const std::string& target) {
   resp.status = std::atoi(raw.c_str() + sp + 1);
   resp.body = raw.substr(header_end + 4);
   return resp;
+}
+
+Status HttpConnection::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Internal("connect() failed");
+  }
+  return Status::OK();
+}
+
+Status HttpConnection::SendGet(const std::string& target) {
+  return SendRaw("GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+Status HttpConnection::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Internal("not connected");
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return Status::Internal("send() failed");
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpConnection::ReadResponse() {
+  if (fd_ < 0) return Status::Internal("not connected");
+  char chunk[4096];
+  size_t header_end;
+  // Head first: read until the blank line arrives.
+  while ((header_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) return Status::Corruption("connection closed mid-response");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+  HttpClientResponse resp;
+  size_t sp = buf_.find(' ');
+  if (sp == std::string::npos || sp > header_end) {
+    return Status::Corruption("malformed HTTP response");
+  }
+  resp.status = std::atoi(buf_.c_str() + sp + 1);
+  size_t pos = buf_.find("\r\n") + 2;
+  while (pos < header_end) {
+    size_t eol = buf_.find("\r\n", pos);
+    std::string line = buf_.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      for (char& c : key) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      size_t vstart = colon + 1;
+      while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+      resp.headers[key] = line.substr(vstart);
+    }
+    pos = eol + 2;
+  }
+  size_t content_length = 0;
+  if (auto it = resp.headers.find("content-length");
+      it != resp.headers.end()) {
+    content_length = static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+  size_t body_start = header_end + 4;
+  while (buf_.size() - body_start < content_length) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) return Status::Corruption("connection closed mid-body");
+    buf_.append(chunk, static_cast<size_t>(n));
+  }
+  resp.body = buf_.substr(body_start, content_length);
+  // Keep read-ahead: under pipelining the next response (or part of it)
+  // may already be buffered.
+  buf_.erase(0, body_start + content_length);
+  return resp;
+}
+
+Result<HttpClientResponse> HttpConnection::Get(const std::string& target) {
+  Status st = SendGet(target);
+  if (!st.ok()) return st;
+  return ReadResponse();
+}
+
+void HttpConnection::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void HttpConnection::Abort() {
+  if (fd_ < 0) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;  // close() sends RST instead of FIN
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
+}
+
+void HttpConnection::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();
 }
 
 Result<RetryingGetResult> HttpGetWithRetry(uint16_t port,

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -12,6 +14,7 @@ namespace wikisearch::server {
 struct HttpClientResponse {
   int status = 0;
   std::string body;
+  std::map<std::string, std::string> headers;  // lower-cased keys
 };
 
 /// Performs a GET of `target` (path + optional query string, e.g.
@@ -42,5 +45,49 @@ struct RetryingGetResult {
 Result<RetryingGetResult> HttpGetWithRetry(uint16_t port,
                                            const std::string& target,
                                            const RetryPolicy& policy = {});
+
+/// A persistent HTTP/1.1 connection: keep-alive request/response cycles,
+/// pipelining (send N, then read N), raw byte injection for protocol
+/// tests, half-close, and RST abort. Response framing is Content-Length
+/// based (which is all the server emits). Not thread-safe.
+class HttpConnection {
+ public:
+  HttpConnection() = default;
+  ~HttpConnection() { Close(); }
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  Status Connect(uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends a GET of `target` without a Connection header (keep-alive by
+  /// HTTP/1.1 default). Does not read the response.
+  Status SendGet(const std::string& target);
+
+  /// Sends bytes exactly as given — the conformance tests' byte-level
+  /// delivery primitive (1-byte writes, split headers, pipelined bursts).
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads the next response off the connection; trailing bytes of a
+  /// pipelined burst stay buffered for the next call.
+  Result<HttpClientResponse> ReadResponse();
+
+  /// SendGet + ReadResponse.
+  Result<HttpClientResponse> Get(const std::string& target);
+
+  /// Half-close: shuts down the write side, leaving reads open (the
+  /// server must still deliver pending responses).
+  void ShutdownWrite();
+
+  /// Aborts with RST (SO_LINGER zero) — the deterministic "client died"
+  /// signal the abuse tests use.
+  void Abort();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  // read-ahead past the previous response
+};
 
 }  // namespace wikisearch::server

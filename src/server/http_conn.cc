@@ -1,0 +1,345 @@
+#include "server/http_conn.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace wikisearch::server {
+
+namespace {
+
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+/// Every '%' must introduce two hex digits. UrlDecode itself is lenient
+/// (it leaves malformed escapes alone, which ParseQueryString callers rely
+/// on); the strictness belongs at the protocol boundary, where a bad
+/// escape in the request target is a client framing bug.
+bool ValidPercentEncoding(std::string_view s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size() || HexVal(s[i + 1]) < 0 || HexVal(s[i + 2]) < 0) {
+        return false;
+      }
+      i += 2;
+    }
+  }
+  return true;
+}
+
+/// Case-insensitive token search in a comma-separated Connection value.
+bool ConnectionHasToken(std::string_view value, std::string_view token) {
+  std::string lower = ToLower(value);
+  size_t pos = 0;
+  while (pos <= lower.size()) {
+    size_t end = lower.find(',', pos);
+    if (end == std::string::npos) end = lower.size();
+    size_t b = pos, e = end;
+    while (b < e && (lower[b] == ' ' || lower[b] == '\t')) ++b;
+    while (e > b && (lower[e - 1] == ' ' || lower[e - 1] == '\t')) --e;
+    if (lower.compare(b, e - b, token) == 0) return true;
+    pos = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out += ' ';
+    } else if (c == '%' && i + 2 < s.size() && HexVal(s[i + 1]) >= 0 &&
+               HexVal(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexVal(s[i + 1]) * 16 + HexVal(s[i + 2]));
+      i += 2;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> ParseQueryString(std::string_view qs) {
+  std::map<std::string, std::string> params;
+  size_t start = 0;
+  while (start <= qs.size()) {
+    size_t end = qs.find('&', start);
+    if (end == std::string_view::npos) end = qs.size();
+    std::string_view pair = qs.substr(start, end - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        params[UrlDecode(pair)] = "";
+      } else {
+        params[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    start = end + 1;
+  }
+  return params;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 413:
+      return "Payload Too Large";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void AppendResponseHead(std::string* out, const HttpResponse& resp,
+                        size_t content_length, bool keep_alive) {
+  out->append("HTTP/1.1 ");
+  out->append(std::to_string(resp.status));
+  out->append(" ");
+  out->append(HttpStatusText(resp.status));
+  out->append("\r\nContent-Type: ");
+  out->append(resp.content_type);
+  out->append("\r\nContent-Length: ");
+  out->append(std::to_string(content_length));
+  for (const auto& [key, value] : resp.extra_headers) {
+    out->append("\r\n");
+    out->append(key);
+    out->append(": ");
+    out->append(value);
+  }
+  out->append(keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                         : "\r\nConnection: close\r\n\r\n");
+}
+
+std::string BufferPool::Get() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++outstanding_;
+  if (!free_.empty()) {
+    std::string buf = std::move(free_.back());
+    free_.pop_back();
+    ++reused_;
+    return buf;
+  }
+  ++allocated_;
+  return std::string();
+}
+
+void BufferPool::Put(std::string buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_ > 0) --outstanding_;
+  if (free_.size() < max_retained_) {
+    buf.clear();  // keeps capacity; the next Get appends into warm memory
+    free_.push_back(std::move(buf));
+  }
+}
+
+uint64_t BufferPool::allocated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return allocated_;
+}
+
+uint64_t BufferPool::reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+size_t BufferPool::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
+size_t BufferPool::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+void HttpConnParser::Feed(const char* data, size_t n) {
+  if (errored_) return;  // bytes after a framing error are unparseable
+  // Compact once the consumed prefix dominates, so a long-lived keep-alive
+  // connection doesn't accrete every request it ever served.
+  if (pos_ > 4096 && pos_ >= buf_.size() - pos_) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+HttpConnParser::Next HttpConnParser::Fail(int code, std::string message) {
+  errored_ = true;
+  error_code_ = code;
+  error_message_ = std::move(message);
+  return Next::kError;
+}
+
+HttpConnParser::Next HttpConnParser::TryNext(Request* out) {
+  if (errored_) return Next::kError;
+  // RFC 7230 §3.5: ignore CRLF preceding the request line (clients send
+  // them between pipelined requests).
+  while (pos_ + 1 < buf_.size() && buf_[pos_] == '\r' &&
+         buf_[pos_ + 1] == '\n') {
+    pos_ += 2;
+  }
+  if (pos_ >= buf_.size()) return Next::kNeedMore;
+
+  // A bare LF anywhere in the head region is a framing error: we refuse to
+  // guess whether the peer means it as a line ending. Scan only as far as
+  // the head actually extends — bodies may carry any bytes.
+  size_t head_end = buf_.find("\r\n\r\n", pos_);
+  size_t scan_end = head_end == std::string::npos ? buf_.size() : head_end + 4;
+  for (size_t i = pos_; i < scan_end; ++i) {
+    if (buf_[i] == '\n' && (i == pos_ || buf_[i - 1] != '\r')) {
+      return Fail(400, "bare LF line ending in request head");
+    }
+  }
+  if (head_end == std::string::npos) {
+    if (buf_.size() - pos_ > limits_.max_header_bytes) {
+      return Fail(431, "request head exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Next::kNeedMore;
+  }
+  if (head_end - pos_ > limits_.max_header_bytes) {
+    return Fail(431, "request head exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  size_t content_length = 0;
+  Request parsed;
+  Next head = ParseHead(&parsed, &content_length);
+  if (head != Next::kRequest) return head;
+
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "request body exceeds " +
+                         std::to_string(limits_.max_body_bytes) + " bytes");
+  }
+  size_t body_start = head_end + 4;
+  if (buf_.size() - body_start < content_length) return Next::kNeedMore;
+  parsed.req.body = buf_.substr(body_start, content_length);
+  pos_ = body_start + content_length;
+  *out = std::move(parsed);
+  return Next::kRequest;
+}
+
+HttpConnParser::Next HttpConnParser::ParseHead(Request* out,
+                                               size_t* content_length) {
+  // Precondition (checked by TryNext): [pos_, head_end) is CRLF-delimited
+  // with no bare LF, so line splitting on "\r\n" is unambiguous.
+  size_t head_end = buf_.find("\r\n\r\n", pos_);
+  size_t line_end = buf_.find("\r\n", pos_);
+  std::string_view request_line(buf_.data() + pos_, line_end - pos_);
+
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1 || sp1 == 0) {
+    return Fail(400, "malformed request line");
+  }
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version");
+  }
+  if (target.empty() || target[0] != '/') {
+    return Fail(400, "malformed request target");
+  }
+  if (!ValidPercentEncoding(target)) {
+    return Fail(400, "bad percent-encoding in request target");
+  }
+
+  out->req.method = std::string(method);
+  size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    out->req.path = UrlDecode(target);
+  } else {
+    out->req.path = UrlDecode(target.substr(0, qmark));
+    out->req.params = ParseQueryString(target.substr(qmark + 1));
+  }
+
+  bool have_content_length = false;
+  *content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = buf_.find("\r\n", pos);
+    std::string_view line(buf_.data() + pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header line");
+    }
+    std::string key = ToLower(line.substr(0, colon));
+    size_t vstart = colon + 1;
+    while (vstart < line.size() &&
+           (line[vstart] == ' ' || line[vstart] == '\t')) {
+      ++vstart;
+    }
+    std::string value(line.substr(vstart));
+    if (key == "content-length") {
+      if (value.empty()) return Fail(400, "empty Content-Length");
+      size_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Fail(400, "non-numeric Content-Length");
+        }
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+        if (parsed > (size_t{1} << 40)) {
+          return Fail(413, "Content-Length out of range");
+        }
+      }
+      if (have_content_length && parsed != *content_length) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+      have_content_length = true;
+      *content_length = parsed;
+    } else if (key == "transfer-encoding") {
+      return Fail(501, "Transfer-Encoding not supported");
+    }
+    out->req.headers[key] = std::move(value);
+    pos = eol + 2;
+  }
+
+  // Keep-alive: HTTP/1.1 defaults on, opt out with "Connection: close";
+  // HTTP/1.0 defaults off, opt in with "Connection: keep-alive".
+  auto conn = out->req.headers.find("connection");
+  if (version == "HTTP/1.1") {
+    out->keep_alive =
+        conn == out->req.headers.end() ||
+        !ConnectionHasToken(conn->second, "close");
+  } else {
+    out->keep_alive = conn != out->req.headers.end() &&
+                      ConnectionHasToken(conn->second, "keep-alive");
+  }
+  return Next::kRequest;
+}
+
+}  // namespace wikisearch::server

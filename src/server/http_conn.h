@@ -1,0 +1,172 @@
+// Per-connection HTTP/1.1 machinery for the event-driven serving tier
+// (DESIGN.md §13): the shared request/response types, a pool of reusable
+// output buffers, and an incremental request parser that accepts input in
+// arbitrary fragments — a request may arrive one byte at a time, or sixteen
+// pipelined requests may arrive in one read. The parser is a state machine
+// over an internal buffer; it never blocks and never copies payload bytes
+// more than once (append on Feed, slice on completion).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wikisearch::server {
+
+struct HttpRequest {
+  std::string method;                           // "GET", "POST"
+  std::string path;                             // decoded, without query
+  std::map<std::string, std::string> params;    // decoded query parameters
+  std::map<std::string, std::string> headers;   // lower-cased keys
+  std::string body;
+
+  /// Parameter lookup with default.
+  std::string Param(const std::string& key, std::string fallback = "") const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  /// Additional response headers (e.g. Retry-After on 429/503).
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  /// Force `Connection: close` on this response even if the client asked
+  /// for keep-alive (set on framing errors, where the request boundary on
+  /// the connection can no longer be trusted).
+  bool close_connection = false;
+
+  static HttpResponse Json(std::string body) {
+    return HttpResponse{200, "application/json", std::move(body), {}, false};
+  }
+  static HttpResponse Text(int status, std::string body) {
+    return HttpResponse{status, "text/plain", std::move(body), {}, false};
+  }
+  static HttpResponse NotFound() { return Text(404, "not found\n"); }
+  static HttpResponse BadRequest(std::string why) {
+    return Text(400, std::move(why));
+  }
+  /// Load-shedding reply: 429 with a Retry-After hint in seconds.
+  static HttpResponse TooManyRequests(int retry_after_s) {
+    HttpResponse resp = Text(429, "server overloaded, retry later\n");
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(retry_after_s));
+    return resp;
+  }
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Percent-decodes a URL component ("%20" -> ' ', '+' -> ' ').
+std::string UrlDecode(std::string_view s);
+
+/// Parses "a=1&b=x%20y" into a decoded key/value map.
+std::map<std::string, std::string> ParseQueryString(std::string_view qs);
+
+const char* HttpStatusText(int status);
+
+/// Renders the status line + headers of `resp` into `out` (appends; the
+/// body is NOT appended — the writer sends it from resp.body directly, so
+/// large JSON bodies are never copied into the connection buffer).
+/// `keep_alive` selects the Connection header value.
+void AppendResponseHead(std::string* out, const HttpResponse& resp,
+                        size_t content_length, bool keep_alive);
+
+/// Pool of reusable byte buffers for rendered response heads. Connections
+/// borrow a buffer per response and return it once the bytes are on the
+/// wire (or the connection dies); the pool retains up to `max_retained`
+/// empty buffers. `outstanding()` is the leak detector the abuse tests
+/// reconcile to zero.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t max_retained = 256)
+      : max_retained_(max_retained) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  std::string Get();
+  void Put(std::string buf);
+
+  uint64_t allocated() const;   ///< buffers created fresh
+  uint64_t reused() const;      ///< Get() served from the free list
+  size_t outstanding() const;   ///< borrowed and not yet returned
+  size_t retained() const;      ///< idle buffers held by the pool
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> free_;
+  size_t max_retained_;
+  uint64_t allocated_ = 0;
+  uint64_t reused_ = 0;
+  size_t outstanding_ = 0;
+};
+
+/// Incremental HTTP/1.1 request parser. Feed() appends raw bytes; TryNext()
+/// extracts at most one complete request per call, so the caller controls
+/// the parse-ahead depth (pipelining). The parser is strict where the
+/// framing matters: LF-only line endings, malformed request lines, bad
+/// percent-encoding in the target, non-numeric or conflicting
+/// Content-Length are all hard 400s (431/413 for oversized header/body) —
+/// after an error the connection's byte stream has no trustworthy request
+/// boundary, so the parser latches the error and the connection must be
+/// closed after the error response.
+class HttpConnParser {
+ public:
+  struct Limits {
+    size_t max_header_bytes = 16 * 1024;   // request line + headers
+    size_t max_body_bytes = 4 * 1024 * 1024;
+  };
+
+  struct Request {
+    HttpRequest req;
+    /// Keep-alive decision from the request: HTTP/1.1 unless
+    /// "Connection: close"; HTTP/1.0 only with "Connection: keep-alive".
+    bool keep_alive = true;
+  };
+
+  enum class Next {
+    kRequest,   ///< *out holds a complete request
+    kNeedMore,  ///< no complete request buffered yet
+    kError,     ///< framing error; error_code()/error_message() describe it
+  };
+
+  HttpConnParser() = default;
+  explicit HttpConnParser(Limits limits) : limits_(limits) {}
+
+  /// Appends raw bytes from the socket.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete request, if any.
+  Next TryNext(Request* out);
+
+  /// HTTP status for the latched error (400, 413 or 431).
+  int error_code() const { return error_code_; }
+  const std::string& error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed by a complete request.
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+  /// True when the buffer holds a partial (incomplete) request — the state
+  /// a slowloris peer keeps a connection in forever.
+  bool mid_request() const { return buffered_bytes() > 0 && !errored_; }
+
+ private:
+  Next Fail(int code, std::string message);
+  Next ParseHead(Request* out, size_t* content_length);
+
+  Limits limits_;
+  std::string buf_;
+  size_t pos_ = 0;  // consume offset into buf_
+  bool errored_ = false;
+  int error_code_ = 0;
+  std::string error_message_;
+};
+
+}  // namespace wikisearch::server

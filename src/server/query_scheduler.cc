@@ -36,6 +36,7 @@ int QueryScheduler::GrantThreads(size_t running) const {
 QueryScheduler::Outcome QueryScheduler::Run(const std::string& key,
                                             const SearchFn& fn) {
   std::shared_ptr<Flight> flight;
+  std::shared_ptr<BatchEpoch> epoch;  // batched path only
   bool leader = true;
   int threads = 1;
   {
@@ -62,11 +63,67 @@ QueryScheduler::Outcome QueryScheduler::Run(const std::string& key,
         flights_.emplace(key, flight);
       }
     }
-    if (leader) {
+    if (leader && opts_.batch_window_ms <= 0) {
+      // Unbatched path — exactly the pre-batching scheduler.
       slot_cv_.wait(lock, [&] { return running_ < resolved_max_running_; });
       ++running_;
       ++executed_;
       threads = GrantThreads(running_);
+    } else if (leader) {
+      // Micro-batching: join the collecting epoch, or open a new one and
+      // become its owner (responsible for dispatching it).
+      bool owner = false;
+      if (open_epoch_ != nullptr && !open_epoch_->dispatched &&
+          open_epoch_->size < std::max<size_t>(opts_.batch_limit, 1)) {
+        epoch = open_epoch_;
+        ++epoch->size;
+        if (epoch->size >= std::max<size_t>(opts_.batch_limit, 1)) {
+          slot_cv_.notify_all();  // the owner can dispatch early
+        }
+      } else {
+        epoch = std::make_shared<BatchEpoch>();
+        epoch->size = 1;
+        epoch->opened = std::chrono::steady_clock::now();
+        open_epoch_ = epoch;
+        owner = true;
+      }
+      if (owner) {
+        const size_t limit = std::max<size_t>(opts_.batch_limit, 1);
+        const auto deadline =
+            epoch->opened + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    opts_.batch_window_ms));
+        while (!epoch->dispatched) {
+          const bool due = epoch->size >= limit ||
+                           std::chrono::steady_clock::now() >= deadline;
+          if (due && running_ < resolved_max_running_) {
+            // Dispatch: the whole epoch takes ONE running slot; every
+            // member is an engine execution, and all but the first were
+            // merged instead of queueing for their own slot.
+            ++running_;
+            executing_members_ += epoch->size;
+            executed_ += epoch->size;
+            ++epochs_;
+            merged_ += epoch->size - 1;
+            epoch->grant = GrantThreads(executing_members_);
+            epoch->dispatched = true;
+            if (open_epoch_ == epoch) open_epoch_.reset();
+            slot_cv_.notify_all();  // wake the members
+            break;
+          }
+          // Saturated past the window: keep the epoch open and collecting
+          // until a slot frees — that is the merge-under-load behavior.
+          if (due) {
+            slot_cv_.wait(lock);
+          } else {
+            slot_cv_.wait_until(lock, deadline);
+          }
+        }
+      } else {
+        slot_cv_.wait(lock, [&] { return epoch->dispatched; });
+      }
+      threads = epoch->grant;
     }
   }
 
@@ -88,13 +145,20 @@ QueryScheduler::Outcome QueryScheduler::Run(const std::string& key,
       std::make_shared<const Result<SearchResult>>(fn(threads));
   {
     std::lock_guard<std::mutex> lock(mu_);
-    --running_;
+    if (epoch != nullptr) {
+      // The epoch's slot is released by its last finisher; earlier
+      // finishers only shrink the grant divisor for future epochs.
+      --executing_members_;
+      if (++epoch->finished == epoch->size) --running_;
+    } else {
+      --running_;
+    }
     --in_flight_;
     // Erase before publishing: a same-key request arriving from here on
     // starts a fresh flight (single-flight dedups in-flight work only;
     // replaying finished results is the response cache's job).
     if (flight != nullptr) flights_.erase(key);
-    slot_cv_.notify_one();
+    slot_cv_.notify_all();
   }
   if (flight != nullptr) {
     std::lock_guard<std::mutex> fl(flight->mu);
@@ -143,6 +207,24 @@ void QueryScheduler::set_single_flight(bool on) {
   opts_.single_flight = on;
 }
 
+void QueryScheduler::set_batch_window_ms(double window_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    opts_.batch_window_ms = window_ms;
+  }
+  slot_cv_.notify_all();  // owners waiting on a stale window re-evaluate
+}
+
+double QueryScheduler::batch_window_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opts_.batch_window_ms;
+}
+
+void QueryScheduler::set_batch_limit(size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.batch_limit = limit;
+}
+
 size_t QueryScheduler::in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
   return in_flight_;
@@ -176,6 +258,16 @@ uint64_t QueryScheduler::executed_total() const {
 uint64_t QueryScheduler::shared_total() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shared_;
+}
+
+uint64_t QueryScheduler::merged_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_;
+}
+
+uint64_t QueryScheduler::batch_epochs_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_;
 }
 
 }  // namespace wikisearch::server

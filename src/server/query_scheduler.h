@@ -12,6 +12,17 @@
 //                 execution: the first becomes the leader and runs, the
 //                 rest join its flight and receive the same (immutable)
 //                 result. A thundering herd on one hot query costs one run.
+//   micro-batching — with batch_window_ms > 0, *distinct* queries admitted
+//                 within the window (or while every running slot is busy)
+//                 merge into one batch epoch that occupies a single running
+//                 slot; the members execute concurrently on their caller
+//                 threads, each with a width granted from the shared budget
+//                 divided by all executing members. This generalizes
+//                 single-flight (which collapses identical queries) to a
+//                 BatchSearch-style epoch over different ones: under a
+//                 bursty open-loop load, k queries cost one scheduling
+//                 round instead of k serialized slot waits. 0 disables
+//                 batching and takes the exact pre-batching code path.
 //   thread sizing — the intra-query worker width is granted at admission
 //                 from a shared budget: `total_threads / running` (clamped
 //                 to [1, max_threads_per_query]). Many concurrent queries
@@ -23,6 +34,7 @@
 // on this one code path.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -53,6 +65,13 @@ class QueryScheduler {
     int max_threads_per_query = 0;
     /// Master switch for single-flight deduplication.
     bool single_flight = true;
+    /// Cross-request micro-batching window in milliseconds: distinct
+    /// queries admitted within one window (or while all running slots are
+    /// busy) execute as one batch epoch. 0 disables batching entirely.
+    double batch_window_ms = 0;
+    /// Queries per batch epoch before it dispatches regardless of the
+    /// window.
+    size_t batch_limit = 16;
   };
 
   /// Runs the query with the granted worker width.
@@ -87,6 +106,11 @@ class QueryScheduler {
   size_t max_running() const;
   void set_thread_budget(int total_threads, int max_threads_per_query);
   void set_single_flight(bool on);
+  /// Runtime switch for micro-batching; 0 restores the unbatched path
+  /// (an epoch already collecting finishes under its old window).
+  void set_batch_window_ms(double window_ms);
+  double batch_window_ms() const;
+  void set_batch_limit(size_t limit);
 
   // Exact point-in-time and lifetime counters: every transition happens
   // under the same lock as the admission decision, so a quiescent reader
@@ -98,6 +122,8 @@ class QueryScheduler {
   uint64_t admitted_total() const;
   uint64_t executed_total() const;  ///< engine executions (leaders)
   uint64_t shared_total() const;    ///< flights joined (followers)
+  uint64_t merged_total() const;    ///< queries that shared an epoch: Σ(size−1)
+  uint64_t batch_epochs_total() const;  ///< epochs dispatched
 
  private:
   struct Flight {
@@ -105,6 +131,18 @@ class QueryScheduler {
     std::condition_variable cv;
     bool done = false;
     std::shared_ptr<const Result<SearchResult>> result;
+  };
+
+  // A batch epoch: distinct queries merged into one scheduling unit. All
+  // fields are guarded by the scheduler's mu_ (members block on slot_cv_
+  // until `dispatched`); the epoch holds exactly one running slot from
+  // dispatch until its last member finishes.
+  struct BatchEpoch {
+    size_t size = 0;        // members admitted into this epoch
+    size_t finished = 0;    // members whose fn has returned
+    bool dispatched = false;
+    int grant = 1;          // per-member worker width, set at dispatch
+    std::chrono::steady_clock::time_point opened;
   };
 
   /// Width granted to a query admitted while `running` queries (including
@@ -124,6 +162,13 @@ class QueryScheduler {
   uint64_t admitted_ = 0;
   uint64_t executed_ = 0;
   uint64_t shared_ = 0;
+  uint64_t merged_ = 0;
+  uint64_t epochs_ = 0;
+  /// Members of dispatched-but-unfinished epochs; the divisor for batched
+  /// thread grants (the batched analogue of running_).
+  size_t executing_members_ = 0;
+  /// The epoch currently collecting arrivals (null once dispatched/full).
+  std::shared_ptr<BatchEpoch> open_epoch_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 };
 

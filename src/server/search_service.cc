@@ -344,7 +344,8 @@ HttpResponse SearchService::HandleSearch(const HttpRequest& req) {
     w.EndObject();
     int status =
         result.status().code() == StatusCode::kNotFound ? 404 : 400;
-    return HttpResponse{status, "application/json", std::move(w).Take()};
+    return HttpResponse{status, "application/json", std::move(w).Take(), {},
+                        false};
   }
   // Outcome counters are per request served, not per engine execution: a
   // shared flight's timed-out answer was delivered to every joiner.
@@ -494,6 +495,12 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.UInt(scheduler_.executed_total());
   w.Key("single_flight_shared");
   w.UInt(scheduler_.shared_total());
+  w.Key("batch_window_ms");
+  w.Double(scheduler_.batch_window_ms());
+  w.Key("batch_merged_queries");
+  w.UInt(scheduler_.merged_total());
+  w.Key("batch_epochs");
+  w.UInt(scheduler_.batch_epochs_total());
   w.EndObject();
   w.Key("queries");
   w.UInt(queries_total_->Value());
@@ -542,7 +549,26 @@ void SearchService::RefreshScrapeMetrics() {
         ->Set(static_cast<double>(server_->active_connections()));
     metrics_->GetGauge("ws_server_live_worker_threads")
         ->Set(static_cast<double>(server_->live_worker_threads()));
+    // Reactor counters (DESIGN.md §13). ws_server_open_connections is the
+    // same quantity as ws_server_active_connections under its
+    // reactor-era name; both stay exported.
+    metrics_->GetGauge("ws_server_open_connections")
+        ->Set(static_cast<double>(server_->active_connections()));
+    metrics_->GetCounter("ws_server_accepted_connections_total")
+        ->AdvanceTo(server_->accepted_connections());
+    metrics_->GetCounter("ws_server_keepalive_reuse")
+        ->AdvanceTo(server_->keepalive_reuse());
+    metrics_->GetCounter("ws_server_idle_reaped_total")
+        ->AdvanceTo(server_->idle_reaped());
+    metrics_->GetCounter("ws_server_discarded_responses_total")
+        ->AdvanceTo(server_->discarded_responses());
+    metrics_->GetGauge("ws_server_buffers_outstanding")
+        ->Set(static_cast<double>(server_->buffer_pool().outstanding()));
   }
+  metrics_->GetCounter("ws_batch_merged_queries")
+      ->AdvanceTo(scheduler_.merged_total());
+  metrics_->GetCounter("ws_batch_epochs_total")
+      ->AdvanceTo(scheduler_.batch_epochs_total());
   metrics_->GetGauge("ws_server_queue_depth")
       ->Set(static_cast<double>(scheduler_.queue_depth()));
   metrics_->GetGauge("ws_server_in_flight")

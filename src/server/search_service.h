@@ -110,6 +110,12 @@ class SearchService {
   void SetThreadBudget(int total_threads, int max_threads_per_query) {
     scheduler_.set_thread_budget(total_threads, max_threads_per_query);
   }
+  /// Cross-request micro-batching window: distinct queries admitted within
+  /// `ms` (or while the engine is saturated) execute as one batch epoch.
+  /// 0 (the default) disables batching — the exact unbatched path.
+  void SetBatchWindow(double ms) { scheduler_.set_batch_window_ms(ms); }
+  /// Queries per batch epoch before it dispatches regardless of window.
+  void SetBatchLimit(size_t limit) { scheduler_.set_batch_limit(limit); }
   /// Drops memoized query contexts and rejects in-flight re-population;
   /// call after the graph or index is rebuilt in place.
   void InvalidateContextCache() { context_cache_.Invalidate(); }
@@ -122,6 +128,8 @@ class SearchService {
     return scheduler_.high_water_mark();
   }
   uint64_t single_flight_shared() const { return scheduler_.shared_total(); }
+  uint64_t batch_merged_queries() const { return scheduler_.merged_total(); }
+  uint64_t batch_epochs() const { return scheduler_.batch_epochs_total(); }
 
  private:
   /// Bridges sources that keep their own monotonic counts (QueryCache, the

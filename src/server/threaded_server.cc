@@ -1,0 +1,211 @@
+#include "server/threaded_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "server/http_server.h"
+
+namespace wikisearch::server {
+
+namespace {
+
+std::string SerializeResponse(const HttpResponse& resp) {
+  std::string out;
+  AppendResponseHead(&out, resp, resp.body.size(), /*keep_alive=*/false);
+  out += resp.body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& out) {
+  size_t written = 0;
+  while (written < out.size()) {
+    ssize_t n = ::write(fd, out.data() + written, out.size() - written);
+    if (n <= 0) break;
+    written += static_cast<size_t>(n);
+  }
+}
+
+bool ReadFully(int fd, std::string* buffer) {
+  // Reads until headers complete, then until Content-Length is satisfied.
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  size_t want_body = 0;
+  while (true) {
+    if (header_end == std::string::npos) {
+      header_end = buffer->find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Parse content-length if present (case-insensitive scan).
+        std::string lower;
+        lower.reserve(header_end);
+        for (size_t i = 0; i < header_end; ++i) {
+          lower += static_cast<char>(std::tolower(
+              static_cast<unsigned char>((*buffer)[i])));
+        }
+        size_t pos = lower.find("content-length:");
+        if (pos != std::string::npos) {
+          want_body = static_cast<size_t>(
+              std::atoll(buffer->c_str() + pos + 15));
+        }
+      }
+    }
+    if (header_end != std::string::npos) {
+      size_t have_body = buffer->size() - (header_end + 4);
+      if (have_body >= want_body) return true;
+    }
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return header_end != std::string::npos;
+    buffer->append(chunk, static_cast<size_t>(n));
+    if (buffer->size() > (1u << 22)) return false;  // 4 MB request cap
+  }
+}
+
+}  // namespace
+
+ThreadedHttpServer::~ThreadedHttpServer() { Stop(); }
+
+void ThreadedHttpServer::Route(const std::string& path, HttpHandler handler) {
+  WS_CHECK(!running_.load());
+  routes_[path] = std::move(handler);
+}
+
+Status ThreadedHttpServer::Start(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  int opt = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind() failed (port in use?)");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ThreadedHttpServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::map<uint64_t, std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    finished_ids_.clear();
+  }
+  for (auto& [id, w] : workers) w.join();
+}
+
+size_t ThreadedHttpServer::live_worker_threads() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return workers_.size();
+}
+
+void ThreadedHttpServer::ReapFinishedWorkers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    done.reserve(finished_ids_.size());
+    for (uint64_t id : finished_ids_) {
+      auto it = workers_.find(id);
+      if (it != workers_.end()) {
+        done.push_back(std::move(it->second));
+        workers_.erase(it);
+      }
+    }
+    finished_ids_.clear();
+  }
+  // Join outside the lock: the thread has already announced completion, so
+  // this never blocks on request handling.
+  for (auto& w : done) w.join();
+}
+
+void ThreadedHttpServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    ReapFinishedWorkers();
+    if (max_connections_ != 0 &&
+        active_connections_.load(std::memory_order_relaxed) >=
+            max_connections_) {
+      // Saturated: shed from the accept loop itself rather than spawning a
+      // worker, so the thread count stays bounded by the cap.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      HttpResponse resp =
+          HttpResponse::Text(503, "connection limit reached, retry later\n");
+      resp.extra_headers.emplace_back("Retry-After", "1");
+      WriteAll(fd, SerializeResponse(resp));
+      ::close(fd);
+      continue;
+    }
+    if (socket_timeout_ms_ > 0) {
+      timeval tv{};
+      tv.tv_sec = socket_timeout_ms_ / 1000;
+      tv.tv_usec = (socket_timeout_ms_ % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    uint64_t id = next_worker_id_++;
+    workers_.emplace(id, std::thread([this, id, fd] {
+                       ServeConnection(id, fd);
+                     }));
+  }
+  ReapFinishedWorkers();
+}
+
+void ThreadedHttpServer::ServeConnection(uint64_t id, int fd) {
+  std::string raw;
+  HttpResponse resp;
+  if (!ReadFully(fd, &raw)) {
+    resp = HttpResponse::BadRequest("oversized or truncated request\n");
+  } else {
+    Result<HttpRequest> req = ParseHttpRequest(raw);
+    if (!req.ok()) {
+      resp = HttpResponse::BadRequest(req.status().message() + "\n");
+    } else {
+      auto it = routes_.find(req->path);
+      if (it == routes_.end()) {
+        resp = HttpResponse::NotFound();
+      } else {
+        resp = it->second(*req);
+      }
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  WriteAll(fd, SerializeResponse(resp));
+  ::close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  finished_ids_.push_back(id);
+}
+
+}  // namespace wikisearch::server

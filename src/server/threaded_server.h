@@ -1,0 +1,89 @@
+// The original thread-per-connection HTTP server, kept as the measured
+// baseline for the reactor (bench_throughput's thread-per-conn columns) —
+// one worker thread and one request per accepted connection, response
+// always `Connection: close`. New serving code should use HttpServer (the
+// epoll reactor façade, DESIGN.md §13); this class exists so the capacity
+// and QPS comparison stays honest against real code, not a description.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "server/http_conn.h"
+
+namespace wikisearch::server {
+
+class ThreadedHttpServer {
+ public:
+  ThreadedHttpServer() = default;
+  ~ThreadedHttpServer();
+
+  ThreadedHttpServer(const ThreadedHttpServer&) = delete;
+  ThreadedHttpServer& operator=(const ThreadedHttpServer&) = delete;
+
+  /// Registers a handler for an exact path (any method). Must be called
+  /// before Start.
+  void Route(const std::string& path, HttpHandler handler);
+
+  /// Caps concurrently-served connections; excess accepts are answered 503
+  /// with Retry-After directly from the accept loop, so worker threads stay
+  /// bounded. Must be called before Start. 0 means unlimited.
+  void SetMaxConnections(size_t cap) { max_connections_ = cap; }
+
+  /// Per-connection socket recv/send timeout; a stalled peer cannot pin a
+  /// worker thread forever. Must be called before Start. 0 disables.
+  void SetSocketTimeoutMs(int timeout_ms) { socket_timeout_ms_ = timeout_ms; }
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port) and starts the accept
+  /// loop on a background thread.
+  Status Start(uint16_t port);
+
+  /// Port actually bound (useful with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener and joins all threads.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  uint64_t requests_served() const { return requests_.load(); }
+  size_t active_connections() const { return active_connections_.load(); }
+  uint64_t rejected_connections() const { return rejected_.load(); }
+
+  /// Worker threads alive right now (served + not yet reaped). Bounded by
+  /// the connection cap plus the reap lag of one accept iteration.
+  size_t live_worker_threads() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(uint64_t id, int fd);
+  void ReapFinishedWorkers();
+
+  std::map<std::string, HttpHandler> routes_;
+  // Atomic: Stop() invalidates the fd while the accept thread reads it.
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  size_t max_connections_ = 0;
+  int socket_timeout_ms_ = 5000;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<size_t> active_connections_{0};
+  std::thread accept_thread_;
+  // Worker threads keyed by a monotonic id. A worker announces completion by
+  // appending its id to finished_ids_; the accept loop (and Stop) joins and
+  // erases announced workers, so the map never grows beyond the set of live
+  // connections.
+  uint64_t next_worker_id_ = 0;
+  std::map<uint64_t, std::thread> workers_;
+  std::vector<uint64_t> finished_ids_;
+  mutable std::mutex workers_mu_;
+};
+
+}  // namespace wikisearch::server

@@ -1,0 +1,416 @@
+// Byte-level HTTP/1.1 conformance battery against the live reactor server
+// (DESIGN.md §13). The transport contract the event-driven tier must honor
+// regardless of how bytes arrive: requests delivered one byte at a time or
+// split at any boundary parse identically; pipelined bursts are answered
+// strictly in request order; keep-alive connections serve many requests;
+// oversized and malformed input gets the right 4xx on the offending
+// connection without disturbing any other. Half the battery drives the
+// incremental parser directly (deterministic byte-at-a-time coverage), the
+// other half drives real sockets.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_client.h"
+#include "server/http_server.h"
+
+namespace wikisearch::server {
+namespace {
+
+// Polls `cond` until true or ~`ms` elapsed. Counters increment on the
+// reactor thread after the response bytes reach the kernel, so a client
+// that just read a response can observe the count a beat early — poll
+// instead of asserting instantly.
+template <typename Cond>
+bool WaitFor(Cond cond, int ms = 5000) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+// --------------------------- Incremental parser ------------------------------
+
+HttpConnParser::Next FeedAll(HttpConnParser* p, std::string_view bytes,
+                             HttpConnParser::Request* out) {
+  p->Feed(bytes.data(), bytes.size());
+  return p->TryNext(out);
+}
+
+TEST(HttpConnParserTest, OneByteAtATime) {
+  const std::string raw =
+      "GET /search?q=a%20b&k=3 HTTP/1.1\r\nHost: x\r\nX-T: v\r\n\r\n";
+  HttpConnParser p;
+  HttpConnParser::Request req;
+  for (size_t i = 0; i + 1 < raw.size(); ++i) {
+    p.Feed(&raw[i], 1);
+    ASSERT_EQ(p.TryNext(&req), HttpConnParser::Next::kNeedMore)
+        << "complete after byte " << i << " of " << raw.size();
+    EXPECT_TRUE(p.mid_request());
+  }
+  p.Feed(&raw[raw.size() - 1], 1);
+  ASSERT_EQ(p.TryNext(&req), HttpConnParser::Next::kRequest);
+  EXPECT_EQ(req.req.method, "GET");
+  EXPECT_EQ(req.req.path, "/search");
+  EXPECT_EQ(req.req.Param("q"), "a b");
+  EXPECT_EQ(req.req.Param("k"), "3");
+  EXPECT_EQ(req.req.headers.at("x-t"), "v");
+  EXPECT_TRUE(req.keep_alive);
+  EXPECT_EQ(p.buffered_bytes(), 0u);
+  EXPECT_FALSE(p.mid_request());
+}
+
+TEST(HttpConnParserTest, SplitAtEveryBoundaryParsesIdentically) {
+  const std::string raw =
+      "POST /update HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\n"
+      "hello world";
+  for (size_t cut = 0; cut <= raw.size(); ++cut) {
+    HttpConnParser p;
+    p.Feed(raw.data(), cut);
+    HttpConnParser::Request req;
+    if (cut < raw.size()) {
+      ASSERT_EQ(p.TryNext(&req), HttpConnParser::Next::kNeedMore)
+          << "cut=" << cut;
+      p.Feed(raw.data() + cut, raw.size() - cut);
+    }
+    ASSERT_EQ(p.TryNext(&req), HttpConnParser::Next::kRequest)
+        << "cut=" << cut;
+    EXPECT_EQ(req.req.method, "POST");
+    EXPECT_EQ(req.req.body, "hello world");
+  }
+}
+
+TEST(HttpConnParserTest, PipelinedBurstYieldsRequestsInOrder) {
+  std::string burst;
+  for (int i = 0; i < 16; ++i) {
+    burst += "GET /r" + std::to_string(i) + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  }
+  HttpConnParser p;
+  p.Feed(burst.data(), burst.size());
+  HttpConnParser::Request req;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(p.TryNext(&req), HttpConnParser::Next::kRequest) << i;
+    EXPECT_EQ(req.req.path, "/r" + std::to_string(i));
+  }
+  EXPECT_EQ(p.TryNext(&req), HttpConnParser::Next::kNeedMore);
+  EXPECT_EQ(p.buffered_bytes(), 0u);
+}
+
+TEST(HttpConnParserTest, KeepAliveDefaultsPerVersion) {
+  struct Case {
+    const char* raw;
+    bool keep_alive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+      {"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", true},
+  };
+  for (const Case& c : cases) {
+    HttpConnParser p;
+    HttpConnParser::Request req;
+    ASSERT_EQ(FeedAll(&p, c.raw, &req), HttpConnParser::Next::kRequest)
+        << c.raw;
+    EXPECT_EQ(req.keep_alive, c.keep_alive) << c.raw;
+  }
+}
+
+TEST(HttpConnParserTest, LeadingCrlfBeforeRequestLineIsSkipped) {
+  // RFC 7230 §3.5: a robust server skips CRLF preceding the request line
+  // (the tail of the previous request's sloppy client framing).
+  HttpConnParser p;
+  HttpConnParser::Request req;
+  ASSERT_EQ(FeedAll(&p, "\r\n\r\nGET /ok HTTP/1.1\r\nHost: x\r\n\r\n", &req),
+            HttpConnParser::Next::kRequest);
+  EXPECT_EQ(req.req.path, "/ok");
+}
+
+TEST(HttpConnParserTest, FramingErrorsLatchWithRightStatus) {
+  struct Case {
+    const char* raw;
+    int code;
+  } cases[] = {
+      {"BLARG\r\n\r\n", 400},                              // no spaces
+      {"GET /x\r\n\r\n", 400},                             // missing version
+      {"GET /x HTTP/2.0\r\n\r\n", 400},                    // unknown version
+      {"GET x HTTP/1.1\r\n\r\n", 400},                     // target not /
+      {"GET /a%zz HTTP/1.1\r\n\r\n", 400},                 // bad %-encoding
+      {"GET /a%2 HTTP/1.1\r\n\r\n", 400},                  // truncated %
+      {"GET / HTTP/1.1\nHost: x\n\n", 400},                // bare LF endings
+      {"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", 400},      // malformed header
+      {"POST / HTTP/1.1\r\nContent-Length: x9\r\n\r\n", 400},
+      {"POST / HTTP/1.1\r\nContent-Length: 4\r\n"
+       "Content-Length: 5\r\n\r\n",
+       400},                                               // conflicting CL
+      {"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+      {"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", 413},
+  };
+  for (const Case& c : cases) {
+    HttpConnParser p;
+    HttpConnParser::Request req;
+    EXPECT_EQ(FeedAll(&p, c.raw, &req), HttpConnParser::Next::kError) << c.raw;
+    EXPECT_EQ(p.error_code(), c.code) << c.raw;
+    EXPECT_FALSE(p.error_message().empty()) << c.raw;
+    // The error latches: further bytes cannot un-poison the stream.
+    EXPECT_EQ(FeedAll(&p, "GET / HTTP/1.1\r\n\r\n", &req),
+              HttpConnParser::Next::kError)
+        << c.raw;
+  }
+}
+
+TEST(HttpConnParserTest, OversizedHeaderBlockIs431) {
+  HttpConnParser::Limits limits;
+  limits.max_header_bytes = 256;
+  // Terminator never arrives: the parser must fail as soon as the head
+  // region exceeds the limit, not buffer a slowloris header forever.
+  HttpConnParser p(limits);
+  std::string head = "GET / HTTP/1.1\r\nX-Pad: ";
+  head.append(512, 'a');
+  HttpConnParser::Request req;
+  EXPECT_EQ(FeedAll(&p, head, &req), HttpConnParser::Next::kError);
+  EXPECT_EQ(p.error_code(), 431);
+  // Terminator present but the head is still too large: same answer.
+  HttpConnParser q(limits);
+  head += "\r\n\r\n";
+  EXPECT_EQ(FeedAll(&q, head, &req), HttpConnParser::Next::kError);
+  EXPECT_EQ(q.error_code(), 431);
+}
+
+TEST(HttpConnParserTest, OversizedBodyIs413) {
+  HttpConnParser::Limits limits;
+  limits.max_body_bytes = 64;
+  HttpConnParser p(limits);
+  HttpConnParser::Request req;
+  EXPECT_EQ(FeedAll(&p, "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n", &req),
+            HttpConnParser::Next::kError);
+  EXPECT_EQ(p.error_code(), 413);
+}
+
+// ------------------------------ Live server ----------------------------------
+
+struct ServerFixture {
+  ServerFixture() {
+    server.Route("/ping", [](const HttpRequest&) {
+      return HttpResponse::Text(200, "pong\n");
+    });
+    server.Route("/echo", [](const HttpRequest& req) {
+      return HttpResponse::Text(200, req.Param("i", "none"));
+    });
+    EXPECT_TRUE(server.Start(0).ok());
+  }
+  ~ServerFixture() { server.Stop(); }
+  HttpServer server;
+};
+
+TEST(HttpConformanceTest, OneByteWritesOverTheWire) {
+  ServerFixture f;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  const std::string raw = "GET /echo?i=slow HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (char c : raw) {
+    ASSERT_TRUE(conn.SendRaw(std::string_view(&c, 1)).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "slow");
+}
+
+TEST(HttpConformanceTest, SplitAtEveryBoundaryOverTheWire) {
+  ServerFixture f;
+  const std::string raw = "GET /echo?i=cut HTTP/1.1\r\nHost: x\r\n\r\n";
+  for (size_t cut = 1; cut < raw.size(); ++cut) {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(f.server.port()).ok()) << "cut=" << cut;
+    ASSERT_TRUE(conn.SendRaw(std::string_view(raw.data(), cut)).ok());
+    // Give the reactor a chance to see (and have to buffer) the fragment.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_TRUE(
+        conn.SendRaw(std::string_view(raw.data() + cut, raw.size() - cut))
+            .ok());
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << "cut=" << cut << ": "
+                           << resp.status().ToString();
+    EXPECT_EQ(resp->status, 200) << "cut=" << cut;
+    EXPECT_EQ(resp->body, "cut") << "cut=" << cut;
+  }
+}
+
+TEST(HttpConformanceTest, PipeliningAnswersInRequestOrder) {
+  ServerFixture f;
+  for (int depth : {2, 5, 16}) {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+    std::string burst;
+    for (int i = 0; i < depth; ++i) {
+      burst += "GET /echo?i=" + std::to_string(i) +
+               " HTTP/1.1\r\nHost: x\r\n\r\n";
+    }
+    ASSERT_TRUE(conn.SendRaw(burst).ok());
+    for (int i = 0; i < depth; ++i) {
+      auto resp = conn.ReadResponse();
+      ASSERT_TRUE(resp.ok())
+          << "depth=" << depth << " i=" << i << ": "
+          << resp.status().ToString();
+      EXPECT_EQ(resp->status, 200);
+      // Strict in-order delivery: response i answers request i even though
+      // handlers complete on a pool in arbitrary order.
+      EXPECT_EQ(resp->body, std::to_string(i)) << "depth=" << depth;
+    }
+  }
+}
+
+TEST(HttpConformanceTest, KeepAliveServesManyRequestsOnOneSocket) {
+  ServerFixture f;
+  constexpr int kRequests = 20;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  for (int i = 0; i < kRequests; ++i) {
+    auto resp = conn.Get("/echo?i=" + std::to_string(i));
+    ASSERT_TRUE(resp.ok()) << "request " << i;
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body, std::to_string(i));
+    EXPECT_EQ(resp->headers.at("connection"), "keep-alive");
+  }
+  // One TCP connection carried all of them; the counters agree.
+  EXPECT_TRUE(WaitFor([&] {
+    return f.server.requests_served() == static_cast<uint64_t>(kRequests);
+  })) << f.server.requests_served();
+  EXPECT_EQ(f.server.accepted_connections(), 1u);
+  EXPECT_EQ(f.server.keepalive_reuse(), static_cast<uint64_t>(kRequests - 1));
+  EXPECT_EQ(f.server.active_connections(), 1u);
+}
+
+TEST(HttpConformanceTest, ConnectionCloseIsHonored) {
+  ServerFixture f;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  ASSERT_TRUE(
+      conn.SendRaw("GET /ping HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+                   "\r\n")
+          .ok());
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->headers.at("connection"), "close");
+  // The server closes after the response: the next read sees EOF.
+  EXPECT_FALSE(conn.ReadResponse().ok());
+}
+
+TEST(HttpConformanceTest, Http10DefaultsToCloseUnlessAsked) {
+  ServerFixture f;
+  {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+    ASSERT_TRUE(conn.SendRaw("GET /ping HTTP/1.0\r\n\r\n").ok());
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->headers.at("connection"), "close");
+    EXPECT_FALSE(conn.ReadResponse().ok());  // EOF
+  }
+  {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+    ASSERT_TRUE(
+        conn.SendRaw("GET /ping HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .ok());
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->headers.at("connection"), "keep-alive");
+    // The connection stays usable.
+    ASSERT_TRUE(
+        conn.SendRaw("GET /ping HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .ok());
+    EXPECT_TRUE(conn.ReadResponse().ok());
+  }
+}
+
+TEST(HttpConformanceTest, OversizedHeaderGets431AndClose) {
+  ServerFixture f;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  std::string head = "GET /ping HTTP/1.1\r\nX-Pad: ";
+  head.append(20 * 1024, 'a');  // past the 16 KiB default head limit
+  head += "\r\n\r\n";
+  ASSERT_TRUE(conn.SendRaw(head).ok());
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 431);
+  EXPECT_EQ(resp->headers.at("connection"), "close");
+  EXPECT_FALSE(conn.ReadResponse().ok());  // connection closed
+}
+
+TEST(HttpConformanceTest, OversizedBodyGets413WithoutSendingIt) {
+  ServerFixture f;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  // Declares 8 MiB (past the 4 MiB default) but never sends a byte of it:
+  // the server must answer from the Content-Length alone.
+  ASSERT_TRUE(
+      conn.SendRaw("POST /ping HTTP/1.1\r\nHost: x\r\n"
+                   "Content-Length: 8388608\r\n\r\n")
+          .ok());
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 413);
+  EXPECT_EQ(resp->headers.at("connection"), "close");
+}
+
+TEST(HttpConformanceTest, MalformedRequestsGet400WithoutKillingTheServer) {
+  ServerFixture f;
+  const char* bad[] = {
+      "BLARG\r\n\r\n",
+      "GET /a%zz HTTP/1.1\r\n\r\n",
+      "GET /ping HTTP/1.1\nHost: x\n\n",  // bare-LF line endings
+      "GET /ping HTTP/9.9\r\n\r\n",
+  };
+  for (const char* raw : bad) {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(f.server.port()).ok()) << raw;
+    ASSERT_TRUE(conn.SendRaw(raw).ok());
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << raw;
+    EXPECT_EQ(resp->status, 400) << raw;
+    EXPECT_EQ(resp->headers.at("connection"), "close") << raw;
+    // A fresh, well-formed connection is entirely unaffected.
+    auto ok = HttpGet(f.server.port(), "/ping");
+    ASSERT_TRUE(ok.ok()) << raw;
+    EXPECT_EQ(ok->status, 200) << raw;
+  }
+}
+
+TEST(HttpConformanceTest, GarbageAfterValidPipelinePoisonsOnlyTheTail) {
+  ServerFixture f;
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(f.server.port()).ok());
+  // Two good requests followed by garbage: both good ones are answered in
+  // order, then the 400, then close.
+  ASSERT_TRUE(
+      conn.SendRaw("GET /echo?i=0 HTTP/1.1\r\nHost: x\r\n\r\n"
+                   "GET /echo?i=1 HTTP/1.1\r\nHost: x\r\n\r\n"
+                   "NOT HTTP AT ALL\r\n\r\n")
+          .ok());
+  auto r0 = conn.ReadResponse();
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->status, 200);
+  EXPECT_EQ(r0->body, "0");
+  auto r1 = conn.ReadResponse();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->status, 200);
+  EXPECT_EQ(r1->body, "1");
+  auto r2 = conn.ReadResponse();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->status, 400);
+}
+
+}  // namespace
+}  // namespace wikisearch::server

@@ -1,0 +1,363 @@
+// Cross-request micro-batching equivalence (DESIGN.md §9): distinct
+// queries merged into one batch epoch must return answers bit-identical to
+// the same queries run serially — across every engine kind, with and
+// without a shared SearchStatePool. Batching only changes *when* queries
+// are dispatched and how wide their thread grants are; the engine is
+// deterministic in both, so any divergence here is state leaking between
+// batched members. Also pins the counter algebra (merged = executed −
+// epochs while batching is on) and that batch_window_ms = 0 takes the
+// exact unbatched path: zero epochs, zero merges, identical answers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "server/query_scheduler.h"
+#include "server/search_service.h"
+#include "test_util.h"
+
+namespace wikisearch {
+namespace {
+
+using server::QueryScheduler;
+
+/// Canonical byte-exact serialization (same scheme as
+/// concurrency_equivalence_test): scores as raw IEEE-754 bits, every field
+/// that reaches the response JSON.
+std::string Canonical(const Result<SearchResult>& r) {
+  std::ostringstream out;
+  if (!r.ok()) {
+    out << "error:" << r.status().ToString();
+    return out.str();
+  }
+  for (const std::string& kw : r->keywords) out << kw << ';';
+  out << "|levels=" << r->stats.levels
+      << "|centrals=" << r->stats.num_centrals << '|';
+  for (const AnswerGraph& a : r->answers) {
+    uint64_t score_bits = 0;
+    static_assert(sizeof(score_bits) == sizeof(a.score));
+    std::memcpy(&score_bits, &a.score, sizeof(score_bits));
+    out << "a{" << a.central << ',' << a.depth << ',' << score_bits << ",n[";
+    for (NodeId v : a.nodes) out << v << ',';
+    out << "],e[";
+    for (const AnswerEdge& e : a.edges) {
+      out << e.src << '-' << e.label << '-' << e.dst << ',';
+    }
+    out << "]}";
+  }
+  return out.str();
+}
+
+struct Fixture {
+  Fixture() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 900;
+    cfg.num_summary_nodes = 5;
+    cfg.num_topic_nodes = 12;
+    cfg.num_communities = 6;
+    cfg.vocab_size = 1200;
+    cfg.seed = 271;
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 2000, 7);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+/// Draws `count` *distinct* keyword queries (distinct single-flight keys,
+/// so batching — not deduplication — is what merges them).
+std::vector<std::vector<std::string>> DrawQueries(const Fixture& f,
+                                                  size_t count) {
+  Rng rng(testing::TestSeed());
+  std::vector<std::vector<std::string>> queries;
+  std::vector<std::string> keys;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(3);
+    for (size_t i = 0; i < 2 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() < 2) continue;
+    std::string key;
+    for (const auto& k : kws) key += k + ' ';
+    if (std::find(keys.begin(), keys.end(), key) != keys.end()) continue;
+    keys.push_back(key);
+    queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+std::string QueryKey(const std::vector<std::string>& kws) {
+  std::string key;
+  for (const auto& k : kws) key += k + ' ';
+  return key;
+}
+
+void RunBatchedEquivalence(EngineKind kind, bool pooled, double window_ms) {
+  SCOPED_TRACE(std::string(EngineKindName(kind)) +
+               (pooled ? "/pooled" : "/fresh") + "/window=" +
+               std::to_string(window_ms));
+  Fixture& f = SharedFixture();
+  const auto queries = DrawQueries(f, 8);
+
+  SearchOptions opts;
+  opts.engine = kind;
+  opts.top_k = 8;
+  opts.threads = 4;
+
+  SearchStatePool pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  if (pooled) engine.SetStatePool(&pool);
+
+  // Serial baselines from the very same engine instance, at a fixed width.
+  std::vector<std::string> expected;
+  expected.reserve(queries.size());
+  for (const auto& q : queries) {
+    expected.push_back(Canonical(engine.SearchKeywords(q, opts)));
+  }
+
+  // Batched: all queries fired concurrently into a scheduler whose window
+  // and limit force epochs of several distinct queries; each member runs
+  // with whatever width the epoch granted it. Determinism across widths is
+  // already pinned by kernel_equivalence_test — what this adds is the
+  // batched *scheduling* around the engine.
+  QueryScheduler::Options sopts;
+  sopts.batch_window_ms = window_ms;
+  sopts.batch_limit = 4;
+  sopts.max_running = 2;
+  sopts.total_threads = 4;
+  sopts.max_threads_per_query = 4;
+  QueryScheduler scheduler(sopts);
+
+  std::vector<std::string> got(queries.size());
+  std::vector<QueryScheduler::Outcome::Kind> kinds(queries.size());
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    threads.emplace_back([&, i] {
+      auto outcome =
+          scheduler.Run(QueryKey(queries[i]), [&](int width) {
+            SearchOptions o = opts;
+            o.threads = width;
+            return engine.SearchKeywords(queries[i], o);
+          });
+      kinds[i] = outcome.kind;
+      got[i] = outcome.result ? Canonical(*outcome.result) : "null";
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Distinct keys: every caller executed (nothing shed, nothing shared).
+    EXPECT_EQ(kinds[i], QueryScheduler::Outcome::Kind::kRan) << "query " << i;
+    EXPECT_EQ(got[i], expected[i]) << "query " << i;
+  }
+  EXPECT_EQ(scheduler.executed_total(), queries.size());
+  EXPECT_EQ(scheduler.shed_total(), 0u);
+  EXPECT_EQ(scheduler.shared_total(), 0u);
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+
+  if (window_ms > 0) {
+    // Every execution went through an epoch, so the counter algebra is
+    // exact: each epoch of size s contributes s−1 merges.
+    EXPECT_GE(scheduler.batch_epochs_total(), 1u);
+    EXPECT_LE(scheduler.batch_epochs_total(), queries.size());
+    EXPECT_EQ(scheduler.merged_total(),
+              scheduler.executed_total() - scheduler.batch_epochs_total());
+  } else {
+    // Window 0 is the exact pre-batching path: no epoch is ever created.
+    EXPECT_EQ(scheduler.batch_epochs_total(), 0u);
+    EXPECT_EQ(scheduler.merged_total(), 0u);
+  }
+}
+
+class SchedulerBatchingTest : public ::testing::TestWithParam<EngineKind> {};
+
+TEST_P(SchedulerBatchingTest, FreshStatesMatchSerial) {
+  RunBatchedEquivalence(GetParam(), /*pooled=*/false, /*window_ms=*/25.0);
+}
+
+TEST_P(SchedulerBatchingTest, PooledStatesMatchSerial) {
+  RunBatchedEquivalence(GetParam(), /*pooled=*/true, /*window_ms=*/25.0);
+}
+
+TEST_P(SchedulerBatchingTest, WindowZeroIsTheUnbatchedPath) {
+  RunBatchedEquivalence(GetParam(), /*pooled=*/true, /*window_ms=*/0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngineKinds, SchedulerBatchingTest,
+                         ::testing::Values(EngineKind::kSequential,
+                                           EngineKind::kCpuParallel,
+                                           EngineKind::kCpuDynamic,
+                                           EngineKind::kGpuSim),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case EngineKind::kSequential:
+                               return std::string("Sequential");
+                             case EngineKind::kCpuParallel:
+                               return std::string("CpuParallel");
+                             case EngineKind::kCpuDynamic:
+                               return std::string("CpuDynamic");
+                             default:
+                               return std::string("GpuSim");
+                           }
+                         });
+
+// A saturated scheduler merges arrivals even past the window: with one
+// running slot held by a stalled query, late arrivals join the collecting
+// epoch instead of queueing individually.
+TEST(SchedulerBatchingTest, SaturationKeepsTheEpochCollecting) {
+  Fixture& f = SharedFixture();
+  const auto queries = DrawQueries(f, 5);
+  SearchOptions opts;
+  opts.engine = EngineKind::kSequential;
+  opts.top_k = 4;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+
+  QueryScheduler::Options sopts;
+  sopts.batch_window_ms = 5.0;  // far shorter than the stall below
+  sopts.batch_limit = 16;
+  sopts.max_running = 1;
+  QueryScheduler scheduler(sopts);
+
+  // Occupy the only slot with a long execution. Its own epoch (size 1,
+  // dispatched as soon as its window lapses — the slot is free) is the
+  // first of the two this test expects.
+  std::thread blocker([&] {
+    scheduler.Run("", [&](int) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      return engine.SearchKeywords(queries[0], opts);
+    });
+  });
+  // Wait until the blocker holds the slot.
+  while (scheduler.running() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Four distinct queries arrive spread over ~10 windows. None can run —
+  // the slot is taken — so they all accumulate into the one open epoch and
+  // dispatch together when the blocker finishes.
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 4; ++i) {
+    threads.emplace_back([&, i] {
+      scheduler.Run(QueryKey(queries[i]), [&](int width) {
+        SearchOptions o = opts;
+        o.threads = width;
+        return engine.SearchKeywords(queries[i], o);
+      });
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(12));
+  }
+  for (auto& th : threads) th.join();
+  blocker.join();
+
+  // Two epochs: the blocker's (size 1, 0 merges) and the group's (size 4,
+  // 3 merges — every arrival past the first was merged, not queued).
+  EXPECT_EQ(scheduler.batch_epochs_total(), 2u);
+  EXPECT_EQ(scheduler.merged_total(), 3u);
+  EXPECT_EQ(scheduler.executed_total(), 5u);
+  EXPECT_EQ(scheduler.in_flight(), 0u);
+  EXPECT_EQ(scheduler.running(), 0u);
+}
+
+// End-to-end through the service: concurrent distinct /search requests
+// under a batching window return the same documents as serial requests
+// (timings excised — wall-clock is the one field batching may change), and
+// the epoch counters surface through the accessors and /stats.
+TEST(SchedulerBatchingTest, ServiceBatchingMatchesSerialBodies) {
+  GraphBuilder b;
+  b.AddTriple("xml toolkit", "part of", "data tools");
+  b.AddTriple("rdf engine", "part of", "data tools");
+  b.AddTriple("sql planner", "part of", "data tools");
+  KnowledgeGraph graph = std::move(b).Build();
+  AttachNodeWeights(&graph);
+  AttachAverageDistance(&graph, 100, 3);
+  InvertedIndex index = InvertedIndex::Build(graph);
+
+  // Timings are load-dependent; everything else in the document is
+  // deterministic. Splice the timings object out before comparing (both
+  // sides get the identical treatment).
+  auto strip_timings = [](std::string body) {
+    // total_ms/expansion_ms/topdown_ms are the trailing keys of the stats
+    // object; erase from the first of them to the object's closing brace.
+    size_t start = body.find(",\"total_ms\":");
+    if (start == std::string::npos) return body;
+    size_t end = body.find('}', start);
+    if (end == std::string::npos) return body;
+    body.erase(start, end - start);
+    return body;
+  };
+
+  constexpr int kQueries = 6;  // distinct k => distinct scheduler keys
+  auto make_req = [](int k) {
+    server::HttpRequest req;
+    req.params["q"] = "xml rdf";
+    req.params["k"] = std::to_string(k);
+    return req;
+  };
+
+  server::SearchService serial(&graph, &index, {}, /*cache_capacity=*/0);
+  std::vector<std::string> expected(kQueries);
+  for (int k = 1; k <= kQueries; ++k) {
+    server::HttpResponse resp = serial.HandleSearch(make_req(k));
+    EXPECT_EQ(resp.status, 200);
+    expected[k - 1] = strip_timings(std::move(resp.body));
+  }
+
+  server::SearchService batched(&graph, &index, {}, /*cache_capacity=*/0);
+  batched.SetBatchWindow(25.0);
+  batched.SetBatchLimit(4);
+  std::vector<std::string> got(kQueries);
+  std::vector<std::thread> threads;
+  for (int k = 1; k <= kQueries; ++k) {
+    threads.emplace_back([&, k] {
+      server::HttpResponse resp = batched.HandleSearch(make_req(k));
+      EXPECT_EQ(resp.status, 200);
+      got[k - 1] = strip_timings(std::move(resp.body));
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < kQueries; ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "k=" << (i + 1);
+  }
+
+  // Every request executed (cache off, keys distinct), all through epochs:
+  // the merge algebra is exact.
+  EXPECT_GE(batched.batch_epochs(), 1u);
+  EXPECT_EQ(batched.batch_merged_queries(),
+            static_cast<uint64_t>(kQueries) - batched.batch_epochs());
+  EXPECT_EQ(serial.batch_epochs(), 0u);
+  EXPECT_EQ(serial.batch_merged_queries(), 0u);
+
+  // The knob and counters surface in /stats.
+  std::string stats = batched.HandleStats(server::HttpRequest{}).body;
+  EXPECT_NE(stats.find("\"batch_window_ms\":25"), std::string::npos);
+  EXPECT_NE(stats.find("\"batch_merged_queries\""), std::string::npos);
+  EXPECT_NE(stats.find("\"batch_epochs\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wikisearch

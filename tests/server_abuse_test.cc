@@ -1,0 +1,301 @@
+// Abuse and misbehaving-client battery for the reactor server (DESIGN.md
+// §13): slowloris trickles get reaped at the idle timeout, half-closed
+// clients still receive their pending responses, clients that vanish
+// mid-engine-run cost a discarded result (never a dead-fd write or a
+// leaked pooled buffer), the connection cap sheds inline with 503, and a
+// pipeline flood is throttled, not buffered without bound. Every assertion
+// that has a /metrics counterpart is reconciled against a live scrape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "core/node_weight.h"
+#include "graph/distance_sampler.h"
+#include "obs/metrics.h"
+#include "server/http_client.h"
+#include "server/http_server.h"
+#include "server/search_service.h"
+
+namespace wikisearch::server {
+namespace {
+
+/// Polls `cond` until true or ~`ms` elapsed (generous under sanitizers).
+bool WaitFor(const std::function<bool()>& cond, int ms = 5000) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+TEST(ServerAbuseTest, SlowlorisIsReapedAtIdleTimeout) {
+  HttpServer server;
+  server.SetSocketTimeoutMs(100);
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  HttpConnection sl;
+  ASSERT_TRUE(sl.Connect(server.port()).ok());
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 1; }));
+  // Trickle header bytes forever, never completing the request. Each write
+  // lands (TCP accepts it) but partial reads never refresh the idle clock,
+  // so the reaper sees a connection idle since accept.
+  const std::string head = "GET /ping HTTP/1.1\r\nX-Slow: ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (!sl.SendRaw(std::string_view(&head[i], 1)).ok()) break;  // reaped
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  }
+  // The server hangs up without sending anything: EOF, not a response.
+  EXPECT_FALSE(sl.ReadResponse().ok());
+  EXPECT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  EXPECT_EQ(server.idle_reaped(), 1u);
+  EXPECT_EQ(server.discarded_responses(), 0u);
+
+  // The reap freed real capacity: a fresh, well-behaved client is served.
+  auto ok = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  server.Stop();
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+}
+
+TEST(ServerAbuseTest, IdleKeepAliveConnectionIsAlsoReaped) {
+  // Same reaper, politer peer: a keep-alive connection that completed its
+  // requests and then goes silent is reclaimed too.
+  HttpServer server;
+  server.SetSocketTimeoutMs(100);
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(server.port()).ok());
+  auto resp = conn.Get("/ping");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_FALSE(conn.ReadResponse().ok());  // blocks until the reap, then EOF
+  EXPECT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  EXPECT_EQ(server.idle_reaped(), 1u);
+  server.Stop();
+}
+
+TEST(ServerAbuseTest, HalfCloseMidResponseStillGetsTheResponse) {
+  HttpServer server;
+  server.Route("/slow", [](const HttpRequest&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return HttpResponse::Text(200, "late but here\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(server.port()).ok());
+  ASSERT_TRUE(conn.SendGet("/slow").ok());
+  // FIN while the handler is still running: the server must treat this as
+  // "no more requests", not "client gone" — the response is still owed.
+  conn.ShutdownWrite();
+  auto resp = conn.ReadResponse();
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "late but here\n");
+  // Response delivered, read side drained: now the server closes.
+  EXPECT_FALSE(conn.ReadResponse().ok());
+  EXPECT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  EXPECT_TRUE(WaitFor([&] { return server.requests_served() == 1u; }));
+  EXPECT_EQ(server.discarded_responses(), 0u);
+  server.Stop();
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+}
+
+TEST(ServerAbuseTest, ClientAbortMidHandlerDiscardsTheResult) {
+  HttpServer server;
+  std::atomic<int> handler_runs{0};
+  server.Route("/work", [&](const HttpRequest&) {
+    handler_runs.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    return HttpResponse::Text(200, "nobody is listening\n");
+  });
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(server.port()).ok());
+  ASSERT_TRUE(conn.SendGet("/work").ok());
+  ASSERT_TRUE(WaitFor([&] { return handler_runs.load() == 1; }));
+  // RST while the engine runs. The reactor drops the connection; when the
+  // handler completes, its response has nowhere to go and is discarded —
+  // never written to a dead fd, its pooled buffer never leaked.
+  conn.Abort();
+  EXPECT_TRUE(WaitFor([&] { return server.discarded_responses() == 1; }));
+  EXPECT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  EXPECT_EQ(server.requests_served(), 0u);
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+
+  // The server shrugs it off: next client gets served normally.
+  auto ok = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  server.Stop();
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+  EXPECT_EQ(server.live_worker_threads(), 0u);
+}
+
+TEST(ServerAbuseTest, ConnectionCapSheds503Inline) {
+  HttpServer server;
+  server.SetMaxConnections(1);
+  server.Route("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // First connection takes the only slot and keeps it (keep-alive).
+  HttpConnection holder;
+  ASSERT_TRUE(holder.Connect(server.port()).ok());
+  auto held = holder.Get("/ping");
+  ASSERT_TRUE(held.ok());
+  EXPECT_EQ(held->status, 200);
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 1; }));
+
+  // Over-cap accepts are answered 503 straight from the reactor — no
+  // connection state, no handler dispatch, then the socket is closed.
+  for (int i = 0; i < 3; ++i) {
+    HttpConnection shed;
+    ASSERT_TRUE(shed.Connect(server.port()).ok());
+    auto resp = shed.ReadResponse();  // 503 arrives unprompted
+    ASSERT_TRUE(resp.ok()) << i;
+    EXPECT_EQ(resp->status, 503);
+    EXPECT_EQ(resp->headers.at("retry-after"), "1");
+    EXPECT_EQ(resp->headers.at("connection"), "close");
+    EXPECT_FALSE(shed.ReadResponse().ok());  // EOF
+  }
+  EXPECT_EQ(server.rejected_connections(), 3u);
+  EXPECT_LE(server.active_connections(), 1u);
+
+  // Releasing the slot restores service.
+  holder.Close();
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+  auto ok = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  server.Stop();
+}
+
+TEST(ServerAbuseTest, PipelineFloodIsThrottledNotBufferedUnbounded) {
+  HttpServer server;
+  server.SetMaxPipeline(4);
+  server.Route("/echo", [](const HttpRequest& req) {
+    return HttpResponse::Text(200, req.Param("i"));
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  HttpConnection conn;
+  ASSERT_TRUE(conn.Connect(server.port()).ok());
+  constexpr int kBurst = 24;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += "GET /echo?i=" + std::to_string(i) +
+             " HTTP/1.1\r\nHost: x\r\n\r\n";
+  }
+  ASSERT_TRUE(conn.SendRaw(burst).ok());
+  // Parse-ahead stops at 4 unanswered requests; as we (the flooder) read
+  // responses, the reactor resumes parsing. Everything is answered, in
+  // order, with bounded parse-ahead at every instant.
+  for (int i = 0; i < kBurst; ++i) {
+    auto resp = conn.ReadResponse();
+    ASSERT_TRUE(resp.ok()) << "i=" << i << ": " << resp.status().ToString();
+    EXPECT_EQ(resp->status, 200);
+    EXPECT_EQ(resp->body, std::to_string(i));
+  }
+  // The counter lands on the reactor thread a beat after we read byte N.
+  EXPECT_TRUE(WaitFor([&] {
+    return server.requests_served() == static_cast<uint64_t>(kBurst);
+  })) << server.requests_served();
+  server.Stop();
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+}
+
+// ----------------------- /metrics reconciliation -----------------------------
+
+TEST(ServerAbuseTest, MetricsScrapeReconcilesAbuseCountersExactly) {
+  GraphBuilder b;
+  b.AddTriple("xml toolkit", "part of", "data tools");
+  b.AddTriple("rdf engine", "part of", "data tools");
+  KnowledgeGraph graph = std::move(b).Build();
+  AttachNodeWeights(&graph);
+  AttachAverageDistance(&graph, 100, 3);
+  InvertedIndex index = InvertedIndex::Build(graph);
+
+  // Stall the engine so an abort lands mid-run (the sanctioned hook).
+  SearchOptions defaults;
+  defaults.engine = EngineKind::kSequential;
+  defaults.fault_injection = [](const char* point) {
+    if (std::string_view(point) == "bottomup:level") {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  };
+  SearchService service(&graph, &index, defaults);
+  HttpServer server;
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // 1. A keep-alive client: 3 requests on one socket → 2 reuses.
+  {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()).ok());
+    for (int i = 0; i < 3; ++i) {
+      auto resp = conn.Get("/healthz");
+      ASSERT_TRUE(resp.ok());
+      EXPECT_EQ(resp->status, 200);
+    }
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+
+  // 2. A client that aborts mid-engine-run → 1 discarded response.
+  {
+    HttpConnection conn;
+    ASSERT_TRUE(conn.Connect(server.port()).ok());
+    ASSERT_TRUE(conn.SendGet("/search?q=xml+rdf").ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    conn.Abort();
+  }
+  ASSERT_TRUE(WaitFor([&] { return server.discarded_responses() == 1; }));
+  ASSERT_TRUE(WaitFor([&] { return server.active_connections() == 0; }));
+
+  // 3. Scrape. The scraping connection is itself the single open
+  // connection at bridge time, and every abuse counter above must appear
+  // in the exposition with exactly the value the accessors report.
+  auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  const std::string& out = metrics->body;
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_open_connections"), 1.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_keepalive_reuse"), 2.0);
+  EXPECT_EQ(server.keepalive_reuse(), 2u);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_discarded_responses_total"),
+            1.0);
+  EXPECT_EQ(server.discarded_responses(), 1u);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_idle_reaped_total"), 0.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_accepted_connections_total"),
+            static_cast<double>(server.accepted_connections()));
+  EXPECT_EQ(server.accepted_connections(), 3u);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_buffers_outstanding"), 0.0);
+  EXPECT_EQ(obs::FindMetricValue(out, "ws_server_live_worker_threads"),
+            static_cast<double>(server.live_worker_threads()));
+
+  server.Stop();
+  EXPECT_EQ(server.buffer_pool().outstanding(), 0u);
+  EXPECT_EQ(server.live_worker_threads(), 0u);
+  EXPECT_EQ(server.active_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace wikisearch::server
