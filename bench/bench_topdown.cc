@@ -1,0 +1,238 @@
+// Top-down stage benchmark (DESIGN.md §14): the bound-driven streaming
+// top-k against the exhaustive extraction paths, measured as three stacked
+// variants on wikisynth-M:
+//
+//   legacy  — the pre-scratch path (per-candidate hash containers,
+//             std::function keyword-mask indirection, per-edge central-depth
+//             rescans, full extraction of every candidate):
+//             SearchOptions::legacy_topdown_extraction;
+//   scratch — the pooled-scratch driver with the admissible bound DISABLED
+//             (enable_topdown_bound = false): every candidate still
+//             extracted, so the delta vs legacy is pure allocation/indirection
+//             savings;
+//   bounded — the full driver: candidates stream in ascending lower-bound
+//             order and workers stop extracting once the running top-k is
+//             certified, so the delta vs scratch is pure pruning.
+//
+// Two workload shapes, because the bound's pruning yield is a function of
+// answer size: "selective" (Knum=3, Topk=5) has small answers, so the
+// admissible bound sits close to the true score and certification genuinely
+// prunes; "stress" (Knum=10, Topk=20) has ~15-node answers whose weight-sum
+// slack (path intermediates, above-minimum witnesses) keeps every candidate
+// under the certification line — there the scratch savings carry the
+// speedup and the pruned column records the bound's honest limit.
+//
+// Every variant serves byte-identical answers (topdown_equivalence_test
+// proves it), so the deltas here are pure speed. Results are written to
+// BENCH_topdown.json; --smoke runs a shortened sweep and exits nonzero
+// unless, on the selective config at Tnum=1, the bounded driver beats the
+// legacy path on the top-down stage by >= 1.5x with a nonzero pruned count.
+// Single-core CI hosts drift up to ~30% run to run, so the smoke gate
+// re-measures (up to 3 attempts) before failing: it is a regression
+// tripwire, not a benchmark. The committed full run records the stage
+// ratios measured on the reference host (the acceptance bar there is
+// >= 2x).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+
+using namespace wikisearch;
+
+namespace {
+
+void WriteVariant(JsonWriter& w, const eval::ProfiledRun& run) {
+  w.BeginObject();
+  w.Key("topdown_ms");
+  w.Double(run.avg.topdown_ms);
+  w.Key("total_ms");
+  w.Double(run.avg.total_ms);
+  w.Key("avg_centrals");
+  w.Double(run.avg_centrals);
+  w.Key("avg_extracted");
+  w.Double(run.avg_extracted);
+  w.Key("avg_pruned");
+  w.Double(run.avg_pruned);
+  w.Key("avg_skipped");
+  w.Double(run.avg_skipped);
+  w.Key("avg_answers");
+  w.Double(run.avg_answers);
+  w.EndObject();
+}
+
+double Ratio(double base, double x) { return x > 0.0 ? base / x : 0.0; }
+
+struct Workload {
+  const char* label;
+  int knum;
+  int topk;
+  unsigned seed;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_topdown.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  eval::DatasetBundle data = bench::MediumDataset();
+  const size_t num_queries = smoke ? 4 : eval::BenchQueryCount();
+  const Workload workloads[] = {
+      {"selective", 3, 5, 923},
+      {"stress", 10, 20, 923},
+  };
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String("topdown_bound");
+  w.Key("dataset");
+  w.String(data.name);
+  w.Key("nodes");
+  w.UInt(data.kb.graph.num_nodes());
+  w.Key("triples");
+  w.UInt(data.kb.graph.num_triples());
+  w.Key("queries");
+  w.UInt(num_queries);
+  w.Key("smoke");
+  w.Bool(smoke);
+  w.Key("configs");
+  w.BeginArray();
+
+  eval::PrintHeader(
+      "Top-down: legacy exhaustive vs pooled scratch vs bound-driven "
+      "streaming top-k (" + data.name + ")",
+      {"workload", "Tnum", "variant", "topdown", "total", "extracted",
+       "pruned", "topdown spdup"});
+
+  double gate_speedup_t1 = 0.0;  // selective config, bounded vs legacy
+  double gate_pruned_t1 = 0.0;
+
+  for (const Workload& wl : workloads) {
+    auto queries = gen::MakeEfficiencyWorkload(data.kb, data.index, wl.knum,
+                                               num_queries, wl.seed);
+    for (int threads : {1, 4}) {
+      SearchOptions opts;
+      opts.top_k = wl.topk;
+      opts.threads = threads;
+      opts.engine = EngineKind::kCpuParallel;
+
+      SearchOptions legacy_opts = opts;
+      legacy_opts.legacy_topdown_extraction = true;
+      SearchOptions scratch_opts = opts;
+      scratch_opts.enable_topdown_bound = false;
+      SearchOptions bounded_opts = opts;
+
+      eval::ProfiledRun legacy =
+          eval::ProfileEngine(data, queries, legacy_opts);
+      eval::ProfiledRun scratch =
+          eval::ProfileEngine(data, queries, scratch_opts);
+      eval::ProfiledRun bounded =
+          eval::ProfileEngine(data, queries, bounded_opts);
+
+      const bool gated =
+          smoke && threads == 1 && std::strcmp(wl.label, "selective") == 0;
+      if (gated) {
+        // Retry the gated config on a miss: machine-level drift on shared
+        // single-core hosts can depress any one measurement by more than
+        // the gate margin.
+        for (int rep = 1; rep < 3; ++rep) {
+          if (Ratio(legacy.avg.topdown_ms, bounded.avg.topdown_ms) >= 1.5 &&
+              bounded.avg_pruned > 0.0) {
+            break;
+          }
+          legacy = eval::ProfileEngine(data, queries, legacy_opts);
+          scratch = eval::ProfileEngine(data, queries, scratch_opts);
+          bounded = eval::ProfileEngine(data, queries, bounded_opts);
+        }
+      }
+
+      const double topdown_speedup =
+          Ratio(legacy.avg.topdown_ms, bounded.avg.topdown_ms);
+      const double scratch_speedup =
+          Ratio(legacy.avg.topdown_ms, scratch.avg.topdown_ms);
+      if (threads == 1 && std::strcmp(wl.label, "selective") == 0) {
+        gate_speedup_t1 = topdown_speedup;
+        gate_pruned_t1 = bounded.avg_pruned;
+      }
+
+      struct Row {
+        const char* label;
+        const eval::ProfiledRun* r;
+      };
+      const Row rows[] = {
+          {"legacy", &legacy}, {"scratch", &scratch}, {"bounded", &bounded}};
+      for (const Row& row : rows) {
+        char sp[32], ex[32], pr[32];
+        std::snprintf(sp, sizeof(sp), "%.2fx",
+                      Ratio(legacy.avg.topdown_ms, row.r->avg.topdown_ms));
+        std::snprintf(ex, sizeof(ex), "%.1f", row.r->avg_extracted);
+        std::snprintf(pr, sizeof(pr), "%.1f", row.r->avg_pruned);
+        eval::PrintRow({wl.label, std::to_string(threads), row.label,
+                        eval::FmtMs(row.r->avg.topdown_ms),
+                        eval::FmtMs(row.r->avg.total_ms), ex, pr, sp});
+      }
+
+      w.BeginObject();
+      w.Key("workload");
+      w.String(wl.label);
+      w.Key("knum");
+      w.Int(wl.knum);
+      w.Key("top_k");
+      w.Int(wl.topk);
+      w.Key("threads");
+      w.Int(threads);
+      w.Key("legacy");
+      WriteVariant(w, legacy);
+      w.Key("scratch");
+      WriteVariant(w, scratch);
+      w.Key("bounded");
+      WriteVariant(w, bounded);
+      w.Key("scratch_speedup");
+      w.Double(scratch_speedup);
+      w.Key("topdown_speedup");
+      w.Double(topdown_speedup);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string json = std::move(w).Take();
+  if (FILE* f = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path);
+  } else {
+    std::printf("\nfailed to open %s for writing\n", out_path);
+    return 1;
+  }
+  std::printf(
+      "shape: candidates stream in ascending lower-bound order; once the\n"
+      "running top-k is certified against the bound watermark, the rest are\n"
+      "pruned without extraction. The scratch rows isolate the pooled-buffer\n"
+      "savings; bounded minus scratch is pure pruning, and the stress rows\n"
+      "record where weight-sum slack keeps the bound from certifying.\n");
+
+  if (smoke && (gate_speedup_t1 < 1.5 || gate_pruned_t1 <= 0.0)) {
+    std::printf(
+        "SMOKE FAIL: selective topdown speedup %.2fx (< 1.5x) or avg pruned "
+        "%.1f (== 0) at Tnum=1\n",
+        gate_speedup_t1, gate_pruned_t1);
+    return 1;
+  }
+  if (smoke) {
+    std::printf("smoke ok: selective topdown %.2fx, avg pruned %.1f at "
+                "Tnum=1\n",
+                gate_speedup_t1, gate_pruned_t1);
+  }
+  return 0;
+}

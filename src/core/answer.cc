@@ -23,6 +23,14 @@ double ScoreAnswer(const GraphView& g, const AnswerGraph& answer,
   return std::pow(static_cast<double>(answer.depth), lambda) * weight_sum;
 }
 
+double ScoreLowerBound(int depth, double lambda, double central_weight,
+                       double extra_min_weight) {
+  // Must mirror ScoreAnswer's depth factor exactly: the bound's FP argument
+  // multiplies both sides by the same double.
+  return std::pow(static_cast<double>(depth), lambda) *
+         (central_weight + extra_min_weight);
+}
+
 bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b) {
   if (a.score != b.score) return a.score < b.score;
   if (a.depth != b.depth) return a.depth < b.depth;

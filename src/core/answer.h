@@ -51,6 +51,26 @@ struct AnswerGraph {
 double ScoreAnswer(const GraphView& g, const AnswerGraph& answer,
                    double lambda);
 
+/// Admissible lower bound on the Eq. 6 score of any answer derived from a
+/// central identified at `depth`: the answer always retains the central
+/// itself plus, for every query keyword the central does not contain, at
+/// least one non-central T_i node — so its weight sum is at least
+/// central_weight + extra_min_weight, where the caller supplies either the
+/// max over missing keywords i of m_i = min_{v in T_i} w(v), or the
+/// stronger distinct-witness cover sum over the r smallest m_i
+/// (core/top_down.cc). Admissibility survives FP for the max variant
+/// exactly: ScoreAnswer accumulates nonnegative weights sequentially, and
+/// such sums are >= fl(a + b) for any two distinct terms under
+/// round-to-nearest, while the depth factor is the very same std::pow
+/// value, so ScoreLowerBound(...) <= ScoreAnswer(...) holds in double
+/// arithmetic, not just over the reals. The cover-sum variant is summed in
+/// a different order than ScoreAnswer's, so the caller deflates it by
+/// 2^-17 to dominate the summation-order rounding gap (requires
+/// nonnegative weights; see QueryContext::weights_nonneg). DESIGN.md §14
+/// has the full argument.
+double ScoreLowerBound(int depth, double lambda, double central_weight,
+                       double extra_min_weight);
+
 /// Deterministic strict ordering used for final ranking: by score, then
 /// depth, then size, then central id.
 bool AnswerOrder(const AnswerGraph& a, const AnswerGraph& b);

@@ -286,6 +286,11 @@ class SearchState {
   }
   /// Epoch stamps of keyword nodes (IsKeywordNode(v) == stamp[v] == epoch).
   const uint32_t* keyword_stamps() const { return keyword_node_.data(); }
+  /// Raw keyword bitmasks, valid where keyword_stamps()[v] == epoch() —
+  /// the array behind KeywordMask(v), exposed so the top-down stage reads
+  /// masks through a KeywordMaskView (one inlined probe) instead of a
+  /// std::function call per node visit.
+  const uint64_t* keyword_mask_words() const { return keyword_mask_.data(); }
 
   /// Degree-bucketed expansion scratch (reused across levels and queries).
   ExpandPlan& expand_plan() { return expand_plan_; }

@@ -200,7 +200,7 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     internal::DynamicRunInfo info;
     result.answers =
         internal::RunDynamicEngine(ctx, opts, pool, &result.timings, &info,
-                                   progress, query_deadline);
+                                   progress, query_deadline, scratch_pool_);
     result.stats.num_centrals = info.num_centrals;
     result.stats.levels = info.levels;
     result.stats.frontier_exhausted = info.frontier_exhausted;
@@ -210,6 +210,8 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     result.stats.cancelled = info.cancelled;
     result.stats.timed_out = info.timed_out;
     result.stats.candidates_skipped = info.candidates_skipped;
+    result.stats.candidates_pruned = info.candidates_pruned;
+    result.stats.candidates_extracted = info.candidates_extracted;
     result.stats.levels_completed = info.levels;
   } else {
     const bool gpu_style = opts.engine == EngineKind::kGpuSim;
@@ -234,13 +236,26 @@ Result<SearchResult> SearchEngine::SearchKeywordsProgressive(
     }
     if (opts.fault_injection) opts.fault_injection("stage:topdown");
     StateHitLevels hits(state);
-    auto mask = [&state](NodeId v) { return state.KeywordMask(v); };
     TopDownInfo td_info;
-    result.answers = TopDownProcess(ctx, opts, pool, hits, state.centrals(),
-                                    mask, &result.timings, query_deadline,
-                                    &td_info);
+    if (opts.legacy_topdown_extraction) {
+      auto mask = [&state](NodeId v) { return state.KeywordMask(v); };
+      result.answers = TopDownProcess(ctx, opts, pool, hits, state.centrals(),
+                                      mask, &result.timings, query_deadline,
+                                      &td_info);
+    } else {
+      KeywordMaskView mask{state.keyword_mask_words(), state.keyword_stamps(),
+                           state.epoch()};
+      StateCandidateBuilder builder(ctx, opts, hits, mask, state.centrals(),
+                                    scratch_pool_, pool->threads());
+      result.answers = RunBoundedTopDown(ctx, opts, pool, state.centrals(),
+                                         mask, &builder, &result.timings,
+                                         query_deadline, &td_info,
+                                         "topdown:candidate");
+    }
     result.stats.timed_out |= td_info.timed_out;
     result.stats.candidates_skipped = td_info.candidates_skipped;
+    result.stats.candidates_pruned = td_info.candidates_pruned;
+    result.stats.candidates_extracted = td_info.candidates_extracted;
     result.stats.num_centrals = state.centrals().size();
     result.stats.levels = bottom.levels;
     result.stats.levels_completed = bottom.levels;
@@ -279,6 +294,15 @@ void SearchEngine::RecordSearchMetrics(const SearchOptions& opts,
       ->Inc(static_cast<uint64_t>(std::max(s.levels_completed, 0)));
   reg.GetCounter("ws_search_centrals_total")->Inc(s.num_centrals);
   reg.GetCounter("ws_search_answers_total")->Inc(result.answers.size());
+  // Stage-2 candidate accounting; the three counters partition
+  // ws_search_centrals_total exactly (extracted + pruned + skipped ==
+  // centrals for every query and engine kind).
+  reg.GetCounter("ws_search_candidates_extracted_total")
+      ->Inc(s.candidates_extracted);
+  reg.GetCounter("ws_search_candidates_pruned_total")
+      ->Inc(s.candidates_pruned);
+  reg.GetCounter("ws_search_candidates_skipped_total")
+      ->Inc(s.candidates_skipped);
   if (s.timed_out) reg.GetCounter("ws_search_timeout_total")->Inc();
   if (s.degraded) reg.GetCounter("ws_search_degraded_total")->Inc();
 

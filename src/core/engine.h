@@ -19,6 +19,7 @@
 #include "core/answer.h"
 #include "core/bottom_up.h"
 #include "core/context_cache.h"
+#include "core/extraction_scratch.h"
 #include "core/phase_timings.h"
 #include "core/search_options.h"
 #include "core/state_pool.h"
@@ -73,6 +74,12 @@ struct SearchStats {
   double deadline_left_ms = -1.0;
   /// Central Graph candidates stage 2 dropped unprocessed at the deadline.
   size_t candidates_skipped = 0;
+  /// Candidates the top-down bound pruned without extraction (provably
+  /// unable to enter the served top-k; DESIGN.md §14).
+  size_t candidates_pruned = 0;
+  /// Candidates fully extracted into answer candidates. Always
+  /// extracted + pruned + skipped == num_centrals.
+  size_t candidates_extracted = 0;
   int levels = 0;
   bool frontier_exhausted = false;
   size_t peak_frontier = 0;
@@ -153,6 +160,12 @@ class SearchEngine {
     state_pool_ = pool != nullptr ? pool : &GlobalSearchStatePool();
   }
 
+  /// Overrides the ExtractionScratch pool leased by the top-down stage
+  /// (default: the process-wide one). Same contract as SetStatePool.
+  void SetScratchPool(ExtractionScratchPool* pool) {
+    scratch_pool_ = pool != nullptr ? pool : &GlobalExtractionScratchPool();
+  }
+
   /// Attaches a shared query-context cache: per-keyword posting resolution
   /// and the O(n) activation-level table are then memoized across queries
   /// (and across concurrent queries — entries are immutable snapshots).
@@ -188,6 +201,7 @@ class SearchEngine {
   // (internally locked) cache is not logical state mutation.
   mutable ThreadPoolCache pool_cache_;
   SearchStatePool* state_pool_ = &GlobalSearchStatePool();
+  ExtractionScratchPool* scratch_pool_ = &GlobalExtractionScratchPool();
   QueryContextCache* context_cache_ = nullptr;
 };
 

@@ -138,6 +138,73 @@ ExtractedGraph BuildFromParents(const DynamicState& state,
   return eg;
 }
 
+/// BuildFromParents into pooled scratch: same traversal, but the queue and
+/// visited set are epoch-reused and the DAGs land in scratch->eg with their
+/// capacity intact. Byte-identical output (the per-i edge lists are sorted
+/// and uniqued either way).
+void BuildFromParentsInto(const DynamicState& state, CentralCandidate central,
+                          size_t q, ExtractionScratch* s) {
+  ExtractedGraph& eg = s->eg;
+  eg.central = central.node;
+  eg.depth = central.depth;
+  if (eg.dag.size() < q) eg.dag.resize(q);
+  for (size_t i = 0; i < q; ++i) {
+    std::vector<std::pair<NodeId, NodeId>>& dag = eg.dag[i];
+    dag.clear();
+    s->queue.assign(1, central.node);
+    s->visited.Clear();
+    s->visited.Insert(central.node);
+    for (size_t head = 0; head < s->queue.size(); ++head) {
+      NodeId child = s->queue[head];
+      const DynNode* n = state.NodeOrNull(child);
+      if (n == nullptr) continue;
+      auto it = n->parents.find(static_cast<uint32_t>(i));
+      if (it == n->parents.end()) continue;
+      for (NodeId parent : it->second) {
+        dag.emplace_back(parent, child);
+        if (s->visited.Insert(parent)) s->queue.push_back(parent);
+      }
+    }
+    std::sort(dag.begin(), dag.end());
+    dag.erase(std::unique(dag.begin(), dag.end()), dag.end());
+  }
+}
+
+/// CandidateBuilder over the frozen DynamicState: recorded parents replace
+/// extraction; the keyword-mask view reads a dense per-query array seeded
+/// exactly like DynNode::keyword_mask (only initialization ever sets it).
+class DynCandidateBuilder final : public CandidateBuilder {
+ public:
+  DynCandidateBuilder(const QueryContext& ctx, const SearchOptions& opts,
+                      const DynamicState& state,
+                      const std::vector<CentralCandidate>& centrals,
+                      const KeywordMaskView& mask,
+                      ExtractionScratchPool* scratch_pool, int max_workers)
+      : ctx_(ctx),
+        opts_(opts),
+        state_(state),
+        centrals_(centrals),
+        mask_(mask),
+        scratch_(scratch_pool, ctx.graph.num_nodes(),
+                 static_cast<size_t>(std::max(max_workers, 1))) {}
+
+  void Build(int worker, size_t candidate_index, AnswerGraph* out) override {
+    ExtractionScratch& s = scratch_.Get(worker);
+    BuildFromParentsInto(state_, centrals_[candidate_index],
+                         ctx_.num_keywords(), &s);
+    BuildAnswerInto(ctx_.graph, s.eg, ctx_.num_keywords(), mask_,
+                    opts_.enable_level_cover, opts_.lambda, &s, out);
+  }
+
+ private:
+  const QueryContext& ctx_;
+  const SearchOptions& opts_;
+  const DynamicState& state_;
+  const std::vector<CentralCandidate>& centrals_;
+  KeywordMaskView mask_;
+  PerWorkerScratch scratch_;
+};
+
 }  // namespace
 
 std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
@@ -146,7 +213,8 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
                                           PhaseTimings* timings,
                                           DynamicRunInfo* info,
                                           const ProgressCallback& progress,
-                                          const Deadline& deadline) {
+                                          const Deadline& deadline,
+                                          ExtractionScratchPool* scratch_pool) {
   const GraphView& g = ctx.graph;
   const size_t n = g.num_nodes();
   const size_t q = ctx.num_keywords();
@@ -333,6 +401,27 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
   stage_span.reset();  // close "bottomup" before "topdown" opens
 
   // ---- Top-down: no extraction needed; prune + rank recorded graphs -------
+  if (!opts.legacy_topdown_extraction) {
+    // Dense per-query keyword-mask array: initialization is the only writer
+    // of DynNode::keyword_mask, so seeding from T_i reproduces it exactly.
+    std::vector<uint64_t> mask_words(n, 0);
+    for (size_t i = 0; i < q; ++i) {
+      for (NodeId v : ctx.keyword_nodes[i]) mask_words[v] |= (1ULL << i);
+    }
+    const KeywordMaskView mask_view{mask_words.data(), nullptr, 0};
+    if (scratch_pool == nullptr) scratch_pool = &GlobalExtractionScratchPool();
+    DynCandidateBuilder builder(ctx, opts, state, centrals, mask_view,
+                                scratch_pool, pool->threads());
+    TopDownInfo td_info;
+    std::vector<AnswerGraph> answers =
+        RunBoundedTopDown(ctx, opts, pool, centrals, mask_view, &builder,
+                          timings, deadline, &td_info, "dynamic:topdown");
+    info->candidates_skipped = td_info.candidates_skipped;
+    info->candidates_pruned = td_info.candidates_pruned;
+    info->candidates_extracted = td_info.candidates_extracted;
+    info->timed_out |= td_info.timed_out;
+    return answers;
+  }
   obs::ScopedStage td_span(trace, "topdown", &timings->topdown_ms);
   std::vector<AnswerGraph> candidates(centrals.size());
   std::atomic<bool> td_expired{false};
@@ -363,6 +452,7 @@ std::vector<AnswerGraph> RunDynamicEngine(const QueryContext& ctx,
       candidates.resize(kept);
     }
   }
+  info->candidates_extracted = candidates.size();
   obs::ScopedStage rank_span(trace, "topdown/rank");
   return SelectTopK(std::move(candidates), opts);
 }

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/answer.h"
 #include "core/bottom_up.h"
+#include "core/extraction_scratch.h"
 #include "core/phase_timings.h"
 #include "core/query_context.h"
 #include "core/search_options.h"
@@ -28,6 +29,8 @@ struct DynamicRunInfo {
   bool cancelled = false;
   bool timed_out = false;
   size_t candidates_skipped = 0;
+  size_t candidates_pruned = 0;
+  size_t candidates_extracted = 0;
 };
 
 /// Runs the full two-stage query with the dynamic-memory locked engine.
@@ -36,10 +39,13 @@ struct DynamicRunInfo {
 /// search, already-found centrals still materialize), and `deadline` bounds
 /// both stages — per level in the search, per candidate in the top-down
 /// materialization.
+/// `scratch_pool` feeds the bounded top-down driver's per-worker
+/// ExtractionScratch leases; null uses the process-wide pool.
 std::vector<AnswerGraph> RunDynamicEngine(
     const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
     PhaseTimings* timings, DynamicRunInfo* info,
     const ProgressCallback& progress = nullptr,
-    const Deadline& deadline = Deadline());
+    const Deadline& deadline = Deadline(),
+    ExtractionScratchPool* scratch_pool = nullptr);
 
 }  // namespace wikisearch::internal

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "core/extraction_scratch.h"
 
 namespace wikisearch {
 
@@ -82,6 +83,90 @@ ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
                      out.dag[i].end());
   }
   return out;
+}
+
+CentralDepthIndex::CentralDepthIndex(
+    const std::vector<CentralCandidate>& centrals)
+    : sorted_(centrals) {
+  std::sort(sorted_.begin(), sorted_.end(),
+            [](const CentralCandidate& a, const CentralCandidate& b) {
+              return a.node < b.node;
+            });
+}
+
+int CentralDepthIndex::Lookup(NodeId v) const {
+  auto it = std::lower_bound(
+      sorted_.begin(), sorted_.end(), v,
+      [](const CentralCandidate& c, NodeId node) { return c.node < node; });
+  if (it == sorted_.end() || it->node != v) return -1;
+  return it->depth;
+}
+
+void ExtractCentralGraphInto(const QueryContext& ctx, const HitLevels& hits,
+                             CentralCandidate central,
+                             const CentralDepthIndex& depths,
+                             ExtractionScratch* scratch) {
+  const GraphView& g = ctx.graph;
+  const size_t q = ctx.num_keywords();
+
+  ExtractedGraph& out = scratch->eg;
+  out.central = central.node;
+  out.depth = central.depth;
+  if (out.dag.size() < q) out.dag.resize(q);
+
+  std::vector<NodeId>& queue = scratch->queue;
+  EpochSet& visited = scratch->visited;
+  for (size_t i = 0; i < q; ++i) {
+    out.dag[i].clear();
+    queue.clear();
+    visited.Clear();
+    queue.push_back(central.node);
+    visited.Insert(central.node);
+    // Same backward BFS as ExtractCentralGraph; only the container
+    // implementations differ (epoch set, reused vectors, indexed depth
+    // probe), so the dag edge lists come out byte-identical.
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId vf = queue[head];
+      const int hf = static_cast<int>(hits.Hit(vf, i));
+      if (hf == 0) continue;  // a B_i source: nothing precedes it
+      WS_CHECK(hf != static_cast<int>(kLevelInf));
+      const bool vf_is_keyword = hits.IsKeywordNode(vf);
+      const int af = ctx.activation_level[vf];
+      const int expand_level = hf - 1;  // level at which predecessors fired
+      for (const AdjEntry& e : g.Neighbors(vf)) {
+        NodeId vn = e.target;
+        Level hn_raw = hits.Hit(vn, i);
+        if (hn_raw == kLevelInf) continue;
+        const int hn = static_cast<int>(hn_raw);
+        const int an = ctx.activation_level[vn];
+        const int expected = vf_is_keyword
+                                 ? 1 + std::max(an, hn)
+                                 : 1 + std::max({an, hn, af - 1});
+        if (hf != expected) continue;
+        // A node identified as a Central Node stops expanding (Sec. III-B);
+        // exclude predecessors that were already central when this edge
+        // would have fired. The committed-centrals index answers the depth
+        // probe; a cap-dropped central falls back to the hit-level scan.
+        if (vn != central.node && hits.IsCentral(vn)) {
+          int dn = depths.Lookup(vn);
+          if (dn < 0) dn = CentralDepth(hits, vn, q);
+          if (dn <= expand_level) continue;
+        }
+        // Parallel edges between the same pair yield one DAG edge.
+        if (!out.dag[i].empty() && out.dag[i].back().first == vn &&
+            out.dag[i].back().second == vf) {
+          continue;
+        }
+        out.dag[i].emplace_back(vn, vf);
+        if (visited.Insert(vn)) queue.push_back(vn);
+      }
+    }
+    // Deduplicate DAG edges (a pair can repeat when vf is reached via
+    // different adjacency entries).
+    std::sort(out.dag[i].begin(), out.dag[i].end());
+    out.dag[i].erase(std::unique(out.dag[i].begin(), out.dag[i].end()),
+                     out.dag[i].end());
+  }
 }
 
 }  // namespace wikisearch

@@ -57,4 +57,49 @@ ExtractedGraph ExtractCentralGraph(const QueryContext& ctx,
                                    const HitLevels& hits,
                                    CentralCandidate central);
 
+/// Zero-indirection view of the per-node query-keyword bitmasks, replacing
+/// the std::function<uint64_t(NodeId)> hot-path callback: operator[] is an
+/// inlined array probe. With `stamp == nullptr` the mask array is always
+/// valid (dense per-query array); otherwise entry v is valid only when
+/// stamp[v] == epoch (SearchState's epoch-versioned keyword bitmap).
+struct KeywordMaskView {
+  const uint64_t* mask = nullptr;
+  const uint32_t* stamp = nullptr;
+  uint32_t epoch = 0;
+
+  uint64_t operator[](NodeId v) const {
+    if (stamp != nullptr && stamp[v] != epoch) return 0;
+    return mask[v];
+  }
+};
+
+/// Per-query central-depth lookup: extraction's central-predecessor test
+/// needs the depth of *other* central nodes on every candidate-neighbor
+/// probe, and used to rescan all q hit levels each time. The identified
+/// depth of every committed central is already in the centrals vector
+/// (Lemma V.1: identification level == max hitting level), so one sorted
+/// copy answers the probe with a binary search. Lookup returns -1 for
+/// central-flagged nodes missing from the vector (possible only when
+/// max_central_candidates capped the commit); callers then fall back to the
+/// hit-level scan.
+class CentralDepthIndex {
+ public:
+  explicit CentralDepthIndex(const std::vector<CentralCandidate>& centrals);
+
+  int Lookup(NodeId v) const;
+
+ private:
+  std::vector<CentralCandidate> sorted_;
+};
+
+struct ExtractionScratch;
+
+/// ExtractCentralGraph into pooled scratch memory: byte-identical output
+/// (scratch->eg) with zero per-candidate heap allocations once the scratch
+/// buffers are warm. `depths` serves the central-predecessor depth probes.
+void ExtractCentralGraphInto(const QueryContext& ctx, const HitLevels& hits,
+                             CentralCandidate central,
+                             const CentralDepthIndex& depths,
+                             ExtractionScratch* scratch);
+
 }  // namespace wikisearch

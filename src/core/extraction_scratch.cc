@@ -1,0 +1,64 @@
+#include "core/extraction_scratch.h"
+
+namespace wikisearch {
+
+ExtractionScratchPool::Lease ExtractionScratchPool::Acquire(size_t num_nodes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Shelf& shelf : shelves_) {
+      if (shelf.key != num_nodes || shelf.idle.empty()) continue;
+      std::unique_ptr<ExtractionScratch> s = std::move(shelf.idle.back());
+      shelf.idle.pop_back();
+      ++reused_;
+      return Lease(this, std::move(s));
+    }
+    ++created_;
+  }
+  // Allocation outside the lock: sizing the stamp arrays is O(n).
+  return Lease(this, std::make_unique<ExtractionScratch>(num_nodes));
+}
+
+void ExtractionScratchPool::Return(std::unique_ptr<ExtractionScratch> scratch) {
+  const size_t key = scratch->num_nodes();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Shelf& shelf : shelves_) {
+    if (shelf.key != key) continue;
+    if (shelf.idle.size() < kMaxIdlePerKey) {
+      shelf.idle.push_back(std::move(scratch));
+    }
+    return;
+  }
+  Shelf shelf;
+  shelf.key = key;
+  shelf.idle.push_back(std::move(scratch));
+  shelves_.push_back(std::move(shelf));
+}
+
+void ExtractionScratchPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shelves_.clear();
+}
+
+size_t ExtractionScratchPool::idle_scratches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const Shelf& shelf : shelves_) total += shelf.idle.size();
+  return total;
+}
+
+size_t ExtractionScratchPool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+size_t ExtractionScratchPool::reused() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reused_;
+}
+
+ExtractionScratchPool& GlobalExtractionScratchPool() {
+  static ExtractionScratchPool* pool = new ExtractionScratchPool();
+  return *pool;
+}
+
+}  // namespace wikisearch

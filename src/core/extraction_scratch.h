@@ -1,0 +1,233 @@
+// Pooled, epoch-versioned scratch memory for the top-down stage.
+//
+// Extraction and answer materialization used to allocate fresh
+// unordered_set/unordered_map/std::map/std::set instances per Central Graph
+// candidate — hundreds of node-sized hash tables per query, churned and
+// thrown away. This header replaces them with flat stamp arrays sized once
+// per graph: clearing a set is an epoch bump (O(1)), membership is one
+// array probe, and the whole scratch is leased from a pool keyed on
+// num_nodes exactly like SearchStatePool leases SearchStates — so the
+// steady-state extraction path performs zero per-candidate heap
+// allocations (proven by topdown_equivalence_test's allocation counter).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/extraction.h"
+#include "graph/types.h"
+
+namespace wikisearch {
+
+/// Flat set over NodeId with O(1) Clear: membership means the node's stamp
+/// equals the current epoch. A stamp wraparound (after ~4e9 Clears) forces
+/// one bulk refill, so stale stamps from earlier epochs can never alias.
+class EpochSet {
+ public:
+  explicit EpochSet(size_t n) : stamp_(n, 0) {}
+
+  void Clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+  /// Returns true when v was not yet a member.
+  bool Insert(NodeId v) {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    return true;
+  }
+  bool Contains(NodeId v) const { return stamp_[v] == epoch_; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+};
+
+/// Flat NodeId -> uint64 bitmask map with O(1) Clear, same stamp scheme.
+class EpochMaskMap {
+ public:
+  explicit EpochMaskMap(size_t n) : stamp_(n, 0), value_(n, 0) {}
+
+  void Clear() {
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+  /// ORs `bits` into v's mask; returns true when v was not yet a member.
+  bool Or(NodeId v, uint64_t bits) {
+    if (stamp_[v] == epoch_) {
+      value_[v] |= bits;
+      return false;
+    }
+    stamp_[v] = epoch_;
+    value_[v] = bits;
+    return true;
+  }
+  uint64_t Get(NodeId v) const { return stamp_[v] == epoch_ ? value_[v] : 0; }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<uint64_t> value_;
+  uint32_t epoch_ = 0;
+};
+
+/// All per-candidate working memory of ExtractCentralGraphInto and
+/// BuildAnswerInto. One scratch serves one worker at a time; every buffer is
+/// cleared (epoch bump or vector::clear, never deallocation) at the start of
+/// the pass that uses it, so capacity persists across candidates and pooled
+/// scratches amortize across queries.
+struct ExtractionScratch {
+  explicit ExtractionScratch(size_t num_nodes)
+      : visited(num_nodes),
+        dag_member(num_nodes),
+        kept(num_nodes),
+        retained(num_nodes),
+        num_nodes_(num_nodes) {}
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Reused extraction output: dag edge lists keep their capacity across
+  /// candidates.
+  ExtractedGraph eg;
+  /// Backward-BFS worklist of ExtractCentralGraphInto.
+  std::vector<NodeId> queue;
+  /// Visited set of the backward BFS and of the forward anchor DFS.
+  EpochSet visited;
+  /// node -> bitmask of per-keyword DAGs containing it (replaces the q
+  /// per-DAG unordered_sets).
+  EpochMaskMap dag_member;
+  /// Distinct DAG nodes in first-seen order (iteration order for bucketing
+  /// and anchor scans; the consumers are order-independent sets).
+  std::vector<NodeId> node_list;
+  /// (contribution count, node) pairs, sorted descending by count — the
+  /// flat replacement of the std::map<int, vector, greater> buckets.
+  std::vector<std::pair<int, NodeId>> bucket_pairs;
+  /// Keyword nodes surviving level-cover pruning.
+  EpochSet kept;
+  /// Per-keyword anchor list of the forward re-walk.
+  std::vector<NodeId> anchors;
+  /// DFS stack of the forward re-walk.
+  std::vector<NodeId> stack;
+  /// Nodes retained in the final answer (set + list for ordered drain).
+  EpochSet retained;
+  std::vector<NodeId> retained_list;
+  /// Retained DAG edges; duplicates allowed during collection, sorted and
+  /// uniqued before materialization (replaces the std::set).
+  std::vector<std::pair<NodeId, NodeId>> retained_pairs;
+
+ private:
+  size_t num_nodes_;
+};
+
+/// Thread-safe pool of ExtractionScratch instances keyed on num_nodes,
+/// mirroring SearchStatePool's lease discipline.
+class ExtractionScratchPool {
+ public:
+  ExtractionScratchPool() = default;
+  ExtractionScratchPool(const ExtractionScratchPool&) = delete;
+  ExtractionScratchPool& operator=(const ExtractionScratchPool&) = delete;
+
+  /// Move-only lease on a pooled scratch.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(ExtractionScratchPool* pool, std::unique_ptr<ExtractionScratch> s)
+        : pool_(pool), scratch_(std::move(s)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), scratch_(std::move(other.scratch_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        scratch_ = std::move(other.scratch_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    ExtractionScratch* get() const { return scratch_.get(); }
+    ExtractionScratch& operator*() const { return *scratch_; }
+    ExtractionScratch* operator->() const { return scratch_.get(); }
+
+   private:
+    void Release() {
+      if (pool_ != nullptr && scratch_ != nullptr) {
+        pool_->Return(std::move(scratch_));
+      }
+      pool_ = nullptr;
+    }
+
+    ExtractionScratchPool* pool_ = nullptr;
+    std::unique_ptr<ExtractionScratch> scratch_;
+  };
+
+  /// Returns a scratch sized for `num_nodes`, reusing an idle one when the
+  /// key matches.
+  Lease Acquire(size_t num_nodes);
+
+  /// Drops all idle scratches (e.g. after a graph swap).
+  void Clear();
+
+  size_t idle_scratches() const;
+  /// Lifetime counters, for tests and /stats.
+  size_t created() const;
+  size_t reused() const;
+
+ private:
+  void Return(std::unique_ptr<ExtractionScratch> scratch);
+
+  // Keep a few idle scratches per key: enough for worker-count concurrency
+  // without pinning unbounded memory after a load spike.
+  static constexpr size_t kMaxIdlePerKey = 8;
+
+  struct Shelf {
+    size_t key;  // num_nodes
+    std::vector<std::unique_ptr<ExtractionScratch>> idle;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Shelf> shelves_;
+  size_t created_ = 0;
+  size_t reused_ = 0;
+};
+
+/// Process-wide pool shared by all engines not given an explicit pool.
+/// Never destroyed (avoids shutdown-order issues).
+ExtractionScratchPool& GlobalExtractionScratchPool();
+
+/// Lazily leases one scratch per worker index for the duration of a top-down
+/// run. Worker indices come from ThreadPool::ParallelForDynamicWorker, which
+/// guarantees at most one concurrent task per index, so Get needs no locking.
+class PerWorkerScratch {
+ public:
+  PerWorkerScratch(ExtractionScratchPool* pool, size_t num_nodes,
+                   size_t max_workers)
+      : pool_(pool), num_nodes_(num_nodes), leases_(max_workers) {}
+
+  ExtractionScratch& Get(int worker) {
+    Lease& lease = leases_[static_cast<size_t>(worker)];
+    if (lease.get() == nullptr) lease = pool_->Acquire(num_nodes_);
+    return *lease;
+  }
+
+ private:
+  using Lease = ExtractionScratchPool::Lease;
+  ExtractionScratchPool* pool_;
+  size_t num_nodes_;
+  std::vector<Lease> leases_;
+};
+
+}  // namespace wikisearch

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "core/extraction_scratch.h"
 
 namespace wikisearch {
 
@@ -126,6 +127,156 @@ AnswerGraph BuildAnswer(const GraphView& g, const ExtractedGraph& eg,
   }
   answer.score = ScoreAnswer(g, answer, lambda);
   return answer;
+}
+
+void BuildAnswerInto(const GraphView& g, const ExtractedGraph& eg,
+                     size_t num_keywords, const KeywordMaskView& keyword_mask,
+                     bool enable_level_cover, double lambda,
+                     ExtractionScratch* s, AnswerGraph* out) {
+  const size_t q = num_keywords;
+  WS_CHECK(q >= 1 && q <= 64);
+  const uint64_t full_mask = (q == 64) ? ~0ULL : ((1ULL << q) - 1);
+
+  out->central = eg.central;
+  out->depth = eg.depth;
+  out->nodes.clear();
+  out->edges.clear();
+  if (out->keyword_nodes.size() != q) out->keyword_nodes.resize(q);
+  for (std::vector<NodeId>& kn : out->keyword_nodes) kn.clear();
+
+  // Per-node DAG membership bitmask + distinct-node list, replacing the q
+  // per-DAG unordered_sets (a node's membership in DAG i is bit i). The
+  // forward adjacency needs no map at all: eg.dag[i] is sorted by
+  // (pred, succ), so a node's successors are a binary-searched run.
+  s->dag_member.Clear();
+  s->node_list.clear();
+  auto add_member = [&](NodeId v, size_t i) {
+    if (s->dag_member.Or(v, 1ULL << i)) s->node_list.push_back(v);
+  };
+  for (size_t i = 0; i < q; ++i) {
+    add_member(eg.central, i);
+    for (const auto& [pred, succ] : eg.dag[i]) {
+      add_member(pred, i);
+      add_member(succ, i);
+    }
+  }
+  struct PredLess {
+    bool operator()(const std::pair<NodeId, NodeId>& e, NodeId v) const {
+      return e.first < v;
+    }
+    bool operator()(NodeId v, const std::pair<NodeId, NodeId>& e) const {
+      return v < e.first;
+    }
+  };
+  auto fwd_range = [&](size_t i, NodeId v) {
+    const auto& dag = eg.dag[i];
+    return std::equal_range(dag.begin(), dag.end(), v, PredLess{});
+  };
+
+  // ---- Level-cover selection of keyword nodes ------------------------------
+  // kept = keyword nodes surviving the pruning (always includes the central
+  // node's own contribution). Same bucket semantics as BuildAnswer: whole
+  // equal-count groups are added before the coverage recheck, so the sort
+  // order within a group cannot affect the kept set.
+  s->kept.Clear();
+  if (enable_level_cover) {
+    uint64_t covered = keyword_mask[eg.central] & full_mask;
+    s->kept.Insert(eg.central);
+    s->bucket_pairs.clear();
+    for (NodeId v : s->node_list) {
+      if (v == eg.central) continue;
+      const uint64_t mask = keyword_mask[v] & full_mask;
+      if (mask == 0) continue;  // not a keyword node
+      s->bucket_pairs.emplace_back(std::popcount(mask), v);
+    }
+    std::sort(s->bucket_pairs.begin(), s->bucket_pairs.end(),
+              [](const std::pair<int, NodeId>& a,
+                 const std::pair<int, NodeId>& b) { return a.first > b.first; });
+    size_t gi = 0;
+    while (gi < s->bucket_pairs.size()) {
+      if (covered == full_mask) break;  // prune all remaining buckets
+      const int count = s->bucket_pairs[gi].first;
+      size_t ge = gi;
+      while (ge < s->bucket_pairs.size() && s->bucket_pairs[ge].first == count) {
+        ++ge;
+      }
+      // Nodes never cause pruning within their own level: add the whole
+      // bucket before re-checking coverage.
+      for (size_t j = gi; j < ge; ++j) {
+        NodeId v = s->bucket_pairs[j].second;
+        s->kept.Insert(v);
+        covered |= keyword_mask[v] & full_mask;
+      }
+      gi = ge;
+    }
+  }
+
+  // ---- Rebuild retained hitting paths --------------------------------------
+  s->retained.Clear();
+  s->retained_list.clear();
+  s->retained_pairs.clear();
+  auto retain = [&](NodeId v) {
+    if (s->retained.Insert(v)) s->retained_list.push_back(v);
+  };
+  retain(eg.central);
+
+  for (size_t i = 0; i < q; ++i) {
+    // Anchors: surviving keyword nodes that lie in B_i's DAG and contain
+    // keyword i. If the pruning removed all of them (keyword i covered by a
+    // node outside DAG_i), fall back to B_i's own sources so the answer
+    // still physically connects keyword i to the Central Node.
+    s->anchors.clear();
+    for (NodeId v : s->node_list) {
+      if (((s->dag_member.Get(v) >> i) & 1) == 0) continue;
+      if (((keyword_mask[v] >> i) & 1) == 0) continue;
+      if (!enable_level_cover || s->kept.Contains(v)) s->anchors.push_back(v);
+    }
+    if (s->anchors.empty()) {
+      for (NodeId v : s->node_list) {
+        if (((s->dag_member.Get(v) >> i) & 1) == 0) continue;
+        if ((keyword_mask[v] >> i) & 1) s->anchors.push_back(v);
+      }
+    }
+    // Forward reachability from the anchors through DAG_i.
+    s->stack.assign(s->anchors.begin(), s->anchors.end());
+    s->visited.Clear();
+    for (NodeId v : s->anchors) s->visited.Insert(v);
+    while (!s->stack.empty()) {
+      NodeId v = s->stack.back();
+      s->stack.pop_back();
+      retain(v);
+      auto [lo, hi] = fwd_range(i, v);
+      for (auto it = lo; it != hi; ++it) {
+        s->retained_pairs.emplace_back(v, it->second);
+        if (s->visited.Insert(it->second)) s->stack.push_back(it->second);
+      }
+    }
+  }
+  std::sort(s->retained_pairs.begin(), s->retained_pairs.end());
+  s->retained_pairs.erase(
+      std::unique(s->retained_pairs.begin(), s->retained_pairs.end()),
+      s->retained_pairs.end());
+  for (const auto& [u, v] : s->retained_pairs) retain(v);
+
+  // ---- Materialize --------------------------------------------------------
+  out->nodes.assign(s->retained_list.begin(), s->retained_list.end());
+  std::sort(out->nodes.begin(), out->nodes.end());
+  for (const auto& [u, v] : s->retained_pairs) {
+    AppendEdgesBetween(g, u, v, &out->edges);
+  }
+  std::sort(out->edges.begin(), out->edges.end());
+  out->edges.erase(std::unique(out->edges.begin(), out->edges.end()),
+                   out->edges.end());
+
+  for (NodeId v : out->nodes) {
+    uint64_t mask = keyword_mask[v] & full_mask;
+    while (mask != 0) {
+      int i = std::countr_zero(mask);
+      out->keyword_nodes[static_cast<size_t>(i)].push_back(v);
+      mask &= mask - 1;
+    }
+  }
+  out->score = ScoreAnswer(g, *out, lambda);
 }
 
 }  // namespace wikisearch

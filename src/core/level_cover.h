@@ -25,4 +25,17 @@ AnswerGraph BuildAnswer(const GraphView& g, const ExtractedGraph& eg,
                         const std::function<uint64_t(NodeId)>& keyword_mask,
                         bool enable_level_cover, double lambda);
 
+struct ExtractionScratch;
+
+/// BuildAnswer into pooled scratch memory and a reusable output graph:
+/// byte-identical result, zero per-candidate heap allocations once scratch
+/// and `out`'s vectors are warm. The keyword mask is a direct array view
+/// instead of a std::function, and the per-keyword forward adjacency is a
+/// binary search over eg's sorted edge lists instead of per-candidate hash
+/// maps. `eg` may alias scratch->eg (the extraction output).
+void BuildAnswerInto(const GraphView& g, const ExtractedGraph& eg,
+                     size_t num_keywords, const KeywordMaskView& keyword_mask,
+                     bool enable_level_cover, double lambda,
+                     ExtractionScratch* scratch, AnswerGraph* out);
+
 }  // namespace wikisearch

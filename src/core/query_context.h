@@ -1,6 +1,7 @@
 // Per-query immutable context shared by both stages and all engine variants.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -31,9 +32,30 @@ struct QueryContext {
     const size_t n = g.num_nodes();
     activation_level.resize(n);
     if (g.has_weights()) {
+      weights_nonneg = true;
       for (NodeId v = 0; v < n; ++v) {
-        int a = activation.Level(g.NodeWeight(v));
+        const double w = g.NodeWeight(v);
+        // Piggyback on the per-node pass: the top-down score bound is only
+        // admissible over nonnegative weights (answer weight sums must be
+        // monotone in their terms), and overlay-patched weights are not
+        // statically guaranteed nonnegative. NaN fails the test too.
+        if (!(w >= 0.0)) weights_nonneg = false;
+        int a = activation.Level(w);
         activation_level[v] = static_cast<uint8_t>(a > 255 ? 255 : a);
+      }
+      // min_{v in T_i} w(v), one double per BFS instance: the cheapest
+      // certain weight any answer missing keyword i must still pay for a
+      // T_i node (core/answer.h ScoreLowerBound).
+      min_keyword_weight.resize(keyword_nodes.size(), 0.0);
+      for (size_t i = 0; i < keyword_nodes.size(); ++i) {
+        double mn = 0.0;
+        bool first = true;
+        for (NodeId v : keyword_nodes[i]) {
+          const double w = g.NodeWeight(v);
+          if (first || w < mn) mn = w;
+          first = false;
+        }
+        min_keyword_weight[i] = mn;
       }
     }
     // hit_gate folds the keyword-node exemption (Sec. IV-B: keyword nodes
@@ -45,6 +67,30 @@ struct QueryContext {
     hit_gate = activation_level;
     for (const std::vector<NodeId>& t_i : keyword_nodes) {
       for (NodeId v : t_i) hit_gate[v] = 0;
+    }
+    // Max number of BFS instances sharing one keyword node. Any answer must
+    // cover its missing keywords with distinct non-central nodes, and no
+    // single node can witness more than this many keywords — so a missing
+    // set M needs >= ceil(|M| / multiplicity) nodes, which is what lets the
+    // top-down bound SUM per-keyword min weights instead of taking their
+    // max (core/top_down.cc, DESIGN.md §14). Duplicates within one T_i only
+    // inflate the count, which weakens the bound but keeps it admissible.
+    {
+      size_t total = 0;
+      for (const std::vector<NodeId>& t_i : keyword_nodes) {
+        total += t_i.size();
+      }
+      std::vector<NodeId> all;
+      all.reserve(total);
+      for (const std::vector<NodeId>& t_i : keyword_nodes) {
+        all.insert(all.end(), t_i.begin(), t_i.end());
+      }
+      std::sort(all.begin(), all.end());
+      size_t run = 1;
+      for (size_t j = 1; j < all.size(); ++j) {
+        run = all[j] == all[j - 1] ? run + 1 : 1;
+        if (run > max_keyword_multiplicity) max_keyword_multiplicity = run;
+      }
     }
   }
 
@@ -63,6 +109,17 @@ struct QueryContext {
   /// activation_level with keyword nodes forced to zero — the single-load
   /// hit gate of the expansion kernels (see the constructor note).
   std::vector<uint8_t> hit_gate;
+  /// Minimum node weight over T_i, per BFS instance (empty when the graph
+  /// has no weights). Feeds the top-down score lower bound.
+  std::vector<double> min_keyword_weight;
+  /// True when every node weight is nonnegative (and weights exist) — the
+  /// precondition of the admissible top-down score bound; false disables
+  /// bound pruning for the query (exhaustive path, identical answers).
+  bool weights_nonneg = false;
+  /// Max number of T_i any single keyword node belongs to (>= 1; 1 when the
+  /// keyword node sets are pairwise disjoint, the common case). Feeds the
+  /// distinct-witness count of the top-down score bound (constructor note).
+  size_t max_keyword_multiplicity = 1;
   /// Maximum BFS expansion level (the paper's lmax).
   int lmax;
 

@@ -21,6 +21,7 @@ class MetricRegistry;
 ///   "bottomup:chunk"     — once per expansion worker chunk
 ///   "stage:topdown"      — between stage 1 and stage 2
 ///   "topdown:candidate"  — before each candidate extraction
+///   "topdown:bound"      — before each top-k bound certification attempt
 ///   "dynamic:level"      — start of each dynamic-engine level
 ///   "dynamic:chunk"      — once per dynamic-engine expansion chunk
 ///   "dynamic:topdown"    — before each dynamic-engine candidate
@@ -104,6 +105,18 @@ struct SearchOptions {
   /// (one adjacency pass per node). bench_kernel measures the gap; results
   /// are byte-identical.
   bool legacy_instance_expansion = false;
+  /// Prune top-down candidates whose admissible score lower bound provably
+  /// cannot enter the served top-k (DESIGN.md §14). The served answer set is
+  /// byte-identical either way (topdown_equivalence_test); false runs the
+  /// exhaustive extraction for every candidate (ablation / validation).
+  /// Self-disables when weights can be negative, when top_k == 0, or when
+  /// the candidate count does not exceed top_k.
+  bool enable_topdown_bound = true;
+  /// Ablation/bench baseline: route the top-down stage through the
+  /// pre-scratch code path (per-candidate hash containers, std::function
+  /// keyword-mask indirection, per-edge central-depth rescans, no bound
+  /// pruning). bench_topdown measures the gap; results are byte-identical.
+  bool legacy_topdown_extraction = false;
 
   /// Safety valve: cap on Central Nodes carried into the top-down stage.
   size_t max_central_candidates = 1 << 20;

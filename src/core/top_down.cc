@@ -2,36 +2,347 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <mutex>
+#include <numeric>
 
+#include "common/logging.h"
 #include "common/timer.h"
 #include "core/level_cover.h"
 #include "obs/trace.h"
 
 namespace wikisearch {
 
-std::vector<AnswerGraph> SelectTopK(std::vector<AnswerGraph> candidates,
-                                    const SearchOptions& opts) {
-  std::sort(candidates.begin(), candidates.end(), AnswerOrder);
-  std::vector<AnswerGraph> selected;
-  const size_t k = static_cast<size_t>(std::max(opts.top_k, 0));
-  for (AnswerGraph& cand : candidates) {
-    if (selected.size() >= k) break;
-    if (opts.dedup_answers) {
+namespace {
+
+/// Greedy nested-dedup selection over the sorted prefix [0, limit):
+/// identical to the historical SelectTopK loop, on pointers. Clears and
+/// fills *selected, stopping at k selections.
+void GreedySelect(const std::vector<const AnswerGraph*>& sorted, size_t limit,
+                  size_t k, bool dedup,
+                  std::vector<const AnswerGraph*>* selected) {
+  selected->clear();
+  for (size_t i = 0; i < limit && selected->size() < k; ++i) {
+    const AnswerGraph* cand = sorted[i];
+    if (dedup) {
       // Nested Central Graphs repeat information (Sec. VI-B): whenever a
       // candidate's node set contains — or is contained in — an already
       // selected answer, keep only the better-scored representative.
       bool nested = false;
-      for (const AnswerGraph& s : selected) {
-        if (cand.ContainsAllNodesOf(s) || s.ContainsAllNodesOf(cand)) {
+      for (const AnswerGraph* s : *selected) {
+        if (cand->ContainsAllNodesOf(*s) || s->ContainsAllNodesOf(*cand)) {
           nested = true;
           break;
         }
       }
       if (nested) continue;
     }
-    selected.push_back(std::move(cand));
+    selected->push_back(cand);
   }
-  return selected;
+}
+
+}  // namespace
+
+std::vector<AnswerGraph> SelectTopK(std::vector<AnswerGraph> candidates,
+                                    const SearchOptions& opts) {
+  const size_t k = static_cast<size_t>(std::max(opts.top_k, 0));
+  const size_t m = candidates.size();
+  if (k == 0 || m == 0) return {};
+  std::vector<const AnswerGraph*> ptrs(m);
+  for (size_t i = 0; i < m; ++i) ptrs[i] = &candidates[i];
+  const auto less = [](const AnswerGraph* a, const AnswerGraph* b) {
+    return AnswerOrder(*a, *b);
+  };
+  // Widening partial sort: only the prefix that can reach the top-k is ever
+  // ordered. Without dedup the first min(m, k) positions suffice; dedup can
+  // consume more, so the prefix doubles until k selections emerge or the
+  // whole list is ordered (== the historical full sort). Selections are
+  // prefix-determined, so each round's greedy result is exactly what the
+  // full sort would have produced over that prefix.
+  std::vector<const AnswerGraph*> selected;
+  size_t prefix = std::min(m, k);
+  for (;;) {
+    std::partial_sort(ptrs.begin(), ptrs.begin() + prefix, ptrs.end(), less);
+    GreedySelect(ptrs, prefix, k, opts.dedup_answers, &selected);
+    if (selected.size() >= k || prefix == m) break;
+    prefix = std::min(m, prefix * 2);
+  }
+  std::vector<AnswerGraph> out;
+  out.reserve(selected.size());
+  for (const AnswerGraph* p : selected) {
+    out.push_back(std::move(*const_cast<AnswerGraph*>(p)));
+  }
+  return out;
+}
+
+StateCandidateBuilder::StateCandidateBuilder(
+    const QueryContext& ctx, const SearchOptions& opts, const HitLevels& hits,
+    const KeywordMaskView& mask, const std::vector<CentralCandidate>& centrals,
+    ExtractionScratchPool* scratch_pool, int max_workers)
+    : ctx_(ctx),
+      opts_(opts),
+      hits_(hits),
+      mask_(mask),
+      centrals_(centrals),
+      depth_index_(centrals),
+      scratch_(scratch_pool, ctx.graph.num_nodes(),
+               static_cast<size_t>(std::max(max_workers, 1))) {}
+
+void StateCandidateBuilder::Build(int worker, size_t candidate_index,
+                                  AnswerGraph* out) {
+  ExtractionScratch& s = scratch_.Get(worker);
+  ExtractCentralGraphInto(ctx_, hits_, centrals_[candidate_index],
+                          depth_index_, &s);
+  BuildAnswerInto(ctx_.graph, s.eg, ctx_.num_keywords(), mask_,
+                  opts_.enable_level_cover, opts_.lambda, &s, out);
+}
+
+namespace {
+
+// Per-slot outcome of the bounded driver; aggregated after the join so the
+// workers never contend on shared counters.
+constexpr uint8_t kSlotSkipped = 0;
+constexpr uint8_t kSlotExtracted = 1;
+constexpr uint8_t kSlotPruned = 2;
+
+/// Completion bookkeeping of the bounded driver. Slots are claimed in
+/// ascending order (the parallel-for's atomic counter), so `watermark` — the
+/// length of the contiguous done prefix — lower-bounds the slot of every
+/// candidate not yet finished, and with slots sorted by ascending score
+/// lower bound, lb[watermark] lower-bounds every unfinished candidate's
+/// true score. That is what makes one certification over the done snapshot
+/// prune all unclaimed candidates exactly (DESIGN.md §14).
+struct CertState {
+  std::mutex mu;
+  std::vector<uint8_t> done;
+  /// All done answers, insertion-sorted by AnswerOrder as they complete:
+  /// each certification attempt then reads the k-th best in O(1) instead of
+  /// re-sorting the done set (the attempt-time sort dominated the driver's
+  /// overhead on no-prune queries).
+  std::vector<const AnswerGraph*> sorted_done;
+  size_t watermark = 0;
+  size_t done_count = 0;
+  size_t last_attempt = 0;
+  bool certifying = false;
+};
+
+}  // namespace
+
+std::vector<AnswerGraph> RunBoundedTopDown(
+    const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
+    const std::vector<CentralCandidate>& centrals,
+    const KeywordMaskView& /*mask*/, CandidateBuilder* builder,
+    PhaseTimings* timings, const Deadline& deadline, TopDownInfo* info,
+    const char* candidate_fault_point) {
+  obs::TraceContext* trace = opts.trace;
+  obs::ScopedStage stage_span(trace, "topdown", &timings->topdown_ms);
+  const FaultHook& fault = opts.fault_injection;
+  const size_t m = centrals.size();
+  const size_t k = static_cast<size_t>(std::max(opts.top_k, 0));
+  // Bound pruning needs admissibility (nonnegative weights) and something to
+  // prune (m > k); otherwise run exhaustively — the served set is identical
+  // either way.
+  const bool use_bound =
+      opts.enable_topdown_bound && ctx.weights_nonneg && k > 0 && m > k;
+
+  std::vector<AnswerGraph> answers(m);
+  std::vector<uint8_t> status(m, kSlotSkipped);
+  std::vector<uint32_t> order;   // slot -> candidate index (bounded mode)
+  std::vector<double> lb;        // by slot, ascending (bounded mode)
+  CertState cert;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> expired{false};
+  {
+    obs::ScopedStage extract_span(trace, "topdown/extract");
+    if (use_bound) {
+      // Admissible per-candidate lower bound. The missing set M is the
+      // keywords whose T_i the central node itself is NOT a member of (the
+      // hit bits are useless here — every keyword hits every central by
+      // definition): the answer must witness each i in M with a non-central
+      // node of T_i, one node can witness at most
+      // ctx.max_keyword_multiplicity of them, so the answer pays at least
+      // the sum of the ceil(|M| / multiplicity) smallest per-keyword min
+      // weights (pick one distinct representative keyword per witness; see
+      // DESIGN.md §14), and never less than the largest single one. Bound:
+      // depth^lambda * (w(central) + that cover term), mirroring
+      // ScoreAnswer's factor exactly (core/answer.h).
+      const size_t q = ctx.num_keywords();
+      const uint64_t full = q == 64 ? ~0ULL : (1ULL << q) - 1;
+      std::vector<uint32_t> by_node(m);
+      std::iota(by_node.begin(), by_node.end(), 0u);
+      std::sort(by_node.begin(), by_node.end(), [&](uint32_t a, uint32_t b) {
+        return centrals[a].node < centrals[b].node;
+      });
+      std::vector<uint64_t> match_by_idx(m, 0);
+      for (size_t i = 0; i < q; ++i) {
+        for (NodeId v : ctx.keyword_nodes[i]) {
+          auto it = std::lower_bound(
+              by_node.begin(), by_node.end(), v,
+              [&](uint32_t a, NodeId node) { return centrals[a].node < node; });
+          if (it != by_node.end() && centrals[*it].node == v) {
+            match_by_idx[*it] |= 1ULL << i;
+          }
+        }
+      }
+      std::vector<double> lb_by_idx(m);
+      std::vector<double> miss_w;
+      miss_w.reserve(q);
+      for (size_t idx = 0; idx < m; ++idx) {
+        const CentralCandidate& c = centrals[idx];
+        uint64_t missing = full & ~match_by_idx[idx];
+        miss_w.clear();
+        double extra = 0.0;
+        while (missing != 0) {
+          const int i = std::countr_zero(missing);
+          const double w = ctx.min_keyword_weight[static_cast<size_t>(i)];
+          extra = std::max(extra, w);
+          miss_w.push_back(w);
+          missing &= missing - 1;
+        }
+        const size_t r =
+            miss_w.empty()
+                ? 0
+                : (miss_w.size() + ctx.max_keyword_multiplicity - 1) /
+                      ctx.max_keyword_multiplicity;
+        if (r > 1) {
+          std::sort(miss_w.begin(), miss_w.end());
+          double sum = 0.0;
+          for (size_t j = 0; j < r; ++j) sum += miss_w[j];
+          // This ascending FP sum can exceed the node-order sum inside
+          // ScoreAnswer by a relative O((r + answer_size) * eps); deflating
+          // by 2^-17 (~7.6e-6, far below the bound's structural slack)
+          // dominates that error for any 32-bit node count, so the
+          // cover-sum variant stays admissible in double arithmetic, not
+          // just over the reals (DESIGN.md §14). The max variant needs no
+          // deflation — its FP argument is exact (core/answer.h).
+          sum *= 1.0 - 0x1p-17;
+          extra = std::max(extra, sum);
+        }
+        lb_by_idx[idx] = ScoreLowerBound(
+            c.depth, opts.lambda, ctx.graph.NodeWeight(c.node), extra);
+      }
+      order.resize(m);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (lb_by_idx[a] != lb_by_idx[b]) return lb_by_idx[a] < lb_by_idx[b];
+        return a < b;
+      });
+      lb.resize(m);
+      for (size_t p = 0; p < m; ++p) lb[p] = lb_by_idx[order[p]];
+      cert.done.assign(m, 0);
+      cert.sorted_done.reserve(m);
+    }
+    // Certification backoff: re-sorting the done set on every completion
+    // would be quadratic; every cert_interval completions is enough to stop
+    // within one interval of the earliest provable cutoff.
+    const size_t cert_interval = std::max<size_t>(8, k / 4);
+    pool->ParallelForDynamicWorker(m, /*grain=*/1, [&](int worker, size_t p) {
+      if (fault) fault(candidate_fault_point);
+      // Order matters for the accounting contract: a slot claimed after the
+      // top-k is certified counts as pruned even if the deadline has also
+      // expired (the bound alone suffices to drop it).
+      if (use_bound && stop.load(std::memory_order_relaxed)) {
+        status[p] = kSlotPruned;
+        return;
+      }
+      if (expired.load(std::memory_order_relaxed)) return;
+      if (deadline.Expired()) {
+        expired.store(true, std::memory_order_relaxed);
+        return;
+      }
+      const size_t idx = use_bound ? order[p] : p;
+      builder->Build(worker, idx, &answers[p]);
+      status[p] = kSlotExtracted;
+      if (!use_bound) return;
+
+      bool attempt = false;
+      bool quick_pass = false;
+      size_t snap_watermark = 0;
+      std::vector<const AnswerGraph*> snap_sorted;
+      {
+        std::lock_guard<std::mutex> lock(cert.mu);
+        cert.done[p] = 1;
+        ++cert.done_count;
+        while (cert.watermark < m && cert.done[cert.watermark] != 0) {
+          ++cert.watermark;
+        }
+        const AnswerGraph* a = &answers[p];
+        cert.sorted_done.insert(
+            std::upper_bound(cert.sorted_done.begin(), cert.sorted_done.end(),
+                             a,
+                             [](const AnswerGraph* x, const AnswerGraph* y) {
+                               return AnswerOrder(*x, *y);
+                             }),
+            a);
+        if (!stop.load(std::memory_order_relaxed) && !cert.certifying &&
+            cert.watermark < m && cert.done_count >= k &&
+            cert.done_count - cert.last_attempt >= cert_interval) {
+          cert.certifying = true;
+          cert.last_attempt = cert.done_count;
+          snap_watermark = cert.watermark;
+          attempt = true;
+          // Exact necessary condition, O(1): the greedy k-th selection never
+          // scores better than the k-th best of the done set (dedup can only
+          // push it later), so certification is hopeless unless that beats
+          // the watermark bound. Without dedup it is also sufficient.
+          quick_pass = cert.sorted_done.size() >= k &&
+                       cert.sorted_done[k - 1]->score < lb[snap_watermark];
+          if (quick_pass && opts.dedup_answers) {
+            snap_sorted = cert.sorted_done;
+          }
+        }
+      }
+      if (!attempt) return;
+      if (fault) fault("topdown:bound");
+      // Certification: greedy top-k over the done snapshot. Every candidate
+      // outside the snapshot (in-flight or unclaimed) has slot >=
+      // snap_watermark, hence true score >= lb[snap_watermark]; if that
+      // strictly exceeds the k-th selection's score, no later completion can
+      // enter or reorder the served top-k, so everything still unclaimed is
+      // pruned. Answers of done slots are immutable and published via
+      // cert.mu, so reading them outside the lock is safe.
+      bool certified = quick_pass;
+      if (quick_pass && opts.dedup_answers) {
+        std::vector<const AnswerGraph*> selected;
+        GreedySelect(snap_sorted, snap_sorted.size(), k, /*dedup=*/true,
+                     &selected);
+        certified = selected.size() == k &&
+                    selected.back()->score < lb[snap_watermark];
+      }
+      if (certified) stop.store(true, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(cert.mu);
+        cert.certifying = false;
+      }
+    });
+  }
+  size_t extracted = 0;
+  size_t pruned = 0;
+  size_t skipped = 0;
+  std::vector<AnswerGraph> built;
+  for (size_t p = 0; p < m; ++p) {
+    switch (status[p]) {
+      case kSlotExtracted:
+        ++extracted;
+        built.push_back(std::move(answers[p]));
+        break;
+      case kSlotPruned:
+        ++pruned;
+        break;
+      default:
+        ++skipped;
+        break;
+    }
+  }
+  WS_CHECK(extracted + pruned + skipped == m);
+  if (info != nullptr) {
+    info->candidates_extracted = extracted;
+    info->candidates_pruned = pruned;
+    info->candidates_skipped = skipped;
+    info->timed_out = expired.load(std::memory_order_relaxed);
+  }
+  obs::ScopedStage rank_span(trace, "topdown/rank");
+  return SelectTopK(std::move(built), opts);
 }
 
 std::vector<AnswerGraph> TopDownProcess(
@@ -75,6 +386,7 @@ std::vector<AnswerGraph> TopDownProcess(
       candidates.resize(kept);
     }
   }
+  if (info != nullptr) info->candidates_extracted = candidates.size();
   obs::ScopedStage rank_span(trace, "topdown/rank");
   return SelectTopK(std::move(candidates), opts);
 }

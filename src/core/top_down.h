@@ -2,6 +2,17 @@
 // its Central Node, apply level-cover pruning, score with Eq. 6 and select
 // the final top-k (dropping answers nested inside already-selected ones).
 // Runs on CPU threads in all engine variants, as in the paper.
+//
+// Two drivers share the candidate plumbing:
+//  * RunBoundedTopDown — the production path: candidates are processed in
+//    ascending order of an admissible score lower bound; once the bound of
+//    every unprocessed candidate provably exceeds the certified top-k
+//    threshold, the remaining candidates are pruned without extraction.
+//    Served answers are byte-identical to the exhaustive run (DESIGN.md §14
+//    proves the certification rule, including under nested-answer dedup).
+//  * TopDownProcess — the pre-scratch exhaustive path, preserved verbatim as
+//    the bench baseline (SearchOptions::legacy_topdown_extraction) and for
+//    direct unit tests.
 #pragma once
 
 #include <vector>
@@ -11,17 +22,69 @@
 #include "core/answer.h"
 #include "core/bfs_state.h"
 #include "core/extraction.h"
+#include "core/extraction_scratch.h"
 #include "core/phase_timings.h"
 #include "core/query_context.h"
 #include "core/search_options.h"
 
 namespace wikisearch {
 
-/// How many Central Graph candidates stage 2 dropped unprocessed because the
-/// deadline expired (answers degrade to the extracted subset).
+/// Per-candidate accounting of stage 2. Every Central Graph candidate ends
+/// in exactly one bucket: extracted (answer built), pruned (bound certified
+/// it cannot rank), or skipped (deadline expired before it was claimed) —
+/// extracted + pruned + skipped == centrals.
 struct TopDownInfo {
   size_t candidates_skipped = 0;
+  size_t candidates_pruned = 0;
+  size_t candidates_extracted = 0;
   bool timed_out = false;
+};
+
+/// Builds the answer for one Central Graph candidate. The engines supply
+/// the extraction mechanics (lock-free state extraction vs the dynamic
+/// engine's recorded parents); the driver supplies scheduling, bound
+/// pruning, deadline handling and accounting. `worker` indexes per-worker
+/// scratch and is unique among concurrent calls
+/// (ThreadPool::ParallelForDynamicWorker's contract).
+class CandidateBuilder {
+ public:
+  virtual ~CandidateBuilder() = default;
+  virtual void Build(int worker, size_t candidate_index, AnswerGraph* out) = 0;
+};
+
+/// The production top-down driver (see file comment). `mask` is the direct
+/// keyword-bitmask view used for bound computation; `candidate_fault_point`
+/// names the per-candidate fault-injection point ("topdown:candidate" or
+/// "dynamic:topdown"); certification attempts additionally fire
+/// "topdown:bound". Bound pruning engages only when
+/// opts.enable_topdown_bound, ctx.weights_nonneg, top_k > 0 and there are
+/// more candidates than top_k; otherwise every candidate is extracted
+/// (same served answers either way).
+std::vector<AnswerGraph> RunBoundedTopDown(
+    const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
+    const std::vector<CentralCandidate>& centrals, const KeywordMaskView& mask,
+    CandidateBuilder* builder, PhaseTimings* timings, const Deadline& deadline,
+    TopDownInfo* info, const char* candidate_fault_point);
+
+/// CandidateBuilder over the lock-free SearchState: pooled ExtractionScratch
+/// per worker, indexed central-depth probes, direct keyword-mask view.
+class StateCandidateBuilder final : public CandidateBuilder {
+ public:
+  StateCandidateBuilder(const QueryContext& ctx, const SearchOptions& opts,
+                        const HitLevels& hits, const KeywordMaskView& mask,
+                        const std::vector<CentralCandidate>& centrals,
+                        ExtractionScratchPool* scratch_pool, int max_workers);
+
+  void Build(int worker, size_t candidate_index, AnswerGraph* out) override;
+
+ private:
+  const QueryContext& ctx_;
+  const SearchOptions& opts_;
+  const HitLevels& hits_;
+  KeywordMaskView mask_;
+  const std::vector<CentralCandidate>& centrals_;
+  CentralDepthIndex depth_index_;
+  PerWorkerScratch scratch_;
 };
 
 /// Extracts, prunes, scores and ranks all Central Graph candidates,
@@ -29,6 +92,7 @@ struct TopDownInfo {
 /// checked between candidates: extraction of one Central Graph is the unit
 /// of work that is never interrupted, so every returned answer is complete
 /// and exact even when later candidates are shed (`info->timed_out`).
+/// Pre-scratch implementation, kept as the legacy baseline.
 std::vector<AnswerGraph> TopDownProcess(
     const QueryContext& ctx, const SearchOptions& opts, ThreadPool* pool,
     const HitLevels& hits, const std::vector<CentralCandidate>& centrals,
@@ -36,9 +100,12 @@ std::vector<AnswerGraph> TopDownProcess(
     PhaseTimings* timings, const Deadline& deadline = Deadline(),
     TopDownInfo* info = nullptr);
 
-/// Final selection shared with the dynamic engine: sorts candidate answers,
-/// removes nested duplicates (when opts.dedup_answers) and truncates to
-/// top_k.
+/// Final selection shared by all drivers: orders candidate answers by
+/// AnswerOrder, removes nested duplicates (when opts.dedup_answers) and
+/// truncates to top_k. Implemented as a widening partial sort — only the
+/// prefix that can reach the top-k is ever fully ordered — but AnswerOrder
+/// is a strict total order on engine candidates (distinct centrals), so the
+/// selection is identical to the historical sort-everything implementation.
 std::vector<AnswerGraph> SelectTopK(std::vector<AnswerGraph> candidates,
                                     const SearchOptions& opts);
 

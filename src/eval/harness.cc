@@ -101,6 +101,9 @@ ProfiledRun ProfileEngine(const DatasetBundle& data,
     run.avg += from_spans;
     run.avg_answers += static_cast<double>(res->answers.size());
     run.avg_centrals += static_cast<double>(res->stats.num_centrals);
+    run.avg_extracted += static_cast<double>(res->stats.candidates_extracted);
+    run.avg_pruned += static_cast<double>(res->stats.candidates_pruned);
+    run.avg_skipped += static_cast<double>(res->stats.candidates_skipped);
     run.peak_storage_bytes =
         std::max(run.peak_storage_bytes,
                  res->stats.running_storage_bytes +
@@ -111,6 +114,9 @@ ProfiledRun ProfileEngine(const DatasetBundle& data,
     run.avg /= static_cast<double>(count);
     run.avg_answers /= static_cast<double>(count);
     run.avg_centrals /= static_cast<double>(count);
+    run.avg_extracted /= static_cast<double>(count);
+    run.avg_pruned /= static_cast<double>(count);
+    run.avg_skipped /= static_cast<double>(count);
   }
   return run;
 }

@@ -45,6 +45,11 @@ struct ProfiledRun {
   PhaseTimings avg;            // per-query averages
   double avg_answers = 0.0;
   double avg_centrals = 0.0;
+  /// Stage-2 candidate accounting averages; extracted + pruned + skipped
+  /// equals avg_centrals (the engine WS_CHECKs the partition per query).
+  double avg_extracted = 0.0;
+  double avg_pruned = 0.0;
+  double avg_skipped = 0.0;
   size_t peak_storage_bytes = 0;
   /// Queries that hit the per-query deadline and degraded to partial
   /// answers (the engine-side counterpart of BanksRun::timeouts).

@@ -61,6 +61,10 @@ std::string SearchResultToJson(const GraphView& graph,
   w.Double(result.stats.deadline_left_ms);
   w.Key("candidates_skipped");
   w.UInt(result.stats.candidates_skipped);
+  w.Key("candidates_pruned");
+  w.UInt(result.stats.candidates_pruned);
+  w.Key("candidates_extracted");
+  w.UInt(result.stats.candidates_extracted);
   w.Key("total_ms");
   w.Double(result.timings.total_ms);
   w.Key("expansion_ms");
@@ -197,6 +201,7 @@ SearchService::SearchService(const KnowledgeGraph* graph,
       http_rejected_total_(
           metrics_->GetCounter("ws_server_http_rejected_total")) {
   engine_.SetStatePool(&state_pool_);
+  engine_.SetScratchPool(&scratch_pool_);
   if (context_cache_.capacity() > 0) {
     engine_.SetContextCache(&context_cache_);
   }
@@ -232,6 +237,7 @@ SearchService::SearchService(live::SnapshotManager* live,
           metrics_->GetCounter("ws_server_http_rejected_total")) {
   WS_CHECK(live_ != nullptr);
   engine_.SetStatePool(&state_pool_);
+  engine_.SetScratchPool(&scratch_pool_);
   if (context_cache_.capacity() > 0) {
     engine_.SetContextCache(&context_cache_);
   }
@@ -485,6 +491,15 @@ HttpResponse SearchService::HandleStats(const HttpRequest&) {
   w.Key("reused");
   w.UInt(state_pool_.reused());
   w.EndObject();
+  w.Key("scratch_pool");
+  w.BeginObject();
+  w.Key("idle");
+  w.UInt(scratch_pool_.idle_scratches());
+  w.Key("created");
+  w.UInt(scratch_pool_.created());
+  w.Key("reused");
+  w.UInt(scratch_pool_.reused());
+  w.EndObject();
   w.Key("scheduler");
   w.BeginObject();
   w.Key("max_running");
@@ -583,6 +598,8 @@ void SearchService::RefreshScrapeMetrics() {
       ->Set(static_cast<double>(context_cache_.size()));
   metrics_->GetGauge("ws_server_state_pool_idle")
       ->Set(static_cast<double>(state_pool_.idle_states()));
+  metrics_->GetGauge("ws_server_scratch_pool_idle")
+      ->Set(static_cast<double>(scratch_pool_.idle_scratches()));
   if (live_ != nullptr) {
     metrics_->GetCounter("ws_live_updates_total")
         ->AdvanceTo(live_->updates_applied());

@@ -152,6 +152,7 @@ class SearchService {
   // queries with no mutex. Declared before engine_, which holds pointers
   // into them.
   SearchStatePool state_pool_;
+  ExtractionScratchPool scratch_pool_;
   QueryContextCache context_cache_;
   SearchEngine engine_;
   QueryScheduler scheduler_;

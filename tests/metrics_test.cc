@@ -330,6 +330,14 @@ TEST(EngineMetricsTest, HistogramSumsMatchSearchStatsExactly) {
   EXPECT_EQ(reg.GetCounter("ws_search_answers_total")->Value(), answers_sum);
   EXPECT_EQ(reg.GetCounter("ws_search_centrals_total")->Value(), centrals_sum);
 
+  // The stage-2 accounting counters partition the centrals counter exactly:
+  // extracted + pruned + skipped == centrals, across all queries.
+  EXPECT_EQ(
+      reg.GetCounter("ws_search_candidates_extracted_total")->Value() +
+          reg.GetCounter("ws_search_candidates_pruned_total")->Value() +
+          reg.GetCounter("ws_search_candidates_skipped_total")->Value(),
+      centrals_sum);
+
   // The same equalities must survive the text exposition round trip.
   std::string out = reg.RenderPrometheus();
   EXPECT_EQ(FindMetricValue(out, "ws_search_latency_ms_sum{engine=\"CPU-Par\"}"),

@@ -103,6 +103,21 @@ TEST(OverloadTest, SixtyFourClientsVersusQueueDepthFour) {
   EXPECT_LE(*hwm, 4.0);
   EXPECT_EQ(obs::FindMetricValue(out, "ws_server_queue_depth"), 4.0);
 
+  // The stage-2 candidate accounting survives overload untouched: even with
+  // most requests shed and the engine stalled mid-level, the scraped
+  // counters partition the centrals counter exactly.
+  auto centrals = obs::FindMetricValue(out, "ws_search_centrals_total");
+  auto extracted =
+      obs::FindMetricValue(out, "ws_search_candidates_extracted_total");
+  auto pruned = obs::FindMetricValue(out, "ws_search_candidates_pruned_total");
+  auto skipped =
+      obs::FindMetricValue(out, "ws_search_candidates_skipped_total");
+  ASSERT_TRUE(centrals.has_value());
+  ASSERT_TRUE(extracted.has_value());
+  ASSERT_TRUE(pruned.has_value());
+  ASSERT_TRUE(skipped.has_value());
+  EXPECT_EQ(*extracted + *pruned + *skipped, *centrals);
+
   server.Stop();
   // Stop joins everything: no worker thread survives the server.
   EXPECT_EQ(server.live_worker_threads(), 0u);

@@ -1,0 +1,538 @@
+// Bound-driven top-down equivalence (DESIGN.md §14): the bounded driver —
+// admissible score lower bounds, top-k certification pruning, pooled
+// epoch-versioned extraction scratch — must serve byte-identical answers to
+// the pre-scratch exhaustive path on every engine kind, thread count,
+// state-reuse mode, dedup setting, and at every forced deadline-expiry
+// point (including the new "topdown:bound" certification point). The suite
+// also proves the allocation contract: steady-state extraction performs
+// zero per-candidate heap allocations once the scratch is warm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/bottom_up.h"
+#include "core/engine.h"
+#include "core/extraction_scratch.h"
+#include "core/node_weight.h"
+#include "core/state_pool.h"
+#include "core/top_down.h"
+#include "gen/wikigen.h"
+#include "graph/distance_sampler.h"
+#include "test_util.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps it, so
+// a test can assert that a code region performs no heap allocation at all.
+
+namespace {
+std::atomic<size_t> g_alloc_count{0};
+}  // namespace
+
+// The replacement operators pair new/malloc with delete/free on purpose;
+// GCC's -Wmismatched-new-delete cannot see that both sides are overridden.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void* operator new(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace wikisearch {
+namespace {
+
+struct Fixture {
+  explicit Fixture(const gen::WikiGenConfig& cfg) {
+    kb = gen::Generate(cfg);
+    AttachNodeWeights(&kb.graph);
+    AttachAverageDistance(&kb.graph, 1500, 5);
+    index = InvertedIndex::Build(kb.graph);
+  }
+  Fixture() : Fixture(DefaultConfig()) {}
+
+  static gen::WikiGenConfig DefaultConfig() {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 1200;
+    cfg.num_summary_nodes = 6;
+    cfg.num_topic_nodes = 14;
+    cfg.num_communities = 7;
+    cfg.vocab_size = 1600;
+    cfg.seed = 917;
+    return cfg;
+  }
+
+  gen::GeneratedKb kb;
+  InvertedIndex index;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+std::vector<std::vector<std::string>> TestQueries(const Fixture& f,
+                                                  size_t count) {
+  Rng rng(testing::TestSeed());
+  std::vector<std::vector<std::string>> queries;
+  while (queries.size() < count) {
+    const auto& terms =
+        f.kb.meta
+            .community_terms[rng.Uniform(f.kb.meta.community_terms.size())];
+    std::vector<std::string> kws;
+    size_t q = 2 + rng.Uniform(4);
+    for (size_t i = 0; i < 2 * q && kws.size() < q; ++i) {
+      const std::string& t = terms[rng.Uniform(terms.size())];
+      if (!f.index.Lookup(t).empty() &&
+          std::find(kws.begin(), kws.end(), t) == kws.end()) {
+        kws.push_back(t);
+      }
+    }
+    if (kws.size() >= 2) queries.push_back(std::move(kws));
+  }
+  return queries;
+}
+
+// Byte-identical, not merely equivalent: the bounded driver must serve the
+// exact answers the exhaustive path serves — same candidates, same nodes,
+// same floating-point scores (the bound only skips work, never changes it).
+void ExpectByteIdentical(const SearchResult& a, const SearchResult& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.answers.size(), b.answers.size()) << label;
+  for (size_t i = 0; i < a.answers.size(); ++i) {
+    const AnswerGraph& x = a.answers[i];
+    const AnswerGraph& y = b.answers[i];
+    EXPECT_EQ(x.central, y.central) << label << " answer " << i;
+    EXPECT_EQ(x.depth, y.depth) << label << " answer " << i;
+    EXPECT_EQ(x.nodes, y.nodes) << label << " answer " << i;
+    EXPECT_TRUE(x.edges == y.edges) << label << " answer " << i;
+    EXPECT_EQ(x.score, y.score) << label << " answer " << i;
+  }
+  EXPECT_EQ(a.stats.num_centrals, b.stats.num_centrals) << label;
+  EXPECT_EQ(a.stats.levels, b.stats.levels) << label;
+}
+
+// The three top-down configurations under comparison. "legacy" is the
+// pre-scratch code shape; "scratch" is the new driver with pruning disabled
+// (exhaustive, pooled-scratch extraction); "bounded" is the production
+// default.
+enum class TdMode { kLegacy, kScratch, kBounded };
+const TdMode kAllModes[] = {TdMode::kLegacy, TdMode::kScratch,
+                            TdMode::kBounded};
+
+const char* TdModeName(TdMode m) {
+  switch (m) {
+    case TdMode::kLegacy:
+      return "legacy";
+    case TdMode::kScratch:
+      return "scratch";
+    case TdMode::kBounded:
+      return "bounded";
+  }
+  return "?";
+}
+
+void ApplyMode(SearchOptions* opts, TdMode m) {
+  opts->legacy_topdown_extraction = m == TdMode::kLegacy;
+  opts->enable_topdown_bound = m == TdMode::kBounded;
+}
+
+void CheckCandidateAccounting(const SearchResult& r, TdMode m,
+                              const std::string& label) {
+  EXPECT_EQ(r.stats.candidates_extracted + r.stats.candidates_pruned +
+                r.stats.candidates_skipped,
+            r.stats.num_centrals)
+      << label;
+  if (m != TdMode::kBounded) {
+    EXPECT_EQ(r.stats.candidates_pruned, 0u) << label;
+  }
+}
+
+const EngineKind kAllEngines[] = {
+    EngineKind::kSequential,
+    EngineKind::kCpuParallel,
+    EngineKind::kCpuDynamic,
+    EngineKind::kGpuSim,
+};
+
+class TopDownEquivalenceTest : public ::testing::TestWithParam<EngineKind> {};
+
+// ---------------------------------------------------------------------------
+// Legacy vs scratch vs bounded across {1, 8} threads x dedup on/off x
+// pooled/fresh states.
+
+TEST_P(TopDownEquivalenceTest, BoundedMatchesExhaustiveAcrossModes) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 3);
+
+  for (int threads : {1, 8}) {
+    for (bool dedup : {true, false}) {
+      SearchOptions base;
+      base.top_k = 10;
+      base.threads = threads;
+      base.engine = GetParam();
+      base.dedup_answers = dedup;
+      const std::string cfg_label = std::string(EngineKindName(GetParam())) +
+                                    " T" + std::to_string(threads) +
+                                    (dedup ? " dedup" : " nodedup");
+
+      // Pooled: one engine (with its own state and scratch pools) per mode
+      // serves the whole query stream, so later queries run on epoch-reused
+      // scratch buffers.
+      {
+        SearchStatePool state_pools[3];
+        ExtractionScratchPool scratch_pools[3];
+        std::vector<std::unique_ptr<SearchEngine>> engines;
+        std::vector<SearchOptions> mode_opts;
+        for (int mi = 0; mi < 3; ++mi) {
+          SearchOptions o = base;
+          ApplyMode(&o, kAllModes[mi]);
+          engines.push_back(
+              std::make_unique<SearchEngine>(&f.kb.graph, &f.index, o));
+          engines.back()->SetStatePool(&state_pools[mi]);
+          engines.back()->SetScratchPool(&scratch_pools[mi]);
+          mode_opts.push_back(o);
+        }
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          SearchResult by_mode[3];
+          for (int mi = 0; mi < 3; ++mi) {
+            auto res = engines[mi]->SearchKeywords(queries[qi], mode_opts[mi]);
+            ASSERT_TRUE(res.ok()) << res.status().ToString();
+            CheckCandidateAccounting(
+                *res, kAllModes[mi],
+                cfg_label + " pooled q" + std::to_string(qi) + " " +
+                    TdModeName(kAllModes[mi]));
+            by_mode[mi] = *res;
+          }
+          ExpectByteIdentical(by_mode[0], by_mode[1],
+                              cfg_label + " pooled q" + std::to_string(qi) +
+                                  " legacy vs scratch");
+          ExpectByteIdentical(by_mode[0], by_mode[2],
+                              cfg_label + " pooled q" + std::to_string(qi) +
+                                  " legacy vs bounded");
+        }
+      }
+
+      // Fresh: a new engine per (query, mode) — first-epoch scratch.
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        SearchResult by_mode[3];
+        for (int mi = 0; mi < 3; ++mi) {
+          SearchOptions o = base;
+          ApplyMode(&o, kAllModes[mi]);
+          SearchEngine engine(&f.kb.graph, &f.index, o);
+          auto res = engine.SearchKeywords(queries[qi], o);
+          ASSERT_TRUE(res.ok()) << res.status().ToString();
+          by_mode[mi] = *res;
+        }
+        ExpectByteIdentical(by_mode[0], by_mode[1],
+                            cfg_label + " fresh q" + std::to_string(qi) +
+                                " legacy vs scratch");
+        ExpectByteIdentical(by_mode[0], by_mode[2],
+                            cfg_label + " fresh q" + std::to_string(qi) +
+                                " legacy vs bounded");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized graphs: fresh generator configs and random community queries
+// every run (seeded by TestSeed, printed on failure by test_util).
+
+TEST_P(TopDownEquivalenceTest, BoundedMatchesLegacyOnRandomGraphs) {
+  Rng rng(testing::TestSeed());
+  for (int rep = 0; rep < 2; ++rep) {
+    gen::WikiGenConfig cfg;
+    cfg.num_entities = 600 + 211 * rep;
+    cfg.num_summary_nodes = 5;
+    cfg.num_topic_nodes = 9;
+    cfg.num_communities = 5;
+    cfg.vocab_size = 900;
+    cfg.seed = rng.Uniform(1u << 30);
+    Fixture f(cfg);
+    auto queries = TestQueries(f, 2);
+
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      SearchOptions base;
+      // Small k so the candidate set typically exceeds it and the bound
+      // actually engages.
+      base.top_k = 5;
+      base.threads = 8;
+      base.engine = GetParam();
+      SearchOptions legacy = base;
+      ApplyMode(&legacy, TdMode::kLegacy);
+      SearchOptions bounded = base;
+      ApplyMode(&bounded, TdMode::kBounded);
+      SearchEngine le(&f.kb.graph, &f.index, legacy);
+      SearchEngine be(&f.kb.graph, &f.index, bounded);
+      auto lr = le.SearchKeywords(queries[qi], legacy);
+      auto br = be.SearchKeywords(queries[qi], bounded);
+      ASSERT_TRUE(lr.ok()) << lr.status().ToString();
+      ASSERT_TRUE(br.ok()) << br.status().ToString();
+      ExpectByteIdentical(*lr, *br,
+                          std::string(EngineKindName(GetParam())) + " rep " +
+                              std::to_string(rep) + " q" +
+                              std::to_string(qi));
+      CheckCandidateAccounting(*br, TdMode::kBounded, "random bounded");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Forced deadline expiry at every top-down fault point — including the new
+// "topdown:bound" certification point — in every mode that reaches it: the
+// aborted run must yield valid partial answers, and a clean rerun on the
+// same (pooled) engine must be byte-identical across all modes.
+
+TEST_P(TopDownEquivalenceTest, DeadlineExpiryAtTopDownFaultPoints) {
+  Fixture& f = SharedFixture();
+  // Pick a query whose candidate set exceeds top_k, so the bounded driver
+  // genuinely attempts certification and "topdown:bound" fires.
+  const int top_k = 5;
+  auto queries = TestQueries(f, 6);
+  std::vector<std::string> kws;
+  for (const auto& q : queries) {
+    SearchOptions probe;
+    probe.top_k = top_k;
+    probe.engine = GetParam();
+    SearchEngine engine(&f.kb.graph, &f.index, probe);
+    auto res = engine.SearchKeywords(q, probe);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    if (res->stats.num_centrals > static_cast<size_t>(2 * top_k)) {
+      kws = q;
+      break;
+    }
+  }
+  if (kws.empty()) GTEST_SKIP() << "no query with enough candidates";
+
+  // Calibrate the expiry budget against a clean timed run: the certification
+  // point only fires after several completed extractions, and under a
+  // sanitizer's slowdown a fixed 25ms deadline would expire before the fault
+  // is ever reached. The stall is sized past the deadline so expiry during
+  // the stall stays guaranteed.
+  double calib_ms = 0.0;
+  {
+    SearchOptions copts;
+    copts.top_k = top_k;
+    copts.engine = GetParam();
+    SearchEngine cengine(&f.kb.graph, &f.index, copts);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto cres = cengine.SearchKeywords(kws, copts);
+    ASSERT_TRUE(cres.ok()) << cres.status().ToString();
+    calib_ms = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  }
+  const double deadline_ms = std::max(25.0, 4.0 * calib_ms + 50.0);
+  const auto stall = std::chrono::milliseconds(
+      static_cast<long long>(2.0 * deadline_ms) + 200);
+
+  const bool dynamic = GetParam() == EngineKind::kCpuDynamic;
+  const char* candidate_point =
+      dynamic ? "dynamic:topdown" : "topdown:candidate";
+  // What the stalled run must deterministically report. At one thread the
+  // stalled worker itself hits the expired deadline next, so a timeout is
+  // guaranteed — except at the certification point, where a successful
+  // certification may legitimately prune the rest instead (either way the
+  // query terminated early for a provable reason). At eight threads the
+  // other workers may drain every remaining candidate within the budget, so
+  // only the validity and recovery contracts are asserted.
+  enum class Expect { kTimeout, kTimeoutOrPruned, kNone };
+  struct PointCase {
+    const char* point;
+    int threads;
+    Expect expect;
+    // Modes whose code path reaches the point (the legacy driver never
+    // certifies, so it cannot expire at "topdown:bound").
+    std::vector<TdMode> modes;
+  };
+  const std::vector<TdMode> all_modes = {TdMode::kLegacy, TdMode::kScratch,
+                                         TdMode::kBounded};
+  const std::vector<TdMode> bounded_only = {TdMode::kBounded};
+  const PointCase cases[] = {
+      {candidate_point, 1, Expect::kTimeout, all_modes},
+      {candidate_point, 8, Expect::kNone, all_modes},
+      {"topdown:bound", 1, Expect::kTimeoutOrPruned, bounded_only},
+      {"topdown:bound", 8, Expect::kNone, bounded_only},
+  };
+
+  for (const PointCase& pc : cases) {
+    std::vector<SearchResult> cleans;
+    for (TdMode mode : pc.modes) {
+      SCOPED_TRACE(std::string(EngineKindName(GetParam())) + " @ " +
+                   pc.point + " T" + std::to_string(pc.threads) + " " +
+                   TdModeName(mode));
+      SearchOptions opts;
+      opts.top_k = top_k;
+      opts.threads = pc.threads;
+      opts.engine = GetParam();
+      ApplyMode(&opts, mode);
+      opts.deadline_ms = deadline_ms;
+      auto fired = std::make_shared<std::atomic<bool>>(false);
+      std::string target = pc.point;
+      opts.fault_injection = [fired, target, stall](const char* p) {
+        if (target == p && !fired->exchange(true)) {
+          std::this_thread::sleep_for(stall);
+        }
+      };
+
+      SearchStatePool state_pool;
+      ExtractionScratchPool scratch_pool;
+      SearchEngine engine(&f.kb.graph, &f.index, opts);
+      engine.SetStatePool(&state_pool);
+      engine.SetScratchPool(&scratch_pool);
+      auto res = engine.SearchKeywords(kws, opts);
+      ASSERT_TRUE(res.ok()) << res.status().ToString();
+      EXPECT_TRUE(fired->load()) << "fault point never reached";
+      if (pc.expect == Expect::kTimeout) {
+        EXPECT_TRUE(res->stats.timed_out);
+      } else if (pc.expect == Expect::kTimeoutOrPruned) {
+        EXPECT_TRUE(res->stats.timed_out || res->stats.candidates_pruned > 0);
+      }
+      EXPECT_EQ(res->stats.candidates_extracted +
+                    res->stats.candidates_pruned +
+                    res->stats.candidates_skipped,
+                res->stats.num_centrals);
+      for (const AnswerGraph& a : res->answers) {
+        testing::CheckAnswerInvariants(f.kb.graph, a, res->keywords.size());
+      }
+
+      // Rerun clean on the same engine: the pooled state and scratch the
+      // aborted run left behind must recover fully.
+      SearchOptions clean = opts;
+      clean.deadline_ms = 0.0;
+      clean.fault_injection = nullptr;
+      auto after = engine.SearchKeywords(kws, clean);
+      ASSERT_TRUE(after.ok()) << after.status().ToString();
+      EXPECT_FALSE(after->stats.timed_out);
+      cleans.push_back(*after);
+    }
+    for (size_t ci = 1; ci < cleans.size(); ++ci) {
+      ExpectByteIdentical(cleans[0], cleans[ci],
+                          std::string("post-expiry clean @ ") + pc.point);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngineKinds, TopDownEquivalenceTest,
+                         ::testing::ValuesIn(kAllEngines),
+                         [](const ::testing::TestParamInfo<EngineKind>& i) {
+                           std::string name = EngineKindName(i.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Allocation contract (DESIGN.md §14): once a worker's scratch and output
+// AnswerGraphs are warm, rebuilding every candidate of a query performs
+// ZERO heap allocations — extraction, level cover, scoring and answer
+// materialization all run out of pooled, epoch-cleared buffers.
+
+TEST(TopDownScratchTest, SteadyStateExtractionAllocatesNothing) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 1);
+
+  // Run stage 1 directly so the SearchState (and its centrals) are ours.
+  SearchOptions opts;
+  opts.top_k = 5;
+  Status err = Status::OK();
+  std::vector<std::vector<NodeId>> t_i;
+  std::vector<std::string> used;
+  for (const std::string& kw : queries[0]) {
+    auto postings = IndexView(f.index).Lookup(kw);
+    if (postings.empty()) continue;
+    t_i.emplace_back(postings.begin(), postings.end());
+    used.push_back(kw);
+  }
+  ASSERT_GE(t_i.size(), 2u);
+  QueryContext ctx(GraphView(f.kb.graph), std::move(used), std::move(t_i),
+                   ActivationMap(f.kb.graph.average_distance(), opts.alpha,
+                                 true),
+                   2 * static_cast<int>(
+                           std::ceil(f.kb.graph.average_distance())) +
+                       2);
+  SearchState state(f.kb.graph.num_nodes(), ctx.num_keywords());
+  ThreadPool pool(1);
+  PhaseTimings timings;
+  BottomUpSearch(ctx, opts, &pool, &state, &timings, /*gpu_style=*/false);
+  const std::vector<CentralCandidate>& centrals = state.centrals();
+  ASSERT_FALSE(centrals.empty());
+
+  StateHitLevels hits(state);
+  KeywordMaskView mask{state.keyword_mask_words(), state.keyword_stamps(),
+                       state.epoch()};
+  ExtractionScratchPool scratch_pool;
+  StateCandidateBuilder builder(ctx, opts, hits, mask, centrals,
+                                &scratch_pool, /*max_workers=*/1);
+
+  // Warm pass: sizes every scratch buffer and every output AnswerGraph.
+  std::vector<AnswerGraph> outs(centrals.size());
+  for (size_t i = 0; i < centrals.size(); ++i) {
+    builder.Build(0, i, &outs[i]);
+  }
+
+  // Steady-state pass: rebuild every candidate into the warm outputs.
+  const size_t before = g_alloc_count.load();
+  for (size_t i = 0; i < centrals.size(); ++i) {
+    builder.Build(0, i, &outs[i]);
+  }
+  const size_t allocs = g_alloc_count.load() - before;
+  EXPECT_EQ(allocs, 0u) << "steady-state extraction of " << centrals.size()
+                        << " candidates allocated " << allocs << " times";
+  // The answers themselves must be real (warm rebuild produced real output).
+  for (const AnswerGraph& a : outs) {
+    testing::CheckAnswerInvariants(f.kb.graph, a, ctx.num_keywords());
+  }
+}
+
+// The scratch pool reuses idle scratches across queries exactly like the
+// SearchState pool (lease discipline, keyed on num_nodes).
+
+TEST(TopDownScratchTest, ScratchPoolReusesAcrossQueries) {
+  Fixture& f = SharedFixture();
+  auto queries = TestQueries(f, 3);
+  SearchOptions opts;
+  opts.top_k = 10;
+  opts.threads = 1;
+  SearchStatePool state_pool;
+  ExtractionScratchPool scratch_pool;
+  SearchEngine engine(&f.kb.graph, &f.index, opts);
+  engine.SetStatePool(&state_pool);
+  engine.SetScratchPool(&scratch_pool);
+
+  for (const auto& q : queries) {
+    auto res = engine.SearchKeywords(q, opts);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+  }
+  // One worker -> one scratch created on the first query, reused afterwards.
+  EXPECT_EQ(scratch_pool.created(), 1u);
+  EXPECT_GE(scratch_pool.reused(), queries.size() - 1);
+  EXPECT_EQ(scratch_pool.idle_scratches(), 1u);
+}
+
+}  // namespace
+}  // namespace wikisearch

@@ -226,6 +226,13 @@ void CheckEngineTrace(const obs::TraceContext& trace, const SearchResult& res,
   EXPECT_EQ(trace.CountSpans("bottomup/level"),
             static_cast<size_t>(std::max(res.stats.levels_completed, 0)));
 
+  // Stage-2 candidate accounting: every Central Graph candidate lands in
+  // exactly one bucket, whether the query ran exhaustively, pruned on the
+  // bound, or shed work at the deadline.
+  EXPECT_EQ(res.stats.candidates_extracted + res.stats.candidates_pruned +
+                res.stats.candidates_skipped,
+            res.stats.num_centrals);
+
   // Span sums equal PhaseTimings — identical doubles, not approximations.
   EXPECT_EQ(trace.SumDurationsMs("bottomup/init"), res.timings.init_ms);
   EXPECT_EQ(trace.SumDurationsMs("bottomup/enqueue"), res.timings.enqueue_ms);
